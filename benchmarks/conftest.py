@@ -1,0 +1,36 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper and
+writes the rendered artifact to ``benchmarks/results/`` (in addition to
+printing it), so the reproduced outputs survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: trials per Table II cell — the paper uses 100; override with
+#: BLAP_TRIALS for quicker smoke runs.
+TRIALS = int(os.environ.get("BLAP_TRIALS", "100"))
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write (and echo) a rendered table/figure."""
+
+    def _save(name: str, text: str) -> None:
+        (artifact_dir / name).write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _save

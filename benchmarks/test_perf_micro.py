@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+Not a paper artifact — these exist so regressions in the pure-Python
+crypto and packet machinery are visible, and to quantify the cost of
+the heavy pieces (E1 per authentication, ECDH per pairing, packet
+parse per dump line).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.types import BdAddr, LinkKey
+from repro.crypto.ecc import P256, ecdh_shared_secret, generate_keypair
+from repro.crypto.legacy import e1, e3
+from repro.crypto.safer import SaferPlus
+from repro.crypto.ssp import f1_p256, f2_p256, KEY_ID_BTLK
+from repro.hci import commands as cmd
+from repro.hci.parser import parse_command
+from repro.snoop.btsnoop import BtsnoopReader, BtsnoopWriter
+from repro.transport.base import Direction
+
+ADDR = BdAddr.parse("aa:bb:cc:dd:ee:ff")
+KEY = LinkKey(bytes(range(16)))
+RAND = b"\x5a" * 16
+
+
+def test_saferplus_block(benchmark):
+    cipher = SaferPlus(KEY.value)
+    out = benchmark(cipher.encrypt, RAND)
+    assert len(out) == 16
+
+
+def test_e1_authentication(benchmark):
+    sres, aco = benchmark(e1, KEY, RAND, ADDR)
+    assert len(sres) == 4 and len(aco) == 12
+
+
+def test_e3_key_generation(benchmark):
+    kc = benchmark(e3, KEY, RAND, b"\x07" * 12)
+    assert len(kc) == 16
+
+
+def test_ecdh_p256_keygen(benchmark):
+    rng = random.Random(1)
+    pair = benchmark(generate_keypair, P256, rng)
+    assert pair.public is not None
+
+
+def test_ecdh_p256_shared_secret(benchmark):
+    rng = random.Random(2)
+    alice = generate_keypair(P256, rng)
+    bob = generate_keypair(P256, rng)
+    secret = benchmark(ecdh_shared_secret, alice.private, bob.public)
+    assert len(secret) == 32
+
+
+def test_ssp_f1_commitment(benchmark):
+    value = benchmark(f1_p256, b"\x01" * 32, b"\x02" * 32, RAND, b"\x00")
+    assert len(value) == 16
+
+
+def test_ssp_f2_key_derivation(benchmark):
+    key = benchmark(
+        f2_p256, b"\x06" * 32, RAND, RAND, KEY_ID_BTLK, ADDR, ADDR
+    )
+    assert len(key.value) == 16
+
+
+def test_hci_command_serialize(benchmark):
+    command = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY)
+    raw = benchmark(command.to_bytes)
+    assert raw[:3] == bytes.fromhex("0b0416")
+
+
+def test_hci_command_parse(benchmark):
+    raw = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_bytes()
+    parsed = benchmark(parse_command, raw)
+    assert parsed.link_key == KEY
+
+
+def test_btsnoop_write_1000_records(benchmark):
+    packet = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_h4_bytes()
+
+    def build() -> bytes:
+        writer = BtsnoopWriter()
+        for index in range(1000):
+            writer.append(index * 0.001, Direction.HOST_TO_CONTROLLER, packet)
+        return writer.to_bytes()
+
+    raw = benchmark(build)
+    assert len(raw) > 1000 * len(packet)
+
+
+def test_btsnoop_parse_1000_records(benchmark):
+    packet = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_h4_bytes()
+    writer = BtsnoopWriter()
+    for index in range(1000):
+        writer.append(index * 0.001, Direction.HOST_TO_CONTROLLER, packet)
+    raw = writer.to_bytes()
+    records = benchmark(lambda: BtsnoopReader(raw).records())
+    assert len(records) == 1000

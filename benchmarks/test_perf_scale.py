@@ -1,0 +1,89 @@
+"""Scalability benchmarks: many devices, one simulator.
+
+Measures how the discrete-event world scales with fleet size —
+discovery over N devices, N sequential pairings, and a busy piconet —
+to keep the simulator fast enough for the 1400-trial Table II run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scenario import build_world
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+
+
+def _fleet(world, count: int):
+    hub = world.add_device("hub", LG_VELVET)
+    peers = [
+        world.add_device(f"peer-{index}", NEXUS_5X_A8)
+        for index in range(count)
+    ]
+    hub.power_on()
+    for peer in peers:
+        peer.power_on()
+    world.run_for(0.5)
+    return hub, peers
+
+
+@pytest.mark.parametrize("count", [4, 16])
+def test_discovery_over_n_devices(benchmark, count):
+    def run():
+        world = build_world(seed=700 + count)
+        hub, peers = _fleet(world, count)
+        operation = hub.host.gap.start_discovery()
+        world.run_for(8.0)
+        assert operation.success
+        return operation.result
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(results) == count
+
+
+@pytest.mark.parametrize("count", [2, 6])
+def test_n_sequential_pairings(benchmark, count):
+    def run():
+        world = build_world(seed=800 + count)
+        hub, peers = _fleet(world, count)
+        hub.controller.supervision_timeout_s = 600.0
+        for peer in peers:
+            peer.controller.supervision_timeout_s = 600.0
+            peer.user.note_pairing_initiated(
+                hub.bd_addr, world.simulator.now
+            )
+            operation = hub.host.gap.pair(peer.bd_addr)
+            world.run_for(15.0)
+            assert operation.success, peer.name
+        return len(hub.host.security.keys)
+
+    bonded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert bonded == count
+
+
+def test_busy_piconet_event_throughput(benchmark):
+    """Simulator events per second with 6 concurrent SDP chatterboxes."""
+
+    def run():
+        world = build_world(seed=900)
+        hub, peers = _fleet(world, 6)
+        for device in [hub] + peers:
+            device.controller.supervision_timeout_s = 600.0
+        for peer in peers:
+            operation = hub.host.gap.connect(peer.bd_addr)
+            world.run_for(5.0)
+            assert operation.success
+
+        chatter_until = world.simulator.now + 30.0
+
+        def chatter():
+            for peer in peers:
+                hub.host.sdp.query(peer.bd_addr)
+            if world.simulator.now < chatter_until:
+                world.simulator.schedule(1.0, chatter)
+
+        chatter()
+        world.run_for(35.0)
+        return world.simulator.events_processed
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert events > 1000

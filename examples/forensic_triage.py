@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Defensive forensics: triage a directory of HCI snoop logs.
+
+Blue-team counterpart to the attack tooling: generate a handful of
+capture files (one clean session, one that leaked a link key, one that
+shows the page blocking signature), then sweep them with the extractor
+and the detector — the workflow an incident responder would run over
+``btsnoop_hci.log`` files pulled from a fleet.
+
+Run:  python examples/forensic_triage.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.mitigations.detector import detect_page_blocking
+from repro.snoop.extractor import extract_link_keys
+from repro.snoop.hcidump import HciDump
+from repro.snoop.pcap import hci_dump_to_pcap
+
+
+def make_clean_capture() -> bytes:
+    """An ordinary discovery session: nothing sensitive."""
+    world = build_world(seed=201)
+    m, c, a = standard_cast(world)
+    dump = HciDump().attach(m.transport)
+    m.host.gap.start_discovery()
+    world.run_for(8.0)
+    return dump.to_btsnoop_bytes()
+
+
+def make_leaky_capture() -> bytes:
+    """A bonded re-authentication: the link key hits the log."""
+    world = build_world(seed=202)
+    m, c, a = standard_cast(world)
+    bond(world, c, m)
+    dump = HciDump().attach(c.transport)
+    op = c.host.gap.pair(m.bd_addr)
+    world.run_for(10.0)
+    assert op.success
+    return dump.to_btsnoop_bytes()
+
+
+def make_attacked_capture() -> bytes:
+    """A victim's log recorded during a page blocking attack."""
+    world = build_world(seed=203)
+    m, c, a = standard_cast(world)
+    report = PageBlockingAttack(world, a, c, m).run()
+    assert report.success
+    return report.m_dump.to_btsnoop_bytes()
+
+
+def triage(path: Path) -> None:
+    raw = path.read_bytes()
+    keys = extract_link_keys(raw)
+    suspicious = detect_page_blocking(raw)
+    verdict = []
+    if keys:
+        verdict.append(f"{len(keys)} plaintext link key(s)")
+    if suspicious:
+        verdict.append(f"{len(suspicious)} page-blocking signature(s)")
+    print(f"\n== {path.name} ==")
+    if not verdict:
+        print("  clean: no key material, no attack signatures")
+        return
+    print("  FINDINGS: " + "; ".join(verdict))
+    for finding in keys:
+        print(f"    key: {finding}")
+    for finding in suspicious:
+        print(f"    attack: {finding}")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="blap-triage-"))
+    captures = {
+        "clean_session.btsnoop": make_clean_capture(),
+        "bonded_reauth.btsnoop": make_leaky_capture(),
+        "suspect_pairing.btsnoop": make_attacked_capture(),
+    }
+    for name, raw in captures.items():
+        (workdir / name).write_bytes(raw)
+        # Also emit Wireshark-openable pcaps alongside.
+        (workdir / name.replace(".btsnoop", ".pcap")).write_bytes(
+            hci_dump_to_pcap(raw)
+        )
+    print(f"triaging {len(captures)} capture(s) in {workdir}")
+    for name in captures:
+        triage(workdir / name)
+    print("\n(pcap twins written next to each capture for Wireshark)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Historical contrast: offline PIN cracking of pre-SSP legacy pairing.
+
+Before Secure Simple Pairing, a passive air sniffer near one pairing
+could recover the PIN (and thus the link key) completely offline — the
+attacks the paper cites as refs [14][15] and the reason SSP exists.
+The BLAP paper's point is that SSP-era keys then leak through a
+*different* channel: the HCI.
+
+This example pairs two devices with PIN '4271', captures the air
+transcript, and brute-forces the 4-digit PIN space.
+
+Run:  python examples/legacy_pin_cracking.py
+"""
+
+from repro.attacks.eavesdrop import AirCapture
+from repro.attacks.pin_crack import (
+    crack_pin,
+    numeric_pins,
+    transcript_from_capture,
+)
+from repro.attacks.scenario import build_world
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+
+
+def main() -> None:
+    world = build_world(seed=77)
+    m = world.add_device("M", LG_VELVET)
+    c = world.add_device("C", NEXUS_5X_A8)
+    m.host.ssp_enabled = False  # pre-2.1 behaviour
+    c.host.ssp_enabled = False
+    m.user.pin_code = "4271"
+    c.user.pin_code = "4271"
+    m.power_on()
+    c.power_on()
+    world.run_for(0.5)
+
+    print("sniffing the air while the victims pair with PIN 4271...")
+    capture = AirCapture().attach(world.medium)
+    pairing = m.host.gap.pair(c.bd_addr)
+    world.run_for(20.0)
+    print(f"pairing completed: {pairing.success}")
+    truth = m.host.security.bond_for(c.bd_addr).link_key
+    print(f"negotiated link key: {truth}\n")
+
+    transcript = transcript_from_capture(capture, "M", m.bd_addr, c.bd_addr)
+    print("captured: IN_RAND, both comb-key contributions, AU_RAND, SRES")
+    print("brute-forcing the 4-digit PIN space offline...")
+    result = crack_pin(transcript, numeric_pins(4))
+
+    assert result is not None
+    print(f"  PIN recovered : {result.pin.decode()}")
+    print(f"  after         : {result.candidates_tried} candidates")
+    print(f"  link key      : {result.link_key}")
+    print(f"  matches bond  : {result.link_key == truth}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Link key extraction from a Windows PC via USB sniffing (Fig. 11).
+
+Windows host stacks provide no HCI dump, but the HCI rides a USB cable
+to the dongle.  A free USB analyzer captures the raw transfer stream;
+the binary is converted to hex text and grepped for the `0b 04 16`
+signature of HCI_Link_Key_Request_Reply.
+
+Run:  python examples/usb_sniffing_windows.py
+"""
+
+from repro.attacks.attacker import Attacker
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.devices.catalog import WINDOWS_CSR_HARMONY
+from repro.snoop.usb_extract import bin2hex, extract_link_keys_from_usb
+
+
+def main() -> None:
+    world = build_world(seed=99)
+    m, c, a = standard_cast(world, c_spec=WINDOWS_CSR_HARMONY)
+
+    print(f"C = {c.spec.marketing_name}, controller {c.spec.controller_model}")
+    bond(world, c, m)
+    truth = c.bonded_key_for(m.bd_addr)
+    print(f"bonded key (ground truth): {truth}\n")
+
+    print("attaching the USB analyzer to the dongle's bus...")
+    sniffer = c.attach_usb_sniffer()
+
+    print("impersonating M and provoking one re-authentication on C...")
+    attacker = Attacker(a)
+    attacker.patch_drop_link_key_requests()
+    attacker.spoof_device(m)
+    attacker.go_connectable()
+    world.set_in_range(c, m, False)
+    world.run_for(0.5)
+    c.host.gap.pair(m.bd_addr)
+    world.run_for(12.0)
+
+    stream = sniffer.raw_stream()
+    print(f"captured {len(sniffer.transfers)} USB transfers "
+          f"({len(stream)} raw bytes, NULL polls included)\n")
+
+    hex_text = bin2hex(stream)
+    print("BinaryToHex output (excerpt):")
+    for line in hex_text.splitlines()[:6]:
+        print("  " + line)
+
+    print("\nscanning for the '0b 04 16' signature...")
+    findings = extract_link_keys_from_usb(sniffer)
+    for finding in findings:
+        print(f"  {finding}")
+
+    extracted = [f.link_key for f in findings if f.peer == m.bd_addr]
+    match = bool(extracted and extracted[-1] == truth)
+    print(f"\nextracted key matches the bonded key: {match}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (legacy editable installs in offline envs)."""
+
+from setuptools import setup
+
+setup()

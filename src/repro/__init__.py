@@ -1,0 +1,39 @@
+"""BLAP reproduction: Bluetooth link key extraction and page blocking.
+
+A from-scratch simulated Bluetooth BR/EDR system — crypto, controller,
+HCI, host stacks, radio medium — plus full implementations of the two
+attacks from *"BLAP: Bluetooth Link Key Extraction and Page Blocking
+Attacks"* (Koh, Kwon, Hur — DSN 2022) and their mitigations.
+
+Quick start::
+
+    from repro.attacks import build_world, LinkKeyExtractionAttack
+    from repro.attacks.scenario import standard_cast, bond
+
+    world = build_world(seed=1)
+    m, c, a = standard_cast(world)
+    bond(world, c, m)                       # the legitimate pre-state
+    report = LinkKeyExtractionAttack(world, a, c, m).run()
+    print(report.extracted_key, report.validated_against_m)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.types import (
+    AssociationModel,
+    BdAddr,
+    BluetoothVersion,
+    ClassOfDevice,
+    IoCapability,
+    LinkKey,
+)
+
+__all__ = [
+    "__version__",
+    "AssociationModel",
+    "BdAddr",
+    "BluetoothVersion",
+    "ClassOfDevice",
+    "IoCapability",
+    "LinkKey",
+]

@@ -1,0 +1,59 @@
+"""The paper's attacks: link key extraction and page blocking.
+
+* :mod:`repro.attacks.scenario` — world builder: one simulator, one
+  radio medium, the three-role cast (hard target M, soft target C,
+  attacker A).
+* :mod:`repro.attacks.attacker` — the attacker toolkit: BD_ADDR/COD
+  spoofing, the bluedroid patches (drop link key requests, PLOC event
+  hold), fake bonding installation.
+* :mod:`repro.attacks.link_key_extraction` — the §IV attack: bond C↔M,
+  impersonate M toward C, let C log its key into the HCI dump / USB
+  bus, drop the link by timeout, extract the key, validate it by
+  impersonating C toward M over PAN.
+* :mod:`repro.attacks.page_blocking` — the §V attack: PLOC + victim-
+  initiated pairing routed to the attacker + Just Works downgrade.
+* :mod:`repro.attacks.baseline` — the non-page-blocked MITM connection
+  race (Table II's left column).
+* :mod:`repro.attacks.eavesdrop` — offline decryption of sniffed E0
+  traffic using an extracted link key.
+"""
+
+from repro.attacks.scenario import World, build_world
+from repro.attacks.attacker import Attacker
+from repro.attacks.link_key_extraction import (
+    ExtractionReport,
+    LinkKeyExtractionAttack,
+)
+from repro.attacks.page_blocking import PageBlockingAttack, PageBlockingReport
+from repro.attacks.baseline import BaselineMitmTrial, run_baseline_trial
+from repro.attacks.eavesdrop import AirCapture, OfflineDecryptor
+from repro.attacks.exfiltration import ExfiltrationReport, exfiltrate
+from repro.attacks.knob import KnobResult, brute_force_low_entropy_session
+from repro.attacks.pin_crack import (
+    PinCrackResult,
+    crack_pin,
+    numeric_pins,
+    transcript_from_capture,
+)
+
+__all__ = [
+    "World",
+    "build_world",
+    "Attacker",
+    "ExtractionReport",
+    "LinkKeyExtractionAttack",
+    "PageBlockingAttack",
+    "PageBlockingReport",
+    "BaselineMitmTrial",
+    "run_baseline_trial",
+    "AirCapture",
+    "OfflineDecryptor",
+    "ExfiltrationReport",
+    "exfiltrate",
+    "KnobResult",
+    "brute_force_low_entropy_session",
+    "PinCrackResult",
+    "crack_pin",
+    "numeric_pins",
+    "transcript_from_capture",
+]

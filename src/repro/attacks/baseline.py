@@ -1,0 +1,73 @@
+"""The baseline MITM connection race (Table II, left column).
+
+Previous SSP downgrade attacks assumed the victim somehow connects to
+the attacker.  In reality, when M pages C's address while both the
+real C and the spoofing A are page-scanning as that address, whichever
+scan window opens first wins — a coin flip governed by scan phase.
+The paper measured 42–60% success over 100 trials per device; this
+module reproduces that experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import IoCapability
+from repro.attacks.attacker import Attacker
+from repro.attacks.scenario import build_world
+from repro.devices.catalog import NEXUS_5X_A6, NEXUS_5X_A8
+from repro.devices.device import DeviceSpec
+
+
+@dataclass
+class BaselineMitmTrial:
+    """Outcome of one connection race."""
+
+    connected: bool
+    attacker_won: bool
+
+
+def run_baseline_trial(
+    m_spec: DeviceSpec,
+    seed: int,
+    c_spec: DeviceSpec = NEXUS_5X_A8,
+    a_spec: DeviceSpec = NEXUS_5X_A6,
+) -> BaselineMitmTrial:
+    """One independent trial: fresh world, spoof, race, inspect winner."""
+    world = build_world(seed=seed)
+    m = world.add_device("M", m_spec)
+    c = world.add_device("C", c_spec)
+    a = world.add_device("A", a_spec)
+    m.power_on()
+    c.power_on()
+    a.power_on(connectable=False, discoverable=False)
+    world.run_for(0.5)
+
+    attacker = Attacker(a)
+    attacker.set_io_capability(IoCapability.NO_INPUT_NO_OUTPUT)
+    attacker.spoof_device(c)
+    attacker.go_connectable()
+    world.run_for(0.2)
+
+    connect_op = m.host.gap.connect(c.bd_addr)
+    world.run_for(10.0)
+    if not connect_op.success:
+        return BaselineMitmTrial(connected=False, attacker_won=False)
+    info = m.host.gap.connections.get(c.bd_addr)
+    link = m.controller.link_by_handle(info.handle) if info else None
+    attacker_won = (
+        link is not None and link.phys.peer_of(m.controller) is a.controller
+    )
+    return BaselineMitmTrial(connected=True, attacker_won=attacker_won)
+
+
+def baseline_success_rate(
+    m_spec: DeviceSpec, trials: int, seed_base: int = 0
+) -> float:
+    """Fraction of trials in which the attacker captured the connection."""
+    wins = 0
+    for trial in range(trials):
+        result = run_baseline_trial(m_spec, seed=seed_base + trial)
+        if result.attacker_won:
+            wins += 1
+    return wins / trials

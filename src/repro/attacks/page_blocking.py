@@ -1,0 +1,155 @@
+"""The page blocking attack (paper §V, Fig. 6b) with SSP downgrade.
+
+The attacker never races the legitimate accessory for the victim's
+page.  Instead:
+
+1. A sets its IO capability to NoInputNoOutput (Just Works downgrade).
+2. A impersonates C (BD_ADDR, COD, name).
+3. A *initiates* a connection to M and stays in PLOC — the host-layer
+   connection is never completed on A's side, but M's host now has a
+   live ACL link whose peer address reads as C.
+4. M's user scans for devices; the real C answers the inquiry.
+5. M's user taps "pair" on C.
+6. M's GAP sees the existing connection to C's address and **skips the
+   page entirely**, sending the pairing straight down the link — which
+   terminates at A.  Just Works runs; on 5.0+ a bare Yes/No popup
+   appears right after the user's own tap, and is accepted.
+
+Success is deterministic because there is no race left to lose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.types import IoCapability, LinkKeyType
+from repro.attacks.attacker import Attacker
+from repro.attacks.scenario import World
+from repro.devices.device import Device
+from repro.snoop.hcidump import HciDump
+
+
+@dataclass
+class PageBlockingReport:
+    """Outcome of one page blocking + downgrade run."""
+
+    m_device: str
+    m_os: str
+    mitm_connection: bool = False  # M's pairing link terminates at A
+    paired: bool = False  # SSP completed
+    downgraded_to_just_works: bool = False
+    popup_shown_on_m: bool = False
+    m_flow: List[str] = field(default_factory=list)  # Fig. 12b sequence
+    m_dump: Optional[HciDump] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """Table II verdict: the MITM connection was established."""
+        return self.mitm_connection
+
+
+class PageBlockingAttack:
+    """Drives the Fig. 6b procedure."""
+
+    def __init__(
+        self,
+        world: World,
+        attacker_device: Device,
+        c: Device,
+        m: Device,
+        ploc_hold_seconds: float = 10.0,
+    ) -> None:
+        self.world = world
+        self.attacker = Attacker(attacker_device)
+        self.c = c
+        self.m = m
+        self.ploc_hold_seconds = ploc_hold_seconds
+
+    def run(
+        self,
+        pairing_delay: float = 5.0,
+        capture_m_dump: bool = True,
+        run_discovery: bool = True,
+    ) -> PageBlockingReport:
+        """Execute the attack; ``pairing_delay`` is when M's user acts."""
+        world = self.world
+        report = PageBlockingReport(
+            m_device=self.m.spec.marketing_name, m_os=self.m.spec.os
+        )
+        m_dump = None
+        if capture_m_dump:
+            m_dump = HciDump(name="M-dump").attach(self.m.transport)
+            report.m_dump = m_dump
+
+        # Steps 1-2: downgrade posture + identity theft.
+        self.attacker.set_io_capability(IoCapability.NO_INPUT_NO_OUTPUT)
+        self.attacker.spoof_device(self.c)
+
+        # Step 3: A initiates the connection to M, then freezes its own
+        # host — the PLOC state.
+        self.attacker.device.host.gap.connect(self.m.bd_addr)
+        self.attacker.enter_ploc(self.ploc_hold_seconds)
+
+        # Steps 4-5: M's user discovers devices (the real C responds).
+        if run_discovery:
+            world.simulator.schedule(
+                1.0, lambda: self.m.host.gap.start_discovery(inquiry_length=2)
+            )
+
+        # Step 6: M's user initiates pairing with C.
+        pair_holder = {}
+
+        def user_pairs() -> None:
+            pair_holder["op"] = self.m.host.gap.pair(self.c.bd_addr)
+
+        world.simulator.schedule(pairing_delay, user_pairs)
+        world.run_for(self.ploc_hold_seconds + pairing_delay + 20.0)
+
+        pair_op = pair_holder.get("op")
+        if pair_op is None or not pair_op.done:
+            report.notes.append("pairing never completed")
+            return report
+
+        # Whose physical link did M's pairing ride on?
+        report.mitm_connection = self._m_linked_to_attacker()
+        report.paired = pair_op.success
+
+        key_record = self.m.host.security.bond_for(self.c.bd_addr)
+        if key_record is not None:
+            report.downgraded_to_just_works = key_record.key_type in (
+                LinkKeyType.UNAUTHENTICATED_COMBINATION_P192,
+                LinkKeyType.UNAUTHENTICATED_COMBINATION_P256,
+            )
+            attacker_record = self.attacker.device.host.security.bond_for(
+                self.m.bd_addr
+            )
+            if attacker_record is not None and report.mitm_connection:
+                if attacker_record.link_key != key_record.link_key:
+                    report.notes.append("key mismatch between M and A?!")
+        report.popup_shown_on_m = self.m.user.popups_seen > 0
+        if m_dump is not None:
+            report.m_flow = [
+                entry.packet.display_name for entry in m_dump.entries()
+            ]
+        return report
+
+    def _m_linked_to_attacker(self) -> bool:
+        """Check which physical device sits on M's link to 'C'."""
+        info = self.m.host.gap.connections.get(self.c.bd_addr)
+        attacker_ctrl = self.attacker.device.controller
+        if info is not None:
+            link = self.m.controller.link_by_handle(info.handle)
+            if link is not None:
+                peer = link.phys.peer_of(self.m.controller)
+                return peer is attacker_ctrl
+        # The link may already be gone; fall back to bonding evidence:
+        # a Just Works key shared with the attacker proves the MITM.
+        m_record = self.m.host.security.bond_for(self.c.bd_addr)
+        a_record = self.attacker.device.host.security.bond_for(self.m.bd_addr)
+        return (
+            m_record is not None
+            and a_record is not None
+            and m_record.link_key == a_record.link_key
+        )

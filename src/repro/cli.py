@@ -1,0 +1,228 @@
+"""Command-line tools for the BLAP reproduction.
+
+``blap`` bundles the forensic tools as file-based commands, so they
+work on any btsnoop capture (including real ones pulled from an
+Android bug report) and on raw USB analyzer streams:
+
+* ``blap extract <capture.btsnoop>`` — scan an HCI dump for plaintext
+  link keys (the §IV extractor).
+* ``blap dump <capture.btsnoop>`` — render the Fig. 12-style frame
+  table.
+* ``blap usb-extract <stream.bin>`` — BinaryToHex + the ``0b 04 16``
+  signature scan (the Fig. 11 pipeline).
+* ``blap bin2hex <stream.bin>`` — just the converter.
+* ``blap iocap [--version 4.2|5.0]`` — print the Fig. 7 matrix.
+* ``blap demo {extraction,page-blocking,exfiltration}`` — run a full
+  simulated attack and narrate the outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.types import BluetoothVersion
+from repro.host.iocap import render_confirmation_matrix
+from repro.snoop.extractor import extract_link_keys
+from repro.snoop.hcidump import entries_from_btsnoop, render_dump_table
+from repro.snoop.usb_extract import bin2hex, extract_link_keys_from_usb
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    with open(args.capture, "rb") as handle:
+        raw = handle.read()
+    findings = extract_link_keys(raw)
+    if not findings:
+        print("no link keys found in the capture")
+        return 1
+    for finding in findings:
+        print(finding)
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    with open(args.capture, "rb") as handle:
+        raw = handle.read()
+    entries = entries_from_btsnoop(raw)
+    print(render_dump_table(entries, include_acl=args.acl, max_rows=args.rows))
+    return 0
+
+
+def _cmd_usb_extract(args: argparse.Namespace) -> int:
+    with open(args.stream, "rb") as handle:
+        raw = handle.read()
+    findings = extract_link_keys_from_usb(raw)
+    if not findings:
+        print("no '0b 04 16' link key signatures found")
+        return 1
+    for finding in findings:
+        print(finding)
+    return 0
+
+
+def _cmd_bin2hex(args: argparse.Namespace) -> int:
+    with open(args.stream, "rb") as handle:
+        raw = handle.read()
+    print(bin2hex(raw, group=args.group, line_width=args.width))
+    return 0
+
+
+def _cmd_pcap(args: argparse.Namespace) -> int:
+    from repro.snoop.pcap import hci_dump_to_pcap
+
+    with open(args.capture, "rb") as handle:
+        raw = handle.read()
+    pcap = hci_dump_to_pcap(raw)
+    with open(args.output, "wb") as handle:
+        handle.write(pcap)
+    print(f"wrote {len(pcap)} bytes to {args.output}")
+    return 0
+
+
+def _cmd_iocap(args: argparse.Namespace) -> int:
+    version = BluetoothVersion(args.version)
+    print(render_confirmation_matrix(version))
+    return 0
+
+
+def _demo_extraction(seed: int) -> int:
+    from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+    from repro.attacks.scenario import bond, build_world, standard_cast
+
+    world = build_world(seed=seed)
+    m, c, a = standard_cast(world)
+    bond(world, c, m)
+    report = LinkKeyExtractionAttack(world, a, c, m).run()
+    print(f"channel       : {report.extraction_channel}")
+    print(f"su required   : {report.su_required}")
+    print(f"extracted key : {report.extracted_key}")
+    print(f"matches truth : {report.extraction_success}")
+    print(f"validated     : {report.validated_against_m}")
+    return 0 if report.vulnerable else 1
+
+
+def _demo_page_blocking(seed: int) -> int:
+    from repro.attacks.page_blocking import PageBlockingAttack
+    from repro.attacks.scenario import build_world, standard_cast
+    from repro.snoop.hcidump import render_dump_table
+
+    world = build_world(seed=seed)
+    m, c, a = standard_cast(world)
+    report = PageBlockingAttack(world, a, c, m).run()
+    print(f"MITM connection : {report.mitm_connection}")
+    print(f"paired          : {report.paired}")
+    print(f"just works      : {report.downgraded_to_just_works}")
+    print(render_dump_table(report.m_dump.entries(), max_rows=14))
+    return 0 if report.success else 1
+
+
+def _demo_exfiltration(seed: int) -> int:
+    from repro.attacks.exfiltration import exfiltrate
+    from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+    from repro.attacks.scenario import bond, build_world, standard_cast
+    from repro.host.map_profile import Message
+    from repro.host.pbap import Contact
+
+    world = build_world(seed=seed)
+    m, c, a = standard_cast(world)
+    m.host.pbap.load_phonebook(
+        [Contact("Alice Example", "+1-555-0100")]
+    )
+    m.host.map.load_messages([Message("Alice Example", "Dinner at 8?")])
+    bond(world, c, m)
+    report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+    if not report.extraction_success:
+        print("extraction failed")
+        return 1
+    world.set_in_range(c, m, False)
+    a.host.drop_link_key_requests = False
+    c.host.gap.set_scan_mode(connectable=False, discoverable=False)
+    exfil = exfiltrate(
+        world,
+        a,
+        m,
+        trusted_c_addr=c.bd_addr,
+        trusted_c_cod=c.controller.class_of_device,
+        trusted_c_name=c.controller.local_name,
+        link_key=report.extracted_key,
+    )
+    print(f"phonebook entries stolen: {len(exfil.phonebook)}")
+    for contact in exfil.phonebook:
+        print(f"  {contact.name}: {contact.phone}")
+    print(f"messages stolen: {len(exfil.messages)}")
+    for message in exfil.messages:
+        print(f"  from {message.sender}: {message.body}")
+    print(f"silent (no popup on victim): {exfil.silent}")
+    return 0 if exfil.success else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    runners = {
+        "extraction": _demo_extraction,
+        "page-blocking": _demo_page_blocking,
+        "exfiltration": _demo_exfiltration,
+    }
+    return runners[args.scenario](args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blap",
+        description="BLAP reproduction tools (DSN 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    extract = sub.add_parser("extract", help="link keys from a btsnoop capture")
+    extract.add_argument("capture", help="btsnoop file (e.g. btsnoop_hci.log)")
+    extract.set_defaults(func=_cmd_extract)
+
+    dump = sub.add_parser("dump", help="render a btsnoop capture as a table")
+    dump.add_argument("capture")
+    dump.add_argument("--acl", action="store_true", help="include ACL frames")
+    dump.add_argument("--rows", type=int, default=None, help="row limit")
+    dump.set_defaults(func=_cmd_dump)
+
+    usb = sub.add_parser("usb-extract", help="link keys from a raw USB stream")
+    usb.add_argument("stream")
+    usb.set_defaults(func=_cmd_usb_extract)
+
+    b2h = sub.add_parser("bin2hex", help="binary to hex text (BinaryToHex)")
+    b2h.add_argument("stream")
+    b2h.add_argument("--group", type=int, default=1)
+    b2h.add_argument("--width", type=int, default=16)
+    b2h.set_defaults(func=_cmd_bin2hex)
+
+    pcap = sub.add_parser(
+        "pcap", help="convert a btsnoop capture to Wireshark pcap"
+    )
+    pcap.add_argument("capture")
+    pcap.add_argument("-o", "--output", required=True)
+    pcap.set_defaults(func=_cmd_pcap)
+
+    iocap = sub.add_parser("iocap", help="print the Fig. 7 mapping")
+    iocap.add_argument(
+        "--version",
+        default="5.0",
+        choices=[v.value for v in BluetoothVersion],
+    )
+    iocap.set_defaults(func=_cmd_iocap)
+
+    demo = sub.add_parser("demo", help="run a simulated attack end to end")
+    demo.add_argument(
+        "scenario", choices=["extraction", "page-blocking", "exfiltration"]
+    )
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The simulated Bluetooth controller.
+
+A :class:`~repro.controller.controller.Controller` is the chipset-side
+half of a device: it owns the BD_ADDR, talks to the radio medium below
+and to the host stack above (through an HCI transport), and runs the
+Link Manager Protocol — connection accept, challenge-response
+authentication, Secure Simple Pairing and E0 encryption.
+
+Everything security-relevant about the paper happens at this layer's
+*boundary*: the controller has no room to store link keys, so it asks
+the host for them over HCI (``HCI_Link_Key_Request`` → plaintext
+``HCI_Link_Key_Request_Reply``), and hands new keys up over HCI
+(``HCI_Link_Key_Notification``).
+"""
+
+from repro.controller.controller import AclLink, Controller
+from repro.controller import lmp
+
+__all__ = ["AclLink", "Controller", "lmp"]

@@ -1,0 +1,276 @@
+"""Link Manager Protocol PDUs.
+
+LMP runs controller-to-controller over the air.  We model PDUs as
+dataclasses rather than byte layouts: unlike HCI — where the paper's
+attacks operate on real byte formats — LMP fidelity matters only at
+the protocol-logic level (who challenges whom, what is verified, what
+happens on timeout).
+
+The PDU set covers the procedures the paper touches: connection
+accept/reject, legacy challenge-response authentication
+(``LMP_au_rand`` / ``LMP_sres``), the full SSP transaction (IO
+capability exchange, ECDH public keys, commitment/nonce exchange,
+DHKey check), encryption start and detach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LmpPdu:
+    """Base class for all LMP PDUs."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+# -- connection setup ----------------------------------------------------
+
+
+@dataclass
+class LmpConnectionAccepted(LmpPdu):
+    """Responder's host accepted the incoming connection."""
+
+    responder_cod: int
+
+
+@dataclass
+class LmpConnectionRejected(LmpPdu):
+    """Responder's host rejected the incoming connection."""
+
+    reason: int
+
+
+@dataclass
+class LmpDetach(LmpPdu):
+    """Link teardown with an HCI error reason."""
+
+    reason: int
+
+
+@dataclass
+class LmpFeaturesInfo(LmpPdu):
+    """Feature exchange subset: SSP and Secure Connections support.
+
+    Legacy (pre-2.1) devices answer ``ssp_supported=False``, steering
+    pairing to the E22/E21 PIN procedure.  ``secure_auth`` advertises
+    the h4/h5 *mutual* authentication of Secure Connections (used only
+    when both sides opt in).
+    """
+
+    ssp_supported: bool
+    secure_auth: bool = False
+
+
+# -- legacy authentication -------------------------------------------------
+
+
+@dataclass
+class LmpAuRand(LmpPdu):
+    """Verifier's 16-byte challenge."""
+
+    rand: bytes
+
+
+@dataclass
+class LmpSres(LmpPdu):
+    """Prover's 4-byte response: E1(link key, AU_RAND, prover address)."""
+
+    sres: bytes
+
+
+@dataclass
+class LmpNotAccepted(LmpPdu):
+    """Refusal of a prior PDU (e.g. key missing on the prover)."""
+
+    rejected: str
+    reason: int
+
+
+# -- secure connections mutual authentication ---------------------------------
+
+
+@dataclass
+class LmpAuRandSC(LmpPdu):
+    """Verifier's challenge opening an h4/h5 *mutual* authentication."""
+
+    rand: bytes
+
+
+@dataclass
+class LmpScAuthResponse(LmpPdu):
+    """Prover's nonce plus its half of the h5 response."""
+
+    rand: bytes
+    sres: bytes
+
+
+@dataclass
+class LmpScAuthConfirm(LmpPdu):
+    """Verifier's half of the h5 response — this is what makes the
+    exchange mutual: the prover checks the verifier too (the gap BIAS
+    exploited in one-way legacy authentication)."""
+
+    sres: bytes
+
+
+# -- legacy PIN pairing -------------------------------------------------------
+
+
+@dataclass
+class LmpInRand(LmpPdu):
+    """Initialization random number for E22 (legacy pairing start).
+
+    Travels in the clear — the root weakness behind offline PIN
+    cracking (Shaked & Wool; the paper's refs [14][15]).
+    """
+
+    rand: bytes
+
+
+@dataclass
+class LmpCombKey(LmpPdu):
+    """A combination-key contribution: LK_RAND XOR K_init."""
+
+    masked_rand: bytes
+
+
+@dataclass
+class LmpLegacyComplete(LmpPdu):
+    """Initiator verified the new combination key; pairing is done."""
+
+
+# -- secure simple pairing ---------------------------------------------------
+
+
+@dataclass
+class LmpIoCapabilityReq(LmpPdu):
+    """Initiator announces IO capability / OOB / auth requirements."""
+
+    io_capability: int
+    oob_data_present: int
+    authentication_requirements: int
+
+
+@dataclass
+class LmpIoCapabilityRes(LmpPdu):
+    """Responder's IO capability answer."""
+
+    io_capability: int
+    oob_data_present: int
+    authentication_requirements: int
+
+
+@dataclass
+class LmpEncapsulatedKey(LmpPdu):
+    """ECDH public key (uncompressed X||Y bytes) and curve name."""
+
+    public_key: bytes
+    curve: str  # "P-192" or "P-256"
+
+
+@dataclass
+class LmpSimplePairingConfirm(LmpPdu):
+    """Commitment value Cb = f1(PKbx, PKax, Nb, 0)."""
+
+    commitment: bytes
+
+
+@dataclass
+class LmpSimplePairingNumber(LmpPdu):
+    """A 16-byte pairing nonce (Na or Nb)."""
+
+    nonce: bytes
+
+
+@dataclass
+class LmpPasskeyConfirm(LmpPdu):
+    """One round of the Passkey Entry commitment protocol.
+
+    ``round_index`` runs 0..19 (one round per passkey bit); the
+    commitment is f1(PKx, PKy, N_i, 0x80 | bit).
+    """
+
+    round_index: int
+    commitment: bytes
+
+
+@dataclass
+class LmpPasskeyNumber(LmpPdu):
+    """Reveal of the round nonce N_i for verification."""
+
+    round_index: int
+    nonce: bytes
+
+
+@dataclass
+class LmpStage1Confirmed(LmpPdu):
+    """This side's user (or auto-) confirmation of authentication stage 1."""
+
+
+@dataclass
+class LmpDhkeyCheck(LmpPdu):
+    """Authentication stage 2 check value (f3 output)."""
+
+    check: bytes
+
+
+# -- encryption --------------------------------------------------------------
+
+
+@dataclass
+class LmpEncryptionModeReq(LmpPdu):
+    """Request to switch encryption on or off."""
+
+    enable: bool
+
+
+@dataclass
+class LmpEncryptionKeySizeReq(LmpPdu):
+    """Proposal for the encryption key size in bytes (1..16).
+
+    The negotiation the KNOB attack drives down to 1: the spec lets
+    either side lower the proposal and (pre-5.1 erratum) accepts any
+    size ≥ 1.
+    """
+
+    size: int
+
+
+@dataclass
+class LmpEncryptionKeySizeRes(LmpPdu):
+    """Acceptance (or refusal) of a key size proposal."""
+
+    size: int
+    accepted: bool
+
+
+@dataclass
+class LmpStartEncryption(LmpPdu):
+    """Carries EN_RAND; both sides then derive Kc = E3(key, EN_RAND, COF)."""
+
+    en_rand: bytes
+
+
+@dataclass
+class LmpStopEncryption(LmpPdu):
+    """Encryption pause."""
+
+
+@dataclass
+class LmpScoSetup(LmpPdu):
+    """Request (or confirm) a synchronous audio channel on this link."""
+
+    accept: bool
+
+
+# -- host-layer payloads ------------------------------------------------------
+
+
+@dataclass
+class AclPayload(LmpPdu):
+    """An ACL user-data frame (L2CAP bytes); may travel E0-encrypted."""
+
+    data: bytes

@@ -1,0 +1,224 @@
+"""LMP PDU wire serialization (Core Specification Vol 2, Part C).
+
+Inside the simulation LMP PDUs travel as Python objects, but forensic
+tooling (air pcap export, transcript analysis) wants bytes.  This
+module packs/unpacks our PDU set using the spec's real opcode numbers
+where they exist; simulation-only control PDUs (connection accept,
+feature info, SC mutual auth) use extended opcodes in the
+escape-4 (0x7F) space so the format stays unambiguous.
+
+Wire layout: ``opcode(1) | tid(1) | payload``.  For extended opcodes:
+``0x7F | tid | ext_opcode(1) | payload``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type
+
+from repro.core.errors import HciError
+from repro.controller import lmp
+
+_ESCAPE = 0x7F
+
+# Spec opcodes (subset used by the simulation).
+OP_IN_RAND = 8
+OP_COMB_KEY = 9
+OP_AU_RAND = 11
+OP_SRES = 12
+OP_DETACH = 7
+OP_ENCRYPTION_MODE_REQ = 15
+OP_ENCRYPTION_KEY_SIZE_REQ = 16
+OP_START_ENCRYPTION_REQ = 17
+OP_STOP_ENCRYPTION_REQ = 18
+OP_NOT_ACCEPTED = 4
+OP_IO_CAPABILITY_REQ = 25  # escape-4 extended in the real spec
+OP_IO_CAPABILITY_RES = 26
+OP_ENCAPSULATED_PAYLOAD = 62
+OP_SIMPLE_PAIRING_CONFIRM = 63
+OP_SIMPLE_PAIRING_NUMBER = 64
+OP_DHKEY_CHECK = 65
+
+# Simulation-extended opcodes (escape space).
+EXT_CONNECTION_ACCEPTED = 0x80
+EXT_CONNECTION_REJECTED = 0x81
+EXT_FEATURES_INFO = 0x82
+EXT_STAGE1_CONFIRMED = 0x83
+EXT_PASSKEY_CONFIRM = 0x84
+EXT_PASSKEY_NUMBER = 0x85
+EXT_AU_RAND_SC = 0x86
+EXT_SC_AUTH_RESPONSE = 0x87
+EXT_SC_AUTH_CONFIRM = 0x88
+EXT_LEGACY_COMPLETE = 0x89
+EXT_ENCRYPTION_KEY_SIZE_RES = 0x8A
+EXT_ACL_PAYLOAD = 0x8B
+EXT_SCO_SETUP = 0x8C
+
+
+def _u8(value: int) -> bytes:
+    return bytes([value & 0xFF])
+
+
+def _lv(data: bytes) -> bytes:
+    """Length-prefixed bytes (2-byte little-endian length)."""
+    return len(data).to_bytes(2, "little") + data
+
+
+def _read_lv(raw: bytes, offset: int) -> Tuple[bytes, int]:
+    length = int.from_bytes(raw[offset : offset + 2], "little")
+    start = offset + 2
+    return raw[start : start + length], start + length
+
+
+def serialize_lmp(pdu: lmp.LmpPdu, tid: int = 0) -> bytes:
+    """Pack one PDU into wire bytes."""
+    packer = _PACKERS.get(type(pdu))
+    if packer is None:
+        raise HciError(f"no wire format for {type(pdu).__name__}")
+    opcode, payload = packer(pdu)
+    if opcode >= 0x80:
+        return bytes([_ESCAPE, tid & 0xFF, opcode]) + payload
+    return bytes([opcode, tid & 0xFF]) + payload
+
+
+def parse_lmp(raw: bytes) -> lmp.LmpPdu:
+    """Unpack wire bytes into a PDU."""
+    if len(raw) < 2:
+        raise HciError("LMP packet too short")
+    if raw[0] == _ESCAPE:
+        if len(raw) < 3:
+            raise HciError("truncated extended LMP packet")
+        opcode, payload = raw[2], raw[3:]
+    else:
+        opcode, payload = raw[0], raw[2:]
+    unpacker = _UNPACKERS.get(opcode)
+    if unpacker is None:
+        raise HciError(f"unknown LMP opcode {opcode:#04x}")
+    try:
+        return unpacker(payload)
+    except (IndexError, ValueError, UnicodeDecodeError) as exc:
+        raise HciError(
+            f"malformed LMP payload for opcode {opcode:#04x}: {exc}"
+        ) from exc
+
+
+# ------------------------------------------------------------------ packers
+
+_PACKERS: Dict[Type[lmp.LmpPdu], Callable] = {
+    lmp.LmpAuRand: lambda p: (OP_AU_RAND, p.rand),
+    lmp.LmpSres: lambda p: (OP_SRES, p.sres),
+    lmp.LmpDetach: lambda p: (OP_DETACH, _u8(p.reason)),
+    lmp.LmpInRand: lambda p: (OP_IN_RAND, p.rand),
+    lmp.LmpCombKey: lambda p: (OP_COMB_KEY, p.masked_rand),
+    lmp.LmpEncryptionModeReq: lambda p: (
+        OP_ENCRYPTION_MODE_REQ,
+        _u8(int(p.enable)),
+    ),
+    lmp.LmpEncryptionKeySizeReq: lambda p: (
+        OP_ENCRYPTION_KEY_SIZE_REQ,
+        _u8(p.size),
+    ),
+    lmp.LmpStartEncryption: lambda p: (OP_START_ENCRYPTION_REQ, p.en_rand),
+    lmp.LmpStopEncryption: lambda p: (OP_STOP_ENCRYPTION_REQ, b""),
+    lmp.LmpNotAccepted: lambda p: (
+        OP_NOT_ACCEPTED,
+        _u8(p.reason) + p.rejected.encode("utf-8"),
+    ),
+    lmp.LmpIoCapabilityReq: lambda p: (
+        OP_IO_CAPABILITY_REQ,
+        bytes(
+            [p.io_capability, p.oob_data_present, p.authentication_requirements]
+        ),
+    ),
+    lmp.LmpIoCapabilityRes: lambda p: (
+        OP_IO_CAPABILITY_RES,
+        bytes(
+            [p.io_capability, p.oob_data_present, p.authentication_requirements]
+        ),
+    ),
+    lmp.LmpEncapsulatedKey: lambda p: (
+        OP_ENCAPSULATED_PAYLOAD,
+        _u8(len(p.curve)) + p.curve.encode("ascii") + p.public_key,
+    ),
+    lmp.LmpSimplePairingConfirm: lambda p: (
+        OP_SIMPLE_PAIRING_CONFIRM,
+        p.commitment,
+    ),
+    lmp.LmpSimplePairingNumber: lambda p: (OP_SIMPLE_PAIRING_NUMBER, p.nonce),
+    lmp.LmpDhkeyCheck: lambda p: (OP_DHKEY_CHECK, p.check),
+    lmp.LmpConnectionAccepted: lambda p: (
+        EXT_CONNECTION_ACCEPTED,
+        p.responder_cod.to_bytes(3, "little"),
+    ),
+    lmp.LmpConnectionRejected: lambda p: (
+        EXT_CONNECTION_REJECTED,
+        _u8(p.reason),
+    ),
+    lmp.LmpFeaturesInfo: lambda p: (
+        EXT_FEATURES_INFO,
+        bytes([int(p.ssp_supported), int(p.secure_auth)]),
+    ),
+    lmp.LmpStage1Confirmed: lambda p: (EXT_STAGE1_CONFIRMED, b""),
+    lmp.LmpPasskeyConfirm: lambda p: (
+        EXT_PASSKEY_CONFIRM,
+        _u8(p.round_index) + p.commitment,
+    ),
+    lmp.LmpPasskeyNumber: lambda p: (
+        EXT_PASSKEY_NUMBER,
+        _u8(p.round_index) + p.nonce,
+    ),
+    lmp.LmpAuRandSC: lambda p: (EXT_AU_RAND_SC, p.rand),
+    lmp.LmpScAuthResponse: lambda p: (
+        EXT_SC_AUTH_RESPONSE,
+        p.rand + p.sres,
+    ),
+    lmp.LmpScAuthConfirm: lambda p: (EXT_SC_AUTH_CONFIRM, p.sres),
+    lmp.LmpLegacyComplete: lambda p: (EXT_LEGACY_COMPLETE, b""),
+    lmp.LmpEncryptionKeySizeRes: lambda p: (
+        EXT_ENCRYPTION_KEY_SIZE_RES,
+        bytes([p.size, int(p.accepted)]),
+    ),
+    lmp.AclPayload: lambda p: (EXT_ACL_PAYLOAD, _lv(p.data)),
+    lmp.LmpScoSetup: lambda p: (EXT_SCO_SETUP, _u8(int(p.accept))),
+}
+
+# ---------------------------------------------------------------- unpackers
+
+_UNPACKERS: Dict[int, Callable[[bytes], lmp.LmpPdu]] = {
+    OP_AU_RAND: lambda d: lmp.LmpAuRand(d[:16]),
+    OP_SRES: lambda d: lmp.LmpSres(d[:4]),
+    OP_DETACH: lambda d: lmp.LmpDetach(d[0]),
+    OP_IN_RAND: lambda d: lmp.LmpInRand(d[:16]),
+    OP_COMB_KEY: lambda d: lmp.LmpCombKey(d[:16]),
+    OP_ENCRYPTION_MODE_REQ: lambda d: lmp.LmpEncryptionModeReq(bool(d[0])),
+    OP_ENCRYPTION_KEY_SIZE_REQ: lambda d: lmp.LmpEncryptionKeySizeReq(d[0]),
+    OP_START_ENCRYPTION_REQ: lambda d: lmp.LmpStartEncryption(d[:16]),
+    OP_STOP_ENCRYPTION_REQ: lambda d: lmp.LmpStopEncryption(),
+    OP_NOT_ACCEPTED: lambda d: lmp.LmpNotAccepted(
+        d[1:].decode("utf-8", errors="replace"), d[0]
+    ),
+    OP_IO_CAPABILITY_REQ: lambda d: lmp.LmpIoCapabilityReq(d[0], d[1], d[2]),
+    OP_IO_CAPABILITY_RES: lambda d: lmp.LmpIoCapabilityRes(d[0], d[1], d[2]),
+    OP_ENCAPSULATED_PAYLOAD: lambda d: lmp.LmpEncapsulatedKey(
+        d[1 + d[0] :], d[1 : 1 + d[0]].decode("ascii")
+    ),
+    OP_SIMPLE_PAIRING_CONFIRM: lambda d: lmp.LmpSimplePairingConfirm(d[:16]),
+    OP_SIMPLE_PAIRING_NUMBER: lambda d: lmp.LmpSimplePairingNumber(d[:16]),
+    OP_DHKEY_CHECK: lambda d: lmp.LmpDhkeyCheck(d[:16]),
+    EXT_CONNECTION_ACCEPTED: lambda d: lmp.LmpConnectionAccepted(
+        int.from_bytes(d[:3], "little")
+    ),
+    EXT_CONNECTION_REJECTED: lambda d: lmp.LmpConnectionRejected(d[0]),
+    EXT_FEATURES_INFO: lambda d: lmp.LmpFeaturesInfo(bool(d[0]), bool(d[1])),
+    EXT_STAGE1_CONFIRMED: lambda d: lmp.LmpStage1Confirmed(),
+    EXT_PASSKEY_CONFIRM: lambda d: lmp.LmpPasskeyConfirm(d[0], d[1:17]),
+    EXT_PASSKEY_NUMBER: lambda d: lmp.LmpPasskeyNumber(d[0], d[1:17]),
+    EXT_AU_RAND_SC: lambda d: lmp.LmpAuRandSC(d[:16]),
+    EXT_SC_AUTH_RESPONSE: lambda d: lmp.LmpScAuthResponse(d[:16], d[16:20]),
+    EXT_SC_AUTH_CONFIRM: lambda d: lmp.LmpScAuthConfirm(d[:4]),
+    EXT_LEGACY_COMPLETE: lambda d: lmp.LmpLegacyComplete(),
+    EXT_ENCRYPTION_KEY_SIZE_RES: lambda d: lmp.LmpEncryptionKeySizeRes(
+        d[0], bool(d[1])
+    ),
+    EXT_ACL_PAYLOAD: lambda d: lmp.AclPayload(_read_lv(d, 0)[0]),
+    EXT_SCO_SETUP: lambda d: lmp.LmpScoSetup(bool(d[0])),
+}

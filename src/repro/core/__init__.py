@@ -1,0 +1,40 @@
+"""Core Bluetooth value types shared by every layer.
+
+These are the vocabulary types of the whole reproduction: Bluetooth
+device addresses, link keys, Class-of-Device values, IO capabilities,
+association models and protocol versions.
+"""
+
+from repro.core.types import (
+    AssociationModel,
+    AuthenticationRequirements,
+    BdAddr,
+    BluetoothVersion,
+    ClassOfDevice,
+    IoCapability,
+    LinkKey,
+    LinkKeyType,
+    LinkType,
+)
+from repro.core.errors import (
+    BluetoothError,
+    HciError,
+    PairingError,
+    SecurityError,
+)
+
+__all__ = [
+    "AssociationModel",
+    "AuthenticationRequirements",
+    "BdAddr",
+    "BluetoothVersion",
+    "ClassOfDevice",
+    "IoCapability",
+    "LinkKey",
+    "LinkKeyType",
+    "LinkType",
+    "BluetoothError",
+    "HciError",
+    "PairingError",
+    "SecurityError",
+]

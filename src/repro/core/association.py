@@ -1,0 +1,48 @@
+"""Association model selection — spec logic shared by host and controller.
+
+Given the two IO capabilities exchanged at the start of SSP, the
+specification (Vol 3, Part C, 5.2.2.6) picks one of the association
+models.  Both the controller (which must run the right authentication
+stage 1 protocol) and the host (which must decide what to show the
+user) need this mapping, so it lives in core.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import AssociationModel, IoCapability
+
+
+def select_association_model(
+    initiator_io: IoCapability, responder_io: IoCapability
+) -> AssociationModel:
+    """Pick the SSP association model from the two IO capabilities.
+
+    The downgrade pivot of the page blocking attack: any
+    ``NoInputNoOutput`` participant forces Just Works.
+    """
+    no_io = IoCapability.NO_INPUT_NO_OUTPUT
+    if initiator_io is no_io or responder_io is no_io:
+        return AssociationModel.JUST_WORKS
+    keyboard = IoCapability.KEYBOARD_ONLY
+    if initiator_io is keyboard or responder_io is keyboard:
+        return AssociationModel.PASSKEY_ENTRY
+    display_only = IoCapability.DISPLAY_ONLY
+    if initiator_io is display_only or responder_io is display_only:
+        # A display-only device cannot answer Yes/No: Just Works.
+        return AssociationModel.JUST_WORKS
+    return AssociationModel.NUMERIC_COMPARISON
+
+
+def passkey_displayer_is_initiator(
+    initiator_io: IoCapability, responder_io: IoCapability
+) -> bool:
+    """For Passkey Entry: which side displays (the other side types).
+
+    A KeyboardOnly device always types; if both can display, the
+    initiator displays.
+    """
+    if initiator_io is IoCapability.KEYBOARD_ONLY:
+        return False
+    if responder_io is IoCapability.KEYBOARD_ONLY:
+        return True
+    return True

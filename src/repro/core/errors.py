@@ -1,0 +1,31 @@
+"""Exception hierarchy for the simulated Bluetooth system."""
+
+from __future__ import annotations
+
+
+class BluetoothError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+
+class HciError(BluetoothError):
+    """An HCI-layer protocol violation (bad packet, unknown opcode...)."""
+
+
+class PairingError(BluetoothError):
+    """A pairing / SSP procedure failed."""
+
+
+class SecurityError(BluetoothError):
+    """An LMP authentication or encryption procedure failed."""
+
+
+class TransportError(BluetoothError):
+    """An HCI transport framing/IO error."""
+
+
+class StorageError(BluetoothError):
+    """A simulated filesystem / bonding-storage error."""
+
+
+class AttackError(BluetoothError):
+    """An attack procedure could not be carried out."""

@@ -1,0 +1,91 @@
+"""A tiny virtual filesystem with permission bits.
+
+Devices store bonding databases, BD_ADDR files and HCI snoop logs in
+simulated files.  Each file carries a ``requires_su`` flag: reading it
+without superuser raises :class:`PermissionError`, which is how Table
+I's rightmost column ("SU privilege required") falls out of the model
+— e.g. Android's ``/data/misc/bluetooth/logs`` is SU-protected but the
+*bug report* path copies it out unprivileged, while on Ubuntu both
+hcidump and ``/var/lib/bluetooth`` genuinely need root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import StorageError
+
+
+@dataclass
+class FileNode:
+    """One file: content plus an SU-required permission bit."""
+
+    content: bytes
+    requires_su: bool = False
+
+
+@dataclass
+class VirtualFilesystem:
+    """Path → file map with permission-checked access."""
+
+    files: Dict[str, FileNode] = field(default_factory=dict)
+
+    def write(self, path: str, content: bytes, requires_su: bool = False) -> None:
+        """Create or overwrite a file (system-side write, no checks)."""
+        existing = self.files.get(path)
+        if existing is not None:
+            existing.content = content
+        else:
+            self.files[path] = FileNode(content=content, requires_su=requires_su)
+
+    def read(self, path: str, su: bool = False) -> bytes:
+        """Read a file, enforcing the SU bit."""
+        node = self.files.get(path)
+        if node is None:
+            raise FileNotFoundError(path)
+        if node.requires_su and not su:
+            raise PermissionError(f"{path} requires superuser privilege")
+        return node.content
+
+    def user_write(self, path: str, content: bytes, su: bool = False) -> None:
+        """Write as a (possibly unprivileged) user."""
+        node = self.files.get(path)
+        if node is not None and node.requires_su and not su:
+            raise PermissionError(f"{path} requires superuser privilege")
+        if node is None:
+            self.files[path] = FileNode(content=content, requires_su=False)
+        else:
+            node.content = content
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def delete(self, path: str, su: bool = False) -> None:
+        node = self.files.get(path)
+        if node is None:
+            raise FileNotFoundError(path)
+        if node.requires_su and not su:
+            raise PermissionError(f"{path} requires superuser privilege")
+        del self.files[path]
+
+    def listdir(self, prefix: str) -> List[str]:
+        """All paths under a prefix (no permission check on names)."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(path for path in self.files if path.startswith(prefix))
+
+    def read_text(self, path: str, su: bool = False) -> str:
+        return self.read(path, su=su).decode("utf-8")
+
+    def write_text(
+        self, path: str, text: str, requires_su: bool = False
+    ) -> None:
+        self.write(path, text.encode("utf-8"), requires_su=requires_su)
+
+
+def require(fs: Optional[VirtualFilesystem]) -> VirtualFilesystem:
+    """Helper: raise if a filesystem is missing where one is needed."""
+    if fs is None:
+        raise StorageError("this operation needs a device filesystem")
+    return fs

@@ -1,0 +1,80 @@
+"""Cryptographic primitives of Bluetooth BR/EDR, implemented from scratch.
+
+This package provides every algorithm the simulated stack needs:
+
+* :mod:`repro.crypto.safer` — the SAFER+ block cipher (Ar and the
+  modified Ar' round used by the Bluetooth authentication functions).
+* :mod:`repro.crypto.legacy` — E1 (LMP challenge-response), E21/E22
+  (legacy key generation) and E3 (encryption key generation).
+* :mod:`repro.crypto.e0` — the E0 stream cipher used for BR/EDR link
+  encryption; the eavesdropping demo decrypts E0 ciphertext with an
+  extracted link key.
+* :mod:`repro.crypto.ecc` — P-192 and P-256 elliptic-curve groups and
+  ECDH, used by Secure Simple Pairing.
+* :mod:`repro.crypto.ssp` — the SSP functions f1/f2/f3/g (both the
+  SHA-256 based P-192 family and the HMAC based P-256 family) plus
+  h3/h4/h5.
+
+Fidelity note: official Bluetooth SIG test vectors are not reachable in
+this offline environment, so byte-exact interoperability with silicon
+is not asserted; the algorithms follow the specification's published
+structure and are validated by internal-consistency and property tests,
+which is sufficient for the closed simulation (both endpoints run the
+same code, exactly as both real endpoints run the same spec).
+"""
+
+from repro.crypto.safer import SaferPlus, saferplus_ar, saferplus_ar_prime
+from repro.crypto.legacy import e1, e21, e22, e3, reduce_key_entropy
+from repro.crypto.e0 import E0Cipher, e0_encrypt, e0_keystream
+from repro.crypto.ecc import (
+    CurveParams,
+    EccKeyPair,
+    EccPoint,
+    P192,
+    P256,
+    ecdh_shared_secret,
+    generate_keypair,
+)
+from repro.crypto.ssp import (
+    f1_p192,
+    f1_p256,
+    f2_p192,
+    f2_p256,
+    f3_p192,
+    f3_p256,
+    g_numeric,
+    h3,
+    h4,
+    h5,
+)
+
+__all__ = [
+    "SaferPlus",
+    "saferplus_ar",
+    "saferplus_ar_prime",
+    "e1",
+    "e21",
+    "e22",
+    "e3",
+    "reduce_key_entropy",
+    "E0Cipher",
+    "e0_encrypt",
+    "e0_keystream",
+    "CurveParams",
+    "EccKeyPair",
+    "EccPoint",
+    "P192",
+    "P256",
+    "ecdh_shared_secret",
+    "generate_keypair",
+    "f1_p192",
+    "f1_p256",
+    "f2_p192",
+    "f2_p256",
+    "f3_p192",
+    "f3_p256",
+    "g_numeric",
+    "h3",
+    "h4",
+    "h5",
+]

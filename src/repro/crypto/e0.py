@@ -1,0 +1,129 @@
+"""The E0 stream cipher used for BR/EDR link encryption.
+
+E0 is a summation-combiner stream cipher over four LFSRs of lengths
+25, 31, 33 and 39 (128 state bits total) plus a 4-bit blender FSM.
+The keystream bit is the XOR of the four LFSR output bits and one bit
+of the combiner state.
+
+The paper's §IV observes that an attacker holding an extracted link key
+"would be able to decrypt not only the future, but also the past
+communications of M captured by air-sniffers".  The eavesdropping
+benchmark exercises exactly this: traffic encrypted under a session key
+derived from the bonded link key is decrypted offline after the link
+key is pulled out of an HCI dump.
+
+Feedback polynomials (from the Core Specification):
+
+* LFSR1: t^25 + t^20 + t^12 + t^8 + 1
+* LFSR2: t^31 + t^24 + t^16 + t^12 + 1
+* LFSR3: t^33 + t^28 + t^24 + t^4 + 1
+* LFSR4: t^39 + t^36 + t^28 + t^4 + 1
+
+Key loading: the spec's two-level E0 (a payload-key generator feeding a
+second E0 instance per packet) is simplified to a single documented
+premixing step — the state is seeded from ``SHA-256(Kc || BD_ADDR ||
+clock)`` and the cipher is clocked 200 times before producing output.
+The substitution preserves the security-relevant behaviour (keystream
+is a deterministic function of key/address/clock; wrong key yields
+garbage), which is what the reproduction's experiments measure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.core.types import BdAddr
+
+_LFSR_LENGTHS = (25, 31, 33, 39)
+_LFSR_TAPS = (
+    (25, 20, 12, 8),
+    (31, 24, 16, 12),
+    (33, 28, 24, 4),
+    (39, 36, 28, 4),
+)
+# Output tap position (1-indexed from the newest bit) for each register.
+_OUTPUT_TAPS = (24, 24, 32, 32)
+
+_PREMIX_CLOCKS = 200
+
+
+class E0Cipher:
+    """A single-level E0 keystream generator."""
+
+    def __init__(self, kc: bytes, address: BdAddr, clock: int) -> None:
+        if len(kc) != 16:
+            raise ValueError("Kc must be 16 bytes")
+        seed = hashlib.sha256(
+            kc + address.value + clock.to_bytes(4, "big") + b"E0"
+        ).digest()
+        seed_bits = _bits_of(seed)
+        self._registers: List[List[int]] = []
+        offset = 0
+        for length in _LFSR_LENGTHS:
+            register = seed_bits[offset : offset + length]
+            # An all-zero LFSR never leaves the zero state; force a 1.
+            if not any(register):
+                register[0] = 1
+            self._registers.append(register)
+            offset += length
+        # Blender FSM state: c_t and c_{t-1}, two bits each.
+        self._c_t = seed[-1] & 0x3
+        self._c_prev = (seed[-1] >> 2) & 0x3
+        for _ in range(_PREMIX_CLOCKS):
+            self._clock()
+
+    def _clock(self) -> int:
+        """Advance all registers and the blender; return one keystream bit."""
+        outputs = []
+        for index, register in enumerate(self._registers):
+            taps = _LFSR_TAPS[index]
+            feedback = 0
+            for tap in taps:
+                feedback ^= register[tap - 1]
+            outputs.append(register[_OUTPUT_TAPS[index] - 1])
+            register.insert(0, feedback)
+            register.pop()
+        y = sum(outputs)
+        z = (y & 1) ^ (self._c_t & 1)
+        s_next = (y + self._c_t) >> 1
+        # T1/T2 linear maps of the summation combiner.
+        t1 = self._c_t
+        x1, x0 = (self._c_prev >> 1) & 1, self._c_prev & 1
+        t2 = (x0 << 1) | (x1 ^ x0)
+        self._c_prev = self._c_t
+        self._c_t = (s_next ^ t1 ^ t2) & 0x3
+        return z
+
+    def keystream(self, length: int) -> bytes:
+        """Produce ``length`` bytes of keystream."""
+        out = bytearray()
+        for _ in range(length):
+            byte = 0
+            for bit_index in range(8):
+                byte |= self._clock() << bit_index
+            out.append(byte)
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt or decrypt (XOR with keystream)."""
+        stream = self.keystream(len(data))
+        return bytes(d ^ s for d, s in zip(data, stream))
+
+
+def _bits_of(data: bytes) -> List[int]:
+    bits = []
+    for byte in data:
+        for i in range(8):
+            bits.append((byte >> i) & 1)
+    return bits
+
+
+def e0_keystream(kc: bytes, address: BdAddr, clock: int, length: int) -> bytes:
+    """One-shot keystream generation."""
+    return E0Cipher(kc, address, clock).keystream(length)
+
+
+def e0_encrypt(kc: bytes, address: BdAddr, clock: int, payload: bytes) -> bytes:
+    """One-shot encryption (symmetric; also decrypts)."""
+    return E0Cipher(kc, address, clock).process(payload)

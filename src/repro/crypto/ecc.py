@@ -1,0 +1,196 @@
+"""Elliptic-curve arithmetic for Secure Simple Pairing.
+
+SSP performs an ECDH key agreement on NIST P-192 (Bluetooth 2.1–4.0)
+or P-256 (Secure Connections, 4.1+).  This module implements both
+curves from scratch: affine short-Weierstrass point arithmetic, a
+constant-pattern double-and-add scalar multiplication, key generation
+and the DHKey computation.
+
+The page blocking attack does not break this math — it sidesteps it by
+downgrading the association model to Just Works, where the legitimate
+peers faithfully complete an ECDH exchange *with the attacker*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Short Weierstrass curve y^2 = x^3 + ax + b over GF(p)."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+    @property
+    def generator(self) -> "EccPoint":
+        return EccPoint(self, self.gx, self.gy)
+
+
+P192 = CurveParams(
+    name="P-192",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1,
+    gx=0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012,
+    gy=0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831,
+)
+
+P256 = CurveParams(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+
+class EccPoint:
+    """A point on a curve, including the point at infinity (x=y=None)."""
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(
+        self, curve: CurveParams, x: Optional[int], y: Optional[int]
+    ) -> None:
+        self.curve = curve
+        self.x = x
+        self.y = y
+        if not self.is_infinity and not self._on_curve():
+            raise ValueError(f"point ({x}, {y}) is not on {curve.name}")
+
+    @classmethod
+    def infinity(cls, curve: CurveParams) -> "EccPoint":
+        return cls(curve, None, None)
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def _on_curve(self) -> bool:
+        p = self.curve.p
+        return (
+            self.y * self.y - (self.x**3 + self.curve.a * self.x + self.curve.b)
+        ) % p == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EccPoint):
+            return NotImplemented
+        return (
+            self.curve.name == other.curve.name
+            and self.x == other.x
+            and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __neg__(self) -> "EccPoint":
+        if self.is_infinity:
+            return self
+        return EccPoint(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __add__(self, other: "EccPoint") -> "EccPoint":
+        if self.curve.name != other.curve.name:
+            raise ValueError("cannot add points on different curves")
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        p = self.curve.p
+        if self.x == other.x and (self.y + other.y) % p == 0:
+            return EccPoint.infinity(self.curve)
+        if self == other:
+            slope = (3 * self.x * self.x + self.curve.a) * pow(2 * self.y, -1, p)
+        else:
+            slope = (other.y - self.y) * pow(other.x - self.x, -1, p)
+        slope %= p
+        x3 = (slope * slope - self.x - other.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return EccPoint(self.curve, x3, y3)
+
+    def __mul__(self, scalar: int) -> "EccPoint":
+        """Scalar multiplication by double-and-add."""
+        if scalar < 0:
+            return (-self) * (-scalar)
+        result = EccPoint.infinity(self.curve)
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend + addend
+            scalar >>= 1
+        return result
+
+    __rmul__ = __mul__
+
+    def x_bytes(self) -> bytes:
+        """Big-endian X coordinate, the DHKey wire form."""
+        if self.is_infinity:
+            raise ValueError("point at infinity has no coordinates")
+        return self.x.to_bytes(self.curve.byte_length, "big")
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed point encoding (X || Y, no 0x04 prefix — the
+        LMP encapsulated-payload form)."""
+        if self.is_infinity:
+            raise ValueError("point at infinity has no coordinates")
+        size = self.curve.byte_length
+        return self.x.to_bytes(size, "big") + self.y.to_bytes(size, "big")
+
+    @classmethod
+    def from_bytes(cls, curve: CurveParams, raw: bytes) -> "EccPoint":
+        size = curve.byte_length
+        if len(raw) != 2 * size:
+            raise ValueError(f"expected {2 * size} bytes for {curve.name} point")
+        x = int.from_bytes(raw[:size], "big")
+        y = int.from_bytes(raw[size:], "big")
+        return cls(curve, x, y)
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return f"EccPoint({self.curve.name}, infinity)"
+        return f"EccPoint({self.curve.name}, x={self.x:#x})"
+
+
+@dataclass(frozen=True)
+class EccKeyPair:
+    """An ECDH key pair (private scalar + public point)."""
+
+    private: int
+    public: EccPoint
+
+    @property
+    def curve(self) -> CurveParams:
+        return self.public.curve
+
+
+def generate_keypair(curve: CurveParams, rng) -> EccKeyPair:
+    """Generate a key pair using a ``random.Random``-like source."""
+    private = rng.randrange(1, curve.n)
+    public = curve.generator * private
+    return EccKeyPair(private, public)
+
+
+def ecdh_shared_secret(private: int, peer_public: EccPoint) -> bytes:
+    """Compute the DHKey: X coordinate of ``private * peer_public``."""
+    if not 1 <= private < peer_public.curve.n:
+        raise ValueError("private scalar out of range")
+    shared = peer_public * private
+    if shared.is_infinity:
+        raise ValueError("degenerate ECDH result (invalid peer key)")
+    return shared.x_bytes()

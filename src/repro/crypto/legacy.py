@@ -1,0 +1,135 @@
+"""Legacy BR/EDR security functions: E1, E21, E22, E3.
+
+These SAFER+-based functions implement:
+
+* ``E1(link_key, rand, bdaddr) -> (SRES, ACO)`` — the LMP
+  challenge-response.  A verifier sends a 16-byte ``AU_RAND``; the
+  prover answers with ``SRES``; both sides also derive the Authenticated
+  Ciphering Offset (ACO) consumed by encryption key generation.  *This
+  is the function the link key extraction attack ultimately breaks:
+  whoever holds the 128-bit link key can always answer the challenge.*
+* ``E21(rand, bdaddr)`` — unit / combination key generation.
+* ``E22(rand, pin, bdaddr)`` — legacy initialization key from a PIN.
+* ``E3(link_key, rand, cof)`` — encryption key generation; combined
+  with :func:`reduce_key_entropy` this is the negotiated-entropy step
+  the KNOB attack targeted.
+
+Construction follows the Core Specification Vol 2 Part H: E1 applies
+Ar, XORs the intermediate with the challenge, adds the cyclically
+expanded BD_ADDR bytewise mod 256 and runs Ar' under the offset key
+K~; E3 is the same skeleton with the COF in place of the address.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.types import BdAddr, LinkKey
+from repro.crypto.safer import SaferPlus
+
+# Offsets applied to the link key to derive K~ — the eight largest
+# primes below 257 for which 45 is a primitive root, used twice, with
+# the operation alternating ADD / XOR across byte positions.
+_KEY_OFFSETS = (233, 229, 223, 193, 179, 167, 149, 131) * 2
+
+
+def _offset_key(key: bytes) -> bytes:
+    """Derive the modified key K~ used by the second SAFER+ pass."""
+    out = bytearray(16)
+    for i in range(16):
+        if i % 2 == 0:
+            out[i] = (key[i] + _KEY_OFFSETS[i]) % 256
+        else:
+            out[i] = key[i] ^ _KEY_OFFSETS[i]
+    return bytes(out)
+
+
+def _expand_address(address: bytes, length: int = 16) -> bytes:
+    """Cyclically expand a 6-byte BD_ADDR (or other value) to 16 bytes."""
+    if not address:
+        raise ValueError("cannot expand empty value")
+    return bytes(address[i % len(address)] for i in range(length))
+
+
+def _xor16(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _add16(a: bytes, b: bytes) -> bytes:
+    return bytes((x + y) % 256 for x, y in zip(a, b))
+
+
+def e1(link_key: LinkKey, au_rand: bytes, address: BdAddr) -> Tuple[bytes, bytes]:
+    """LMP authentication function.
+
+    Returns ``(SRES, ACO)`` where SRES is 4 bytes (sent over the air by
+    the prover) and ACO is 12 bytes (kept locally, feeds E3).
+    """
+    if len(au_rand) != 16:
+        raise ValueError("AU_RAND must be 16 bytes")
+    cipher = SaferPlus(link_key.value)
+    intermediate = cipher.encrypt(au_rand)
+    mixed = _add16(_xor16(intermediate, au_rand), _expand_address(address.value))
+    tilde = SaferPlus(_offset_key(link_key.value))
+    output = tilde.encrypt_modified(mixed)
+    return output[:4], output[4:16]
+
+
+def e21(rand: bytes, address: BdAddr) -> LinkKey:
+    """Unit/combination key generation.
+
+    Combination keys are built as ``K_AB = E21(RAND_A, addr_A) XOR
+    E21(RAND_B, addr_B)`` during legacy pairing.
+    """
+    if len(rand) != 16:
+        raise ValueError("RAND must be 16 bytes")
+    # Per spec the last RAND byte is XORed with the expansion length (6).
+    tweaked = rand[:15] + bytes([rand[15] ^ 6])
+    cipher = SaferPlus(tweaked)
+    return LinkKey(cipher.encrypt_modified(_expand_address(address.value)))
+
+
+def e22(rand: bytes, pin: bytes, address: BdAddr) -> LinkKey:
+    """Legacy initialization key from a PIN code (1..16 bytes)."""
+    if len(rand) != 16:
+        raise ValueError("RAND must be 16 bytes")
+    if not 1 <= len(pin) <= 16:
+        raise ValueError("PIN must be 1..16 bytes")
+    # Augment the PIN with the address up to 16 bytes, as the spec does.
+    augmented = (pin + address.value)[:16]
+    length = len(augmented)
+    augmented = _expand_address(augmented, 16)
+    tweaked = rand[:15] + bytes([rand[15] ^ length])
+    cipher = SaferPlus(augmented)
+    return LinkKey(cipher.encrypt_modified(tweaked))
+
+
+def e3(link_key: LinkKey, en_rand: bytes, cof: bytes) -> bytes:
+    """Encryption key generation.
+
+    ``cof`` is the Ciphering Offset — normally the ACO from the most
+    recent successful E1 authentication.  Returns the 16-byte Kc.
+    """
+    if len(en_rand) != 16:
+        raise ValueError("EN_RAND must be 16 bytes")
+    if len(cof) != 12:
+        raise ValueError("COF must be 12 bytes")
+    cipher = SaferPlus(link_key.value)
+    intermediate = cipher.encrypt(en_rand)
+    mixed = _add16(_xor16(intermediate, en_rand), _expand_address(cof))
+    tilde = SaferPlus(_offset_key(link_key.value))
+    return tilde.encrypt_modified(mixed)
+
+
+def reduce_key_entropy(kc: bytes, entropy_bytes: int) -> bytes:
+    """Reduce Kc to Kc' with ``entropy_bytes`` bytes of entropy (1..16).
+
+    Models the encryption key size negotiation step (the one the KNOB
+    attack drives down to 1).  The spec reduces modulo a polynomial
+    pair g1/g2; we keep the leading ``entropy_bytes`` bytes and zero the
+    rest, which preserves the property the attacks care about: the
+    keyspace shrinks to ``2**(8*entropy_bytes)``.
+    """
+    if not 1 <= entropy_bytes <= 16:
+        raise ValueError("entropy must be 1..16 bytes")
+    return kc[:entropy_bytes] + b"\x00" * (16 - entropy_bytes)

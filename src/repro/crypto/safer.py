@@ -1,0 +1,179 @@
+"""SAFER+ block cipher (128-bit key variant) and the Bluetooth Ar / Ar'.
+
+SAFER+ (Massey, Khachatrian, Kuregian) is the core primitive of
+Bluetooth BR/EDR legacy security: the authentication function E1 and
+the key-generation functions E21/E22/E3 are all built from two versions
+of it:
+
+* ``Ar``  — plain SAFER+ encryption with a 128-bit key (8 rounds plus
+  an output transform).
+* ``Ar'`` — a modified, deliberately *non-invertible* version in which
+  the round-1 input is re-combined into the round-3 input.
+
+Structure implemented here, following the Core Specification (Vol 2,
+Part H):
+
+* S-boxes: ``e(i) = 45^i mod 257 (mod 256)`` and its inverse ``l``.
+* Key schedule: a 17-byte register (16 key bytes plus their XOR
+  parity), rotated 3 bits left between rounds, with bias words derived
+  from the double application of ``e``.
+* Round: mixed XOR/ADD subkey application, exp/log substitution, mixed
+  ADD/XOR subkey application, then an invertible linear layer built
+  from four iterations of the Pseudo-Hadamard Transform and the
+  "Armenian shuffle" permutation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+BLOCK_SIZE = 16
+ROUNDS = 8
+
+# S-box: e(i) = (45 ** i mod 257) mod 256, and log-inverse.
+EXP_TABLE: List[int] = [pow(45, i, 257) % 256 for i in range(256)]
+LOG_TABLE: List[int] = [0] * 256
+for _i, _v in enumerate(EXP_TABLE):
+    LOG_TABLE[_v] = _i
+
+# Byte positions that get XOR (others get modular ADD) in the first
+# subkey application of each round.  The pattern is the spec's
+# "XOR-ADD-ADD-XOR" repeated across the 16 bytes.
+_XOR_POSITIONS = frozenset({0, 3, 4, 7, 8, 11, 12, 15})
+
+# The "Armenian shuffle" permutation of the linear layer.
+ARMENIAN_SHUFFLE: Sequence[int] = (
+    8, 11, 12, 15, 2, 1, 6, 5, 10, 9, 14, 13, 0, 7, 4, 3,
+)
+
+
+def _pht_pairs(block: List[int]) -> List[int]:
+    """Pseudo-Hadamard Transform on adjacent byte pairs: (2a+b, a+b)."""
+    out = [0] * BLOCK_SIZE
+    for i in range(0, BLOCK_SIZE, 2):
+        a, b = block[i], block[i + 1]
+        out[i] = (2 * a + b) % 256
+        out[i + 1] = (a + b) % 256
+    return out
+
+
+def _permute(block: List[int]) -> List[int]:
+    """Apply the Armenian shuffle."""
+    return [block[ARMENIAN_SHUFFLE[i]] for i in range(BLOCK_SIZE)]
+
+
+def _linear_layer(block: List[int]) -> List[int]:
+    """Four iterations of PHT + shuffle (the SAFER+ diffusion matrix)."""
+    for iteration in range(4):
+        block = _pht_pairs(block)
+        if iteration < 3:
+            block = _permute(block)
+    return block
+
+
+def _mixed_key_xor_add(block: List[int], subkey: Sequence[int]) -> List[int]:
+    """XOR at the corner positions, ADD mod 256 elsewhere."""
+    return [
+        (block[i] ^ subkey[i]) if i in _XOR_POSITIONS else (block[i] + subkey[i]) % 256
+        for i in range(BLOCK_SIZE)
+    ]
+
+
+def _mixed_key_add_xor(block: List[int], subkey: Sequence[int]) -> List[int]:
+    """ADD mod 256 at the corner positions, XOR elsewhere (swapped)."""
+    return [
+        (block[i] + subkey[i]) % 256 if i in _XOR_POSITIONS else (block[i] ^ subkey[i])
+        for i in range(BLOCK_SIZE)
+    ]
+
+
+def _substitute(block: List[int]) -> List[int]:
+    """exp at XOR positions, log at ADD positions."""
+    return [
+        EXP_TABLE[block[i]] if i in _XOR_POSITIONS else LOG_TABLE[block[i]]
+        for i in range(BLOCK_SIZE)
+    ]
+
+
+def _rotl8(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (8 - amount))) & 0xFF
+
+
+class SaferPlus:
+    """SAFER+ with a fixed 128-bit key.
+
+    The expensive part — the key schedule — is done once in the
+    constructor, so repeated encryptions under the same key (the E1
+    usage pattern) are cheap.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != BLOCK_SIZE:
+            raise ValueError(f"SAFER+ key must be 16 bytes, got {len(key)}")
+        self.key = key
+        self._subkeys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """Produce the 17 round subkeys K1..K17."""
+        register = list(key) + [0]
+        parity = 0
+        for byte in key:
+            parity ^= byte
+        register[16] = parity
+
+        subkeys: List[List[int]] = [list(key)]  # K1 = raw key bytes
+        for round_index in range(2, 2 * ROUNDS + 2):  # K2 .. K17
+            register = [_rotl8(byte, 3) for byte in register]
+            selected = [
+                register[(round_index - 1 + j) % 17] for j in range(BLOCK_SIZE)
+            ]
+            bias = [
+                EXP_TABLE[EXP_TABLE[(17 * round_index + j + 1) % 256]]
+                for j in range(BLOCK_SIZE)
+            ]
+            subkeys.append(
+                [(selected[j] + bias[j]) % 256 for j in range(BLOCK_SIZE)]
+            )
+        return subkeys
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Plain Ar: 8 rounds plus the final output transform."""
+        return self._run(plaintext, modified=False)
+
+    def encrypt_modified(self, plaintext: bytes) -> bytes:
+        """Ar': round-1 input recombined into the round-3 input.
+
+        This feedback makes the mapping non-invertible, which is why the
+        spec uses it for the one-way authentication hash.
+        """
+        return self._run(plaintext, modified=True)
+
+    def _run(self, plaintext: bytes, modified: bool) -> bytes:
+        if len(plaintext) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(plaintext)}")
+        block = list(plaintext)
+        round1_input = list(plaintext)
+        for round_number in range(1, ROUNDS + 1):
+            if modified and round_number == 3:
+                # Re-inject the original input using the mixed pattern.
+                block = _mixed_key_xor_add(block, round1_input)
+            k_odd = self._subkeys[2 * round_number - 2]
+            k_even = self._subkeys[2 * round_number - 1]
+            block = _mixed_key_xor_add(block, k_odd)
+            block = _substitute(block)
+            block = _mixed_key_add_xor(block, k_even)
+            block = _linear_layer(block)
+        # Output transform with K17 (mixed XOR/ADD pattern).
+        block = _mixed_key_xor_add(block, self._subkeys[2 * ROUNDS])
+        return bytes(block)
+
+
+def saferplus_ar(key: bytes, block: bytes) -> bytes:
+    """One-shot Ar encryption."""
+    return SaferPlus(key).encrypt(block)
+
+
+def saferplus_ar_prime(key: bytes, block: bytes) -> bytes:
+    """One-shot Ar' (modified, non-invertible) encryption."""
+    return SaferPlus(key).encrypt_modified(block)

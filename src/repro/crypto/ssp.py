@@ -1,0 +1,138 @@
+"""Secure Simple Pairing cryptographic functions.
+
+Two families exist in the specification:
+
+* the original (P-192) SSP of Bluetooth 2.1, built directly from
+  SHA-256, and
+* the Secure Connections (P-256) variant of 4.1+, built from
+  HMAC-SHA-256.
+
+Functions:
+
+* ``f1(U, V, X, Z)`` — commitment value for authentication stage 1.
+* ``g(U, V, X, Y)`` — the six-digit number shown for Numeric
+  Comparison.  **Just Works runs the exact same computation but never
+  shows the number** — which is precisely the gap the page blocking
+  attack's downgrade drives the victim into.
+* ``f2(DHKey, N1, N2, keyID, A1, A2)`` — link key derivation.
+* ``f3(DHKey, N1, N2, R, IOcap, A1, A2)`` — authentication stage 2
+  check values.
+* ``h3 / h4 / h5`` — Secure Connections key conversion / device
+  authentication helpers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.core.types import BdAddr, IoCapability, LinkKey
+
+KEY_ID_BTLK = b"btlk"
+
+
+def _sha256(*parts: bytes) -> bytes:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+    return digest.digest()
+
+
+def _hmac256(key: bytes, *parts: bytes) -> bytes:
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(part)
+    return mac.digest()
+
+
+# ---------------------------------------------------------------- P-192 (SHA)
+
+
+def f1_p192(u: bytes, v: bytes, x: bytes, z: bytes) -> bytes:
+    """Commitment value (128 bits) — SHA-256 family."""
+    return _sha256(u, v, x, z)[:16]
+
+
+def f2_p192(
+    dhkey: bytes, n1: bytes, n2: bytes, key_id: bytes, a1: BdAddr, a2: BdAddr
+) -> LinkKey:
+    """Link key derivation — SHA-256 family."""
+    raw = _sha256(dhkey, n1, n2, key_id, a1.value, a2.value)[:16]
+    return LinkKey(raw)
+
+
+def f3_p192(
+    dhkey: bytes,
+    n1: bytes,
+    n2: bytes,
+    r: bytes,
+    io_cap: bytes,
+    a1: BdAddr,
+    a2: BdAddr,
+) -> bytes:
+    """Check value for authentication stage 2 — SHA-256 family."""
+    return _sha256(dhkey, n1, n2, r, io_cap, a1.value, a2.value)[:16]
+
+
+# --------------------------------------------------------------- P-256 (HMAC)
+
+
+def f1_p256(u: bytes, v: bytes, x: bytes, z: bytes) -> bytes:
+    """Commitment value (128 bits) — HMAC family (keyed by X)."""
+    return _hmac256(x, u, v, z)[:16]
+
+
+def f2_p256(
+    dhkey: bytes, n1: bytes, n2: bytes, key_id: bytes, a1: BdAddr, a2: BdAddr
+) -> LinkKey:
+    """Link key derivation — HMAC family (keyed by DHKey)."""
+    raw = _hmac256(dhkey, n1, n2, key_id, a1.value, a2.value)[:16]
+    return LinkKey(raw)
+
+
+def f3_p256(
+    dhkey: bytes,
+    n1: bytes,
+    n2: bytes,
+    r: bytes,
+    io_cap: bytes,
+    a1: BdAddr,
+    a2: BdAddr,
+) -> bytes:
+    """Check value for authentication stage 2 — HMAC family."""
+    return _hmac256(dhkey, n1, n2, r, io_cap, a1.value, a2.value)[:16]
+
+
+# ------------------------------------------------------------------- g and h*
+
+
+def g_numeric(u: bytes, v: bytes, x: bytes, y: bytes) -> int:
+    """The six-digit Numeric Comparison value.
+
+    ``g = SHA-256(U || V || X || Y) mod 2^32``; the displayed number is
+    ``g mod 10^6``.
+    """
+    g = int.from_bytes(_sha256(u, v, x, y)[-4:], "big")
+    return g % 1_000_000
+
+
+def h3(t: bytes, a1: BdAddr, a2: BdAddr, aco: bytes) -> bytes:
+    """Secure Connections BR/EDR session key derivation."""
+    return _hmac256(t, b"btak", a1.value, a2.value, aco)[:16]
+
+
+def h4(t: bytes, a1: BdAddr, a2: BdAddr) -> bytes:
+    """Secure Connections device authentication key derivation."""
+    return _hmac256(t, b"btdk", a1.value, a2.value)[:16]
+
+
+def h5(key: bytes, r1: bytes, r2: bytes) -> bytes:
+    """Secure Connections authentication response (SRES' || ACO')."""
+    return _hmac256(key, r1, r2)
+
+
+def io_cap_bytes(
+    io_capability: IoCapability, oob_present: bool, auth_requirements: int
+) -> bytes:
+    """The 3-byte IOcap value fed to f3 (cap || oob || authreq)."""
+    return bytes([int(io_capability), int(oob_present), auth_requirements])

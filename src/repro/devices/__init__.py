@@ -1,0 +1,30 @@
+"""Complete simulated devices and the paper's device catalog.
+
+A :class:`~repro.devices.device.Device` bundles a host stack, a
+controller, the HCI transport between them, a virtual filesystem
+(bonding storage, BD_ADDR file, snoop log) and a user model — i.e.
+one phone / PC / accessory.
+
+:mod:`repro.devices.catalog` builds the exact device fleet of the
+paper's evaluation (Tables I and II): six Android phones across
+versions 8/9/11, an iPhone Xs, two Windows 10 PCs with QSENN CSR V4.0
+dongles (Microsoft and CSR Harmony stacks) and an Ubuntu 20.04 BlueZ
+box.
+"""
+
+from repro.devices.device import Device, DeviceSpec
+from repro.devices.catalog import (
+    TABLE1_DEVICE_SPECS,
+    TABLE2_DEVICE_SPECS,
+    build_device,
+    spec_by_key,
+)
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "TABLE1_DEVICE_SPECS",
+    "TABLE2_DEVICE_SPECS",
+    "build_device",
+    "spec_by_key",
+]

@@ -1,0 +1,196 @@
+"""The paper's evaluated device fleet (Tables I and II).
+
+Bluetooth versions are the shipping BR/EDR versions of the physical
+devices: Nexus 5x is a 4.2 part; the 2018+ phones and the iPhone Xs are
+5.0+; the QSENN CSR V4.0 dongle is a Bluetooth 4.0 CSR8510 part.  The
+version matters because it selects the Fig. 7 popup policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.core.types import BdAddr, BluetoothVersion, ClassOfDevice, IoCapability
+from repro.devices.device import Device, DeviceSpec
+from repro.host.stack import StackProfile
+from repro.phy.medium import RadioMedium
+from repro.sim.eventloop import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+def _android(
+    key: str,
+    marketing_name: str,
+    android_version: int,
+    bt_version: BluetoothVersion,
+) -> DeviceSpec:
+    return DeviceSpec(
+        key=key,
+        marketing_name=marketing_name,
+        os=f"Android {android_version}",
+        stack_profile=StackProfile.BLUEDROID,
+        bt_version=bt_version,
+        io_capability=IoCapability.DISPLAY_YES_NO,
+        transport_kind="uart",
+        class_of_device=ClassOfDevice.SMARTPHONE,
+    )
+
+
+NEXUS_5X_A6 = _android("nexus_5x_android6", "Nexus 5x", 6, BluetoothVersion.V4_2)
+NEXUS_5X_A8 = _android("nexus_5x_android8", "Nexus 5x", 8, BluetoothVersion.V4_2)
+LG_V50 = _android("lg_v50_android9", "LG V50", 9, BluetoothVersion.V5_0)
+GALAXY_S8 = _android("galaxy_s8_android9", "Galaxy S8", 9, BluetoothVersion.V5_0)
+PIXEL_2_XL = _android("pixel_2_xl_android11", "Pixel 2 XL", 11, BluetoothVersion.V5_0)
+LG_VELVET = _android("lg_velvet_android11", "LG VELVET", 11, BluetoothVersion.V5_1)
+GALAXY_S21 = _android("galaxy_s21_android11", "Galaxy s21", 11, BluetoothVersion.V5_2)
+
+IPHONE_XS = DeviceSpec(
+    key="iphone_xs_ios1442",
+    marketing_name="iPhone Xs",
+    os="iOS 14.4.2",
+    stack_profile=StackProfile.IOS,
+    bt_version=BluetoothVersion.V5_0,
+    io_capability=IoCapability.DISPLAY_YES_NO,
+    transport_kind="uart",
+    class_of_device=ClassOfDevice.SMARTPHONE,
+)
+
+WINDOWS_MS_DRIVER = DeviceSpec(
+    key="windows10_microsoft",
+    marketing_name="Windows 10 PC (Microsoft Bluetooth Driver)",
+    os="Windows 10",
+    stack_profile=StackProfile.MICROSOFT,
+    bt_version=BluetoothVersion.V4_0,
+    io_capability=IoCapability.DISPLAY_YES_NO,
+    transport_kind="usb",
+    class_of_device=ClassOfDevice.COMPUTER,
+    controller_model="QSENN CSR V4.0",
+)
+
+WINDOWS_CSR_HARMONY = DeviceSpec(
+    key="windows10_csr_harmony",
+    marketing_name="Windows 10 PC (CSR harmony)",
+    os="Windows 10",
+    stack_profile=StackProfile.CSR_HARMONY,
+    bt_version=BluetoothVersion.V4_0,
+    io_capability=IoCapability.DISPLAY_YES_NO,
+    transport_kind="usb",
+    class_of_device=ClassOfDevice.COMPUTER,
+    controller_model="QSENN CSR V4.0",
+)
+
+UBUNTU_2004 = DeviceSpec(
+    key="ubuntu_2004_bluez",
+    marketing_name="Ubuntu 20.04 PC (BlueZ)",
+    os="Ubuntu 20.04",
+    stack_profile=StackProfile.BLUEZ,
+    bt_version=BluetoothVersion.V5_0,
+    io_capability=IoCapability.DISPLAY_YES_NO,
+    transport_kind="usb",
+    class_of_device=ClassOfDevice.COMPUTER,
+    controller_model="QSENN CSR V4.0",
+)
+
+#: An Android Automotive head unit — the Fig. 4 soft target: bluedroid
+#: stack, HCI snoop log reachable from the in-dash developer options,
+#: physically shared with anyone who sits in the car.
+ANDROID_AUTOMOTIVE_HEAD_UNIT = DeviceSpec(
+    key="android_automotive_head_unit",
+    marketing_name="Android Automotive head unit",
+    os="Android 10",
+    stack_profile=StackProfile.BLUEDROID,
+    bt_version=BluetoothVersion.V5_0,
+    io_capability=IoCapability.DISPLAY_YES_NO,
+    transport_kind="uart",
+    class_of_device=ClassOfDevice.HANDSFREE,
+)
+
+HEADSET = DeviceSpec(
+    key="generic_headset",
+    marketing_name="BT Headset",
+    os="RTOS",
+    stack_profile=StackProfile.BLUEDROID,
+    bt_version=BluetoothVersion.V4_2,
+    io_capability=IoCapability.NO_INPUT_NO_OUTPUT,
+    transport_kind="uart",
+    class_of_device=ClassOfDevice.HEADSET,
+)
+
+#: Table I — devices tested (as C) for link key extraction.
+TABLE1_DEVICE_SPECS: List[DeviceSpec] = [
+    NEXUS_5X_A8,
+    LG_V50,
+    GALAXY_S8,
+    PIXEL_2_XL,
+    LG_VELVET,
+    GALAXY_S21,
+    WINDOWS_MS_DRIVER,
+    WINDOWS_CSR_HARMONY,
+    UBUNTU_2004,
+]
+
+#: Table II — devices tested (as M) for the page blocking attack.
+TABLE2_DEVICE_SPECS: List[DeviceSpec] = [
+    IPHONE_XS,
+    NEXUS_5X_A8,
+    LG_V50,
+    GALAXY_S8,
+    PIXEL_2_XL,
+    LG_VELVET,
+    GALAXY_S21,
+]
+
+_ALL_SPECS: Dict[str, DeviceSpec] = {
+    spec.key: spec
+    for spec in [
+        NEXUS_5X_A6,
+        NEXUS_5X_A8,
+        LG_V50,
+        GALAXY_S8,
+        PIXEL_2_XL,
+        LG_VELVET,
+        GALAXY_S21,
+        IPHONE_XS,
+        WINDOWS_MS_DRIVER,
+        WINDOWS_CSR_HARMONY,
+        UBUNTU_2004,
+        ANDROID_AUTOMOTIVE_HEAD_UNIT,
+        HEADSET,
+    ]
+}
+
+
+def spec_by_key(key: str) -> DeviceSpec:
+    """Look up a catalog spec."""
+    return _ALL_SPECS[key]
+
+
+def deterministic_addr(name: str) -> BdAddr:
+    """A stable pseudo-random BD_ADDR derived from a device name."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    raw = bytearray(digest[:6])
+    raw[0] &= 0xFE  # keep it a unicast-looking address
+    return BdAddr(bytes(raw))
+
+
+def build_device(
+    simulator: Simulator,
+    medium: RadioMedium,
+    rng: RngRegistry,
+    spec: DeviceSpec,
+    name: str,
+    bd_addr: Optional[BdAddr] = None,
+    tracer: Optional[Tracer] = None,
+) -> Device:
+    """Instantiate a catalog device on a simulation."""
+    return Device(
+        simulator=simulator,
+        medium=medium,
+        rng=rng,
+        spec=spec,
+        name=name,
+        bd_addr=bd_addr or deterministic_addr(name),
+        tracer=tracer,
+    )

@@ -1,0 +1,47 @@
+"""Host Controller Interface (HCI) packet model.
+
+HCI is the boundary the paper's link key extraction attack lives on:
+the host and controller exchange commands and events across a serial
+transport, link keys included, in plaintext.  This package models that
+boundary bit-exactly:
+
+* :mod:`repro.hci.constants` — opcodes, event codes, error codes.
+* :mod:`repro.hci.packets` — raw packet framing (command / event /
+  ACL data, with the H4 indicator bytes).
+* :mod:`repro.hci.commands` / :mod:`repro.hci.events` — typed packets
+  for every command and event used by BR/EDR discovery, connection,
+  pairing and encryption.
+* :mod:`repro.hci.parser` — bytes back into typed packets (what the
+  HCI dump renderer and the link key extractor are built on).
+"""
+
+from repro.hci.constants import (
+    ErrorCode,
+    EventCode,
+    Ogf,
+    Opcode,
+    PacketIndicator,
+    ScanEnable,
+    opcode_name,
+)
+from repro.hci.packets import HciAclData, HciCommand, HciEvent, HciPacket
+from repro.hci import commands, events
+from repro.hci.parser import parse_packet, parse_h4_stream
+
+__all__ = [
+    "ErrorCode",
+    "EventCode",
+    "Ogf",
+    "Opcode",
+    "PacketIndicator",
+    "ScanEnable",
+    "opcode_name",
+    "HciAclData",
+    "HciCommand",
+    "HciEvent",
+    "HciPacket",
+    "commands",
+    "events",
+    "parse_packet",
+    "parse_h4_stream",
+]

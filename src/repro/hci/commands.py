@@ -1,0 +1,394 @@
+"""Typed HCI commands for BR/EDR discovery, connection and security.
+
+The parameter layouts follow the Core Specification Vol 4, Part E 7.1
+(Link Control), 7.3 (Controller & Baseband) and 7.4 (Informational).
+
+The command the whole first attack revolves around is
+:class:`LinkKeyRequestReply`: its wire form starts with ``0b 04 16``
+(little-endian opcode 0x040B, parameter length 0x16), which is the
+byte signature the paper's USB extractor searches for.
+"""
+
+from __future__ import annotations
+
+from repro.hci.constants import Opcode
+from repro.hci.packets import HciCommand, register_command
+
+
+@register_command
+class Inquiry(HciCommand):
+    """Start device discovery (broadcast the inquiry train)."""
+
+    OPCODE = Opcode.INQUIRY
+    FIELDS = [("lap", "u24"), ("inquiry_length", "u8"), ("num_responses", "u8")]
+
+    GIAC = 0x9E8B33  # General Inquiry Access Code
+
+
+@register_command
+class InquiryCancel(HciCommand):
+    """Stop an ongoing inquiry."""
+
+    OPCODE = Opcode.INQUIRY_CANCEL
+    FIELDS = []
+
+
+@register_command
+class CreateConnection(HciCommand):
+    """Page a remote device to create an ACL connection."""
+
+    OPCODE = Opcode.CREATE_CONNECTION
+    FIELDS = [
+        ("bd_addr", "bdaddr"),
+        ("packet_type", "u16"),
+        ("page_scan_repetition_mode", "u8"),
+        ("reserved", "u8"),
+        ("clock_offset", "u16"),
+        ("allow_role_switch", "u8"),
+    ]
+
+
+@register_command
+class Disconnect(HciCommand):
+    """Terminate an existing connection."""
+
+    OPCODE = Opcode.DISCONNECT
+    FIELDS = [("connection_handle", "u16"), ("reason", "u8")]
+
+
+@register_command
+class CreateConnectionCancel(HciCommand):
+    """Cancel a pending Create_Connection."""
+
+    OPCODE = Opcode.CREATE_CONNECTION_CANCEL
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_command
+class AcceptConnectionRequest(HciCommand):
+    """Accept an incoming connection (the page-blocked victim sends this)."""
+
+    OPCODE = Opcode.ACCEPT_CONNECTION_REQUEST
+    FIELDS = [("bd_addr", "bdaddr"), ("role", "u8")]
+
+
+@register_command
+class RejectConnectionRequest(HciCommand):
+    """Reject an incoming connection."""
+
+    OPCODE = Opcode.REJECT_CONNECTION_REQUEST
+    FIELDS = [("bd_addr", "bdaddr"), ("reason", "u8")]
+
+
+@register_command
+class LinkKeyRequestReply(HciCommand):
+    """Hand the stored link key to the controller — **in plaintext**.
+
+    Parameter length is always 0x16 (6 address + 16 key bytes): the
+    ``0b 04 16`` signature of the paper's Fig. 11 extractor.
+    """
+
+    OPCODE = Opcode.LINK_KEY_REQUEST_REPLY
+    FIELDS = [("bd_addr", "bdaddr"), ("link_key", "linkkey")]
+
+
+@register_command
+class LinkKeyRequestNegativeReply(HciCommand):
+    """Tell the controller no link key is stored (triggers pairing)."""
+
+    OPCODE = Opcode.LINK_KEY_REQUEST_NEGATIVE_REPLY
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_command
+class PinCodeRequestReply(HciCommand):
+    """Legacy pairing PIN reply."""
+
+    OPCODE = Opcode.PIN_CODE_REQUEST_REPLY
+    FIELDS = [("bd_addr", "bdaddr"), ("pin_length", "u8"), ("pin", "bytes:16")]
+
+
+@register_command
+class PinCodeRequestNegativeReply(HciCommand):
+    """Refuse a legacy pairing PIN request."""
+
+    OPCODE = Opcode.PIN_CODE_REQUEST_NEGATIVE_REPLY
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_command
+class AuthenticationRequested(HciCommand):
+    """Start LMP authentication (the first HCI message of a pairing)."""
+
+    OPCODE = Opcode.AUTHENTICATION_REQUESTED
+    FIELDS = [("connection_handle", "u16")]
+
+
+@register_command
+class SetConnectionEncryption(HciCommand):
+    """Enable or disable link-level E0 encryption."""
+
+    OPCODE = Opcode.SET_CONNECTION_ENCRYPTION
+    FIELDS = [("connection_handle", "u16"), ("encryption_enable", "u8")]
+
+
+@register_command
+class RemoteNameRequest(HciCommand):
+    """Fetch a remote device's user-friendly name."""
+
+    OPCODE = Opcode.REMOTE_NAME_REQUEST
+    FIELDS = [
+        ("bd_addr", "bdaddr"),
+        ("page_scan_repetition_mode", "u8"),
+        ("reserved", "u8"),
+        ("clock_offset", "u16"),
+    ]
+
+
+@register_command
+class IoCapabilityRequestReply(HciCommand):
+    """Declare local IO capability for SSP association model selection.
+
+    The page blocking attacker replies ``NoInputNoOutput`` here, which
+    forces Just Works.
+    """
+
+    OPCODE = Opcode.IO_CAPABILITY_REQUEST_REPLY
+    FIELDS = [
+        ("bd_addr", "bdaddr"),
+        ("io_capability", "u8"),
+        ("oob_data_present", "u8"),
+        ("authentication_requirements", "u8"),
+    ]
+
+
+@register_command
+class UserConfirmationRequestReply(HciCommand):
+    """User accepted the (numeric comparison / Just Works) confirmation."""
+
+    OPCODE = Opcode.USER_CONFIRMATION_REQUEST_REPLY
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_command
+class UserConfirmationRequestNegativeReply(HciCommand):
+    """User rejected the confirmation."""
+
+    OPCODE = Opcode.USER_CONFIRMATION_REQUEST_NEGATIVE_REPLY
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_command
+class UserPasskeyRequestReply(HciCommand):
+    """The user typed the 6-digit passkey (Passkey Entry model)."""
+
+    OPCODE = Opcode.USER_PASSKEY_REQUEST_REPLY
+    FIELDS = [("bd_addr", "bdaddr"), ("numeric_value", "u32")]
+
+
+@register_command
+class UserPasskeyRequestNegativeReply(HciCommand):
+    """User refused / failed to provide the passkey."""
+
+    OPCODE = Opcode.USER_PASSKEY_REQUEST_NEGATIVE_REPLY
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_command
+class SetupSynchronousConnection(HciCommand):
+    """Open a SCO/eSCO audio channel on an existing ACL link."""
+
+    OPCODE = Opcode.SETUP_SYNCHRONOUS_CONNECTION
+    FIELDS = [
+        ("connection_handle", "u16"),
+        ("transmit_bandwidth", "u32"),
+        ("receive_bandwidth", "u32"),
+        ("max_latency", "u16"),
+        ("voice_setting", "u16"),
+        ("retransmission_effort", "u8"),
+        ("packet_type", "u16"),
+    ]
+
+
+@register_command
+class RemoteOobDataRequestReply(HciCommand):
+    """Hand the controller the peer's OOB data (C, R) received over the
+    out-of-band channel (e.g. an NFC tap)."""
+
+    OPCODE = Opcode.REMOTE_OOB_DATA_REQUEST_REPLY
+    FIELDS = [("bd_addr", "bdaddr"), ("c", "bytes:16"), ("r", "bytes:16")]
+
+
+@register_command
+class RemoteOobDataRequestNegativeReply(HciCommand):
+    """No OOB data available for this peer."""
+
+    OPCODE = Opcode.REMOTE_OOB_DATA_REQUEST_NEGATIVE_REPLY
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_command
+class ReadLocalOobData(HciCommand):
+    """Generate the local OOB commitment (C, R) for out-of-band transfer."""
+
+    OPCODE = Opcode.READ_LOCAL_OOB_DATA
+    FIELDS = []
+
+
+@register_command
+class IoCapabilityRequestNegativeReply(HciCommand):
+    """Refuse the SSP IO capability exchange."""
+
+    OPCODE = Opcode.IO_CAPABILITY_REQUEST_NEGATIVE_REPLY
+    FIELDS = [("bd_addr", "bdaddr"), ("reason", "u8")]
+
+
+@register_command
+class SetEventMask(HciCommand):
+    """Select which events the controller delivers."""
+
+    OPCODE = Opcode.SET_EVENT_MASK
+    FIELDS = [("event_mask", "bytes:8")]
+
+
+@register_command
+class Reset(HciCommand):
+    """Reset the controller to its power-on state."""
+
+    OPCODE = Opcode.RESET
+    FIELDS = []
+
+
+@register_command
+class WriteLocalName(HciCommand):
+    """Set the user-friendly device name."""
+
+    OPCODE = Opcode.WRITE_LOCAL_NAME
+    FIELDS = [("local_name", "name248")]
+
+
+@register_command
+class ReadLocalName(HciCommand):
+    """Read the user-friendly device name."""
+
+    OPCODE = Opcode.READ_LOCAL_NAME
+    FIELDS = []
+
+
+@register_command
+class ReadStoredLinkKey(HciCommand):
+    """Ask the controller to return keys from its (tiny) local store.
+
+    The keys come back via HCI_Return_Link_Keys — plaintext again.
+    """
+
+    OPCODE = Opcode.READ_STORED_LINK_KEY
+    FIELDS = [("bd_addr", "bdaddr"), ("read_all_flag", "u8")]
+
+
+@register_command
+class WriteStoredLinkKey(HciCommand):
+    """Push a link key into the controller's local store.
+
+    One more plaintext key crossing the HCI: the extractor scans this
+    command too.
+    """
+
+    OPCODE = Opcode.WRITE_STORED_LINK_KEY
+    FIELDS = [("num_keys_to_write", "u8"), ("bd_addr", "bdaddr"), ("link_key", "linkkey")]
+
+
+@register_command
+class DeleteStoredLinkKey(HciCommand):
+    """Remove keys from the controller's local store."""
+
+    OPCODE = Opcode.DELETE_STORED_LINK_KEY
+    FIELDS = [("bd_addr", "bdaddr"), ("delete_all_flag", "u8")]
+
+
+@register_command
+class WritePageTimeout(HciCommand):
+    """Set how long paging may take before giving up (slots)."""
+
+    OPCODE = Opcode.WRITE_PAGE_TIMEOUT
+    FIELDS = [("page_timeout", "u16")]
+
+
+@register_command
+class WriteScanEnable(HciCommand):
+    """Enable/disable inquiry scan and page scan."""
+
+    OPCODE = Opcode.WRITE_SCAN_ENABLE
+    FIELDS = [("scan_enable", "u8")]
+
+
+@register_command
+class WritePageScanActivity(HciCommand):
+    """Set page scan interval/window (slots) — the race knob of Table II."""
+
+    OPCODE = Opcode.WRITE_PAGE_SCAN_ACTIVITY
+    FIELDS = [("page_scan_interval", "u16"), ("page_scan_window", "u16")]
+
+
+@register_command
+class WriteInquiryScanActivity(HciCommand):
+    """Set inquiry scan interval/window (slots)."""
+
+    OPCODE = Opcode.WRITE_INQUIRY_SCAN_ACTIVITY
+    FIELDS = [("inquiry_scan_interval", "u16"), ("inquiry_scan_window", "u16")]
+
+
+@register_command
+class WriteAuthenticationEnable(HciCommand):
+    """Require authentication for all connections."""
+
+    OPCODE = Opcode.WRITE_AUTHENTICATION_ENABLE
+    FIELDS = [("authentication_enable", "u8")]
+
+
+@register_command
+class WriteClassOfDevice(HciCommand):
+    """Set the Class of Device (the attacker rewrites this — Fig. 8)."""
+
+    OPCODE = Opcode.WRITE_CLASS_OF_DEVICE
+    FIELDS = [("class_of_device", "u24")]
+
+
+@register_command
+class WriteInquiryMode(HciCommand):
+    """Standard / with-RSSI / extended inquiry result mode."""
+
+    OPCODE = Opcode.WRITE_INQUIRY_MODE
+    FIELDS = [("inquiry_mode", "u8")]
+
+
+@register_command
+class WriteSimplePairingMode(HciCommand):
+    """Enable Secure Simple Pairing in the controller."""
+
+    OPCODE = Opcode.WRITE_SIMPLE_PAIRING_MODE
+    FIELDS = [("simple_pairing_mode", "u8")]
+
+
+@register_command
+class WriteSecureConnectionsHostSupport(HciCommand):
+    """Advertise Secure Connections (P-256) host support."""
+
+    OPCODE = Opcode.WRITE_SECURE_CONNECTIONS_HOST_SUPPORT
+    FIELDS = [("secure_connections_host_support", "u8")]
+
+
+@register_command
+class ReadLocalVersionInformation(HciCommand):
+    """Read HCI/LMP version info."""
+
+    OPCODE = Opcode.READ_LOCAL_VERSION_INFORMATION
+    FIELDS = []
+
+
+@register_command
+class ReadBdAddr(HciCommand):
+    """Read the controller's BD_ADDR."""
+
+    OPCODE = Opcode.READ_BD_ADDR
+    FIELDS = []

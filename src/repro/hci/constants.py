@@ -1,0 +1,299 @@
+"""HCI numeric constants from the Core Specification (Vol 4, Part E).
+
+Opcodes are 16-bit values combining a 6-bit Opcode Group Field (OGF)
+and a 10-bit Opcode Command Field (OCF): ``opcode = (ogf << 10) | ocf``.
+On the wire they are little-endian, which is why the paper's USB
+extractor greps for ``0b 04 16`` — opcode 0x040B
+(HCI_Link_Key_Request_Reply) followed by its 0x16-byte payload length.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PacketIndicator(enum.IntEnum):
+    """H4/UART packet indicator bytes (also used as btsnoop hints)."""
+
+    COMMAND = 0x01
+    ACL_DATA = 0x02
+    SCO_DATA = 0x03
+    EVENT = 0x04
+
+
+class Ogf(enum.IntEnum):
+    """Opcode Group Fields."""
+
+    LINK_CONTROL = 0x01
+    LINK_POLICY = 0x02
+    CONTROLLER_BASEBAND = 0x03
+    INFORMATIONAL = 0x04
+    STATUS = 0x05
+    TESTING = 0x06
+
+
+def make_opcode(ogf: int, ocf: int) -> int:
+    """Combine OGF and OCF into a 16-bit opcode."""
+    return ((ogf & 0x3F) << 10) | (ocf & 0x3FF)
+
+
+class Opcode(enum.IntEnum):
+    """Command opcodes used by the simulated stack."""
+
+    # Link Control (OGF 0x01)
+    INQUIRY = make_opcode(0x01, 0x0001)
+    INQUIRY_CANCEL = make_opcode(0x01, 0x0002)
+    CREATE_CONNECTION = make_opcode(0x01, 0x0005)
+    DISCONNECT = make_opcode(0x01, 0x0006)
+    CREATE_CONNECTION_CANCEL = make_opcode(0x01, 0x0008)
+    ACCEPT_CONNECTION_REQUEST = make_opcode(0x01, 0x0009)
+    REJECT_CONNECTION_REQUEST = make_opcode(0x01, 0x000A)
+    LINK_KEY_REQUEST_REPLY = make_opcode(0x01, 0x000B)
+    LINK_KEY_REQUEST_NEGATIVE_REPLY = make_opcode(0x01, 0x000C)
+    PIN_CODE_REQUEST_REPLY = make_opcode(0x01, 0x000D)
+    PIN_CODE_REQUEST_NEGATIVE_REPLY = make_opcode(0x01, 0x000E)
+    AUTHENTICATION_REQUESTED = make_opcode(0x01, 0x0011)
+    SET_CONNECTION_ENCRYPTION = make_opcode(0x01, 0x0013)
+    REMOTE_NAME_REQUEST = make_opcode(0x01, 0x0019)
+    READ_REMOTE_SUPPORTED_FEATURES = make_opcode(0x01, 0x001B)
+    READ_REMOTE_VERSION_INFORMATION = make_opcode(0x01, 0x001D)
+    IO_CAPABILITY_REQUEST_REPLY = make_opcode(0x01, 0x002B)
+    USER_CONFIRMATION_REQUEST_REPLY = make_opcode(0x01, 0x002C)
+    USER_CONFIRMATION_REQUEST_NEGATIVE_REPLY = make_opcode(0x01, 0x002D)
+    USER_PASSKEY_REQUEST_REPLY = make_opcode(0x01, 0x002E)
+    USER_PASSKEY_REQUEST_NEGATIVE_REPLY = make_opcode(0x01, 0x002F)
+    SETUP_SYNCHRONOUS_CONNECTION = make_opcode(0x01, 0x0028)
+    REMOTE_OOB_DATA_REQUEST_REPLY = make_opcode(0x01, 0x0030)
+    REMOTE_OOB_DATA_REQUEST_NEGATIVE_REPLY = make_opcode(0x01, 0x0033)
+    IO_CAPABILITY_REQUEST_NEGATIVE_REPLY = make_opcode(0x01, 0x0034)
+
+    # Controller & Baseband (OGF 0x03)
+    SET_EVENT_MASK = make_opcode(0x03, 0x0001)
+    RESET = make_opcode(0x03, 0x0003)
+    WRITE_LOCAL_NAME = make_opcode(0x03, 0x0013)
+    READ_LOCAL_NAME = make_opcode(0x03, 0x0014)
+    READ_STORED_LINK_KEY = make_opcode(0x03, 0x000D)
+    WRITE_STORED_LINK_KEY = make_opcode(0x03, 0x0011)
+    DELETE_STORED_LINK_KEY = make_opcode(0x03, 0x0012)
+    WRITE_PAGE_TIMEOUT = make_opcode(0x03, 0x0018)
+    WRITE_SCAN_ENABLE = make_opcode(0x03, 0x001A)
+    WRITE_PAGE_SCAN_ACTIVITY = make_opcode(0x03, 0x001C)
+    WRITE_INQUIRY_SCAN_ACTIVITY = make_opcode(0x03, 0x001E)
+    WRITE_AUTHENTICATION_ENABLE = make_opcode(0x03, 0x0020)
+    WRITE_CLASS_OF_DEVICE = make_opcode(0x03, 0x0024)
+    WRITE_INQUIRY_MODE = make_opcode(0x03, 0x0045)
+    WRITE_EXTENDED_INQUIRY_RESPONSE = make_opcode(0x03, 0x0052)
+    WRITE_SIMPLE_PAIRING_MODE = make_opcode(0x03, 0x0056)
+    WRITE_SECURE_CONNECTIONS_HOST_SUPPORT = make_opcode(0x03, 0x007A)
+
+    READ_LOCAL_OOB_DATA = make_opcode(0x03, 0x0057)
+
+    # Informational (OGF 0x04)
+    READ_LOCAL_VERSION_INFORMATION = make_opcode(0x04, 0x0001)
+    READ_LOCAL_SUPPORTED_FEATURES = make_opcode(0x04, 0x0003)
+    READ_BD_ADDR = make_opcode(0x04, 0x0009)
+
+    @property
+    def ogf(self) -> int:
+        return (self.value >> 10) & 0x3F
+
+    @property
+    def ocf(self) -> int:
+        return self.value & 0x3FF
+
+
+_OPCODE_NAMES = {
+    Opcode.INQUIRY: "HCI_Inquiry",
+    Opcode.INQUIRY_CANCEL: "HCI_Inquiry_Cancel",
+    Opcode.CREATE_CONNECTION: "HCI_Create_Connection",
+    Opcode.DISCONNECT: "HCI_Disconnect",
+    Opcode.CREATE_CONNECTION_CANCEL: "HCI_Create_Connection_Cancel",
+    Opcode.ACCEPT_CONNECTION_REQUEST: "HCI_Accept_Connection_Request",
+    Opcode.REJECT_CONNECTION_REQUEST: "HCI_Reject_Connection_Request",
+    Opcode.LINK_KEY_REQUEST_REPLY: "HCI_Link_Key_Request_Reply",
+    Opcode.LINK_KEY_REQUEST_NEGATIVE_REPLY: "HCI_Link_Key_Request_Negative_Reply",
+    Opcode.PIN_CODE_REQUEST_REPLY: "HCI_PIN_Code_Request_Reply",
+    Opcode.PIN_CODE_REQUEST_NEGATIVE_REPLY: "HCI_PIN_Code_Request_Negative_Reply",
+    Opcode.AUTHENTICATION_REQUESTED: "HCI_Authentication_Requested",
+    Opcode.SET_CONNECTION_ENCRYPTION: "HCI_Set_Connection_Encryption",
+    Opcode.REMOTE_NAME_REQUEST: "HCI_Remote_Name_Request",
+    Opcode.READ_REMOTE_SUPPORTED_FEATURES: "HCI_Read_Remote_Supported_Features",
+    Opcode.READ_REMOTE_VERSION_INFORMATION: "HCI_Read_Remote_Version_Information",
+    Opcode.IO_CAPABILITY_REQUEST_REPLY: "HCI_IO_Capability_Request_Reply",
+    Opcode.USER_CONFIRMATION_REQUEST_REPLY: "HCI_User_Confirmation_Request_Reply",
+    Opcode.USER_CONFIRMATION_REQUEST_NEGATIVE_REPLY: (
+        "HCI_User_Confirmation_Request_Negative_Reply"
+    ),
+    Opcode.USER_PASSKEY_REQUEST_REPLY: "HCI_User_Passkey_Request_Reply",
+    Opcode.USER_PASSKEY_REQUEST_NEGATIVE_REPLY: (
+        "HCI_User_Passkey_Request_Negative_Reply"
+    ),
+    Opcode.IO_CAPABILITY_REQUEST_NEGATIVE_REPLY: (
+        "HCI_IO_Capability_Request_Negative_Reply"
+    ),
+    Opcode.SETUP_SYNCHRONOUS_CONNECTION: "HCI_Setup_Synchronous_Connection",
+    Opcode.REMOTE_OOB_DATA_REQUEST_REPLY: "HCI_Remote_OOB_Data_Request_Reply",
+    Opcode.REMOTE_OOB_DATA_REQUEST_NEGATIVE_REPLY: (
+        "HCI_Remote_OOB_Data_Request_Negative_Reply"
+    ),
+    Opcode.READ_LOCAL_OOB_DATA: "HCI_Read_Local_OOB_Data",
+    Opcode.SET_EVENT_MASK: "HCI_Set_Event_Mask",
+    Opcode.RESET: "HCI_Reset",
+    Opcode.WRITE_LOCAL_NAME: "HCI_Write_Local_Name",
+    Opcode.READ_LOCAL_NAME: "HCI_Read_Local_Name",
+    Opcode.READ_STORED_LINK_KEY: "HCI_Read_Stored_Link_Key",
+    Opcode.WRITE_STORED_LINK_KEY: "HCI_Write_Stored_Link_Key",
+    Opcode.DELETE_STORED_LINK_KEY: "HCI_Delete_Stored_Link_Key",
+    Opcode.WRITE_PAGE_TIMEOUT: "HCI_Write_Page_Timeout",
+    Opcode.WRITE_SCAN_ENABLE: "HCI_Write_Scan_Enable",
+    Opcode.WRITE_PAGE_SCAN_ACTIVITY: "HCI_Write_Page_Scan_Activity",
+    Opcode.WRITE_INQUIRY_SCAN_ACTIVITY: "HCI_Write_Inquiry_Scan_Activity",
+    Opcode.WRITE_AUTHENTICATION_ENABLE: "HCI_Write_Authentication_Enable",
+    Opcode.WRITE_CLASS_OF_DEVICE: "HCI_Write_Class_Of_Device",
+    Opcode.WRITE_INQUIRY_MODE: "HCI_Write_Inquiry_Mode",
+    Opcode.WRITE_EXTENDED_INQUIRY_RESPONSE: "HCI_Write_Extended_Inquiry_Response",
+    Opcode.WRITE_SIMPLE_PAIRING_MODE: "HCI_Write_Simple_Pairing_Mode",
+    Opcode.WRITE_SECURE_CONNECTIONS_HOST_SUPPORT: (
+        "HCI_Write_Secure_Connections_Host_Support"
+    ),
+    Opcode.READ_LOCAL_VERSION_INFORMATION: "HCI_Read_Local_Version_Information",
+    Opcode.READ_LOCAL_SUPPORTED_FEATURES: "HCI_Read_Local_Supported_Features",
+    Opcode.READ_BD_ADDR: "HCI_Read_BD_ADDR",
+}
+
+
+def opcode_name(opcode: int) -> str:
+    """Human-readable command name for an opcode value."""
+    try:
+        return _OPCODE_NAMES[Opcode(opcode)]
+    except ValueError:
+        return f"HCI_Unknown_Opcode_{opcode:#06x}"
+
+
+class EventCode(enum.IntEnum):
+    """Event codes used by the simulated stack."""
+
+    INQUIRY_COMPLETE = 0x01
+    INQUIRY_RESULT = 0x02
+    CONNECTION_COMPLETE = 0x03
+    CONNECTION_REQUEST = 0x04
+    DISCONNECTION_COMPLETE = 0x05
+    AUTHENTICATION_COMPLETE = 0x06
+    REMOTE_NAME_REQUEST_COMPLETE = 0x07
+    ENCRYPTION_CHANGE = 0x08
+    READ_REMOTE_SUPPORTED_FEATURES_COMPLETE = 0x0B
+    READ_REMOTE_VERSION_INFORMATION_COMPLETE = 0x0C
+    COMMAND_COMPLETE = 0x0E
+    COMMAND_STATUS = 0x0F
+    HARDWARE_ERROR = 0x10
+    ROLE_CHANGE = 0x12
+    MODE_CHANGE = 0x14
+    RETURN_LINK_KEYS = 0x15
+    PIN_CODE_REQUEST = 0x16
+    LINK_KEY_REQUEST = 0x17
+    LINK_KEY_NOTIFICATION = 0x18
+    EXTENDED_INQUIRY_RESULT = 0x2F
+    IO_CAPABILITY_REQUEST = 0x31
+    IO_CAPABILITY_RESPONSE = 0x32
+    USER_CONFIRMATION_REQUEST = 0x33
+    USER_PASSKEY_REQUEST = 0x34
+    REMOTE_OOB_DATA_REQUEST = 0x35
+    SYNCHRONOUS_CONNECTION_COMPLETE = 0x2C
+    SIMPLE_PAIRING_COMPLETE = 0x36
+    USER_PASSKEY_NOTIFICATION = 0x3B
+
+
+_EVENT_NAMES = {
+    EventCode.INQUIRY_COMPLETE: "HCI_Inquiry_Complete",
+    EventCode.INQUIRY_RESULT: "HCI_Inquiry_Result",
+    EventCode.CONNECTION_COMPLETE: "HCI_Connection_Complete",
+    EventCode.CONNECTION_REQUEST: "HCI_Connection_Request",
+    EventCode.DISCONNECTION_COMPLETE: "HCI_Disconnection_Complete",
+    EventCode.AUTHENTICATION_COMPLETE: "HCI_Authentication_Complete",
+    EventCode.REMOTE_NAME_REQUEST_COMPLETE: "HCI_Remote_Name_Request_Complete",
+    EventCode.ENCRYPTION_CHANGE: "HCI_Encryption_Change",
+    EventCode.READ_REMOTE_SUPPORTED_FEATURES_COMPLETE: (
+        "HCI_Read_Remote_Supported_Features_Complete"
+    ),
+    EventCode.READ_REMOTE_VERSION_INFORMATION_COMPLETE: (
+        "HCI_Read_Remote_Version_Information_Complete"
+    ),
+    EventCode.COMMAND_COMPLETE: "HCI_Command_Complete",
+    EventCode.COMMAND_STATUS: "HCI_Command_Status",
+    EventCode.HARDWARE_ERROR: "HCI_Hardware_Error",
+    EventCode.ROLE_CHANGE: "HCI_Role_Change",
+    EventCode.MODE_CHANGE: "HCI_Mode_Change",
+    EventCode.RETURN_LINK_KEYS: "HCI_Return_Link_Keys",
+    EventCode.PIN_CODE_REQUEST: "HCI_PIN_Code_Request",
+    EventCode.LINK_KEY_REQUEST: "HCI_Link_Key_Request",
+    EventCode.LINK_KEY_NOTIFICATION: "HCI_Link_Key_Notification",
+    EventCode.EXTENDED_INQUIRY_RESULT: "HCI_Extended_Inquiry_Result",
+    EventCode.IO_CAPABILITY_REQUEST: "HCI_IO_Capability_Request",
+    EventCode.IO_CAPABILITY_RESPONSE: "HCI_IO_Capability_Response",
+    EventCode.USER_CONFIRMATION_REQUEST: "HCI_User_Confirmation_Request",
+    EventCode.USER_PASSKEY_REQUEST: "HCI_User_Passkey_Request",
+    EventCode.REMOTE_OOB_DATA_REQUEST: "HCI_Remote_OOB_Data_Request",
+    EventCode.SYNCHRONOUS_CONNECTION_COMPLETE: "HCI_Synchronous_Connection_Complete",
+    EventCode.SIMPLE_PAIRING_COMPLETE: "HCI_Simple_Pairing_Complete",
+    EventCode.USER_PASSKEY_NOTIFICATION: "HCI_User_Passkey_Notification",
+}
+
+
+def event_name(code: int) -> str:
+    """Human-readable event name for an event code value."""
+    try:
+        return _EVENT_NAMES[EventCode(code)]
+    except ValueError:
+        return f"HCI_Unknown_Event_{code:#04x}"
+
+
+class ErrorCode(enum.IntEnum):
+    """HCI error codes (Vol 1, Part F)."""
+
+    SUCCESS = 0x00
+    UNKNOWN_HCI_COMMAND = 0x01
+    UNKNOWN_CONNECTION_IDENTIFIER = 0x02
+    PAGE_TIMEOUT = 0x04
+    AUTHENTICATION_FAILURE = 0x05
+    PIN_OR_KEY_MISSING = 0x06
+    CONNECTION_TIMEOUT = 0x08
+    CONNECTION_ALREADY_EXISTS = 0x0B
+    COMMAND_DISALLOWED = 0x0C
+    CONNECTION_REJECTED_SECURITY = 0x0E
+    CONNECTION_ACCEPT_TIMEOUT = 0x10
+    INVALID_HCI_COMMAND_PARAMETERS = 0x12
+    REMOTE_USER_TERMINATED_CONNECTION = 0x13
+    CONNECTION_TERMINATED_BY_LOCAL_HOST = 0x16
+    PAIRING_NOT_ALLOWED = 0x18
+    UNSPECIFIED_ERROR = 0x1F
+    LMP_RESPONSE_TIMEOUT = 0x22
+    PAIRING_WITH_UNIT_KEY_NOT_SUPPORTED = 0x29
+    INSUFFICIENT_SECURITY = 0x2F
+    CONNECTION_FAILED_TO_BE_ESTABLISHED = 0x3E
+
+    def describe(self) -> str:
+        return self.name.replace("_", " ").title()
+
+
+class ScanEnable(enum.IntEnum):
+    """Write_Scan_Enable parameter values."""
+
+    NONE = 0x00
+    INQUIRY_ONLY = 0x01
+    PAGE_ONLY = 0x02
+    INQUIRY_AND_PAGE = 0x03
+
+    @property
+    def inquiry_scan(self) -> bool:
+        return bool(self.value & 0x01)
+
+    @property
+    def page_scan(self) -> bool:
+        return bool(self.value & 0x02)
+
+
+class Role(enum.IntEnum):
+    """Connection role in Accept_Connection_Request."""
+
+    MASTER = 0x00
+    SLAVE = 0x01

@@ -1,0 +1,83 @@
+"""Extended Inquiry Response data structures (Vol 3, Part C, §8).
+
+EIR payloads are a sequence of ``length | type | data`` structures.
+We implement the types discovery needs: the complete/shortened local
+name and the 16-bit service UUID list — enough for a scanner to show
+"LG VELVET (phone, PBAP/MAP)" without a round trip, which is also why
+spoofing a name is trivial for the attacker (it's self-reported).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+EIR_FLAGS = 0x01
+EIR_UUID16_INCOMPLETE = 0x02
+EIR_UUID16_COMPLETE = 0x03
+EIR_SHORTENED_LOCAL_NAME = 0x08
+EIR_COMPLETE_LOCAL_NAME = 0x09
+EIR_TX_POWER = 0x0A
+
+_MAX_EIR = 240
+
+
+def build_eir(
+    name: Optional[str] = None,
+    uuid16s: Optional[List[int]] = None,
+    tx_power: Optional[int] = None,
+) -> bytes:
+    """Assemble an EIR payload (truncating the name to fit 240 bytes)."""
+    out = bytearray()
+    if uuid16s:
+        data = b"".join(uuid.to_bytes(2, "little") for uuid in uuid16s)
+        out += bytes([len(data) + 1, EIR_UUID16_COMPLETE]) + data
+    if tx_power is not None:
+        out += bytes([2, EIR_TX_POWER, tx_power & 0xFF])
+    if name is not None:
+        raw = name.encode("utf-8")
+        room = _MAX_EIR - len(out) - 2
+        if len(raw) <= room:
+            out += bytes([len(raw) + 1, EIR_COMPLETE_LOCAL_NAME]) + raw
+        else:
+            out += bytes([room + 1, EIR_SHORTENED_LOCAL_NAME]) + raw[:room]
+    if len(out) > _MAX_EIR:
+        raise ValueError("EIR payload exceeds 240 bytes")
+    return bytes(out)
+
+
+def parse_eir(raw: bytes) -> Dict[int, bytes]:
+    """Walk the EIR structures → {type: data}; tolerant of padding."""
+    structures: Dict[int, bytes] = {}
+    offset = 0
+    while offset < len(raw):
+        length = raw[offset]
+        if length == 0:  # zero-padding terminates the significant part
+            break
+        chunk = raw[offset + 1 : offset + 1 + length]
+        if len(chunk) < 1:
+            break
+        structures[chunk[0]] = chunk[1:]
+        offset += 1 + length
+    return structures
+
+
+def eir_local_name(raw: bytes) -> Optional[str]:
+    """Extract the (complete or shortened) local name, if present."""
+    structures = parse_eir(raw)
+    for kind in (EIR_COMPLETE_LOCAL_NAME, EIR_SHORTENED_LOCAL_NAME):
+        if kind in structures:
+            return structures[kind].decode("utf-8", errors="replace")
+    return None
+
+
+def eir_uuid16s(raw: bytes) -> List[int]:
+    """Extract the advertised 16-bit service UUIDs."""
+    structures = parse_eir(raw)
+    for kind in (EIR_UUID16_COMPLETE, EIR_UUID16_INCOMPLETE):
+        if kind in structures:
+            data = structures[kind]
+            return [
+                int.from_bytes(data[i : i + 2], "little")
+                for i in range(0, len(data) - 1, 2)
+            ]
+    return []

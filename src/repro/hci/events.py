@@ -1,0 +1,263 @@
+"""Typed HCI events (Core Specification Vol 4, Part E 7.7).
+
+Two events carry the secret the link key extraction attack steals:
+
+* :class:`LinkKeyNotification` — the controller hands a freshly
+  generated link key up to the host for storage, and
+* :class:`LinkKeyRequest` — the controller asks for it back on every
+  re-authentication, answered by the plaintext
+  ``HCI_Link_Key_Request_Reply`` command.
+
+Both cross the HCI boundary unencrypted and are captured verbatim by
+HCI dump tools.
+"""
+
+from __future__ import annotations
+
+from repro.hci.constants import EventCode
+from repro.hci.packets import HciEvent, register_event
+
+
+@register_event
+class InquiryComplete(HciEvent):
+    """Inquiry finished."""
+
+    EVENT_CODE = EventCode.INQUIRY_COMPLETE
+    FIELDS = [("status", "u8")]
+
+
+@register_event
+class InquiryResult(HciEvent):
+    """A single discovered device (we emit one event per response)."""
+
+    EVENT_CODE = EventCode.INQUIRY_RESULT
+    FIELDS = [
+        ("num_responses", "u8"),
+        ("bd_addr", "bdaddr"),
+        ("page_scan_repetition_mode", "u8"),
+        ("reserved", "bytes:2"),
+        ("class_of_device", "u24"),
+        ("clock_offset", "u16"),
+    ]
+
+
+@register_event
+class ConnectionComplete(HciEvent):
+    """An ACL (or SCO) connection attempt finished."""
+
+    EVENT_CODE = EventCode.CONNECTION_COMPLETE
+    FIELDS = [
+        ("status", "u8"),
+        ("connection_handle", "u16"),
+        ("bd_addr", "bdaddr"),
+        ("link_type", "u8"),
+        ("encryption_enabled", "u8"),
+    ]
+
+
+@register_event
+class ConnectionRequest(HciEvent):
+    """A remote device paged us — Fig. 12b's tell-tale first event."""
+
+    EVENT_CODE = EventCode.CONNECTION_REQUEST
+    FIELDS = [("bd_addr", "bdaddr"), ("class_of_device", "u24"), ("link_type", "u8")]
+
+
+@register_event
+class DisconnectionComplete(HciEvent):
+    """A connection went away (with the HCI reason code)."""
+
+    EVENT_CODE = EventCode.DISCONNECTION_COMPLETE
+    FIELDS = [("status", "u8"), ("connection_handle", "u16"), ("reason", "u8")]
+
+
+@register_event
+class AuthenticationComplete(HciEvent):
+    """LMP authentication finished for a connection handle."""
+
+    EVENT_CODE = EventCode.AUTHENTICATION_COMPLETE
+    FIELDS = [("status", "u8"), ("connection_handle", "u16")]
+
+
+@register_event
+class RemoteNameRequestComplete(HciEvent):
+    """Result of a Remote_Name_Request."""
+
+    EVENT_CODE = EventCode.REMOTE_NAME_REQUEST_COMPLETE
+    FIELDS = [("status", "u8"), ("bd_addr", "bdaddr"), ("remote_name", "name248")]
+
+
+@register_event
+class EncryptionChange(HciEvent):
+    """Link encryption was switched on or off."""
+
+    EVENT_CODE = EventCode.ENCRYPTION_CHANGE
+    FIELDS = [
+        ("status", "u8"),
+        ("connection_handle", "u16"),
+        ("encryption_enabled", "u8"),
+    ]
+
+
+@register_event
+class CommandComplete(HciEvent):
+    """A command finished; return parameters ride in ``return_parameters``."""
+
+    EVENT_CODE = EventCode.COMMAND_COMPLETE
+    FIELDS = [
+        ("num_hci_command_packets", "u8"),
+        ("command_opcode", "u16"),
+        ("return_parameters", "rest"),
+    ]
+
+
+@register_event
+class CommandStatus(HciEvent):
+    """A command was accepted (or failed) and will complete asynchronously."""
+
+    EVENT_CODE = EventCode.COMMAND_STATUS
+    FIELDS = [
+        ("status", "u8"),
+        ("num_hci_command_packets", "u8"),
+        ("command_opcode", "u16"),
+    ]
+
+
+@register_event
+class RoleChange(HciEvent):
+    """Master/slave role switch completed."""
+
+    EVENT_CODE = EventCode.ROLE_CHANGE
+    FIELDS = [("status", "u8"), ("bd_addr", "bdaddr"), ("new_role", "u8")]
+
+
+@register_event
+class ReturnLinkKeys(HciEvent):
+    """The controller dumps stored keys up to the host — plaintext.
+
+    We emit one event per key (num_keys always 1) for parsing clarity.
+    """
+
+    EVENT_CODE = EventCode.RETURN_LINK_KEYS
+    FIELDS = [("num_keys", "u8"), ("bd_addr", "bdaddr"), ("link_key", "linkkey")]
+
+
+@register_event
+class PinCodeRequest(HciEvent):
+    """Controller asks for a legacy pairing PIN."""
+
+    EVENT_CODE = EventCode.PIN_CODE_REQUEST
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_event
+class LinkKeyRequest(HciEvent):
+    """Controller asks the host for the stored link key of ``bd_addr``."""
+
+    EVENT_CODE = EventCode.LINK_KEY_REQUEST
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_event
+class LinkKeyNotification(HciEvent):
+    """Controller delivers a new link key to the host — in plaintext."""
+
+    EVENT_CODE = EventCode.LINK_KEY_NOTIFICATION
+    FIELDS = [("bd_addr", "bdaddr"), ("link_key", "linkkey"), ("key_type", "u8")]
+
+
+@register_event
+class ExtendedInquiryResult(HciEvent):
+    """Inquiry result with RSSI and EIR payload."""
+
+    EVENT_CODE = EventCode.EXTENDED_INQUIRY_RESULT
+    FIELDS = [
+        ("num_responses", "u8"),
+        ("bd_addr", "bdaddr"),
+        ("page_scan_repetition_mode", "u8"),
+        ("reserved", "u8"),
+        ("class_of_device", "u24"),
+        ("clock_offset", "u16"),
+        ("rssi", "u8"),
+        ("extended_inquiry_response", "rest"),
+    ]
+
+
+@register_event
+class IoCapabilityRequest(HciEvent):
+    """Controller asks the host for its IO capability (SSP start)."""
+
+    EVENT_CODE = EventCode.IO_CAPABILITY_REQUEST
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_event
+class IoCapabilityResponse(HciEvent):
+    """The remote side's declared IO capability."""
+
+    EVENT_CODE = EventCode.IO_CAPABILITY_RESPONSE
+    FIELDS = [
+        ("bd_addr", "bdaddr"),
+        ("io_capability", "u8"),
+        ("oob_data_present", "u8"),
+        ("authentication_requirements", "u8"),
+    ]
+
+
+@register_event
+class UserConfirmationRequest(HciEvent):
+    """Ask the user to confirm (shows ``numeric_value`` for Numeric
+    Comparison; Just Works auto-confirms without displaying it)."""
+
+    EVENT_CODE = EventCode.USER_CONFIRMATION_REQUEST
+    FIELDS = [("bd_addr", "bdaddr"), ("numeric_value", "u32")]
+
+
+@register_event
+class UserPasskeyRequest(HciEvent):
+    """Ask the user to type the passkey."""
+
+    EVENT_CODE = EventCode.USER_PASSKEY_REQUEST
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_event
+class SynchronousConnectionComplete(HciEvent):
+    """A SCO/eSCO audio channel came up (or failed)."""
+
+    EVENT_CODE = EventCode.SYNCHRONOUS_CONNECTION_COMPLETE
+    FIELDS = [
+        ("status", "u8"),
+        ("connection_handle", "u16"),
+        ("bd_addr", "bdaddr"),
+        ("link_type", "u8"),
+        ("transmission_interval", "u8"),
+        ("retransmission_window", "u8"),
+        ("rx_packet_length", "u16"),
+        ("tx_packet_length", "u16"),
+        ("air_mode", "u8"),
+    ]
+
+
+@register_event
+class RemoteOobDataRequest(HciEvent):
+    """Controller asks the host for the peer's out-of-band data."""
+
+    EVENT_CODE = EventCode.REMOTE_OOB_DATA_REQUEST
+    FIELDS = [("bd_addr", "bdaddr")]
+
+
+@register_event
+class SimplePairingComplete(HciEvent):
+    """SSP finished (status 0 = link key established)."""
+
+    EVENT_CODE = EventCode.SIMPLE_PAIRING_COMPLETE
+    FIELDS = [("status", "u8"), ("bd_addr", "bdaddr")]
+
+
+@register_event
+class UserPasskeyNotification(HciEvent):
+    """Display this passkey to the user."""
+
+    EVENT_CODE = EventCode.USER_PASSKEY_NOTIFICATION
+    FIELDS = [("bd_addr", "bdaddr"), ("passkey", "u32")]

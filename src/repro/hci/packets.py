@@ -1,0 +1,320 @@
+"""Raw HCI packet framing and the typed-packet machinery.
+
+Wire formats (Vol 4, Part E, 5.4):
+
+* Command:  ``opcode(2, LE) | param_len(1) | params``
+* Event:    ``event_code(1) | param_len(1) | params``
+* ACL data: ``handle+flags(2, LE) | data_len(2, LE) | data``
+
+On a serial transport each packet is preceded by the H4 indicator byte
+(0x01 command, 0x02 ACL, 0x04 event).  The HCI dump and the USB sniffer
+both capture these exact bytes, which is what makes the link key
+extractor work on real formats rather than on Python objects.
+
+Typed packets declare their parameter layout with a small field spec —
+a list of ``(name, kind)`` tuples — from which serialization and
+parsing are derived.  Kinds:
+
+``u8`` / ``u16`` / ``u24`` / ``u32``
+    little-endian unsigned integers,
+``bdaddr``
+    6-byte little-endian device address (:class:`~repro.core.types.BdAddr`),
+``linkkey``
+    16-byte little-endian link key (:class:`~repro.core.types.LinkKey`),
+``bytes:N``
+    fixed-length raw bytes,
+``name248``
+    zero-padded 248-byte UTF-8 device name,
+``rest``
+    all remaining bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.core.errors import HciError
+from repro.core.types import BdAddr, LinkKey
+from repro.hci.constants import (
+    EventCode,
+    PacketIndicator,
+    event_name,
+    opcode_name,
+)
+
+FieldSpec = Tuple[str, str]
+
+
+def _encode_field(kind: str, value: Any) -> bytes:
+    if kind == "u8":
+        return int(value).to_bytes(1, "little")
+    if kind == "u16":
+        return int(value).to_bytes(2, "little")
+    if kind == "u24":
+        return int(value).to_bytes(3, "little")
+    if kind == "u32":
+        return int(value).to_bytes(4, "little")
+    if kind == "bdaddr":
+        return value.to_hci_bytes()
+    if kind == "linkkey":
+        return value.to_hci_bytes()
+    if kind == "name248":
+        raw = str(value).encode("utf-8")[:247]
+        return raw + b"\x00" * (248 - len(raw))
+    if kind == "rest":
+        return bytes(value)
+    if kind.startswith("bytes:"):
+        length = int(kind.split(":", 1)[1])
+        raw = bytes(value)
+        if len(raw) != length:
+            raise HciError(f"field expects {length} bytes, got {len(raw)}")
+        return raw
+    raise HciError(f"unknown field kind {kind!r}")
+
+
+def _decode_field(kind: str, raw: bytes, offset: int) -> Tuple[Any, int]:
+    if kind == "u8":
+        return raw[offset], offset + 1
+    if kind == "u16":
+        return int.from_bytes(raw[offset : offset + 2], "little"), offset + 2
+    if kind == "u24":
+        return int.from_bytes(raw[offset : offset + 3], "little"), offset + 3
+    if kind == "u32":
+        return int.from_bytes(raw[offset : offset + 4], "little"), offset + 4
+    if kind == "bdaddr":
+        return BdAddr.from_hci_bytes(raw[offset : offset + 6]), offset + 6
+    if kind == "linkkey":
+        return LinkKey.from_hci_bytes(raw[offset : offset + 16]), offset + 16
+    if kind == "name248":
+        chunk = raw[offset : offset + 248]
+        text = chunk.split(b"\x00", 1)[0].decode("utf-8", errors="replace")
+        return text, offset + 248
+    if kind == "rest":
+        return raw[offset:], len(raw)
+    if kind.startswith("bytes:"):
+        length = int(kind.split(":", 1)[1])
+        return raw[offset : offset + length], offset + length
+    raise HciError(f"unknown field kind {kind!r}")
+
+
+class HciPacket:
+    """Base class for anything that can travel over an HCI transport."""
+
+    indicator: PacketIndicator
+
+    def to_bytes(self) -> bytes:
+        """Packet bytes *without* the H4 indicator."""
+        raise NotImplementedError
+
+    def to_h4_bytes(self) -> bytes:
+        """Packet bytes prefixed with the H4 indicator byte."""
+        return bytes([self.indicator]) + self.to_bytes()
+
+    @property
+    def display_name(self) -> str:
+        """Name shown in HCI dump listings."""
+        raise NotImplementedError
+
+
+class HciCommand(HciPacket):
+    """A host-to-controller command.
+
+    Subclasses set ``OPCODE`` and ``FIELDS``; instances carry the field
+    values as attributes.  An untyped command can be built directly
+    with :meth:`raw`.
+    """
+
+    indicator = PacketIndicator.COMMAND
+    OPCODE: int = 0x0000
+    FIELDS: List[FieldSpec] = []
+
+    def __init__(self, **kwargs: Any) -> None:
+        for name, _ in self.FIELDS:
+            if name not in kwargs:
+                raise HciError(
+                    f"{type(self).__name__} missing field {name!r}"
+                )
+            setattr(self, name, kwargs.pop(name))
+        if kwargs:
+            raise HciError(
+                f"{type(self).__name__} got unexpected fields {sorted(kwargs)}"
+            )
+
+    @classmethod
+    def raw(cls, opcode: int, params: bytes = b"") -> "HciCommand":
+        """Build an untyped command with explicit opcode and parameters."""
+        command = cls.__new__(cls)
+        command._raw_opcode = opcode  # type: ignore[attr-defined]
+        command._raw_params = params  # type: ignore[attr-defined]
+        return command
+
+    @property
+    def opcode(self) -> int:
+        return getattr(self, "_raw_opcode", self.OPCODE)
+
+    def parameters(self) -> bytes:
+        if hasattr(self, "_raw_params"):
+            return self._raw_params  # type: ignore[attr-defined]
+        return b"".join(
+            _encode_field(kind, getattr(self, name)) for name, kind in self.FIELDS
+        )
+
+    def to_bytes(self) -> bytes:
+        params = self.parameters()
+        if len(params) > 255:
+            raise HciError(f"command parameters exceed 255 bytes: {len(params)}")
+        return self.opcode.to_bytes(2, "little") + bytes([len(params)]) + params
+
+    @classmethod
+    def from_parameters(cls, params: bytes) -> "HciCommand":
+        """Parse parameter bytes into a typed instance."""
+        values: Dict[str, Any] = {}
+        offset = 0
+        for name, kind in cls.FIELDS:
+            values[name], offset = _decode_field(kind, params, offset)
+        return cls(**values)
+
+    @property
+    def display_name(self) -> str:
+        return opcode_name(self.opcode)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name, _ in self.FIELDS
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class HciEvent(HciPacket):
+    """A controller-to-host event."""
+
+    indicator = PacketIndicator.EVENT
+    EVENT_CODE: int = 0x00
+    FIELDS: List[FieldSpec] = []
+
+    def __init__(self, **kwargs: Any) -> None:
+        for name, _ in self.FIELDS:
+            if name not in kwargs:
+                raise HciError(f"{type(self).__name__} missing field {name!r}")
+            setattr(self, name, kwargs.pop(name))
+        if kwargs:
+            raise HciError(
+                f"{type(self).__name__} got unexpected fields {sorted(kwargs)}"
+            )
+
+    @classmethod
+    def raw(cls, event_code: int, params: bytes = b"") -> "HciEvent":
+        event = cls.__new__(cls)
+        event._raw_code = event_code  # type: ignore[attr-defined]
+        event._raw_params = params  # type: ignore[attr-defined]
+        return event
+
+    @property
+    def event_code(self) -> int:
+        return getattr(self, "_raw_code", self.EVENT_CODE)
+
+    def parameters(self) -> bytes:
+        if hasattr(self, "_raw_params"):
+            return self._raw_params  # type: ignore[attr-defined]
+        return b"".join(
+            _encode_field(kind, getattr(self, name)) for name, kind in self.FIELDS
+        )
+
+    def to_bytes(self) -> bytes:
+        params = self.parameters()
+        if len(params) > 255:
+            raise HciError(f"event parameters exceed 255 bytes: {len(params)}")
+        return bytes([self.event_code, len(params)]) + params
+
+    @classmethod
+    def from_parameters(cls, params: bytes) -> "HciEvent":
+        values: Dict[str, Any] = {}
+        offset = 0
+        for name, kind in cls.FIELDS:
+            values[name], offset = _decode_field(kind, params, offset)
+        return cls(**values)
+
+    @property
+    def display_name(self) -> str:
+        return event_name(self.event_code)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name, _ in self.FIELDS
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class HciAclData(HciPacket):
+    """An ACL data packet (L2CAP payloads ride inside these)."""
+
+    indicator = PacketIndicator.ACL_DATA
+
+    PB_FIRST_NON_FLUSHABLE = 0x0
+    PB_CONTINUING = 0x1
+    PB_FIRST_FLUSHABLE = 0x2
+
+    def __init__(
+        self,
+        handle: int,
+        data: bytes,
+        pb_flag: int = PB_FIRST_FLUSHABLE,
+        bc_flag: int = 0,
+    ) -> None:
+        if not 0 <= handle <= 0x0FFF:
+            raise HciError(f"connection handle out of range: {handle:#x}")
+        self.handle = handle
+        self.data = data
+        self.pb_flag = pb_flag
+        self.bc_flag = bc_flag
+
+    def to_bytes(self) -> bytes:
+        word = self.handle | (self.pb_flag << 12) | (self.bc_flag << 14)
+        return (
+            word.to_bytes(2, "little")
+            + len(self.data).to_bytes(2, "little")
+            + self.data
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "HciAclData":
+        if len(raw) < 4:
+            raise HciError("ACL packet too short")
+        word = int.from_bytes(raw[0:2], "little")
+        length = int.from_bytes(raw[2:4], "little")
+        data = raw[4 : 4 + length]
+        if len(data) != length:
+            raise HciError("ACL packet truncated")
+        return cls(
+            handle=word & 0x0FFF,
+            data=data,
+            pb_flag=(word >> 12) & 0x3,
+            bc_flag=(word >> 14) & 0x3,
+        )
+
+    @property
+    def display_name(self) -> str:
+        return f"ACL_Data(handle={self.handle:#06x}, {len(self.data)}B)"
+
+    def __repr__(self) -> str:
+        return (
+            f"HciAclData(handle={self.handle:#x}, pb={self.pb_flag}, "
+            f"len={len(self.data)})"
+        )
+
+
+# Registries filled in by the commands/events modules.
+COMMAND_REGISTRY: Dict[int, Type[HciCommand]] = {}
+EVENT_REGISTRY: Dict[int, Type[HciEvent]] = {}
+
+
+def register_command(cls: Type[HciCommand]) -> Type[HciCommand]:
+    """Class decorator: register a typed command for parsing."""
+    COMMAND_REGISTRY[cls.OPCODE] = cls
+    return cls
+
+
+def register_event(cls: Type[HciEvent]) -> Type[HciEvent]:
+    """Class decorator: register a typed event for parsing."""
+    EVENT_REGISTRY[cls.EVENT_CODE] = cls
+    return cls

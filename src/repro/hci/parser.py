@@ -1,0 +1,112 @@
+"""Parse raw HCI bytes back into typed packets.
+
+This is the foundation of both forensic tools in the reproduction: the
+HCI dump renderer (Fig. 3 / Fig. 12) and the link key extractor.  The
+parser is deliberately tolerant — an unknown opcode or event becomes a
+raw packet instead of an error, because real dump files contain vendor
+traffic the tools must skim over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.core.errors import HciError
+from repro.hci.constants import PacketIndicator
+from repro.hci.packets import (
+    COMMAND_REGISTRY,
+    EVENT_REGISTRY,
+    HciAclData,
+    HciCommand,
+    HciEvent,
+    HciPacket,
+)
+
+
+def parse_packet(indicator: int, payload: bytes) -> HciPacket:
+    """Parse one packet given its H4 indicator and body bytes."""
+    if indicator == PacketIndicator.COMMAND:
+        return parse_command(payload)
+    if indicator == PacketIndicator.EVENT:
+        return parse_event(payload)
+    if indicator == PacketIndicator.ACL_DATA:
+        return HciAclData.from_bytes(payload)
+    raise HciError(f"unsupported packet indicator {indicator:#x}")
+
+
+def parse_command(payload: bytes) -> HciCommand:
+    """Parse command bytes (opcode + length + params)."""
+    if len(payload) < 3:
+        raise HciError("command packet too short")
+    opcode = int.from_bytes(payload[0:2], "little")
+    length = payload[2]
+    params = payload[3 : 3 + length]
+    if len(params) != length:
+        raise HciError(
+            f"command truncated: declared {length} bytes, got {len(params)}"
+        )
+    cls = COMMAND_REGISTRY.get(opcode)
+    if cls is None:
+        return HciCommand.raw(opcode, params)
+    try:
+        return cls.from_parameters(params)
+    except (IndexError, ValueError) as exc:
+        raise HciError(f"malformed {cls.__name__} parameters: {exc}") from exc
+
+
+def parse_event(payload: bytes) -> HciEvent:
+    """Parse event bytes (event code + length + params)."""
+    if len(payload) < 2:
+        raise HciError("event packet too short")
+    code = payload[0]
+    length = payload[1]
+    params = payload[2 : 2 + length]
+    if len(params) != length:
+        raise HciError(
+            f"event truncated: declared {length} bytes, got {len(params)}"
+        )
+    cls = EVENT_REGISTRY.get(code)
+    if cls is None:
+        return HciEvent.raw(code, params)
+    try:
+        return cls.from_parameters(params)
+    except (IndexError, ValueError) as exc:
+        raise HciError(f"malformed {cls.__name__} parameters: {exc}") from exc
+
+
+def parse_h4_stream(stream: bytes) -> Iterator[Tuple[int, HciPacket]]:
+    """Walk a concatenated H4 byte stream, yielding (offset, packet).
+
+    This is what the USB-sniff extractor runs over the captured
+    transfer stream after the binary-to-hex conversion step.
+    """
+    offset = 0
+    total = len(stream)
+    while offset < total:
+        indicator = stream[offset]
+        if indicator == PacketIndicator.COMMAND:
+            if offset + 4 > total:
+                raise HciError(f"truncated command at offset {offset}")
+            length = stream[offset + 3]
+            end = offset + 4 + length
+            body = stream[offset + 1 : end]
+        elif indicator == PacketIndicator.EVENT:
+            if offset + 3 > total:
+                raise HciError(f"truncated event at offset {offset}")
+            length = stream[offset + 2]
+            end = offset + 3 + length
+            body = stream[offset + 1 : end]
+        elif indicator == PacketIndicator.ACL_DATA:
+            if offset + 5 > total:
+                raise HciError(f"truncated ACL packet at offset {offset}")
+            length = int.from_bytes(stream[offset + 3 : offset + 5], "little")
+            end = offset + 5 + length
+            body = stream[offset + 1 : end]
+        else:
+            raise HciError(
+                f"unknown packet indicator {indicator:#04x} at offset {offset}"
+            )
+        if end > total:
+            raise HciError(f"packet at offset {offset} runs past end of stream")
+        yield offset, parse_packet(indicator, body)
+        offset = end

@@ -1,0 +1,51 @@
+"""The Bluetooth host stack.
+
+Mirrors the architecture of real host stacks (bluedroid, BlueZ, the
+Microsoft driver): a security manager owning the bonded-key database,
+GAP for discovery/connection/pairing, L2CAP and SDP for transport and
+service discovery, and the PAN profile the paper uses to validate
+extracted keys.  Per-vendor differences that matter to the attacks
+(HCI snoop availability, bonding storage format and path, SU
+requirements) are captured in :class:`~repro.host.stack.StackProfile`.
+"""
+
+from repro.host.stack import HostStack, StackProfile
+from repro.host.gap import Gap
+from repro.host.security import SecurityManager
+from repro.host.ui import UserModel
+from repro.host.iocap import (
+    ConfirmationBehavior,
+    association_model,
+    confirmation_behavior,
+    confirmation_matrix,
+)
+from repro.host.storage import (
+    BondingRecord,
+    BondingStore,
+    BluezInfoStore,
+    BtConfigStore,
+    RegistryStore,
+)
+from repro.host.pbap import Contact, PbapProfile
+from repro.host.map_profile import MapProfile, Message
+
+__all__ = [
+    "HostStack",
+    "StackProfile",
+    "Gap",
+    "SecurityManager",
+    "UserModel",
+    "ConfirmationBehavior",
+    "association_model",
+    "confirmation_behavior",
+    "confirmation_matrix",
+    "BondingRecord",
+    "BondingStore",
+    "BluezInfoStore",
+    "BtConfigStore",
+    "RegistryStore",
+    "Contact",
+    "PbapProfile",
+    "MapProfile",
+    "Message",
+]

@@ -1,0 +1,342 @@
+"""Generic Access Profile: discovery, connections, pairing, encryption.
+
+GAP is where the page blocking attack's host-side blind spot lives:
+:meth:`Gap.pair` checks for an *existing* ACL connection to the target
+address and, if one exists, skips straight to authentication on that
+link — never verifying who actually initiated the connection.  Under
+PLOC the "existing connection" is the attacker's, so the victim's
+pairing request flows to the attacker while the UI looks perfectly
+normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.types import BdAddr
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.hci.constants import ErrorCode, Opcode, ScanEnable
+from repro.host.operations import Operation
+
+
+@dataclass
+class DiscoveredDevice:
+    """One inquiry hit."""
+
+    addr: BdAddr
+    class_of_device: int
+    clock_offset: int
+    name: str = ""
+
+
+@dataclass
+class ConnectionInfo:
+    """Host-level view of one ACL connection."""
+
+    addr: BdAddr
+    handle: int
+    initiated_by_us: bool
+    authenticated: bool = False
+    encrypted: bool = False
+
+
+@dataclass
+class _DiscoveryState:
+    operation: Operation
+    results: Dict[BdAddr, DiscoveredDevice] = field(default_factory=dict)
+
+
+class Gap:
+    """Connection/pairing state machine for one host."""
+
+    #: default inquiry length in 1.28 s units
+    INQUIRY_LENGTH = 4
+    #: host-side guard: fail a pairing/authentication that never
+    #: resolves (lost LMP frames, wedged peer) instead of hanging
+    AUTHENTICATION_TIMEOUT = 40.0
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.connections: Dict[BdAddr, ConnectionInfo] = {}
+        self.name_cache: Dict[BdAddr, str] = {}
+        self.accept_incoming = True
+        self._connect_ops: Dict[BdAddr, Operation] = {}
+        self._auth_ops: Dict[BdAddr, Operation] = {}
+        self._encrypt_ops: Dict[BdAddr, Operation] = {}
+        self._discovery: Optional[_DiscoveryState] = None
+
+    # ------------------------------------------------------------- scanning
+
+    def set_scan_mode(self, connectable: bool, discoverable: bool) -> None:
+        """Page scan = connectable; inquiry scan = discoverable."""
+        value = ScanEnable.NONE
+        if connectable and discoverable:
+            value = ScanEnable.INQUIRY_AND_PAGE
+        elif connectable:
+            value = ScanEnable.PAGE_ONLY
+        elif discoverable:
+            value = ScanEnable.INQUIRY_ONLY
+        self.host.send_command(cmd.WriteScanEnable(scan_enable=value))
+
+    # ------------------------------------------------------------ discovery
+
+    def start_discovery(self, inquiry_length: Optional[int] = None) -> Operation:
+        """Broadcast an inquiry; the operation resolves with the results."""
+        operation = Operation("discovery")
+        if self._discovery is not None:
+            operation.fail(ErrorCode.COMMAND_DISALLOWED)
+            return operation
+        self._discovery = _DiscoveryState(operation=operation)
+        self.host.send_command(
+            cmd.Inquiry(
+                lap=cmd.Inquiry.GIAC,
+                inquiry_length=inquiry_length or self.INQUIRY_LENGTH,
+                num_responses=0,
+            )
+        )
+        return operation
+
+    def on_inquiry_result(self, event: evt.InquiryResult) -> None:
+        if self._discovery is None:
+            return
+        self._discovery.results[event.bd_addr] = DiscoveredDevice(
+            addr=event.bd_addr,
+            class_of_device=event.class_of_device,
+            clock_offset=event.clock_offset,
+            name=self.name_cache.get(event.bd_addr, ""),
+        )
+
+    def on_extended_inquiry_result(
+        self, event: evt.ExtendedInquiryResult
+    ) -> None:
+        """EIR-mode result: the name rides along, no extra round trip."""
+        from repro.hci.eir import eir_local_name
+
+        name = eir_local_name(event.extended_inquiry_response) or ""
+        if name:
+            self.name_cache[event.bd_addr] = name
+        if self._discovery is None:
+            return
+        self._discovery.results[event.bd_addr] = DiscoveredDevice(
+            addr=event.bd_addr,
+            class_of_device=event.class_of_device,
+            clock_offset=event.clock_offset,
+            name=name or self.name_cache.get(event.bd_addr, ""),
+        )
+
+    def on_inquiry_complete(self, event: evt.InquiryComplete) -> None:
+        if self._discovery is None:
+            return
+        state, self._discovery = self._discovery, None
+        state.operation.complete(
+            status=event.status, result=list(state.results.values())
+        )
+
+    # ----------------------------------------------------------- connecting
+
+    def is_connected(self, addr: BdAddr) -> bool:
+        return addr in self.connections
+
+    def handle_for(self, addr: BdAddr) -> Optional[int]:
+        info = self.connections.get(addr)
+        return info.handle if info else None
+
+    def addr_for_handle(self, handle: int) -> Optional[BdAddr]:
+        for info in self.connections.values():
+            if info.handle == handle:
+                return info.addr
+        return None
+
+    def connect(self, addr: BdAddr) -> Operation:
+        """Create an ACL connection (page the target)."""
+        operation = Operation("connect")
+        if addr in self.connections:
+            operation.complete(result=self.connections[addr])
+            return operation
+        if addr in self._connect_ops:
+            operation.fail(ErrorCode.COMMAND_DISALLOWED)
+            return operation
+        self._connect_ops[addr] = operation
+        self.host.send_command(
+            cmd.CreateConnection(
+                bd_addr=addr,
+                packet_type=0xCC18,
+                page_scan_repetition_mode=1,
+                reserved=0,
+                clock_offset=0,
+                allow_role_switch=1,
+            )
+        )
+        return operation
+
+    def on_connection_request(self, event: evt.ConnectionRequest) -> None:
+        """Incoming page: accept when we are connectable (policy)."""
+        if self.accept_incoming:
+            self.host.send_command(
+                cmd.AcceptConnectionRequest(bd_addr=event.bd_addr, role=0x01)
+            )
+        else:
+            self.host.send_command(
+                cmd.RejectConnectionRequest(
+                    bd_addr=event.bd_addr,
+                    reason=ErrorCode.CONNECTION_REJECTED_SECURITY,
+                )
+            )
+
+    def on_connection_complete(self, event: evt.ConnectionComplete) -> None:
+        operation = self._connect_ops.pop(event.bd_addr, None)
+        if event.status != 0:
+            if operation is not None:
+                operation.fail(event.status)
+            return
+        info = ConnectionInfo(
+            addr=event.bd_addr,
+            handle=event.connection_handle,
+            initiated_by_us=operation is not None,
+        )
+        self.connections[event.bd_addr] = info
+        if operation is not None:
+            operation.complete(result=info)
+
+    def disconnect(
+        self, addr: BdAddr, reason: int = ErrorCode.REMOTE_USER_TERMINATED_CONNECTION
+    ) -> None:
+        info = self.connections.get(addr)
+        if info is None:
+            return
+        self.host.send_command(
+            cmd.Disconnect(connection_handle=info.handle, reason=reason)
+        )
+
+    def on_disconnection_complete(self, event: evt.DisconnectionComplete) -> None:
+        addr = self.addr_for_handle(event.connection_handle)
+        if addr is None:
+            return
+        self.connections.pop(addr, None)
+        self.host.l2cap.on_link_down(event.connection_handle)
+        for ops in (self._auth_ops, self._encrypt_ops):
+            operation = ops.pop(addr, None)
+            if operation is not None:
+                operation.fail(event.reason)
+
+    # ------------------------------------------------------------- pairing
+
+    def pair(self, addr: BdAddr, initiated_by_user: bool = True) -> Operation:
+        """Pair with ``addr`` — the exploitable flow.
+
+        If an ACL connection to ``addr`` already exists (however it
+        came to exist — including an attacker-initiated PLOC link), the
+        connection step is **omitted** and authentication is requested
+        directly on the existing link.
+        """
+        if initiated_by_user:
+            self.host.user.note_pairing_initiated(addr, self.host.simulator.now)
+        self.host.security.mark_pairing_initiator(addr)
+        operation = Operation("pair")
+        if addr in self.connections:
+            self._authenticate(addr, operation)
+            return operation
+        connect_op = self.connect(addr)
+        connect_op.on_done(
+            lambda op: (
+                self._authenticate(addr, operation)
+                if op.success
+                else operation.fail(op.status)
+            )
+        )
+        return operation
+
+    def authenticate(self, addr: BdAddr) -> Operation:
+        """LMP-authenticate an existing connection (no user intent)."""
+        operation = Operation("authenticate")
+        if addr not in self.connections:
+            operation.fail(ErrorCode.UNKNOWN_CONNECTION_IDENTIFIER)
+            return operation
+        self._authenticate(addr, operation)
+        return operation
+
+    def _authenticate(self, addr: BdAddr, operation: Operation) -> None:
+        info = self.connections.get(addr)
+        if info is None:
+            operation.fail(ErrorCode.UNKNOWN_CONNECTION_IDENTIFIER)
+            return
+        if addr in self._auth_ops:
+            operation.fail(ErrorCode.COMMAND_DISALLOWED)
+            return
+        self._auth_ops[addr] = operation
+        guard = self.host.simulator.schedule(
+            self.AUTHENTICATION_TIMEOUT, self._auth_guard, addr, operation
+        )
+        operation.on_done(lambda _op: guard.cancel())
+        self.host.send_command(
+            cmd.AuthenticationRequested(connection_handle=info.handle)
+        )
+
+    def _auth_guard(self, addr: BdAddr, operation: Operation) -> None:
+        """The authentication never resolved: fail it cleanly."""
+        if operation.done:
+            return
+        self._auth_ops.pop(addr, None)
+        operation.fail(ErrorCode.CONNECTION_TIMEOUT)
+
+    def on_authentication_complete(self, event: evt.AuthenticationComplete) -> None:
+        addr = self.addr_for_handle(event.connection_handle)
+        self.host.security.on_authentication_complete(addr, event.status)
+        if addr is None:
+            return
+        info = self.connections.get(addr)
+        if info is not None and event.status == 0:
+            info.authenticated = True
+        operation = self._auth_ops.pop(addr, None)
+        if operation is not None:
+            operation.complete(status=event.status)
+
+    # ----------------------------------------------------------- encryption
+
+    def enable_encryption(self, addr: BdAddr) -> Operation:
+        operation = Operation("encrypt")
+        info = self.connections.get(addr)
+        if info is None:
+            operation.fail(ErrorCode.UNKNOWN_CONNECTION_IDENTIFIER)
+            return operation
+        self._encrypt_ops[addr] = operation
+        self.host.send_command(
+            cmd.SetConnectionEncryption(
+                connection_handle=info.handle, encryption_enable=1
+            )
+        )
+        return operation
+
+    def on_encryption_change(self, event: evt.EncryptionChange) -> None:
+        addr = self.addr_for_handle(event.connection_handle)
+        if addr is None:
+            return
+        info = self.connections.get(addr)
+        if info is not None:
+            info.encrypted = bool(event.encryption_enabled)
+        operation = self._encrypt_ops.pop(addr, None)
+        if operation is not None:
+            operation.complete(status=event.status)
+
+    # -------------------------------------------------------- names & status
+
+    def on_remote_name_complete(
+        self, event: evt.RemoteNameRequestComplete
+    ) -> None:
+        if event.status == 0:
+            self.name_cache[event.bd_addr] = event.remote_name
+
+    def on_command_status(self, event: evt.CommandStatus) -> None:
+        """Failed Command_Status for async commands fails pending ops."""
+        if event.status == 0:
+            return
+        if event.command_opcode == Opcode.CREATE_CONNECTION:
+            for addr, operation in list(self._connect_ops.items()):
+                operation.fail(event.status)
+                del self._connect_ops[addr]
+        elif event.command_opcode == Opcode.AUTHENTICATION_REQUESTED:
+            for addr, operation in list(self._auth_ops.items()):
+                operation.fail(event.status)
+                del self._auth_ops[addr]

@@ -1,0 +1,128 @@
+"""IO capability mapping for SSP authentication stage 1 (paper Fig. 7).
+
+Given the initiator's and responder's IO capabilities, the spec selects
+the association model and defines what each side must show the user.
+The version split the paper highlights:
+
+* **Bluetooth ≤ 4.2** — no mandated popup: when the model degrades to
+  Just Works, most implementations auto-confirm silently on the
+  *initiator* and pop a bare accept/reject notification only on the
+  *responder*.
+* **Bluetooth ≥ 5.0** — a DisplayYesNo device must show a Yes/No
+  confirmation ("whether to pair") even for Just Works, but the dialog
+  carries **no confirmation value**, so the user cannot tell whom they
+  are actually pairing with — the gap §V-B2 exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.core.association import select_association_model
+from repro.core.types import AssociationModel, BluetoothVersion, IoCapability
+
+
+class ConfirmationBehavior(enum.Enum):
+    """What a device shows its user during authentication stage 1."""
+
+    AUTO_CONFIRM = "automatic confirmation"
+    POPUP_WITH_NUMBER = "display 6-digit number, Yes/No confirmation"
+    POPUP_YES_NO = "Yes/No confirmation without confirmation value"
+    PASSKEY_DISPLAY = "display 6-digit passkey"
+    PASSKEY_INPUT = "enter 6-digit passkey"
+
+
+def association_model(
+    initiator_io: IoCapability, responder_io: IoCapability
+) -> AssociationModel:
+    """Select the SSP association model from the two IO capabilities.
+
+    This is the downgrade pivot: any ``NoInputNoOutput`` participant
+    forces Just Works, bypassing the stage-1 MITM challenge.
+    (Thin wrapper over :func:`repro.core.association.
+    select_association_model`, kept for the host-facing API.)
+    """
+    return select_association_model(initiator_io, responder_io)
+
+
+def confirmation_behavior(
+    version: BluetoothVersion,
+    local_io: IoCapability,
+    remote_io: IoCapability,
+    local_is_initiator: bool,
+) -> ConfirmationBehavior:
+    """What the *local* device shows during stage 1 (Fig. 7 cell)."""
+    if local_is_initiator:
+        model = association_model(local_io, remote_io)
+    else:
+        model = association_model(remote_io, local_io)
+
+    if local_io is IoCapability.NO_INPUT_NO_OUTPUT:
+        return ConfirmationBehavior.AUTO_CONFIRM
+    if model is AssociationModel.NUMERIC_COMPARISON:
+        return ConfirmationBehavior.POPUP_WITH_NUMBER
+    if model is AssociationModel.PASSKEY_ENTRY:
+        if local_io is IoCapability.KEYBOARD_ONLY:
+            return ConfirmationBehavior.PASSKEY_INPUT
+        return ConfirmationBehavior.PASSKEY_DISPLAY
+    # Just Works with local display capability:
+    if version.mandates_justworks_popup:
+        return ConfirmationBehavior.POPUP_YES_NO
+    # ≤4.2: initiators auto-confirm; responders notify the user to
+    # prevent fully silent pairing (the common implementation choice
+    # the paper describes).
+    if local_is_initiator:
+        return ConfirmationBehavior.AUTO_CONFIRM
+    return ConfirmationBehavior.POPUP_YES_NO
+
+
+def confirmation_matrix(
+    version: BluetoothVersion,
+    ios: Tuple[IoCapability, ...] = (
+        IoCapability.DISPLAY_YES_NO,
+        IoCapability.NO_INPUT_NO_OUTPUT,
+    ),
+) -> List[Tuple[str, str, str, str, str]]:
+    """Enumerate the Fig. 7 table: one row per (responder, initiator).
+
+    Returns rows of (responder_io, initiator_io, model,
+    initiator_behavior, responder_behavior).
+    """
+    rows = []
+    for responder_io in ios:
+        for initiator_io in ios:
+            model = association_model(initiator_io, responder_io)
+            initiator_side = confirmation_behavior(
+                version, initiator_io, responder_io, local_is_initiator=True
+            )
+            responder_side = confirmation_behavior(
+                version, responder_io, initiator_io, local_is_initiator=False
+            )
+            rows.append(
+                (
+                    responder_io.describe(),
+                    initiator_io.describe(),
+                    model.value,
+                    initiator_side.value,
+                    responder_side.value,
+                )
+            )
+    return rows
+
+
+def render_confirmation_matrix(version: BluetoothVersion) -> str:
+    """Pretty-print the Fig. 7 table for a spec version."""
+    rows = confirmation_matrix(version)
+    lines = [
+        f"IO capability mapping for authentication stage 1 (v{version.value})",
+        f"{'Responder':<18} {'Initiator':<18} {'Model':<20} "
+        f"{'Initiator shows':<46} {'Responder shows'}",
+    ]
+    lines.append("-" * len(lines[1]))
+    for responder, initiator, model, ini_behavior, res_behavior in rows:
+        lines.append(
+            f"{responder:<18} {initiator:<18} {model:<20} "
+            f"{ini_behavior:<46} {res_behavior}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""L2CAP: channels over ACL, with real byte framing.
+
+Frame format (basic mode): ``length(2, LE) | channel_id(2, LE) |
+payload``.  Signalling rides on CID 0x0001 with ``code(1) | id(1) |
+length(2, LE) | data`` commands; we implement connection request/
+response and disconnection.
+
+Services register per PSM and may demand authentication: when a
+connect request arrives for a protected PSM over an unauthenticated
+link, the host first runs LMP authentication (GAP security
+enforcement) and only then accepts the channel.  This is the mechanism
+the key-validation experiment drives: a PAN connect with a correct
+(extracted) key authenticates silently and the channel opens; a wrong
+key fails authentication and the channel is refused.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.types import BdAddr
+from repro.hci.constants import ErrorCode
+from repro.hci.packets import HciAclData
+from repro.host.operations import Operation
+
+SIGNALING_CID = 0x0001
+FIRST_DYNAMIC_CID = 0x0040
+
+_CODE_CONNECTION_REQUEST = 0x02
+_CODE_CONNECTION_RESPONSE = 0x03
+_CODE_DISCONNECTION_REQUEST = 0x06
+_CODE_DISCONNECTION_RESPONSE = 0x07
+
+RESULT_SUCCESS = 0x0000
+RESULT_PSM_NOT_SUPPORTED = 0x0002
+RESULT_SECURITY_BLOCK = 0x0003
+
+PSM_SDP = 0x0001
+PSM_BNEP = 0x000F
+
+
+@dataclass
+class L2capChannel:
+    """One open (or opening) L2CAP channel."""
+
+    handle: int
+    psm: int
+    local_cid: int
+    remote_cid: Optional[int] = None
+    state: str = "opening"  # opening | open | closed
+    peer: Optional[BdAddr] = None
+    on_data: Optional[Callable[["L2capChannel", bytes], None]] = None
+    open_op: Optional[Operation] = None
+
+
+@dataclass
+class L2capService:
+    """A registered PSM listener."""
+
+    psm: int
+    requires_authentication: bool = False
+    on_open: Optional[Callable[[L2capChannel], None]] = None
+    on_data: Optional[Callable[[L2capChannel, bytes], None]] = None
+
+
+class L2cap:
+    """L2CAP layer for one host stack."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.services: Dict[int, L2capService] = {}
+        self._channels: Dict[Tuple[int, int], L2capChannel] = {}  # (handle, lcid)
+        self._cid_counter = itertools.count(FIRST_DYNAMIC_CID)
+        self._sig_id = itertools.count(1)
+        self._pending_by_scid: Dict[int, L2capChannel] = {}
+
+    # --------------------------------------------------------------- service
+
+    def register_service(self, service: L2capService) -> None:
+        self.services[service.psm] = service
+
+    # --------------------------------------------------------------- connect
+
+    def connect(
+        self,
+        addr: BdAddr,
+        psm: int,
+        on_data: Optional[Callable[[L2capChannel, bytes], None]] = None,
+    ) -> Operation:
+        """Open a channel to ``addr``'s ``psm`` (ACL must exist)."""
+        operation = Operation("l2cap-connect")
+        handle = self.host.gap.handle_for(addr)
+        if handle is None:
+            operation.fail(ErrorCode.UNKNOWN_CONNECTION_IDENTIFIER)
+            return operation
+        local_cid = next(self._cid_counter)
+        channel = L2capChannel(
+            handle=handle,
+            psm=psm,
+            local_cid=local_cid,
+            peer=addr,
+            on_data=on_data,
+            open_op=operation,
+        )
+        self._channels[(handle, local_cid)] = channel
+        self._pending_by_scid[local_cid] = channel
+        payload = psm.to_bytes(2, "little") + local_cid.to_bytes(2, "little")
+        self._send_signal(handle, _CODE_CONNECTION_REQUEST, payload)
+        return operation
+
+    def send(self, channel: L2capChannel, payload: bytes) -> None:
+        """Send data on an open channel."""
+        if channel.state != "open" or channel.remote_cid is None:
+            raise ValueError(f"channel {channel.local_cid} is not open")
+        self._send_frame(channel.handle, channel.remote_cid, payload)
+
+    def disconnect(self, channel: L2capChannel) -> None:
+        if channel.state != "open":
+            return
+        payload = channel.remote_cid.to_bytes(2, "little") + channel.local_cid.to_bytes(
+            2, "little"
+        )
+        self._send_signal(channel.handle, _CODE_DISCONNECTION_REQUEST, payload)
+        channel.state = "closed"
+        self._channels.pop((channel.handle, channel.local_cid), None)
+
+    def on_link_down(self, handle: int) -> None:
+        """ACL went away: close every channel riding on it."""
+        for key in [k for k in self._channels if k[0] == handle]:
+            channel = self._channels.pop(key)
+            channel.state = "closed"
+            if channel.open_op is not None and not channel.open_op.done:
+                channel.open_op.fail(ErrorCode.CONNECTION_TIMEOUT)
+
+    # ---------------------------------------------------------------- framing
+
+    def _send_frame(self, handle: int, cid: int, payload: bytes) -> None:
+        frame = (
+            len(payload).to_bytes(2, "little")
+            + cid.to_bytes(2, "little")
+            + payload
+        )
+        self.host.send_acl(handle, frame)
+
+    def _send_signal(self, handle: int, code: int, data: bytes) -> None:
+        signal = (
+            bytes([code, next(self._sig_id) & 0xFF])
+            + len(data).to_bytes(2, "little")
+            + data
+        )
+        self._send_frame(handle, SIGNALING_CID, signal)
+
+    def on_acl(self, packet: HciAclData) -> None:
+        """Dispatch an incoming ACL frame to a channel or the signaller."""
+        raw = packet.data
+        if len(raw) < 4:
+            return
+        length = int.from_bytes(raw[0:2], "little")
+        cid = int.from_bytes(raw[2:4], "little")
+        payload = raw[4 : 4 + length]
+        if cid == SIGNALING_CID:
+            self._on_signal(packet.handle, payload)
+            return
+        channel = self._channels.get((packet.handle, cid))
+        if channel is None or channel.state != "open":
+            return
+        if channel.on_data is not None:
+            channel.on_data(channel, payload)
+
+    # -------------------------------------------------------------- signalling
+
+    def _on_signal(self, handle: int, payload: bytes) -> None:
+        if len(payload) < 4:
+            return
+        code = payload[0]
+        data = payload[4 : 4 + int.from_bytes(payload[2:4], "little")]
+        if code == _CODE_CONNECTION_REQUEST:
+            psm = int.from_bytes(data[0:2], "little")
+            remote_scid = int.from_bytes(data[2:4], "little")
+            self._on_connection_request(handle, psm, remote_scid)
+        elif code == _CODE_CONNECTION_RESPONSE:
+            dcid = int.from_bytes(data[0:2], "little")
+            scid = int.from_bytes(data[2:4], "little")
+            result = int.from_bytes(data[4:6], "little")
+            self._on_connection_response(handle, dcid, scid, result)
+        elif code == _CODE_DISCONNECTION_REQUEST:
+            dcid = int.from_bytes(data[0:2], "little")
+            channel = self._channels.pop((handle, dcid), None)
+            if channel is not None:
+                channel.state = "closed"
+            response = data[0:4]
+            self._send_signal(handle, _CODE_DISCONNECTION_RESPONSE, response)
+
+    def _on_connection_request(
+        self, handle: int, psm: int, remote_scid: int
+    ) -> None:
+        service = self.services.get(psm)
+        if service is None:
+            self._respond(handle, 0, remote_scid, RESULT_PSM_NOT_SUPPORTED)
+            return
+        addr = self.host.gap.addr_for_handle(handle)
+        if service.requires_authentication and addr is not None:
+            info = self.host.gap.connections.get(addr)
+            if info is None or not info.authenticated:
+                # GAP security enforcement: authenticate, then accept.
+                auth_op = self.host.gap.authenticate(addr)
+                auth_op.on_done(
+                    lambda op: self._finish_accept(
+                        handle, service, remote_scid, accepted=op.success
+                    )
+                )
+                return
+        self._finish_accept(handle, service, remote_scid, accepted=True)
+
+    def _finish_accept(
+        self, handle: int, service: L2capService, remote_scid: int, accepted: bool
+    ) -> None:
+        if not accepted:
+            self._respond(handle, 0, remote_scid, RESULT_SECURITY_BLOCK)
+            return
+        local_cid = next(self._cid_counter)
+        channel = L2capChannel(
+            handle=handle,
+            psm=service.psm,
+            local_cid=local_cid,
+            remote_cid=remote_scid,
+            state="open",
+            peer=self.host.gap.addr_for_handle(handle),
+            on_data=service.on_data,
+        )
+        self._channels[(handle, local_cid)] = channel
+        self._respond(handle, local_cid, remote_scid, RESULT_SUCCESS)
+        if service.on_open is not None:
+            service.on_open(channel)
+
+    def _respond(
+        self, handle: int, local_cid: int, remote_scid: int, result: int
+    ) -> None:
+        payload = (
+            local_cid.to_bytes(2, "little")
+            + remote_scid.to_bytes(2, "little")
+            + result.to_bytes(2, "little")
+            + b"\x00\x00"
+        )
+        self._send_signal(handle, _CODE_CONNECTION_RESPONSE, payload)
+
+    def _on_connection_response(
+        self, handle: int, dcid: int, scid: int, result: int
+    ) -> None:
+        channel = self._pending_by_scid.pop(scid, None)
+        if channel is None:
+            return
+        if result != RESULT_SUCCESS:
+            channel.state = "closed"
+            self._channels.pop((handle, channel.local_cid), None)
+            if channel.open_op is not None:
+                channel.open_op.fail(result or 0xFF)
+            return
+        channel.remote_cid = dcid
+        channel.state = "open"
+        if channel.open_op is not None:
+            channel.open_op.complete(result=channel)

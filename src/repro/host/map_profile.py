@@ -1,0 +1,111 @@
+"""MAP — Message Access Profile (the other §III target service).
+
+Serves the device's SMS store over an authentication-gated L2CAP
+channel.  Same simplification as PBAP: real MAP is OBEX/RFCOMM; we
+keep the payloads (bMessage-style records) and the security gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.types import BdAddr
+from repro.host.l2cap import L2capChannel, L2capService
+from repro.host.operations import Operation
+
+PSM_MAP = 0x1003
+
+_REQUEST_LIST = b"MAP-GET-LISTING\r\n"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One stored SMS."""
+
+    sender: str
+    body: str
+
+    def to_bmessage(self) -> str:
+        return (
+            "BEGIN:BMSG\r\n"
+            "VERSION:1.0\r\n"
+            f"FROM:{self.sender}\r\n"
+            f"BODY:{self.body}\r\n"
+            "END:BMSG\r\n"
+        )
+
+    @classmethod
+    def from_bmessage(cls, text: str) -> "Message":
+        sender = body = ""
+        for line in text.splitlines():
+            if line.startswith("FROM:"):
+                sender = line[5:]
+            elif line.startswith("BODY:"):
+                body = line[5:]
+        return cls(sender=sender, body=body)
+
+
+def parse_bmessages(payload: bytes) -> List[Message]:
+    text = payload.decode("utf-8", errors="replace")
+    messages = []
+    for chunk in text.split("BEGIN:BMSG"):
+        if "END:BMSG" in chunk:
+            messages.append(Message.from_bmessage("BEGIN:BMSG" + chunk))
+    return messages
+
+
+@dataclass
+class MapProfile:
+    """MAP server (MSE) + client (MCE) for one host."""
+
+    host: object
+    messages: List[Message] = field(default_factory=list)
+    listings_served: int = 0
+
+    def __post_init__(self) -> None:
+        self.host.l2cap.register_service(
+            L2capService(
+                psm=PSM_MAP,
+                requires_authentication=True,
+                on_data=self._on_server_data,
+            )
+        )
+
+    def load_messages(self, messages: List[Message]) -> None:
+        self.messages = list(messages)
+
+    def _on_server_data(self, channel: L2capChannel, payload: bytes) -> None:
+        if payload != _REQUEST_LIST:
+            return
+        self.listings_served += 1
+        body = "".join(message.to_bmessage() for message in self.messages)
+        self.host.l2cap.send(channel, body.encode("utf-8"))
+
+    def list_messages(self, addr: BdAddr) -> Operation:
+        """Download the peer's message listing (authentication enforced)."""
+        operation = Operation("map-listing")
+
+        def on_data(channel: L2capChannel, payload: bytes) -> None:
+            operation.complete(result=parse_bmessages(payload))
+            self.host.l2cap.disconnect(channel)
+
+        def on_channel(op: Operation) -> None:
+            if not op.success:
+                operation.fail(op.status)
+                return
+            self.host.l2cap.send(op.result, _REQUEST_LIST)
+
+        def start(connect_op: Optional[Operation]) -> None:
+            if connect_op is not None and not connect_op.success:
+                operation.fail(connect_op.status)
+                return
+            self.host.l2cap.connect(addr, PSM_MAP, on_data=on_data).on_done(
+                on_channel
+            )
+
+        if self.host.gap.is_connected(addr):
+            start(None)
+        else:
+            self.host.gap.connect(addr).on_done(start)
+        return operation

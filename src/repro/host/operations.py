@@ -1,0 +1,49 @@
+"""Asynchronous host operations with pollable results.
+
+The simulation is callback-driven, but tests and attack scripts read
+much better with future-like handles: start an operation, run the
+simulator, then inspect ``op.done`` / ``op.success`` / ``op.result``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Operation:
+    """A pollable async operation (connect, pair, discovery, ...)."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.done = False
+        self.status: Optional[int] = None
+        self.result: Any = None
+        self._callbacks: List[Callable[["Operation"], None]] = []
+
+    @property
+    def success(self) -> bool:
+        return self.done and self.status == 0
+
+    def complete(self, status: int = 0, result: Any = None) -> None:
+        """Resolve the operation (idempotent)."""
+        if self.done:
+            return
+        self.done = True
+        self.status = status
+        self.result = result
+        for callback in self._callbacks:
+            callback(self)
+
+    def fail(self, status: int) -> None:
+        self.complete(status=status)
+
+    def on_done(self, callback: Callable[["Operation"], None]) -> None:
+        """Register a completion callback (fires immediately if done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"Operation({self.kind}, {state}, status={self.status})"

@@ -1,0 +1,123 @@
+"""PBAP — Phone Book Access Profile (the paper's §III target data).
+
+The attack model's end goal is "to mine sensitive information" from M,
+whose Bluetooth profile services expose phone books (PBAP), messages
+(MAP) and calls (HFP).  This module implements a compact PBAP: a
+phonebook of vCard 2.1 entries served over an L2CAP channel that
+**requires LMP authentication** — so possession of the (extracted)
+link key is exactly what gates the data.
+
+Simplification note: real PBAP rides OBEX over RFCOMM; we serve the
+same vCard payloads over a dedicated L2CAP PSM, preserving the
+security gating and the data format while skipping the OBEX framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.types import BdAddr
+from repro.host.l2cap import L2capChannel, L2capService
+from repro.host.operations import Operation
+
+PSM_PBAP = 0x1001
+
+_REQUEST_PULL = b"PBAP-PULL\r\n"
+
+
+@dataclass(frozen=True)
+class Contact:
+    """One phonebook entry."""
+
+    name: str
+    phone: str
+
+    def to_vcard(self) -> str:
+        return (
+            "BEGIN:VCARD\r\n"
+            "VERSION:2.1\r\n"
+            f"N:{self.name}\r\n"
+            f"TEL;CELL:{self.phone}\r\n"
+            "END:VCARD\r\n"
+        )
+
+    @classmethod
+    def from_vcard(cls, text: str) -> "Contact":
+        name = phone = ""
+        for line in text.splitlines():
+            if line.startswith("N:"):
+                name = line[2:]
+            elif line.startswith("TEL;CELL:"):
+                phone = line[9:]
+        return cls(name=name, phone=phone)
+
+
+def parse_vcards(payload: bytes) -> List[Contact]:
+    """Split a concatenated vCard stream back into contacts."""
+    text = payload.decode("utf-8", errors="replace")
+    contacts = []
+    for chunk in text.split("BEGIN:VCARD"):
+        if "END:VCARD" in chunk:
+            contacts.append(Contact.from_vcard("BEGIN:VCARD" + chunk))
+    return contacts
+
+
+@dataclass
+class PbapProfile:
+    """PBAP server (PSE) + client (PCE) for one host."""
+
+    host: object
+    phonebook: List[Contact] = field(default_factory=list)
+    pulls_served: int = 0
+
+    def __post_init__(self) -> None:
+        self.host.l2cap.register_service(
+            L2capService(
+                psm=PSM_PBAP,
+                requires_authentication=True,  # the link key is the gate
+                on_data=self._on_server_data,
+            )
+        )
+
+    # ---------------------------------------------------------------- server
+
+    def load_phonebook(self, contacts: List[Contact]) -> None:
+        self.phonebook = list(contacts)
+
+    def _on_server_data(self, channel: L2capChannel, payload: bytes) -> None:
+        if payload != _REQUEST_PULL:
+            return
+        self.pulls_served += 1
+        body = "".join(contact.to_vcard() for contact in self.phonebook)
+        self.host.l2cap.send(channel, body.encode("utf-8"))
+
+    # ---------------------------------------------------------------- client
+
+    def pull_phonebook(self, addr: BdAddr) -> Operation:
+        """Download the peer's phonebook (authentication enforced)."""
+        operation = Operation("pbap-pull")
+
+        def on_data(channel: L2capChannel, payload: bytes) -> None:
+            operation.complete(result=parse_vcards(payload))
+            self.host.l2cap.disconnect(channel)
+
+        def on_channel(op: Operation) -> None:
+            if not op.success:
+                operation.fail(op.status)
+                return
+            self.host.l2cap.send(op.result, _REQUEST_PULL)
+
+        def start(connect_op: Optional[Operation]) -> None:
+            if connect_op is not None and not connect_op.success:
+                operation.fail(connect_op.status)
+                return
+            self.host.l2cap.connect(addr, PSM_PBAP, on_data=on_data).on_done(
+                on_channel
+            )
+
+        if self.host.gap.is_connected(addr):
+            start(None)
+        else:
+            self.host.gap.connect(addr).on_done(start)
+        return operation

@@ -1,0 +1,121 @@
+"""Service Discovery Protocol (minimal but on-the-wire).
+
+SDP matters to the paper for two reasons:
+
+* It is the canonical example of a service that **requires no
+  authentication** (GAP permits unauthenticated SDP), which is the
+  specification laxity that makes "connection initiator ≠ pairing
+  initiator" legitimate and the page blocking attack standard-
+  compliant (§VII-B).
+* An SDP query doubles as the dummy keepalive traffic that holds a
+  PLOC link open past the supervision timeout (§VI-B2).
+
+The wire protocol is a compact subset: a search request carries a
+16-bit UUID (0x0000 = wildcard) and the response lists matching
+records as ``uuid16 | name_length | name`` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.types import BdAddr
+from repro.host.l2cap import L2capChannel, L2capService, PSM_SDP
+from repro.host.operations import Operation
+
+_REQUEST = 0x02
+_RESPONSE = 0x03
+
+# Well-known 16-bit service UUIDs used across the reproduction.
+UUID_SDP_SERVER = 0x1000
+UUID_SERIAL_PORT = 0x1101
+UUID_HANDSFREE = 0x111E
+UUID_PBAP_PSE = 0x112F
+UUID_MAP = 0x1134
+UUID_PANU = 0x1115
+UUID_NAP = 0x1116
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One advertised service."""
+
+    uuid16: int
+    name: str
+
+    def encode(self) -> bytes:
+        raw = self.name.encode("utf-8")[:255]
+        return self.uuid16.to_bytes(2, "little") + bytes([len(raw)]) + raw
+
+
+@dataclass
+class SdpServer:
+    """SDP server + client for one host."""
+
+    host: object
+    records: List[ServiceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.host.l2cap.register_service(
+            L2capService(
+                psm=PSM_SDP,
+                requires_authentication=False,  # the GAP laxity, by design
+                on_data=self._on_server_data,
+            )
+        )
+        self._queries: Dict[int, Operation] = {}
+
+    # ---------------------------------------------------------------- server
+
+    def register(self, record: ServiceRecord) -> None:
+        self.records.append(record)
+
+    def _on_server_data(self, channel: L2capChannel, payload: bytes) -> None:
+        if not payload or payload[0] != _REQUEST or len(payload) < 3:
+            return
+        wanted = int.from_bytes(payload[1:3], "little")
+        matches = [
+            record
+            for record in self.records
+            if wanted in (0x0000, record.uuid16)
+        ]
+        response = bytes([_RESPONSE, len(matches)]) + b"".join(
+            record.encode() for record in matches
+        )
+        self.host.l2cap.send(channel, response)
+
+    # ---------------------------------------------------------------- client
+
+    def query(self, addr: BdAddr, uuid16: int = 0x0000) -> Operation:
+        """Query a peer's services (requires an existing ACL link)."""
+        operation = Operation("sdp-query")
+
+        def on_data(channel: L2capChannel, payload: bytes) -> None:
+            if not payload or payload[0] != _RESPONSE:
+                return
+            count = payload[1]
+            offset = 2
+            results: List[ServiceRecord] = []
+            for _ in range(count):
+                uuid = int.from_bytes(payload[offset : offset + 2], "little")
+                name_length = payload[offset + 2]
+                name = payload[offset + 3 : offset + 3 + name_length].decode(
+                    "utf-8", errors="replace"
+                )
+                results.append(ServiceRecord(uuid16=uuid, name=name))
+                offset += 3 + name_length
+            operation.complete(result=results)
+            self.host.l2cap.disconnect(channel)
+
+        channel_op = self.host.l2cap.connect(addr, PSM_SDP, on_data=on_data)
+
+        def on_channel(op: Operation) -> None:
+            if not op.success:
+                operation.fail(op.status)
+                return
+            request = bytes([_REQUEST]) + uuid16.to_bytes(2, "little")
+            self.host.l2cap.send(op.result, request)
+
+        channel_op.on_done(on_channel)
+        return operation

@@ -1,0 +1,285 @@
+"""The host security manager: bonded keys, pairing policy, popups.
+
+This component owns the link key database — the asset the paper's
+first attack steals.  Every time the controller re-authenticates a
+bonded peer it asks this component for the key, and the plaintext
+``HCI_Link_Key_Request_Reply`` it sends back is what lands in the HCI
+dump.
+
+It also implements the host side of SSP: answering the IO capability
+request (the downgrade knob), deciding when to show a confirmation
+popup (the Fig. 7 version-dependent policy) and consulting the
+:class:`~repro.host.ui.UserModel` for the Yes/No decision.
+
+Key deletion policy (paper §IV-C): a key is removed when an
+authentication completes with ``AUTHENTICATION_FAILURE`` or
+``PIN_OR_KEY_MISSING`` — but *not* on an LMP response timeout, which is
+exactly why the extraction attack drops the link by timeout instead of
+failing the challenge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.types import BdAddr, IoCapability
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.hci.constants import ErrorCode
+from repro.host.iocap import ConfirmationBehavior, confirmation_behavior
+from repro.host.storage import BondingRecord, BondingStore
+
+
+class SecurityManager:
+    """Key database + SSP host logic for one host stack."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self._store: Optional[BondingStore] = host.store
+        self.keys: Dict[BdAddr, BondingRecord] = (
+            self._store.load() if self._store else {}
+        )
+        self._pairing_initiator: Set[BdAddr] = set()
+        self._remote_io: Dict[BdAddr, int] = {}
+        self.link_keys_served = 0
+        self.keys_deleted = 0
+        #: §VII-B mitigation: refuse pairings where we initiated the
+        #: *pairing* but the peer initiated the *connection* and claims
+        #: NoInputNoOutput — the page blocking signature.
+        self.page_blocking_guard = False
+        self.guard_rejections = 0
+        #: out-of-band (C, R) data received per peer (e.g. via NFC)
+        self.peer_oob: Dict[BdAddr, Tuple[bytes, bytes]] = {}
+
+    # ---------------------------------------------------------------- bonds
+
+    def bond_for(self, addr: BdAddr) -> Optional[BondingRecord]:
+        return self.keys.get(addr)
+
+    def is_bonded(self, addr: BdAddr) -> bool:
+        return addr in self.keys
+
+    def add_bond(self, record: BondingRecord) -> None:
+        self.keys[record.addr] = record
+        self._persist()
+
+    def remove_bond(self, addr: BdAddr) -> None:
+        if addr in self.keys:
+            del self.keys[addr]
+            self.keys_deleted += 1
+            self._persist()
+
+    def reload_from_store(self) -> None:
+        """Re-read bonding storage — models a Bluetooth off/on cycle
+        after the attacker edited bt_config.conf (paper §VI-B1 step 3)."""
+        if self._store is not None:
+            self.keys = self._store.load()
+
+    def _persist(self) -> None:
+        if self._store is not None:
+            self._store.save(self.keys)
+
+    # ------------------------------------------------------------ HCI events
+
+    def on_link_key_request(self, event: evt.LinkKeyRequest) -> None:
+        """Controller wants the key for a peer — answer in plaintext."""
+        record = self.keys.get(event.bd_addr)
+        if record is None:
+            self.host.send_command(
+                cmd.LinkKeyRequestNegativeReply(bd_addr=event.bd_addr)
+            )
+            return
+        self.link_keys_served += 1
+        self.host.send_command(
+            cmd.LinkKeyRequestReply(
+                bd_addr=event.bd_addr, link_key=record.link_key
+            )
+        )
+
+    def on_pin_code_request(self, event: evt.PinCodeRequest) -> None:
+        """Legacy pairing: answer with the user's PIN, if they have one."""
+        pin = self.host.user.pin_code
+        if pin is None:
+            self.host.send_command(
+                cmd.PinCodeRequestNegativeReply(bd_addr=event.bd_addr)
+            )
+            return
+        raw = pin.encode("ascii")[:16]
+        self.host.send_command(
+            cmd.PinCodeRequestReply(
+                bd_addr=event.bd_addr,
+                pin_length=len(raw),
+                pin=raw + b"\x00" * (16 - len(raw)),
+            )
+        )
+
+    def on_io_capability_request(self, event: evt.IoCapabilityRequest) -> None:
+        self.host.send_command(
+            cmd.IoCapabilityRequestReply(
+                bd_addr=event.bd_addr,
+                io_capability=int(self.host.io_capability),
+                oob_data_present=int(event.bd_addr in self.peer_oob),
+                authentication_requirements=int(self.host.auth_requirements),
+            )
+        )
+
+    # ------------------------------------------------------------ OOB data
+
+    def receive_oob_data(self, addr: BdAddr, c: bytes, r: bytes) -> None:
+        """Store a peer's (C, R) received over the out-of-band channel."""
+        self.peer_oob[addr] = (c, r)
+
+    def on_remote_oob_data_request(self, event: evt.RemoteOobDataRequest) -> None:
+        data = self.peer_oob.get(event.bd_addr)
+        if data is None:
+            self.host.send_command(
+                cmd.RemoteOobDataRequestNegativeReply(bd_addr=event.bd_addr)
+            )
+            return
+        c, r = data
+        self.host.send_command(
+            cmd.RemoteOobDataRequestReply(bd_addr=event.bd_addr, c=c, r=r)
+        )
+
+    def on_io_capability_response(self, event: evt.IoCapabilityResponse) -> None:
+        self._remote_io[event.bd_addr] = event.io_capability
+
+    def mark_pairing_initiator(self, addr: BdAddr) -> None:
+        """GAP tells us our side initiated the pairing with ``addr``."""
+        self._pairing_initiator.add(addr)
+
+    def local_is_initiator(self, addr: BdAddr) -> bool:
+        return addr in self._pairing_initiator
+
+    def on_user_confirmation_request(
+        self, event: evt.UserConfirmationRequest
+    ) -> None:
+        """Authentication stage 1 confirmation — the popup decision."""
+        addr = event.bd_addr
+        local_is_initiator = self.local_is_initiator(addr)
+        remote_io = IoCapability(
+            self._remote_io.get(addr, IoCapability.NO_INPUT_NO_OUTPUT)
+        )
+        if self.page_blocking_guard and self._looks_page_blocked(
+            addr, local_is_initiator, remote_io
+        ):
+            self.guard_rejections += 1
+            self.host.tracer.emit(
+                self.host.simulator.now,
+                self.host.name,
+                "mitigation",
+                f"page-blocking guard rejected pairing with {addr}: "
+                "we initiated pairing on a remotely-initiated connection "
+                "from a NoInputNoOutput peer",
+            )
+            self.host.send_command(
+                cmd.UserConfirmationRequestNegativeReply(bd_addr=addr)
+            )
+            return
+        behavior = confirmation_behavior(
+            self.host.version,
+            self.host.io_capability,
+            remote_io,
+            local_is_initiator,
+        )
+        self.host.tracer.emit(
+            self.host.simulator.now,
+            self.host.name,
+            "pairing-ui",
+            f"stage1 confirmation for {addr}: {behavior.value}",
+            initiator=local_is_initiator,
+        )
+        if behavior is ConfirmationBehavior.AUTO_CONFIRM:
+            self.host.send_command(
+                cmd.UserConfirmationRequestReply(bd_addr=addr)
+            )
+            return
+        numeric: Optional[int] = None
+        if behavior is ConfirmationBehavior.POPUP_WITH_NUMBER:
+            numeric = event.numeric_value
+        user = self.host.user
+        self.host.simulator.schedule(
+            user.decision_delay(), self._user_decides, addr, numeric
+        )
+
+    def _looks_page_blocked(
+        self, addr: BdAddr, local_is_initiator: bool, remote_io: IoCapability
+    ) -> bool:
+        """The §VII-B detection predicate."""
+        if not local_is_initiator:
+            return False
+        if remote_io is not IoCapability.NO_INPUT_NO_OUTPUT:
+            return False
+        info = self.host.gap.connections.get(addr)
+        return info is not None and not info.initiated_by_us
+
+    def _user_decides(self, addr: BdAddr, numeric: Optional[int]) -> None:
+        accepted = self.host.user.decide_confirmation(
+            addr, numeric, self.host.simulator.now
+        )
+        if accepted:
+            self.host.send_command(cmd.UserConfirmationRequestReply(bd_addr=addr))
+        else:
+            self.host.send_command(
+                cmd.UserConfirmationRequestNegativeReply(bd_addr=addr)
+            )
+
+    def on_user_passkey_notification(
+        self, event: evt.UserPasskeyNotification
+    ) -> None:
+        """The controller generated a passkey: show it on our display."""
+        self.host.user.show_passkey(event.passkey)
+        self.host.tracer.emit(
+            self.host.simulator.now,
+            self.host.name,
+            "pairing-ui",
+            f"displaying passkey {event.passkey:06d} for {event.bd_addr}",
+        )
+
+    def on_user_passkey_request(self, event: evt.UserPasskeyRequest) -> None:
+        """Ask the user to type the passkey shown on the peer device."""
+        user = self.host.user
+        self.host.simulator.schedule(
+            user.typing_delay(), self._user_types_passkey, event.bd_addr
+        )
+
+    def _user_types_passkey(self, addr: BdAddr) -> None:
+        value = self.host.user.read_peer_passkey(self.host.simulator.now)
+        if value is None:
+            self.host.send_command(
+                cmd.UserPasskeyRequestNegativeReply(bd_addr=addr)
+            )
+            return
+        self.host.send_command(
+            cmd.UserPasskeyRequestReply(bd_addr=addr, numeric_value=value)
+        )
+
+    def on_link_key_notification(self, event: evt.LinkKeyNotification) -> None:
+        """A fresh pairing produced a key: store (bond) it."""
+        name = self.host.gap.name_cache.get(event.bd_addr, "")
+        self.add_bond(
+            BondingRecord(
+                addr=event.bd_addr,
+                link_key=event.link_key,
+                key_type=event.key_type,
+                name=name,
+            )
+        )
+
+    def on_authentication_complete(self, addr: Optional[BdAddr], status: int) -> None:
+        """Apply the key deletion policy and clear pairing state."""
+        if addr is None:
+            return
+        if status in (
+            ErrorCode.AUTHENTICATION_FAILURE,
+            ErrorCode.PIN_OR_KEY_MISSING,
+        ):
+            self.remove_bond(addr)
+        if status == 0 or status != ErrorCode.LMP_RESPONSE_TIMEOUT:
+            self._pairing_initiator.discard(addr)
+
+    def on_simple_pairing_complete(
+        self, event: evt.SimplePairingComplete
+    ) -> None:
+        if event.status != 0:
+            self._pairing_initiator.discard(event.bd_addr)

@@ -1,0 +1,387 @@
+"""The host stack: event dispatch, per-vendor profiles, attack hooks.
+
+:class:`HostStack` is the analogue of bluedroid's ``btu`` layer: one
+callback (:meth:`_process`, mirroring ``btu_hcif_process_event``)
+receives every HCI event and routes it to GAP / security / L2CAP.
+
+Two deliberately exposed hooks model the paper's source patches:
+
+* ``drop_link_key_requests`` (Fig. 9) — comment out the
+  ``HCI_LINK_KEY_REQUEST`` handler: the host silently ignores the
+  controller's key request, the LMP exchange stalls, and the *peer*
+  drops the link by timeout, with no authentication failure.
+* :meth:`hold_events` (Fig. 13) — postpone all HCI event processing
+  for a fixed duration: the controller-level connection completes but
+  the host never advances to the host-layer connection — the PLOC
+  state of the page blocking attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.types import (
+    AuthenticationRequirements,
+    BluetoothVersion,
+    IoCapability,
+)
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.hci.constants import EventCode
+from repro.hci.packets import HciAclData, HciCommand, HciEvent
+from repro.hci.parser import parse_packet
+from repro.host.gap import Gap
+from repro.host.l2cap import L2cap
+from repro.host.hfp import HfpProfile
+from repro.host.map_profile import MapProfile
+from repro.host.pan import PanProfile
+from repro.host.pbap import PbapProfile
+from repro.host.sdp import (
+    SdpServer,
+    ServiceRecord,
+    UUID_MAP,
+    UUID_NAP,
+    UUID_PANU,
+    UUID_PBAP_PSE,
+)
+from repro.host.security import SecurityManager
+from repro.host.storage import BondingStore
+from repro.host.ui import UserModel
+from repro.sim.eventloop import Simulator
+from repro.sim.trace import Tracer
+from repro.transport.base import HciTransport
+
+
+@dataclass(frozen=True)
+class StackProfile:
+    """Vendor-specific host stack properties the attacks care about."""
+
+    name: str  # bluedroid | bluez | microsoft | csr_harmony | ios
+    hci_snoop_supported: bool
+    snoop_requires_su: bool  # is the log path itself SU-protected?
+    snoop_extractable_without_su: bool  # e.g. Android bug report
+    storage_format: str  # bt_config | bluez_info | registry
+    storage_requires_su: bool
+
+    BLUEDROID = None  # type: StackProfile
+    BLUEZ = None  # type: StackProfile
+    MICROSOFT = None  # type: StackProfile
+    CSR_HARMONY = None  # type: StackProfile
+    IOS = None  # type: StackProfile
+
+
+StackProfile.BLUEDROID = StackProfile(
+    name="bluedroid",
+    hci_snoop_supported=True,
+    snoop_requires_su=True,  # /data/misc/bluetooth/logs is protected...
+    snoop_extractable_without_su=True,  # ...but the bug report copies it out
+    storage_format="bt_config",
+    storage_requires_su=True,
+)
+StackProfile.BLUEZ = StackProfile(
+    name="bluez",
+    hci_snoop_supported=True,  # bluez-hcidump package
+    snoop_requires_su=True,
+    snoop_extractable_without_su=False,  # hcidump itself needs root
+    storage_format="bluez_info",
+    storage_requires_su=True,
+)
+StackProfile.MICROSOFT = StackProfile(
+    name="microsoft",
+    hci_snoop_supported=False,  # no HCI dump: USB sniffing instead
+    snoop_requires_su=False,
+    snoop_extractable_without_su=False,
+    storage_format="registry",
+    storage_requires_su=True,
+)
+StackProfile.CSR_HARMONY = StackProfile(
+    name="csr_harmony",
+    hci_snoop_supported=False,
+    snoop_requires_su=False,
+    snoop_extractable_without_su=False,
+    storage_format="registry",
+    storage_requires_su=True,
+)
+StackProfile.IOS = StackProfile(
+    name="ios",
+    hci_snoop_supported=False,  # no user-accessible HCI dump
+    snoop_requires_su=False,
+    snoop_extractable_without_su=False,
+    storage_format="registry",
+    storage_requires_su=True,
+)
+
+
+class HostStack:
+    """One device's Bluetooth host."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        transport: HciTransport,
+        profile: StackProfile,
+        name: str,
+        version: BluetoothVersion,
+        io_capability: IoCapability = IoCapability.DISPLAY_YES_NO,
+        user: Optional[UserModel] = None,
+        store: Optional[BondingStore] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.transport = transport
+        self.profile = profile
+        self.name = name
+        self.version = version
+        self.io_capability = io_capability
+        self.auth_requirements = AuthenticationRequirements.MITM_GENERAL_BONDING
+        self.user = user or UserModel()
+        self.store = store
+        self.tracer = tracer if tracer is not None else Tracer()
+
+        #: host-level Secure Simple Pairing support; a pre-2.1 stack
+        #: sets this False and pairs with the legacy PIN procedure
+        self.ssp_enabled = True
+        # Attack hooks (see module docstring).
+        self.drop_link_key_requests = False
+        self._hold_until: Optional[float] = None
+        self._held: List[bytes] = []
+
+        self.security = SecurityManager(self)
+        self.gap = Gap(self)
+        self.l2cap = L2cap(self)
+        self.sdp = SdpServer(self)
+        self.pan = PanProfile(self)
+        self.pbap = PbapProfile(self)
+        self.map = MapProfile(self)
+        self.hfp = HfpProfile(self)
+        self.sdp.register(ServiceRecord(UUID_PANU, "Personal Ad-hoc Network"))
+        self.sdp.register(ServiceRecord(UUID_NAP, "Network Access Point"))
+        self.sdp.register(ServiceRecord(UUID_PBAP_PSE, "Phonebook Access PSE"))
+        self.sdp.register(ServiceRecord(UUID_MAP, "Message Access Server"))
+
+        transport.attach_host(self._on_bytes)
+        self.events_processed = 0
+        self._cc_waiters: Dict[int, List[Callable[[bytes], None]]] = {}
+
+    # -------------------------------------------------------------- sending
+
+    def send_command(self, command: HciCommand) -> None:
+        self.tracer.emit(
+            self.simulator.now, self.name, "host-cmd", command.display_name
+        )
+        self.transport.send_from_host(command)
+
+    def send_acl(self, handle: int, payload: bytes) -> None:
+        self.transport.send_from_host(HciAclData(handle, payload))
+
+    def send_command_expect_complete(
+        self, command: HciCommand, callback: Callable[[bytes], None]
+    ) -> None:
+        """Send a command and deliver its Command_Complete return params."""
+        self._cc_waiters.setdefault(command.opcode, []).append(callback)
+        self.send_command(command)
+
+    def read_local_oob(self, callback: Callable[[bytes, bytes], None]) -> None:
+        """Fetch the local OOB (C, R) pair for out-of-band transfer."""
+
+        def on_complete(params: bytes) -> None:
+            callback(params[1:17], params[17:33])
+
+        self.send_command_expect_complete(cmd.ReadLocalOobData(), on_complete)
+
+    # ---------------------------------------------------------- PLOC / hold
+
+    def hold_events(self, duration: float) -> None:
+        """Postpone all HCI event processing (the Fig. 13 PLOC PoC)."""
+        self._hold_until = self.simulator.now + duration
+        self.tracer.emit(
+            self.simulator.now,
+            self.name,
+            "ploc",
+            f"postponing HCI event processing for {duration:.1f}s",
+        )
+        self.simulator.schedule(duration, self._flush_held)
+
+    @property
+    def holding(self) -> bool:
+        return (
+            self._hold_until is not None and self.simulator.now < self._hold_until
+        )
+
+    def _flush_held(self) -> None:
+        self._hold_until = None
+        held, self._held = self._held, []
+        for raw in held:
+            self._process(raw)
+
+    # ------------------------------------------------------------ receiving
+
+    def _on_bytes(self, raw: bytes) -> None:
+        if self.holding:
+            self._held.append(raw)
+            return
+        self._process(raw)
+
+    def _process(self, raw: bytes) -> None:
+        """The btu_hcif_process_event analogue."""
+        packet = parse_packet(raw[0], raw[1:])
+        self.events_processed += 1
+        if isinstance(packet, HciAclData):
+            self.l2cap.on_acl(packet)
+            return
+        if not isinstance(packet, HciEvent):
+            return
+        self.tracer.emit(
+            self.simulator.now, self.name, "host-evt", packet.display_name
+        )
+        if packet.event_code == EventCode.LINK_KEY_REQUEST:
+            if self.drop_link_key_requests:
+                # Fig. 9: btu_hcif_link_key_request_evt() commented out.
+                self.tracer.emit(
+                    self.simulator.now,
+                    self.name,
+                    "patch",
+                    "dropping HCI_Link_Key_Request (Fig. 9 patch)",
+                )
+                return
+            self.security.on_link_key_request(packet)
+            return
+        handler = self._EVENT_HANDLERS.get(packet.event_code)
+        if handler is not None:
+            handler(self, packet)
+
+    # Event routing table (bound below).
+    _EVENT_HANDLERS: Dict[int, Callable] = {}
+
+    def _route_connection_request(self, event: evt.ConnectionRequest) -> None:
+        self.gap.on_connection_request(event)
+
+    def _route_connection_complete(self, event: evt.ConnectionComplete) -> None:
+        self.gap.on_connection_complete(event)
+
+    def _route_disconnection_complete(
+        self, event: evt.DisconnectionComplete
+    ) -> None:
+        self.gap.on_disconnection_complete(event)
+
+    def _route_authentication_complete(
+        self, event: evt.AuthenticationComplete
+    ) -> None:
+        self.gap.on_authentication_complete(event)
+
+    def _route_encryption_change(self, event: evt.EncryptionChange) -> None:
+        self.gap.on_encryption_change(event)
+
+    def _route_inquiry_result(self, event: evt.InquiryResult) -> None:
+        self.gap.on_inquiry_result(event)
+
+    def _route_extended_inquiry_result(
+        self, event: evt.ExtendedInquiryResult
+    ) -> None:
+        self.gap.on_extended_inquiry_result(event)
+
+    def _route_inquiry_complete(self, event: evt.InquiryComplete) -> None:
+        self.gap.on_inquiry_complete(event)
+
+    def _route_remote_name(self, event: evt.RemoteNameRequestComplete) -> None:
+        self.gap.on_remote_name_complete(event)
+
+    def _route_command_status(self, event: evt.CommandStatus) -> None:
+        self.gap.on_command_status(event)
+
+    def _route_command_complete(self, event: evt.CommandComplete) -> None:
+        waiters = self._cc_waiters.get(event.command_opcode)
+        if waiters:
+            waiters.pop(0)(event.return_parameters)
+
+    def _route_remote_oob_data_request(
+        self, event: evt.RemoteOobDataRequest
+    ) -> None:
+        self.security.on_remote_oob_data_request(event)
+
+    def _route_synchronous_connection_complete(
+        self, event: evt.SynchronousConnectionComplete
+    ) -> None:
+        self.hfp.on_sco_complete(event)
+
+    def _route_pin_code_request(self, event: evt.PinCodeRequest) -> None:
+        self.security.on_pin_code_request(event)
+
+    def _route_io_capability_request(self, event: evt.IoCapabilityRequest) -> None:
+        self.security.on_io_capability_request(event)
+
+    def _route_io_capability_response(
+        self, event: evt.IoCapabilityResponse
+    ) -> None:
+        self.security.on_io_capability_response(event)
+
+    def _route_user_confirmation_request(
+        self, event: evt.UserConfirmationRequest
+    ) -> None:
+        self.security.on_user_confirmation_request(event)
+
+    def _route_user_passkey_request(self, event: evt.UserPasskeyRequest) -> None:
+        self.security.on_user_passkey_request(event)
+
+    def _route_user_passkey_notification(
+        self, event: evt.UserPasskeyNotification
+    ) -> None:
+        self.security.on_user_passkey_notification(event)
+
+    def _route_link_key_notification(self, event: evt.LinkKeyNotification) -> None:
+        self.security.on_link_key_notification(event)
+
+    def _route_simple_pairing_complete(
+        self, event: evt.SimplePairingComplete
+    ) -> None:
+        self.security.on_simple_pairing_complete(event)
+
+    # ------------------------------------------------------------ power-on
+
+    def initialize(
+        self,
+        local_name: Optional[str] = None,
+        class_of_device: Optional[int] = None,
+        connectable: bool = True,
+        discoverable: bool = True,
+    ) -> None:
+        """Send the usual power-on configuration command batch."""
+        self.send_command(cmd.SetEventMask(event_mask=b"\xff" * 8))
+        self.send_command(
+            cmd.WriteSimplePairingMode(simple_pairing_mode=int(self.ssp_enabled))
+        )
+        if local_name is not None:
+            self.send_command(cmd.WriteLocalName(local_name=local_name))
+        if class_of_device is not None:
+            self.send_command(
+                cmd.WriteClassOfDevice(class_of_device=class_of_device)
+            )
+        self.gap.set_scan_mode(connectable=connectable, discoverable=discoverable)
+
+
+HostStack._EVENT_HANDLERS = {
+    EventCode.CONNECTION_REQUEST: HostStack._route_connection_request,
+    EventCode.CONNECTION_COMPLETE: HostStack._route_connection_complete,
+    EventCode.DISCONNECTION_COMPLETE: HostStack._route_disconnection_complete,
+    EventCode.AUTHENTICATION_COMPLETE: HostStack._route_authentication_complete,
+    EventCode.ENCRYPTION_CHANGE: HostStack._route_encryption_change,
+    EventCode.INQUIRY_RESULT: HostStack._route_inquiry_result,
+    EventCode.EXTENDED_INQUIRY_RESULT: HostStack._route_extended_inquiry_result,
+    EventCode.INQUIRY_COMPLETE: HostStack._route_inquiry_complete,
+    EventCode.REMOTE_NAME_REQUEST_COMPLETE: HostStack._route_remote_name,
+    EventCode.COMMAND_STATUS: HostStack._route_command_status,
+    EventCode.COMMAND_COMPLETE: HostStack._route_command_complete,
+    EventCode.REMOTE_OOB_DATA_REQUEST: HostStack._route_remote_oob_data_request,
+    EventCode.SYNCHRONOUS_CONNECTION_COMPLETE: (
+        HostStack._route_synchronous_connection_complete
+    ),
+    EventCode.PIN_CODE_REQUEST: HostStack._route_pin_code_request,
+    EventCode.IO_CAPABILITY_REQUEST: HostStack._route_io_capability_request,
+    EventCode.IO_CAPABILITY_RESPONSE: HostStack._route_io_capability_response,
+    EventCode.USER_CONFIRMATION_REQUEST: HostStack._route_user_confirmation_request,
+    EventCode.USER_PASSKEY_REQUEST: HostStack._route_user_passkey_request,
+    EventCode.USER_PASSKEY_NOTIFICATION: HostStack._route_user_passkey_notification,
+    EventCode.LINK_KEY_NOTIFICATION: HostStack._route_link_key_notification,
+    EventCode.SIMPLE_PAIRING_COMPLETE: HostStack._route_simple_pairing_complete,
+}

@@ -1,0 +1,190 @@
+"""Persistent bonding storage backends.
+
+Each OS stores bonded link keys differently, and the paper exploits
+every one of these paths:
+
+* **Android (bluedroid)** — ``/data/misc/bluedroid/bt_config.conf``, an
+  INI-style text file.  The attacker *writes* this file to install fake
+  bonding information (paper Fig. 10) built around an extracted key.
+* **Linux (BlueZ)** — ``/var/lib/bluetooth/<adapter>/<peer>/info``,
+  root-readable INI files that contain the link key directly (paper
+  §VI-B1 notes this requires SU).
+* **Windows** — registry values under the BTHPORT service key; modelled
+  as a binary key-value blob.
+
+All backends serialize real text/bytes into the device's virtual
+filesystem, so the attack code manipulates genuine file formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.filesystem import VirtualFilesystem
+from repro.core.types import BdAddr, LinkKey
+
+
+@dataclass
+class BondingRecord:
+    """Everything a host remembers about a bonded peer."""
+
+    addr: BdAddr
+    link_key: LinkKey
+    key_type: int = 0
+    name: str = ""
+    services: List[int] = field(default_factory=list)  # 16-bit UUIDs
+
+    def service_uuid_strings(self) -> List[str]:
+        """Full 128-bit UUID text forms (Bluetooth base UUID)."""
+        return [
+            f"{uuid:08x}-0000-1000-8000-00805f9b34fb" for uuid in self.services
+        ]
+
+
+class BondingStore:
+    """Base class: a persistent map of peer address → bonding record."""
+
+    def __init__(
+        self, filesystem: VirtualFilesystem, path: str, requires_su: bool = False
+    ) -> None:
+        self.filesystem = filesystem
+        self.path = path
+        self.requires_su = requires_su
+
+    def save(self, records: Dict[BdAddr, BondingRecord]) -> None:
+        self.filesystem.write(
+            self.path, self._serialize(records), requires_su=self.requires_su
+        )
+
+    def load(self) -> Dict[BdAddr, BondingRecord]:
+        if not self.filesystem.exists(self.path):
+            return {}
+        return self._deserialize(self.filesystem.read(self.path, su=True))
+
+    def _serialize(self, records: Dict[BdAddr, BondingRecord]) -> bytes:
+        raise NotImplementedError
+
+    def _deserialize(self, raw: bytes) -> Dict[BdAddr, BondingRecord]:
+        raise NotImplementedError
+
+
+class BtConfigStore(BondingStore):
+    """Android bluedroid's ``bt_config.conf`` INI format (paper Fig. 10)."""
+
+    def _serialize(self, records: Dict[BdAddr, BondingRecord]) -> bytes:
+        lines: List[str] = []
+        for addr in sorted(records):
+            record = records[addr]
+            lines.append(f"[{addr}]")
+            if record.name:
+                lines.append(f"Name = {record.name}")
+            if record.services:
+                lines.append(
+                    "Service = " + " ".join(record.service_uuid_strings())
+                )
+            lines.append(f"LinkKey = {record.link_key.hex()}")
+            lines.append(f"LinkKeyType = {record.key_type}")
+            lines.append("")
+        return "\n".join(lines).encode("utf-8")
+
+    def _deserialize(self, raw: bytes) -> Dict[BdAddr, BondingRecord]:
+        records: Dict[BdAddr, BondingRecord] = {}
+        current: Optional[BdAddr] = None
+        pending: Dict[str, str] = {}
+
+        def flush() -> None:
+            if current is None or "LinkKey" not in pending:
+                return
+            services = [
+                int(uuid.split("-", 1)[0], 16)
+                for uuid in pending.get("Service", "").split()
+                if uuid
+            ]
+            records[current] = BondingRecord(
+                addr=current,
+                link_key=LinkKey.parse(pending["LinkKey"]),
+                key_type=int(pending.get("LinkKeyType", "0")),
+                name=pending.get("Name", ""),
+                services=services,
+            )
+
+        for line in raw.decode("utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                flush()
+                current = BdAddr.parse(line[1:-1])
+                pending = {}
+            elif "=" in line:
+                key, _, value = line.partition("=")
+                pending[key.strip()] = value.strip()
+        flush()
+        return records
+
+
+class BluezInfoStore(BondingStore):
+    """BlueZ ``/var/lib/bluetooth/.../info``-style storage.
+
+    Real BlueZ uses one directory per peer; we serialize all peers into
+    one file under the same root path, with per-peer sections matching
+    the real ``[LinkKey]`` INI group layout.
+    """
+
+    def _serialize(self, records: Dict[BdAddr, BondingRecord]) -> bytes:
+        lines: List[str] = []
+        for addr in sorted(records):
+            record = records[addr]
+            lines.append(f"# {self.path}/{str(addr).upper()}/info")
+            lines.append("[General]")
+            lines.append(f"Name={record.name}")
+            lines.append("[LinkKey]")
+            lines.append(f"Key={record.link_key.hex().upper()}")
+            lines.append(f"Type={record.key_type}")
+            lines.append("PINLength=0")
+            lines.append("")
+        return "\n".join(lines).encode("utf-8")
+
+    def _deserialize(self, raw: bytes) -> Dict[BdAddr, BondingRecord]:
+        records: Dict[BdAddr, BondingRecord] = {}
+        current: Optional[BdAddr] = None
+        name = ""
+        for line in raw.decode("utf-8").splitlines():
+            line = line.strip()
+            if line.startswith("# ") and "/info" in line:
+                parts = line[2:].split("/")
+                current = BdAddr.parse(parts[-2])
+                name = ""
+            elif line.startswith("Name=") :
+                name = line[5:]
+            elif line.startswith("Key=") and current is not None:
+                records[current] = BondingRecord(
+                    addr=current, link_key=LinkKey.parse(line[4:]), name=name
+                )
+        return records
+
+
+class RegistryStore(BondingStore):
+    """Windows BTHPORT registry keys, modelled as a binary blob.
+
+    Layout per entry: 6 address bytes + 16 key bytes, repeated — the
+    same information the real ``HKLM\\SYSTEM\\...\\BTHPORT\\Parameters\\
+    Keys`` values hold.
+    """
+
+    def _serialize(self, records: Dict[BdAddr, BondingRecord]) -> bytes:
+        blob = bytearray()
+        for addr in sorted(records):
+            blob += addr.value + records[addr].link_key.value
+        return bytes(blob)
+
+    def _deserialize(self, raw: bytes) -> Dict[BdAddr, BondingRecord]:
+        records: Dict[BdAddr, BondingRecord] = {}
+        for offset in range(0, len(raw), 22):
+            chunk = raw[offset : offset + 22]
+            if len(chunk) < 22:
+                break
+            addr = BdAddr(chunk[:6])
+            records[addr] = BondingRecord(addr=addr, link_key=LinkKey(chunk[6:22]))
+        return records

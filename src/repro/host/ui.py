@@ -1,0 +1,116 @@
+"""The scripted user model.
+
+The page blocking attack's end game is social, not cryptographic: a
+confirmation popup appears on the victim's phone *immediately after
+the victim themselves tapped "pair"*, so they accept it (paper §V-B2).
+The model captures exactly that reasoning:
+
+* The user accepts a pairing confirmation if and only if they have a
+  live pairing intent (they initiated a pairing moments ago) — the
+  popup gives them no way to tell which device is on the other end.
+* Unexpected popups (no intent) are rejected, which is why the naive
+  attacker-initiated pairing in §V-B1 fails and the attack needs the
+  victim to stay the pairing initiator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.types import BdAddr
+
+
+class UserModel:
+    """Decides pairing confirmations the way the paper's victims do."""
+
+    #: how long a pairing intent stays "fresh" (seconds)
+    INTENT_WINDOW = 30.0
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        reaction_time: float = 0.8,
+        paranoid: bool = False,
+    ) -> None:
+        self._rng = rng or random.Random(0)
+        self.reaction_time = reaction_time
+        #: a paranoid user rejects every Just Works popup — models the
+        #: mitigation-aware user for the ablation benchmarks
+        self.paranoid = paranoid
+        self._intent_addr: Optional[BdAddr] = None
+        self._intent_time: Optional[float] = None
+        self.popups_seen = 0
+        self.popups_accepted = 0
+        #: the 6-digit passkey currently shown on *this* device's screen
+        self.displayed_passkey: Optional[int] = None
+        #: the user standing next to this one (whose screen they can read)
+        self.peer_user: Optional["UserModel"] = None
+        #: the PIN this user types for legacy pairing (None = refuses)
+        self.pin_code: Optional[str] = None
+
+    def note_pairing_initiated(self, addr: BdAddr, now: float) -> None:
+        """The user just tapped 'pair' on a device they believe is ``addr``."""
+        self._intent_addr = addr
+        self._intent_time = now
+
+    def clear_intent(self) -> None:
+        self._intent_addr = None
+        self._intent_time = None
+
+    def has_intent(self, now: float) -> bool:
+        return (
+            self._intent_time is not None
+            and now - self._intent_time <= self.INTENT_WINDOW
+        )
+
+    def decide_confirmation(
+        self,
+        addr: BdAddr,
+        numeric_value: Optional[int],
+        now: float,
+    ) -> bool:
+        """Accept or reject a confirmation popup.
+
+        ``addr`` is the *claimed* peer address — under a spoofing
+        attack it matches the device the user intended, so intent-based
+        acceptance goes through.  Even when the addresses differ the
+        user cannot see them (popups show device names, and the
+        attacker clones those too), so only intent and timing matter.
+        """
+        self.popups_seen += 1
+        if self.paranoid and numeric_value is None:
+            # No confirmation value shown: a cautious user refuses.
+            return False
+        accepted = self.has_intent(now)
+        if accepted:
+            self.popups_accepted += 1
+        return accepted
+
+    def decision_delay(self) -> float:
+        """How long the user takes to tap the popup."""
+        return self.reaction_time * self._rng.uniform(0.6, 1.8)
+
+    # ------------------------------------------------------- passkey entry
+
+    def show_passkey(self, value: int) -> None:
+        """The device displays a 6-digit passkey to this user."""
+        self.displayed_passkey = value
+
+    def read_peer_passkey(self, now: float) -> Optional[int]:
+        """Type the passkey shown on the *other* device's screen.
+
+        Only works when the user is physically next to the peer device
+        (``peer_user`` wired by the scenario) and actually intends to
+        pair — a remote MITM cannot see the display, which is exactly
+        the property that makes Passkey Entry MITM-resistant.
+        """
+        if not self.has_intent(now):
+            return None
+        if self.peer_user is None:
+            return None
+        return self.peer_user.displayed_passkey
+
+    def typing_delay(self) -> float:
+        """How long the user takes to type six digits."""
+        return self.reaction_time * self._rng.uniform(2.0, 4.0)

@@ -1,0 +1,32 @@
+"""Mitigations from paper §VII.
+
+* :mod:`repro.mitigations.dump_filter` — redact link key payloads from
+  HCI dump logs (short-term fix for the extraction attack).
+* :mod:`repro.mitigations.hci_encryption` — encrypt link-key-bearing
+  HCI payloads between host and controller (long-term fix; defeats
+  physical-interface sniffing too).
+* The page blocking guard lives in the host security manager
+  (``SecurityManager.page_blocking_guard``): refuse pairings where the
+  local side initiated the pairing, the peer initiated the connection,
+  and the peer claims NoInputNoOutput.
+"""
+
+from repro.mitigations.dump_filter import FilteredHciDump, redact_record
+from repro.mitigations.hci_encryption import (
+    HciPayloadCipher,
+    SecureUartTransport,
+    SecureUsbTransport,
+    PROTECTED_SIGNATURES,
+)
+from repro.mitigations.detector import SuspiciousPairing, detect_page_blocking
+
+__all__ = [
+    "FilteredHciDump",
+    "redact_record",
+    "HciPayloadCipher",
+    "SecureUartTransport",
+    "SecureUsbTransport",
+    "PROTECTED_SIGNATURES",
+    "SuspiciousPairing",
+    "detect_page_blocking",
+]

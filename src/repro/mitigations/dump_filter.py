@@ -1,0 +1,71 @@
+"""Mitigation 1 (§VII-A): filter link keys out of the HCI dump.
+
+The dump module watches HCI headers; when a packet matches a
+link-key-carrying signature it logs only the header (or replaces the
+key bytes with a constant filler), never the key.  Concretely, per the
+paper: a command packet starting ``01 0b 04 16`` is an
+``HCI_Link_Key_Request_Reply`` and its payload gets redacted.
+
+This defeats HCI-dump extraction but **not** physical-interface
+sniffing — the USB analyzer still sees the plaintext — which is why
+the paper pairs it with payload encryption as the long-term fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.hci.constants import EventCode, Opcode, PacketIndicator
+from repro.snoop.hcidump import HciDump
+from repro.transport.base import Direction
+
+_FILLER = 0x00
+
+# (indicator, header bytes to match) → (header length to keep, key offset/len)
+# Command header: opcode(2) + len(1); event header: code(1) + len(1).
+_LINK_KEY_COMMAND = Opcode.LINK_KEY_REQUEST_REPLY.to_bytes(2, "little")
+
+
+def _redaction_span(raw: bytes) -> Optional[Tuple[int, int]]:
+    """Return (offset, length) of key bytes to redact, if any."""
+    if not raw:
+        return None
+    indicator = raw[0]
+    if indicator == PacketIndicator.COMMAND and raw[1:3] == _LINK_KEY_COMMAND:
+        # 01 | 0b 04 | 16 | addr(6) | key(16)
+        return (1 + 2 + 1 + 6, 16)
+    if (
+        indicator == PacketIndicator.EVENT
+        and len(raw) >= 2
+        and raw[1] == EventCode.LINK_KEY_NOTIFICATION
+    ):
+        # 04 | 18 | 17 | addr(6) | key(16) | type(1)
+        return (1 + 1 + 1 + 6, 16)
+    return None
+
+
+def redact_record(raw: bytes) -> Tuple[bytes, bool]:
+    """Redact key bytes from one H4 packet; returns (bytes, redacted?)."""
+    span = _redaction_span(raw)
+    if span is None:
+        return raw, False
+    offset, length = span
+    redacted = bytearray(raw)
+    redacted[offset : offset + length] = bytes([_FILLER]) * length
+    return bytes(redacted), True
+
+
+class FilteredHciDump(HciDump):
+    """An HCI dump whose tap redacts link key payloads before logging."""
+
+    def __init__(self, name: str = "hcidump-filtered") -> None:
+        super().__init__(name=name)
+        self.redactions = 0
+
+    def _tap(self, timestamp: float, direction: Direction, raw: bytes) -> None:
+        if not self.enabled:
+            return
+        safe, redacted = redact_record(raw)
+        if redacted:
+            self.redactions += 1
+        self.writer.append(timestamp, direction, safe)

@@ -1,0 +1,19 @@
+"""Simulated BR/EDR radio medium.
+
+The medium delivers inquiry trains, page requests and baseband frames
+between registered controllers, modelling exactly the physical-layer
+behaviour the page blocking attack exploits:
+
+* **Page response race** — when two controllers share one (spoofed)
+  BD_ADDR and both are in page scan, whichever one's scan window opens
+  first wins the connection.  The winner is decided by the uniform
+  phase of each responder's scan interval, which is why the paper's
+  baseline MITM success rates hover randomly in the 42–60% band.
+* **Address anonymity after connect** — once a physical link exists,
+  frames are routed by the link, not by BD_ADDR, mirroring the
+  LT_ADDR-based addressing that makes spoofed connections stick.
+"""
+
+from repro.phy.medium import AirFrame, PhysicalLink, RadioMedium
+
+__all__ = ["AirFrame", "PhysicalLink", "RadioMedium"]

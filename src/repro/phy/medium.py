@@ -1,0 +1,261 @@
+"""The shared radio medium: inquiry, paging, links and air sniffing.
+
+Timing model
+============
+
+Scan behaviour follows the specification's page/inquiry scan model: a
+scanning device listens for a ``window`` every ``interval`` (defaults
+1.28 s / 11.25 ms).  A page directed at BD_ADDR ``X`` reaches every
+in-range controller currently page-scanning as ``X``; each candidate's
+response delay is its uniformly distributed scan phase (how far away
+its next window is).  The earliest responder wins the link.
+
+With a single legitimate responder this just adds sub-second latency.
+With *two* responders sharing a spoofed address — the SSP downgrade
+baseline of Table II — it is a fair race, and the attacker wins only
+about half the time.  The page blocking attack sidesteps the race by
+never racing: the attacker becomes the initiator instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.core.types import BdAddr
+from repro.sim.eventloop import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class AirFrame:
+    """One over-the-air baseband frame (LMP PDU or ACL payload)."""
+
+    kind: str  # "lmp" | "acl"
+    payload: Any
+    encrypted: bool = False
+
+
+class RadioPeer(Protocol):
+    """What the medium needs to know about a controller."""
+
+    name: str
+
+    @property
+    def bd_addr(self) -> BdAddr: ...
+
+    @property
+    def inquiry_scan_enabled(self) -> bool: ...
+
+    @property
+    def page_scan_enabled(self) -> bool: ...
+
+    @property
+    def page_scan_interval_s(self) -> float: ...
+
+    @property
+    def class_of_device_value(self) -> int: ...
+
+    def on_page_reached(self, link: "PhysicalLink", initiator: "RadioPeer") -> None: ...
+
+    def on_air_frame(self, link: "PhysicalLink", frame: AirFrame) -> None: ...
+
+    def on_link_dropped(self, link: "PhysicalLink", reason: int) -> None: ...
+
+
+@dataclass
+class PhysicalLink:
+    """A live baseband link between two controllers."""
+
+    link_id: int
+    initiator: RadioPeer
+    responder: RadioPeer
+    created_at: float
+    alive: bool = True
+    frames_exchanged: int = field(default=0)
+
+    def peer_of(self, controller: RadioPeer) -> RadioPeer:
+        if controller is self.initiator:
+            return self.responder
+        if controller is self.responder:
+            return self.initiator
+        raise ValueError(f"{controller.name} is not on link {self.link_id}")
+
+    def involves(self, controller: RadioPeer) -> bool:
+        return controller is self.initiator or controller is self.responder
+
+
+@dataclass(frozen=True)
+class InquiryResponse:
+    """What a responder broadcasts back during inquiry."""
+
+    bd_addr: BdAddr
+    class_of_device: int
+    clock_offset: int
+    name: str = ""
+
+
+# Air sniffer callback: (time, link_id, sender_name, frame).
+AirSniffer = Callable[[float, int, str, AirFrame], None]
+
+_FRAME_LATENCY = 0.000625  # one slot
+
+
+class RadioMedium:
+    """The shared wireless channel all simulated controllers live on."""
+
+    def __init__(self, simulator: Simulator, rng: RngRegistry) -> None:
+        self.simulator = simulator
+        self.rng = rng.stream("radio-medium")
+        self._controllers: List[RadioPeer] = []
+        self._links: Dict[int, PhysicalLink] = {}
+        self._link_ids = itertools.count(1)
+        self._sniffers: List[AirSniffer] = []
+        # Visibility: by default every registered controller hears every
+        # other one.  Pairs listed here are out of range of each other.
+        self._blocked_pairs: set = set()
+        #: per-frame loss probability (failure injection; 0 = lossless).
+        #: Lost frames still reach passive sniffers — they were
+        #: transmitted — but never the intended receiver.
+        self.loss_rate = 0.0
+        self.frames_lost = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, controller: RadioPeer) -> None:
+        if controller not in self._controllers:
+            self._controllers.append(controller)
+
+    def unregister(self, controller: RadioPeer) -> None:
+        self._controllers.remove(controller)
+
+    def set_in_range(self, a: RadioPeer, b: RadioPeer, in_range: bool) -> None:
+        """Make a pair of controllers (un)reachable from each other."""
+        key = frozenset((a.name, b.name))
+        if in_range:
+            self._blocked_pairs.discard(key)
+        else:
+            self._blocked_pairs.add(key)
+
+    def _reachable(self, a: RadioPeer, b: RadioPeer) -> bool:
+        return frozenset((a.name, b.name)) not in self._blocked_pairs
+
+    def add_air_sniffer(self, sniffer: AirSniffer) -> None:
+        """Attach a passive air sniffer (sees ciphertext, not plaintext)."""
+        self._sniffers.append(sniffer)
+
+    # -- inquiry -----------------------------------------------------------
+
+    def start_inquiry(
+        self,
+        source: RadioPeer,
+        duration_s: float,
+        on_response: Callable[[InquiryResponse], None],
+        on_complete: Callable[[], None],
+    ) -> None:
+        """Broadcast an inquiry train; discoverable peers respond.
+
+        Each responder answers at a random point inside the inquiry
+        window (its inquiry-scan phase).
+        """
+        for peer in self._controllers:
+            if peer is source or not self._reachable(source, peer):
+                continue
+            if not peer.inquiry_scan_enabled:
+                continue
+            delay = self.rng.uniform(0.01, max(0.02, duration_s * 0.8))
+            response = InquiryResponse(
+                bd_addr=peer.bd_addr,
+                class_of_device=peer.class_of_device_value,
+                clock_offset=self.rng.randrange(0, 0x8000),
+                name=getattr(peer, "local_name", ""),
+            )
+            self.simulator.schedule(delay, on_response, response)
+        self.simulator.schedule(duration_s, on_complete)
+
+    # -- paging ------------------------------------------------------------
+
+    def page(
+        self,
+        source: RadioPeer,
+        target: BdAddr,
+        timeout_s: float,
+        on_result: Callable[[Optional[PhysicalLink]], None],
+    ) -> None:
+        """Page ``target``; the earliest-scanning matching responder wins.
+
+        This is where the Table II baseline race happens: every in-range
+        controller page-scanning as ``target`` (the victim accessory
+        *and* the spoofing attacker) draws a response delay uniform in
+        its scan interval, and only the winner gets the link.
+        """
+        candidates: List[Tuple[float, RadioPeer]] = []
+        for peer in self._controllers:
+            if peer is source or not self._reachable(source, peer):
+                continue
+            if not peer.page_scan_enabled:
+                continue
+            if peer.bd_addr != target:
+                continue
+            delay = self.rng.uniform(0.0, peer.page_scan_interval_s)
+            candidates.append((delay, peer))
+        if not candidates:
+            self.simulator.schedule(timeout_s, on_result, None)
+            return
+        winner_delay, winner = min(candidates, key=lambda item: item[0])
+        if winner_delay > timeout_s:
+            self.simulator.schedule(timeout_s, on_result, None)
+            return
+        self.simulator.schedule(
+            winner_delay, self._establish, source, winner, on_result
+        )
+
+    def _establish(
+        self,
+        initiator: RadioPeer,
+        responder: RadioPeer,
+        on_result: Callable[[Optional[PhysicalLink]], None],
+    ) -> None:
+        link = PhysicalLink(
+            link_id=next(self._link_ids),
+            initiator=initiator,
+            responder=responder,
+            created_at=self.simulator.now,
+        )
+        self._links[link.link_id] = link
+        responder.on_page_reached(link, initiator)
+        on_result(link)
+
+    # -- data --------------------------------------------------------------
+
+    def send_frame(self, link: PhysicalLink, sender: RadioPeer, frame: AirFrame) -> None:
+        """Deliver a frame to the other end of a link (one slot later)."""
+        if not link.alive:
+            return
+        receiver = link.peer_of(sender)
+        link.frames_exchanged += 1
+        now = self.simulator.now
+        for sniffer in self._sniffers:
+            sniffer(now, link.link_id, sender.name, frame)
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.frames_lost += 1
+            return
+        self.simulator.schedule(_FRAME_LATENCY, self._deliver, link, receiver, frame)
+
+    def _deliver(self, link: PhysicalLink, receiver: RadioPeer, frame: AirFrame) -> None:
+        if link.alive:
+            receiver.on_air_frame(link, frame)
+
+    def drop_link(self, link: PhysicalLink, reason: int) -> None:
+        """Tear a link down; both ends are notified."""
+        if not link.alive:
+            return
+        link.alive = False
+        self._links.pop(link.link_id, None)
+        self.simulator.schedule(_FRAME_LATENCY, link.initiator.on_link_dropped, link, reason)
+        self.simulator.schedule(_FRAME_LATENCY, link.responder.on_link_dropped, link, reason)
+
+    @property
+    def active_links(self) -> List[PhysicalLink]:
+        return list(self._links.values())

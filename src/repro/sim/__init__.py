@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction — radios, controllers, host stacks,
+attacks — runs on a single :class:`~repro.sim.eventloop.Simulator`
+instance.  Time is a float number of seconds; events are callbacks
+scheduled at absolute or relative times.
+"""
+
+from repro.sim.eventloop import Event, Simulator, SimulationError
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "RngRegistry",
+    "TraceRecord",
+    "Tracer",
+]

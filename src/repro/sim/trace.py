@@ -1,0 +1,122 @@
+"""Structured trace log for simulated protocol activity.
+
+Traces are the simulation analogue of a logic analyser: every layer can
+append :class:`TraceRecord` entries, and tests/benchmarks assert on the
+recorded sequences (e.g. the Fig. 12 HCI flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One trace entry: a timestamped, categorised message."""
+
+    time: float
+    source: str
+    category: str
+    message: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.6f}] {self.source:<16} {self.category:<12} {self.message}"
+
+
+class Tracer:
+    """Accumulates trace records and answers queries over them."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self.enabled = True
+
+    def emit(
+        self,
+        time: float,
+        source: str,
+        category: str,
+        message: str,
+        **detail: Any,
+    ) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(time, source, category, message, detail))
+
+    def filter(
+        self,
+        source: Optional[str] = None,
+        category: Optional[str] = None,
+        contains: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all provided criteria."""
+        result = []
+        for record in self.records:
+            if source is not None and record.source != source:
+                continue
+            if category is not None and record.category != category:
+                continue
+            if contains is not None and contains not in record.message:
+                continue
+            result.append(record)
+        return result
+
+    def messages(self, **kwargs: Any) -> List[str]:
+        """Return just the message strings of :meth:`filter` results."""
+        return [record.message for record in self.filter(**kwargs)]
+
+    def clear(self) -> None:
+        """Drop all accumulated records."""
+        self.records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def render_ladder(
+    tracer: Tracer,
+    sources: Optional[List[str]] = None,
+    categories: Optional[List[str]] = None,
+    max_rows: Optional[int] = None,
+    column_width: int = 34,
+) -> str:
+    """Render trace records as an ASCII sequence ladder.
+
+    One column per source (device), one row per record — a quick
+    protocol-flow view for debugging and documentation::
+
+        time        M                        C
+        0.500102    > HCI_Create_Connection
+        0.500318                             > HCI_Connection_Request
+        ...
+    """
+    records = [
+        record
+        for record in tracer.records
+        if (sources is None or record.source in sources)
+        and (categories is None or record.category in categories)
+    ]
+    if max_rows is not None:
+        records = records[:max_rows]
+    if sources is None:
+        seen: List[str] = []
+        for record in records:
+            if record.source not in seen:
+                seen.append(record.source)
+        sources = seen
+
+    header = f"{'time':<12}" + "".join(
+        f"{name:<{column_width}}" for name in sources
+    )
+    lines = [header, "-" * len(header)]
+    for record in records:
+        column = sources.index(record.source)
+        stamp = f"{record.time:.6f}"[:11].ljust(12)
+        indent = " " * (column * column_width)
+        lines.append(f"{stamp}{indent}> {record.message}")
+    return "\n".join(lines)

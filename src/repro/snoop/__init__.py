@@ -1,0 +1,56 @@
+"""HCI dump tooling: the attack surface of the link key extraction.
+
+* :mod:`repro.snoop.btsnoop` — the RFC 1761 / btsnoop capture file
+  format used by Android's 'Bluetooth HCI snoop log' and BlueZ's
+  hcidump.
+* :mod:`repro.snoop.hcidump` — a live recorder that taps an HCI
+  transport and writes btsnoop records, plus the tabular renderer that
+  reproduces the paper's Fig. 3 / Fig. 12 views.
+* :mod:`repro.snoop.extractor` — the link key extractor: scans a
+  btsnoop capture for ``HCI_Link_Key_Request_Reply`` commands and
+  ``HCI_Link_Key_Notification`` events and pulls out the 128-bit keys.
+* :mod:`repro.snoop.usb_extract` — the USB-sniff variant: a Python
+  port of the authors' binary-to-hex converter and the ``0b 04 16``
+  signature scan of Fig. 11.
+"""
+
+from repro.snoop.btsnoop import (
+    BTSNOOP_MAGIC,
+    BtsnoopReader,
+    BtsnoopRecord,
+    BtsnoopWriter,
+    DATALINK_H4,
+)
+from repro.snoop.hcidump import DumpEntry, HciDump, render_dump_table
+from repro.snoop.extractor import LinkKeyFinding, extract_link_keys
+from repro.snoop.usb_extract import (
+    bin2hex,
+    extract_link_keys_from_usb,
+    scan_hex_for_link_keys,
+)
+from repro.snoop.pcap import (
+    AirPcapWriter,
+    hci_dump_to_pcap,
+    parse_pcap,
+    read_air_pcap,
+)
+
+__all__ = [
+    "BTSNOOP_MAGIC",
+    "BtsnoopReader",
+    "BtsnoopRecord",
+    "BtsnoopWriter",
+    "DATALINK_H4",
+    "DumpEntry",
+    "HciDump",
+    "render_dump_table",
+    "LinkKeyFinding",
+    "extract_link_keys",
+    "bin2hex",
+    "extract_link_keys_from_usb",
+    "scan_hex_for_link_keys",
+    "AirPcapWriter",
+    "hci_dump_to_pcap",
+    "parse_pcap",
+    "read_air_pcap",
+]

@@ -1,0 +1,153 @@
+"""btsnoop capture file format (RFC 1761 snoop, Bluetooth profile).
+
+This is the exact on-disk format of Android's 'Bluetooth HCI snoop
+log' (``btsnoop_hci.log``) and BlueZ hcidump captures — the file the
+paper's attacker pulls from the victim's paired accessory via an
+Android bug report.
+
+File layout:
+
+* 8-byte magic ``b"btsnoop\\0"``
+* 4-byte version (1)
+* 4-byte datalink type (1002 = HCI UART H4)
+* then records: original length (4), included length (4), packet flags
+  (4), cumulative drops (4), timestamp in microseconds since 0 AD
+  (8, signed), packet data.
+
+Packet flags bit 0 is the direction (0 = host→controller) and bit 1 is
+set for command/event (vs data) packets.  All header fields are
+big-endian per RFC 1761.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.errors import StorageError
+from repro.hci.constants import PacketIndicator
+from repro.transport.base import Direction
+
+BTSNOOP_MAGIC = b"btsnoop\x00"
+BTSNOOP_VERSION = 1
+DATALINK_H4 = 1002
+
+# Microseconds between 0 AD and the Unix epoch — btsnoop's odd epoch.
+EPOCH_DELTA_US = 0x00DCDDB30F2F8000
+_EPOCH_DELTA_US = EPOCH_DELTA_US
+
+
+@dataclass(frozen=True)
+class BtsnoopRecord:
+    """One captured packet, H4 indicator byte included."""
+
+    timestamp_us: int
+    flags: int
+    data: bytes
+    drops: int = 0
+
+    @property
+    def direction(self) -> Direction:
+        if self.flags & 0x01:
+            return Direction.CONTROLLER_TO_HOST
+        return Direction.HOST_TO_CONTROLLER
+
+    @property
+    def is_command_or_event(self) -> bool:
+        return bool(self.flags & 0x02)
+
+    @property
+    def indicator(self) -> int:
+        return self.data[0]
+
+    @property
+    def payload(self) -> bytes:
+        return self.data[1:]
+
+
+def flags_for(direction: Direction, indicator: int) -> int:
+    """Compute the record flag word for a packet."""
+    flags = 0
+    if direction is Direction.CONTROLLER_TO_HOST:
+        flags |= 0x01
+    if indicator in (PacketIndicator.COMMAND, PacketIndicator.EVENT):
+        flags |= 0x02
+    return flags
+
+
+class BtsnoopWriter:
+    """Accumulates records and serializes the capture file."""
+
+    def __init__(self, datalink: int = DATALINK_H4) -> None:
+        self.datalink = datalink
+        self.records: List[BtsnoopRecord] = []
+
+    def append(
+        self, timestamp_s: float, direction: Direction, h4_bytes: bytes
+    ) -> None:
+        """Record one packet (timestamp in simulated seconds)."""
+        if not h4_bytes:
+            raise StorageError("cannot record empty packet")
+        timestamp_us = int(timestamp_s * 1_000_000) + _EPOCH_DELTA_US
+        self.records.append(
+            BtsnoopRecord(
+                timestamp_us=timestamp_us,
+                flags=flags_for(direction, h4_bytes[0]),
+                data=h4_bytes,
+            )
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full btsnoop file."""
+        header = BTSNOOP_MAGIC + struct.pack(
+            ">II", BTSNOOP_VERSION, self.datalink
+        )
+        chunks = [header]
+        for record in self.records:
+            chunks.append(
+                struct.pack(
+                    ">IIIIq",
+                    len(record.data),
+                    len(record.data),
+                    record.flags,
+                    record.drops,
+                    record.timestamp_us,
+                )
+            )
+            chunks.append(record.data)
+        return b"".join(chunks)
+
+
+class BtsnoopReader:
+    """Parses a btsnoop capture file."""
+
+    def __init__(self, raw: bytes) -> None:
+        if len(raw) < 16 or raw[:8] != BTSNOOP_MAGIC:
+            raise StorageError("not a btsnoop file (bad magic)")
+        version, datalink = struct.unpack(">II", raw[8:16])
+        if version != BTSNOOP_VERSION:
+            raise StorageError(f"unsupported btsnoop version {version}")
+        self.datalink = datalink
+        self._raw = raw
+
+    def __iter__(self) -> Iterator[BtsnoopRecord]:
+        offset = 16
+        raw = self._raw
+        while offset < len(raw):
+            if offset + 24 > len(raw):
+                raise StorageError(f"truncated record header at offset {offset}")
+            orig_len, incl_len, flags, drops, timestamp_us = struct.unpack(
+                ">IIIIq", raw[offset : offset + 24]
+            )
+            offset += 24
+            data = raw[offset : offset + incl_len]
+            if len(data) != incl_len:
+                raise StorageError(f"truncated record data at offset {offset}")
+            offset += incl_len
+            yield BtsnoopRecord(
+                timestamp_us=timestamp_us, flags=flags, data=data, drops=drops
+            )
+
+    def records(self) -> List[BtsnoopRecord]:
+        return list(self)

@@ -1,0 +1,119 @@
+"""The link key extractor — the paper's core forensic tool (§IV-A).
+
+Given a btsnoop capture (the HCI dump pulled from the victim's paired
+accessory), scan for the two packet kinds that carry 128-bit link keys
+in plaintext:
+
+* ``HCI_Link_Key_Request_Reply`` commands (host → controller, sent on
+  every re-authentication of a bonded peer), and
+* ``HCI_Link_Key_Notification`` events (controller → host, sent once
+  when a pairing completes).
+
+Each hit yields a :class:`LinkKeyFinding` identifying the peer
+BD_ADDR, the key and where in the capture it appeared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import BdAddr, LinkKey
+from repro.hci.commands import LinkKeyRequestReply, WriteStoredLinkKey
+from repro.hci.events import LinkKeyNotification, ReturnLinkKeys
+from repro.snoop.hcidump import DumpEntry, HciDump, entries_from_btsnoop
+
+
+@dataclass(frozen=True)
+class LinkKeyFinding:
+    """One plaintext link key recovered from an HCI capture."""
+
+    frame: int
+    timestamp: float
+    source: str  # "Link_Key_Request_Reply" or "Link_Key_Notification"
+    peer: BdAddr
+    link_key: LinkKey
+
+    def __str__(self) -> str:
+        return (
+            f"frame {self.frame}: {self.source} peer={self.peer} "
+            f"key={self.link_key.hex()}"
+        )
+
+
+def _scan(entries: Sequence[DumpEntry]) -> List[LinkKeyFinding]:
+    findings = []
+    for entry in entries:
+        packet = entry.packet
+        if isinstance(packet, LinkKeyRequestReply):
+            findings.append(
+                LinkKeyFinding(
+                    frame=entry.frame,
+                    timestamp=entry.timestamp,
+                    source="Link_Key_Request_Reply",
+                    peer=packet.bd_addr,
+                    link_key=packet.link_key,
+                )
+            )
+        elif isinstance(packet, LinkKeyNotification):
+            findings.append(
+                LinkKeyFinding(
+                    frame=entry.frame,
+                    timestamp=entry.timestamp,
+                    source="Link_Key_Notification",
+                    peer=packet.bd_addr,
+                    link_key=packet.link_key,
+                )
+            )
+        elif isinstance(packet, WriteStoredLinkKey):
+            findings.append(
+                LinkKeyFinding(
+                    frame=entry.frame,
+                    timestamp=entry.timestamp,
+                    source="Write_Stored_Link_Key",
+                    peer=packet.bd_addr,
+                    link_key=packet.link_key,
+                )
+            )
+        elif isinstance(packet, ReturnLinkKeys):
+            findings.append(
+                LinkKeyFinding(
+                    frame=entry.frame,
+                    timestamp=entry.timestamp,
+                    source="Return_Link_Keys",
+                    peer=packet.bd_addr,
+                    link_key=packet.link_key,
+                )
+            )
+    return findings
+
+
+def extract_link_keys(capture) -> List[LinkKeyFinding]:
+    """Extract link keys from a capture.
+
+    ``capture`` may be raw btsnoop bytes, an :class:`HciDump`, or a
+    sequence of :class:`DumpEntry`.
+    """
+    if isinstance(capture, (bytes, bytearray)):
+        entries = entries_from_btsnoop(bytes(capture))
+    elif isinstance(capture, HciDump):
+        entries = capture.entries()
+    else:
+        entries = list(capture)
+    return _scan(entries)
+
+
+def latest_key_for(
+    capture, peer: BdAddr
+) -> Optional[LinkKeyFinding]:
+    """The most recent key observed for a specific peer, if any."""
+    candidates = [f for f in extract_link_keys(capture) if f.peer == peer]
+    return candidates[-1] if candidates else None
+
+
+def keys_by_peer(capture) -> Dict[BdAddr, LinkKey]:
+    """Map each peer address to the most recently seen key."""
+    result: Dict[BdAddr, LinkKey] = {}
+    for finding in extract_link_keys(capture):
+        result[finding.peer] = finding.link_key
+    return result

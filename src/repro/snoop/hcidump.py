@@ -1,0 +1,167 @@
+"""Live HCI dump recorder and the Fig. 3 / Fig. 12 table renderer.
+
+:class:`HciDump` taps an HCI transport (any transport — UART in a
+phone, USB on a PC) and records every packet with timestamp and
+direction.  It can serialize to a genuine btsnoop file, which is what
+lands in ``/data/misc/bluetooth/logs/btsnoop_hci.log`` on the simulated
+Android devices.
+
+:func:`render_dump_table` reproduces the frame table the paper shows
+in Fig. 12 — columns ``Fra | Type | Opcode Command | Event | Handle |
+Status`` — and is what the page blocking benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hci.constants import ErrorCode, EventCode, opcode_name
+from repro.hci.packets import HciAclData, HciCommand, HciEvent, HciPacket
+from repro.hci.parser import parse_packet
+from repro.snoop.btsnoop import BtsnoopReader, BtsnoopWriter
+from repro.transport.base import Direction, HciTransport
+
+
+@dataclass
+class DumpEntry:
+    """One parsed dump line."""
+
+    frame: int
+    timestamp: float
+    direction: Direction
+    packet: HciPacket
+
+    @property
+    def packet_type(self) -> str:
+        if isinstance(self.packet, HciCommand):
+            return "Command"
+        if isinstance(self.packet, HciEvent):
+            return "Event"
+        return "ACL"
+
+
+class HciDump:
+    """A protocol tracker recording all HCI data, RFC 1761 style."""
+
+    def __init__(self, name: str = "hcidump") -> None:
+        self.name = name
+        self.writer = BtsnoopWriter()
+        self.enabled = True
+        self._transport: Optional[HciTransport] = None
+
+    # -- capture ----------------------------------------------------------
+
+    def attach(self, transport: HciTransport) -> "HciDump":
+        """Start capturing from a transport."""
+        self._transport = transport
+        transport.add_tap(self._tap)
+        return self
+
+    def detach(self) -> None:
+        if self._transport is not None:
+            self._transport.remove_tap(self._tap)
+            self._transport = None
+
+    def _tap(self, timestamp: float, direction: Direction, raw: bytes) -> None:
+        if self.enabled:
+            self.writer.append(timestamp, direction, raw)
+
+    # -- output -----------------------------------------------------------
+
+    def to_btsnoop_bytes(self) -> bytes:
+        """The capture as an on-disk btsnoop file."""
+        return self.writer.to_bytes()
+
+    def entries(self) -> List[DumpEntry]:
+        """Parse recorded packets into typed dump entries."""
+        entries = []
+        for frame, record in enumerate(self.writer.records, start=1):
+            packet = parse_packet(record.indicator, record.payload)
+            entries.append(
+                DumpEntry(
+                    frame=frame,
+                    timestamp=record.timestamp_us / 1_000_000,
+                    direction=record.direction,
+                    packet=packet,
+                )
+            )
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.writer.records)
+
+
+def entries_from_btsnoop(raw: bytes) -> List[DumpEntry]:
+    """Parse an on-disk btsnoop file into dump entries."""
+    entries = []
+    for frame, record in enumerate(BtsnoopReader(raw), start=1):
+        packet = parse_packet(record.indicator, record.payload)
+        entries.append(
+            DumpEntry(
+                frame=frame,
+                timestamp=record.timestamp_us / 1_000_000,
+                direction=record.direction,
+                packet=packet,
+            )
+        )
+    return entries
+
+
+def _status_text(packet: HciPacket) -> str:
+    status: Optional[int] = None
+    if isinstance(packet, HciEvent):
+        if hasattr(packet, "status"):
+            status = getattr(packet, "status")
+    if status is None:
+        return ""
+    try:
+        return "Success" if status == 0 else ErrorCode(status).describe()
+    except ValueError:
+        return f"Error {status:#04x}"
+
+
+def _handle_text(packet: HciPacket) -> str:
+    handle = getattr(packet, "connection_handle", None)
+    if handle is None and isinstance(packet, HciAclData):
+        handle = packet.handle
+    return f"0x{handle:04x}" if handle is not None else ""
+
+
+def render_dump_table(
+    entries: Sequence[DumpEntry],
+    include_acl: bool = False,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Render entries as the paper's Fig. 12 frame table."""
+    header = (
+        f"{'Fra':>4} {'Type':<8} {'Opcode Command':<44} "
+        f"{'Event':<36} {'Handle':<8} {'Status'}"
+    )
+    lines = [header, "-" * len(header)]
+    shown = 0
+    for entry in entries:
+        packet = entry.packet
+        if isinstance(packet, HciAclData) and not include_acl:
+            continue
+        command_col = ""
+        event_col = ""
+        if isinstance(packet, HciCommand):
+            command_col = packet.display_name
+        elif isinstance(packet, HciEvent):
+            if packet.event_code in (
+                EventCode.COMMAND_STATUS,
+                EventCode.COMMAND_COMPLETE,
+            ):
+                command_col = opcode_name(getattr(packet, "command_opcode"))
+            event_col = packet.display_name
+        else:
+            command_col = packet.display_name
+        lines.append(
+            f"{entry.frame:>4} {entry.packet_type:<8} {command_col:<44} "
+            f"{event_col:<36} {_handle_text(packet):<8} {_status_text(packet)}"
+        )
+        shown += 1
+        if max_rows is not None and shown >= max_rows:
+            break
+    return "\n".join(lines)

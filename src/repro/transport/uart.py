@@ -1,0 +1,49 @@
+"""UART H4 transport — the in-phone host↔controller serial link.
+
+H4 framing is simply the packet indicator byte followed by the HCI
+packet, which the base class already produces; this subclass models
+UART's serialization delay (bytes take time proportional to length at
+the configured baud rate), which matters for the timing-sensitive page
+blocking experiments.
+"""
+
+from __future__ import annotations
+
+from repro.hci.packets import HciPacket
+from repro.sim.eventloop import Simulator
+from repro.transport.base import Direction, HciTransport
+from repro.core.errors import TransportError
+
+
+class UartH4Transport(HciTransport):
+    """H4 over a simulated UART at a configurable baud rate."""
+
+    def __init__(
+        self, simulator: Simulator, name: str = "uart0", baud_rate: int = 3_000_000
+    ) -> None:
+        super().__init__(simulator, name)
+        if baud_rate <= 0:
+            raise TransportError("baud rate must be positive")
+        self.baud_rate = baud_rate
+
+    def _byte_time(self, num_bytes: int) -> float:
+        # 10 bit-times per byte (8 data + start + stop).
+        return num_bytes * 10 / self.baud_rate
+
+    def send_from_host(self, packet: HciPacket) -> None:
+        raw = self.frame(packet)
+        self._feed_taps(Direction.HOST_TO_CONTROLLER, raw)
+        if self._controller_receiver is None:
+            raise TransportError(f"{self.name}: no controller attached")
+        self.packets_sent += 1
+        self.simulator.schedule(
+            self._byte_time(len(raw)), self._controller_receiver, raw
+        )
+
+    def send_from_controller(self, packet: HciPacket) -> None:
+        raw = self.frame(packet)
+        self._feed_taps(Direction.CONTROLLER_TO_HOST, raw)
+        if self._host_receiver is None:
+            raise TransportError(f"{self.name}: no host attached")
+        self.packets_sent += 1
+        self.simulator.schedule(self._byte_time(len(raw)), self._host_receiver, raw)

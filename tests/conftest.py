@@ -1,0 +1,59 @@
+"""Shared fixtures: simulation worlds and device pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scenario import World, build_world, standard_cast
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8, build_device
+from repro.phy.medium import RadioMedium
+from repro.sim.eventloop import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def world() -> World:
+    """An empty deterministic world."""
+    return build_world(seed=1234)
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(99)
+
+
+@pytest.fixture
+def device_pair(world):
+    """Two powered-on phones, M and C, in range and ready."""
+    m = world.add_device("M", LG_VELVET)
+    c = world.add_device("C", NEXUS_5X_A8)
+    m.power_on()
+    c.power_on()
+    world.run_for(0.5)
+    return world, m, c
+
+
+@pytest.fixture
+def bonded_pair(device_pair):
+    """Two devices that completed a legitimate pairing, then disconnected."""
+    world, m, c = device_pair
+    c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+    operation = m.host.gap.pair(c.bd_addr)
+    world.run_for(20.0)
+    assert operation.success, f"fixture pairing failed: {operation.status}"
+    m.host.gap.disconnect(c.bd_addr)
+    world.run_for(2.0)
+    return world, m, c
+
+
+@pytest.fixture
+def cast(world):
+    """The full M / C / A attack cast."""
+    m, c, a = standard_cast(world)
+    return world, m, c, a

@@ -1,0 +1,79 @@
+"""Statistical tests for the baseline MITM race (Table II's left column).
+
+The paper concludes the un-blocked race is "quite random" (42–60% over
+100 trials/device).  These tests pin the statistical *shape* of our
+model: a near-fair Bernoulli process, independent across trials,
+unbiased across victim devices — and contrast it with page blocking's
+exact determinism.
+"""
+
+import pytest
+
+from repro.attacks.baseline import baseline_success_rate, run_baseline_trial
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import build_world, standard_cast
+from repro.devices.catalog import GALAXY_S8, LG_VELVET, NEXUS_5X_A8
+
+TRIALS = 60  # enough for the bounds below at ~4σ confidence
+
+
+class TestBaselineStatistics:
+    def test_rate_is_near_fair(self):
+        rate = baseline_success_rate(LG_VELVET, trials=TRIALS)
+        # p=0.5, σ=0.065 at n=60: |rate-0.5| < 4σ ≈ 0.26
+        assert 0.24 <= rate <= 0.76
+
+    def test_trials_always_connect_to_someone(self):
+        """The victim always gets *a* connection — the attack's harm is
+        misdirection, not denial of service."""
+        for seed in range(20):
+            trial = run_baseline_trial(LG_VELVET, seed=seed)
+            assert trial.connected
+
+    def test_both_outcomes_occur(self):
+        outcomes = {
+            run_baseline_trial(LG_VELVET, seed=seed).attacker_won
+            for seed in range(20)
+        }
+        assert outcomes == {True, False}
+
+    def test_outcome_is_seed_deterministic(self):
+        """Same seed → same outcome (reproducibility of every cell)."""
+        first = [run_baseline_trial(GALAXY_S8, seed=s).attacker_won for s in range(10)]
+        second = [run_baseline_trial(GALAXY_S8, seed=s).attacker_won for s in range(10)]
+        assert first == second
+
+    def test_no_victim_device_is_systematically_safe(self):
+        """Every Table II victim model loses a meaningful share of
+        races — none is implicitly 'immune' in the model."""
+        for spec in (LG_VELVET, GALAXY_S8, NEXUS_5X_A8):
+            rate = baseline_success_rate(spec, trials=30, seed_base=5000)
+            assert rate > 0.1, spec.key
+
+    def test_runs_test_for_independence(self):
+        """A crude runs test: consecutive outcomes shouldn't correlate.
+
+        For n Bernoulli(0.5) trials the expected number of runs is
+        n/2 + 1; we accept a generous band around it.
+        """
+        outcomes = [
+            run_baseline_trial(LG_VELVET, seed=7000 + s).attacker_won
+            for s in range(TRIALS)
+        ]
+        runs = 1 + sum(
+            1 for i in range(1, len(outcomes)) if outcomes[i] != outcomes[i - 1]
+        )
+        expected = TRIALS / 2 + 1
+        assert abs(runs - expected) < TRIALS / 3
+
+
+class TestDeterminismContrast:
+    def test_page_blocking_never_loses(self):
+        """The qualitative break: 100% across every seed tried."""
+        for seed in range(10):
+            world = build_world(seed=9000 + seed)
+            m, c, a = standard_cast(world)
+            report = PageBlockingAttack(world, a, c, m).run(
+                capture_m_dump=False, run_discovery=False
+            )
+            assert report.success, f"seed {seed}"

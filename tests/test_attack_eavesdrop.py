@@ -1,0 +1,102 @@
+"""End-to-end tests for eavesdropping with an extracted link key."""
+
+import pytest
+
+from repro.attacks.eavesdrop import AirCapture, OfflineDecryptor
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.core.errors import AttackError
+from repro.core.types import LinkKey
+
+
+@pytest.fixture(scope="module")
+def sniffed_session():
+    """Bond C↔M, capture an encrypted session between them from the air."""
+    world = build_world(seed=31)
+    m, c, a = standard_cast(world)
+    bond(world, c, m)
+    capture = AirCapture().attach(world.medium)
+    op = m.host.gap.pair(c.bd_addr)  # bonded re-auth (AU_RAND on the air)
+    world.run_for(10.0)
+    assert op.success
+    enc = m.host.gap.enable_encryption(c.bd_addr)
+    world.run_for(2.0)
+    assert enc.success
+    sdp = m.host.sdp.query(c.bd_addr)
+    world.run_for(5.0)
+    assert sdp.success
+    key = m.host.security.bond_for(c.bd_addr).link_key
+    return world, m, c, capture, key
+
+
+def _decryptor(capture, key, m, c):
+    return OfflineDecryptor(
+        capture,
+        key,
+        prover_addr=c.bd_addr,  # M initiated auth ⇒ C was the prover
+        master_addr=m.bd_addr,  # M initiated the link ⇒ piconet master
+        master_name=m.name,
+    )
+
+
+def test_capture_contains_ciphertext(sniffed_session):
+    _, _, _, capture, _ = sniffed_session
+    frames = capture.encrypted_acl_frames()
+    assert frames
+    assert all(
+        b"Personal Ad-hoc" not in f.frame.payload.data for f in frames
+    )
+
+
+def test_extracted_key_decrypts_traffic(sniffed_session):
+    _, m, c, capture, key = sniffed_session
+    plaintexts = _decryptor(capture, key, m, c).decrypt_all()
+    assert any(b"Personal Ad-hoc" in plaintext for plaintext in plaintexts)
+
+
+def test_wrong_key_yields_garbage(sniffed_session):
+    _, m, c, capture, key = sniffed_session
+    wrong = _decryptor(capture, LinkKey(b"\x00" * 16), m, c).decrypt_all()
+    assert not any(b"Personal Ad-hoc" in plaintext for plaintext in wrong)
+
+
+def test_decryptor_requires_handshake_pdus(sniffed_session):
+    _, m, c, _, key = sniffed_session
+    empty = AirCapture()
+    with pytest.raises(AttackError):
+        _decryptor(empty, key, m, c).derive_kc()
+
+
+def test_full_chain_extraction_then_decryption():
+    """The paper's composite threat: pull the key from C's HCI dump,
+    then decrypt a *previously captured* session offline."""
+    world = build_world(seed=32)
+    m, c, a = standard_cast(world)
+    bond(world, c, m)
+
+    # Past traffic is sniffed first...
+    capture = AirCapture().attach(world.medium)
+    op = m.host.gap.pair(c.bd_addr)
+    world.run_for(10.0)
+    assert op.success
+    m.host.gap.enable_encryption(c.bd_addr)
+    world.run_for(2.0)
+    m.host.sdp.query(c.bd_addr)
+    world.run_for(5.0)
+    m.host.gap.disconnect(c.bd_addr)
+    world.run_for(2.0)
+
+    # ...then the key is extracted from C...
+    report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+    assert report.extraction_success
+
+    # ...and the old ciphertext falls.
+    decryptor = OfflineDecryptor(
+        capture,
+        report.extracted_key,
+        prover_addr=c.bd_addr,
+        master_addr=m.bd_addr,
+        master_name=m.name,
+    )
+    plaintexts = decryptor.decrypt_all()
+    assert any(b"Personal Ad-hoc" in plaintext for plaintext in plaintexts)

@@ -1,0 +1,98 @@
+"""Tests: key size negotiation and the KNOB-style brute force."""
+
+import pytest
+
+from repro.attacks.eavesdrop import AirCapture
+from repro.attacks.knob import brute_force_low_entropy_session
+from repro.core.errors import AttackError
+
+
+def _encrypted_session(world, m, c, knobbed: bool):
+    """Authenticated + encrypted session; optionally KNOB'd to 1 byte."""
+    if knobbed:
+        # KNOB manipulates the controllers' negotiation (firmware-level
+        # in the real attack); we model the post-manipulation state.
+        m.controller.max_encryption_key_size = 1
+    capture = AirCapture().attach(world.medium)
+    op = m.host.gap.pair(c.bd_addr)
+    world.run_for(10.0)
+    assert op.success
+    enc = m.host.gap.enable_encryption(c.bd_addr)
+    world.run_for(2.0)
+    sdp = m.host.sdp.query(c.bd_addr)
+    world.run_for(5.0)
+    return capture, enc, sdp
+
+
+class TestKeySizeNegotiation:
+    def test_default_negotiation_is_full_entropy(self, bonded_pair):
+        world, m, c = bonded_pair
+        _, enc, _ = _encrypted_session(world, m, c, knobbed=False)
+        assert enc.success
+        link = m.controller.link_by_handle(m.host.gap.handle_for(c.bd_addr))
+        assert link.encryption_key_size == 16
+
+    def test_knobbed_negotiation_drops_to_one_byte(self, bonded_pair):
+        world, m, c = bonded_pair
+        _, enc, sdp = _encrypted_session(world, m, c, knobbed=True)
+        assert enc.success and sdp.success  # victims notice nothing
+        m_link = m.controller.link_by_handle(m.host.gap.handle_for(c.bd_addr))
+        c_link = c.controller.link_by_handle(c.host.gap.handle_for(m.bd_addr))
+        assert m_link.encryption_key_size == 1
+        assert c_link.encryption_key_size == 1
+        assert m_link.kc == c_link.kc
+        assert m_link.kc[1:] == b"\x00" * 15
+
+    def test_minimum_size_mitigation_refuses_knob(self, bonded_pair):
+        """The post-KNOB erratum: enforce ≥7 bytes of entropy."""
+        world, m, c = bonded_pair
+        m.controller.max_encryption_key_size = 1  # KNOB'd proposal
+        c.controller.min_encryption_key_size = 7  # mitigated peer
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+        enc = m.host.gap.enable_encryption(c.bd_addr)
+        world.run_for(2.0)
+        assert enc.done and not enc.success  # encryption refused
+
+
+class TestKnobBruteForce:
+    def test_one_byte_session_falls_to_256_candidates(self, bonded_pair):
+        world, m, c = bonded_pair
+        capture, _, _ = _encrypted_session(world, m, c, knobbed=True)
+        result = brute_force_low_entropy_session(
+            capture,
+            master_addr=m.bd_addr,
+            master_name=m.name,
+            entropy_bytes=1,
+            plaintext_predicate=lambda ps: any(
+                b"Personal Ad-hoc" in p for p in ps
+            ),
+        )
+        assert result is not None
+        assert result.candidates_tried <= 256
+        link = m.controller.link_by_handle(m.host.gap.handle_for(c.bd_addr))
+        assert result.kc_prime == link.kc
+
+    def test_full_entropy_session_is_infeasible(self, bonded_pair):
+        world, m, c = bonded_pair
+        capture, _, _ = _encrypted_session(world, m, c, knobbed=False)
+        with pytest.raises(AttackError):
+            brute_force_low_entropy_session(
+                capture,
+                master_addr=m.bd_addr,
+                master_name=m.name,
+                entropy_bytes=16,
+                plaintext_predicate=lambda ps: True,
+            )
+
+    def test_empty_capture_rejected(self, bonded_pair):
+        world, m, c = bonded_pair
+        with pytest.raises(AttackError):
+            brute_force_low_entropy_session(
+                AirCapture(),
+                master_addr=m.bd_addr,
+                master_name=m.name,
+                entropy_bytes=1,
+                plaintext_predicate=lambda ps: True,
+            )

@@ -1,0 +1,112 @@
+"""End-to-end tests for the link key extraction attack (§IV / Fig. 5)."""
+
+import pytest
+
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.core.errors import AttackError
+from repro.devices.catalog import (
+    GALAXY_S8,
+    IPHONE_XS,
+    NEXUS_5X_A8,
+    UBUNTU_2004,
+    WINDOWS_MS_DRIVER,
+)
+
+
+def _attack_world(c_spec=NEXUS_5X_A8, seed=7):
+    world = build_world(seed=seed)
+    m, c, a = standard_cast(world, c_spec=c_spec)
+    bond(world, c, m)
+    return world, m, c, a
+
+
+class TestAndroidHciDumpChannel:
+    @pytest.fixture(scope="class")
+    def report(self):
+        world, m, c, a = _attack_world()
+        return LinkKeyExtractionAttack(world, a, c, m).run()
+
+    def test_extracted_key_matches_ground_truth(self, report):
+        assert report.extraction_success
+        assert report.extracted_key == report.ground_truth_key
+
+    def test_channel_and_privilege(self, report):
+        assert report.extraction_channel == "hci_dump"
+        assert report.su_required is False  # the bug report path
+
+    def test_key_survived_on_victim(self, report):
+        """The timeout trick: C's bond is intact after the attack."""
+        assert report.key_survived_on_c
+
+    def test_validation_pan_connects_without_pairing(self, report):
+        assert report.validated_against_m is True
+
+    def test_findings_attribute_the_peer(self, report):
+        assert any(f.source == "Link_Key_Request_Reply" for f in report.findings)
+
+
+class TestUsbSniffChannel:
+    @pytest.fixture(scope="class")
+    def report(self):
+        world, m, c, a = _attack_world(c_spec=WINDOWS_MS_DRIVER)
+        return LinkKeyExtractionAttack(world, a, c, m).run()
+
+    def test_windows_extraction_succeeds(self, report):
+        assert report.extraction_success and report.vulnerable
+
+    def test_channel_is_usb_and_unprivileged(self, report):
+        assert report.extraction_channel == "usb_sniff"
+        assert report.su_required is False
+
+    def test_usb_key_validates_against_m(self, report):
+        assert report.validated_against_m is True
+
+
+class TestLinuxChannel:
+    def test_bluez_extraction_needs_su(self):
+        world, m, c, a = _attack_world(c_spec=UBUNTU_2004)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        assert report.extraction_success
+        assert report.su_required is True
+
+
+class TestPreconditionsAndFailures:
+    def test_requires_existing_bond(self):
+        world = build_world(seed=3)
+        m, c, a = standard_cast(world)
+        with pytest.raises(AttackError):
+            LinkKeyExtractionAttack(world, a, c, m).run()
+
+    def test_ios_victim_offers_no_channel(self):
+        world, m, c, a = _attack_world()
+        # Swap in an iPhone as C: no snoop, no USB dongle.
+        iphone = world.add_device("C2", IPHONE_XS)
+        iphone.power_on()
+        from repro.host.storage import BondingRecord
+
+        iphone.host.security.add_bond(
+            BondingRecord(
+                addr=m.bd_addr, link_key=c.bonded_key_for(m.bd_addr)
+            )
+        )
+        attack = LinkKeyExtractionAttack(world, a, iphone, m)
+        with pytest.raises(AttackError):
+            attack.run()
+
+    def test_wrong_key_would_fail_validation(self):
+        """Control: validating a *wrong* key fails (no silent success)."""
+        from repro.core.types import LinkKey
+
+        world, m, c, a = _attack_world(seed=11)
+        attack = LinkKeyExtractionAttack(world, a, c, m)
+        report = attack.run(validate=False)
+        assert report.extraction_success
+        wrong = LinkKey(bytes(16))
+        assert attack._validate(wrong) is False
+
+    def test_multiple_c_devices(self):
+        """The attack works against a second Android model too."""
+        world, m, c, a = _attack_world(c_spec=GALAXY_S8, seed=21)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        assert report.vulnerable

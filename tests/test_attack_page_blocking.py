@@ -1,0 +1,131 @@
+"""End-to-end tests for the page blocking attack (§V / Fig. 6b)."""
+
+import pytest
+
+from repro.attacks.baseline import run_baseline_trial
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import build_world, standard_cast
+from repro.core.types import LinkKeyType
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+
+
+def _run_attack(m_spec=LG_VELVET, seed=8, **kwargs):
+    world = build_world(seed=seed)
+    m, c, a = standard_cast(world, m_spec=m_spec)
+    attack = PageBlockingAttack(world, a, c, m, **kwargs)
+    return world, m, c, a, attack.run()
+
+
+class TestDeterministicMitm:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return _run_attack()
+
+    def test_mitm_connection_established(self, outcome):
+        _, _, _, _, report = outcome
+        assert report.mitm_connection and report.success
+
+    def test_pairing_completed(self, outcome):
+        _, _, _, _, report = outcome
+        assert report.paired
+
+    def test_downgraded_to_just_works(self, outcome):
+        _, m, c, a, report = outcome
+        assert report.downgraded_to_just_works
+        record = m.host.security.bond_for(c.bd_addr)
+        assert record.key_type == LinkKeyType.UNAUTHENTICATED_COMBINATION_P256
+
+    def test_attacker_holds_matching_key(self, outcome):
+        _, m, c, a, report = outcome
+        assert (
+            m.host.security.bond_for(c.bd_addr).link_key
+            == a.host.security.bond_for(m.bd_addr).link_key
+        )
+
+    def test_m_flow_matches_fig12b(self, outcome):
+        """M must be connection *responder* and pairing *initiator*."""
+        _, _, _, _, report = outcome
+        flow = report.m_flow
+        assert "HCI_Connection_Request" in flow
+        assert "HCI_Accept_Connection_Request" in flow
+        assert "HCI_Authentication_Requested" in flow
+        assert "HCI_Link_Key_Request_Negative_Reply" in flow
+        # the tell-tale ordering: incoming connection BEFORE the
+        # locally-initiated pairing
+        assert flow.index("HCI_Connection_Request") < flow.index(
+            "HCI_Authentication_Requested"
+        )
+        # and no outgoing HCI_Create_Connection at all
+        assert "HCI_Create_Connection" not in flow
+
+    def test_deterministic_across_seeds(self):
+        for seed in range(5):
+            _, _, _, _, report = _run_attack(seed=seed)
+            assert report.success, f"seed {seed} failed"
+
+
+class TestPopupBehaviour:
+    def test_v50_victim_sees_yes_no_popup(self):
+        _, m, _, _, report = _run_attack(m_spec=LG_VELVET)
+        assert report.popup_shown_on_m
+        assert m.user.popups_accepted >= 1
+
+    def test_v42_victim_pairs_silently(self):
+        """≤4.2 initiators auto-confirm Just Works — zero UI."""
+        _, m, _, _, report = _run_attack(m_spec=NEXUS_5X_A8)
+        assert report.success and report.paired
+        assert not report.popup_shown_on_m
+
+
+class TestBaselineContrast:
+    def test_baseline_race_is_not_deterministic(self):
+        outcomes = {run_baseline_trial(LG_VELVET, seed=s).attacker_won for s in range(12)}
+        assert outcomes == {True, False}, (
+            "expected the un-blocked race to be winnable by both sides"
+        )
+
+    def test_baseline_always_connects_to_someone(self):
+        for seed in range(6):
+            trial = run_baseline_trial(LG_VELVET, seed=seed)
+            assert trial.connected
+
+
+class TestPlocMechanics:
+    def test_attacker_host_never_completes_connection_during_hold(self):
+        world = build_world(seed=4)
+        m, c, a = standard_cast(world)
+        from repro.attacks.attacker import Attacker
+
+        attacker = Attacker(a)
+        attacker.spoof_device(c)
+        a.host.gap.connect(m.bd_addr)
+        attacker.enter_ploc(10.0)
+        world.run_for(5.0)
+        # M sees a live host-level connection; A's host does not.
+        assert m.host.gap.is_connected(c.bd_addr)
+        assert not a.host.gap.is_connected(m.bd_addr)
+        # Controller-level, the physical link exists on both ends.
+        assert len(a.controller.connections) == 1
+
+    def test_held_events_flush_after_hold(self):
+        world = build_world(seed=4)
+        m, c, a = standard_cast(world)
+        from repro.attacks.attacker import Attacker
+
+        attacker = Attacker(a)
+        attacker.spoof_device(c)
+        a.host.gap.connect(m.bd_addr)
+        attacker.enter_ploc(5.0)
+        world.run_for(7.0)
+        assert a.host.gap.is_connected(m.bd_addr)
+
+    def test_short_supervision_kills_ploc(self):
+        """Ablation: if the link supervision timeout is shorter than
+        the PLOC hold, the idle link dies before the victim pairs."""
+        world = build_world(seed=4)
+        m, c, a = standard_cast(world)
+        m.controller.supervision_timeout_s = 3.0
+        a.controller.supervision_timeout_s = 3.0
+        attack = PageBlockingAttack(world, a, c, m, ploc_hold_seconds=10.0)
+        report = attack.run(pairing_delay=8.0)
+        assert not report.success

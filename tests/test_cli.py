@@ -1,0 +1,131 @@
+"""Tests for the ``blap`` command-line tools."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.sim.eventloop import Simulator
+from repro.snoop.hcidump import HciDump
+from repro.transport.uart import UartH4Transport
+from repro.transport.usb import UsbSniffer, UsbTransport
+
+ADDR = BdAddr.parse("48:90:11:22:33:44")
+KEY = LinkKey.parse("71a70981f30d6af9e20adee8aafe3264")
+
+
+@pytest.fixture
+def btsnoop_file(tmp_path):
+    sim = Simulator()
+    transport = UartH4Transport(sim)
+    transport.attach_host(lambda raw: None)
+    transport.attach_controller(lambda raw: None)
+    dump = HciDump().attach(transport)
+    transport.send_from_host(cmd.AuthenticationRequested(connection_handle=6))
+    transport.send_from_controller(evt.LinkKeyRequest(bd_addr=ADDR))
+    transport.send_from_host(cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY))
+    sim.run()
+    path = tmp_path / "btsnoop_hci.log"
+    path.write_bytes(dump.to_btsnoop_bytes())
+    return path
+
+
+@pytest.fixture
+def usb_stream_file(tmp_path):
+    sim = Simulator()
+    transport = UsbTransport(sim)
+    transport.attach_host(lambda raw: None)
+    transport.attach_controller(lambda raw: None)
+    sniffer = UsbSniffer().attach(transport)
+    transport.send_from_host(cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY))
+    sim.run()
+    path = tmp_path / "usb_capture.bin"
+    path.write_bytes(sniffer.raw_stream())
+    return path
+
+
+class TestExtract:
+    def test_extract_finds_key(self, btsnoop_file, capsys):
+        assert main(["extract", str(btsnoop_file)]) == 0
+        out = capsys.readouterr().out
+        assert KEY.hex() in out
+        assert str(ADDR) in out
+
+    def test_extract_clean_capture_fails(self, tmp_path, capsys):
+        sim = Simulator()
+        transport = UartH4Transport(sim)
+        transport.attach_host(lambda raw: None)
+        transport.attach_controller(lambda raw: None)
+        dump = HciDump().attach(transport)
+        transport.send_from_host(cmd.Reset())
+        sim.run()
+        path = tmp_path / "clean.log"
+        path.write_bytes(dump.to_btsnoop_bytes())
+        assert main(["extract", str(path)]) == 1
+
+
+class TestDump:
+    def test_dump_renders_table(self, btsnoop_file, capsys):
+        assert main(["dump", str(btsnoop_file)]) == 0
+        out = capsys.readouterr().out
+        assert "HCI_Link_Key_Request_Reply" in out
+        assert "HCI_Authentication_Requested" in out
+
+    def test_dump_row_limit(self, btsnoop_file, capsys):
+        main(["dump", str(btsnoop_file), "--rows", "1"])
+        out = capsys.readouterr().out
+        assert "HCI_Link_Key_Request_Reply" not in out
+
+
+class TestUsb:
+    def test_usb_extract(self, usb_stream_file, capsys):
+        assert main(["usb-extract", str(usb_stream_file)]) == 0
+        assert KEY.hex() in capsys.readouterr().out
+
+    def test_bin2hex(self, usb_stream_file, capsys):
+        assert main(["bin2hex", str(usb_stream_file)]) == 0
+        assert "0b 04 16" in capsys.readouterr().out.replace("\n", " ")
+
+
+class TestPcap:
+    def test_pcap_conversion(self, btsnoop_file, tmp_path, capsys):
+        out_path = tmp_path / "capture.pcap"
+        assert main(["pcap", str(btsnoop_file), "-o", str(out_path)]) == 0
+        raw = out_path.read_bytes()
+        from repro.snoop.pcap import (
+            LINKTYPE_BLUETOOTH_HCI_H4_WITH_PHDR,
+            parse_pcap,
+        )
+
+        linktype, packets = parse_pcap(raw)
+        assert linktype == LINKTYPE_BLUETOOTH_HCI_H4_WITH_PHDR
+        assert len(packets) == 3
+
+
+class TestIocap:
+    def test_iocap_default(self, capsys):
+        assert main(["iocap"]) == 0
+        assert "just_works" in capsys.readouterr().out
+
+    def test_iocap_version_42(self, capsys):
+        assert main(["iocap", "--version", "4.2"]) == 0
+        assert "v4.2" in capsys.readouterr().out
+
+
+class TestDemos:
+    def test_demo_extraction(self, capsys):
+        assert main(["demo", "extraction", "--seed", "3"]) == 0
+        assert "matches truth : True" in capsys.readouterr().out
+
+    def test_demo_page_blocking(self, capsys):
+        assert main(["demo", "page-blocking", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MITM connection : True" in out
+        assert "HCI_Connection_Request" in out
+
+    def test_demo_exfiltration(self, capsys):
+        assert main(["demo", "exfiltration", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Alice Example" in out
+        assert "silent (no popup on victim): True" in out

@@ -1,0 +1,114 @@
+"""Controller tests: legacy (bonded) LMP authentication semantics.
+
+These cover the exact properties the link key extraction attack
+depends on: the host is asked for the key on every authentication, a
+silent host stalls the peer into a *timeout* (not an auth failure),
+and only genuine SRES mismatches delete keys.
+"""
+
+import pytest
+
+from repro.core.types import LinkKey
+from repro.hci.constants import ErrorCode
+from repro.host.storage import BondingRecord
+
+
+@pytest.fixture
+def bonded(bonded_pair):
+    return bonded_pair
+
+
+class TestBondedReauthentication:
+    def test_reauth_succeeds_with_stored_keys(self, bonded):
+        world, m, c = bonded
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+
+    def test_no_new_pairing_popup_on_reauth(self, bonded):
+        world, m, c = bonded
+        popups_before = m.user.popups_seen
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert m.user.popups_seen == popups_before
+
+    def test_reauth_serves_key_from_host(self, bonded):
+        world, m, c = bonded
+        served_before = m.host.security.link_keys_served
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert m.host.security.link_keys_served > served_before
+
+    def test_prover_side_also_serves_key(self, bonded):
+        world, m, c = bonded
+        served_before = c.host.security.link_keys_served
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert c.host.security.link_keys_served > served_before
+
+
+class TestWrongKey:
+    def test_wrong_key_fails_authentication(self, bonded):
+        world, m, c = bonded
+        c.host.security.add_bond(
+            BondingRecord(addr=m.bd_addr, link_key=LinkKey(b"\xEE" * 16))
+        )
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(15.0)
+        assert op.done and op.status == ErrorCode.AUTHENTICATION_FAILURE
+
+    def test_auth_failure_deletes_verifier_key(self, bonded):
+        world, m, c = bonded
+        c.host.security.add_bond(
+            BondingRecord(addr=m.bd_addr, link_key=LinkKey(b"\xEE" * 16))
+        )
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(15.0)
+        assert not m.host.security.is_bonded(c.bd_addr)
+
+    def test_missing_prover_key_reports_key_missing(self, bonded):
+        world, m, c = bonded
+        c.host.security.remove_bond(m.bd_addr)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(15.0)
+        assert op.done and op.status == ErrorCode.PIN_OR_KEY_MISSING
+
+
+class TestSilentProverTimeout:
+    """The Fig. 9 patch behaviour, tested at the stack level."""
+
+    def test_silent_prover_causes_lmp_timeout(self, bonded):
+        world, m, c = bonded
+        c.host.drop_link_key_requests = True
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(15.0)
+        assert op.done and op.status == ErrorCode.LMP_RESPONSE_TIMEOUT
+
+    def test_timeout_preserves_verifier_key(self, bonded):
+        """No authentication failure ⇒ the bonded key survives."""
+        world, m, c = bonded
+        key_before = m.host.security.bond_for(c.bd_addr).link_key
+        c.host.drop_link_key_requests = True
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(15.0)
+        assert m.host.security.bond_for(c.bd_addr).link_key == key_before
+
+    def test_timeout_drops_the_link(self, bonded):
+        world, m, c = bonded
+        c.host.drop_link_key_requests = True
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(15.0)
+        assert not m.host.gap.is_connected(c.bd_addr)
+
+    def test_verifier_key_request_still_logged(self, bonded):
+        """Even though the peer is silent, the verifier's own host
+        already served the key — the extraction attack's moment."""
+        from repro.snoop import HciDump, extract_link_keys
+
+        world, m, c = bonded
+        dump = HciDump().attach(m.transport)
+        c.host.drop_link_key_requests = True
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(15.0)
+        findings = extract_link_keys(dump)
+        assert any(f.peer == c.bd_addr for f in findings)

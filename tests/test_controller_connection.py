@@ -1,0 +1,140 @@
+"""Controller tests: discovery, connection establishment, disconnect."""
+
+import pytest
+
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+from repro.hci.constants import ErrorCode
+
+
+@pytest.fixture
+def pair(device_pair):
+    return device_pair
+
+
+class TestDiscovery:
+    def test_inquiry_finds_discoverable_peer(self, pair):
+        world, m, c = pair
+        op = m.host.gap.start_discovery()
+        world.run_for(10.0)
+        assert op.success
+        assert [str(d.addr) for d in op.result] == [str(c.bd_addr)]
+
+    def test_hidden_device_not_discovered(self, pair):
+        world, m, c = pair
+        c.host.gap.set_scan_mode(connectable=True, discoverable=False)
+        world.run_for(0.5)
+        op = m.host.gap.start_discovery()
+        world.run_for(10.0)
+        assert op.success and op.result == []
+
+    def test_concurrent_discovery_refused(self, pair):
+        world, m, c = pair
+        first = m.host.gap.start_discovery()
+        second = m.host.gap.start_discovery()
+        assert second.done and not second.success
+        world.run_for(10.0)
+        assert first.success
+
+    def test_discovery_reports_class_of_device(self, pair):
+        world, m, c = pair
+        op = m.host.gap.start_discovery()
+        world.run_for(10.0)
+        assert op.result[0].class_of_device == c.spec.class_of_device
+
+
+class TestConnection:
+    def test_connect_success(self, pair):
+        world, m, c = pair
+        op = m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        assert op.success
+        assert m.host.gap.is_connected(c.bd_addr)
+        assert c.host.gap.is_connected(m.bd_addr)
+
+    def test_connection_handles_are_symmetric_links(self, pair):
+        world, m, c = pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        handle = m.host.gap.handle_for(c.bd_addr)
+        link = m.controller.link_by_handle(handle)
+        assert link.phys.peer_of(m.controller) is c.controller
+
+    def test_connect_unreachable_times_out(self, pair):
+        world, m, c = pair
+        world.set_in_range(m, c, False)
+        op = m.host.gap.connect(c.bd_addr)
+        world.run_for(10.0)
+        assert op.done and op.status == ErrorCode.PAGE_TIMEOUT
+
+    def test_connect_non_connectable_times_out(self, pair):
+        world, m, c = pair
+        c.host.gap.set_scan_mode(connectable=False, discoverable=True)
+        world.run_for(0.5)
+        op = m.host.gap.connect(c.bd_addr)
+        world.run_for(10.0)
+        assert op.done and not op.success
+
+    def test_duplicate_connect_returns_existing(self, pair):
+        world, m, c = pair
+        first = m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        second = m.host.gap.connect(c.bd_addr)
+        assert second.done and second.success
+
+    def test_incoming_rejected_when_policy_denies(self, pair):
+        world, m, c = pair
+        c.host.gap.accept_incoming = False
+        op = m.host.gap.connect(c.bd_addr)
+        world.run_for(10.0)
+        assert op.done and op.status == ErrorCode.CONNECTION_REJECTED_SECURITY
+
+    def test_disconnect_propagates(self, pair):
+        world, m, c = pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        m.host.gap.disconnect(c.bd_addr)
+        world.run_for(2.0)
+        assert not m.host.gap.is_connected(c.bd_addr)
+        assert not c.host.gap.is_connected(m.bd_addr)
+
+    def test_connection_request_event_carries_peer_cod(self, pair):
+        world, m, c = pair
+        from repro.snoop.hcidump import HciDump
+
+        dump = HciDump().attach(c.transport)
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        requests = [
+            e.packet
+            for e in dump.entries()
+            if e.packet.display_name == "HCI_Connection_Request"
+        ]
+        assert requests and requests[0].class_of_device == m.spec.class_of_device
+
+
+class TestSupervision:
+    def test_idle_link_drops_after_supervision_timeout(self, pair):
+        world, m, c = pair
+        m.controller.supervision_timeout_s = 3.0
+        c.controller.supervision_timeout_s = 3.0
+        op = m.host.gap.connect(c.bd_addr)
+        world.run_for(2.0)
+        assert op.success
+        world.run_for(10.0)
+        assert not m.host.gap.is_connected(c.bd_addr)
+
+    def test_active_link_survives(self, pair):
+        world, m, c = pair
+        m.controller.supervision_timeout_s = 3.0
+        c.controller.supervision_timeout_s = 3.0
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(1.0)
+
+        def keepalive():
+            if m.host.gap.is_connected(c.bd_addr):
+                m.host.sdp.query(c.bd_addr)
+                world.simulator.schedule(1.0, keepalive)
+
+        keepalive()
+        world.run_for(8.0)
+        assert m.host.gap.is_connected(c.bd_addr)

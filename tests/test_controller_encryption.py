@@ -1,0 +1,80 @@
+"""Controller tests: E0 link encryption over the simulated air."""
+
+import pytest
+
+from repro.attacks.eavesdrop import AirCapture
+
+
+@pytest.fixture
+def encrypted_session(bonded_pair):
+    """Bonded pair, reconnected, authenticated and encrypted."""
+    world, m, c = bonded_pair
+    capture = AirCapture().attach(world.medium)
+    op = m.host.gap.pair(c.bd_addr)
+    world.run_for(10.0)
+    assert op.success
+    enc = m.host.gap.enable_encryption(c.bd_addr)
+    world.run_for(2.0)
+    assert enc.success
+    return world, m, c, capture
+
+
+class TestEncryptionSetup:
+    def test_encryption_change_reaches_both_hosts(self, encrypted_session):
+        world, m, c, _ = encrypted_session
+        assert m.host.gap.connections[c.bd_addr].encrypted
+        assert c.host.gap.connections[m.bd_addr].encrypted
+
+    def test_controllers_derive_identical_kc(self, encrypted_session):
+        world, m, c, _ = encrypted_session
+        m_link = m.controller.link_by_handle(
+            m.host.gap.handle_for(c.bd_addr)
+        )
+        c_link = c.controller.link_by_handle(
+            c.host.gap.handle_for(m.bd_addr)
+        )
+        assert m_link.kc is not None and m_link.kc == c_link.kc
+
+    def test_encryption_requires_prior_authentication(self, device_pair):
+        world, m, c = device_pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        op = m.host.gap.enable_encryption(c.bd_addr)
+        world.run_for(2.0)
+        # No link key / ACO yet: the controller refuses.
+        assert not op.success
+
+
+class TestEncryptedData:
+    def test_acl_data_still_arrives_intact(self, encrypted_session):
+        world, m, c, _ = encrypted_session
+        op = m.host.sdp.query(c.bd_addr)
+        world.run_for(5.0)
+        assert op.success
+        assert len(op.result) >= 1  # C's registered PAN records
+
+    def test_air_frames_are_ciphertext(self, encrypted_session):
+        world, m, c, capture = encrypted_session
+        frames_before = len(capture.encrypted_acl_frames())
+        m.host.sdp.query(c.bd_addr)
+        world.run_for(5.0)
+        encrypted = capture.encrypted_acl_frames()
+        assert len(encrypted) > frames_before
+        # The SDP wire bytes must not appear in the air frames.
+        for captured in encrypted:
+            assert b"Personal Ad-hoc" not in captured.frame.payload.data
+
+    def test_plaintext_without_encryption(self, bonded_pair):
+        world, m, c = bonded_pair
+        capture = AirCapture().attach(world.medium)
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        m.host.sdp.query(c.bd_addr)
+        world.run_for(5.0)
+        assert capture.encrypted_acl_frames() == []
+        plain = [
+            f
+            for f in capture.frames
+            if f.frame.kind == "acl" and b"Personal Ad-hoc" in f.frame.payload.data
+        ]
+        assert plain, "expected plaintext SDP response on the air"

@@ -1,0 +1,138 @@
+"""Tests: legacy PIN pairing and its offline cracking."""
+
+import pytest
+
+from repro.attacks.eavesdrop import AirCapture
+from repro.attacks.pin_crack import (
+    candidate_key,
+    crack_pin,
+    numeric_pins,
+    transcript_from_capture,
+)
+from repro.core.types import LinkKeyType
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+from repro.hci.constants import ErrorCode
+
+
+@pytest.fixture
+def legacy_pair(world):
+    """Two devices with SSP disabled (pre-2.1 behaviour), PIN '0000'."""
+    m = world.add_device("M", LG_VELVET)
+    c = world.add_device("C", NEXUS_5X_A8)
+    m.host.ssp_enabled = False
+    c.host.ssp_enabled = False
+    m.user.pin_code = "0000"
+    c.user.pin_code = "0000"
+    m.power_on()
+    c.power_on()
+    world.run_for(0.5)
+    return world, m, c
+
+
+class TestLegacyPairing:
+    def test_pin_pairing_succeeds(self, legacy_pair):
+        world, m, c = legacy_pair
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        assert (
+            m.host.security.bond_for(c.bd_addr).link_key
+            == c.host.security.bond_for(m.bd_addr).link_key
+        )
+
+    def test_key_type_is_combination(self, legacy_pair):
+        world, m, c = legacy_pair
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        record = m.host.security.bond_for(c.bd_addr)
+        assert record.key_type == LinkKeyType.COMBINATION
+
+    def test_mismatched_pins_fail(self, legacy_pair):
+        world, m, c = legacy_pair
+        c.user.pin_code = "1234"
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.done and not op.success
+        assert not m.host.security.is_bonded(c.bd_addr)
+
+    def test_refused_pin_fails(self, legacy_pair):
+        world, m, c = legacy_pair
+        c.user.pin_code = None
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.done and op.status == ErrorCode.PAIRING_NOT_ALLOWED
+
+    def test_legacy_bond_reauthenticates(self, legacy_pair):
+        world, m, c = legacy_pair
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        m.host.gap.disconnect(c.bd_addr)
+        world.run_for(2.0)
+        op2 = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op2.success
+
+    def test_one_legacy_side_forces_legacy(self, world):
+        """A modern phone pairing a pre-2.1 device falls back to PIN."""
+        m = world.add_device("M", LG_VELVET)  # SSP on
+        c = world.add_device("C", NEXUS_5X_A8)
+        c.host.ssp_enabled = False
+        m.user.pin_code = "9999"
+        c.user.pin_code = "9999"
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        record = m.host.security.bond_for(c.bd_addr)
+        assert record.key_type == LinkKeyType.COMBINATION
+
+
+class TestPinCracking:
+    @pytest.fixture
+    def sniffed(self, legacy_pair):
+        world, m, c = legacy_pair
+        m.user.pin_code = "4271"
+        c.user.pin_code = "4271"
+        capture = AirCapture().attach(world.medium)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        truth = m.host.security.bond_for(c.bd_addr).link_key
+        return capture, m, c, truth
+
+    def test_transcript_extraction(self, sniffed):
+        capture, m, c, _ = sniffed
+        transcript = transcript_from_capture(capture, "M", m.bd_addr, c.bd_addr)
+        assert len(transcript.in_rand) == 16
+        assert len(transcript.sres) == 4
+
+    def test_correct_pin_reproduces_key(self, sniffed):
+        capture, m, c, truth = sniffed
+        transcript = transcript_from_capture(capture, "M", m.bd_addr, c.bd_addr)
+        assert candidate_key(transcript, b"4271") == truth
+
+    def test_offline_crack_recovers_pin_and_key(self, sniffed):
+        capture, m, c, truth = sniffed
+        transcript = transcript_from_capture(capture, "M", m.bd_addr, c.bd_addr)
+        result = crack_pin(transcript, numeric_pins(4))
+        assert result is not None
+        assert result.pin == b"4271"
+        assert result.link_key == truth
+        assert result.candidates_tried == 4272  # counting order
+
+    def test_wrong_pin_space_finds_nothing(self, sniffed):
+        capture, m, c, _ = sniffed
+        transcript = transcript_from_capture(capture, "M", m.bd_addr, c.bd_addr)
+        assert crack_pin(transcript, (b"0000", b"1111")) is None
+
+    def test_incomplete_capture_raises(self):
+        from repro.core.errors import AttackError
+        from repro.core.types import BdAddr
+
+        empty = AirCapture()
+        addr = BdAddr.parse("00:00:00:00:00:01")
+        with pytest.raises(AttackError):
+            transcript_from_capture(empty, "M", addr, addr)

@@ -1,0 +1,146 @@
+"""Tests: the Out of Band association model (NFC-style exchange)."""
+
+import pytest
+
+from repro.attacks.scenario import build_world
+from repro.core.types import LinkKeyType
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A6, NEXUS_5X_A8
+
+
+def _exchange_oob(world, a, b):
+    """The physical side channel: tap the two devices together."""
+    done = {}
+
+    def a_ready(c, r):
+        b.host.security.receive_oob_data(a.bd_addr, c, r)
+        done["a"] = (c, r)
+
+    def b_ready(c, r):
+        a.host.security.receive_oob_data(b.bd_addr, c, r)
+        done["b"] = (c, r)
+
+    a.host.read_local_oob(a_ready)
+    b.host.read_local_oob(b_ready)
+    world.run_for(0.5)
+    assert "a" in done and "b" in done
+    return done
+
+
+@pytest.fixture
+def oob_pair(world):
+    m = world.add_device("M", LG_VELVET)
+    c = world.add_device("C", NEXUS_5X_A8)
+    m.power_on()
+    c.power_on()
+    world.run_for(0.5)
+    _exchange_oob(world, m, c)
+    return world, m, c
+
+
+class TestOobPairing:
+    def test_oob_pairing_succeeds(self, oob_pair):
+        world, m, c = oob_pair
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        assert (
+            m.host.security.bond_for(c.bd_addr).link_key
+            == c.host.security.bond_for(m.bd_addr).link_key
+        )
+
+    def test_oob_needs_no_user_interaction(self, oob_pair):
+        """The commitment travelled over the tap: zero popups."""
+        world, m, c = oob_pair
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        assert m.user.popups_seen == 0
+        assert c.user.popups_seen == 0
+
+    def test_oob_key_is_authenticated(self, oob_pair):
+        world, m, c = oob_pair
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        record = m.host.security.bond_for(c.bd_addr)
+        assert record.key_type == LinkKeyType.AUTHENTICATED_COMBINATION_P256
+
+    def test_read_local_oob_returns_c_and_r(self, world):
+        m = world.add_device("M", LG_VELVET)
+        m.power_on()
+        captured = {}
+        m.host.read_local_oob(lambda c, r: captured.update(c=c, r=r))
+        world.run_for(0.5)
+        assert len(captured["c"]) == 16 and len(captured["r"]) == 16
+
+
+class TestOobMitmResistance:
+    def test_mitm_public_key_substitution_detected(self, world):
+        """A MITM that answers the page cannot match the tap-carried
+        commitment: its public key fails the f1 check."""
+        from repro.attacks.attacker import Attacker
+        from repro.core.types import IoCapability
+
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        a = world.add_device("A", NEXUS_5X_A6)
+        m.power_on()
+        c.power_on()
+        a.power_on(connectable=False, discoverable=False)
+        world.run_for(0.5)
+        _exchange_oob(world, m, c)  # the tap happened with the REAL C
+
+        attacker = Attacker(a)
+        attacker.set_io_capability(IoCapability.NO_INPUT_NO_OUTPUT)
+        attacker.spoof_device(c)
+        attacker.go_connectable()
+        world.set_in_range(m, c, False)  # attacker wins the page for sure
+        world.run_for(0.2)
+
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.done and not op.success
+        assert not m.host.security.is_bonded(c.bd_addr)
+
+    def test_one_sided_oob_still_pairs_and_verifies(self, world):
+        """Per spec, OOB runs when either side holds data: the holder
+        verifies the peer's key; the other participates with r=0."""
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        captured = {}
+        c.host.read_local_oob(lambda cc, rr: captured.update(c=cc, r=rr))
+        world.run_for(0.5)
+        m.host.security.receive_oob_data(c.bd_addr, captured["c"], captured["r"])
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        assert m.user.popups_seen == 0  # OOB stays silent
+
+    def test_one_sided_oob_still_catches_mitm(self, world):
+        """Even one-sided, the data holder's verification bites."""
+        from repro.attacks.attacker import Attacker
+        from repro.core.types import IoCapability
+
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        a = world.add_device("A", NEXUS_5X_A6)
+        m.power_on()
+        c.power_on()
+        a.power_on(connectable=False, discoverable=False)
+        world.run_for(0.5)
+        captured = {}
+        c.host.read_local_oob(lambda cc, rr: captured.update(c=cc, r=rr))
+        world.run_for(0.5)
+        m.host.security.receive_oob_data(c.bd_addr, captured["c"], captured["r"])
+
+        attacker = Attacker(a)
+        attacker.set_io_capability(IoCapability.NO_INPUT_NO_OUTPUT)
+        attacker.spoof_device(c)
+        attacker.go_connectable()
+        world.set_in_range(m, c, False)
+        world.run_for(0.2)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.done and not op.success

@@ -1,0 +1,114 @@
+"""Controller tests: the Passkey Entry association model.
+
+Passkey Entry runs 20 commit-and-reveal rounds, one per passkey bit,
+so a MITM who cannot see the display learns at most one bit before
+being caught — the property that makes it (unlike Just Works)
+MITM-resistant, and hence the model the paper's mitigation suggests
+re-initiating pairing in.
+"""
+
+import pytest
+
+from repro.core.types import IoCapability, LinkKeyType
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+
+
+@pytest.fixture
+def keyboard_pair(world):
+    """M is a phone; C is a keyboard-only device next to its user."""
+    m = world.add_device("M", LG_VELVET)
+    c = world.add_device("C", NEXUS_5X_A8)
+    c.host.io_capability = IoCapability.KEYBOARD_ONLY
+    m.power_on()
+    c.power_on()
+    world.run_for(0.5)
+    # Same room: C's user can read M's display, and both intend to pair.
+    c.user.peer_user = m.user
+    m.user.peer_user = c.user
+    c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+    return world, m, c
+
+
+class TestPasskeySuccess:
+    def test_pairing_succeeds_with_shared_passkey(self, keyboard_pair):
+        world, m, c = keyboard_pair
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        assert op.success
+        assert (
+            m.host.security.bond_for(c.bd_addr).link_key
+            == c.host.security.bond_for(m.bd_addr).link_key
+        )
+
+    def test_key_is_authenticated_type(self, keyboard_pair):
+        """Passkey Entry gives MITM protection → authenticated key."""
+        world, m, c = keyboard_pair
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        record = m.host.security.bond_for(c.bd_addr)
+        assert record.key_type == LinkKeyType.AUTHENTICATED_COMBINATION_P256
+
+    def test_displayer_is_the_phone(self, keyboard_pair):
+        """KeyboardOnly types; the DisplayYesNo initiator displays."""
+        world, m, c = keyboard_pair
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        assert m.user.displayed_passkey is not None
+        assert 0 <= m.user.displayed_passkey <= 999_999
+        assert c.user.displayed_passkey is None
+
+    def test_no_confirmation_popup_in_passkey_model(self, keyboard_pair):
+        world, m, c = keyboard_pair
+        m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        assert m.user.popups_seen == 0  # passkey display, not a popup
+
+    def test_twenty_rounds_on_the_air(self, keyboard_pair):
+        from repro.attacks.eavesdrop import AirCapture
+        from repro.controller import lmp
+
+        world, m, c = keyboard_pair
+        capture = AirCapture().attach(world.medium)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        assert op.success
+        commits = capture.lmp_frames(lmp.LmpPasskeyConfirm)
+        reveals = capture.lmp_frames(lmp.LmpPasskeyNumber)
+        assert len(commits) == 40  # 20 rounds × both sides
+        assert len(reveals) == 40
+
+
+class TestPasskeyFailure:
+    def test_user_without_line_of_sight_cannot_pair(self, world):
+        """No peer_user wired → the typist can't know the passkey."""
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        c.host.io_capability = IoCapability.KEYBOARD_ONLY
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        assert op.done and not op.success
+
+    def test_wrong_passkey_fails_authentication(self, keyboard_pair):
+        """A guessing MITM stand-in: typing the wrong passkey is caught
+        during the bit-commitment rounds."""
+        world, m, c = keyboard_pair
+
+        original = c.user.read_peer_passkey
+        c.user.read_peer_passkey = lambda now: (
+            (original(now) or 0) ^ 0x1  # flip the lowest bit
+        )
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        assert op.done and not op.success
+        assert not m.host.security.is_bonded(c.bd_addr)
+
+    def test_refusing_to_type_fails_cleanly(self, keyboard_pair):
+        world, m, c = keyboard_pair
+        c.user.read_peer_passkey = lambda now: None
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(30.0)
+        assert op.done and not op.success

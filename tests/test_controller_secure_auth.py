@@ -1,0 +1,104 @@
+"""Tests: Secure Connections mutual authentication (h4/h5).
+
+Opt-in hardening beyond the paper's fleet.  Two properties matter:
+
+* the link key extraction attack is **authentication-scheme agnostic**
+  — the plaintext key still crosses the HCI on every challenge; and
+* mutuality closes the one-way gap BIAS exploited: a verifier that
+  cannot prove key possession is rejected by the prover.
+"""
+
+import pytest
+
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.controller import lmp
+from repro.attacks.eavesdrop import AirCapture
+from repro.core.types import LinkKey
+from repro.hci.constants import ErrorCode
+from repro.host.storage import BondingRecord
+
+
+@pytest.fixture
+def sc_pair(bonded_pair):
+    world, m, c = bonded_pair
+    m.controller.secure_auth_enabled = True
+    c.controller.secure_auth_enabled = True
+    return world, m, c
+
+
+class TestMutualAuthentication:
+    def test_sc_reauth_succeeds(self, sc_pair):
+        world, m, c = sc_pair
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+
+    def test_sc_pdus_on_the_air(self, sc_pair):
+        world, m, c = sc_pair
+        capture = AirCapture().attach(world.medium)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+        assert capture.lmp_frames(lmp.LmpAuRandSC)
+        assert capture.lmp_frames(lmp.LmpScAuthResponse)
+        assert capture.lmp_frames(lmp.LmpScAuthConfirm)
+        assert not capture.lmp_frames(lmp.LmpAuRand)  # legacy path unused
+
+    def test_one_legacy_side_falls_back(self, bonded_pair):
+        world, m, c = bonded_pair
+        m.controller.secure_auth_enabled = True  # C stays legacy
+        capture = AirCapture().attach(world.medium)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+        assert capture.lmp_frames(lmp.LmpAuRand)
+        assert not capture.lmp_frames(lmp.LmpAuRandSC)
+
+    def test_wrong_prover_key_rejected(self, sc_pair):
+        world, m, c = sc_pair
+        c.host.security.add_bond(
+            BondingRecord(addr=m.bd_addr, link_key=LinkKey(b"\xEE" * 16))
+        )
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.done and op.status == ErrorCode.AUTHENTICATION_FAILURE
+
+    def test_mutuality_detects_bogus_verifier(self, sc_pair):
+        """The anti-BIAS property: the prover checks the verifier."""
+        world, m, c = sc_pair
+        # M (the verifier) holds a wrong key; C (the prover) is honest.
+        m.host.security.add_bond(
+            BondingRecord(addr=c.bd_addr, link_key=LinkKey(b"\xEE" * 16))
+        )
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        # The exchange fails — with one-way legacy auth the honest
+        # prover would simply answer and never learn anything.
+        assert op.done and not op.success
+        assert not c.host.gap.is_connected(m.bd_addr)
+
+    def test_encryption_works_over_sc_aco(self, sc_pair):
+        world, m, c = sc_pair
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+        enc = m.host.gap.enable_encryption(c.bd_addr)
+        world.run_for(2.0)
+        assert enc.success
+        sdp = m.host.sdp.query(c.bd_addr)
+        world.run_for(5.0)
+        assert sdp.success
+
+
+class TestExtractionAgnosticism:
+    def test_extraction_attack_unaffected_by_sc_auth(self):
+        """SC authentication changes the LMP math, not the HCI leak."""
+        world = build_world(seed=61)
+        m, c, a = standard_cast(world)
+        for device in (m, c, a):
+            device.controller.secure_auth_enabled = True
+        bond(world, c, m)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=True)
+        assert report.vulnerable
+        assert report.validated_against_m

@@ -1,0 +1,69 @@
+"""Unit tests for the virtual filesystem's permission model."""
+
+import pytest
+
+from repro.core.filesystem import VirtualFilesystem
+
+
+@pytest.fixture
+def fs() -> VirtualFilesystem:
+    filesystem = VirtualFilesystem()
+    filesystem.write("/open/readme.txt", b"hello")
+    filesystem.write(
+        "/data/misc/bluetooth/logs/btsnoop_hci.log", b"secret", requires_su=True
+    )
+    return filesystem
+
+
+def test_read_world_readable(fs):
+    assert fs.read("/open/readme.txt") == b"hello"
+
+
+def test_su_file_blocks_unprivileged_read(fs):
+    with pytest.raises(PermissionError):
+        fs.read("/data/misc/bluetooth/logs/btsnoop_hci.log")
+
+
+def test_su_file_readable_with_su(fs):
+    assert fs.read("/data/misc/bluetooth/logs/btsnoop_hci.log", su=True) == b"secret"
+
+
+def test_missing_file_raises(fs):
+    with pytest.raises(FileNotFoundError):
+        fs.read("/nope")
+
+
+def test_overwrite_keeps_permission_bit(fs):
+    fs.write("/data/misc/bluetooth/logs/btsnoop_hci.log", b"new")
+    with pytest.raises(PermissionError):
+        fs.read("/data/misc/bluetooth/logs/btsnoop_hci.log")
+
+
+def test_user_write_respects_su(fs):
+    with pytest.raises(PermissionError):
+        fs.user_write("/data/misc/bluetooth/logs/btsnoop_hci.log", b"x")
+    fs.user_write("/data/misc/bluetooth/logs/btsnoop_hci.log", b"x", su=True)
+
+
+def test_user_write_creates_new_file(fs):
+    fs.user_write("/tmp/scratch", b"y")
+    assert fs.read("/tmp/scratch") == b"y"
+
+
+def test_delete_requires_su(fs):
+    with pytest.raises(PermissionError):
+        fs.delete("/data/misc/bluetooth/logs/btsnoop_hci.log")
+    fs.delete("/data/misc/bluetooth/logs/btsnoop_hci.log", su=True)
+    assert not fs.exists("/data/misc/bluetooth/logs/btsnoop_hci.log")
+
+
+def test_listdir_prefix(fs):
+    fs.write("/data/misc/a", b"")
+    fs.write("/data/misc/b", b"")
+    names = fs.listdir("/data/misc")
+    assert "/data/misc/a" in names and "/data/misc/b" in names
+
+
+def test_text_helpers(fs):
+    fs.write_text("/persist/bdaddr.txt", "aa:bb:cc:dd:ee:ff")
+    assert fs.read_text("/persist/bdaddr.txt") == "aa:bb:cc:dd:ee:ff"

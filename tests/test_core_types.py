@@ -1,0 +1,130 @@
+"""Unit + property tests for the core value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    AssociationModel,
+    AuthenticationRequirements,
+    BdAddr,
+    BluetoothVersion,
+    ClassOfDevice,
+    IoCapability,
+    LinkKey,
+    as_bdaddr,
+)
+
+
+class TestBdAddr:
+    def test_parse_and_str_roundtrip(self):
+        addr = BdAddr.parse("48:90:aa:bb:cc:dd")
+        assert str(addr) == "48:90:aa:bb:cc:dd"
+
+    def test_parse_dash_separator(self):
+        assert BdAddr.parse("48-90-aa-bb-cc-dd") == BdAddr.parse(
+            "48:90:aa:bb:cc:dd"
+        )
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("48:90:aa:bb:cc", "zz:90:aa:bb:cc:dd", "489000aabbccdd", ""):
+            with pytest.raises(ValueError):
+                BdAddr.parse(bad)
+
+    def test_wrong_length_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            BdAddr(b"\x01\x02\x03")
+
+    def test_hci_byte_order_is_reversed(self):
+        addr = BdAddr.parse("00:1a:7d:da:71:0a")
+        assert addr.to_hci_bytes() == bytes.fromhex("0a71da7d1a00")
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_hci_roundtrip(self, raw):
+        addr = BdAddr(raw)
+        assert BdAddr.from_hci_bytes(addr.to_hci_bytes()) == addr
+
+    def test_lap_uap_nap_split(self):
+        addr = BdAddr.parse("00:18:74:da:71:09")
+        assert addr.nap == 0x0018
+        assert addr.uap == 0x74
+        assert addr.lap == 0xDA7109
+
+    def test_ordering_and_hashing(self):
+        a = BdAddr.parse("00:00:00:00:00:01")
+        b = BdAddr.parse("00:00:00:00:00:02")
+        assert a < b
+        assert len({a, BdAddr.parse("00:00:00:00:00:01")}) == 1
+
+    def test_as_bdaddr_coercion(self):
+        addr = BdAddr.parse("11:22:33:44:55:66")
+        assert as_bdaddr("11:22:33:44:55:66") == addr
+        assert as_bdaddr(addr) is addr
+
+
+class TestLinkKey:
+    def test_parse_and_hex(self):
+        key = LinkKey.parse("71a70981f30d6af9e20adee8aafe3264")
+        assert key.hex() == "71a70981f30d6af9e20adee8aafe3264"
+
+    def test_parse_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            LinkKey.parse("abcd")
+
+    def test_wrong_byte_length_rejected(self):
+        with pytest.raises(ValueError):
+            LinkKey(b"\x00" * 15)
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_hci_roundtrip(self, raw):
+        key = LinkKey(raw)
+        assert LinkKey.from_hci_bytes(key.to_hci_bytes()) == key
+
+    def test_hci_order_matches_paper_fig11(self):
+        # Fig. 11: wire bytes 'c4 f1 6e 94 ...' read back big-endian.
+        key = LinkKey.parse("c4f16e949f04ee9c0fd6b1330289c324")
+        assert key.to_hci_bytes() == bytes.fromhex(
+            "24c3890233b1d60f9cee049f946ef1c4"
+        )
+
+
+class TestClassOfDevice:
+    def test_smartphone_constant_decodes_as_phone(self):
+        cod = ClassOfDevice(ClassOfDevice.SMARTPHONE)
+        assert cod.major_device_class == 0x02
+        assert cod.describe() == "Phone"
+
+    def test_handsfree_constant_decodes_as_audio(self):
+        cod = ClassOfDevice(ClassOfDevice.HANDSFREE)
+        assert cod.describe() == "Audio/Video"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ClassOfDevice(0x1000000)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFF))
+    def test_hci_roundtrip(self, value):
+        cod = ClassOfDevice(value)
+        assert ClassOfDevice.from_hci_bytes(cod.to_hci_bytes()) == cod
+
+
+class TestEnums:
+    def test_association_model_mitm_resistance(self):
+        assert not AssociationModel.JUST_WORKS.mitm_resistant
+        assert AssociationModel.NUMERIC_COMPARISON.mitm_resistant
+        assert AssociationModel.PASSKEY_ENTRY.mitm_resistant
+
+    def test_version_popup_mandate_split(self):
+        assert not BluetoothVersion.V4_2.mandates_justworks_popup
+        assert BluetoothVersion.V5_0.mandates_justworks_popup
+        assert BluetoothVersion.V5_2.mandates_justworks_popup
+
+    def test_io_capability_describe(self):
+        assert IoCapability.NO_INPUT_NO_OUTPUT.describe() == "NoInputNoOutput"
+        assert IoCapability.DISPLAY_YES_NO.describe() == "DisplayYesNo"
+
+    def test_auth_requirements_flags(self):
+        assert AuthenticationRequirements.MITM_GENERAL_BONDING.mitm_required
+        assert AuthenticationRequirements.MITM_GENERAL_BONDING.bonding
+        assert not AuthenticationRequirements.NO_MITM_NO_BONDING.mitm_required
+        assert not AuthenticationRequirements.NO_MITM_NO_BONDING.bonding

@@ -1,0 +1,72 @@
+"""Unit + property tests for the E0 stream cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import BdAddr
+from repro.crypto.e0 import E0Cipher, e0_encrypt, e0_keystream
+
+ADDR = BdAddr.parse("aa:bb:cc:dd:ee:ff")
+KC = b"\x11" * 16
+
+payloads = st.binary(min_size=0, max_size=128)
+keys = st.binary(min_size=16, max_size=16)
+clocks = st.integers(min_value=0, max_value=2**28)
+
+
+def test_encrypt_decrypt_roundtrip():
+    ciphertext = e0_encrypt(KC, ADDR, 42, b"attack at dawn")
+    assert e0_encrypt(KC, ADDR, 42, ciphertext) == b"attack at dawn"
+
+
+@given(keys, clocks, payloads)
+@settings(max_examples=40)
+def test_roundtrip_property(kc, clock, payload):
+    ciphertext = e0_encrypt(kc, ADDR, clock, payload)
+    assert e0_encrypt(kc, ADDR, clock, ciphertext) == payload
+
+
+def test_wrong_key_does_not_decrypt():
+    ciphertext = e0_encrypt(KC, ADDR, 42, b"attack at dawn")
+    assert e0_encrypt(b"\x12" * 16, ADDR, 42, ciphertext) != b"attack at dawn"
+
+
+def test_keystream_depends_on_clock():
+    assert e0_keystream(KC, ADDR, 1, 32) != e0_keystream(KC, ADDR, 2, 32)
+
+
+def test_keystream_depends_on_address():
+    other = BdAddr.parse("11:22:33:44:55:66")
+    assert e0_keystream(KC, ADDR, 1, 32) != e0_keystream(KC, other, 1, 32)
+
+
+def test_keystream_is_deterministic():
+    assert e0_keystream(KC, ADDR, 7, 64) == e0_keystream(KC, ADDR, 7, 64)
+
+
+def test_keystream_is_balanced_ish():
+    """Roughly half the keystream bits should be set."""
+    stream = e0_keystream(KC, ADDR, 3, 2048)
+    ones = sum(bin(byte).count("1") for byte in stream)
+    total = len(stream) * 8
+    assert 0.40 < ones / total < 0.60
+
+
+def test_keystream_not_short_cycle():
+    stream = e0_keystream(KC, ADDR, 3, 256)
+    assert stream[:64] != stream[64:128]
+
+
+def test_cipher_object_is_stateful_stream():
+    cipher = E0Cipher(KC, ADDR, 5)
+    first = cipher.keystream(16)
+    second = cipher.keystream(16)
+    assert first != second
+    fresh = E0Cipher(KC, ADDR, 5)
+    assert fresh.keystream(32) == first + second
+
+
+def test_bad_key_length_rejected():
+    with pytest.raises(ValueError):
+        E0Cipher(b"short", ADDR, 0)

@@ -1,0 +1,110 @@
+"""Unit + property tests for the P-192 / P-256 elliptic curves."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ecc import (
+    EccPoint,
+    P192,
+    P256,
+    ecdh_shared_secret,
+    generate_keypair,
+)
+
+CURVES = [P192, P256]
+
+
+@pytest.mark.parametrize("curve", CURVES, ids=lambda c: c.name)
+class TestCurveStructure:
+    def test_generator_is_on_curve(self, curve):
+        point = curve.generator
+        assert not point.is_infinity  # construction validates the equation
+
+    def test_order_times_generator_is_infinity(self, curve):
+        assert (curve.generator * curve.n).is_infinity
+
+    def test_identity_element(self, curve):
+        inf = EccPoint.infinity(curve)
+        g = curve.generator
+        assert g + inf == g
+        assert inf + g == g
+
+    def test_inverse_element(self, curve):
+        g = curve.generator
+        assert (g + (-g)).is_infinity
+
+    def test_doubling_matches_addition(self, curve):
+        g = curve.generator
+        assert g + g == g * 2
+
+    def test_scalar_distributes(self, curve):
+        g = curve.generator
+        assert g * 5 == g * 2 + g * 3
+
+    def test_off_curve_point_rejected(self, curve):
+        with pytest.raises(ValueError):
+            EccPoint(curve, 1, 1)
+
+    def test_point_bytes_roundtrip(self, curve):
+        point = curve.generator * 1234567
+        assert EccPoint.from_bytes(curve, point.to_bytes()) == point
+
+    def test_x_bytes_length(self, curve):
+        assert len(curve.generator.x_bytes()) == curve.byte_length
+
+
+@pytest.mark.parametrize("curve", CURVES, ids=lambda c: c.name)
+class TestEcdh:
+    def test_shared_secret_agreement(self, curve):
+        rng = random.Random(5)
+        alice = generate_keypair(curve, rng)
+        bob = generate_keypair(curve, rng)
+        assert ecdh_shared_secret(alice.private, bob.public) == ecdh_shared_secret(
+            bob.private, alice.public
+        )
+
+    def test_distinct_pairs_distinct_secrets(self, curve):
+        rng = random.Random(6)
+        alice = generate_keypair(curve, rng)
+        bob = generate_keypair(curve, rng)
+        eve = generate_keypair(curve, rng)
+        ab = ecdh_shared_secret(alice.private, bob.public)
+        ae = ecdh_shared_secret(alice.private, eve.public)
+        assert ab != ae
+
+    def test_private_scalar_range_enforced(self, curve):
+        with pytest.raises(ValueError):
+            ecdh_shared_secret(0, curve.generator)
+        with pytest.raises(ValueError):
+            ecdh_shared_secret(curve.n, curve.generator)
+
+
+@given(st.integers(min_value=1, max_value=2**64), st.integers(min_value=1, max_value=2**64))
+@settings(max_examples=15, deadline=None)
+def test_scalar_multiplication_is_homomorphic(a, b):
+    """(a+b)G == aG + bG on P-256."""
+    g = P256.generator
+    assert g * (a + b) == g * a + g * b
+
+
+def test_cross_curve_addition_rejected():
+    with pytest.raises(ValueError):
+        _ = P192.generator + P256.generator
+
+
+def test_mitm_sees_different_secrets():
+    """The Just Works blindness: a MITM completes two *different* ECDHs."""
+    rng = random.Random(7)
+    victim_m = generate_keypair(P256, rng)
+    victim_c = generate_keypair(P256, rng)
+    attacker = generate_keypair(P256, rng)
+    m_side = ecdh_shared_secret(victim_m.private, attacker.public)
+    c_side = ecdh_shared_secret(victim_c.private, attacker.public)
+    legit = ecdh_shared_secret(victim_m.private, victim_c.public)
+    assert m_side != legit and c_side != legit
+    # ...but the attacker can compute both session secrets:
+    assert ecdh_shared_secret(attacker.private, victim_m.public) == m_side
+    assert ecdh_shared_secret(attacker.private, victim_c.public) == c_side

@@ -1,0 +1,118 @@
+"""Unit + property tests for E1 / E21 / E22 / E3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import BdAddr, LinkKey
+from repro.crypto.legacy import e1, e21, e22, e3, reduce_key_entropy
+
+ADDR = BdAddr.parse("aa:bb:cc:dd:ee:ff")
+OTHER = BdAddr.parse("11:22:33:44:55:66")
+KEY = LinkKey(bytes(range(16)))
+RAND = b"\x5a" * 16
+
+rand16 = st.binary(min_size=16, max_size=16)
+key16 = st.binary(min_size=16, max_size=16).map(LinkKey)
+addr6 = st.binary(min_size=6, max_size=6).map(BdAddr)
+
+
+class TestE1:
+    def test_output_shapes(self):
+        sres, aco = e1(KEY, RAND, ADDR)
+        assert len(sres) == 4 and len(aco) == 12
+
+    def test_deterministic(self):
+        assert e1(KEY, RAND, ADDR) == e1(KEY, RAND, ADDR)
+
+    @given(key16, rand16, addr6)
+    @settings(max_examples=40)
+    def test_verifier_prover_agreement(self, key, rand, addr):
+        """The core LMP property: same key ⇒ same SRES on both sides."""
+        assert e1(key, rand, addr)[0] == e1(key, rand, addr)[0]
+
+    @given(rand16, addr6)
+    @settings(max_examples=40)
+    def test_different_keys_fail_the_challenge(self, rand, addr):
+        k1 = LinkKey(b"\x01" * 16)
+        k2 = LinkKey(b"\x02" * 16)
+        assert e1(k1, rand, addr)[0] != e1(k2, rand, addr)[0]
+
+    def test_challenge_binds_claimed_address(self):
+        assert e1(KEY, RAND, ADDR)[0] != e1(KEY, RAND, OTHER)[0]
+
+    def test_challenge_depends_on_rand(self):
+        assert e1(KEY, RAND, ADDR)[0] != e1(KEY, b"\x00" * 16, ADDR)[0]
+
+    def test_bad_rand_length_rejected(self):
+        with pytest.raises(ValueError):
+            e1(KEY, b"short", ADDR)
+
+
+class TestE21E22:
+    def test_e21_yields_link_key(self):
+        key = e21(RAND, ADDR)
+        assert isinstance(key, LinkKey)
+
+    def test_e21_depends_on_address(self):
+        assert e21(RAND, ADDR) != e21(RAND, OTHER)
+
+    def test_e22_pin_sensitivity(self):
+        assert e22(RAND, b"0000", ADDR) != e22(RAND, b"0001", ADDR)
+
+    def test_e22_rejects_empty_and_oversized_pin(self):
+        with pytest.raises(ValueError):
+            e22(RAND, b"", ADDR)
+        with pytest.raises(ValueError):
+            e22(RAND, b"x" * 17, ADDR)
+
+    def test_combination_key_construction_is_symmetric(self):
+        """K_AB = E21(ra, A) ⊕ E21(rb, B) is the same from both views."""
+        ra, rb = b"\x01" * 16, b"\x02" * 16
+        ka = e21(ra, ADDR).value
+        kb = e21(rb, OTHER).value
+        combined_a = bytes(x ^ y for x, y in zip(ka, kb))
+        combined_b = bytes(x ^ y for x, y in zip(kb, ka))
+        assert combined_a == combined_b
+
+
+class TestE3:
+    def test_kc_shape_and_determinism(self):
+        aco = b"\x07" * 12
+        assert len(e3(KEY, RAND, aco)) == 16
+        assert e3(KEY, RAND, aco) == e3(KEY, RAND, aco)
+
+    def test_kc_depends_on_all_inputs(self):
+        aco = b"\x07" * 12
+        assert e3(KEY, RAND, aco) != e3(KEY, RAND, b"\x08" * 12)
+        assert e3(KEY, RAND, aco) != e3(KEY, b"\x00" * 16, aco)
+        assert e3(KEY, RAND, aco) != e3(LinkKey(b"\x09" * 16), RAND, aco)
+
+    def test_cof_length_enforced(self):
+        with pytest.raises(ValueError):
+            e3(KEY, RAND, b"\x00" * 11)
+
+
+class TestEntropyReduction:
+    def test_full_entropy_is_identity(self):
+        kc = bytes(range(16))
+        assert reduce_key_entropy(kc, 16) == kc
+
+    def test_knob_style_one_byte(self):
+        kc = bytes(range(1, 17))
+        reduced = reduce_key_entropy(kc, 1)
+        assert reduced[0] == kc[0]
+        assert reduced[1:] == b"\x00" * 15
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_keyspace_shrinks_monotonically(self, entropy):
+        kc = bytes(range(16))
+        reduced = reduce_key_entropy(kc, entropy)
+        assert reduced[:entropy] == kc[:entropy]
+        assert all(byte == 0 for byte in reduced[entropy:])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_key_entropy(bytes(16), 0)
+        with pytest.raises(ValueError):
+            reduce_key_entropy(bytes(16), 17)

@@ -1,0 +1,93 @@
+"""Unit + property tests for the SAFER+ cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.safer import (
+    ARMENIAN_SHUFFLE,
+    EXP_TABLE,
+    LOG_TABLE,
+    SaferPlus,
+    saferplus_ar,
+    saferplus_ar_prime,
+)
+
+KEY = bytes(range(16))
+BLOCK = bytes(range(16, 32))
+
+blocks = st.binary(min_size=16, max_size=16)
+keys = st.binary(min_size=16, max_size=16)
+
+
+class TestSboxes:
+    def test_exp_log_are_inverse(self):
+        for value in range(256):
+            assert LOG_TABLE[EXP_TABLE[value]] == value
+
+    def test_exp_128_is_zero(self):
+        # 45^128 ≡ 256 mod 257 → reduced to 0 — the table's only quirk.
+        assert EXP_TABLE[128] == 0
+
+    def test_exp_0_is_one(self):
+        assert EXP_TABLE[0] == 1
+
+    def test_armenian_shuffle_is_a_permutation(self):
+        assert sorted(ARMENIAN_SHUFFLE) == list(range(16))
+
+
+class TestSaferPlus:
+    def test_deterministic(self):
+        assert saferplus_ar(KEY, BLOCK) == saferplus_ar(KEY, BLOCK)
+
+    def test_ar_and_ar_prime_differ_on_nonzero_input(self):
+        assert saferplus_ar(KEY, BLOCK) != saferplus_ar_prime(KEY, BLOCK)
+
+    def test_ar_prime_zero_input_fixed_point(self):
+        # All-zero round-1 input makes the Ar' feedback a no-op.
+        zero = bytes(16)
+        assert saferplus_ar(KEY, zero) == saferplus_ar_prime(KEY, zero)
+
+    def test_output_is_16_bytes(self):
+        assert len(saferplus_ar(KEY, BLOCK)) == 16
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            SaferPlus(b"short")
+
+    def test_wrong_block_length_rejected(self):
+        with pytest.raises(ValueError):
+            SaferPlus(KEY).encrypt(b"short")
+
+    @given(keys, blocks)
+    @settings(max_examples=50)
+    def test_key_sensitivity(self, key, block):
+        flipped = bytes([key[0] ^ 0x01]) + key[1:]
+        assert saferplus_ar(key, block) != saferplus_ar(flipped, block)
+
+    @given(keys, blocks)
+    @settings(max_examples=50)
+    def test_plaintext_sensitivity(self, key, block):
+        flipped = bytes([block[0] ^ 0x01]) + block[1:]
+        assert saferplus_ar(key, block) != saferplus_ar(key, flipped)
+
+    @given(keys, blocks)
+    @settings(max_examples=25)
+    def test_avalanche_is_substantial(self, key, block):
+        """A single flipped input bit changes a large share of output bits."""
+        flipped = bytes([block[0] ^ 0x01]) + block[1:]
+        a = saferplus_ar(key, block)
+        b = saferplus_ar(key, flipped)
+        differing_bits = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing_bits >= 20  # out of 128; random would be ~64
+
+    def test_key_schedule_produces_17_subkeys(self):
+        assert len(SaferPlus(KEY)._expand_key(KEY)) == 17
+
+    @given(keys)
+    @settings(max_examples=25)
+    def test_encryption_is_injective_over_sample(self, key):
+        cipher = SaferPlus(key)
+        sample = [bytes([i]) * 16 for i in range(32)]
+        images = {cipher.encrypt(block) for block in sample}
+        assert len(images) == len(sample)

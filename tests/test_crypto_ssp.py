@@ -1,0 +1,121 @@
+"""Unit tests for the SSP functions f1/f2/f3/g and h3/h4/h5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import BdAddr, IoCapability
+from repro.crypto.ssp import (
+    KEY_ID_BTLK,
+    f1_p192,
+    f1_p256,
+    f2_p192,
+    f2_p256,
+    f3_p192,
+    f3_p256,
+    g_numeric,
+    h3,
+    h4,
+    h5,
+    io_cap_bytes,
+)
+
+A1 = BdAddr.parse("aa:bb:cc:dd:ee:01")
+A2 = BdAddr.parse("aa:bb:cc:dd:ee:02")
+U = b"\x01" * 24
+V = b"\x02" * 24
+X = b"\x03" * 16
+N1 = b"\x04" * 16
+N2 = b"\x05" * 16
+DH = b"\x06" * 24
+
+nonces = st.binary(min_size=16, max_size=16)
+
+
+@pytest.mark.parametrize("f1", [f1_p192, f1_p256], ids=["p192", "p256"])
+class TestF1:
+    def test_commitment_is_128_bits(self, f1):
+        assert len(f1(U, V, X, b"\x00")) == 16
+
+    def test_commitment_binds_nonce(self, f1):
+        assert f1(U, V, X, b"\x00") != f1(U, V, b"\x04" * 16, b"\x00")
+
+    def test_commitment_binds_public_keys(self, f1):
+        assert f1(U, V, X, b"\x00") != f1(V, U, X, b"\x00")
+
+    @given(nonces)
+    @settings(max_examples=25)
+    def test_verification_equation(self, f1, nonce):
+        """The responder's Cb verifies iff recomputed from the same Nb."""
+        commitment = f1(U, V, nonce, b"\x00")
+        assert f1(U, V, nonce, b"\x00") == commitment
+
+
+@pytest.mark.parametrize("f2", [f2_p192, f2_p256], ids=["p192", "p256"])
+class TestF2:
+    def test_both_sides_derive_same_key(self, f2):
+        assert f2(DH, N1, N2, KEY_ID_BTLK, A1, A2) == f2(
+            DH, N1, N2, KEY_ID_BTLK, A1, A2
+        )
+
+    def test_key_binds_addresses(self, f2):
+        assert f2(DH, N1, N2, KEY_ID_BTLK, A1, A2) != f2(
+            DH, N1, N2, KEY_ID_BTLK, A2, A1
+        )
+
+    def test_key_binds_dhkey(self, f2):
+        assert f2(DH, N1, N2, KEY_ID_BTLK, A1, A2) != f2(
+            b"\x07" * 24, N1, N2, KEY_ID_BTLK, A1, A2
+        )
+
+
+@pytest.mark.parametrize("f3", [f3_p192, f3_p256], ids=["p192", "p256"])
+class TestF3:
+    def test_check_value_shape(self, f3):
+        io = io_cap_bytes(IoCapability.DISPLAY_YES_NO, False, 0x03)
+        assert len(f3(DH, N1, N2, b"\x00" * 16, io, A1, A2)) == 16
+
+    def test_check_binds_io_capabilities(self, f3):
+        """f3 commits to the announced IO caps — the hook a spec-level
+        downgrade detection could use."""
+        io_a = io_cap_bytes(IoCapability.DISPLAY_YES_NO, False, 0x03)
+        io_b = io_cap_bytes(IoCapability.NO_INPUT_NO_OUTPUT, False, 0x03)
+        assert f3(DH, N1, N2, b"\x00" * 16, io_a, A1, A2) != f3(
+            DH, N1, N2, b"\x00" * 16, io_b, A1, A2
+        )
+
+
+class TestG:
+    def test_numeric_value_is_six_digits(self):
+        value = g_numeric(U, V, N1, N2)
+        assert 0 <= value <= 999_999
+
+    def test_numeric_value_changes_with_nonces(self):
+        values = {
+            g_numeric(U, V, bytes([i]) * 16, N2) for i in range(20)
+        }
+        assert len(values) > 15  # essentially unique per nonce
+
+    def test_both_sides_compute_same_number(self):
+        assert g_numeric(U, V, N1, N2) == g_numeric(U, V, N1, N2)
+
+
+class TestHFunctions:
+    def test_h3_h4_shapes(self):
+        assert len(h3(X, A1, A2, b"\x00" * 8)) == 16
+        assert len(h4(X, A1, A2)) == 16
+
+    def test_h5_is_32_bytes(self):
+        assert len(h5(X, N1, N2)) == 32
+
+    def test_h3_binds_aco(self):
+        assert h3(X, A1, A2, b"\x00" * 8) != h3(X, A1, A2, b"\x01" * 8)
+
+    def test_h4_direction_matters(self):
+        assert h4(X, A1, A2) != h4(X, A2, A1)
+
+
+class TestIoCapBytes:
+    def test_layout(self):
+        raw = io_cap_bytes(IoCapability.NO_INPUT_NO_OUTPUT, True, 0x05)
+        assert raw == bytes([0x03, 0x01, 0x05])

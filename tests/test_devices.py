@@ -1,0 +1,142 @@
+"""Unit tests for assembled devices and the catalog."""
+
+import pytest
+
+from repro.core.errors import AttackError
+from repro.core.types import BdAddr, LinkKey
+from repro.devices.catalog import (
+    IPHONE_XS,
+    LG_VELVET,
+    NEXUS_5X_A8,
+    TABLE1_DEVICE_SPECS,
+    TABLE2_DEVICE_SPECS,
+    UBUNTU_2004,
+    WINDOWS_CSR_HARMONY,
+    WINDOWS_MS_DRIVER,
+    deterministic_addr,
+    spec_by_key,
+)
+from repro.host.storage import BondingRecord
+
+
+class TestCatalog:
+    def test_table1_matches_paper_roster(self):
+        names = [spec.marketing_name for spec in TABLE1_DEVICE_SPECS]
+        assert len(names) == 9
+        assert "Nexus 5x" in names and "Galaxy s21" in names
+        assert any("CSR harmony" in name for name in names)
+        assert any("Ubuntu" in name for name in names)
+
+    def test_table2_matches_paper_roster(self):
+        names = [spec.marketing_name for spec in TABLE2_DEVICE_SPECS]
+        assert len(names) == 7
+        assert "iPhone Xs" in names
+
+    def test_spec_by_key(self):
+        assert spec_by_key("lg_velvet_android11") is LG_VELVET
+        with pytest.raises(KeyError):
+            spec_by_key("nokia_3310")
+
+    def test_pc_devices_use_usb_dongles(self):
+        for spec in (WINDOWS_MS_DRIVER, WINDOWS_CSR_HARMONY, UBUNTU_2004):
+            assert spec.transport_kind == "usb"
+            assert spec.controller_model == "QSENN CSR V4.0"
+
+    def test_deterministic_addr_is_stable_and_unique(self):
+        assert deterministic_addr("M") == deterministic_addr("M")
+        assert deterministic_addr("M") != deterministic_addr("C")
+
+    def test_version_split_for_popup_mandate(self):
+        assert not NEXUS_5X_A8.bt_version.mandates_justworks_popup
+        assert LG_VELVET.bt_version.mandates_justworks_popup
+
+
+class TestSnoopPaths:
+    def test_android_snoop_via_bugreport(self, world):
+        device = world.add_device("phone", NEXUS_5X_A8)
+        device.power_on()
+        device.enable_hci_snoop()
+        world.run_for(1.0)
+        assert device.pull_bugreport()[:8] == b"btsnoop\x00"
+
+    def test_android_direct_path_needs_su(self, world):
+        device = world.add_device("phone", NEXUS_5X_A8)
+        device.power_on()
+        device.enable_hci_snoop()
+        world.run_for(1.0)
+        with pytest.raises(PermissionError):
+            device.read_snoop_log(su=False)
+        assert device.read_snoop_log(su=True)[:8] == b"btsnoop\x00"
+
+    def test_windows_has_no_snoop(self, world):
+        device = world.add_device("pc", WINDOWS_MS_DRIVER)
+        with pytest.raises(AttackError):
+            device.enable_hci_snoop()
+
+    def test_iphone_has_no_snoop(self, world):
+        device = world.add_device("phone", IPHONE_XS)
+        with pytest.raises(AttackError):
+            device.enable_hci_snoop()
+
+    def test_bluez_snoop_needs_su(self, world):
+        device = world.add_device("pc", UBUNTU_2004)
+        with pytest.raises(PermissionError):
+            device.enable_hci_snoop(su=False)
+        device.enable_hci_snoop(su=True)
+
+    def test_bluez_has_no_bugreport_path(self, world):
+        device = world.add_device("pc", UBUNTU_2004)
+        device.enable_hci_snoop(su=True)
+        with pytest.raises(AttackError):
+            device.pull_bugreport()
+
+
+class TestUsbSniffing:
+    def test_windows_sniffer_unprivileged(self, world):
+        device = world.add_device("pc", WINDOWS_MS_DRIVER)
+        device.power_on()
+        sniffer = device.attach_usb_sniffer()
+        world.run_for(1.0)
+        assert sniffer.raw_stream()  # power-on commands captured
+
+    def test_linux_sniffer_needs_su(self, world):
+        device = world.add_device("pc", UBUNTU_2004)
+        with pytest.raises(PermissionError):
+            device.attach_usb_sniffer(su=False)
+        device.attach_usb_sniffer(su=True)
+
+    def test_uart_device_has_no_usb_bus(self, world):
+        device = world.add_device("phone", NEXUS_5X_A8)
+        with pytest.raises(AttackError):
+            device.attach_usb_sniffer()
+
+
+class TestIdentityAndBonding:
+    def test_set_bd_addr_updates_controller_and_file(self, world):
+        device = world.add_device("phone", NEXUS_5X_A8)
+        new_addr = BdAddr.parse("de:ad:be:ef:00:01")
+        device.set_bd_addr(new_addr)
+        assert device.bd_addr == new_addr
+        assert device.filesystem.read_text("/persist/bdaddr.txt", su=True) == str(
+            new_addr
+        )
+
+    def test_install_bonding_and_power_cycle(self, world):
+        device = world.add_device("phone", NEXUS_5X_A8)
+        peer = BdAddr.parse("48:90:11:22:33:44")
+        key = LinkKey(bytes(range(16)))
+        device.install_bonding(BondingRecord(addr=peer, link_key=key))
+        assert device.bonded_key_for(peer) is None  # not yet reloaded
+        device.power_cycle_bluetooth()
+        assert device.bonded_key_for(peer) == key
+
+    def test_install_bonding_requires_su(self, world):
+        device = world.add_device("phone", NEXUS_5X_A8)
+        with pytest.raises(PermissionError):
+            device.install_bonding(
+                BondingRecord(
+                    addr=BdAddr.parse("00:00:00:00:00:01"),
+                    link_key=LinkKey(bytes(16)),
+                ),
+                su=False,
+            )

@@ -1,0 +1,180 @@
+"""Unit + property tests for HCI packet serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import HciError
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.hci.constants import (
+    ErrorCode,
+    EventCode,
+    Opcode,
+    PacketIndicator,
+    ScanEnable,
+    make_opcode,
+    opcode_name,
+)
+from repro.hci.constants import event_name
+from repro.hci.packets import HciAclData, HciCommand, HciEvent
+
+ADDR = BdAddr.parse("00:1a:7d:da:71:0a")
+KEY = LinkKey.parse("c4f16e949f04ee9c0fd6b1330289c324")
+
+addrs = st.binary(min_size=6, max_size=6).map(BdAddr)
+keys = st.binary(min_size=16, max_size=16).map(LinkKey)
+
+
+class TestOpcodes:
+    def test_make_opcode_layout(self):
+        assert make_opcode(0x01, 0x000B) == 0x040B
+
+    def test_link_key_request_reply_is_0x040b(self):
+        assert Opcode.LINK_KEY_REQUEST_REPLY == 0x040B
+
+    def test_ogf_ocf_split(self):
+        assert Opcode.LINK_KEY_REQUEST_REPLY.ogf == 0x01
+        assert Opcode.LINK_KEY_REQUEST_REPLY.ocf == 0x0B
+
+    def test_opcode_names(self):
+        assert opcode_name(0x040B) == "HCI_Link_Key_Request_Reply"
+        assert "Unknown" in opcode_name(0xFFFF)
+
+    def test_event_names(self):
+        assert event_name(0x18) == "HCI_Link_Key_Notification"
+        assert "Unknown" in event_name(0xEE)
+
+    def test_scan_enable_bits(self):
+        assert ScanEnable.INQUIRY_AND_PAGE.page_scan
+        assert ScanEnable.INQUIRY_AND_PAGE.inquiry_scan
+        assert not ScanEnable.PAGE_ONLY.inquiry_scan
+        assert not ScanEnable.NONE.page_scan
+
+
+class TestCommandWire:
+    def test_link_key_reply_signature(self):
+        """The paper's '0b 04 16' extraction signature."""
+        raw = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_bytes()
+        assert raw[:3] == bytes.fromhex("0b0416")
+        assert len(raw) == 3 + 22
+
+    def test_link_key_reply_field_layout(self):
+        raw = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_bytes()
+        assert raw[3:9] == ADDR.to_hci_bytes()
+        assert raw[9:25] == KEY.to_hci_bytes()
+
+    def test_h4_indicator_prefix(self):
+        raw = cmd.Reset().to_h4_bytes()
+        assert raw[0] == PacketIndicator.COMMAND
+
+    def test_empty_command_has_zero_length(self):
+        raw = cmd.Reset().to_bytes()
+        assert raw[2] == 0 and len(raw) == 3
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(HciError):
+            cmd.Disconnect(connection_handle=1)
+
+    def test_unexpected_field_rejected(self):
+        with pytest.raises(HciError):
+            cmd.Reset(bogus=1)
+
+    def test_raw_command(self):
+        command = HciCommand.raw(0x1234, b"\x01\x02")
+        raw = command.to_bytes()
+        assert raw == b"\x34\x12\x02\x01\x02"
+
+    @given(addrs, keys)
+    @settings(max_examples=30)
+    def test_link_key_reply_roundtrip(self, addr, key):
+        original = cmd.LinkKeyRequestReply(bd_addr=addr, link_key=key)
+        parsed = cmd.LinkKeyRequestReply.from_parameters(original.parameters())
+        assert parsed.bd_addr == addr and parsed.link_key == key
+
+    @given(addrs)
+    def test_create_connection_roundtrip(self, addr):
+        original = cmd.CreateConnection(
+            bd_addr=addr,
+            packet_type=0xCC18,
+            page_scan_repetition_mode=1,
+            reserved=0,
+            clock_offset=0x1234,
+            allow_role_switch=1,
+        )
+        parsed = cmd.CreateConnection.from_parameters(original.parameters())
+        assert parsed.bd_addr == addr and parsed.clock_offset == 0x1234
+
+    def test_write_local_name_pads_to_248(self):
+        raw = cmd.WriteLocalName(local_name="Nexus 5x").parameters()
+        assert len(raw) == 248
+        assert raw.startswith(b"Nexus 5x\x00")
+
+
+class TestEventWire:
+    def test_link_key_notification_layout(self):
+        raw = evt.LinkKeyNotification(
+            bd_addr=ADDR, link_key=KEY, key_type=4
+        ).to_bytes()
+        assert raw[0] == EventCode.LINK_KEY_NOTIFICATION
+        assert raw[1] == 23  # 6 + 16 + 1
+        assert raw[2:8] == ADDR.to_hci_bytes()
+
+    def test_connection_complete_roundtrip(self):
+        original = evt.ConnectionComplete(
+            status=0,
+            connection_handle=0x0006,
+            bd_addr=ADDR,
+            link_type=1,
+            encryption_enabled=0,
+        )
+        parsed = evt.ConnectionComplete.from_parameters(original.parameters())
+        assert parsed.connection_handle == 0x0006
+
+    def test_command_complete_rest_field(self):
+        original = evt.CommandComplete(
+            num_hci_command_packets=1,
+            command_opcode=0x040B,
+            return_parameters=b"\x00\xaa\xbb",
+        )
+        parsed = evt.CommandComplete.from_parameters(original.parameters())
+        assert parsed.return_parameters == b"\x00\xaa\xbb"
+
+    def test_remote_name_roundtrip(self):
+        original = evt.RemoteNameRequestComplete(
+            status=0, bd_addr=ADDR, remote_name="LG VELVET"
+        )
+        parsed = evt.RemoteNameRequestComplete.from_parameters(
+            original.parameters()
+        )
+        assert parsed.remote_name == "LG VELVET"
+
+    def test_display_name(self):
+        event = evt.LinkKeyRequest(bd_addr=ADDR)
+        assert event.display_name == "HCI_Link_Key_Request"
+
+
+class TestAclWire:
+    def test_roundtrip(self):
+        packet = HciAclData(handle=0x006, data=b"payload", pb_flag=2, bc_flag=0)
+        parsed = HciAclData.from_bytes(packet.to_bytes())
+        assert parsed.handle == 0x006
+        assert parsed.data == b"payload"
+        assert parsed.pb_flag == 2
+
+    @given(st.integers(min_value=0, max_value=0x0FFF), st.binary(max_size=512))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, handle, data):
+        packet = HciAclData(handle=handle, data=data)
+        parsed = HciAclData.from_bytes(packet.to_bytes())
+        assert parsed.handle == handle and parsed.data == data
+
+    def test_handle_range_enforced(self):
+        with pytest.raises(HciError):
+            HciAclData(handle=0x1000, data=b"")
+
+    def test_truncated_rejected(self):
+        packet = HciAclData(handle=1, data=b"abcdef")
+        with pytest.raises(HciError):
+            HciAclData.from_bytes(packet.to_bytes()[:-2])

@@ -1,0 +1,117 @@
+"""Unit tests for the tolerant HCI byte-stream parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import HciError
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.hci.constants import PacketIndicator
+from repro.hci.packets import HciAclData, HciCommand, HciEvent
+from repro.hci.parser import parse_command, parse_event, parse_h4_stream, parse_packet
+
+ADDR = BdAddr.parse("48:90:11:22:33:44")
+KEY = LinkKey(bytes(range(16)))
+
+
+def test_parse_typed_command():
+    raw = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_bytes()
+    parsed = parse_command(raw)
+    assert isinstance(parsed, cmd.LinkKeyRequestReply)
+    assert parsed.link_key == KEY
+
+
+def test_parse_typed_event():
+    raw = evt.ConnectionRequest(
+        bd_addr=ADDR, class_of_device=0x5A020C, link_type=1
+    ).to_bytes()
+    parsed = parse_event(raw)
+    assert isinstance(parsed, evt.ConnectionRequest)
+    assert parsed.class_of_device == 0x5A020C
+
+
+def test_unknown_opcode_becomes_raw_command():
+    raw = HciCommand.raw(0xFC01, b"\xde\xad").to_bytes()  # vendor command
+    parsed = parse_command(raw)
+    assert parsed.opcode == 0xFC01
+    assert parsed.parameters() == b"\xde\xad"
+
+
+def test_unknown_event_becomes_raw_event():
+    raw = HciEvent.raw(0xFF, b"\x01").to_bytes()
+    parsed = parse_event(raw)
+    assert parsed.event_code == 0xFF
+
+
+def test_truncated_command_rejected():
+    raw = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_bytes()
+    with pytest.raises(HciError):
+        parse_command(raw[:-4])
+
+
+def test_truncated_event_rejected():
+    raw = evt.LinkKeyRequest(bd_addr=ADDR).to_bytes()
+    with pytest.raises(HciError):
+        parse_event(raw[:-1])
+
+
+def test_parse_packet_dispatch():
+    command = cmd.Reset()
+    event = evt.InquiryComplete(status=0)
+    acl = HciAclData(handle=3, data=b"x")
+    assert isinstance(
+        parse_packet(PacketIndicator.COMMAND, command.to_bytes()), HciCommand
+    )
+    assert isinstance(parse_packet(PacketIndicator.EVENT, event.to_bytes()), HciEvent)
+    assert isinstance(
+        parse_packet(PacketIndicator.ACL_DATA, acl.to_bytes()), HciAclData
+    )
+
+
+def test_parse_packet_rejects_unknown_indicator():
+    with pytest.raises(HciError):
+        parse_packet(0x09, b"")
+
+
+class TestH4Stream:
+    def _stream(self):
+        return (
+            cmd.AuthenticationRequested(connection_handle=6).to_h4_bytes()
+            + evt.LinkKeyRequest(bd_addr=ADDR).to_h4_bytes()
+            + cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_h4_bytes()
+            + HciAclData(handle=6, data=b"l2cap!").to_h4_bytes()
+        )
+
+    def test_walks_all_packets(self):
+        packets = [packet for _, packet in parse_h4_stream(self._stream())]
+        assert len(packets) == 4
+        assert isinstance(packets[2], cmd.LinkKeyRequestReply)
+        assert isinstance(packets[3], HciAclData)
+
+    def test_offsets_are_monotonic(self):
+        offsets = [offset for offset, _ in parse_h4_stream(self._stream())]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+
+    def test_garbage_indicator_rejected(self):
+        with pytest.raises(HciError):
+            list(parse_h4_stream(b"\x07\x01\x02"))
+
+    def test_truncated_tail_rejected(self):
+        with pytest.raises(HciError):
+            list(parse_h4_stream(self._stream()[:-3]))
+
+    @given(st.lists(st.sampled_from(["cmd", "evt", "acl"]), max_size=12))
+    @settings(max_examples=25)
+    def test_arbitrary_sequences_roundtrip(self, kinds):
+        stream = b""
+        for kind in kinds:
+            if kind == "cmd":
+                stream += cmd.Reset().to_h4_bytes()
+            elif kind == "evt":
+                stream += evt.InquiryComplete(status=0).to_h4_bytes()
+            else:
+                stream += HciAclData(handle=1, data=b"ab").to_h4_bytes()
+        assert len(list(parse_h4_stream(stream))) == len(kinds)

@@ -1,0 +1,125 @@
+"""Unit tests for GAP edge cases and the Operation primitive."""
+
+import pytest
+
+from repro.core.types import BdAddr
+from repro.devices.catalog import ANDROID_AUTOMOTIVE_HEAD_UNIT, LG_VELVET
+from repro.hci.constants import ErrorCode
+from repro.host.operations import Operation
+
+
+class TestOperation:
+    def test_lifecycle(self):
+        op = Operation("demo")
+        assert not op.done and not op.success
+        op.complete(result=42)
+        assert op.done and op.success and op.result == 42
+
+    def test_complete_is_idempotent(self):
+        op = Operation("demo")
+        op.complete(status=0)
+        op.fail(7)
+        assert op.success  # the first resolution wins
+
+    def test_callbacks_fire_on_completion(self):
+        op = Operation("demo")
+        seen = []
+        op.on_done(lambda o: seen.append(o.status))
+        op.complete(status=3)
+        assert seen == [3]
+
+    def test_callback_fires_immediately_if_already_done(self):
+        op = Operation("demo")
+        op.complete()
+        seen = []
+        op.on_done(lambda o: seen.append(True))
+        assert seen == [True]
+
+    def test_repr_shows_state(self):
+        op = Operation("pair")
+        assert "pending" in repr(op)
+        op.complete()
+        assert "done" in repr(op)
+
+
+class TestGapEdgeCases:
+    def test_pair_unreachable_device_fails(self, device_pair):
+        world, m, c = device_pair
+        ghost = BdAddr.parse("de:ad:00:00:00:01")
+        op = m.host.gap.pair(ghost)
+        world.run_for(10.0)
+        assert op.done and op.status == ErrorCode.PAGE_TIMEOUT
+
+    def test_authenticate_without_connection_fails_fast(self, device_pair):
+        world, m, c = device_pair
+        op = m.host.gap.authenticate(c.bd_addr)
+        assert op.done and not op.success
+
+    def test_concurrent_authentication_refused(self, bonded_pair):
+        world, m, c = bonded_pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        first = m.host.gap.authenticate(c.bd_addr)
+        second = m.host.gap.authenticate(c.bd_addr)
+        assert second.done and not second.success
+        world.run_for(10.0)
+        assert first.success
+
+    def test_disconnect_fails_pending_auth(self, bonded_pair):
+        world, m, c = bonded_pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        # Freeze the prover so authentication hangs, then disconnect.
+        c.host.drop_link_key_requests = True
+        op = m.host.gap.authenticate(c.bd_addr)
+        world.run_for(0.5)
+        m.host.gap.disconnect(c.bd_addr)
+        world.run_for(3.0)
+        assert op.done and not op.success
+
+    def test_handle_and_addr_lookups(self, device_pair):
+        world, m, c = device_pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        handle = m.host.gap.handle_for(c.bd_addr)
+        assert handle is not None
+        assert m.host.gap.addr_for_handle(handle) == c.bd_addr
+        assert m.host.gap.addr_for_handle(0x999) is None
+        assert m.host.gap.handle_for(BdAddr.parse("00:00:00:00:00:09")) is None
+
+    def test_name_cache_via_remote_name_request(self, device_pair):
+        world, m, c = device_pair
+        from repro.hci import commands as cmd
+
+        m.host.send_command(
+            cmd.RemoteNameRequest(
+                bd_addr=c.bd_addr,
+                page_scan_repetition_mode=1,
+                reserved=0,
+                clock_offset=0,
+            )
+        )
+        world.run_for(2.0)
+        assert m.host.gap.name_cache[c.bd_addr] == c.spec.marketing_name
+
+    def test_head_unit_catalog_entry(self, world):
+        """The Fig. 4 Android Automotive device exposes the snoop menu."""
+        unit = world.add_device("head-unit", ANDROID_AUTOMOTIVE_HEAD_UNIT)
+        unit.power_on()
+        unit.enable_hci_snoop()  # reachable without SU, like a phone
+        world.run_for(0.5)
+        assert unit.pull_bugreport()[:8] == b"btsnoop\x00"
+
+    def test_non_discoverable_connectable_device(self, world):
+        """Connectable-but-hidden: pages succeed, inquiry stays blind."""
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", ANDROID_AUTOMOTIVE_HEAD_UNIT)
+        m.power_on()
+        c.power_on(discoverable=False)
+        world.run_for(0.5)
+        discovery = m.host.gap.start_discovery()
+        world.run_for(8.0)
+        assert discovery.result == []
+        connect = m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        assert connect.success

@@ -1,0 +1,105 @@
+"""Tests: the Hands-Free Profile and its abuse with a stolen key."""
+
+import pytest
+
+from repro.attacks.exfiltration import exfiltrate  # noqa: F401 (related API)
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.attacker import Attacker
+
+
+@pytest.fixture
+def hfp_session(bonded_pair):
+    world, m, c = bonded_pair
+    op = c.host.hfp.connect(m.bd_addr)
+    world.run_for(15.0)
+    assert op.success
+    return world, m, c
+
+
+class TestServiceLevelConnection:
+    def test_slc_establishes_with_bond(self, hfp_session):
+        world, m, c = hfp_session
+        assert m.bd_addr in c.host.hfp._client_channels
+
+    def test_slc_refused_without_bond(self, device_pair):
+        world, m, c = device_pair
+        op = c.host.hfp.connect(m.bd_addr)
+        world.run_for(15.0)
+        assert op.done and not op.success
+
+    def test_dial_places_call_on_gateway(self, hfp_session):
+        world, m, c = hfp_session
+        op = c.host.hfp.dial(m.bd_addr, "+1-555-0100")
+        world.run_for(5.0)
+        assert op.success
+        assert m.host.hfp.call_log[-1].number == "+1-555-0100"
+        assert m.host.hfp.call_log[-1].direction == "outgoing"
+        assert m.host.hfp.audio_connected
+
+    def test_dial_brings_up_sco_on_both_sides(self, hfp_session):
+        """The call audio rides a SCO channel negotiated at HCI level."""
+        world, m, c = hfp_session
+        assert not c.host.hfp.audio_connected
+        c.host.hfp.dial(m.bd_addr, "+1-555-0100")
+        world.run_for(5.0)
+        assert m.host.hfp.audio_connected
+        assert c.host.hfp.audio_connected
+        m_link = m.controller.link_by_handle(
+            m.host.gap.handle_for(c.bd_addr)
+        )
+        assert m_link.sco_handle is not None
+
+    def test_incoming_ring_delivers_caller_id(self, hfp_session):
+        world, m, c = hfp_session
+        m.host.hfp.ring("+1-555-0199")
+        world.run_for(2.0)
+        assert any("+1-555-0199" in e for e in c.host.hfp.caller_id_events)
+
+    def test_clcc_lists_calls(self, hfp_session):
+        world, m, c = hfp_session
+        c.host.hfp.dial(m.bd_addr, "+1-555-0100")
+        world.run_for(5.0)
+        op = c.host.hfp.list_calls(m.bd_addr)
+        world.run_for(5.0)
+        assert op.success
+        assert any("+1-555-0100" in line for line in op.result)
+
+    def test_dial_without_slc_fails_fast(self, bonded_pair):
+        world, m, c = bonded_pair
+        op = c.host.hfp.dial(m.bd_addr, "+1-555-0100")
+        assert op.done and not op.success
+
+
+class TestHfpAbuseWithExtractedKey:
+    def test_attacker_places_silent_call(self):
+        """With the extracted key, the attacker's fake hands-free unit
+        can dial out through the victim's phone — the 'phone call
+        conversations' exposure of §IV."""
+        world = build_world(seed=88)
+        m, c, a = standard_cast(world)
+        bond(world, c, m)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        assert report.extraction_success
+
+        world.set_in_range(c, m, False)
+        a.host.drop_link_key_requests = False
+        c.host.gap.set_scan_mode(connectable=False, discoverable=False)
+        attacker = Attacker(a)
+        attacker.spoof_identity(
+            c.bd_addr,
+            class_of_device=c.controller.class_of_device,
+            name=c.controller.local_name,
+        )
+        attacker.install_fake_bonding(m.bd_addr, report.extracted_key)
+        world.run_for(0.5)
+        popups_before = m.user.popups_seen
+
+        slc = a.host.hfp.connect(m.bd_addr)
+        world.run_for(15.0)
+        assert slc.success
+        dial = a.host.hfp.dial(m.bd_addr, "+1-900-PREMIUM")
+        world.run_for(5.0)
+        assert dial.success
+        assert m.host.hfp.call_log[-1].number == "+1-900-PREMIUM"
+        assert m.user.popups_seen == popups_before  # completely silent

@@ -1,0 +1,125 @@
+"""Unit tests for the Fig. 7 IO-capability / association-model mapping."""
+
+import pytest
+
+from repro.core.types import AssociationModel, BluetoothVersion, IoCapability
+from repro.host.iocap import (
+    ConfirmationBehavior,
+    association_model,
+    confirmation_behavior,
+    confirmation_matrix,
+    render_confirmation_matrix,
+)
+
+DYN = IoCapability.DISPLAY_YES_NO
+NIO = IoCapability.NO_INPUT_NO_OUTPUT
+KBD = IoCapability.KEYBOARD_ONLY
+DSP = IoCapability.DISPLAY_ONLY
+
+
+class TestAssociationModel:
+    def test_both_display_yesno_numeric_comparison(self):
+        assert association_model(DYN, DYN) is AssociationModel.NUMERIC_COMPARISON
+
+    @pytest.mark.parametrize("other", [DYN, NIO, KBD, DSP])
+    def test_any_noinput_forces_just_works(self, other):
+        assert association_model(NIO, other) is AssociationModel.JUST_WORKS
+        assert association_model(other, NIO) is AssociationModel.JUST_WORKS
+
+    def test_keyboard_gives_passkey_entry(self):
+        assert association_model(KBD, DYN) is AssociationModel.PASSKEY_ENTRY
+
+    def test_display_only_pair_degrades_to_just_works(self):
+        assert association_model(DSP, DYN) is AssociationModel.JUST_WORKS
+
+
+class TestConfirmationBehaviorV42:
+    V = BluetoothVersion.V4_2
+
+    def test_numeric_comparison_pops_number_both_sides(self):
+        assert (
+            confirmation_behavior(self.V, DYN, DYN, True)
+            is ConfirmationBehavior.POPUP_WITH_NUMBER
+        )
+        assert (
+            confirmation_behavior(self.V, DYN, DYN, False)
+            is ConfirmationBehavior.POPUP_WITH_NUMBER
+        )
+
+    def test_justworks_initiator_auto_confirms_silently(self):
+        """≤4.2: no mandated popup — the initiator pairs silently."""
+        assert (
+            confirmation_behavior(self.V, DYN, NIO, True)
+            is ConfirmationBehavior.AUTO_CONFIRM
+        )
+
+    def test_justworks_responder_still_notifies(self):
+        assert (
+            confirmation_behavior(self.V, DYN, NIO, False)
+            is ConfirmationBehavior.POPUP_YES_NO
+        )
+
+    def test_noinput_device_always_auto(self):
+        assert (
+            confirmation_behavior(self.V, NIO, DYN, True)
+            is ConfirmationBehavior.AUTO_CONFIRM
+        )
+
+
+class TestConfirmationBehaviorV50:
+    V = BluetoothVersion.V5_0
+
+    def test_justworks_initiator_must_popup(self):
+        """5.0+: DisplayYesNo devices must ask — but without the value."""
+        assert (
+            confirmation_behavior(self.V, DYN, NIO, True)
+            is ConfirmationBehavior.POPUP_YES_NO
+        )
+
+    def test_popup_has_no_confirmation_value(self):
+        behavior = confirmation_behavior(self.V, DYN, NIO, True)
+        assert behavior is not ConfirmationBehavior.POPUP_WITH_NUMBER
+
+    def test_noinput_auto_regardless_of_version(self):
+        assert (
+            confirmation_behavior(self.V, NIO, DYN, False)
+            is ConfirmationBehavior.AUTO_CONFIRM
+        )
+
+    def test_passkey_sides(self):
+        assert (
+            confirmation_behavior(self.V, KBD, DYN, True)
+            is ConfirmationBehavior.PASSKEY_INPUT
+        )
+        assert (
+            confirmation_behavior(self.V, DYN, KBD, False)
+            is ConfirmationBehavior.PASSKEY_DISPLAY
+        )
+
+
+class TestMatrix:
+    def test_matrix_has_four_cells(self):
+        rows = confirmation_matrix(BluetoothVersion.V5_0)
+        assert len(rows) == 4
+
+    def test_both_noinput_cell_is_double_auto(self):
+        rows = confirmation_matrix(BluetoothVersion.V4_2)
+        cell = [r for r in rows if r[0] == r[1] == "NoInputNoOutput"][0]
+        assert cell[3] == cell[4] == ConfirmationBehavior.AUTO_CONFIRM.value
+
+    def test_version_split_changes_initiator_cell(self):
+        """The exact delta between Fig. 7a and Fig. 7b."""
+        old = {
+            (r[0], r[1]): r[3] for r in confirmation_matrix(BluetoothVersion.V4_2)
+        }
+        new = {
+            (r[0], r[1]): r[3] for r in confirmation_matrix(BluetoothVersion.V5_0)
+        }
+        cell = ("NoInputNoOutput", "DisplayYesNo")  # responder NIO, initiator DYN
+        assert old[cell] == ConfirmationBehavior.AUTO_CONFIRM.value
+        assert new[cell] == ConfirmationBehavior.POPUP_YES_NO.value
+
+    def test_render_contains_headers(self):
+        text = render_confirmation_matrix(BluetoothVersion.V5_0)
+        assert "Responder" in text and "Initiator" in text
+        assert "just_works" in text

@@ -1,0 +1,146 @@
+"""Host tests: L2CAP channels, SDP queries and the PAN profile."""
+
+import pytest
+
+from repro.host.l2cap import L2capService, PSM_BNEP, PSM_SDP
+from repro.host.sdp import ServiceRecord, UUID_NAP, UUID_PANU
+
+
+@pytest.fixture
+def connected(bonded_pair):
+    """Bonded + reconnected pair (auth available on demand)."""
+    world, m, c = bonded_pair
+    op = m.host.gap.connect(c.bd_addr)
+    world.run_for(5.0)
+    assert op.success
+    return world, m, c
+
+
+class TestL2cap:
+    def test_connect_to_registered_psm(self, connected):
+        world, m, c = connected
+        op = m.host.l2cap.connect(c.bd_addr, PSM_SDP)
+        world.run_for(2.0)
+        assert op.success
+        assert op.result.state == "open"
+        assert op.result.remote_cid is not None
+
+    def test_unknown_psm_refused(self, connected):
+        world, m, c = connected
+        op = m.host.l2cap.connect(c.bd_addr, 0x0099)
+        world.run_for(2.0)
+        assert op.done and not op.success
+
+    def test_connect_without_acl_fails_fast(self, bonded_pair):
+        world, m, c = bonded_pair
+        op = m.host.l2cap.connect(c.bd_addr, PSM_SDP)
+        assert op.done and not op.success
+
+    def test_data_roundtrip_on_echo_service(self, connected):
+        world, m, c = connected
+        received = []
+
+        def echo(channel, payload):
+            c.host.l2cap.send(channel, payload.upper())
+
+        c.host.l2cap.register_service(
+            L2capService(psm=0x1003, on_data=echo)
+        )
+        op = m.host.l2cap.connect(
+            c.bd_addr, 0x1003, on_data=lambda ch, data: received.append(data)
+        )
+        world.run_for(2.0)
+        m.host.l2cap.send(op.result, b"hello")
+        world.run_for(2.0)
+        assert received == [b"HELLO"]
+
+    def test_link_down_closes_channels(self, connected):
+        world, m, c = connected
+        op = m.host.l2cap.connect(c.bd_addr, PSM_SDP)
+        world.run_for(2.0)
+        m.host.gap.disconnect(c.bd_addr)
+        world.run_for(2.0)
+        assert op.result.state == "closed"
+
+    def test_disconnect_channel(self, connected):
+        world, m, c = connected
+        op = m.host.l2cap.connect(c.bd_addr, PSM_SDP)
+        world.run_for(2.0)
+        m.host.l2cap.disconnect(op.result)
+        world.run_for(2.0)
+        assert op.result.state == "closed"
+
+
+class TestSdp:
+    def test_wildcard_query_lists_services(self, connected):
+        world, m, c = connected
+        op = m.host.sdp.query(c.bd_addr)
+        world.run_for(3.0)
+        assert op.success
+        uuids = {record.uuid16 for record in op.result}
+        assert {UUID_PANU, UUID_NAP} <= uuids
+
+    def test_specific_uuid_query(self, connected):
+        world, m, c = connected
+        op = m.host.sdp.query(c.bd_addr, UUID_PANU)
+        world.run_for(3.0)
+        assert op.success
+        assert [r.uuid16 for r in op.result] == [UUID_PANU]
+
+    def test_absent_uuid_yields_empty(self, connected):
+        world, m, c = connected
+        op = m.host.sdp.query(c.bd_addr, 0x1108)
+        world.run_for(3.0)
+        assert op.success and op.result == []
+
+    def test_sdp_needs_no_authentication(self, device_pair):
+        """GAP's laxity: SDP works on a fresh, unauthenticated link."""
+        world, m, c = device_pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        op = m.host.sdp.query(c.bd_addr)
+        world.run_for(3.0)
+        assert op.success
+        assert not m.host.gap.connections[c.bd_addr].authenticated
+
+    def test_custom_record_registration(self, connected):
+        world, m, c = connected
+        c.host.sdp.register(ServiceRecord(0x111E, "Hands-Free unit"))
+        op = m.host.sdp.query(c.bd_addr, 0x111E)
+        world.run_for(3.0)
+        assert [r.name for r in op.result] == ["Hands-Free unit"]
+
+
+class TestPan:
+    def test_pan_connect_with_valid_bond(self, connected):
+        world, m, c = connected
+        op = m.host.pan.connect(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+        assert m.host.pan.is_connected(c.bd_addr)
+        assert c.host.pan.is_connected(m.bd_addr)
+
+    def test_pan_triggers_authentication(self, connected):
+        """The BNEP PSM requires authentication: connecting runs LMP."""
+        world, m, c = connected
+        assert not m.host.gap.connections[c.bd_addr].authenticated
+        m.host.pan.connect(c.bd_addr)
+        world.run_for(10.0)
+        # C (server side) enforced security: it authenticated M.
+        assert c.host.gap.connections[m.bd_addr].authenticated
+
+    def test_pan_fails_without_shared_key(self, device_pair):
+        world, m, c = device_pair
+        m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        op = m.host.pan.connect(c.bd_addr)
+        world.run_for(10.0)
+        assert op.done and not op.success
+        assert not c.host.pan.is_connected(m.bd_addr)
+
+    def test_pan_creates_acl_if_absent(self, bonded_pair):
+        world, m, c = bonded_pair
+        assert not m.host.gap.is_connected(c.bd_addr)
+        op = m.host.pan.connect(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success

@@ -1,0 +1,130 @@
+"""Tests: PBAP / MAP profiles and the full exfiltration chain."""
+
+import pytest
+
+from repro.attacks.exfiltration import exfiltrate
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.core.types import LinkKey
+from repro.host.map_profile import Message, parse_bmessages
+from repro.host.pbap import Contact, parse_vcards
+
+CONTACTS = [
+    Contact("Alice Example", "+1-555-0100"),
+    Contact("Bob Example", "+1-555-0101"),
+]
+MESSAGES = [
+    Message("Alice Example", "Dinner at 8?"),
+    Message("+1-555-0199", "Your one-time code is 424242"),
+]
+
+
+@pytest.fixture
+def loaded_pair(bonded_pair):
+    world, m, c = bonded_pair
+    m.host.pbap.load_phonebook(CONTACTS)
+    m.host.map.load_messages(MESSAGES)
+    return world, m, c
+
+
+class TestFormats:
+    def test_vcard_roundtrip(self):
+        encoded = "".join(contact.to_vcard() for contact in CONTACTS)
+        assert parse_vcards(encoded.encode()) == CONTACTS
+
+    def test_vcard_contains_fields(self):
+        card = CONTACTS[0].to_vcard()
+        assert "BEGIN:VCARD" in card and "TEL;CELL:+1-555-0100" in card
+
+    def test_bmessage_roundtrip(self):
+        encoded = "".join(message.to_bmessage() for message in MESSAGES)
+        assert parse_bmessages(encoded.encode()) == MESSAGES
+
+
+class TestLegitimateAccess:
+    def test_bonded_peer_pulls_phonebook(self, loaded_pair):
+        world, m, c = loaded_pair
+        op = c.host.pbap.pull_phonebook(m.bd_addr)
+        world.run_for(15.0)
+        assert op.success
+        assert op.result == CONTACTS
+
+    def test_bonded_peer_lists_messages(self, loaded_pair):
+        world, m, c = loaded_pair
+        op = c.host.map.list_messages(m.bd_addr)
+        world.run_for(15.0)
+        assert op.success
+        assert op.result == MESSAGES
+
+    def test_unbonded_peer_is_refused(self, device_pair):
+        """No shared key → LMP auth fails → no phonebook."""
+        world, m, c = device_pair
+        m.host.pbap.load_phonebook(CONTACTS)
+        op = c.host.pbap.pull_phonebook(m.bd_addr)
+        world.run_for(15.0)
+        assert op.done and not op.success
+        assert m.host.pbap.pulls_served == 0
+
+    def test_wrong_key_is_refused(self, loaded_pair):
+        from repro.host.storage import BondingRecord
+
+        world, m, c = loaded_pair
+        c.host.security.add_bond(
+            BondingRecord(addr=m.bd_addr, link_key=LinkKey(b"\xAB" * 16))
+        )
+        op = c.host.pbap.pull_phonebook(m.bd_addr)
+        world.run_for(15.0)
+        assert op.done and not op.success
+
+
+class TestExfiltrationChain:
+    def test_extracted_key_exfiltrates_everything(self):
+        """The paper's full kill chain: bond → extract → impersonate →
+        mine phonebook and messages, silently."""
+        world = build_world(seed=55)
+        m, c, a = standard_cast(world)
+        m.host.pbap.load_phonebook(CONTACTS)
+        m.host.map.load_messages(MESSAGES)
+        bond(world, c, m)
+
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        assert report.extraction_success
+
+        # Real C leaves the scene; the attacker steps in as C.
+        world.set_in_range(c, m, False)
+        world.set_in_range(a, m, True)
+        a.host.drop_link_key_requests = False
+        c.host.gap.set_scan_mode(connectable=False, discoverable=False)
+
+        exfil = exfiltrate(
+            world,
+            a,
+            m,
+            trusted_c_addr=c.bd_addr,
+            trusted_c_cod=c.controller.class_of_device,
+            trusted_c_name=c.controller.local_name,
+            link_key=report.extracted_key,
+        )
+        assert exfil.success, exfil.notes
+        assert exfil.phonebook == CONTACTS
+        assert exfil.messages == MESSAGES
+        assert exfil.silent  # not a single popup on the victim
+
+    def test_wrong_key_exfiltrates_nothing(self):
+        world = build_world(seed=56)
+        m, c, a = standard_cast(world)
+        m.host.pbap.load_phonebook(CONTACTS)
+        bond(world, c, m)
+        world.set_in_range(c, m, False)
+        c.host.gap.set_scan_mode(connectable=False, discoverable=False)
+
+        exfil = exfiltrate(
+            world,
+            a,
+            m,
+            trusted_c_addr=c.bd_addr,
+            trusted_c_cod=c.controller.class_of_device,
+            trusted_c_name=c.controller.local_name,
+            link_key=LinkKey(b"\x00" * 16),
+        )
+        assert not exfil.success

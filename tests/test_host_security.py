@@ -1,0 +1,130 @@
+"""Unit tests for the host security manager."""
+
+import pytest
+
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import events as evt
+from repro.hci.constants import ErrorCode
+from repro.host.storage import BondingRecord
+from repro.snoop.hcidump import HciDump
+
+PEER = BdAddr.parse("48:90:11:22:33:44")
+KEY = LinkKey(bytes(range(16)))
+
+
+@pytest.fixture
+def host(device_pair):
+    world, m, c = device_pair
+    return world, m.host
+
+
+def _record():
+    return BondingRecord(addr=PEER, link_key=KEY, name="car-kit")
+
+
+class TestKeyDatabase:
+    def test_add_and_lookup(self, host):
+        _, stack = host
+        stack.security.add_bond(_record())
+        assert stack.security.is_bonded(PEER)
+        assert stack.security.bond_for(PEER).link_key == KEY
+
+    def test_bond_persists_to_store(self, host):
+        _, stack = host
+        stack.security.add_bond(_record())
+        assert stack.store.load()[PEER].link_key == KEY
+
+    def test_remove_bond(self, host):
+        _, stack = host
+        stack.security.add_bond(_record())
+        stack.security.remove_bond(PEER)
+        assert not stack.security.is_bonded(PEER)
+        assert PEER not in stack.store.load()
+
+    def test_reload_from_store_picks_up_external_edits(self, host):
+        _, stack = host
+        stack.store.save({PEER: _record()})
+        assert not stack.security.is_bonded(PEER)
+        stack.security.reload_from_store()
+        assert stack.security.is_bonded(PEER)
+
+
+class TestLinkKeyRequestHandling:
+    def test_known_peer_answered_with_plaintext_key(self, host):
+        world, stack = host
+        dump = HciDump().attach(stack.transport)
+        stack.security.add_bond(_record())
+        stack._process(evt.LinkKeyRequest(bd_addr=PEER).to_h4_bytes())
+        world.run_for(0.5)
+        from repro.snoop.extractor import extract_link_keys
+
+        findings = extract_link_keys(dump)
+        assert findings and findings[0].link_key == KEY
+
+    def test_unknown_peer_gets_negative_reply(self, host):
+        world, stack = host
+        sent = []
+        original = stack.send_command
+        stack.send_command = lambda command: sent.append(command) or original(
+            command
+        )
+        stack._process(evt.LinkKeyRequest(bd_addr=PEER).to_h4_bytes())
+        assert sent[0].display_name == "HCI_Link_Key_Request_Negative_Reply"
+
+    def test_drop_patch_suppresses_any_reply(self, host):
+        world, stack = host
+        stack.drop_link_key_requests = True
+        sent = []
+        stack.send_command = lambda command: sent.append(command)
+        stack._process(evt.LinkKeyRequest(bd_addr=PEER).to_h4_bytes())
+        assert sent == []
+
+
+class TestKeyDeletionPolicy:
+    @pytest.mark.parametrize(
+        "status,deleted",
+        [
+            (ErrorCode.AUTHENTICATION_FAILURE, True),
+            (ErrorCode.PIN_OR_KEY_MISSING, True),
+            (ErrorCode.LMP_RESPONSE_TIMEOUT, False),
+            (0, False),
+        ],
+    )
+    def test_deletion_matrix(self, host, status, deleted):
+        _, stack = host
+        stack.security.add_bond(_record())
+        stack.security.on_authentication_complete(PEER, status)
+        assert stack.security.is_bonded(PEER) is (not deleted)
+
+    def test_notification_stores_key_with_name(self, host):
+        world, stack = host
+        stack.gap.name_cache[PEER] = "LG VELVET"
+        stack._process(
+            evt.LinkKeyNotification(
+                bd_addr=PEER, link_key=KEY, key_type=8
+            ).to_h4_bytes()
+        )
+        record = stack.security.bond_for(PEER)
+        assert record.link_key == KEY
+        assert record.name == "LG VELVET"
+        assert record.key_type == 8
+
+
+class TestEventHold:
+    def test_holding_buffers_then_flushes_in_order(self, host):
+        world, stack = host
+        processed = stack.events_processed
+        stack.hold_events(2.0)
+        stack._on_bytes(evt.InquiryComplete(status=0).to_h4_bytes())
+        stack._on_bytes(evt.InquiryComplete(status=0).to_h4_bytes())
+        assert stack.events_processed == processed
+        world.run_for(3.0)
+        assert stack.events_processed == processed + 2
+
+    def test_holding_flag(self, host):
+        world, stack = host
+        assert not stack.holding
+        stack.hold_events(1.0)
+        assert stack.holding
+        world.run_for(2.0)
+        assert not stack.holding

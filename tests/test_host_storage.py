@@ -1,0 +1,134 @@
+"""Unit + property tests for the bonding storage backends."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filesystem import VirtualFilesystem
+from repro.core.types import BdAddr, LinkKey
+from repro.host.storage import (
+    BluezInfoStore,
+    BondingRecord,
+    BtConfigStore,
+    RegistryStore,
+)
+
+ADDR = BdAddr.parse("48:90:11:22:33:44")
+KEY = LinkKey.parse("71a70981f30d6af9e20adee8aafe3264")
+
+STORES = [
+    (BtConfigStore, "/data/misc/bluedroid/bt_config.conf"),
+    (BluezInfoStore, "/var/lib/bluetooth/bonds"),
+    (RegistryStore, "HKLM/.../Keys"),
+]
+
+addr_strategy = st.binary(min_size=6, max_size=6).map(BdAddr)
+key_strategy = st.binary(min_size=16, max_size=16).map(LinkKey)
+
+
+@pytest.mark.parametrize("store_cls,path", STORES, ids=lambda s: getattr(s, "__name__", s))
+class TestAllBackends:
+    def _store(self, store_cls, path):
+        return store_cls(VirtualFilesystem(), path, requires_su=True)
+
+    def test_roundtrip_single_record(self, store_cls, path):
+        store = self._store(store_cls, path)
+        store.save({ADDR: BondingRecord(addr=ADDR, link_key=KEY)})
+        loaded = store.load()
+        assert loaded[ADDR].link_key == KEY
+
+    def test_empty_load(self, store_cls, path):
+        assert self._store(store_cls, path).load() == {}
+
+    def test_su_bit_applied(self, store_cls, path):
+        store = self._store(store_cls, path)
+        store.save({ADDR: BondingRecord(addr=ADDR, link_key=KEY)})
+        with pytest.raises(PermissionError):
+            store.filesystem.read(path)
+
+    @given(
+        st.dictionaries(addr_strategy, key_strategy, min_size=0, max_size=8)
+    )
+    @settings(max_examples=20)
+    def test_roundtrip_property(self, store_cls, path, mapping):
+        store = self._store(store_cls, path)
+        records = {
+            addr: BondingRecord(addr=addr, link_key=key)
+            for addr, key in mapping.items()
+        }
+        store.save(records)
+        loaded = store.load()
+        assert {a: r.link_key for a, r in loaded.items()} == mapping
+
+
+class TestBtConfigFormat:
+    """The exact Fig. 10 file format details."""
+
+    def _saved_text(self, record):
+        fs = VirtualFilesystem()
+        store = BtConfigStore(fs, "/bt_config.conf")
+        store.save({record.addr: record})
+        return fs.read("/bt_config.conf", su=True).decode()
+
+    def test_section_header_is_the_address(self):
+        text = self._saved_text(BondingRecord(addr=ADDR, link_key=KEY))
+        assert f"[{ADDR}]" in text
+
+    def test_linkkey_line_format(self):
+        text = self._saved_text(BondingRecord(addr=ADDR, link_key=KEY))
+        assert f"LinkKey = {KEY.hex()}" in text
+
+    def test_pan_service_uuids_serialized(self):
+        record = BondingRecord(
+            addr=ADDR, link_key=KEY, name="VELVET", services=[0x1115, 0x1116]
+        )
+        text = self._saved_text(record)
+        assert "00001115-0000-1000-8000-00805f9b34fb" in text
+        assert "00001116-0000-1000-8000-00805f9b34fb" in text
+        assert "Name = VELVET" in text
+
+    def test_services_roundtrip(self):
+        fs = VirtualFilesystem()
+        store = BtConfigStore(fs, "/bt_config.conf")
+        record = BondingRecord(
+            addr=ADDR, link_key=KEY, services=[0x1115, 0x1116]
+        )
+        store.save({ADDR: record})
+        assert store.load()[ADDR].services == [0x1115, 0x1116]
+
+    def test_fig10_example_parses(self):
+        """Parse a file shaped exactly like the paper's Fig. 10."""
+        fs = VirtualFilesystem()
+        fs.write_text(
+            "/bt_config.conf",
+            "[48:90:aa:bb:cc:dd]\n"
+            "Name = VELVET\n"
+            "Service = 00001115-0000-1000-8000-00805f9b34fb "
+            "00001116-0000-1000-8000-00805f9b34fb\n"
+            "LinkKey = 71a70981f30d6af9e20adee8aafe3264\n",
+        )
+        store = BtConfigStore(fs, "/bt_config.conf")
+        records = store.load()
+        addr = BdAddr.parse("48:90:aa:bb:cc:dd")
+        assert records[addr].link_key == KEY
+        assert records[addr].name == "VELVET"
+        assert records[addr].services == [0x1115, 0x1116]
+
+
+class TestBluezFormat:
+    def test_info_sections_present(self):
+        fs = VirtualFilesystem()
+        store = BluezInfoStore(fs, "/var/lib/bluetooth/bonds")
+        store.save({ADDR: BondingRecord(addr=ADDR, link_key=KEY, name="car")})
+        text = fs.read("/var/lib/bluetooth/bonds", su=True).decode()
+        assert "[LinkKey]" in text
+        assert f"Key={KEY.hex().upper()}" in text
+
+
+class TestRegistryFormat:
+    def test_binary_layout(self):
+        fs = VirtualFilesystem()
+        store = RegistryStore(fs, "/registry")
+        store.save({ADDR: BondingRecord(addr=ADDR, link_key=KEY)})
+        blob = fs.read("/registry", su=True)
+        assert blob == ADDR.value + KEY.value

@@ -1,0 +1,73 @@
+"""Unit tests for the scripted user model (§V-B2 reasoning)."""
+
+import random
+
+from repro.core.types import BdAddr
+from repro.host.ui import UserModel
+
+ADDR = BdAddr.parse("aa:bb:cc:dd:ee:01")
+OTHER = BdAddr.parse("aa:bb:cc:dd:ee:02")
+
+
+def _user(**kwargs) -> UserModel:
+    return UserModel(rng=random.Random(0), **kwargs)
+
+
+def test_accepts_popup_right_after_initiating_pairing():
+    user = _user()
+    user.note_pairing_initiated(ADDR, now=10.0)
+    assert user.decide_confirmation(ADDR, None, now=11.0)
+
+
+def test_rejects_unexpected_popup():
+    user = _user()
+    assert not user.decide_confirmation(ADDR, 123456, now=5.0)
+
+
+def test_cannot_distinguish_spoofed_peer():
+    """The popup shows no address: intent for C accepts A's pairing."""
+    user = _user()
+    user.note_pairing_initiated(ADDR, now=0.0)
+    assert user.decide_confirmation(OTHER, None, now=1.0)
+
+
+def test_intent_expires():
+    user = _user()
+    user.note_pairing_initiated(ADDR, now=0.0)
+    assert not user.decide_confirmation(ADDR, None, now=UserModel.INTENT_WINDOW + 1)
+
+
+def test_clear_intent():
+    user = _user()
+    user.note_pairing_initiated(ADDR, now=0.0)
+    user.clear_intent()
+    assert not user.decide_confirmation(ADDR, None, now=1.0)
+
+
+def test_paranoid_user_rejects_valueless_popup():
+    user = _user(paranoid=True)
+    user.note_pairing_initiated(ADDR, now=0.0)
+    assert not user.decide_confirmation(ADDR, None, now=1.0)
+
+
+def test_paranoid_user_accepts_numeric_comparison():
+    user = _user(paranoid=True)
+    user.note_pairing_initiated(ADDR, now=0.0)
+    assert user.decide_confirmation(ADDR, 123456, now=1.0)
+
+
+def test_popup_statistics():
+    user = _user()
+    user.note_pairing_initiated(ADDR, now=0.0)
+    user.decide_confirmation(ADDR, None, now=1.0)
+    user.clear_intent()
+    user.decide_confirmation(ADDR, None, now=2.0)
+    assert user.popups_seen == 2
+    assert user.popups_accepted == 1
+
+
+def test_decision_delay_is_positive_and_bounded():
+    user = _user(reaction_time=0.8)
+    for _ in range(50):
+        delay = user.decision_delay()
+        assert 0.8 * 0.6 <= delay <= 0.8 * 1.8

@@ -1,0 +1,82 @@
+"""Integration: the Fig. 2 pairing & authentication procedures.
+
+Fig. 2a — non-bonded devices run the full SSP transaction; Fig. 2b —
+bonded devices skip SSP and run only the LMP challenge-response.
+These tests assert the *message sequences*, not just outcomes.
+"""
+
+import pytest
+
+from repro.snoop.hcidump import HciDump
+
+
+def _names(dump):
+    return [entry.packet.display_name for entry in dump.entries()]
+
+
+class TestFig2aFreshPairing:
+    @pytest.fixture()
+    def flow(self, device_pair):
+        world, m, c = device_pair
+        dump = HciDump().attach(m.transport)
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        return _names(dump)
+
+    def test_connection_precedes_authentication(self, flow):
+        assert flow.index("HCI_Create_Connection") < flow.index(
+            "HCI_Authentication_Requested"
+        )
+
+    def test_negative_key_reply_triggers_ssp(self, flow):
+        """No stored key → negative reply → IO capability exchange."""
+        neg = flow.index("HCI_Link_Key_Request_Negative_Reply")
+        io = flow.index("HCI_IO_Capability_Request")
+        assert neg < io
+
+    def test_ssp_stage_events_in_order(self, flow):
+        ordered = [
+            "HCI_IO_Capability_Request",
+            "HCI_IO_Capability_Response",
+            "HCI_User_Confirmation_Request",
+            "HCI_Simple_Pairing_Complete",
+            "HCI_Link_Key_Notification",
+        ]
+        positions = [flow.index(name) for name in ordered if name in flow]
+        assert len(positions) >= 4
+        assert positions == sorted(positions)
+
+    def test_key_notification_present(self, flow):
+        assert "HCI_Link_Key_Notification" in flow
+
+    def test_auth_complete_is_last_security_event(self, flow):
+        assert "HCI_Authentication_Complete" in flow
+        assert flow.index("HCI_Link_Key_Notification") < flow.index(
+            "HCI_Authentication_Complete"
+        )
+
+
+class TestFig2bBondedReconnect:
+    @pytest.fixture()
+    def flow(self, bonded_pair):
+        world, m, c = bonded_pair
+        dump = HciDump().attach(m.transport)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        assert op.success
+        return _names(dump)
+
+    def test_key_served_from_host(self, flow):
+        assert "HCI_Link_Key_Request" in flow
+        assert "HCI_Link_Key_Request_Reply" in flow
+
+    def test_no_ssp_for_bonded_devices(self, flow):
+        """Fig. 2b: pairing is omitted entirely."""
+        assert "HCI_IO_Capability_Request" not in flow
+        assert "HCI_User_Confirmation_Request" not in flow
+        assert "HCI_Link_Key_Notification" not in flow
+
+    def test_authentication_succeeds(self, flow):
+        assert "HCI_Authentication_Complete" in flow

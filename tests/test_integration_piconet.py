@@ -1,0 +1,148 @@
+"""Integration: multi-connection piconets.
+
+The paper (§V-B1) leans on the fact that "most mobile devices are
+implemented for supporting multiple connections in practice" — the
+victim keeps functioning (discovery, pairing, profile traffic) while
+the attacker's PLOC link sits idle.  These tests pin that behaviour
+generally: one device as the center of several simultaneous links.
+"""
+
+import pytest
+
+from repro.attacks.scenario import build_world
+from repro.devices.catalog import (
+    ANDROID_AUTOMOTIVE_HEAD_UNIT,
+    GALAXY_S8,
+    LG_VELVET,
+    NEXUS_5X_A8,
+)
+
+
+@pytest.fixture
+def star_network(world):
+    """A phone M connected to three peers at once."""
+    m = world.add_device("M", LG_VELVET)
+    peers = [
+        world.add_device("carkit", ANDROID_AUTOMOTIVE_HEAD_UNIT),
+        world.add_device("tablet", GALAXY_S8),
+        world.add_device("old-phone", NEXUS_5X_A8),
+    ]
+    m.power_on()
+    for peer in peers:
+        peer.power_on()
+    # Generous supervision: these tests exercise concurrent links, not
+    # idle-link decay (covered in test_controller_connection.py).
+    for device in [m] + peers:
+        device.controller.supervision_timeout_s = 300.0
+    world.run_for(0.5)
+    for peer in peers:
+        op = m.host.gap.connect(peer.bd_addr)
+        world.run_for(5.0)
+        assert op.success, peer.name
+    return world, m, peers
+
+
+class TestPiconet:
+    def test_three_simultaneous_connections(self, star_network):
+        world, m, peers = star_network
+        assert len(m.host.gap.connections) == 3
+        assert len(m.controller.connections) == 3
+
+    def test_handles_are_distinct(self, star_network):
+        world, m, peers = star_network
+        handles = {m.host.gap.handle_for(p.bd_addr) for p in peers}
+        assert len(handles) == 3
+
+    def test_pairing_one_peer_leaves_others_untouched(self, star_network):
+        world, m, peers = star_network
+        carkit = peers[0]
+        carkit.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(carkit.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        assert len(m.host.gap.connections) == 3
+        assert m.host.security.is_bonded(carkit.bd_addr)
+        assert not m.host.security.is_bonded(peers[1].bd_addr)
+
+    def test_parallel_sdp_queries(self, star_network):
+        world, m, peers = star_network
+        ops = [m.host.sdp.query(p.bd_addr) for p in peers]
+        world.run_for(5.0)
+        assert all(op.success for op in ops)
+
+    def test_disconnecting_one_leaves_others(self, star_network):
+        world, m, peers = star_network
+        m.host.gap.disconnect(peers[1].bd_addr)
+        world.run_for(2.0)
+        assert not m.host.gap.is_connected(peers[1].bd_addr)
+        assert m.host.gap.is_connected(peers[0].bd_addr)
+        assert m.host.gap.is_connected(peers[2].bd_addr)
+
+    def test_discovery_works_while_connected(self, star_network):
+        world, m, peers = star_network
+        hidden = world.add_device("newcomer", NEXUS_5X_A8)
+        hidden.power_on()
+        world.run_for(0.5)
+        op = m.host.gap.start_discovery()
+        world.run_for(8.0)
+        assert op.success
+        found = {str(d.addr) for d in op.result}
+        assert str(hidden.bd_addr) in found
+
+    def test_independent_encryption_per_link(self, star_network):
+        world, m, peers = star_network
+        carkit, tablet = peers[0], peers[1]
+        for peer in (carkit, tablet):
+            peer.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+            pair_op = m.host.gap.pair(peer.bd_addr)
+            world.run_for(20.0)
+            assert pair_op.success
+        enc = m.host.gap.enable_encryption(carkit.bd_addr)
+        world.run_for(2.0)
+        assert enc.success
+        assert m.host.gap.connections[carkit.bd_addr].encrypted
+        assert not m.host.gap.connections[tablet.bd_addr].encrypted
+        carkit_link = m.controller.link_by_handle(
+            m.host.gap.handle_for(carkit.bd_addr)
+        )
+        tablet_link = m.controller.link_by_handle(
+            m.host.gap.handle_for(tablet.bd_addr)
+        )
+        assert carkit_link.encryption_enabled
+        assert not tablet_link.encryption_enabled
+
+
+class TestPlocCoexistence:
+    def test_victim_functions_normally_during_ploc(self):
+        """The §V-B1 claim in one test: discovery, a *legitimate*
+        profile session and pairing with a third device all proceed
+        while the attacker's PLOC link is parked."""
+        from repro.attacks.attacker import Attacker
+        from repro.devices.catalog import NEXUS_5X_A6
+
+        world = build_world(seed=44)
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        other = world.add_device("other", GALAXY_S8)
+        a = world.add_device("A", NEXUS_5X_A6)
+        for device in (m, c, other):
+            device.power_on()
+        a.power_on(connectable=False, discoverable=False)
+        world.run_for(0.5)
+
+        attacker = Attacker(a)
+        attacker.spoof_device(c)
+        a.host.gap.connect(m.bd_addr)
+        attacker.enter_ploc(10.0)
+        world.run_for(2.0)
+        assert m.host.gap.is_connected(c.bd_addr)  # the parked link
+
+        # The victim's phone is not bricked:
+        discovery = m.host.gap.start_discovery(inquiry_length=2)
+        world.run_for(4.0)
+        assert discovery.success and len(discovery.result) >= 1
+
+        other.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        pair_op = m.host.gap.pair(other.bd_addr)
+        world.run_for(20.0)
+        assert pair_op.success  # unrelated pairing unaffected

@@ -1,0 +1,178 @@
+"""Tests for the §VII mitigations: each defeats its attack."""
+
+import pytest
+
+from repro.attacks.attacker import Attacker
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.core.types import BdAddr, IoCapability, LinkKey
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.mitigations.dump_filter import FilteredHciDump, redact_record
+from repro.mitigations.hci_encryption import (
+    HciPayloadCipher,
+    SecureUartTransport,
+)
+from repro.sim.eventloop import Simulator
+from repro.snoop.extractor import extract_link_keys
+from repro.snoop.hcidump import HciDump
+from repro.snoop.usb_extract import bin2hex, scan_hex_for_link_keys
+
+ADDR = BdAddr.parse("48:90:11:22:33:44")
+KEY = LinkKey.parse("71a70981f30d6af9e20adee8aafe3264")
+
+
+class TestDumpFilter:
+    def _record(self, dump_cls):
+        sim = Simulator()
+        from repro.transport.uart import UartH4Transport
+
+        transport = UartH4Transport(sim)
+        transport.attach_host(lambda raw: None)
+        transport.attach_controller(lambda raw: None)
+        dump = dump_cls().attach(transport)
+        transport.send_from_host(
+            cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY)
+        )
+        transport.send_from_controller(
+            evt.LinkKeyNotification(bd_addr=ADDR, link_key=KEY, key_type=7)
+        )
+        transport.send_from_host(cmd.Reset())
+        sim.run()
+        return dump
+
+    def test_redact_record_zeroes_only_the_key(self):
+        raw = cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_h4_bytes()
+        safe, redacted = redact_record(raw)
+        assert redacted
+        assert safe[:10] == raw[:10]  # indicator+header+addr intact
+        assert safe[10:26] == b"\x00" * 16
+
+    def test_redact_leaves_other_packets_alone(self):
+        raw = cmd.Reset().to_h4_bytes()
+        safe, redacted = redact_record(raw)
+        assert not redacted and safe == raw
+
+    def test_notification_event_also_redacted(self):
+        raw = evt.LinkKeyNotification(
+            bd_addr=ADDR, link_key=KEY, key_type=7
+        ).to_h4_bytes()
+        safe, redacted = redact_record(raw)
+        assert redacted
+        assert KEY.to_hci_bytes() not in safe
+
+    def test_extractor_defeated_by_filtered_dump(self):
+        dump = self._record(FilteredHciDump)
+        findings = extract_link_keys(dump.to_btsnoop_bytes())
+        assert all(f.link_key != KEY for f in findings)
+        assert dump.redactions == 2
+
+    def test_unfiltered_dump_still_leaks_control(self):
+        dump = self._record(HciDump)
+        findings = extract_link_keys(dump.to_btsnoop_bytes())
+        assert any(f.link_key == KEY for f in findings)
+
+    def test_filtered_dump_preserves_flow_structure(self):
+        """The filter redacts payloads, not forensics: frames remain."""
+        dump = self._record(FilteredHciDump)
+        names = [entry.packet.display_name for entry in dump.entries()]
+        assert names == [
+            "HCI_Link_Key_Request_Reply",
+            "HCI_Link_Key_Notification",
+            "HCI_Reset",
+        ]
+
+
+class TestHciPayloadEncryption:
+    def _secure_exchange(self):
+        sim = Simulator()
+        transport = SecureUartTransport(sim)
+        host_rx, taps = [], []
+        transport.attach_host(host_rx.append)
+        transport.attach_controller(lambda raw: None)
+        transport.add_tap(lambda t, d, raw: taps.append(raw))
+        transport.send_from_host(
+            cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY)
+        )
+        transport.send_from_controller(
+            evt.LinkKeyNotification(bd_addr=ADDR, link_key=KEY, key_type=7)
+        )
+        sim.run()
+        return transport, host_rx, taps
+
+    def test_cipher_roundtrip(self):
+        cipher = HciPayloadCipher(b"k" * 32)
+        assert cipher.process(5, cipher.process(5, b"secret")) == b"secret"
+
+    def test_cipher_nonce_separation(self):
+        cipher = HciPayloadCipher(b"k" * 32)
+        assert cipher.process(1, b"secret") != cipher.process(2, b"secret")
+
+    def test_wire_taps_see_ciphertext(self):
+        transport, _, taps = self._secure_exchange()
+        for raw in taps:
+            assert KEY.to_hci_bytes() not in raw
+        assert transport.protected_packets == 2
+
+    def test_endpoints_see_plaintext(self):
+        _, host_rx, _ = self._secure_exchange()
+        assert KEY.to_hci_bytes() in host_rx[0]
+
+    def test_usb_signature_scan_defeated(self):
+        """The '0b 04 16' grep still matches the header but recovers
+        ciphertext, not the key."""
+        _, _, taps = self._secure_exchange()
+        findings = scan_hex_for_link_keys(bin2hex(b"".join(taps)))
+        assert all(f.link_key != KEY for f in findings)
+
+    def test_unprotected_packets_pass_through_unchanged(self):
+        sim = Simulator()
+        transport = SecureUartTransport(sim)
+        taps = []
+        transport.attach_host(lambda raw: None)
+        transport.attach_controller(lambda raw: None)
+        transport.add_tap(lambda t, d, raw: taps.append(raw))
+        transport.send_from_host(cmd.Reset())
+        sim.run()
+        assert taps == [cmd.Reset().to_h4_bytes()]
+
+
+class TestPageBlockingGuard:
+    def test_guard_stops_the_attack(self):
+        world = build_world(seed=9)
+        m, c, a = standard_cast(world)
+        m.host.security.page_blocking_guard = True
+        report = PageBlockingAttack(world, a, c, m).run()
+        assert not report.paired
+        assert m.host.security.guard_rejections >= 1
+        assert not m.host.security.is_bonded(c.bd_addr)
+
+    def test_guard_allows_legitimate_pairing(self):
+        """No false positive on an ordinary user-initiated pairing."""
+        world = build_world(seed=10)
+        m, c, a = standard_cast(world)
+        m.host.security.page_blocking_guard = True
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        assert m.host.security.guard_rejections == 0
+
+    def test_guard_allows_legit_headset_pairing(self):
+        """A NoInputNoOutput accessory paired the normal way (we page
+        it) is fine — only remote-initiated connections are suspect."""
+        from repro.devices.catalog import HEADSET
+
+        world = build_world(seed=11)
+        m = world.add_device("M", spec=__import__(
+            "repro.devices.catalog", fromlist=["LG_VELVET"]
+        ).LG_VELVET)
+        headset = world.add_device("H", HEADSET)
+        m.power_on()
+        headset.power_on()
+        world.run_for(0.5)
+        m.host.security.page_blocking_guard = True
+        op = m.host.gap.pair(headset.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        assert m.host.security.guard_rejections == 0

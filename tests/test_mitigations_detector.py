@@ -1,0 +1,69 @@
+"""Tests for the forensic page blocking detector."""
+
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import build_world, standard_cast
+from repro.mitigations.detector import detect_page_blocking
+from repro.snoop.hcidump import HciDump
+
+
+def _attack_capture(seed=33):
+    world = build_world(seed=seed)
+    m, c, a = standard_cast(world)
+    report = PageBlockingAttack(world, a, c, m).run()
+    assert report.success
+    return report.m_dump, c
+
+
+def _normal_capture(seed=34):
+    world = build_world(seed=seed)
+    m, c, a = standard_cast(world)
+    dump = HciDump().attach(m.transport)
+    c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+    op = m.host.gap.pair(c.bd_addr)
+    world.run_for(20.0)
+    assert op.success
+    return dump
+
+
+def test_attack_capture_flagged():
+    dump, c = _attack_capture()
+    findings = detect_page_blocking(dump)
+    assert len(findings) == 1
+    assert findings[0].peer == c.bd_addr
+
+
+def test_attack_flagged_with_high_confidence():
+    dump, _ = _attack_capture()
+    finding = detect_page_blocking(dump)[0]
+    assert finding.confidence == "high"
+    assert any("NoInputNoOutput" in text for text in finding.indicators)
+    assert any("Create_Connection" in text for text in finding.indicators)
+
+
+def test_normal_pairing_not_flagged():
+    dump = _normal_capture()
+    assert detect_page_blocking(dump) == []
+
+
+def test_detector_works_on_btsnoop_bytes():
+    dump, c = _attack_capture(seed=35)
+    findings = detect_page_blocking(dump.to_btsnoop_bytes())
+    assert findings and findings[0].peer == c.bd_addr
+
+
+def test_incoming_connection_without_pairing_not_flagged():
+    """Merely accepting a connection (e.g. an accessory reconnecting)
+    is normal; the signature needs the local pairing on top."""
+    world = build_world(seed=36)
+    m, c, a = standard_cast(world)
+    dump = HciDump().attach(m.transport)
+    op = c.host.gap.connect(m.bd_addr)  # inbound at M, no pairing
+    world.run_for(5.0)
+    assert op.success
+    assert detect_page_blocking(dump) == []
+
+
+def test_finding_str_is_informative():
+    dump, c = _attack_capture(seed=37)
+    text = str(detect_page_blocking(dump)[0])
+    assert str(c.bd_addr) in text and "high" in text

@@ -1,0 +1,236 @@
+"""Unit tests for the radio medium: inquiry, paging, the race, links."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import pytest
+
+from repro.core.types import BdAddr
+from repro.phy.medium import AirFrame, PhysicalLink, RadioMedium
+from repro.sim.eventloop import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class FakeController:
+    """A minimal RadioPeer for medium-level tests."""
+
+    name: str
+    addr: BdAddr
+    page_scan: bool = True
+    inquiry_scan: bool = True
+    scan_interval: float = 1.28
+    cod: int = 0x5A020C
+    pages_received: List[str] = field(default_factory=list)
+    frames: List[AirFrame] = field(default_factory=list)
+    drops: List[int] = field(default_factory=list)
+    link: Optional[PhysicalLink] = None
+
+    @property
+    def bd_addr(self) -> BdAddr:
+        return self.addr
+
+    @property
+    def inquiry_scan_enabled(self) -> bool:
+        return self.inquiry_scan
+
+    @property
+    def page_scan_enabled(self) -> bool:
+        return self.page_scan
+
+    @property
+    def page_scan_interval_s(self) -> float:
+        return self.scan_interval
+
+    @property
+    def class_of_device_value(self) -> int:
+        return self.cod
+
+    def on_page_reached(self, link, initiator):
+        self.pages_received.append(initiator.name)
+        self.link = link
+
+    def on_air_frame(self, link, frame):
+        self.frames.append(frame)
+
+    def on_link_dropped(self, link, reason):
+        self.drops.append(reason)
+
+
+def _world(seed=0):
+    sim = Simulator()
+    medium = RadioMedium(sim, RngRegistry(seed))
+    return sim, medium
+
+
+def _addr(suffix: int) -> BdAddr:
+    return BdAddr(bytes([0, 0, 0, 0, 0, suffix]))
+
+
+class TestInquiry:
+    def test_discoverable_peers_respond(self):
+        sim, medium = _world()
+        src = FakeController("src", _addr(1))
+        peer = FakeController("peer", _addr(2))
+        hidden = FakeController("hidden", _addr(3), inquiry_scan=False)
+        for controller in (src, peer, hidden):
+            medium.register(controller)
+        responses, complete = [], []
+        medium.start_inquiry(src, 2.0, responses.append, lambda: complete.append(1))
+        sim.run()
+        assert [str(r.bd_addr) for r in responses] == [str(peer.addr)]
+        assert complete == [1]
+
+    def test_out_of_range_peers_silent(self):
+        sim, medium = _world()
+        src = FakeController("src", _addr(1))
+        peer = FakeController("peer", _addr(2))
+        medium.register(src)
+        medium.register(peer)
+        medium.set_in_range(src, peer, False)
+        responses = []
+        medium.start_inquiry(src, 2.0, responses.append, lambda: None)
+        sim.run()
+        assert responses == []
+
+    def test_inquiry_response_carries_cod(self):
+        sim, medium = _world()
+        src = FakeController("src", _addr(1))
+        peer = FakeController("peer", _addr(2), cod=0x3C0404)
+        medium.register(src)
+        medium.register(peer)
+        responses = []
+        medium.start_inquiry(src, 2.0, responses.append, lambda: None)
+        sim.run()
+        assert responses[0].class_of_device == 0x3C0404
+
+
+class TestPaging:
+    def test_single_responder_connects(self):
+        sim, medium = _world()
+        src = FakeController("src", _addr(1))
+        target = FakeController("target", _addr(2))
+        medium.register(src)
+        medium.register(target)
+        results = []
+        medium.page(src, target.addr, 5.12, results.append)
+        sim.run()
+        assert len(results) == 1 and results[0] is not None
+        assert target.pages_received == ["src"]
+        assert medium.active_links == [results[0]]
+
+    def test_no_responder_times_out(self):
+        sim, medium = _world()
+        src = FakeController("src", _addr(1))
+        medium.register(src)
+        results = []
+        medium.page(src, _addr(9), 5.12, results.append)
+        sim.run()
+        assert results == [None]
+        assert sim.now == pytest.approx(5.12)
+
+    def test_non_scanning_target_unreachable(self):
+        sim, medium = _world()
+        src = FakeController("src", _addr(1))
+        target = FakeController("target", _addr(2), page_scan=False)
+        medium.register(src)
+        medium.register(target)
+        results = []
+        medium.page(src, target.addr, 1.0, results.append)
+        sim.run()
+        assert results == [None]
+
+    def test_spoofed_address_race_is_roughly_fair(self):
+        """Two responders with one address: each wins ~half the time."""
+        wins = {"real": 0, "spoof": 0}
+        for seed in range(200):
+            sim, medium = _world(seed)
+            src = FakeController("src", _addr(1))
+            real = FakeController("real", _addr(2))
+            spoof = FakeController("spoof", _addr(2))
+            for controller in (src, real, spoof):
+                medium.register(controller)
+            results = []
+            medium.page(src, _addr(2), 5.12, results.append)
+            sim.run()
+            link = results[0]
+            wins[link.responder.name] += 1
+        assert wins["real"] + wins["spoof"] == 200
+        assert 60 <= wins["spoof"] <= 140  # fair coin ± generous slack
+
+    def test_shorter_scan_interval_wins_more(self):
+        """An aggressive scanner (small interval) captures the page."""
+        spoof_wins = 0
+        for seed in range(100):
+            sim, medium = _world(seed)
+            src = FakeController("src", _addr(1))
+            real = FakeController("real", _addr(2), scan_interval=1.28)
+            spoof = FakeController("spoof", _addr(2), scan_interval=0.16)
+            for controller in (src, real, spoof):
+                medium.register(controller)
+            results = []
+            medium.page(src, _addr(2), 5.12, results.append)
+            sim.run()
+            if results[0].responder.name == "spoof":
+                spoof_wins += 1
+        assert spoof_wins >= 85
+
+
+class TestLinks:
+    def _linked(self):
+        sim, medium = _world()
+        a = FakeController("a", _addr(1))
+        b = FakeController("b", _addr(2))
+        medium.register(a)
+        medium.register(b)
+        results = []
+        medium.page(a, b.addr, 5.12, results.append)
+        sim.run()
+        return sim, medium, a, b, results[0]
+
+    def test_frames_flow_both_ways(self):
+        sim, medium, a, b, link = self._linked()
+        medium.send_frame(link, a, AirFrame(kind="lmp", payload="ping"))
+        medium.send_frame(link, b, AirFrame(kind="lmp", payload="pong"))
+        sim.run()
+        assert b.frames[0].payload == "ping"
+        assert a.frames[0].payload == "pong"
+
+    def test_peer_of(self):
+        _, _, a, b, link = self._linked()
+        assert link.peer_of(a) is b and link.peer_of(b) is a
+        outsider = FakeController("x", _addr(9))
+        with pytest.raises(ValueError):
+            link.peer_of(outsider)
+
+    def test_drop_notifies_both_ends(self):
+        sim, medium, a, b, link = self._linked()
+        medium.drop_link(link, 0x08)
+        sim.run()
+        assert a.drops == [0x08] and b.drops == [0x08]
+        assert not link.alive
+        assert medium.active_links == []
+
+    def test_frames_after_drop_are_lost(self):
+        sim, medium, a, b, link = self._linked()
+        medium.drop_link(link, 0x08)
+        medium.send_frame(link, a, AirFrame(kind="acl", payload=b"late"))
+        sim.run()
+        assert b.frames == []
+
+    def test_air_sniffer_sees_everything(self):
+        sim, medium, a, b, link = self._linked()
+        captured = []
+        medium.add_air_sniffer(
+            lambda t, lid, sender, frame: captured.append((sender, frame.payload))
+        )
+        medium.send_frame(link, a, AirFrame(kind="lmp", payload="secret"))
+        sim.run()
+        assert captured == [("a", "secret")]
+
+    def test_double_drop_is_idempotent(self):
+        sim, medium, a, b, link = self._linked()
+        medium.drop_link(link, 0x08)
+        medium.drop_link(link, 0x13)
+        sim.run()
+        assert a.drops == [0x08]

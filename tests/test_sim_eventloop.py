@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.eventloop import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "latest")
+    sim.run()
+    assert fired == ["early", "late", "latest"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.5]
+    assert sim.now == 5.5
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in-window")
+    sim.schedule(10.0, fired.append, "after-window")
+    sim.run(until=5.0)
+    assert fired == ["in-window"]
+    assert sim.now == 5.0  # clock advances to the requested horizon
+    sim.run()
+    assert fired == ["in-window", "after-window"]
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.run_for(3.0)
+    assert sim.now == 3.0
+    sim.run_for(2.0)
+    assert sim.now == 5.0
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    event.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append("first")
+        sim.schedule(1.0, fired.append, "second")
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_runaway_guard_trips():
+    sim = Simulator()
+
+    def respawn():
+        sim.schedule(0.001, respawn)
+
+    sim.schedule(0.001, respawn)
+    with pytest.raises(SimulationError):
+        sim.run(until=1e9, max_events=1000)
+
+
+def test_pending_and_processed_counters():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_processed == 2
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,44 @@
+"""Unit tests for the named RNG registry."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_seed_same_stream_is_deterministic():
+    a = RngRegistry(7).stream("radio")
+    b = RngRegistry(7).stream("radio")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_streams_are_independent():
+    registry = RngRegistry(7)
+    first = [registry.stream("alpha").random() for _ in range(5)]
+    second = [registry.stream("beta").random() for _ in range(5)]
+    assert first != second
+
+
+def test_adding_a_stream_does_not_perturb_existing_one():
+    solo = RngRegistry(7)
+    seq_alone = [solo.stream("radio").random() for _ in range(10)]
+
+    crowded = RngRegistry(7)
+    crowded.stream("other").random()  # extra consumer created first
+    seq_crowded = [crowded.stream("radio").random() for _ in range(10)]
+    assert seq_alone == seq_crowded
+
+
+def test_stream_instance_is_cached():
+    registry = RngRegistry(1)
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_different_master_seeds_differ():
+    a = RngRegistry(1).stream("s").random()
+    b = RngRegistry(2).stream("s").random()
+    assert a != b
+
+
+def test_random_bytes_length_and_determinism():
+    a = RngRegistry(3).random_bytes("nonce", 16)
+    b = RngRegistry(3).random_bytes("nonce", 16)
+    assert len(a) == 16
+    assert a == b

@@ -1,0 +1,101 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import Tracer
+
+
+def _seeded_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.emit(0.0, "M", "hci-cmd", "HCI_Create_Connection")
+    tracer.emit(0.1, "M", "hci-evt", "HCI_Connection_Complete")
+    tracer.emit(0.2, "C", "hci-cmd", "HCI_Link_Key_Request_Reply", peer="M")
+    return tracer
+
+
+def test_emit_and_len():
+    tracer = _seeded_tracer()
+    assert len(tracer) == 3
+
+
+def test_filter_by_source():
+    tracer = _seeded_tracer()
+    assert len(tracer.filter(source="M")) == 2
+
+
+def test_filter_by_category_and_contains():
+    tracer = _seeded_tracer()
+    hits = tracer.filter(category="hci-cmd", contains="Link_Key")
+    assert len(hits) == 1
+    assert hits[0].detail == {"peer": "M"}
+
+
+def test_messages_helper():
+    tracer = _seeded_tracer()
+    assert tracer.messages(source="C") == ["HCI_Link_Key_Request_Reply"]
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.enabled = False
+    tracer.emit(0.0, "x", "y", "z")
+    assert len(tracer) == 0
+
+
+def test_clear():
+    tracer = _seeded_tracer()
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_str_rendering_contains_fields():
+    tracer = _seeded_tracer()
+    text = str(tracer.records[0])
+    assert "M" in text and "HCI_Create_Connection" in text
+
+
+class TestLadder:
+    def test_ladder_columns_per_source(self):
+        from repro.sim.trace import render_ladder
+
+        text = render_ladder(_seeded_tracer())
+        lines = text.splitlines()
+        assert lines[0].startswith("time")
+        assert "M" in lines[0] and "C" in lines[0]
+        # C's record is indented one column further than M's.
+        m_line = next(line for line in lines if "HCI_Create_Connection" in line)
+        c_line = next(line for line in lines if "Link_Key_Request_Reply" in line)
+        assert c_line.index(">") > m_line.index(">")
+
+    def test_ladder_filters(self):
+        from repro.sim.trace import render_ladder
+
+        text = render_ladder(_seeded_tracer(), sources=["M"])
+        assert "Link_Key_Request_Reply" not in text
+        text = render_ladder(_seeded_tracer(), categories=["hci-evt"])
+        assert "HCI_Create_Connection" not in text
+
+    def test_ladder_row_limit(self):
+        from repro.sim.trace import render_ladder
+
+        text = render_ladder(_seeded_tracer(), max_rows=1)
+        assert len(text.splitlines()) == 3  # header + rule + 1 row
+
+    def test_ladder_on_real_pairing(self):
+        from repro.attacks.scenario import build_world
+        from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+        from repro.sim.trace import render_ladder
+
+        world = build_world(seed=3)
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        assert op.success
+        ladder = render_ladder(
+            world.tracer, sources=["M", "C"], categories=["lmp-tx"]
+        )
+        assert "LmpEncapsulatedKey" in ladder
+        assert "LmpDhkeyCheck" in ladder

@@ -1,0 +1,105 @@
+"""Unit + property tests for the btsnoop (RFC 1761) file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.hci import commands as cmd
+from repro.snoop.btsnoop import (
+    BTSNOOP_MAGIC,
+    BtsnoopReader,
+    BtsnoopWriter,
+    DATALINK_H4,
+    flags_for,
+)
+from repro.transport.base import Direction
+
+
+def _capture_with(packets):
+    writer = BtsnoopWriter()
+    for index, packet in enumerate(packets):
+        writer.append(index * 0.001, Direction.HOST_TO_CONTROLLER, packet)
+    return writer
+
+
+def test_file_header_layout():
+    raw = BtsnoopWriter().to_bytes()
+    assert raw[:8] == BTSNOOP_MAGIC
+    assert int.from_bytes(raw[8:12], "big") == 1
+    assert int.from_bytes(raw[12:16], "big") == DATALINK_H4
+
+
+def test_roundtrip_single_record():
+    packet = cmd.Reset().to_h4_bytes()
+    writer = _capture_with([packet])
+    records = BtsnoopReader(writer.to_bytes()).records()
+    assert len(records) == 1
+    assert records[0].data == packet
+
+
+@given(
+    st.lists(
+        st.binary(min_size=1, max_size=64).map(lambda b: b"\x01" + b),
+        min_size=0,
+        max_size=20,
+    )
+)
+@settings(max_examples=30)
+def test_roundtrip_property(packets):
+    writer = _capture_with(packets)
+    records = BtsnoopReader(writer.to_bytes()).records()
+    assert [record.data for record in records] == packets
+
+
+def test_direction_flag_roundtrip():
+    writer = BtsnoopWriter()
+    writer.append(0.0, Direction.HOST_TO_CONTROLLER, b"\x01\x03\x0c\x00")
+    writer.append(0.1, Direction.CONTROLLER_TO_HOST, b"\x04\x01\x01\x00")
+    records = BtsnoopReader(writer.to_bytes()).records()
+    assert records[0].direction is Direction.HOST_TO_CONTROLLER
+    assert records[1].direction is Direction.CONTROLLER_TO_HOST
+
+
+def test_command_event_flag():
+    assert flags_for(Direction.HOST_TO_CONTROLLER, 0x01) & 0x02
+    assert flags_for(Direction.HOST_TO_CONTROLLER, 0x02) & 0x02 == 0
+
+
+def test_timestamps_preserve_order_and_scale():
+    writer = BtsnoopWriter()
+    writer.append(1.0, Direction.HOST_TO_CONTROLLER, b"\x01a")
+    writer.append(2.5, Direction.HOST_TO_CONTROLLER, b"\x01b")
+    records = BtsnoopReader(writer.to_bytes()).records()
+    assert records[1].timestamp_us - records[0].timestamp_us == 1_500_000
+
+
+def test_indicator_and_payload_accessors():
+    writer = _capture_with([b"\x01\xAA\xBB"])
+    record = BtsnoopReader(writer.to_bytes()).records()[0]
+    assert record.indicator == 0x01
+    assert record.payload == b"\xAA\xBB"
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(StorageError):
+        BtsnoopReader(b"notasnoopfile!!!" * 2)
+
+
+def test_bad_version_rejected():
+    raw = BTSNOOP_MAGIC + (99).to_bytes(4, "big") + (1002).to_bytes(4, "big")
+    with pytest.raises(StorageError):
+        BtsnoopReader(raw)
+
+
+def test_truncated_record_rejected():
+    writer = _capture_with([cmd.Reset().to_h4_bytes()])
+    raw = writer.to_bytes()
+    with pytest.raises(StorageError):
+        BtsnoopReader(raw[:-2]).records()
+
+
+def test_empty_packet_rejected():
+    writer = BtsnoopWriter()
+    with pytest.raises(StorageError):
+        writer.append(0.0, Direction.HOST_TO_CONTROLLER, b"")

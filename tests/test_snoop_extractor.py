@@ -1,0 +1,119 @@
+"""Unit tests for the HCI-dump link key extractor and dump renderer."""
+
+import pytest
+
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.sim.eventloop import Simulator
+from repro.snoop.extractor import extract_link_keys, keys_by_peer, latest_key_for
+from repro.snoop.hcidump import HciDump, entries_from_btsnoop, render_dump_table
+from repro.transport.uart import UartH4Transport
+
+ADDR_M = BdAddr.parse("48:90:11:22:33:44")
+ADDR_X = BdAddr.parse("02:02:02:02:02:02")
+KEY_1 = LinkKey.parse("71a70981f30d6af9e20adee8aafe3264")
+KEY_2 = LinkKey(bytes(range(16)))
+
+
+@pytest.fixture
+def recorded_dump():
+    sim = Simulator()
+    transport = UartH4Transport(sim)
+    transport.attach_host(lambda raw: None)
+    transport.attach_controller(lambda raw: None)
+    dump = HciDump().attach(transport)
+    transport.send_from_host(cmd.AuthenticationRequested(connection_handle=6))
+    transport.send_from_controller(evt.LinkKeyRequest(bd_addr=ADDR_M))
+    transport.send_from_host(
+        cmd.LinkKeyRequestReply(bd_addr=ADDR_M, link_key=KEY_1)
+    )
+    transport.send_from_controller(
+        evt.LinkKeyNotification(bd_addr=ADDR_X, link_key=KEY_2, key_type=7)
+    )
+    sim.run()
+    return dump
+
+
+def test_extracts_from_reply_and_notification(recorded_dump):
+    findings = extract_link_keys(recorded_dump)
+    assert len(findings) == 2
+    sources = {finding.source for finding in findings}
+    assert sources == {"Link_Key_Request_Reply", "Link_Key_Notification"}
+
+
+def test_extracts_from_on_disk_btsnoop_bytes(recorded_dump):
+    findings = extract_link_keys(recorded_dump.to_btsnoop_bytes())
+    assert {f.link_key for f in findings} == {KEY_1, KEY_2}
+
+
+def test_peer_attribution(recorded_dump):
+    assert keys_by_peer(recorded_dump) == {ADDR_M: KEY_1, ADDR_X: KEY_2}
+
+
+def test_latest_key_for_specific_peer(recorded_dump):
+    finding = latest_key_for(recorded_dump, ADDR_M)
+    assert finding is not None and finding.link_key == KEY_1
+    assert latest_key_for(recorded_dump, BdAddr.parse("09:09:09:09:09:09")) is None
+
+
+def test_latest_wins_on_key_change():
+    sim = Simulator()
+    transport = UartH4Transport(sim)
+    transport.attach_host(lambda raw: None)
+    transport.attach_controller(lambda raw: None)
+    dump = HciDump().attach(transport)
+    transport.send_from_host(cmd.LinkKeyRequestReply(bd_addr=ADDR_M, link_key=KEY_2))
+    transport.send_from_host(cmd.LinkKeyRequestReply(bd_addr=ADDR_M, link_key=KEY_1))
+    sim.run()
+    assert keys_by_peer(dump)[ADDR_M] == KEY_1
+
+
+def test_clean_dump_yields_nothing():
+    sim = Simulator()
+    transport = UartH4Transport(sim)
+    transport.attach_host(lambda raw: None)
+    transport.attach_controller(lambda raw: None)
+    dump = HciDump().attach(transport)
+    transport.send_from_host(cmd.Reset())
+    sim.run()
+    assert extract_link_keys(dump) == []
+
+
+def test_finding_str_shows_key(recorded_dump):
+    text = str(extract_link_keys(recorded_dump)[0])
+    assert KEY_1.hex() in text
+
+
+def test_entries_have_frames_and_directions(recorded_dump):
+    entries = recorded_dump.entries()
+    assert [entry.frame for entry in entries] == [1, 2, 3, 4]
+    assert entries[0].packet_type == "Command"
+    assert entries[1].packet_type == "Event"
+
+
+def test_entries_from_btsnoop_matches_live(recorded_dump):
+    live = recorded_dump.entries()
+    parsed = entries_from_btsnoop(recorded_dump.to_btsnoop_bytes())
+    assert [e.packet.display_name for e in live] == [
+        e.packet.display_name for e in parsed
+    ]
+
+
+def test_render_dump_table_shape(recorded_dump):
+    table = render_dump_table(recorded_dump.entries())
+    assert "HCI_Link_Key_Request_Reply" in table
+    assert "HCI_Authentication_Requested" in table
+    assert table.splitlines()[0].startswith(" Fra")
+
+
+def test_render_max_rows(recorded_dump):
+    table = render_dump_table(recorded_dump.entries(), max_rows=2)
+    # header + separator + 2 rows
+    assert len(table.splitlines()) == 4
+
+
+def test_detach_stops_recording(recorded_dump):
+    count = len(recorded_dump)
+    recorded_dump.detach()
+    assert len(recorded_dump) == count

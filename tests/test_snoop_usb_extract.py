@@ -1,0 +1,106 @@
+"""Unit tests for the USB-sniff extraction pipeline (Fig. 11)."""
+
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.sim.eventloop import Simulator
+from repro.snoop.usb_extract import (
+    bin2hex,
+    extract_link_keys_from_usb,
+    scan_hex_for_link_keys,
+)
+from repro.transport.usb import UsbSniffer, UsbTransport
+
+ADDR = BdAddr.parse("00:1a:7d:da:71:0a")
+KEY = LinkKey.parse("c4f16e949f04ee9c0fd6b1330289c324")
+
+
+def _sniffed_capture(extra_noise=True):
+    sim = Simulator()
+    transport = UsbTransport(sim, idle_null_transfers=extra_noise)
+    transport.attach_host(lambda raw: None)
+    transport.attach_controller(lambda raw: None)
+    sniffer = UsbSniffer().attach(transport)
+    transport.send_from_controller(evt.LinkKeyRequest(bd_addr=ADDR))
+    transport.send_from_host(cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY))
+    transport.send_from_controller(
+        evt.CommandComplete(
+            num_hci_command_packets=1,
+            command_opcode=0x040B,
+            return_parameters=b"\x00" + ADDR.to_hci_bytes(),
+        )
+    )
+    sim.run()
+    return sniffer
+
+
+class TestBin2Hex:
+    def test_basic_conversion(self):
+        assert bin2hex(b"\x0b\x04\x16").replace(" ", "") == "0b0416"
+
+    def test_line_wrapping(self):
+        text = bin2hex(bytes(range(32)), line_width=16)
+        assert len(text.splitlines()) == 2
+
+    def test_grouping(self):
+        text = bin2hex(b"\xab\xcd\xef\x01", group=2, line_width=4)
+        assert text == "abcd ef01"
+
+    def test_invalid_grouping_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bin2hex(b"x", group=0)
+
+
+class TestSignatureScan:
+    def test_finds_key_after_signature(self):
+        payload = (
+            cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY).to_bytes()
+        )
+        findings = scan_hex_for_link_keys(bin2hex(payload))
+        assert len(findings) == 1
+        assert findings[0].peer == ADDR
+        assert findings[0].link_key == KEY
+
+    def test_paper_fig11_byte_example(self):
+        """The exact hex layout shown in Fig. 11a."""
+        hex_text = (
+            "0b 04 16 0a 71 da 7d 1a 00 24 c3 89 02 33 b1 d6"
+            " 0f 9c ee 04 9f 94 6e f1 c4"
+        )
+        findings = scan_hex_for_link_keys(hex_text)
+        assert len(findings) == 1
+        assert str(findings[0].peer) == "00:1a:7d:da:71:0a"
+        assert findings[0].link_key.hex() == "c4f16e949f04ee9c0fd6b1330289c324"
+
+    def test_ignores_unaligned_matches(self):
+        # '0b0416' appearing at an odd nibble offset is not a packet.
+        hex_text = "a0b04163" + "00" * 30
+        assert scan_hex_for_link_keys(hex_text) == []
+
+    def test_ignores_truncated_match(self):
+        assert scan_hex_for_link_keys("0b0416aabb") == []
+
+    def test_no_signature_no_findings(self):
+        assert scan_hex_for_link_keys("00" * 100) == []
+
+
+class TestEndToEnd:
+    def test_extraction_from_sniffer(self):
+        sniffer = _sniffed_capture()
+        findings = extract_link_keys_from_usb(sniffer)
+        assert len(findings) == 1
+        assert findings[0].link_key == KEY
+        assert findings[0].peer == ADDR
+
+    def test_extraction_survives_null_noise(self):
+        """Real captures are full of NULL transfers (paper §VI-B1)."""
+        noisy = extract_link_keys_from_usb(_sniffed_capture(extra_noise=True))
+        clean = extract_link_keys_from_usb(_sniffed_capture(extra_noise=False))
+        assert noisy == clean
+
+    def test_extraction_from_raw_bytes(self):
+        sniffer = _sniffed_capture()
+        findings = extract_link_keys_from_usb(sniffer.raw_stream())
+        assert findings and findings[0].link_key == KEY

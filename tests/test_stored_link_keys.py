@@ -1,0 +1,113 @@
+"""Tests: the controller's stored-link-key commands and their leakage.
+
+The paper's §IV explains hosts manage link keys because controllers
+"typically [have] limited storage".  The stored-key commands exist
+anyway — and every one of them moves plaintext keys across the HCI,
+so the extractor covers them too.
+"""
+
+import pytest
+
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import commands as cmd
+from repro.snoop.extractor import extract_link_keys
+from repro.snoop.hcidump import HciDump
+
+ADDR_1 = BdAddr.parse("48:90:11:22:33:44")
+ADDR_2 = BdAddr.parse("48:90:11:22:33:45")
+ADDR_3 = BdAddr.parse("48:90:11:22:33:46")
+KEY_1 = LinkKey(bytes(range(16)))
+KEY_2 = LinkKey(bytes(range(16, 32)))
+KEY_3 = LinkKey(bytes(range(32, 48)))
+
+
+@pytest.fixture
+def device(world):
+    from repro.devices.catalog import NEXUS_5X_A8
+
+    dev = world.add_device("phone", NEXUS_5X_A8)
+    dev.power_on()
+    world.run_for(0.5)
+    return world, dev
+
+
+def _write(world, dev, addr, key):
+    dev.host.send_command(
+        cmd.WriteStoredLinkKey(num_keys_to_write=1, bd_addr=addr, link_key=key)
+    )
+    world.run_for(0.1)
+
+
+class TestStoredKeyCache:
+    def test_write_and_read_back(self, device):
+        world, dev = device
+        _write(world, dev, ADDR_1, KEY_1)
+        assert dev.controller.stored_link_keys[ADDR_1] == KEY_1
+
+    def test_capacity_limit_enforced(self, device):
+        """The 'limited storage' the paper cites: capacity 2 by default."""
+        world, dev = device
+        _write(world, dev, ADDR_1, KEY_1)
+        _write(world, dev, ADDR_2, KEY_2)
+        _write(world, dev, ADDR_3, KEY_3)
+        assert len(dev.controller.stored_link_keys) == 2
+        assert ADDR_3 not in dev.controller.stored_link_keys
+
+    def test_overwrite_existing_is_allowed_at_capacity(self, device):
+        world, dev = device
+        _write(world, dev, ADDR_1, KEY_1)
+        _write(world, dev, ADDR_2, KEY_2)
+        _write(world, dev, ADDR_1, KEY_3)  # update, not insert
+        assert dev.controller.stored_link_keys[ADDR_1] == KEY_3
+
+    def test_delete_one_and_all(self, device):
+        world, dev = device
+        _write(world, dev, ADDR_1, KEY_1)
+        _write(world, dev, ADDR_2, KEY_2)
+        dev.host.send_command(
+            cmd.DeleteStoredLinkKey(bd_addr=ADDR_1, delete_all_flag=0)
+        )
+        world.run_for(0.1)
+        assert ADDR_1 not in dev.controller.stored_link_keys
+        dev.host.send_command(
+            cmd.DeleteStoredLinkKey(bd_addr=ADDR_2, delete_all_flag=1)
+        )
+        world.run_for(0.1)
+        assert dev.controller.stored_link_keys == {}
+
+    def test_read_emits_return_link_keys_events(self, device):
+        world, dev = device
+        _write(world, dev, ADDR_1, KEY_1)
+        dump = HciDump().attach(dev.transport)
+        dev.host.send_command(
+            cmd.ReadStoredLinkKey(bd_addr=ADDR_1, read_all_flag=1)
+        )
+        world.run_for(0.1)
+        names = [entry.packet.display_name for entry in dump.entries()]
+        assert "HCI_Return_Link_Keys" in names
+
+
+class TestStoredKeyLeakage:
+    def test_extractor_catches_write_stored_link_key(self, device):
+        world, dev = device
+        dump = HciDump().attach(dev.transport)
+        _write(world, dev, ADDR_1, KEY_1)
+        findings = extract_link_keys(dump)
+        assert any(
+            f.source == "Write_Stored_Link_Key" and f.link_key == KEY_1
+            for f in findings
+        )
+
+    def test_extractor_catches_return_link_keys(self, device):
+        world, dev = device
+        _write(world, dev, ADDR_1, KEY_1)
+        dump = HciDump().attach(dev.transport)
+        dev.host.send_command(
+            cmd.ReadStoredLinkKey(bd_addr=ADDR_1, read_all_flag=1)
+        )
+        world.run_for(0.1)
+        findings = extract_link_keys(dump)
+        assert any(
+            f.source == "Return_Link_Keys" and f.link_key == KEY_1
+            for f in findings
+        )

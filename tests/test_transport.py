@@ -1,0 +1,149 @@
+"""Unit tests for UART and USB transports and their taps."""
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.core.types import BdAddr, LinkKey
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.sim.eventloop import Simulator
+from repro.transport.base import Direction
+from repro.transport.uart import UartH4Transport
+from repro.transport.usb import (
+    ENDPOINT_BULK_IN,
+    ENDPOINT_BULK_OUT,
+    ENDPOINT_CONTROL_OUT,
+    ENDPOINT_INTERRUPT_IN,
+    UsbSniffer,
+    UsbTransport,
+)
+from repro.hci.packets import HciAclData
+
+ADDR = BdAddr.parse("aa:bb:cc:dd:ee:ff")
+KEY = LinkKey(bytes(range(16)))
+
+
+def _wired(transport_cls, sim, **kwargs):
+    transport = transport_cls(sim, **kwargs)
+    host_rx, ctrl_rx = [], []
+    transport.attach_host(host_rx.append)
+    transport.attach_controller(ctrl_rx.append)
+    return transport, host_rx, ctrl_rx
+
+
+class TestUart:
+    def test_delivers_both_directions(self):
+        sim = Simulator()
+        transport, host_rx, ctrl_rx = _wired(UartH4Transport, sim)
+        transport.send_from_host(cmd.Reset())
+        transport.send_from_controller(evt.InquiryComplete(status=0))
+        sim.run()
+        assert len(ctrl_rx) == 1 and ctrl_rx[0][0] == 0x01
+        assert len(host_rx) == 1 and host_rx[0][0] == 0x04
+
+    def test_latency_scales_with_length(self):
+        sim = Simulator()
+        transport, _, ctrl_rx = _wired(UartH4Transport, sim, baud_rate=9600)
+        arrivals = []
+        transport.attach_controller(lambda raw: arrivals.append(sim.now))
+        transport.send_from_host(cmd.Reset())  # 4 bytes
+        transport.send_from_host(
+            cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY)
+        )  # 26 bytes
+        sim.run()
+        assert arrivals[0] == pytest.approx(4 * 10 / 9600)
+        assert arrivals[1] > arrivals[0]
+
+    def test_tap_sees_raw_bytes_and_direction(self):
+        sim = Simulator()
+        transport, _, _ = _wired(UartH4Transport, sim)
+        taps = []
+        transport.add_tap(lambda t, d, raw: taps.append((d, raw)))
+        transport.send_from_host(cmd.Reset())
+        sim.run()
+        assert taps[0][0] is Direction.HOST_TO_CONTROLLER
+        assert taps[0][1] == cmd.Reset().to_h4_bytes()
+
+    def test_tap_removal(self):
+        sim = Simulator()
+        transport, _, _ = _wired(UartH4Transport, sim)
+        taps = []
+        tap = lambda t, d, raw: taps.append(raw)  # noqa: E731
+        transport.add_tap(tap)
+        transport.send_from_host(cmd.Reset())
+        transport.remove_tap(tap)
+        transport.send_from_host(cmd.Reset())
+        sim.run()
+        assert len(taps) == 1
+
+    def test_unattached_endpoint_raises(self):
+        sim = Simulator()
+        transport = UartH4Transport(sim)
+        with pytest.raises(TransportError):
+            transport.send_from_host(cmd.Reset())
+
+    def test_invalid_baud_rejected(self):
+        with pytest.raises(TransportError):
+            UartH4Transport(Simulator(), baud_rate=0)
+
+
+class TestUsb:
+    def test_endpoint_routing(self):
+        sim = Simulator()
+        transport, _, _ = _wired(UsbTransport, sim, idle_null_transfers=False)
+        transport.send_from_host(cmd.Reset())
+        transport.send_from_controller(evt.InquiryComplete(status=0))
+        transport.send_from_host(HciAclData(handle=1, data=b"x"))
+        transport.send_from_controller(HciAclData(handle=1, data=b"y"))
+        sim.run()
+        endpoints = [t.endpoint for t in transport.transfers]
+        assert endpoints == [
+            ENDPOINT_CONTROL_OUT,
+            ENDPOINT_INTERRUPT_IN,
+            ENDPOINT_BULK_OUT,
+            ENDPOINT_BULK_IN,
+        ]
+
+    def test_usb_payload_has_no_h4_indicator(self):
+        sim = Simulator()
+        transport, _, _ = _wired(UsbTransport, sim, idle_null_transfers=False)
+        transport.send_from_host(
+            cmd.LinkKeyRequestReply(bd_addr=ADDR, link_key=KEY)
+        )
+        sim.run()
+        # Payload starts directly at the opcode — '0b 04 16'.
+        assert transport.transfers[0].payload[:3] == bytes.fromhex("0b0416")
+
+    def test_idle_null_transfers_appear(self):
+        sim = Simulator()
+        transport, _, _ = _wired(UsbTransport, sim, idle_null_transfers=True)
+        transport.send_from_host(cmd.Reset())
+        sim.run()
+        nulls = [t for t in transport.transfers if len(t.payload) == 0]
+        assert nulls, "expected idle NULL transfers in the capture"
+
+    def test_sniffer_sees_raw_records(self):
+        sim = Simulator()
+        transport, _, _ = _wired(UsbTransport, sim, idle_null_transfers=False)
+        sniffer = UsbSniffer().attach(transport)
+        transport.send_from_host(cmd.Reset())
+        sim.run()
+        stream = sniffer.raw_stream()
+        # record: endpoint (1) + length (2 LE) + payload
+        assert stream[0] == ENDPOINT_CONTROL_OUT
+        assert int.from_bytes(stream[1:3], "little") == 3
+
+    def test_sniffer_only_attaches_to_usb(self):
+        sim = Simulator()
+        uart = UartH4Transport(sim)
+        with pytest.raises(TransportError):
+            UsbSniffer().attach(uart)
+
+    def test_transfer_direction_labels(self):
+        sim = Simulator()
+        transport, _, _ = _wired(UsbTransport, sim, idle_null_transfers=False)
+        transport.send_from_host(cmd.Reset())
+        transport.send_from_controller(evt.InquiryComplete(status=0))
+        sim.run()
+        assert transport.transfers[0].direction == "OUT"
+        assert transport.transfers[1].direction == "IN"
