@@ -6,40 +6,29 @@ controls) and shows (a) a stock attacker stays near 50%, (b) an
 aggressive scanner biases the race but still cannot guarantee it, and
 (c) only page blocking reaches 100% — which is the paper's argument
 for the attack's necessity.
+
+Every trial runs through :func:`run_baseline_trial`, so the win rate
+is also recoverable from the process-wide metrics registry
+(``attack.race_wins / attack.race_attempts``) — asserted below against
+the trial-counted sweep.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.attacks.attacker import Attacker
-from repro.attacks.scenario import build_world
-from repro.devices.catalog import LG_VELVET, NEXUS_5X_A6, NEXUS_5X_A8
+from repro.attacks.baseline import run_baseline_trial
+from repro.devices.catalog import LG_VELVET
+from repro.obs.metrics import get_global_registry
 
 from conftest import TRIALS
 
 
 def race_with_interval(interval_slots: int, seed: int) -> bool:
-    world = build_world(seed=seed)
-    m = world.add_device("M", LG_VELVET)
-    c = world.add_device("C", NEXUS_5X_A8)
-    a = world.add_device("A", NEXUS_5X_A6)
-    m.power_on()
-    c.power_on()
-    a.power_on(connectable=False, discoverable=False)
-    world.run_for(0.5)
-    attacker = Attacker(a)
-    attacker.spoof_device(c)
-    a.controller.page_scan_interval_slots = interval_slots
-    attacker.go_connectable()
-    world.run_for(0.2)
-    op = m.host.gap.connect(c.bd_addr)
-    world.run_for(10.0)
-    if not op.success:
-        return False
-    info = m.host.gap.connections[c.bd_addr]
-    link = m.controller.link_by_handle(info.handle)
-    return link.phys.peer_of(m.controller) is a.controller
+    trial = run_baseline_trial(
+        LG_VELVET, seed=seed, attacker_scan_interval_slots=interval_slots
+    )
+    return trial.attacker_won
 
 
 def run_sweep(trials: int) -> List[Tuple[int, float]]:
@@ -55,6 +44,9 @@ def run_sweep(trials: int) -> List[Tuple[int, float]]:
 
 def test_ablation_page_race(benchmark, save_artifact):
     trials = max(TRIALS // 2, 50)  # below ~50 the binomial noise drowns the shape
+    registry = get_global_registry()
+    attempts_before = registry.counter_value("attack.race_attempts")
+    wins_before = registry.counter_value("attack.race_wins")
     sweep = benchmark.pedantic(run_sweep, args=(trials,), rounds=1, iterations=1)
     lines = [
         f"Page race vs attacker scan interval ({trials} trials each)",
@@ -76,3 +68,11 @@ def test_ablation_page_race(benchmark, save_artifact):
     # asserted at the 2x-faster point where losses are statistically
     # certain.)
     assert rates[0x0400] < 1.0
+
+    # The same experiment read back through the metrics registry: the
+    # benchmark's pedantic mode runs the sweep exactly once, so the
+    # counter deltas must agree with the trial-counted rates.
+    attempts = registry.counter_value("attack.race_attempts") - attempts_before
+    wins = registry.counter_value("attack.race_wins") - wins_before
+    assert attempts == 4 * trials
+    assert wins == sum(rate * trials for _, rate in sweep)

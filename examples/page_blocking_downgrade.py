@@ -12,10 +12,14 @@ NoInputNoOutput, SSP degrades to Just Works.
 Run:  python examples/page_blocking_downgrade.py
 """
 
+import json
+from pathlib import Path
+
 from repro.attacks.baseline import run_baseline_trial
 from repro.attacks.page_blocking import PageBlockingAttack
 from repro.attacks.scenario import build_world, standard_cast
 from repro.devices.catalog import LG_VELVET
+from repro.obs.timeline import export_chrome_trace, render_timeline_table
 from repro.snoop.hcidump import render_dump_table
 
 
@@ -51,6 +55,30 @@ def main() -> None:
         "\nnote the signature: HCI_Connection_Request (we were paged) "
         "followed by our own HCI_Authentication_Requested — connection "
         "responder and pairing initiator at once."
+    )
+
+    print("\n== the same attack as a cross-device timeline ==")
+    print(
+        render_timeline_table(
+            world.obs.timeline.events(
+                categories=["phy-page", "phy-link", "span"]
+            ),
+            max_rows=20,
+        )
+    )
+
+    print("\n== what the metrics saw ==")
+    print(world.obs.metrics.render_table())
+    trace_path = Path("page_blocking_trace.json")
+    trace_path.write_text(
+        json.dumps(
+            export_chrome_trace(world.obs.timeline.events()), indent=1
+        )
+    )
+    print(
+        f"\nfull Chrome trace written to {trace_path} — open it at "
+        "https://ui.perfetto.dev to scrub through the PLOC hold and the "
+        "skipped page."
     )
 
 

@@ -6,17 +6,24 @@ real C and the spoofing A are page-scanning as that address, whichever
 scan window opens first wins — a coin flip governed by scan phase.
 The paper measured 42–60% success over 100 trials per device; this
 module reproduces that experiment.
+
+Every trial reports into the process-wide metrics registry
+(``attack.race_attempts`` / ``attack.race_wins``), so the measured
+win rate can be read back from a metrics snapshot as well as from the
+returned trial objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.types import IoCapability
 from repro.attacks.attacker import Attacker
 from repro.attacks.scenario import build_world
 from repro.devices.catalog import NEXUS_5X_A6, NEXUS_5X_A8
 from repro.devices.device import DeviceSpec
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -32,9 +39,16 @@ def run_baseline_trial(
     seed: int,
     c_spec: DeviceSpec = NEXUS_5X_A8,
     a_spec: DeviceSpec = NEXUS_5X_A6,
+    attacker_scan_interval_slots: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> BaselineMitmTrial:
-    """One independent trial: fresh world, spoof, race, inspect winner."""
-    world = build_world(seed=seed)
+    """One independent trial: fresh world, spoof, race, inspect winner.
+
+    ``attacker_scan_interval_slots`` overrides A's page-scan interval —
+    the only knob a spoofing responder controls in the race (see the
+    page-race ablation benchmark).
+    """
+    world = build_world(seed=seed, registry=registry)
     m = world.add_device("M", m_spec)
     c = world.add_device("C", c_spec)
     a = world.add_device("A", a_spec)
@@ -46,11 +60,18 @@ def run_baseline_trial(
     attacker = Attacker(a)
     attacker.set_io_capability(IoCapability.NO_INPUT_NO_OUTPUT)
     attacker.spoof_device(c)
+    if attacker_scan_interval_slots is not None:
+        a.controller.page_scan_interval_slots = attacker_scan_interval_slots
     attacker.go_connectable()
     world.run_for(0.2)
 
-    connect_op = m.host.gap.connect(c.bd_addr)
-    world.run_for(10.0)
+    metrics = world.obs.metrics
+    metrics.counter("attack.race_attempts").inc()
+
+    with world.obs.span("attack.baseline_race", source="A", seed=seed):
+        connect_op = m.host.gap.connect(c.bd_addr)
+        world.run_for(10.0)
+
     if not connect_op.success:
         return BaselineMitmTrial(connected=False, attacker_won=False)
     info = m.host.gap.connections.get(c.bd_addr)
@@ -58,6 +79,8 @@ def run_baseline_trial(
     attacker_won = (
         link is not None and link.phys.peer_of(m.controller) is a.controller
     )
+    if attacker_won:
+        metrics.counter("attack.race_wins").inc()
     return BaselineMitmTrial(connected=True, attacker_won=attacker_won)
 
 

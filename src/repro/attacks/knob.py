@@ -22,6 +22,7 @@ from repro.core.types import BdAddr
 from repro.attacks.eavesdrop import AirCapture
 from repro.crypto.e0 import e0_encrypt
 from repro.crypto.legacy import reduce_key_entropy
+from repro.obs.metrics import get_global_registry
 
 
 @dataclass(frozen=True)
@@ -69,9 +70,13 @@ def brute_force_low_entropy_session(
             f"brute forcing {entropy_bytes} bytes of entropy is not "
             "feasible (that is the mitigation working)"
         )
+    candidates_metric = get_global_registry().counter(
+        "attack.knob_candidates_tried"
+    )
     tried = 0
     for candidate in range(256 ** entropy_bytes):
         tried += 1
+        candidates_metric.inc()
         kc_prime = reduce_key_entropy(
             candidate.to_bytes(entropy_bytes, "big") + b"\x00" * 15,
             entropy_bytes,

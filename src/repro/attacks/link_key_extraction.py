@@ -103,6 +103,8 @@ class LinkKeyExtractionAttack:
     def run(self, validate: bool = True) -> ExtractionReport:
         """Execute steps 1–7 and report."""
         world = self.world
+        metrics = world.obs.metrics
+        metrics.counter("attack.extraction_attempts").inc()
         ground_truth = self.c.bonded_key_for(self.m.bd_addr)
         if ground_truth is None:
             raise AttackError("precondition failed: C is not bonded with M")
@@ -118,54 +120,67 @@ class LinkKeyExtractionAttack:
             ground_truth_key=ground_truth,
         )
 
-        # Step 1: start recording on C.
-        if channel == "hci_dump":
-            self.c.enable_hci_snoop(su=su_required)
-        else:
-            sniffer = self.c.attach_usb_sniffer(
-                su=self.c.spec.os.startswith("Ubuntu")
+        with world.obs.span(
+            "attack.link_key_extraction", source="A", channel=channel
+        ) as attack_span:
+            # Step 1: start recording on C.
+            if channel == "hci_dump":
+                self.c.enable_hci_snoop(su=su_required)
+            else:
+                sniffer = self.c.attach_usb_sniffer(
+                    su=self.c.spec.os.startswith("Ubuntu")
+                )
+
+            # Step 2: impersonate M (and make sure the real M is absent,
+            # so C's page reaches only the attacker).
+            self.attacker.patch_drop_link_key_requests()
+            self.attacker.spoof_device(self.m)
+            self.attacker.go_connectable()
+            world.set_in_range(self.c, self.m, False)
+            world.run_for(0.5)
+
+            # Steps 3–5: with physical access, make C (re)connect to
+            # "M" — C is the authentication initiator, so its host
+            # serves the key; A's silence kills the link by timeout.
+            with world.obs.span("extraction.stalled_auth", source="C"):
+                reconnect = self.c.host.gap.pair(self.m.bd_addr)
+                world.run_for(self.AUTH_TIMEOUT_WAIT)
+            if not reconnect.done:
+                report.notes.append("authentication never resolved")
+            report.key_survived_on_c = (
+                self.c.bonded_key_for(self.m.bd_addr) == ground_truth
             )
 
-        # Step 2: impersonate M (and make sure the real M is absent,
-        # so C's page reaches only the attacker).
-        self.attacker.patch_drop_link_key_requests()
-        self.attacker.spoof_device(self.m)
-        self.attacker.go_connectable()
-        world.set_in_range(self.c, self.m, False)
-        world.run_for(0.5)
+            # Step 6: extract.
+            with world.obs.span("extraction.scan_capture", source="A"):
+                if channel == "hci_dump":
+                    if self.c.spec.stack_profile.snoop_extractable_without_su:
+                        capture = self.c.pull_bugreport()
+                    else:
+                        capture = self.c.read_snoop_log(su=True)
+                    report.findings = extract_link_keys(capture)
+                else:
+                    report.findings = extract_link_keys_from_usb(sniffer)
+            for finding in report.findings:
+                if finding.peer == self.m.bd_addr:
+                    report.extracted_key = finding.link_key
+            if report.extracted_key is None:
+                report.notes.append("no key found for M in the capture")
+                attack_span.set_attr("outcome", "no_key_found")
+                return report
+            if report.extraction_success:
+                metrics.counter("attack.extraction_success").inc()
+            attack_span.set_attr(
+                "outcome",
+                "extracted" if report.extraction_success else "wrong_key",
+            )
 
-        # Step 3: with physical access, make C (re)connect to "M" —
-        # C is the authentication initiator, so its host serves the key.
-        reconnect = self.c.host.gap.pair(self.m.bd_addr)
-
-        # Steps 4–5: the key is logged; A's silence kills the link by
-        # timeout.
-        world.run_for(self.AUTH_TIMEOUT_WAIT)
-        if not reconnect.done:
-            report.notes.append("authentication never resolved")
-        report.key_survived_on_c = (
-            self.c.bonded_key_for(self.m.bd_addr) == ground_truth
-        )
-
-        # Step 6: extract.
-        if channel == "hci_dump":
-            if self.c.spec.stack_profile.snoop_extractable_without_su:
-                capture = self.c.pull_bugreport()
-            else:
-                capture = self.c.read_snoop_log(su=True)
-            report.findings = extract_link_keys(capture)
-        else:
-            report.findings = extract_link_keys_from_usb(sniffer)
-        for finding in report.findings:
-            if finding.peer == self.m.bd_addr:
-                report.extracted_key = finding.link_key
-        if report.extracted_key is None:
-            report.notes.append("no key found for M in the capture")
-            return report
-
-        # Step 7: impersonate C toward M and validate over PAN.
-        if validate:
-            report.validated_against_m = self._validate(report.extracted_key)
+            # Step 7: impersonate C toward M and validate over PAN.
+            if validate:
+                with world.obs.span("extraction.validate_pan", source="A"):
+                    report.validated_against_m = self._validate(
+                        report.extracted_key
+                    )
         return report
 
     def _validate(self, key: LinkKey) -> bool:

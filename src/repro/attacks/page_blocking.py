@@ -75,6 +75,8 @@ class PageBlockingAttack:
     ) -> PageBlockingReport:
         """Execute the attack; ``pairing_delay`` is when M's user acts."""
         world = self.world
+        metrics = world.obs.metrics
+        metrics.counter("attack.page_block_attempts").inc()
         report = PageBlockingReport(
             m_device=self.m.spec.marketing_name, m_os=self.m.spec.os
         )
@@ -83,38 +85,46 @@ class PageBlockingAttack:
             m_dump = HciDump(name="M-dump").attach(self.m.transport)
             report.m_dump = m_dump
 
-        # Steps 1-2: downgrade posture + identity theft.
-        self.attacker.set_io_capability(IoCapability.NO_INPUT_NO_OUTPUT)
-        self.attacker.spoof_device(self.c)
+        with world.obs.span(
+            "attack.page_blocking", source="A", victim=self.m.name
+        ) as attack_span:
+            # Steps 1-2: downgrade posture + identity theft.
+            self.attacker.set_io_capability(IoCapability.NO_INPUT_NO_OUTPUT)
+            self.attacker.spoof_device(self.c)
 
-        # Step 3: A initiates the connection to M, then freezes its own
-        # host — the PLOC state.
-        self.attacker.device.host.gap.connect(self.m.bd_addr)
-        self.attacker.enter_ploc(self.ploc_hold_seconds)
+            # Step 3: A initiates the connection to M, then freezes its
+            # own host — the PLOC state.
+            self.attacker.device.host.gap.connect(self.m.bd_addr)
+            self.attacker.enter_ploc(self.ploc_hold_seconds)
 
-        # Steps 4-5: M's user discovers devices (the real C responds).
-        if run_discovery:
-            world.simulator.schedule(
-                1.0, lambda: self.m.host.gap.start_discovery(inquiry_length=2)
-            )
+            # Steps 4-5: M's user discovers devices (the real C responds).
+            if run_discovery:
+                world.simulator.schedule(
+                    1.0,
+                    lambda: self.m.host.gap.start_discovery(inquiry_length=2),
+                )
 
-        # Step 6: M's user initiates pairing with C.
-        pair_holder = {}
+            # Step 6: M's user initiates pairing with C.
+            pair_holder = {}
 
-        def user_pairs() -> None:
-            pair_holder["op"] = self.m.host.gap.pair(self.c.bd_addr)
+            def user_pairs() -> None:
+                pair_holder["op"] = self.m.host.gap.pair(self.c.bd_addr)
 
-        world.simulator.schedule(pairing_delay, user_pairs)
-        world.run_for(self.ploc_hold_seconds + pairing_delay + 20.0)
+            world.simulator.schedule(pairing_delay, user_pairs)
+            world.run_for(self.ploc_hold_seconds + pairing_delay + 20.0)
 
         pair_op = pair_holder.get("op")
         if pair_op is None or not pair_op.done:
             report.notes.append("pairing never completed")
+            attack_span.set_attr("outcome", "pairing_incomplete")
             return report
 
         # Whose physical link did M's pairing ride on?
         report.mitm_connection = self._m_linked_to_attacker()
         report.paired = pair_op.success
+        attack_span.set_attr("outcome", "mitm" if report.mitm_connection else "lost")
+        if report.mitm_connection:
+            metrics.counter("attack.page_block_success").inc()
 
         key_record = self.m.host.security.bond_for(self.c.bd_addr)
         if key_record is not None:

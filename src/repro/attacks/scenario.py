@@ -20,6 +20,8 @@ from repro.devices.catalog import (
     build_device,
 )
 from repro.devices.device import Device, DeviceSpec
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
 from repro.phy.medium import RadioMedium
 from repro.sim.eventloop import Simulator
 from repro.sim.rng import RngRegistry
@@ -34,6 +36,7 @@ class World:
     rng: RngRegistry
     medium: RadioMedium
     tracer: Tracer
+    obs: Observability
     devices: Dict[str, Device] = field(default_factory=dict)
 
     def add_device(
@@ -47,6 +50,7 @@ class World:
             name=role,
             bd_addr=bd_addr,
             tracer=self.tracer,
+            obs=self.obs,
         )
         self.devices[role] = device
         return device
@@ -58,15 +62,34 @@ class World:
         self.medium.set_in_range(a.controller, b.controller, in_range)
 
 
-def build_world(seed: int = 0) -> World:
-    """An empty world with a seeded RNG."""
+def build_world(
+    seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+    max_trace_records: Optional[int] = None,
+) -> World:
+    """An empty world with a seeded RNG.
+
+    ``registry`` defaults to the process-wide metrics registry so that
+    counters aggregate across trial loops; pass an isolated
+    :class:`MetricsRegistry` for per-run deterministic snapshots.
+    ``max_trace_records`` bounds the shared tracer (ring-buffer mode)
+    for multi-hundred-trial baseline runs.
+    """
     simulator = Simulator()
     rng = RngRegistry(seed)
+    tracer = Tracer(max_records=max_trace_records)
+    obs = Observability(
+        clock=lambda: simulator.now, registry=registry, tracer=tracer
+    )
+    simulator.metrics = obs.metrics
     return World(
         simulator=simulator,
         rng=rng,
-        medium=RadioMedium(simulator, rng),
-        tracer=Tracer(),
+        medium=RadioMedium(
+            simulator, rng, tracer=tracer, metrics=obs.metrics
+        ),
+        tracer=tracer,
+        obs=obs,
     )
 
 

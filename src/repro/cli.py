@@ -14,6 +14,9 @@ Android bug report) and on raw USB analyzer streams:
 * ``blap iocap [--version 4.2|5.0]`` — print the Fig. 7 matrix.
 * ``blap demo {extraction,page-blocking,exfiltration}`` — run a full
   simulated attack and narrate the outcome.
+* ``blap timeline {extraction,page-blocking,exfiltration}`` — run a
+  simulated attack and export the merged cross-device timeline as a
+  table, JSONL, or a Chrome trace (open in https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -86,45 +89,42 @@ def _cmd_iocap(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_extraction(seed: int) -> int:
+def _run_extraction(seed: int, registry=None):
+    """Run the §IV extraction scenario; return ``(world, report)``."""
     from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
     from repro.attacks.scenario import bond, build_world, standard_cast
 
-    world = build_world(seed=seed)
+    world = build_world(seed=seed, registry=registry)
     m, c, a = standard_cast(world)
     bond(world, c, m)
     report = LinkKeyExtractionAttack(world, a, c, m).run()
-    print(f"channel       : {report.extraction_channel}")
-    print(f"su required   : {report.su_required}")
-    print(f"extracted key : {report.extracted_key}")
-    print(f"matches truth : {report.extraction_success}")
-    print(f"validated     : {report.validated_against_m}")
-    return 0 if report.vulnerable else 1
+    return world, report
 
 
-def _demo_page_blocking(seed: int) -> int:
+def _run_page_blocking(seed: int, registry=None):
+    """Run the §V page blocking scenario; return ``(world, report)``."""
     from repro.attacks.page_blocking import PageBlockingAttack
     from repro.attacks.scenario import build_world, standard_cast
-    from repro.snoop.hcidump import render_dump_table
 
-    world = build_world(seed=seed)
+    world = build_world(seed=seed, registry=registry)
     m, c, a = standard_cast(world)
     report = PageBlockingAttack(world, a, c, m).run()
-    print(f"MITM connection : {report.mitm_connection}")
-    print(f"paired          : {report.paired}")
-    print(f"just works      : {report.downgraded_to_just_works}")
-    print(render_dump_table(report.m_dump.entries(), max_rows=14))
-    return 0 if report.success else 1
+    return world, report
 
 
-def _demo_exfiltration(seed: int) -> int:
+def _run_exfiltration(seed: int, registry=None):
+    """Run extraction + PAN exfiltration; return ``(world, result)``.
+
+    ``result`` is the :class:`~repro.attacks.exfiltration.ExfilReport`,
+    or ``None`` when the prerequisite key extraction failed.
+    """
     from repro.attacks.exfiltration import exfiltrate
     from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
     from repro.attacks.scenario import bond, build_world, standard_cast
     from repro.host.map_profile import Message
     from repro.host.pbap import Contact
 
-    world = build_world(seed=seed)
+    world = build_world(seed=seed, registry=registry)
     m, c, a = standard_cast(world)
     m.host.pbap.load_phonebook(
         [Contact("Alice Example", "+1-555-0100")]
@@ -133,8 +133,7 @@ def _demo_exfiltration(seed: int) -> int:
     bond(world, c, m)
     report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
     if not report.extraction_success:
-        print("extraction failed")
-        return 1
+        return world, None
     world.set_in_range(c, m, False)
     a.host.drop_link_key_requests = False
     c.host.gap.set_scan_mode(connectable=False, discoverable=False)
@@ -147,6 +146,42 @@ def _demo_exfiltration(seed: int) -> int:
         trusted_c_name=c.controller.local_name,
         link_key=report.extracted_key,
     )
+    return world, exfil
+
+
+_SCENARIO_RUNNERS = {
+    "extraction": _run_extraction,
+    "page-blocking": _run_page_blocking,
+    "exfiltration": _run_exfiltration,
+}
+
+
+def _demo_extraction(seed: int) -> int:
+    _, report = _run_extraction(seed)
+    print(f"channel       : {report.extraction_channel}")
+    print(f"su required   : {report.su_required}")
+    print(f"extracted key : {report.extracted_key}")
+    print(f"matches truth : {report.extraction_success}")
+    print(f"validated     : {report.validated_against_m}")
+    return 0 if report.vulnerable else 1
+
+
+def _demo_page_blocking(seed: int) -> int:
+    from repro.snoop.hcidump import render_dump_table
+
+    _, report = _run_page_blocking(seed)
+    print(f"MITM connection : {report.mitm_connection}")
+    print(f"paired          : {report.paired}")
+    print(f"just works      : {report.downgraded_to_just_works}")
+    print(render_dump_table(report.m_dump.entries(), max_rows=14))
+    return 0 if report.success else 1
+
+
+def _demo_exfiltration(seed: int) -> int:
+    _, exfil = _run_exfiltration(seed)
+    if exfil is None:
+        print("extraction failed")
+        return 1
     print(f"phonebook entries stolen: {len(exfil.phonebook)}")
     for contact in exfil.phonebook:
         print(f"  {contact.name}: {contact.phone}")
@@ -164,6 +199,41 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         "exfiltration": _demo_exfiltration,
     }
     return runners[args.scenario](args.seed)
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeline import (
+        export_chrome_trace,
+        export_jsonl,
+        render_timeline_table,
+    )
+
+    # An isolated registry keeps the run deterministic per seed and
+    # independent of anything else the process has been counting.
+    world, _ = _SCENARIO_RUNNERS[args.scenario](
+        args.seed, registry=MetricsRegistry()
+    )
+    events = world.obs.timeline.events(
+        sources=args.source or None, categories=args.category or None
+    )
+    if args.limit is not None:
+        events = events[: args.limit]
+    if args.format == "table":
+        text = render_timeline_table(events)
+    elif args.format == "jsonl":
+        text = export_jsonl(events)
+    else:  # chrome
+        text = json.dumps(export_chrome_trace(events), indent=1)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(events)} events to {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,6 +284,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--seed", type=int, default=1)
     demo.set_defaults(func=_cmd_demo)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="run a simulated attack and export the merged timeline",
+    )
+    timeline.add_argument(
+        "scenario", choices=["extraction", "page-blocking", "exfiltration"]
+    )
+    timeline.add_argument("--seed", type=int, default=1)
+    timeline.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "jsonl", "chrome"],
+        help="table for terminals, jsonl for tooling, chrome for Perfetto",
+    )
+    timeline.add_argument("-o", "--output", default=None, help="output file")
+    timeline.add_argument(
+        "--limit", type=int, default=None, help="cap the number of events"
+    )
+    timeline.add_argument(
+        "--source",
+        action="append",
+        default=None,
+        help="only these sources (repeatable; e.g. phy, M, A)",
+    )
+    timeline.add_argument(
+        "--category",
+        action="append",
+        default=None,
+        help="only these categories (repeatable; e.g. phy-page, span)",
+    )
+    timeline.set_defaults(func=_cmd_timeline)
 
     return parser
 

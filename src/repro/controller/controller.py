@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.core.association import (
     passkey_displayer_is_initiator,
@@ -79,6 +79,10 @@ from repro.sim.eventloop import Event, Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 from repro.transport.base import HciTransport
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.obs.spans import Span
 
 _ZERO16 = b"\x00" * 16
 
@@ -229,6 +233,7 @@ class Controller:
         class_of_device: int = 0x5A020C,
         secure_connections: bool = True,
         tracer: Optional[Tracer] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.simulator = simulator
         self.medium = medium
@@ -238,6 +243,19 @@ class Controller:
         self.class_of_device = class_of_device
         self.secure_connections = secure_connections
         self.tracer = tracer if tracer is not None else Tracer()
+        self.obs = obs
+        if obs is not None:
+            metrics = obs.metrics
+        else:
+            from repro.obs.metrics import get_global_registry
+
+            metrics = get_global_registry()
+        self._m_events_emitted = metrics.counter("hci.events_emitted")
+        self._m_commands = metrics.counter("hci.commands_dispatched")
+        self._m_lmp_tx = metrics.counter("lmp.pdus_sent")
+        self._m_lmp_rx = metrics.counter("lmp.pdus_received")
+        self._m_auth_rounds = metrics.counter("lmp.auth_rounds")
+        self._page_spans: Dict[BdAddr, "Span"] = {}
         self._rng = rng.stream(f"controller:{name}")
 
         self.local_name = name
@@ -328,6 +346,7 @@ class Controller:
             raise HciError(f"{self.name}: host sent unexpected packet {packet!r}")
 
     def _send_event(self, event: HciEvent) -> None:
+        self._m_events_emitted.inc()
         self.tracer.emit(
             self.simulator.now, self.name, "hci-event", event.display_name
         )
@@ -352,6 +371,7 @@ class Controller:
     # ------------------------------------------------------- command dispatch
 
     def _dispatch_command(self, command: HciCommand) -> None:
+        self._m_commands.inc()
         self.tracer.emit(
             self.simulator.now, self.name, "hci-cmd", command.display_name
         )
@@ -493,6 +513,10 @@ class Controller:
             return
         self._command_status(command.opcode)
         self._pending_create[target] = True
+        if self.obs is not None:
+            self._page_spans[target] = self.obs.spans.begin(
+                "page_procedure", source=self.name, target=str(target)
+            )
         self.medium.page(
             self,
             target,
@@ -500,9 +524,19 @@ class Controller:
             lambda link: self._on_page_result(target, link),
         )
 
+    def _finish_page_span(self, target: BdAddr, outcome: str) -> None:
+        span = self._page_spans.pop(target, None)
+        if span is not None and self.obs is not None:
+            span.set_attr("outcome", outcome)
+            self.obs.spans.finish(span)
+
     def _on_page_result(self, target: BdAddr, phys: Optional[PhysicalLink]) -> None:
         if not self._pending_create.pop(target, False):
+            self._finish_page_span(target, "cancelled")
             return  # cancelled
+        self._finish_page_span(
+            target, "timeout" if phys is None else "connected"
+        )
         if phys is None:
             self._send_event(
                 evt.ConnectionComplete(
@@ -669,6 +703,7 @@ class Controller:
         link.auth.timer = self.simulator.schedule(
             self.LMP_RESPONSE_TIMEOUT, self._lmp_response_timeout, link
         )
+        self._m_auth_rounds.inc()
         if secure:
             self._send_lmp(link, lmp.LmpAuRandSC(au_rand))
         else:
@@ -829,6 +864,7 @@ class Controller:
             link.auth.timer = self.simulator.schedule(
                 self.LMP_RESPONSE_TIMEOUT, self._lmp_response_timeout, link
             )
+            self._m_auth_rounds.inc()
             self._send_lmp(link, lmp.LmpAuRand(au_rand))
 
     def _legacy_finalize(self, link: AclLink, notify_peer: bool) -> None:
@@ -1226,6 +1262,7 @@ class Controller:
 
     def _send_lmp(self, link: AclLink, pdu: lmp.LmpPdu) -> None:
         link.last_activity = self.simulator.now
+        self._m_lmp_tx.inc()
         self.tracer.emit(self.simulator.now, self.name, "lmp-tx", pdu.name)
         self.medium.send_frame(link.phys, self, AirFrame(kind="lmp", payload=pdu))
 
@@ -1239,6 +1276,7 @@ class Controller:
             self._handle_acl_from_air(link, frame)
             return
         pdu = frame.payload
+        self._m_lmp_rx.inc()
         self.tracer.emit(self.simulator.now, self.name, "lmp-rx", pdu.name)
         handler = self._LMP_HANDLERS.get(type(pdu))
         if handler is not None:

@@ -9,7 +9,10 @@ version matters because it selects the Fig. 7 popup policy.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 from repro.core.types import BdAddr, BluetoothVersion, ClassOfDevice, IoCapability
 from repro.devices.device import Device, DeviceSpec
@@ -183,6 +186,7 @@ def build_device(
     name: str,
     bd_addr: Optional[BdAddr] = None,
     tracer: Optional[Tracer] = None,
+    obs: Optional["Observability"] = None,
 ) -> Device:
     """Instantiate a catalog device on a simulation."""
     return Device(
@@ -193,4 +197,5 @@ def build_device(
         name=name,
         bd_addr=bd_addr or deterministic_addr(name),
         tracer=tracer,
+        obs=obs,
     )

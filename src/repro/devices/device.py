@@ -19,7 +19,10 @@ The device exposes exactly the handles the paper's attacker uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 from repro.core.errors import AttackError
 from repro.core.filesystem import VirtualFilesystem
@@ -90,12 +93,14 @@ class Device:
         name: str,
         bd_addr: BdAddr,
         tracer: Optional[Tracer] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.simulator = simulator
         self.medium = medium
         self.spec = spec
         self.name = name
         self.tracer = tracer if tracer is not None else Tracer()
+        self.obs = obs
         self.filesystem = VirtualFilesystem()
 
         self.transport: HciTransport
@@ -130,6 +135,7 @@ class Device:
             user=self.user,
             store=store,
             tracer=self.tracer,
+            obs=obs,
         )
         self.controller = Controller(
             simulator=simulator,
@@ -141,6 +147,7 @@ class Device:
             class_of_device=spec.class_of_device,
             secure_connections=spec.bt_version.numeric >= 4.1,
             tracer=self.tracer,
+            obs=obs,
         )
         self.filesystem.write_text(_BDADDR_PATH, str(bd_addr), requires_su=True)
         self._hci_dump: Optional[HciDump] = None

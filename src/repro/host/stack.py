@@ -19,7 +19,7 @@ Two deliberately exposed hooks model the paper's source patches:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.core.types import (
     AuthenticationRequirements,
@@ -51,6 +51,10 @@ from repro.host.ui import UserModel
 from repro.sim.eventloop import Simulator
 from repro.sim.trace import Tracer
 from repro.transport.base import HciTransport
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.obs.spans import Span
 
 
 @dataclass(frozen=True)
@@ -127,6 +131,7 @@ class HostStack:
         user: Optional[UserModel] = None,
         store: Optional[BondingStore] = None,
         tracer: Optional[Tracer] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.simulator = simulator
         self.transport = transport
@@ -138,6 +143,17 @@ class HostStack:
         self.user = user or UserModel()
         self.store = store
         self.tracer = tracer if tracer is not None else Tracer()
+        self.obs = obs
+        if obs is not None:
+            metrics = obs.metrics
+        else:
+            from repro.obs.metrics import get_global_registry
+
+            metrics = get_global_registry()
+        self._m_events_processed = metrics.counter("host.events_processed")
+        self._m_commands_sent = metrics.counter("host.commands_sent")
+        self._m_events_held = metrics.counter("host.events_held")
+        self._ploc_span: Optional["Span"] = None
 
         #: host-level Secure Simple Pairing support; a pre-2.1 stack
         #: sets this False and pairs with the legacy PIN procedure
@@ -167,6 +183,7 @@ class HostStack:
     # -------------------------------------------------------------- sending
 
     def send_command(self, command: HciCommand) -> None:
+        self._m_commands_sent.inc()
         self.tracer.emit(
             self.simulator.now, self.name, "host-cmd", command.display_name
         )
@@ -201,6 +218,10 @@ class HostStack:
             "ploc",
             f"postponing HCI event processing for {duration:.1f}s",
         )
+        if self.obs is not None and self._ploc_span is None:
+            self._ploc_span = self.obs.spans.begin(
+                "ploc_hold", source=self.name, duration_s=duration
+            )
         self.simulator.schedule(duration, self._flush_held)
 
     @property
@@ -210,7 +231,13 @@ class HostStack:
         )
 
     def _flush_held(self) -> None:
+        if self.holding:
+            return  # a later hold_events() call extended the window
         self._hold_until = None
+        if self._ploc_span is not None and self.obs is not None:
+            self._ploc_span.set_attr("events_held", len(self._held))
+            self.obs.spans.finish(self._ploc_span)
+            self._ploc_span = None
         held, self._held = self._held, []
         for raw in held:
             self._process(raw)
@@ -219,6 +246,7 @@ class HostStack:
 
     def _on_bytes(self, raw: bytes) -> None:
         if self.holding:
+            self._m_events_held.inc()
             self._held.append(raw)
             return
         self._process(raw)
@@ -227,6 +255,7 @@ class HostStack:
         """The btu_hcif_process_event analogue."""
         packet = parse_packet(raw[0], raw[1:])
         self.events_processed += 1
+        self._m_events_processed.inc()
         if isinstance(packet, HciAclData):
             self.l2cap.on_acl(packet)
             return

@@ -1,0 +1,90 @@
+"""Unified observability: metrics, spans, and cross-device timelines.
+
+The simulation's evaluation hinges on timing-sensitive behaviour — the
+page-response race, PLOC supervision timeouts, HCI link-key flows — so
+every layer reports into one place:
+
+* :class:`MetricsRegistry` — process-wide counters, gauges and
+  fixed-bucket histograms, cheap enough to stay on in benchmarks
+  (``phy.page_response_latency``, ``hci.events_emitted``,
+  ``attack.race_wins`` ...).
+* :class:`SpanTracker` — nestable spans keyed to *simulated* time, so
+  one page attempt is a single correlated tree across
+  phy → controller → HCI → host rather than four disjoint logs.
+* :class:`Timeline` — merges every per-device :class:`~repro.sim.trace.Tracer`
+  stream plus finished spans into one globally-ordered sequence, with
+  JSONL and Chrome trace-event exporters (Perfetto / about:tracing) on
+  a btsnoop-aligned clock.
+
+:class:`Observability` bundles the three for one simulation world;
+``World.obs`` (see :mod:`repro.attacks.scenario`) is the usual handle::
+
+    with world.obs.span("page_procedure", source="A"):
+        ...
+    world.obs.metrics.counter("attack.race_wins").inc()
+    print(render_timeline_table(world.obs.timeline.events()))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_global_registry,
+)
+from repro.obs.spans import Span, SpanTracker
+from repro.obs.timeline import (
+    Timeline,
+    TimelineEvent,
+    export_chrome_trace,
+    export_jsonl,
+    render_timeline_table,
+)
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanTracker",
+    "Timeline",
+    "TimelineEvent",
+    "export_chrome_trace",
+    "export_jsonl",
+    "get_global_registry",
+    "render_timeline_table",
+]
+
+
+class Observability:
+    """One world's observability bundle: metrics + spans + timeline.
+
+    ``registry`` defaults to the process-wide registry so that metrics
+    aggregate across many short-lived worlds (the Table II trial loops);
+    pass an isolated :class:`MetricsRegistry` for deterministic
+    per-run snapshots.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.metrics = registry if registry is not None else get_global_registry()
+        self.spans = SpanTracker(clock or (lambda: 0.0))
+        self.timeline = Timeline()
+        self.timeline.add_span_tracker(self.spans)
+        if tracer is not None:
+            self.timeline.add_tracer(tracer)
+
+    def span(self, name: str, source: str = "", **attrs: Any):
+        """Shorthand for ``self.spans.span(...)`` (a context manager)."""
+        return self.spans.span(name, source=source, **attrs)

@@ -1,0 +1,254 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+The design borrows the Prometheus client-library shape (named
+instruments handed out by a registry, fixed-bucket histograms) but is
+deliberately minimal: no labels on the hot path, no locks — the
+simulator is single-threaded — and instruments are plain attribute
+updates, so instrumentation can stay enabled in benchmarks.
+
+Hot paths should cache the instrument object once
+(``self._m_frames = registry.counter("phy.frames_sent")``) instead of
+looking it up per call.  A disabled registry hands out shared null
+instruments whose methods are no-ops, so gated code pays one method
+call at most; callers that poll ``registry.enabled`` themselves can
+skip even that.
+
+Snapshots are deterministic: instruments are reported in sorted name
+order, so two seeded runs that perform the same work produce
+byte-identical counter snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+#: default histogram upper bounds (seconds) — spans page-response
+#: latencies (ms..s) up to supervision timeouts.
+DEFAULT_BUCKETS: Sequence[float] = (
+    0.0001,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, live links)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.max_value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style buckets on export)."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"{name}: histogram buckets must be sorted")
+        self.name = name
+        self.bounds: List[float] = list(buckets)
+        # one slot per bound plus the +Inf overflow slot
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return float("inf")
+        return float("inf")
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:  # noqa: ARG002
+        pass
+
+    def inc(self, amount: Number = 1) -> None:  # noqa: ARG002
+        pass
+
+    def dec(self, amount: Number = 1) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: Number) -> None:  # noqa: ARG002
+        pass
+
+
+class MetricsRegistry:
+    """Hands out named instruments and renders deterministic snapshots."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._null_counter = _NullCounter("<disabled>")
+        self._null_gauge = _NullGauge("<disabled>")
+        self._null_histogram = _NullHistogram("<disabled>")
+
+    # ------------------------------------------------------------ instruments
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return self._null_counter
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return self._null_gauge
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return self._null_histogram
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    # -------------------------------------------------------------- reporting
+
+    def counter_value(self, name: str) -> Number:
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instrument state, sorted by name (deterministic)."""
+        histograms = {}
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            buckets = {
+                f"{bound:g}": count
+                for bound, count in zip(hist.bounds, hist.bucket_counts)
+            }
+            buckets["+Inf"] = hist.bucket_counts[-1]
+            histograms[name] = {
+                "count": hist.count,
+                "sum": hist.sum,
+                "buckets": buckets,
+            }
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": histograms,
+        }
+
+    def render_table(self) -> str:
+        """Plain-text snapshot for CLI / example output."""
+        snap = self.snapshot()
+        lines = [f"{'metric':<36} {'value':>14}"]
+        lines.append("-" * len(lines[0]))
+        for name, value in snap["counters"].items():
+            lines.append(f"{name:<36} {value:>14}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name + ' (gauge)':<36} {value:>14g}")
+        for name, data in snap["histograms"].items():
+            lines.append(
+                f"{name + ' (hist)':<36} {data['count']:>8} obs"
+                f"  sum={data['sum']:.6g}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; between benchmark sections)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: the process-wide default registry — aggregates across all the
+#: short-lived worlds a trial loop creates.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_global_registry() -> MetricsRegistry:
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,131 @@
+"""Span-based tracing keyed to simulated time.
+
+A span covers one logical operation — a page procedure, an LMP
+authentication, a whole attack run — and spans nest: the span opened
+inside ``with tracker.span("attack.page_blocking")`` becomes the
+parent of any span opened before it closes, across layer boundaries.
+One page attempt is therefore a single correlated tree rather than
+four disjoint per-layer trace logs.
+
+Two APIs:
+
+* ``with tracker.span(name, source=..., **attrs):`` — for code that
+  brackets the operation syntactically (attack drivers, CLI).
+* ``span = tracker.begin(name, ...); ... tracker.finish(span)`` — for
+  split-phase operations that start in one callback and end in
+  another (the controller's page procedure).  Detached spans take the
+  current stack top as parent but never sit on the stack themselves,
+  so out-of-order completion cannot corrupt nesting.
+
+Span times come from the tracker's clock — the simulator — so spans
+line up exactly with trace records and btsnoop captures.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.trace import next_sequence
+
+
+@dataclass
+class Span:
+    """One timed operation; ``end`` is None while the span is open."""
+
+    name: str
+    start: float
+    seq: int
+    source: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+    parent_seq: Optional[int] = None
+    depth: int = 0
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Annotate an open span (e.g. record the page outcome)."""
+        self.attrs[key] = value
+
+    def __str__(self) -> str:
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return f"Span({self.name}, {self.start:.6f}..{end}, src={self.source})"
+
+
+class SpanTracker:
+    """Records spans against a clock; owns the nesting stack."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self.spans: List[Span] = []  # in start order
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------ scoped API
+
+    @contextmanager
+    def span(
+        self, name: str, source: str = "", **attrs: Any
+    ) -> Iterator[Span]:
+        entry = self._open(name, source, attrs)
+        self._stack.append(entry)
+        try:
+            yield entry
+        finally:
+            self._stack.pop()
+            entry.end = self.clock()
+
+    # ------------------------------------------------------- split-phase API
+
+    def begin(self, name: str, source: str = "", **attrs: Any) -> Span:
+        """Open a detached span; close it later with :meth:`finish`."""
+        return self._open(name, source, attrs)
+
+    def finish(self, span: Span) -> None:
+        if span.end is None:
+            span.end = self.clock()
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def finished_spans(self) -> List[Span]:
+        return [span for span in self.spans if span.finished]
+
+    def by_name(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def roots(self) -> List[Span]:
+        return [span for span in self.spans if span.parent_seq is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_seq == span.seq]
+
+    def clear(self) -> None:
+        """Drop finished history (open spans on the stack survive)."""
+        self.spans = [span for span in self.spans if not span.finished]
+
+    def _open(self, name: str, source: str, attrs: Dict[str, Any]) -> Span:
+        parent = self.current
+        entry = Span(
+            name=name,
+            start=self.clock(),
+            seq=next_sequence(),
+            source=source,
+            attrs=dict(attrs),
+            parent_seq=parent.seq if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+        )
+        self.spans.append(entry)
+        return entry

@@ -1,0 +1,223 @@
+"""Cross-device timeline: merge trace streams + spans, export them.
+
+The correlator turns any number of per-device :class:`Tracer` streams
+and a :class:`SpanTracker` into one globally-ordered event sequence.
+Ordering is ``(time, seq)`` — exactly the event loop's tie-breaking
+rule — so the merge is stable and deterministic per seed.
+
+Exporters:
+
+* :func:`export_jsonl` — one JSON object per line.  Each line carries
+  both the simulated timestamp and a btsnoop-aligned microsecond
+  timestamp (same odd 0-AD epoch as :mod:`repro.snoop.btsnoop`), so an
+  exported timeline lines up row-for-row with a ``repro.snoop``
+  capture of the same run.
+* :func:`export_chrome_trace` — the Chrome trace-event JSON format,
+  loadable in Perfetto (https://ui.perfetto.dev) or about:tracing.
+  Spans become complete (``"X"``) events with durations; trace records
+  become instant (``"i"``) events; each source gets a pid plus a
+  process-name metadata record.
+* :func:`render_timeline_table` — plain text for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.spans import Span, SpanTracker
+from repro.sim.trace import Tracer
+from repro.snoop.btsnoop import EPOCH_DELTA_US
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One merged timeline entry (a trace record or a finished span)."""
+
+    time: float
+    seq: int
+    source: str
+    category: str
+    message: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+    #: set for span events; None for instantaneous trace records
+    duration: Optional[float] = None
+
+    @property
+    def kind(self) -> str:
+        return "span" if self.duration is not None else "trace"
+
+
+class Timeline:
+    """Correlates registered streams into one ordered event sequence."""
+
+    def __init__(self) -> None:
+        self._tracers: List[Tracer] = []
+        self._span_trackers: List[SpanTracker] = []
+        self._extra: List[TimelineEvent] = []
+
+    # ---------------------------------------------------------- registration
+
+    def add_tracer(self, tracer: Tracer) -> "Timeline":
+        if tracer not in self._tracers:
+            self._tracers.append(tracer)
+        return self
+
+    def add_span_tracker(self, tracker: SpanTracker) -> "Timeline":
+        if tracker not in self._span_trackers:
+            self._span_trackers.append(tracker)
+        return self
+
+    def add_event(self, event: TimelineEvent) -> "Timeline":
+        self._extra.append(event)
+        return self
+
+    # --------------------------------------------------------------- merging
+
+    def events(
+        self,
+        sources: Optional[Iterable[str]] = None,
+        categories: Optional[Iterable[str]] = None,
+    ) -> List[TimelineEvent]:
+        """The merged, globally-ordered sequence (optionally filtered)."""
+        merged: List[TimelineEvent] = list(self._extra)
+        for tracer in self._tracers:
+            for record in tracer.records:
+                merged.append(
+                    TimelineEvent(
+                        time=record.time,
+                        seq=record.seq,
+                        source=record.source,
+                        category=record.category,
+                        message=record.message,
+                        detail=record.detail,
+                    )
+                )
+        for tracker in self._span_trackers:
+            for span in tracker.finished_spans():
+                merged.append(_span_event(span))
+        if sources is not None:
+            wanted_sources = set(sources)
+            merged = [e for e in merged if e.source in wanted_sources]
+        if categories is not None:
+            wanted_categories = set(categories)
+            merged = [e for e in merged if e.category in wanted_categories]
+        merged.sort(key=lambda event: (event.time, event.seq))
+        return merged
+
+
+def _span_event(span: Span) -> TimelineEvent:
+    return TimelineEvent(
+        time=span.start,
+        seq=span.seq,
+        source=span.source or "span",
+        category="span",
+        message=span.name,
+        detail=dict(span.attrs),
+        duration=span.duration,
+    )
+
+
+# ------------------------------------------------------------------ exporters
+
+
+def btsnoop_timestamp_us(time_s: float) -> int:
+    """Simulated seconds → btsnoop's microseconds-since-0-AD clock."""
+    return int(time_s * 1_000_000) + EPOCH_DELTA_US
+
+
+def export_jsonl(events: Iterable[TimelineEvent]) -> str:
+    """One compact JSON object per event, in timeline order."""
+    lines = []
+    for event in events:
+        payload: Dict[str, Any] = {
+            "t": round(event.time, 9),
+            "btsnoop_us": btsnoop_timestamp_us(event.time),
+            "seq": event.seq,
+            "source": event.source,
+            "category": event.category,
+            "message": event.message,
+        }
+        if event.duration is not None:
+            payload["duration"] = round(event.duration, 9)
+        if event.detail:
+            payload["detail"] = {k: repr(v) for k, v in event.detail.items()}
+        lines.append(json.dumps(payload, sort_keys=True))
+    return "\n".join(lines)
+
+
+def export_chrome_trace(events: Iterable[TimelineEvent]) -> Dict[str, Any]:
+    """Chrome trace-event JSON (the ``{"traceEvents": [...]}`` form)."""
+    trace_events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+
+    def pid_for(source: str) -> int:
+        pid = pids.get(source)
+        if pid is None:
+            pid = pids[source] = len(pids) + 1
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": source},
+                }
+            )
+        return pid
+
+    for event in events:
+        pid = pid_for(event.source)
+        ts_us = event.time * 1_000_000
+        args = {k: repr(v) for k, v in event.detail.items()}
+        args["seq"] = event.seq
+        if event.duration is not None:
+            trace_events.append(
+                {
+                    "name": event.message,
+                    "cat": event.category,
+                    "ph": "X",
+                    "ts": ts_us,
+                    "dur": event.duration * 1_000_000,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": event.message,
+                    "cat": event.category,
+                    "ph": "i",
+                    "ts": ts_us,
+                    "s": "p",  # process-scoped instant
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def render_timeline_table(
+    events: Iterable[TimelineEvent], max_rows: Optional[int] = None
+) -> str:
+    """Plain-text merged timeline for terminals."""
+    lines = [
+        f"{'time':>12} {'source':<10} {'category':<12} message",
+    ]
+    lines.append("-" * 72)
+    for index, event in enumerate(events):
+        if max_rows is not None and index >= max_rows:
+            lines.append(f"... ({index} rows shown)")
+            break
+        suffix = ""
+        if event.duration is not None:
+            suffix = f"  [{event.duration * 1000:.3f} ms]"
+        lines.append(
+            f"{event.time:>12.6f} {event.source:<10} "
+            f"{event.category:<12} {event.message}{suffix}"
+        )
+    return "\n".join(lines)

@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.core.types import BdAddr
 from repro.sim.eventloop import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -105,9 +109,32 @@ _FRAME_LATENCY = 0.000625  # one slot
 class RadioMedium:
     """The shared wireless channel all simulated controllers live on."""
 
-    def __init__(self, simulator: Simulator, rng: RngRegistry) -> None:
+    #: trace source name for radio-level events in merged timelines
+    TRACE_SOURCE = "phy"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        rng: RngRegistry,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.simulator = simulator
         self.rng = rng.stream("radio-medium")
+        self.tracer = tracer if tracer is not None else Tracer()
+        if metrics is None:
+            from repro.obs.metrics import get_global_registry
+
+            metrics = get_global_registry()
+        self._m_pages = metrics.counter("phy.pages")
+        self._m_page_responses = metrics.counter("phy.page_responses")
+        self._m_page_timeouts = metrics.counter("phy.page_timeouts")
+        self._m_page_latency = metrics.histogram("phy.page_response_latency")
+        self._m_frames_sent = metrics.counter("phy.frames_sent")
+        self._m_frames_lost = metrics.counter("phy.frames_lost")
+        self._m_links_established = metrics.counter("phy.links_established")
+        self._m_links_dropped = metrics.counter("phy.links_dropped")
+        self._m_inquiries = metrics.counter("phy.inquiries")
         self._controllers: List[RadioPeer] = []
         self._links: Dict[int, PhysicalLink] = {}
         self._link_ids = itertools.count(1)
@@ -159,6 +186,13 @@ class RadioMedium:
         Each responder answers at a random point inside the inquiry
         window (its inquiry-scan phase).
         """
+        self._m_inquiries.inc()
+        self.tracer.emit(
+            self.simulator.now,
+            self.TRACE_SOURCE,
+            "phy-inquiry",
+            f"inquiry from {source.name} ({duration_s:.2f}s)",
+        )
         for peer in self._controllers:
             if peer is source or not self._reachable(source, peer):
                 continue
@@ -190,6 +224,13 @@ class RadioMedium:
         *and* the spoofing attacker) draws a response delay uniform in
         its scan interval, and only the winner gets the link.
         """
+        self._m_pages.inc()
+        self.tracer.emit(
+            self.simulator.now,
+            self.TRACE_SOURCE,
+            "phy-page",
+            f"{source.name} pages {target}",
+        )
         candidates: List[Tuple[float, RadioPeer]] = []
         for peer in self._controllers:
             if peer is source or not self._reachable(source, peer):
@@ -201,12 +242,24 @@ class RadioMedium:
             delay = self.rng.uniform(0.0, peer.page_scan_interval_s)
             candidates.append((delay, peer))
         if not candidates:
+            self._m_page_timeouts.inc()
             self.simulator.schedule(timeout_s, on_result, None)
             return
         winner_delay, winner = min(candidates, key=lambda item: item[0])
         if winner_delay > timeout_s:
+            self._m_page_timeouts.inc()
             self.simulator.schedule(timeout_s, on_result, None)
             return
+        self._m_page_responses.inc()
+        self._m_page_latency.observe(winner_delay)
+        self.tracer.emit(
+            self.simulator.now,
+            self.TRACE_SOURCE,
+            "phy-page",
+            f"{winner.name} wins the page response race",
+            latency_s=winner_delay,
+            candidates=len(candidates),
+        )
         self.simulator.schedule(
             winner_delay, self._establish, source, winner, on_result
         )
@@ -224,6 +277,13 @@ class RadioMedium:
             created_at=self.simulator.now,
         )
         self._links[link.link_id] = link
+        self._m_links_established.inc()
+        self.tracer.emit(
+            self.simulator.now,
+            self.TRACE_SOURCE,
+            "phy-link",
+            f"link {link.link_id} up: {initiator.name} -> {responder.name}",
+        )
         responder.on_page_reached(link, initiator)
         on_result(link)
 
@@ -235,11 +295,13 @@ class RadioMedium:
             return
         receiver = link.peer_of(sender)
         link.frames_exchanged += 1
+        self._m_frames_sent.inc()
         now = self.simulator.now
         for sniffer in self._sniffers:
             sniffer(now, link.link_id, sender.name, frame)
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.frames_lost += 1
+            self._m_frames_lost.inc()
             return
         self.simulator.schedule(_FRAME_LATENCY, self._deliver, link, receiver, frame)
 
@@ -253,6 +315,13 @@ class RadioMedium:
             return
         link.alive = False
         self._links.pop(link.link_id, None)
+        self._m_links_dropped.inc()
+        self.tracer.emit(
+            self.simulator.now,
+            self.TRACE_SOURCE,
+            "phy-link",
+            f"link {link.link_id} dropped (reason={reason:#04x})",
+        )
         self.simulator.schedule(_FRAME_LATENCY, link.initiator.on_link_dropped, link, reason)
         self.simulator.schedule(_FRAME_LATENCY, link.responder.on_link_dropped, link, reason)
 

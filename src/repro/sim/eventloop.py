@@ -4,14 +4,26 @@ The scheduler is a classic heap-based event loop.  Determinism matters
 here: the page-blocking experiments compare success rates over hundreds
 of seeded trials, so two runs with the same seed must interleave events
 identically.  Ties on the timestamp are broken by insertion order.
+
+The loop keeps a live-event count maintained on schedule/cancel/pop so
+:attr:`Simulator.pending` — polled inside trial loops — is O(1) rather
+than a heap scan, and optionally reports into a
+:class:`~repro.obs.metrics.MetricsRegistry` (events processed, queue
+depth, per-callback wall time).  Instrumentation is gated on a single
+check per :meth:`run`, so a simulator without metrics (or with a
+disabled registry) pays nothing measurable.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 
 class SimulationError(RuntimeError):
@@ -31,10 +43,20 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: set once the loop has popped the event (fired or skipped) —
+    #: late cancels must not disturb the live count.
+    popped: bool = field(compare=False, default=False, repr=False)
+    _owner: Optional["Simulator"] = field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when popped."""
+        if self.cancelled or self.popped:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._live -= 1
 
 
 class Simulator:
@@ -49,12 +71,14 @@ class Simulator:
     ['b', 'a']
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None) -> None:
         self._now = 0.0
         self._queue: List[Event] = []
         self._sequence = itertools.count()
         self._running = False
         self._processed = 0
+        self._live = 0
+        self.metrics = metrics
 
     @property
     def now(self) -> float:
@@ -68,8 +92,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued — O(1)."""
+        return self._live
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -87,8 +111,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} before now={self._now}"
             )
-        event = Event(when, next(self._sequence), callback, args)
+        event = Event(when, next(self._sequence), callback, args, _owner=self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
@@ -100,6 +125,15 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        metrics = self.metrics
+        instrumented = metrics is not None and metrics.enabled
+        if instrumented:
+            m_processed = metrics.counter("sim.events_processed")
+            m_depth = metrics.gauge("sim.queue_depth")
+            m_wall = metrics.histogram(
+                "sim.callback_wall_s",
+                buckets=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0),
+            )
         try:
             executed = 0
             while self._queue:
@@ -107,10 +141,19 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
+                event.popped = True
                 if event.cancelled:
                     continue
+                self._live -= 1
                 self._now = event.time
-                event.callback(*event.args)
+                if instrumented:
+                    m_depth.set(self._live)
+                    started = _time.perf_counter()
+                    event.callback(*event.args)
+                    m_wall.observe(_time.perf_counter() - started)
+                    m_processed.inc()
+                else:
+                    event.callback(*event.args)
                 self._processed += 1
                 executed += 1
                 if executed > max_events:

@@ -3,12 +3,32 @@
 Traces are the simulation analogue of a logic analyser: every layer can
 append :class:`TraceRecord` entries, and tests/benchmarks assert on the
 recorded sequences (e.g. the Fig. 12 HCI flows).
+
+Every record carries a process-wide monotonic ``seq`` so that records
+from *different* tracers (and spans, see :mod:`repro.obs`) merge into
+one globally-ordered timeline with the same tie-breaking rule the
+event loop uses: equal timestamps order by emission sequence.
+
+Long trial loops can bound memory with ``Tracer(max_records=N)``: the
+tracer becomes a ring buffer that drops its oldest records (counted in
+``dropped``) instead of growing linearly over hundreds of trials.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
+
+#: process-wide emission sequence shared by tracers and spans, so any
+#: mix of streams has a total order consistent with emission order.
+_SEQUENCE = itertools.count()
+
+
+def next_sequence() -> int:
+    """Next process-wide emission sequence number."""
+    return next(_SEQUENCE)
 
 
 @dataclass
@@ -20,16 +40,28 @@ class TraceRecord:
     category: str
     message: str
     detail: Dict[str, Any] = field(default_factory=dict)
+    seq: int = -1
 
     def __str__(self) -> str:
         return f"[{self.time:10.6f}] {self.source:<16} {self.category:<12} {self.message}"
 
 
 class Tracer:
-    """Accumulates trace records and answers queries over them."""
+    """Accumulates trace records and answers queries over them.
 
-    def __init__(self) -> None:
-        self.records: List[TraceRecord] = []
+    ``max_records`` turns the tracer into a bounded ring buffer: the
+    newest ``max_records`` entries are kept, older ones are discarded
+    and counted in :attr:`dropped`.
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self.max_records = max_records
+        self.records: Any = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        self.dropped = 0
         self.enabled = True
 
     def emit(
@@ -43,7 +75,16 @@ class Tracer:
         """Append a record (no-op when tracing is disabled)."""
         if not self.enabled:
             return
-        self.records.append(TraceRecord(time, source, category, message, detail))
+        if (
+            self.max_records is not None
+            and len(self.records) == self.max_records
+        ):
+            self.dropped += 1
+        self.records.append(
+            TraceRecord(
+                time, source, category, message, detail, seq=next(_SEQUENCE)
+            )
+        )
 
     def filter(
         self,
@@ -68,8 +109,9 @@ class Tracer:
         return [record.message for record in self.filter(**kwargs)]
 
     def clear(self) -> None:
-        """Drop all accumulated records."""
+        """Drop all accumulated records (and the drop count)."""
         self.records.clear()
+        self.dropped = 0
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)

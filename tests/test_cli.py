@@ -113,6 +113,93 @@ class TestIocap:
         assert "v4.2" in capsys.readouterr().out
 
 
+class TestTimeline:
+    def test_table_output(self, capsys):
+        assert main(["timeline", "page-blocking", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "source" in out.splitlines()[0]
+        assert "attack.page_blocking" in out
+
+    def test_jsonl_is_ordered_and_cross_layer(self, capsys):
+        import json
+
+        assert main(
+            ["timeline", "page-blocking", "--seed", "3", "--format", "jsonl"]
+        ) == 0
+        payloads = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        keys = [(p["t"], p["seq"]) for p in payloads]
+        assert keys == sorted(keys)
+        # the merge interleaves the phy layer with per-device streams
+        assert {"phy", "M", "C", "A"} <= {p["source"] for p in payloads}
+        categories = {p["category"] for p in payloads}
+        assert "phy-page" in categories
+        assert "hci-cmd" in categories
+        assert "host-cmd" in categories
+        assert "span" in categories
+        for payload in payloads:
+            assert payload["btsnoop_us"] >= 62_168_256_000_000_000
+
+    def test_chrome_trace_to_file(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "timeline",
+                "page-blocking",
+                "--seed",
+                "3",
+                "--format",
+                "chrome",
+                "-o",
+                str(out_path),
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        events = trace["traceEvents"]
+        real = [e for e in events if e["ph"] != "M"]
+        assert real, "no events exported"
+        for event in real:
+            assert event["ph"] in ("X", "i")
+            assert isinstance(event["pid"], int)
+            assert "ts" in event
+        ts = [e["ts"] for e in real]
+        assert ts == sorted(ts)
+        sources = {
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert len(sources) >= 3
+        assert any(e["ph"] == "X" for e in real)  # spans made it across
+
+    def test_limit_and_filters(self, capsys):
+        import json
+
+        assert main(
+            [
+                "timeline",
+                "extraction",
+                "--seed",
+                "3",
+                "--format",
+                "jsonl",
+                "--source",
+                "phy",
+                "--limit",
+                "5",
+            ]
+        ) == 0
+        payloads = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert 0 < len(payloads) <= 5
+        assert all(p["source"] == "phy" for p in payloads)
+
+
 class TestDemos:
     def test_demo_extraction(self, capsys):
         assert main(["demo", "extraction", "--seed", "3"]) == 0

@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_global_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = MetricsRegistry().counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_tracks_high_water_mark(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.max_value == 7
+
+
+class TestHistogram:
+    def test_observe_fills_buckets(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)  # overflow
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(5.55)
+        assert hist.bucket_counts == [1, 1, 1]
+
+    def test_quantile_upper_bound(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0))
+        for _ in range(9):
+            hist.observe(0.05)
+        hist.observe(0.5)
+        assert hist.quantile(0.5) == 0.1
+        assert hist.quantile(1.0) == 1.0
+
+    def test_quantile_empty_and_range(self):
+        hist = Histogram("lat")
+        assert hist.quantile(0.9) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_counter_value_defaults_to_zero(self):
+        assert MetricsRegistry().counter_value("never.touched") == 0
+
+    def test_disabled_registry_hands_out_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a").inc()
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_snapshot_sorted_and_cumulative_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.histogram("h", buckets=(0.1,)).observe(0.05)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 2, "b": 1}
+        assert snap["histograms"]["h"]["buckets"] == {"0.1": 1, "+Inf": 0}
+
+    def test_render_table_mentions_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("phy.pages").inc()
+        registry.gauge("sim.queue_depth").set(4)
+        registry.histogram("phy.page_response_latency").observe(0.01)
+        table = registry.render_table()
+        assert "phy.pages" in table
+        assert "sim.queue_depth (gauge)" in table
+        assert "phy.page_response_latency (hist)" in table
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.counter_value("a") == 0
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_global_registry() is get_global_registry()
+        assert get_global_registry().enabled
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestDeterminism:
+    def test_same_seed_same_counter_snapshot(self):
+        """Two same-seed runs in isolated registries count identically.
+
+        Only counters are compared: ``sim.callback_wall_s`` measures
+        host wall time and is legitimately nondeterministic.
+        """
+        from repro.attacks.baseline import run_baseline_trial
+        from repro.devices.catalog import LG_VELVET
+
+        snapshots = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            run_baseline_trial(LG_VELVET, seed=7, registry=registry)
+            snapshots.append(registry.snapshot()["counters"])
+        assert snapshots[0] == snapshots[1]
+        # The run exercised every layer's instruments.
+        for name in (
+            "phy.pages",
+            "hci.events_emitted",
+            "host.events_processed",
+            "sim.events_processed",
+            "attack.race_attempts",
+        ):
+            assert snapshots[0][name] > 0, name
+
+    def test_different_seeds_may_diverge_without_error(self):
+        from repro.attacks.baseline import run_baseline_trial
+        from repro.devices.catalog import LG_VELVET
+
+        registry = MetricsRegistry()
+        run_baseline_trial(LG_VELVET, seed=1, registry=registry)
+        assert registry.counter_value("attack.race_attempts") == 1

@@ -1,0 +1,154 @@
+"""Unit tests for span tracing."""
+
+import pytest
+
+from repro.obs.spans import SpanTracker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return SpanTracker(clock)
+
+
+class TestScopedSpans:
+    def test_span_times_come_from_the_clock(self, tracker, clock):
+        with tracker.span("op") as span:
+            clock.now = 2.5
+        assert span.start == 0.0
+        assert span.end == 2.5
+        assert span.duration == 2.5
+
+    def test_nesting_sets_parent_and_depth(self, tracker, clock):
+        with tracker.span("outer") as outer:
+            with tracker.span("inner") as inner:
+                pass
+        assert inner.parent_seq == outer.seq
+        assert inner.depth == outer.depth + 1
+        assert tracker.children_of(outer) == [inner]
+        assert outer in tracker.roots()
+
+    def test_current_tracks_the_stack(self, tracker):
+        assert tracker.current is None
+        with tracker.span("outer"):
+            with tracker.span("inner") as inner:
+                assert tracker.current is inner
+        assert tracker.current is None
+
+    def test_exception_still_closes_the_span(self, tracker, clock):
+        with pytest.raises(RuntimeError):
+            with tracker.span("doomed") as span:
+                clock.now = 1.0
+                raise RuntimeError("boom")
+        assert span.end == 1.0
+        assert tracker.current is None
+
+    def test_attrs_and_set_attr(self, tracker):
+        with tracker.span("op", source="A", seed=7) as span:
+            span.set_attr("outcome", "won")
+        assert span.source == "A"
+        assert span.attrs == {"seed": 7, "outcome": "won"}
+
+    def test_seq_orders_spans_by_opening(self, tracker):
+        with tracker.span("first") as first:
+            pass
+        with tracker.span("second") as second:
+            pass
+        assert second.seq > first.seq
+
+
+class TestDetachedSpans:
+    def test_begin_finish(self, tracker, clock):
+        span = tracker.begin("page_procedure", source="A")
+        clock.now = 3.0
+        assert not span.finished
+        with pytest.raises(ValueError):
+            _ = span.duration
+        tracker.finish(span)
+        assert span.duration == 3.0
+
+    def test_detached_span_takes_stack_parent_but_never_joins_it(
+        self, tracker
+    ):
+        with tracker.span("attack") as attack:
+            detached = tracker.begin("page")
+            # the detached span is NOT the current parent...
+            with tracker.span("child") as child:
+                pass
+        assert detached.parent_seq == attack.seq
+        assert child.parent_seq == attack.seq
+        tracker.finish(detached)
+
+    def test_out_of_order_finish_is_safe(self, tracker, clock):
+        a = tracker.begin("a")
+        b = tracker.begin("b")
+        clock.now = 1.0
+        tracker.finish(b)
+        clock.now = 2.0
+        tracker.finish(a)
+        assert b.end == 1.0
+        assert a.end == 2.0
+
+    def test_double_finish_keeps_first_end(self, tracker, clock):
+        span = tracker.begin("op")
+        clock.now = 1.0
+        tracker.finish(span)
+        clock.now = 9.0
+        tracker.finish(span)
+        assert span.end == 1.0
+
+
+class TestQueries:
+    def test_finished_spans_excludes_open(self, tracker):
+        open_span = tracker.begin("open")
+        with tracker.span("closed") as closed:
+            pass
+        assert tracker.finished_spans() == [closed]
+        tracker.finish(open_span)
+
+    def test_by_name(self, tracker):
+        with tracker.span("page"):
+            pass
+        with tracker.span("page"):
+            pass
+        with tracker.span("auth"):
+            pass
+        assert len(tracker.by_name("page")) == 2
+
+    def test_clear_keeps_open_spans(self, tracker):
+        still_open = tracker.begin("open")
+        with tracker.span("done"):
+            pass
+        tracker.clear()
+        assert tracker.spans == [still_open]
+
+    def test_str_of_open_and_closed(self, tracker):
+        span = tracker.begin("op")
+        assert "open" in str(span)
+        tracker.finish(span)
+        assert "open" not in str(span)
+
+
+class TestSimulatedTime:
+    def test_spans_key_to_simulator_clock(self):
+        from repro.sim.eventloop import Simulator
+
+        sim = Simulator()
+        tracker = SpanTracker(lambda: sim.now)
+        span = tracker.begin("window")
+        sim.schedule(4.0, lambda: tracker.finish(span))
+        sim.run()
+        assert span.start == 0.0
+        assert span.end == 4.0

@@ -1,0 +1,192 @@
+"""Unit tests for the timeline correlator and its exporters."""
+
+import json
+from pathlib import Path
+
+from repro.obs.spans import SpanTracker
+from repro.obs.timeline import (
+    Timeline,
+    TimelineEvent,
+    btsnoop_timestamp_us,
+    export_chrome_trace,
+    export_jsonl,
+    render_timeline_table,
+)
+from repro.sim.trace import Tracer
+from repro.snoop.btsnoop import EPOCH_DELTA_US
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestMerge:
+    def test_streams_merge_in_time_then_seq_order(self):
+        phy = Tracer()
+        hci = Tracer()
+        clock = FakeClock()
+        spans = SpanTracker(clock)
+
+        span = spans.begin("page_procedure", source="A")
+        phy.emit(0.0, "phy", "phy-page", "M pages C")
+        hci.emit(0.1, "M", "hci-cmd", "HCI_Create_Connection")
+        phy.emit(0.1, "phy", "phy-page", "A wins")  # same time, later seq
+        clock.now = 0.2
+        spans.finish(span)
+
+        timeline = (
+            Timeline().add_tracer(phy).add_tracer(hci).add_span_tracker(spans)
+        )
+        messages = [event.message for event in timeline.events()]
+        assert messages == [
+            "page_procedure",  # span sorts at its *start* time
+            "M pages C",
+            "HCI_Create_Connection",
+            "A wins",
+        ]
+        times = [event.time for event in timeline.events()]
+        assert times == sorted(times)
+
+    def test_equal_times_break_by_emission_sequence(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "x", "c", "first")
+        tracer.emit(1.0, "x", "c", "second")
+        events = Timeline().add_tracer(tracer).events()
+        assert [e.message for e in events] == ["first", "second"]
+        assert events[0].seq < events[1].seq
+
+    def test_filters_and_extra_events(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "phy", "phy-page", "page")
+        tracer.emit(0.0, "M", "hci-cmd", "cmd")
+        timeline = Timeline().add_tracer(tracer)
+        timeline.add_event(
+            TimelineEvent(
+                time=0.5, seq=10**9, source="ext", category="note", message="n"
+            )
+        )
+        assert len(timeline.events()) == 3
+        assert [e.source for e in timeline.events(sources=["phy"])] == ["phy"]
+        assert [
+            e.category for e in timeline.events(categories=["note"])
+        ] == ["note"]
+
+    def test_registration_is_idempotent(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "x", "c", "once")
+        spans = SpanTracker(FakeClock())
+        timeline = (
+            Timeline()
+            .add_tracer(tracer)
+            .add_tracer(tracer)
+            .add_span_tracker(spans)
+            .add_span_tracker(spans)
+        )
+        assert len(timeline.events()) == 1
+
+    def test_open_spans_stay_off_the_timeline(self):
+        spans = SpanTracker(FakeClock())
+        spans.begin("open")
+        assert Timeline().add_span_tracker(spans).events() == []
+
+    def test_kind_property(self):
+        instant = TimelineEvent(
+            time=0.0, seq=0, source="s", category="c", message="m"
+        )
+        spanned = TimelineEvent(
+            time=0.0, seq=1, source="s", category="span", message="m",
+            duration=0.5,
+        )
+        assert instant.kind == "trace"
+        assert spanned.kind == "span"
+
+
+class TestBtsnoopClock:
+    def test_alignment_with_the_capture_epoch(self):
+        assert btsnoop_timestamp_us(0.0) == EPOCH_DELTA_US
+        assert btsnoop_timestamp_us(1.5) == EPOCH_DELTA_US + 1_500_000
+
+
+def _golden_events():
+    """A hand-built, fully deterministic event sequence.
+
+    Constructed directly (not via ``Tracer``) so the ``seq`` values do
+    not depend on what else the test process has emitted.
+    """
+    return [
+        TimelineEvent(
+            time=0.0,
+            seq=0,
+            source="A",
+            category="span",
+            message="page_procedure",
+            detail={"target": "48:90:11:22:33:44"},
+            duration=0.00125,
+        ),
+        TimelineEvent(
+            time=0.0,
+            seq=1,
+            source="phy",
+            category="phy-page",
+            message="M pages C",
+        ),
+        TimelineEvent(
+            time=0.00125,
+            seq=2,
+            source="phy",
+            category="phy-page",
+            message="A wins the page response race",
+            detail={"latency_s": 0.00125, "candidates": 2},
+        ),
+        TimelineEvent(
+            time=0.00125,
+            seq=3,
+            source="M",
+            category="hci-event",
+            message="HCI_Connection_Complete",
+        ),
+    ]
+
+
+class TestExporters:
+    def test_jsonl_matches_golden(self):
+        expected = (GOLDEN_DIR / "timeline.jsonl").read_text().rstrip("\n")
+        assert export_jsonl(_golden_events()) == expected
+
+    def test_chrome_trace_matches_golden(self):
+        expected = json.loads((GOLDEN_DIR / "chrome_trace.json").read_text())
+        assert export_chrome_trace(_golden_events()) == expected
+
+    def test_jsonl_lines_parse_and_carry_the_btsnoop_clock(self):
+        lines = export_jsonl(_golden_events()).splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            payload = json.loads(line)
+            assert payload["btsnoop_us"] == btsnoop_timestamp_us(payload["t"])
+
+    def test_chrome_trace_shape(self):
+        trace = export_chrome_trace(_golden_events())
+        events = trace["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        # one process_name record per source, in first-seen order
+        assert [m["args"]["name"] for m in metadata] == ["A", "phy", "M"]
+        assert len(spans) == 1 and spans[0]["dur"] == 1250.0
+        assert len(instants) == 3
+        assert all(isinstance(e["pid"], int) for e in events)
+        ts = [e["ts"] for e in spans + instants]
+        assert ts == sorted(ts)
+
+    def test_table_rendering_and_row_limit(self):
+        text = render_timeline_table(_golden_events())
+        assert "page_procedure" in text and "[1.250 ms]" in text
+        limited = render_timeline_table(_golden_events(), max_rows=2)
+        assert "HCI_Connection_Complete" not in limited
+        assert "..." in limited

@@ -112,6 +112,60 @@ def test_pending_and_processed_counters():
     assert sim.events_processed == 2
 
 
+def test_pending_counts_cancellations_immediately():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    drop.cancel()
+    assert sim.pending == 1  # O(1) live count, no heap scan
+    drop.cancel()  # double-cancel must not decrement again
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_processed == 1
+    assert keep.popped
+
+
+def test_cancel_then_pop_does_not_double_count():
+    """A cancelled event still sits in the heap until run() pops it;
+    the pop must not decrement the live count a second time."""
+    sim = Simulator()
+    cancelled = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    cancelled.cancel()
+    sim.run()  # pops the cancelled entry, then the live one
+    assert sim.pending == 0
+    assert sim.events_processed == 1
+
+
+def test_cancel_after_pop_is_a_noop():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "ran")
+    sim.schedule(2.0, lambda: event.cancel())  # too late: already popped
+    sim.run()
+    assert fired == ["ran"]
+    assert sim.pending == 0
+    assert not event.cancelled
+
+
+def test_cancel_inside_run_keeps_pending_consistent():
+    sim = Simulator()
+    fired = []
+    later = sim.schedule(2.0, fired.append, "later")
+
+    def first():
+        fired.append("first")
+        later.cancel()
+        assert sim.pending == 0
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first"]
+    assert sim.pending == 0
+
+
 def test_not_reentrant():
     sim = Simulator()
     errors = []

@@ -46,6 +46,65 @@ def test_clear():
     assert len(tracer) == 0
 
 
+def test_seq_is_monotonic_across_tracers():
+    first = Tracer()
+    second = Tracer()
+    first.emit(0.0, "a", "c", "one")
+    second.emit(0.0, "b", "c", "two")
+    first.emit(0.0, "a", "c", "three")
+    seqs = [
+        first.records[0].seq,
+        second.records[0].seq,
+        first.records[1].seq,
+    ]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 3
+
+
+class TestRingBuffer:
+    def test_oldest_records_drop_when_full(self):
+        tracer = Tracer(max_records=2)
+        tracer.emit(0.0, "x", "c", "one")
+        tracer.emit(0.1, "x", "c", "two")
+        tracer.emit(0.2, "x", "c", "three")
+        assert len(tracer) == 2
+        assert tracer.messages() == ["two", "three"]
+        assert tracer.dropped == 1
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer()
+        for index in range(100):
+            tracer.emit(0.0, "x", "c", str(index))
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(max_records=1)
+        tracer.emit(0.0, "x", "c", "one")
+        tracer.emit(0.1, "x", "c", "two")
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert len(tracer) == 0
+
+    def test_invalid_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)
+
+    def test_bounded_world_still_answers_queries(self):
+        from repro.attacks.scenario import build_world
+        from repro.devices.catalog import LG_VELVET
+
+        world = build_world(seed=1, max_trace_records=50)
+        m = world.add_device("M", LG_VELVET)
+        m.power_on()
+        world.run_for(1.0)
+        assert len(world.tracer) <= 50
+        assert world.tracer.dropped >= 0
+
+
 def test_str_rendering_contains_fields():
     tracer = _seeded_tracer()
     text = str(tracer.records[0])
