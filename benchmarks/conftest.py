@@ -18,6 +18,19 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: BLAP_TRIALS for quicker smoke runs.
 TRIALS = int(os.environ.get("BLAP_TRIALS", "100"))
 
+#: worker processes for the campaign sweeps — 1 keeps the benchmarks
+#: in-process (stable timings); override with BLAP_CAMPAIGN_WORKERS to
+#: shard across cores.
+WORKERS = int(os.environ.get("BLAP_CAMPAIGN_WORKERS", "1"))
+
+
+def campaign_runner():
+    """The CampaignRunner the benchmarks sweep with (no cache: every
+    run measures real trial cost)."""
+    from repro.campaign import CampaignRunner
+
+    return CampaignRunner(workers=WORKERS)
+
 
 @pytest.fixture(scope="session")
 def artifact_dir() -> Path:

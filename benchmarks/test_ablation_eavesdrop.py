@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.attacks.eavesdrop import AirCapture, OfflineDecryptor
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.core.types import BdAddr, LinkKey
 from repro.crypto.e0 import e0_keystream
 
@@ -18,7 +18,7 @@ MARKER = b"Personal Ad-hoc"
 
 
 def full_chain(seed: int = 300):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     bond(world, c, m)
 

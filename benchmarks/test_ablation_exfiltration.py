@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.attacks.exfiltration import exfiltrate
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.host.map_profile import Message
 from repro.host.pbap import Contact
 
@@ -19,7 +19,7 @@ MESSAGES = [Message(f"Contact {i:02d}", f"message body {i}") for i in range(25)]
 
 
 def full_kill_chain(seed: int = 600):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     m.host.pbap.load_phonebook(CONTACTS)
     m.host.map.load_messages(MESSAGES)

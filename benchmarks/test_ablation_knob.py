@@ -10,13 +10,13 @@ from __future__ import annotations
 
 from repro.attacks.eavesdrop import AirCapture
 from repro.attacks.knob import brute_force_low_entropy_session
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 
 MARKER = b"Personal Ad-hoc"
 
 
 def knobbed_session(seed: int = 500, min_key_size_on_c: int = 1):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     bond(world, c, m)
     m.controller.max_encryption_key_size = 1  # the KNOB'd proposal

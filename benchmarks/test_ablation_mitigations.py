@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.attacks.attacker import Attacker
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.core.types import BdAddr, LinkKey
 from repro.hci import commands as cmd
 from repro.mitigations.dump_filter import FilteredHciDump, redact_record
@@ -23,7 +23,7 @@ KEY = LinkKey.parse("71a70981f30d6af9e20adee8aafe3264")
 def extraction_with_filtered_dump(seed: int = 200):
     """Run the extraction scenario but with the filtering dump module
     installed on C (the mitigation-deployed world)."""
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     bond(world, c, m)
     truth = c.bonded_key_for(m.bd_addr)
@@ -44,7 +44,7 @@ def extraction_with_filtered_dump(seed: int = 200):
 
 
 def page_blocking_with_guard(seed: int = 201):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     m.host.security.page_blocking_guard = True
     report = PageBlockingAttack(world, a, c, m).run()
@@ -52,7 +52,7 @@ def page_blocking_with_guard(seed: int = 201):
 
 
 def legitimate_pairing_with_guard(seed: int = 202):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     m.host.security.page_blocking_guard = True
     c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
@@ -108,7 +108,7 @@ def test_mitigation_secure_hci_device(benchmark, save_artifact):
     )
 
     def run():
-        world = build_world(seed=210)
+        world = build_world(WorldConfig(seed=210))
         m, c, a = standard_cast(world, c_spec=hardened)
         bond(world, c, m)
         return LinkKeyExtractionAttack(world, a, c, m).run(validate=False)

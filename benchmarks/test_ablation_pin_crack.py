@@ -17,14 +17,14 @@ from repro.attacks.pin_crack import (
     numeric_pins,
     transcript_from_capture,
 )
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import WorldConfig, build_world
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
 
 PIN = "8341"
 
 
 def sniff_legacy_pairing(seed: int = 400):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m = world.add_device("M", LG_VELVET)
     c = world.add_device("C", NEXUS_5X_A8)
     m.host.ssp_enabled = False

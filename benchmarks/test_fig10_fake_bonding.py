@@ -9,14 +9,14 @@ uses.
 from __future__ import annotations
 
 from repro.attacks.attacker import Attacker
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 from repro.core.types import BdAddr, LinkKey
 
 FAKE_KEY = LinkKey.parse("71a70981f30d6af9e20adee8aafe3264")
 
 
 def install_fake_bonding(seed: int = 60):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     attacker = Attacker(a)
     attacker.install_fake_bonding(

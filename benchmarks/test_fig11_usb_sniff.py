@@ -12,14 +12,14 @@ identical, which is the figure's cross-validation.
 from __future__ import annotations
 
 from repro.attacks.attacker import Attacker
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.devices.catalog import WINDOWS_MS_DRIVER
 from repro.snoop.extractor import keys_by_peer
 from repro.snoop.usb_extract import bin2hex, extract_link_keys_from_usb
 
 
 def run_cross_validation(seed: int = 65):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world, c_spec=WINDOWS_MS_DRIVER)
     bond(world, c, m)
 

@@ -10,12 +10,12 @@ responder (HCI_Connection_Request event) simultaneously.
 from __future__ import annotations
 
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 from repro.snoop.hcidump import HciDump, render_dump_table
 
 
 def capture_normal(seed: int = 70):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     dump = HciDump().attach(m.transport)
     c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
@@ -26,7 +26,7 @@ def capture_normal(seed: int = 70):
 
 
 def capture_blocked(seed: int = 71):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     report = PageBlockingAttack(world, a, c, m).run(run_discovery=False)
     assert report.success and report.paired

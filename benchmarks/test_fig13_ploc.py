@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 
 
 def run_sweep() -> List[Tuple[float, float, bool]]:
@@ -27,7 +27,7 @@ def run_sweep() -> List[Tuple[float, float, bool]]:
         (20.0, 18.0),
     ]
     for index, (hold, delay) in enumerate(cases):
-        world = build_world(seed=90 + index)
+        world = build_world(WorldConfig(seed=90 + index))
         m, c, a = standard_cast(world)
         attack = PageBlockingAttack(world, a, c, m, ploc_hold_seconds=hold)
         report = attack.run(pairing_delay=delay, run_discovery=False)
@@ -47,7 +47,7 @@ def run_supervision_cases() -> List[Tuple[float, float, float, bool]]:
     for index, (supervision, hold, delay) in enumerate(
         [(20.0, 10.0, 5.0), (3.0, 10.0, 8.0), (3.0, 2.0, 1.5)]
     ):
-        world = build_world(seed=120 + index)
+        world = build_world(WorldConfig(seed=120 + index))
         m, c, a = standard_cast(world)
         m.controller.supervision_timeout_s = supervision
         a.controller.supervision_timeout_s = supervision

@@ -8,13 +8,13 @@ complete simulated SSP pairing (ECDH + commitments + key derivation).
 
 from __future__ import annotations
 
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import WorldConfig, build_world
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
 from repro.snoop.hcidump import HciDump, render_dump_table
 
 
 def _paired_world(seed: int):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m = world.add_device("M", LG_VELVET)
     c = world.add_device("C", NEXUS_5X_A8)
     m.power_on()

@@ -8,14 +8,14 @@ view.  The benchmark measures extractor throughput over the capture.
 
 from __future__ import annotations
 
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.hci.commands import LinkKeyRequestReply
 from repro.snoop.extractor import extract_link_keys
 from repro.snoop.hcidump import HciDump, render_dump_table
 
 
 def build_capture(seed: int = 5):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     bond(world, c, m)
     dump = HciDump().attach(c.transport)

@@ -10,14 +10,14 @@ from __future__ import annotations
 
 from repro.attacks.attacker import Attacker
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.hci.constants import ErrorCode
 from repro.snoop.extractor import extract_link_keys
 
 
 def run_stepwise(seed: int = 77):
     log = []
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     bond(world, c, m)
     truth = c.bonded_key_for(m.bd_addr)
@@ -75,7 +75,7 @@ def test_fig5_step7_impersonation(benchmark, save_artifact):
     """Step 7 measured end-to-end through the attack driver."""
 
     def full_attack():
-        world = build_world(seed=78)
+        world = build_world(WorldConfig(seed=78))
         m, c, a = standard_cast(world)
         bond(world, c, m)
         return LinkKeyExtractionAttack(world, a, c, m).run(validate=True)

@@ -9,12 +9,12 @@ sent down the *existing* link without any new page.
 from __future__ import annotations
 
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 from repro.snoop.hcidump import HciDump, render_dump_table
 
 
 def normal_pairing(seed: int = 50):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     dump = HciDump().attach(m.transport)
     c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
@@ -28,7 +28,7 @@ def normal_pairing(seed: int = 50):
 
 
 def blocked_pairing(seed: int = 51):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     attack = PageBlockingAttack(world, a, c, m)
     report = attack.run()

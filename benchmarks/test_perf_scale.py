@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import WorldConfig, build_world
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
 
 
@@ -29,7 +29,7 @@ def _fleet(world, count: int):
 @pytest.mark.parametrize("count", [4, 16])
 def test_discovery_over_n_devices(benchmark, count):
     def run():
-        world = build_world(seed=700 + count)
+        world = build_world(WorldConfig(seed=700 + count))
         hub, peers = _fleet(world, count)
         operation = hub.host.gap.start_discovery()
         world.run_for(8.0)
@@ -43,7 +43,7 @@ def test_discovery_over_n_devices(benchmark, count):
 @pytest.mark.parametrize("count", [2, 6])
 def test_n_sequential_pairings(benchmark, count):
     def run():
-        world = build_world(seed=800 + count)
+        world = build_world(WorldConfig(seed=800 + count))
         hub, peers = _fleet(world, count)
         hub.controller.supervision_timeout_s = 600.0
         for peer in peers:
@@ -64,7 +64,7 @@ def test_busy_piconet_event_throughput(benchmark):
     """Simulator events per second with 6 concurrent SDP chatterboxes."""
 
     def run():
-        world = build_world(seed=900)
+        world = build_world(WorldConfig(seed=900))
         hub, peers = _fleet(world, 6)
         for device in [hub] + peers:
             device.controller.supervision_timeout_s = 600.0

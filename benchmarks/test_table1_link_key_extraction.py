@@ -4,21 +4,21 @@ Paper result: all nine tested systems (six Android phones, two Windows
 10 stacks, Ubuntu 20.04/BlueZ) leak the bonded link key through HCI
 data, and only Ubuntu requires superuser privilege.
 
-This benchmark runs the complete Fig. 5 attack against each catalog
-device acting as C and regenerates the table: OS | host stack | device
-| channel | SU privilege | vulnerable.
+This benchmark runs the complete Fig. 5 attack — via the ``extraction``
+campaign scenario — against each catalog device acting as C and
+regenerates the table: OS | host stack | device | channel | SU
+privilege | vulnerable.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
-from repro.attacks.link_key_extraction import (
-    ExtractionReport,
-    LinkKeyExtractionAttack,
-)
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.campaign import CampaignSpec, TrialResult
 from repro.devices.catalog import TABLE1_DEVICE_SPECS
+from repro.devices.device import DeviceSpec
+
+from conftest import campaign_runner
 
 # Paper Table I ground truth: (marketing name fragment, su_required).
 PAPER_SU_COLUMN = {
@@ -34,15 +34,19 @@ PAPER_SU_COLUMN = {
 }
 
 
-def run_table1() -> List[ExtractionReport]:
-    reports = []
+def run_table1() -> List[Tuple[DeviceSpec, TrialResult]]:
+    runner = campaign_runner()
+    rows = []
     for index, spec in enumerate(TABLE1_DEVICE_SPECS):
-        world = build_world(seed=1000 + index)
-        m, c, a = standard_cast(world, c_spec=spec)
-        bond(world, c, m)
-        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=True)
-        reports.append((spec, report))
-    return reports
+        campaign = runner.run(
+            CampaignSpec(
+                "extraction",
+                seeds=[1000 + index],
+                params={"c_spec": spec.key},
+            )
+        )
+        rows.append((spec, campaign.results[0]))
+    return rows
 
 
 def render(rows) -> str:
@@ -52,12 +56,13 @@ def render(rows) -> str:
         f"{'Channel':<10} {'SU':<4} {'Vulnerable'}",
     ]
     lines.append("-" * len(lines[1]))
-    for spec, report in rows:
+    for spec, trial in rows:
+        detail = trial.detail
         lines.append(
             f"{spec.os:<14} {spec.stack_profile.name:<14} "
-            f"{spec.marketing_name:<42} {report.extraction_channel:<10} "
-            f"{'Y' if report.su_required else 'N':<4} "
-            f"{'YES' if report.vulnerable else 'no'}"
+            f"{spec.marketing_name:<42} {detail['extraction_channel']:<10} "
+            f"{'Y' if detail['su_required'] else 'N':<4} "
+            f"{'YES' if detail['vulnerable'] else 'no'}"
         )
     return "\n".join(lines)
 
@@ -67,10 +72,11 @@ def test_table1_link_key_extraction(benchmark, save_artifact):
     save_artifact("table1_link_key_extraction.txt", render(rows))
 
     assert len(rows) == 9
-    for spec, report in rows:
+    for spec, trial in rows:
+        assert trial.error is None, f"{spec.key}: {trial.error}"
         # Paper: every tested device is vulnerable.
-        assert report.vulnerable, f"{spec.marketing_name} not vulnerable?!"
+        assert trial.success, f"{spec.marketing_name} not vulnerable?!"
         # Paper: the extracted key validates against M.
-        assert report.validated_against_m is not False
+        assert trial.detail["validated_against_m"] is not False
         # Paper: the SU column matches.
-        assert report.su_required == PAPER_SU_COLUMN[spec.key], spec.key
+        assert trial.detail["su_required"] == PAPER_SU_COLUMN[spec.key], spec.key

@@ -8,19 +8,22 @@ seven victim devices.
 Expected shape here: the baseline scatters around ~50% (the paper
 itself concludes the race is "quite random"), and page blocking is a
 deterministic 100%.
+
+Both conditions run through the campaign engine — same seeds, same
+worlds as the old hand-rolled loops (the CampaignRunner equivalence
+tests pin this), but shardable across workers via
+``BLAP_CAMPAIGN_WORKERS``.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.attacks.baseline import run_baseline_trial
-from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.campaign import CampaignRunner, CampaignSpec
 from repro.devices.catalog import TABLE2_DEVICE_SPECS
 from repro.devices.device import DeviceSpec
 
-from conftest import TRIALS
+from conftest import TRIALS, campaign_runner
 
 # Paper Table II: baseline success rates measured on real hardware.
 PAPER_BASELINE = {
@@ -34,29 +37,32 @@ PAPER_BASELINE = {
 }
 
 
-def measure_device(spec: DeviceSpec, trials: int, seed_base: int) -> Tuple[float, float]:
-    baseline_wins = 0
-    for trial in range(trials):
-        if run_baseline_trial(spec, seed=seed_base + trial).attacker_won:
-            baseline_wins += 1
-
-    blocked_wins = 0
-    for trial in range(trials):
-        world = build_world(seed=seed_base + 50_000 + trial)
-        m, c, a = standard_cast(world, m_spec=spec)
-        report = PageBlockingAttack(world, a, c, m).run(
-            capture_m_dump=False, run_discovery=False
+def measure_device(
+    runner: CampaignRunner, spec: DeviceSpec, trials: int, seed_base: int
+) -> Tuple[float, float]:
+    baseline = runner.run(
+        CampaignSpec(
+            "baseline-race",
+            seeds=range(seed_base, seed_base + trials),
+            params={"m_spec": spec.key},
         )
-        if report.success:
-            blocked_wins += 1
-    return baseline_wins / trials, blocked_wins / trials
+    )
+    blocked = runner.run(
+        CampaignSpec(
+            "page-blocking",
+            seeds=range(seed_base + 50_000, seed_base + 50_000 + trials),
+            params={"m_spec": spec.key},
+        )
+    )
+    return baseline.success_rate, blocked.success_rate
 
 
 def run_table2(trials: int) -> List[Tuple[DeviceSpec, float, float]]:
+    runner = campaign_runner()
     rows = []
     for index, spec in enumerate(TABLE2_DEVICE_SPECS):
         baseline, blocked = measure_device(
-            spec, trials, seed_base=2000 + index * 10_000
+            runner, spec, trials, seed_base=2000 + index * 10_000
         )
         rows.append((spec, baseline, blocked))
     return rows
@@ -83,12 +89,16 @@ def test_table2_page_blocking(benchmark, save_artifact):
     save_artifact("table2_page_blocking.txt", render(rows, TRIALS))
 
     assert len(rows) == 7
+    # The baseline race is a scan-phase coin flip: at the paper's 100
+    # trials the 42–60% band (plus binomial slack) applies; the 8-trial
+    # CI smoke slice quantises to 12.5% steps, so the band widens.
+    low, high = (0.30, 0.70) if TRIALS >= 50 else (0.125, 0.875)
     for spec, baseline, blocked in rows:
         # Page blocking is deterministic: 100% on every device.
         assert blocked == 1.0, f"{spec.key}: page blocking not deterministic"
         # The baseline race stays strictly inside (0, 1): the attacker
         # can neither guarantee nor be locked out of the connection...
         assert 0.0 < baseline < 1.0
-        # ...and lands in the paper's qualitative band (42–60%, i.e. a
-        # near-fair race; we allow binomial slack around it).
-        assert 0.30 <= baseline <= 0.70, f"{spec.key}: baseline={baseline}"
+        # ...and lands in the paper's qualitative band (a near-fair
+        # race; we allow binomial slack around it).
+        assert low <= baseline <= high, f"{spec.key}: baseline={baseline}"

@@ -14,7 +14,7 @@ import tempfile
 from pathlib import Path
 
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.mitigations.detector import detect_page_blocking
 from repro.snoop.extractor import extract_link_keys
 from repro.snoop.hcidump import HciDump
@@ -23,7 +23,7 @@ from repro.snoop.pcap import hci_dump_to_pcap
 
 def make_clean_capture() -> bytes:
     """An ordinary discovery session: nothing sensitive."""
-    world = build_world(seed=201)
+    world = build_world(WorldConfig(seed=201))
     m, c, a = standard_cast(world)
     dump = HciDump().attach(m.transport)
     m.host.gap.start_discovery()
@@ -33,7 +33,7 @@ def make_clean_capture() -> bytes:
 
 def make_leaky_capture() -> bytes:
     """A bonded re-authentication: the link key hits the log."""
-    world = build_world(seed=202)
+    world = build_world(WorldConfig(seed=202))
     m, c, a = standard_cast(world)
     bond(world, c, m)
     dump = HciDump().attach(c.transport)
@@ -45,7 +45,7 @@ def make_leaky_capture() -> bytes:
 
 def make_attacked_capture() -> bytes:
     """A victim's log recorded during a page blocking attack."""
-    world = build_world(seed=203)
+    world = build_world(WorldConfig(seed=203))
     m, c, a = standard_cast(world)
     report = PageBlockingAttack(world, a, c, m).run()
     assert report.success

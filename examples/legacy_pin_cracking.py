@@ -19,12 +19,12 @@ from repro.attacks.pin_crack import (
     numeric_pins,
     transcript_from_capture,
 )
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import WorldConfig, build_world
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
 
 
 def main() -> None:
-    world = build_world(seed=77)
+    world = build_world(WorldConfig(seed=77))
     m = world.add_device("M", LG_VELVET)
     c = world.add_device("C", NEXUS_5X_A8)
     m.host.ssp_enabled = False  # pre-2.1 behaviour

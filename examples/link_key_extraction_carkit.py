@@ -18,12 +18,12 @@ Run:  python examples/link_key_extraction_carkit.py
 """
 
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.devices.catalog import ANDROID_AUTOMOTIVE_HEAD_UNIT
 
 
 def main() -> None:
-    world = build_world(seed=2024)
+    world = build_world(WorldConfig(seed=2024))
     m, c, a = standard_cast(world, c_spec=ANDROID_AUTOMOTIVE_HEAD_UNIT)
 
     print("== setup: the owner pairs their phone with the car-kit ==")

@@ -13,7 +13,7 @@ Run:  python examples/mitigation_audit.py
 
 from repro.attacks.attacker import Attacker
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.core.types import BdAddr, LinkKey
 from repro.hci import commands as cmd
 from repro.mitigations.dump_filter import FilteredHciDump
@@ -25,7 +25,7 @@ from repro.snoop.usb_extract import bin2hex, scan_hex_for_link_keys
 
 def audit_dump_filter() -> None:
     print("== mitigation 1: HCI dump link-key redaction ==")
-    world = build_world(seed=11)
+    world = build_world(WorldConfig(seed=11))
     m, c, a = standard_cast(world)
     bond(world, c, m)
     truth = c.bonded_key_for(m.bd_addr)
@@ -72,14 +72,14 @@ def audit_hci_encryption() -> None:
 
 def audit_page_blocking_guard() -> None:
     print("== mitigation 3: page-blocking guard on the victim host ==")
-    world = build_world(seed=12)
+    world = build_world(WorldConfig(seed=12))
     m, c, a = standard_cast(world)
     m.host.security.page_blocking_guard = True
     report = PageBlockingAttack(world, a, c, m).run()
     print(f"  attack paired        : {report.paired}")
     print(f"  guard rejections     : {m.host.security.guard_rejections}")
 
-    world2 = build_world(seed=13)
+    world2 = build_world(WorldConfig(seed=13))
     m2, c2, _ = standard_cast(world2)
     m2.host.security.page_blocking_guard = True
     c2.user.note_pairing_initiated(m2.bd_addr, world2.simulator.now)

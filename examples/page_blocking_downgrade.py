@@ -17,7 +17,7 @@ from pathlib import Path
 
 from repro.attacks.baseline import run_baseline_trial
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 from repro.devices.catalog import LG_VELVET
 from repro.obs.timeline import export_chrome_trace, render_timeline_table
 from repro.snoop.hcidump import render_dump_table
@@ -32,7 +32,7 @@ def main() -> None:
     print(f"  attacker captured the victim's connection in {wins}/20 trials\n")
 
     print("== page blocking: the deterministic version ==")
-    world = build_world(seed=7)
+    world = build_world(WorldConfig(seed=7))
     m, c, a = standard_cast(world)
     attack = PageBlockingAttack(world, a, c, m)
     report = attack.run()

@@ -9,14 +9,14 @@ HCI dump in plaintext.
 Run:  python examples/quickstart.py
 """
 
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import WorldConfig, build_world
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
 from repro.snoop.extractor import extract_link_keys
 from repro.snoop.hcidump import HciDump, render_dump_table
 
 
 def main() -> None:
-    world = build_world(seed=1)
+    world = build_world(WorldConfig(seed=1))
     phone = world.add_device("phone", LG_VELVET)
     carkit = world.add_device("carkit", NEXUS_5X_A8)
     phone.power_on()

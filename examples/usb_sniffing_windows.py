@@ -10,13 +10,13 @@ Run:  python examples/usb_sniffing_windows.py
 """
 
 from repro.attacks.attacker import Attacker
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.devices.catalog import WINDOWS_CSR_HARMONY
 from repro.snoop.usb_extract import bin2hex, extract_link_keys_from_usb
 
 
 def main() -> None:
-    world = build_world(seed=99)
+    world = build_world(WorldConfig(seed=99))
     m, c, a = standard_cast(world, c_spec=WINDOWS_CSR_HARMONY)
 
     print(f"C = {c.spec.marketing_name}, controller {c.spec.controller_model}")

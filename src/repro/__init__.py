@@ -7,10 +7,10 @@ Attacks"* (Koh, Kwon, Hur — DSN 2022) and their mitigations.
 
 Quick start::
 
-    from repro.attacks import build_world, LinkKeyExtractionAttack
+    from repro.attacks import WorldConfig, build_world, LinkKeyExtractionAttack
     from repro.attacks.scenario import standard_cast, bond
 
-    world = build_world(seed=1)
+    world = build_world(WorldConfig(seed=1))
     m, c, a = standard_cast(world)
     bond(world, c, m)                       # the legitimate pre-state
     report = LinkKeyExtractionAttack(world, a, c, m).run()

@@ -18,7 +18,7 @@
   traffic using an extracted link key.
 """
 
-from repro.attacks.scenario import World, build_world
+from repro.attacks.scenario import World, WorldConfig, build_world
 from repro.attacks.attacker import Attacker
 from repro.attacks.link_key_extraction import (
     ExtractionReport,
@@ -38,6 +38,7 @@ from repro.attacks.pin_crack import (
 
 __all__ = [
     "World",
+    "WorldConfig",
     "build_world",
     "Attacker",
     "ExtractionReport",

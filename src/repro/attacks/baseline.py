@@ -20,7 +20,7 @@ from typing import Optional
 
 from repro.core.types import IoCapability
 from repro.attacks.attacker import Attacker
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import World, WorldConfig, build_world
 from repro.devices.catalog import NEXUS_5X_A6, NEXUS_5X_A8
 from repro.devices.device import DeviceSpec
 from repro.obs.metrics import MetricsRegistry
@@ -34,21 +34,20 @@ class BaselineMitmTrial:
     attacker_won: bool
 
 
-def run_baseline_trial(
+def race_in_world(
+    world: World,
     m_spec: DeviceSpec,
-    seed: int,
     c_spec: DeviceSpec = NEXUS_5X_A8,
     a_spec: DeviceSpec = NEXUS_5X_A6,
     attacker_scan_interval_slots: Optional[int] = None,
-    registry: Optional[MetricsRegistry] = None,
+    seed: Optional[int] = None,
 ) -> BaselineMitmTrial:
-    """One independent trial: fresh world, spoof, race, inspect winner.
+    """Run the connection race in a caller-provided (fresh) world.
 
     ``attacker_scan_interval_slots`` overrides A's page-scan interval —
     the only knob a spoofing responder controls in the race (see the
-    page-race ablation benchmark).
+    page-race ablation benchmark).  ``seed`` only labels the span.
     """
-    world = build_world(seed=seed, registry=registry)
     m = world.add_device("M", m_spec)
     c = world.add_device("C", c_spec)
     a = world.add_device("A", a_spec)
@@ -82,6 +81,26 @@ def run_baseline_trial(
     if attacker_won:
         metrics.counter("attack.race_wins").inc()
     return BaselineMitmTrial(connected=True, attacker_won=attacker_won)
+
+
+def run_baseline_trial(
+    m_spec: DeviceSpec,
+    seed: int,
+    c_spec: DeviceSpec = NEXUS_5X_A8,
+    a_spec: DeviceSpec = NEXUS_5X_A6,
+    attacker_scan_interval_slots: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> BaselineMitmTrial:
+    """One independent trial: fresh world, spoof, race, inspect winner."""
+    world = build_world(WorldConfig(seed=seed, registry=registry))
+    return race_in_world(
+        world,
+        m_spec,
+        c_spec=c_spec,
+        a_spec=a_spec,
+        attacker_scan_interval_slots=attacker_scan_interval_slots,
+        seed=seed,
+    )
 
 
 def baseline_success_rate(

@@ -11,8 +11,9 @@ one radio medium, one trace log, and the paper's three-role cast:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.devices.catalog import (
     LG_VELVET,
@@ -62,24 +63,70 @@ class World:
         self.medium.set_in_range(a.controller, b.controller, in_range)
 
 
-def build_world(
-    seed: int = 0,
-    registry: Optional[MetricsRegistry] = None,
-    max_trace_records: Optional[int] = None,
-) -> World:
-    """An empty world with a seeded RNG.
+@dataclass(frozen=True)
+class WorldConfig:
+    """Everything :func:`build_world` needs, in one value.
+
+    Replaces the old ``build_world(seed, registry, max_trace_records)``
+    positional sprawl: a config travels whole through campaign specs,
+    worker processes and cache keys, and grows fields without breaking
+    every callsite.
 
     ``registry`` defaults to the process-wide metrics registry so that
     counters aggregate across trial loops; pass an isolated
     :class:`MetricsRegistry` for per-run deterministic snapshots.
     ``max_trace_records`` bounds the shared tracer (ring-buffer mode)
-    for multi-hundred-trial baseline runs.
+    for multi-hundred-trial campaign runs.
     """
+
+    seed: int = 0
+    registry: Optional[MetricsRegistry] = None
+    max_trace_records: Optional[int] = None
+
+
+def build_world(
+    config: Union[WorldConfig, int, None] = None,
+    registry: Optional[MetricsRegistry] = None,
+    max_trace_records: Optional[int] = None,
+    *,
+    seed: Optional[int] = None,
+) -> World:
+    """An empty world with a seeded RNG.
+
+    Canonical form: ``build_world(WorldConfig(seed=42))``.  The legacy
+    ``build_world(seed, registry, max_trace_records)`` spelling (bare
+    int / keyword sprawl) still works but emits a
+    ``DeprecationWarning``.
+    """
+    if not isinstance(config, WorldConfig):
+        if config is not None and seed is not None:
+            raise TypeError("pass either a positional seed or seed=, not both")
+        legacy_seed = config if config is not None else seed
+        if (
+            legacy_seed is not None
+            or registry is not None
+            or max_trace_records is not None
+        ):
+            warnings.warn(
+                "build_world(seed, registry, max_trace_records) is "
+                "deprecated; pass build_world(WorldConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        config = WorldConfig(
+            seed=legacy_seed if legacy_seed is not None else 0,
+            registry=registry,
+            max_trace_records=max_trace_records,
+        )
+    elif registry is not None or max_trace_records is not None or seed is not None:
+        raise TypeError(
+            "build_world(WorldConfig(...)) takes no other arguments"
+        )
     simulator = Simulator()
-    rng = RngRegistry(seed)
-    tracer = Tracer(max_records=max_trace_records)
+    rng = RngRegistry(config.seed)
+    tracer = Tracer(max_records=config.max_trace_records)
     obs = Observability(
-        clock=lambda: simulator.now, registry=registry, tracer=tracer
+        clock=lambda: simulator.now, registry=config.registry, tracer=tracer
     )
     simulator.metrics = obs.metrics
     return World(

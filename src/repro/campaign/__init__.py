@@ -1,0 +1,69 @@
+"""Unified trial API + sharded parallel campaign engine.
+
+The paper's headline numbers are Monte-Carlo campaigns — 100 trials ×
+7 devices × 2 conditions for Table II alone.  This package runs them
+at scale behind one calling convention:
+
+* :mod:`repro.campaign.trial` — the :class:`Scenario` protocol
+  (``build(world, config) -> Trial``, ``Trial.run() -> TrialResult``)
+  and the scenario registry;
+* :mod:`repro.campaign.scenarios` — every attack in
+  :mod:`repro.attacks` wrapped as a registered scenario;
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner`: seed ranges
+  fanned across worker processes, isolated per-seed metrics merged via
+  :meth:`MetricsRegistry.merge`, per-trial timeout + retry;
+* :mod:`repro.campaign.cache` — on-disk results keyed by
+  (scenario, seed, params, code version) for incremental re-runs.
+
+Quick start::
+
+    from repro.campaign import CampaignRunner, CampaignSpec
+
+    spec = CampaignSpec("baseline-race", seeds=range(2000, 2100),
+                        params={"m_spec": "galaxy_s8_android9"})
+    print(CampaignRunner(workers=4).run(spec).success_rate)
+"""
+
+from repro.campaign.cache import (
+    ResultCache,
+    code_version,
+    default_cache_dir,
+    trial_key,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    TrialTimeout,
+    run_trial,
+)
+from repro.campaign.trial import (
+    Scenario,
+    ScenarioTrial,
+    Trial,
+    TrialConfig,
+    TrialResult,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultCache",
+    "Scenario",
+    "ScenarioTrial",
+    "Trial",
+    "TrialConfig",
+    "TrialResult",
+    "TrialTimeout",
+    "code_version",
+    "default_cache_dir",
+    "get_scenario",
+    "register_scenario",
+    "run_trial",
+    "scenario_names",
+    "trial_key",
+]

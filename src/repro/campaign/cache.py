@@ -1,0 +1,113 @@
+"""On-disk result cache: incremental re-runs of expensive sweeps.
+
+A trial is pure given its identity — (scenario name, seed, params,
+code version) fully determines the outcome because worlds are seeded
+and isolated.  The cache therefore keys each result by a content hash
+of exactly that tuple.  The code-version component is a digest of the
+``repro`` package sources, so *any* source edit invalidates every
+cached result, and partial sweeps stay incremental: re-running a
+Table II campaign recomputes only the seeds it has not seen.
+
+Entries are single JSON files (result + metrics snapshot) fanned out
+over 256 prefix directories, so a warm 1400-trial Table II re-run is a
+pure read workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+#: bump when the cache entry layout changes
+CACHE_FORMAT = 1
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (memoised per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _CODE_VERSION = digest.hexdigest()[:20]
+    return _CODE_VERSION
+
+
+def trial_key(
+    scenario: str,
+    seed: int,
+    params: Mapping[str, Any],
+    version: Optional[str] = None,
+) -> str:
+    """Content hash identifying one trial's result."""
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "scenario": scenario,
+            "seed": seed,
+            "params": params,
+            "code": version if version is not None else code_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$BLAP_CACHE_DIR`` or ``.blap-cache`` under the working dir."""
+    return Path(os.environ.get("BLAP_CACHE_DIR", ".blap-cache"))
+
+
+class ResultCache:
+    """JSON-file cache under one directory, keyed by :func:`trial_key`."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("format") != CACHE_FORMAT:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"format": CACHE_FORMAT, "payload": payload}, handle)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

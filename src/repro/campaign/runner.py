@@ -1,0 +1,297 @@
+"""The sharded parallel campaign engine.
+
+A campaign is one scenario swept over a seed range:
+
+    spec = CampaignSpec("page-blocking", seeds=range(2000, 2100),
+                        params={"m_spec": "galaxy_s8_android9"})
+    result = CampaignRunner(workers=4).run(spec)
+    result.success_rate        # Table II cell
+    result.metrics.snapshot()  # merged per-trial metrics
+
+Execution model:
+
+* seeds are fanned round-robin across ``ProcessPoolExecutor`` workers
+  (inline in-process when ``workers <= 1`` — no pool, no pickling);
+* every trial gets a *fresh world* with an isolated per-seed
+  :class:`MetricsRegistry` and a bounded tracer, so trials are
+  independent and their metric snapshots merge deterministically via
+  :meth:`MetricsRegistry.merge`;
+* a per-trial wall-clock timeout plus retry-with-fresh-world guards
+  the sweep against pathological seeds: a trial that times out or
+  raises is retried from scratch, and only after ``max_attempts`` is
+  it recorded as an error result (the campaign itself never dies);
+* with a :class:`~repro.campaign.cache.ResultCache` attached, finished
+  trials are written to disk keyed by (scenario, seed, params, code
+  version) — re-runs and partial sweeps only compute missing seeds.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.attacks.scenario import WorldConfig, build_world
+from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
+from repro.campaign.cache import ResultCache, trial_key
+from repro.campaign.trial import TrialConfig, TrialResult, get_scenario
+from repro.obs.metrics import MetricsRegistry
+
+#: default cap on per-world tracer records — campaigns only need the
+#: metrics snapshots, not full traces, so keep worlds lean.
+DEFAULT_TRACE_RECORDS = 256
+
+
+class TrialTimeout(Exception):
+    """A single trial exceeded the per-trial wall-clock budget."""
+
+
+class _TimeLimit:
+    """SIGALRM-based wall-clock guard (no-op off the main thread)."""
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds
+        self.armed = False
+
+    def __enter__(self) -> "_TimeLimit":
+        usable = (
+            self.seconds is not None
+            and self.seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if usable:
+            self._previous = signal.signal(signal.SIGALRM, self._on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+    def _on_alarm(self, _signum: int, _frame: Any) -> None:
+        raise TrialTimeout(f"trial exceeded {self.seconds}s")
+
+
+def run_trial(
+    scenario_name: str,
+    seed: int,
+    params: Optional[Mapping[str, Any]] = None,
+    max_trace_records: Optional[int] = DEFAULT_TRACE_RECORDS,
+    timeout_s: Optional[float] = None,
+    max_attempts: int = 1,
+) -> Tuple[TrialResult, Dict[str, Any]]:
+    """One trial in a fresh isolated world; returns (result, metrics).
+
+    This is the single execution path every surface shares — the
+    campaign workers, ``blap demo`` and direct library use all go
+    through here, so their ``TrialResult`` semantics cannot drift.
+    """
+    scenario = get_scenario(scenario_name)
+    config = TrialConfig(seed=seed, params=dict(params or {}))
+    attempts = 0
+    while True:
+        attempts += 1
+        registry = MetricsRegistry()
+        world = build_world(
+            WorldConfig(
+                seed=seed,
+                registry=registry,
+                max_trace_records=max_trace_records,
+            )
+        )
+        try:
+            with _TimeLimit(timeout_s):
+                result = scenario.build(world, config).run()
+            result.attempts = attempts
+            return result, registry.snapshot()
+        except Exception as exc:  # noqa: BLE001 - campaign must survive
+            if attempts >= max_attempts:
+                kind = (
+                    "timeout" if isinstance(exc, TrialTimeout) else "error"
+                )
+                result = TrialResult(
+                    scenario=scenario_name,
+                    seed=seed,
+                    success=False,
+                    outcome=kind,
+                    detail={"traceback": traceback.format_exc(limit=8)},
+                    sim_time_s=world.simulator.now,
+                    attempts=attempts,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return result, registry.snapshot()
+            # retry with a fresh world on the next loop iteration
+
+
+def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
+    """Worker entrypoint: run a batch of seeds, return plain dicts."""
+    scenario_name, seeds, params, max_trace_records, timeout_s, max_attempts = args
+    out: List[Dict[str, Any]] = []
+    for seed in seeds:
+        result, metrics = run_trial(
+            scenario_name,
+            seed,
+            params,
+            max_trace_records=max_trace_records,
+            timeout_s=timeout_s,
+            max_attempts=max_attempts,
+        )
+        out.append({"result": result.to_dict(), "metrics": metrics})
+    return out
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One scenario swept over a seed range with fixed params."""
+
+    scenario: str
+    seeds: Sequence[int]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, in seed order."""
+
+    spec: CampaignSpec
+    results: List[TrialResult]
+    metrics: MetricsRegistry
+    wall_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for result in self.results if result.success)
+
+    @property
+    def errors(self) -> List[TrialResult]:
+        return [result for result in self.results if result.error]
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+
+class CampaignRunner:
+    """Fans a campaign's seeds across workers and merges the results."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout_s: Optional[float] = 120.0,
+        max_attempts: int = 2,
+        max_trace_records: Optional[int] = DEFAULT_TRACE_RECORDS,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.max_trace_records = max_trace_records
+        self.cache = cache
+        self.progress = progress
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, spec: CampaignSpec) -> CampaignResult:
+        started = time.perf_counter()
+        get_scenario(spec.scenario)  # fail fast on unknown names
+        params = dict(spec.params)
+        seeds = list(spec.seeds)
+
+        by_seed: Dict[int, Dict[str, Any]] = {}
+        keys: Dict[int, str] = {}
+        pending: List[int] = []
+        if self.cache is not None:
+            for seed in seeds:
+                keys[seed] = trial_key(spec.scenario, seed, params)
+            for seed in dict.fromkeys(seeds):
+                entry = self.cache.get(keys[seed])
+                if entry is not None:
+                    by_seed[seed] = entry
+                else:
+                    pending.append(seed)
+        else:
+            pending = list(dict.fromkeys(seeds))
+        cache_hits = len(set(seeds)) - len(pending)
+        done = len(seeds) - len(pending)
+        if self.progress is not None and done:
+            self.progress(done, len(seeds))
+
+        for seed, entry in self._execute(spec.scenario, pending, params):
+            by_seed[seed] = entry
+            if self.cache is not None:
+                self.cache.put(keys[seed], entry)
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(seeds))
+
+        results: List[TrialResult] = []
+        merged = MetricsRegistry()
+        computed = set(pending)
+        for seed in seeds:
+            entry = by_seed[seed]
+            result = TrialResult.from_dict(entry["result"])
+            result.cached = self.cache is not None and seed not in computed
+            results.append(result)
+            merged.merge(entry["metrics"])
+        return CampaignResult(
+            spec=spec,
+            results=results,
+            metrics=merged,
+            wall_time_s=time.perf_counter() - started,
+            cache_hits=cache_hits if self.cache is not None else 0,
+            cache_misses=len(pending) if self.cache is not None else 0,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _execute(
+        self, scenario_name: str, seeds: List[int], params: Dict[str, Any]
+    ):
+        """Yield (seed, entry) for every missing seed, sharded."""
+        if not seeds:
+            return
+        workers = min(self.workers, len(seeds))
+        shard_args = [
+            (
+                scenario_name,
+                shard,
+                params,
+                self.max_trace_records,
+                self.timeout_s,
+                self.max_attempts,
+            )
+            for shard in self._shards(seeds, workers)
+        ]
+        if workers <= 1:
+            for entry, seed in zip(_run_shard(shard_args[0]), seeds):
+                yield seed, entry
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for shard, entries in zip(
+                (args[1] for args in shard_args),
+                pool.map(_run_shard, shard_args),
+            ):
+                for seed, entry in zip(shard, entries):
+                    yield seed, entry
+
+    @staticmethod
+    def _shards(seeds: List[int], workers: int) -> List[List[int]]:
+        """Round-robin split: balances unequal per-seed costs."""
+        shards: List[List[int]] = [[] for _ in range(workers)]
+        for index, seed in enumerate(seeds):
+            shards[index % workers].append(seed)
+        return [shard for shard in shards if shard]

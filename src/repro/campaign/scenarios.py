@@ -1,0 +1,387 @@
+"""Every attack in :mod:`repro.attacks`, wrapped as a Scenario.
+
+Each scenario stages exactly the same procedure as its legacy
+entrypoint (the free functions and attack classes the tests pin), so
+``TrialResult.success`` carries identical semantics — verified by the
+equivalence tests over fixed seeds in ``tests/test_campaign_scenarios``.
+
+Device knobs are catalog *keys* (strings), not ``DeviceSpec`` objects,
+so params stay JSON-serialisable and usable as cache-key material.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.attacks.baseline import race_in_world
+from repro.attacks.eavesdrop import AirCapture, OfflineDecryptor
+from repro.attacks.exfiltration import exfiltrate
+from repro.attacks.knob import brute_force_low_entropy_session
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.pin_crack import (
+    crack_pin,
+    numeric_pins,
+    transcript_from_capture,
+)
+from repro.attacks.scenario import World, bond, standard_cast
+from repro.campaign.trial import Scenario, register_scenario
+from repro.core.types import LinkKey
+from repro.devices.catalog import spec_by_key
+from repro.host.map_profile import Message
+from repro.host.pbap import Contact
+from repro.snoop.hcidump import render_dump_table
+
+#: the known-plaintext marker carried by SDP responses (the "Personal
+#: Ad-hoc" PAN service name), used by the offline-decryption checks.
+PLAINTEXT_MARKER = b"Personal Ad-hoc"
+
+
+def _cast(world: World, params: Dict[str, Any]):
+    """The M / C / A trio from catalog keys in ``params``."""
+    return standard_cast(
+        world,
+        m_spec=spec_by_key(params["m_spec"]),
+        c_spec=spec_by_key(params["c_spec"]),
+        a_spec=spec_by_key(params["a_spec"]),
+    )
+
+
+@register_scenario
+class BaselineRaceScenario(Scenario):
+    """Table II left column: the un-blocked MITM connection race."""
+
+    name = "baseline-race"
+    description = "MITM connection race without page blocking (Table II w/o)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+        "attacker_scan_interval_slots": None,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        trial = race_in_world(
+            world,
+            spec_by_key(params["m_spec"]),
+            c_spec=spec_by_key(params["c_spec"]),
+            a_spec=spec_by_key(params["a_spec"]),
+            attacker_scan_interval_slots=params["attacker_scan_interval_slots"],
+            seed=seed,
+        )
+        if not trial.connected:
+            outcome = "no_connection"
+        elif trial.attacker_won:
+            outcome = "attacker_won"
+        else:
+            outcome = "victim_won"
+        return (
+            trial.attacker_won,
+            outcome,
+            {"connected": trial.connected, "attacker_won": trial.attacker_won},
+        )
+
+
+@register_scenario
+class PageBlockingScenario(Scenario):
+    """§V: PLOC page blocking + Just Works downgrade (Table II with)."""
+
+    name = "page-blocking"
+    description = "PLOC page blocking + SSP downgrade (Table II with)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+        "pairing_delay": 5.0,
+        "ploc_hold_seconds": 10.0,
+        "capture_m_dump": False,
+        "run_discovery": False,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m, c, a = _cast(world, params)
+        report = PageBlockingAttack(
+            world, a, c, m, ploc_hold_seconds=params["ploc_hold_seconds"]
+        ).run(
+            pairing_delay=params["pairing_delay"],
+            capture_m_dump=params["capture_m_dump"],
+            run_discovery=params["run_discovery"],
+        )
+        detail = {
+            "mitm_connection": report.mitm_connection,
+            "paired": report.paired,
+            "downgraded_to_just_works": report.downgraded_to_just_works,
+            "popup_shown_on_m": report.popup_shown_on_m,
+            "notes": list(report.notes),
+        }
+        if report.m_dump is not None:
+            detail["m_flow"] = list(report.m_flow)
+            detail["m_dump_table"] = render_dump_table(
+                report.m_dump.entries(), max_rows=14
+            )
+        return (
+            report.success,
+            "mitm" if report.success else "lost",
+            detail,
+        )
+
+
+@register_scenario
+class ExtractionScenario(Scenario):
+    """§IV / Fig. 5: link key extraction from C's HCI recording."""
+
+    name = "extraction"
+    description = "link key extraction via HCI dump / USB sniff (Table I)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+        "validate": True,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m, c, a = _cast(world, params)
+        bond(world, c, m)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(
+            validate=params["validate"]
+        )
+        detail = {
+            "c_device": report.c_device,
+            "c_os": report.c_os,
+            "c_stack": report.c_stack,
+            "extraction_channel": report.extraction_channel,
+            "su_required": report.su_required,
+            "extraction_success": report.extraction_success,
+            "key_survived_on_c": report.key_survived_on_c,
+            "validated_against_m": report.validated_against_m,
+            "vulnerable": report.vulnerable,
+            "extracted_key": (
+                report.extracted_key.hex() if report.extracted_key else None
+            ),
+            "notes": list(report.notes),
+        }
+        return (
+            report.vulnerable,
+            "extracted" if report.vulnerable else "not_vulnerable",
+            detail,
+        )
+
+
+@register_scenario
+class ExfiltrationScenario(Scenario):
+    """§III end goal: extraction, then PBAP/MAP exfiltration from M."""
+
+    name = "exfiltration"
+    description = "extraction + silent PBAP/MAP data theft from M"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m, c, a = _cast(world, params)
+        m.host.pbap.load_phonebook([Contact("Alice Example", "+1-555-0100")])
+        m.host.map.load_messages([Message("Alice Example", "Dinner at 8?")])
+        bond(world, c, m)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        if not report.extraction_success:
+            return False, "extraction_failed", {"extraction_success": False}
+        world.set_in_range(c, m, False)
+        a.host.drop_link_key_requests = False
+        c.host.gap.set_scan_mode(connectable=False, discoverable=False)
+        exfil = exfiltrate(
+            world,
+            a,
+            m,
+            trusted_c_addr=c.bd_addr,
+            trusted_c_cod=c.controller.class_of_device,
+            trusted_c_name=c.controller.local_name,
+            link_key=report.extracted_key,
+        )
+        detail = {
+            "extraction_success": True,
+            "phonebook": [
+                {"name": contact.name, "phone": contact.phone}
+                for contact in exfil.phonebook
+            ],
+            "messages": [
+                {"sender": message.sender, "body": message.body}
+                for message in exfil.messages
+            ],
+            "silent": exfil.silent,
+            "notes": list(exfil.notes),
+        }
+        return (
+            exfil.success,
+            "exfiltrated" if exfil.success else "exfil_failed",
+            detail,
+        )
+
+
+def _encrypted_session(
+    world: World, params: Dict[str, Any]
+) -> Tuple[Any, Any, Any, AirCapture, Any]:
+    """Bond C↔M, then sniff one encrypted SDP exchange off the air."""
+    m, c, a = _cast(world, params)
+    bond(world, c, m)
+    if params.get("max_key_size_on_m") is not None:
+        m.controller.max_encryption_key_size = params["max_key_size_on_m"]
+    if params.get("min_key_size_on_c") is not None:
+        c.controller.min_encryption_key_size = params["min_key_size_on_c"]
+    capture = AirCapture().attach(world.medium)
+    operation = m.host.gap.pair(c.bd_addr)
+    world.run_for(10.0)
+    if not operation.success:
+        raise RuntimeError("session setup pairing failed")
+    encryption = m.host.gap.enable_encryption(c.bd_addr)
+    world.run_for(2.0)
+    m.host.sdp.query(c.bd_addr)
+    world.run_for(5.0)
+    return m, c, a, capture, encryption
+
+
+@register_scenario
+class EavesdropScenario(Scenario):
+    """§IV-C: decrypt past sniffed traffic with an extracted key."""
+
+    name = "eavesdrop"
+    description = "offline E0 decryption of sniffed traffic (§IV-C)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+        "max_key_size_on_m": None,
+        "min_key_size_on_c": None,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m, c, a, capture, _ = _encrypted_session(world, params)
+        m.host.gap.disconnect(c.bd_addr)
+        world.run_for(2.0)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        if not report.extraction_success:
+            return False, "extraction_failed", {"extraction_success": False}
+        decryptor = OfflineDecryptor(
+            capture,
+            report.extracted_key,
+            prover_addr=c.bd_addr,
+            master_addr=m.bd_addr,
+            master_name=m.name,
+        )
+        plaintexts = decryptor.decrypt_all()
+        wrong = decryptor.try_wrong_key(LinkKey(b"\x00" * 16))
+        detail = {
+            "extraction_success": True,
+            "captured_frames": len(capture.encrypted_acl_frames()),
+            "decrypted_hit": any(PLAINTEXT_MARKER in p for p in plaintexts),
+            "wrong_key_hit": any(PLAINTEXT_MARKER in p for p in wrong),
+        }
+        success = detail["decrypted_hit"] and not detail["wrong_key_hit"]
+        return success, "decrypted" if success else "no_plaintext", detail
+
+
+@register_scenario
+class KnobScenario(Scenario):
+    """§VIII contrast: KNOB'd 1-byte-entropy session brute force."""
+
+    name = "knob"
+    description = "KNOB-style low-entropy session brute force (§VIII)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+        "max_key_size_on_m": 1,
+        "min_key_size_on_c": 1,
+        "entropy_bytes": 1,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m, c, a, capture, encryption = _encrypted_session(world, params)
+        if not encryption.success:
+            # The post-KNOB minimum key size mitigation refused the
+            # negotiation — the attack dies before any brute force.
+            return (
+                False,
+                "negotiation_refused",
+                {"encryption_established": False, "status": encryption.status},
+            )
+        result = brute_force_low_entropy_session(
+            capture,
+            m.bd_addr,
+            m.name,
+            params["entropy_bytes"],
+            plaintext_predicate=lambda ps: any(
+                PLAINTEXT_MARKER in p for p in ps
+            ),
+        )
+        if result is None:
+            return False, "key_not_found", {"encryption_established": True}
+        return (
+            True,
+            "session_cracked",
+            {
+                "encryption_established": True,
+                "candidates_tried": result.candidates_tried,
+                "kc_prime": result.kc_prime.hex(),
+            },
+        )
+
+
+@register_scenario
+class PinCrackScenario(Scenario):
+    """Historical contrast: offline PIN crack of a legacy pairing."""
+
+    name = "pin-crack"
+    description = "offline PIN crack of a sniffed legacy pairing"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "pin": "8341",
+        "digits": 4,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m = world.add_device("M", spec_by_key(params["m_spec"]))
+        c = world.add_device("C", spec_by_key(params["c_spec"]))
+        m.host.ssp_enabled = False
+        c.host.ssp_enabled = False
+        m.user.pin_code = params["pin"]
+        c.user.pin_code = params["pin"]
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        capture = AirCapture().attach(world.medium)
+        operation = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        if not operation.success:
+            raise RuntimeError("legacy pairing for the sniff failed")
+        truth = m.host.security.bond_for(c.bd_addr).link_key
+        transcript = transcript_from_capture(capture, "M", m.bd_addr, c.bd_addr)
+        result = crack_pin(transcript, numeric_pins(params["digits"]))
+        if result is None:
+            return False, "pin_not_found", {"candidates_tried": 10 ** params["digits"]}
+        detail = {
+            "pin": result.pin.decode("ascii"),
+            "candidates_tried": result.candidates_tried,
+            "key_matches_bond": result.link_key == truth,
+        }
+        return (
+            bool(detail["key_matches_bond"]),
+            "pin_recovered" if detail["key_matches_bond"] else "wrong_key",
+            detail,
+        )

@@ -1,0 +1,203 @@
+"""The uniform trial API every attack runs behind.
+
+One calling convention for every experiment in the repo:
+
+* a :class:`Scenario` knows how to stage one attack inside a fresh
+  :class:`~repro.attacks.scenario.World` — ``build(world, config)``
+  returns a :class:`Trial`;
+* ``Trial.run()`` executes it and reports a :class:`TrialResult` whose
+  fields are plain JSON-serialisable values, so results travel across
+  worker processes and in and out of the on-disk campaign cache
+  unchanged;
+* the registry maps scenario names to instances, so the campaign
+  runner, the CLI and the benchmarks all launch attacks the same way::
+
+      scenario = get_scenario("page-blocking")
+      trial = scenario.build(world, TrialConfig(seed=3))
+      result = trial.run()
+
+Scenario ``params`` are free-form per scenario (device keys, delays,
+flags) but must stay JSON-serialisable: they are part of the cache key.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.attacks.scenario import World
+
+try:  # pragma: no cover - py3.9 has Protocol in typing
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """One trial's identity: the seed plus scenario parameters."""
+
+    seed: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TrialResult:
+    """The uniform outcome record every scenario produces.
+
+    ``success`` carries the same semantics as the scenario's legacy
+    report (``report.success`` / ``report.vulnerable`` /
+    ``trial.attacker_won`` ...); ``detail`` holds the scenario-specific
+    facts, restricted to JSON-serialisable values.
+    """
+
+    scenario: str
+    seed: int
+    success: bool
+    outcome: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+    sim_time_s: float = 0.0
+    wall_time_s: float = 0.0
+    attempts: int = 1
+    error: Optional[str] = None
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "success": self.success,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "sim_time_s": self.sim_time_s,
+            "wall_time_s": self.wall_time_s,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        return cls(
+            scenario=data["scenario"],
+            seed=data["seed"],
+            success=data["success"],
+            outcome=data["outcome"],
+            detail=dict(data.get("detail", {})),
+            sim_time_s=data.get("sim_time_s", 0.0),
+            wall_time_s=data.get("wall_time_s", 0.0),
+            attempts=data.get("attempts", 1),
+            error=data.get("error"),
+        )
+
+
+@runtime_checkable
+class Trial(Protocol):
+    """Anything with a ``run() -> TrialResult``."""
+
+    def run(self) -> TrialResult:  # pragma: no cover - protocol
+        ...
+
+
+#: a scenario's execute hook: (world, params, seed) ->
+#: (success, outcome, detail)
+ExecuteFn = Callable[[World, Dict[str, Any], int], Tuple[bool, str, Dict[str, Any]]]
+
+
+class ScenarioTrial:
+    """The standard :class:`Trial`: times the execute hook and wraps
+    its verdict into a :class:`TrialResult`."""
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        world: World,
+        config: TrialConfig,
+        params: Dict[str, Any],
+    ) -> None:
+        self.scenario = scenario
+        self.world = world
+        self.config = config
+        self.params = params
+
+    def run(self) -> TrialResult:
+        started = time.perf_counter()
+        success, outcome, detail = self.scenario.execute(
+            self.world, self.params, self.config.seed
+        )
+        return TrialResult(
+            scenario=self.scenario.name,
+            seed=self.config.seed,
+            success=bool(success),
+            outcome=outcome,
+            detail=detail,
+            sim_time_s=self.world.simulator.now,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+
+class Scenario:
+    """Base class: stage one attack in a fresh world.
+
+    Subclasses set ``name`` / ``default_params`` and implement
+    :meth:`execute`.  ``build`` satisfies the Scenario protocol the
+    campaign runner consumes; overriding it is allowed for scenarios
+    that need a custom :class:`Trial`.
+    """
+
+    #: registry key (CLI spelling, e.g. ``"page-blocking"``)
+    name: str = ""
+    #: one line for ``blap campaign list``
+    description: str = ""
+    #: scenario knobs merged under ``TrialConfig.params``
+    default_params: Dict[str, Any] = {}
+
+    def merged_params(self, config: TrialConfig) -> Dict[str, Any]:
+        params = dict(self.default_params)
+        unknown = set(config.params) - set(params)
+        if unknown:
+            raise KeyError(
+                f"{self.name}: unknown params {sorted(unknown)}; "
+                f"known: {sorted(params)}"
+            )
+        params.update(config.params)
+        return params
+
+    def build(self, world: World, config: TrialConfig) -> Trial:
+        return ScenarioTrial(self, world, config, self.merged_params(config))
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        raise NotImplementedError
+
+
+# ------------------------------------------------------------------ registry
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario (instance or class — classes are instantiated)."""
+    if isinstance(scenario, type):
+        scenario = scenario()
+    if not scenario.name:
+        raise ValueError(f"{scenario!r} has no name")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)

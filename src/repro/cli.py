@@ -12,18 +12,23 @@ Android bug report) and on raw USB analyzer streams:
   signature scan (the Fig. 11 pipeline).
 * ``blap bin2hex <stream.bin>`` — just the converter.
 * ``blap iocap [--version 4.2|5.0]`` — print the Fig. 7 matrix.
-* ``blap demo {extraction,page-blocking,exfiltration}`` — run a full
-  simulated attack and narrate the outcome.
-* ``blap timeline {extraction,page-blocking,exfiltration}`` — run a
-  simulated attack and export the merged cross-device timeline as a
-  table, JSONL, or a Chrome trace (open in https://ui.perfetto.dev).
+* ``blap demo <scenario>`` — run one simulated attack through the
+  scenario registry and narrate the outcome (exit 1 on failure).
+* ``blap timeline <scenario>`` — run a simulated attack and export the
+  merged cross-device timeline as a table, JSONL, or a Chrome trace
+  (open in https://ui.perfetto.dev).
+* ``blap campaign {run,table1,table2,list}`` — the sharded parallel
+  campaign engine: Monte-Carlo sweeps over seed ranges with on-disk
+  result caching (``blap campaign table2 --trials 100 --workers 4``
+  regenerates the paper's Table II).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.types import BluetoothVersion
 from repro.host.iocap import render_confirmation_matrix
@@ -89,133 +94,92 @@ def _cmd_iocap(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_extraction(seed: int, registry=None):
-    """Run the §IV extraction scenario; return ``(world, report)``."""
-    from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-    from repro.attacks.scenario import bond, build_world, standard_cast
-
-    world = build_world(seed=seed, registry=registry)
-    m, c, a = standard_cast(world)
-    bond(world, c, m)
-    report = LinkKeyExtractionAttack(world, a, c, m).run()
-    return world, report
-
-
-def _run_page_blocking(seed: int, registry=None):
-    """Run the §V page blocking scenario; return ``(world, report)``."""
-    from repro.attacks.page_blocking import PageBlockingAttack
-    from repro.attacks.scenario import build_world, standard_cast
-
-    world = build_world(seed=seed, registry=registry)
-    m, c, a = standard_cast(world)
-    report = PageBlockingAttack(world, a, c, m).run()
-    return world, report
-
-
-def _run_exfiltration(seed: int, registry=None):
-    """Run extraction + PAN exfiltration; return ``(world, result)``.
-
-    ``result`` is the :class:`~repro.attacks.exfiltration.ExfilReport`,
-    or ``None`` when the prerequisite key extraction failed.
-    """
-    from repro.attacks.exfiltration import exfiltrate
-    from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-    from repro.attacks.scenario import bond, build_world, standard_cast
-    from repro.host.map_profile import Message
-    from repro.host.pbap import Contact
-
-    world = build_world(seed=seed, registry=registry)
-    m, c, a = standard_cast(world)
-    m.host.pbap.load_phonebook(
-        [Contact("Alice Example", "+1-555-0100")]
-    )
-    m.host.map.load_messages([Message("Alice Example", "Dinner at 8?")])
-    bond(world, c, m)
-    report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
-    if not report.extraction_success:
-        return world, None
-    world.set_in_range(c, m, False)
-    a.host.drop_link_key_requests = False
-    c.host.gap.set_scan_mode(connectable=False, discoverable=False)
-    exfil = exfiltrate(
-        world,
-        a,
-        m,
-        trusted_c_addr=c.bd_addr,
-        trusted_c_cod=c.controller.class_of_device,
-        trusted_c_name=c.controller.local_name,
-        link_key=report.extracted_key,
-    )
-    return world, exfil
-
-
-_SCENARIO_RUNNERS = {
-    "extraction": _run_extraction,
-    "page-blocking": _run_page_blocking,
-    "exfiltration": _run_exfiltration,
+# The demos keep the legacy single-run behaviour: full tracing, the
+# victim dump captured, discovery running — richer than the lean
+# defaults the campaign sweeps use.
+_DEMO_PARAMS: Dict[str, Dict[str, Any]] = {
+    "page-blocking": {"capture_m_dump": True, "run_discovery": True},
 }
 
 
-def _demo_extraction(seed: int) -> int:
-    _, report = _run_extraction(seed)
-    print(f"channel       : {report.extraction_channel}")
-    print(f"su required   : {report.su_required}")
-    print(f"extracted key : {report.extracted_key}")
-    print(f"matches truth : {report.extraction_success}")
-    print(f"validated     : {report.validated_against_m}")
-    return 0 if report.vulnerable else 1
+def _run_demo_world(scenario_name: str, seed: int, params=None):
+    """One narrated run: fresh world, unbounded tracer, isolated metrics.
+
+    Returns ``(world, TrialResult)`` so callers can also export the
+    timeline.  An isolated registry keeps the run deterministic per
+    seed and independent of anything else the process has counted.
+    """
+    from repro.attacks.scenario import WorldConfig, build_world
+    from repro.campaign import TrialConfig, get_scenario
+    from repro.obs.metrics import MetricsRegistry
+
+    world = build_world(WorldConfig(seed=seed, registry=MetricsRegistry()))
+    scenario = get_scenario(scenario_name)
+    merged = dict(_DEMO_PARAMS.get(scenario_name, {}))
+    merged.update(params or {})
+    config = TrialConfig(seed=seed, params=merged)
+    return world, scenario.build(world, config).run()
 
 
-def _demo_page_blocking(seed: int) -> int:
-    from repro.snoop.hcidump import render_dump_table
-
-    _, report = _run_page_blocking(seed)
-    print(f"MITM connection : {report.mitm_connection}")
-    print(f"paired          : {report.paired}")
-    print(f"just works      : {report.downgraded_to_just_works}")
-    print(render_dump_table(report.m_dump.entries(), max_rows=14))
-    return 0 if report.success else 1
+def _narrate_extraction(detail: Dict[str, Any]) -> None:
+    print(f"channel       : {detail['extraction_channel']}")
+    print(f"su required   : {detail['su_required']}")
+    print(f"extracted key : {detail['extracted_key']}")
+    print(f"matches truth : {detail['extraction_success']}")
+    print(f"validated     : {detail['validated_against_m']}")
 
 
-def _demo_exfiltration(seed: int) -> int:
-    _, exfil = _run_exfiltration(seed)
-    if exfil is None:
+def _narrate_page_blocking(detail: Dict[str, Any]) -> None:
+    print(f"MITM connection : {detail['mitm_connection']}")
+    print(f"paired          : {detail['paired']}")
+    print(f"just works      : {detail['downgraded_to_just_works']}")
+    if "m_dump_table" in detail:
+        print(detail["m_dump_table"])
+
+
+def _narrate_exfiltration(detail: Dict[str, Any]) -> None:
+    if not detail.get("extraction_success"):
         print("extraction failed")
-        return 1
-    print(f"phonebook entries stolen: {len(exfil.phonebook)}")
-    for contact in exfil.phonebook:
-        print(f"  {contact.name}: {contact.phone}")
-    print(f"messages stolen: {len(exfil.messages)}")
-    for message in exfil.messages:
-        print(f"  from {message.sender}: {message.body}")
-    print(f"silent (no popup on victim): {exfil.silent}")
-    return 0 if exfil.success else 1
+        return
+    print(f"phonebook entries stolen: {len(detail['phonebook'])}")
+    for contact in detail["phonebook"]:
+        print(f"  {contact['name']}: {contact['phone']}")
+    print(f"messages stolen: {len(detail['messages'])}")
+    for message in detail["messages"]:
+        print(f"  from {message['sender']}: {message['body']}")
+    print(f"silent (no popup on victim): {detail['silent']}")
+
+
+_NARRATORS = {
+    "extraction": _narrate_extraction,
+    "page-blocking": _narrate_page_blocking,
+    "exfiltration": _narrate_exfiltration,
+}
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    runners = {
-        "extraction": _demo_extraction,
-        "page-blocking": _demo_page_blocking,
-        "exfiltration": _demo_exfiltration,
-    }
-    return runners[args.scenario](args.seed)
+    _, result = _run_demo_world(args.scenario, args.seed, dict(args.param or []))
+    narrator = _NARRATORS.get(args.scenario)
+    if narrator is not None:
+        narrator(result.detail)
+    else:
+        for key, value in result.detail.items():
+            print(f"{key}: {value}")
+    print(f"outcome : {result.outcome}")
+    print(f"success : {result.success}")
+    if result.error:
+        print(f"error   : {result.error}", file=sys.stderr)
+    return 0 if result.success else 1
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
-    import json
-
-    from repro.obs.metrics import MetricsRegistry
     from repro.obs.timeline import (
         export_chrome_trace,
         export_jsonl,
         render_timeline_table,
     )
 
-    # An isolated registry keeps the run deterministic per seed and
-    # independent of anything else the process has been counting.
-    world, _ = _SCENARIO_RUNNERS[args.scenario](
-        args.seed, registry=MetricsRegistry()
-    )
+    world, _ = _run_demo_world(args.scenario, args.seed)
     events = world.obs.timeline.events(
         sources=args.source or None, categories=args.category or None
     )
@@ -234,6 +198,221 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+# ---------------------------------------------------------------- campaigns
+
+
+def _parse_param(raw: str) -> "tuple[str, Any]":
+    """``key=value`` with JSON values (bare words stay strings)."""
+    key, sep, value = raw.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {raw!r}"
+        )
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _make_runner(args: argparse.Namespace):
+    from repro.campaign import CampaignRunner, ResultCache, default_cache_dir
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+        cache = ResultCache(cache_dir)
+    return CampaignRunner(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        max_attempts=args.retries + 1,
+        cache=cache,
+    )
+
+
+def _campaign_summary(result) -> str:
+    cache_note = (
+        f", cache {result.cache_hits} hit / {result.cache_misses} miss"
+        if result.cache_hits or result.cache_misses
+        else ""
+    )
+    return (
+        f"{result.spec.scenario}: {result.successes}/{result.trials} "
+        f"succeeded ({result.success_rate:.0%}) in "
+        f"{result.wall_time_s:.2f}s{cache_note}"
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec
+
+    params = dict(args.param or [])
+    spec = CampaignSpec(
+        args.scenario,
+        seeds=range(args.seed_base, args.seed_base + args.trials),
+        params=params,
+    )
+    result = _make_runner(args).run(spec)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": args.scenario,
+                    "trials": result.trials,
+                    "successes": result.successes,
+                    "success_rate": result.success_rate,
+                    "wall_time_s": result.wall_time_s,
+                    "cache_hits": result.cache_hits,
+                    "cache_misses": result.cache_misses,
+                    "results": [r.to_dict() for r in result.results],
+                },
+                indent=1,
+            )
+        )
+    else:
+        print(_campaign_summary(result))
+        for trial in result.errors:
+            print(f"  seed {trial.seed}: {trial.error}", file=sys.stderr)
+    return 1 if result.errors else 0
+
+
+def _cmd_campaign_table1(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec
+    from repro.devices.catalog import TABLE1_DEVICE_SPECS
+
+    runner = _make_runner(args)
+    rows = []
+    for index, spec in enumerate(TABLE1_DEVICE_SPECS):
+        campaign = runner.run(
+            CampaignSpec(
+                "extraction",
+                seeds=[args.seed_base + index],
+                params={"c_spec": spec.key},
+            )
+        )
+        rows.append((spec, campaign.results[0]))
+
+    print(
+        "Table I: devices vulnerable to link key extraction attack "
+        f"(seed base {args.seed_base})"
+    )
+    header = (
+        f"{'OS':<14} {'Host stack':<14} {'Device':<42} "
+        f"{'Channel':<10} {'SU':<4} {'Vulnerable'}"
+    )
+    print(header)
+    print("-" * len(header))
+    all_vulnerable = True
+    for spec, trial in rows:
+        detail = trial.detail
+        vulnerable = trial.success
+        all_vulnerable = all_vulnerable and vulnerable
+        print(
+            f"{spec.os:<14} {spec.stack_profile.name:<14} "
+            f"{spec.marketing_name:<42} "
+            f"{detail.get('extraction_channel', '?'):<10} "
+            f"{'Y' if detail.get('su_required') else 'N':<4} "
+            f"{'YES' if vulnerable else 'no'}"
+        )
+    return 0 if all_vulnerable else 1
+
+
+def _cmd_campaign_table2(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.campaign import CampaignSpec
+    from repro.devices.catalog import TABLE2_DEVICE_SPECS
+
+    runner = _make_runner(args)
+    started = _time.perf_counter()
+    rows = []
+    hits = misses = 0
+    for index, spec in enumerate(TABLE2_DEVICE_SPECS):
+        base = args.seed_base + index * 10_000
+        baseline = runner.run(
+            CampaignSpec(
+                "baseline-race",
+                seeds=range(base, base + args.trials),
+                params={"m_spec": spec.key},
+            )
+        )
+        blocked = runner.run(
+            CampaignSpec(
+                "page-blocking",
+                seeds=range(base + 50_000, base + 50_000 + args.trials),
+                params={"m_spec": spec.key},
+            )
+        )
+        hits += baseline.cache_hits + blocked.cache_hits
+        misses += baseline.cache_misses + blocked.cache_misses
+        rows.append((spec, baseline.success_rate, blocked.success_rate))
+    wall = _time.perf_counter() - started
+
+    print(
+        f"Table II: MITM connection success rates "
+        f"({args.trials} trials/cell, {args.workers} workers)"
+    )
+    header = f"{'Device':<28} {'w/o blocking':<13} {'with blocking'}"
+    print(header)
+    print("-" * len(header))
+    # The baseline race is a scan-phase coin flip; with few trials the
+    # binomial noise around the paper's 42-60% band widens accordingly.
+    low, high = (0.30, 0.70) if args.trials >= 50 else (0.125, 0.875)
+    verdict = True
+    for spec, baseline, blocked in rows:
+        flag = ""
+        if blocked != 1.0:
+            verdict = False
+            flag = "  <-- page blocking not deterministic?!"
+        elif not low <= baseline <= high:
+            verdict = False
+            flag = "  <-- baseline outside the race band"
+        print(
+            f"{spec.marketing_name + ' (' + spec.os + ')':<28} "
+            f"{baseline:>10.0%}   {blocked:>10.0%}{flag}"
+        )
+    print(
+        f"\n{len(rows) * 2 * args.trials} trials in {wall:.2f}s"
+        + (f" (cache: {hits} hit / {misses} miss)" if hits or misses else "")
+    )
+    print(
+        "paper: 42-60% without page blocking, 100% with — "
+        + ("reproduced" if verdict else "NOT reproduced")
+    )
+    return 0 if verdict else 1
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from repro.campaign import get_scenario, scenario_names
+
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        print(f"{name:<16} {scenario.description}")
+        if args.verbose:
+            for key, value in sorted(scenario.default_params.items()):
+                print(f"    {key} = {value!r}")
+    return 0
+
+
+def _add_campaign_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="per-trial seconds"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="retries with a fresh world after a failed/timed-out trial",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $BLAP_CACHE_DIR or .blap-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,20 +457,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     iocap.set_defaults(func=_cmd_iocap)
 
+    from repro.campaign import scenario_names
+
     demo = sub.add_parser("demo", help="run a simulated attack end to end")
-    demo.add_argument(
-        "scenario", choices=["extraction", "page-blocking", "exfiltration"]
-    )
+    demo.add_argument("scenario", choices=scenario_names())
     demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable)",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     timeline = sub.add_parser(
         "timeline",
         help="run a simulated attack and export the merged timeline",
     )
-    timeline.add_argument(
-        "scenario", choices=["extraction", "page-blocking", "exfiltration"]
-    )
+    timeline.add_argument("scenario", choices=scenario_names())
     timeline.add_argument("--seed", type=int, default=1)
     timeline.add_argument(
         "--format",
@@ -316,6 +500,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="only these categories (repeatable; e.g. phy-page, span)",
     )
     timeline.set_defaults(func=_cmd_timeline)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded parallel Monte-Carlo sweeps (Table I/II scale)",
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = csub.add_parser("run", help="sweep one scenario over a seed range")
+    run.add_argument("scenario", choices=scenario_names())
+    run.add_argument("--trials", type=int, default=20)
+    run.add_argument("--seed-base", type=int, default=0)
+    run.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="scenario parameter (JSON value; repeatable)",
+    )
+    run.add_argument("--json", action="store_true", help="machine output")
+    _add_campaign_common(run)
+    run.set_defaults(func=_cmd_campaign_run)
+
+    table1 = csub.add_parser(
+        "table1", help="regenerate Table I (link key extraction fleet)"
+    )
+    table1.add_argument("--seed-base", type=int, default=1000)
+    _add_campaign_common(table1)
+    table1.set_defaults(func=_cmd_campaign_table1)
+
+    table2 = csub.add_parser(
+        "table2", help="regenerate Table II (MITM rates, both conditions)"
+    )
+    table2.add_argument("--trials", type=int, default=20)
+    table2.add_argument("--seed-base", type=int, default=2000)
+    _add_campaign_common(table2)
+    table2.set_defaults(func=_cmd_campaign_table2)
+
+    listing = csub.add_parser("list", help="registered scenarios")
+    listing.add_argument(
+        "-v", "--verbose", action="store_true", help="show default params"
+    )
+    listing.set_defaults(func=_cmd_campaign_list)
 
     return parser
 

@@ -238,6 +238,80 @@ class MetricsRegistry:
             )
         return "\n".join(lines)
 
+    # ---------------------------------------------------------------- merging
+
+    def merge(
+        self, other: Union["MetricsRegistry", Dict[str, Dict[str, object]]]
+    ) -> "MetricsRegistry":
+        """Fold another registry (or a :meth:`snapshot` dict) into this one.
+
+        The campaign engine runs every trial against an isolated
+        per-seed registry in a worker process and ships the snapshot
+        back; the parent merges them so campaign-level metrics read
+        exactly like one long serial run.  Merging is kind-wise:
+        counters add, gauge values add (``max_value`` takes the max),
+        histograms add bucket-by-bucket.  A histogram name whose bucket
+        bounds differ between the two sides raises ``ValueError`` — the
+        sum would be meaningless.
+        """
+        if not self.enabled:
+            return self
+        if isinstance(other, MetricsRegistry):
+            for name, counter in other._counters.items():
+                self.counter(name).inc(counter.value)
+            for name, gauge in other._gauges.items():
+                mine = self.gauge(name)
+                mine.value += gauge.value
+                if gauge.max_value > mine.max_value:
+                    mine.max_value = gauge.max_value
+            for name, hist in other._histograms.items():
+                self._merge_histogram(
+                    name, hist.bounds, hist.bucket_counts, hist.count, hist.sum
+                )
+            return self
+        return self._merge_snapshot(other)
+
+    def _merge_snapshot(
+        self, snapshot: Dict[str, Dict[str, object]]
+    ) -> "MetricsRegistry":
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            mine = self.gauge(name)
+            mine.value += value
+            if value > mine.max_value:
+                mine.max_value = value
+        for name, data in snapshot.get("histograms", {}).items():
+            buckets: Dict[str, int] = data["buckets"]  # type: ignore[assignment]
+            bounds = [float(key) for key in buckets if key != "+Inf"]
+            counts = [count for key, count in buckets.items() if key != "+Inf"]
+            counts.append(buckets.get("+Inf", 0))
+            self._merge_histogram(
+                name, bounds, counts, data["count"], data["sum"]
+            )
+        return self
+
+    def _merge_histogram(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        bucket_counts: Sequence[int],
+        count: int,
+        total: float,
+    ) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(name, bounds)
+        elif [f"{b:g}" for b in hist.bounds] != [f"{b:g}" for b in bounds]:
+            raise ValueError(
+                f"{name}: cannot merge histograms with different buckets "
+                f"({hist.bounds} vs {list(bounds)})"
+            )
+        for index, bucket_count in enumerate(bucket_counts):
+            hist.bucket_counts[index] += bucket_count
+        hist.count += count
+        hist.sum += total
+
     def reset(self) -> None:
         """Drop every instrument (tests; between benchmark sections)."""
         self._counters.clear()

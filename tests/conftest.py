@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.attacks.scenario import World, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, World, build_world, standard_cast
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8, build_device
 from repro.phy.medium import RadioMedium
 from repro.sim.eventloop import Simulator
@@ -15,7 +15,7 @@ from repro.sim.trace import Tracer
 @pytest.fixture
 def world() -> World:
     """An empty deterministic world."""
-    return build_world(seed=1234)
+    return build_world(WorldConfig(seed=1234))
 
 
 @pytest.fixture

@@ -11,7 +11,7 @@ import pytest
 
 from repro.attacks.baseline import baseline_success_rate, run_baseline_trial
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 from repro.devices.catalog import GALAXY_S8, LG_VELVET, NEXUS_5X_A8
 
 TRIALS = 60  # enough for the bounds below at ~4σ confidence
@@ -71,7 +71,7 @@ class TestDeterminismContrast:
     def test_page_blocking_never_loses(self):
         """The qualitative break: 100% across every seed tried."""
         for seed in range(10):
-            world = build_world(seed=9000 + seed)
+            world = build_world(WorldConfig(seed=9000 + seed))
             m, c, a = standard_cast(world)
             report = PageBlockingAttack(world, a, c, m).run(
                 capture_m_dump=False, run_discovery=False

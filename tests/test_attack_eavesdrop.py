@@ -4,7 +4,7 @@ import pytest
 
 from repro.attacks.eavesdrop import AirCapture, OfflineDecryptor
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.core.errors import AttackError
 from repro.core.types import LinkKey
 
@@ -12,7 +12,7 @@ from repro.core.types import LinkKey
 @pytest.fixture(scope="module")
 def sniffed_session():
     """Bond C↔M, capture an encrypted session between them from the air."""
-    world = build_world(seed=31)
+    world = build_world(WorldConfig(seed=31))
     m, c, a = standard_cast(world)
     bond(world, c, m)
     capture = AirCapture().attach(world.medium)
@@ -70,7 +70,7 @@ def test_decryptor_requires_handshake_pdus(sniffed_session):
 def test_full_chain_extraction_then_decryption():
     """The paper's composite threat: pull the key from C's HCI dump,
     then decrypt a *previously captured* session offline."""
-    world = build_world(seed=32)
+    world = build_world(WorldConfig(seed=32))
     m, c, a = standard_cast(world)
     bond(world, c, m)
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.core.errors import AttackError
 from repro.devices.catalog import (
     GALAXY_S8,
@@ -15,7 +15,7 @@ from repro.devices.catalog import (
 
 
 def _attack_world(c_spec=NEXUS_5X_A8, seed=7):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world, c_spec=c_spec)
     bond(world, c, m)
     return world, m, c, a
@@ -73,7 +73,7 @@ class TestLinuxChannel:
 
 class TestPreconditionsAndFailures:
     def test_requires_existing_bond(self):
-        world = build_world(seed=3)
+        world = build_world(WorldConfig(seed=3))
         m, c, a = standard_cast(world)
         with pytest.raises(AttackError):
             LinkKeyExtractionAttack(world, a, c, m).run()

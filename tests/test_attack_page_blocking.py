@@ -4,13 +4,13 @@ import pytest
 
 from repro.attacks.baseline import run_baseline_trial
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 from repro.core.types import LinkKeyType
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
 
 
 def _run_attack(m_spec=LG_VELVET, seed=8, **kwargs):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world, m_spec=m_spec)
     attack = PageBlockingAttack(world, a, c, m, **kwargs)
     return world, m, c, a, attack.run()
@@ -92,7 +92,7 @@ class TestBaselineContrast:
 
 class TestPlocMechanics:
     def test_attacker_host_never_completes_connection_during_hold(self):
-        world = build_world(seed=4)
+        world = build_world(WorldConfig(seed=4))
         m, c, a = standard_cast(world)
         from repro.attacks.attacker import Attacker
 
@@ -108,7 +108,7 @@ class TestPlocMechanics:
         assert len(a.controller.connections) == 1
 
     def test_held_events_flush_after_hold(self):
-        world = build_world(seed=4)
+        world = build_world(WorldConfig(seed=4))
         m, c, a = standard_cast(world)
         from repro.attacks.attacker import Attacker
 
@@ -122,7 +122,7 @@ class TestPlocMechanics:
     def test_short_supervision_kills_ploc(self):
         """Ablation: if the link supervision timeout is shorter than
         the PLOC hold, the idle link dies before the victim pairs."""
-        world = build_world(seed=4)
+        world = build_world(WorldConfig(seed=4))
         m, c, a = standard_cast(world)
         m.controller.supervision_timeout_s = 3.0
         a.controller.supervision_timeout_s = 3.0

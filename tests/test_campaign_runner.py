@@ -1,0 +1,262 @@
+"""Unit tests for the campaign engine: runner, sharding, cache."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultCache,
+    run_trial,
+    trial_key,
+)
+from repro.campaign.runner import CampaignRunner as _RunnerClass
+from repro.campaign.trial import _REGISTRY, Scenario, register_scenario
+
+
+@pytest.fixture
+def scratch_scenario():
+    """Register a throwaway scenario; unregister on teardown."""
+    added = []
+
+    def add(cls):
+        scenario = register_scenario(cls)
+        added.append(scenario.name)
+        return scenario
+
+    yield add
+    for name in added:
+        _REGISTRY.pop(name, None)
+
+
+class _OkScenario(Scenario):
+    name = "test-ok"
+    description = "always succeeds"
+    default_params = {"knob": 1}
+
+    def execute(self, world, params, seed):
+        world.obs.metrics.counter("test.runs").inc()
+        return True, "ok", {"seed": seed, "knob": params["knob"]}
+
+
+class TestRunTrial:
+    def test_single_trial_shape(self, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        result, metrics = run_trial("test-ok", seed=7)
+        assert result.scenario == "test-ok"
+        assert result.seed == 7
+        assert result.success and result.outcome == "ok"
+        assert result.attempts == 1
+        assert result.error is None
+        assert metrics["counters"]["test.runs"] == 1
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_trial("no-such-scenario", seed=1)
+
+    def test_unknown_param_becomes_error_result(self, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        result, _ = run_trial("test-ok", seed=1, params={"typo": 3})
+        assert not result.success
+        assert result.outcome == "error"
+        assert "typo" in result.error
+
+    def test_retry_with_fresh_world(self, scratch_scenario):
+        class _FlakyScenario(Scenario):
+            name = "test-flaky"
+            default_params = {}
+            worlds = []
+
+            def execute(self, world, params, seed):
+                self.worlds.append(world)
+                if len(self.worlds) == 1:
+                    raise RuntimeError("transient")
+                return True, "ok", {}
+
+        scratch_scenario(_FlakyScenario)
+        result, _ = run_trial("test-flaky", seed=1, max_attempts=2)
+        assert result.success
+        assert result.attempts == 2
+        # each attempt ran in a brand-new world
+        first, second = _FlakyScenario.worlds
+        assert first is not second
+
+    def test_exhausted_attempts_become_error_result(self, scratch_scenario):
+        class _BrokenScenario(Scenario):
+            name = "test-broken"
+            default_params = {}
+
+            def execute(self, world, params, seed):
+                raise RuntimeError("always broken")
+
+        scratch_scenario(_BrokenScenario)
+        result, _ = run_trial("test-broken", seed=1, max_attempts=3)
+        assert not result.success
+        assert result.outcome == "error"
+        assert result.attempts == 3
+        assert "always broken" in result.error
+        assert "RuntimeError" in result.detail["traceback"]
+
+    def test_timeout_produces_timeout_result(self, scratch_scenario):
+        class _SlowScenario(Scenario):
+            name = "test-slow"
+            default_params = {}
+
+            def execute(self, world, params, seed):
+                time.sleep(5.0)
+                return True, "ok", {}
+
+        scratch_scenario(_SlowScenario)
+        started = time.perf_counter()
+        result, _ = run_trial("test-slow", seed=1, timeout_s=0.2)
+        assert time.perf_counter() - started < 2.0
+        assert not result.success
+        assert result.outcome == "timeout"
+        assert "TrialTimeout" in result.error
+
+
+class TestCampaignRunner:
+    def test_inline_run_in_seed_order(self, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        spec = CampaignSpec("test-ok", seeds=[5, 3, 9])
+        campaign = CampaignRunner(workers=1).run(spec)
+        assert [r.seed for r in campaign.results] == [5, 3, 9]
+        assert campaign.trials == 3
+        assert campaign.success_rate == 1.0
+        assert campaign.errors == []
+        assert campaign.metrics.counter_value("test.runs") == 3
+
+    def test_duplicate_seeds_computed_once(self, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        campaign = CampaignRunner().run(CampaignSpec("test-ok", seeds=[4, 4]))
+        assert campaign.trials == 2
+        assert [r.seed for r in campaign.results] == [4, 4]
+
+    def test_errors_do_not_kill_the_campaign(self, scratch_scenario):
+        class _HalfBroken(Scenario):
+            name = "test-half-broken"
+            default_params = {}
+
+            def execute(self, world, params, seed):
+                if seed % 2:
+                    raise RuntimeError(f"seed {seed}")
+                return True, "ok", {}
+
+        scratch_scenario(_HalfBroken)
+        spec = CampaignSpec("test-half-broken", seeds=range(4))
+        campaign = CampaignRunner(max_attempts=1).run(spec)
+        assert campaign.trials == 4
+        assert len(campaign.errors) == 2
+        assert campaign.success_rate == 0.5
+
+    def test_progress_callback_sees_every_trial(self, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        calls = []
+        runner = CampaignRunner(progress=lambda done, total: calls.append((done, total)))
+        runner.run(CampaignSpec("test-ok", seeds=range(3)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_multiworker_matches_inline(self):
+        """Sharding across processes must not change any outcome."""
+        spec = CampaignSpec(
+            "baseline-race",
+            seeds=range(2600, 2606),
+            params={"m_spec": "galaxy_s8_android9"},
+        )
+        inline = CampaignRunner(workers=1).run(spec)
+        sharded = CampaignRunner(workers=2).run(spec)
+        key = lambda r: (r.seed, r.success, r.outcome, r.detail)  # noqa: E731
+        assert [key(r) for r in inline.results] == [key(r) for r in sharded.results]
+        assert (
+            inline.metrics.snapshot()["counters"]
+            == sharded.metrics.snapshot()["counters"]
+        )
+
+    def test_round_robin_sharding_balances(self):
+        shards = _RunnerClass._shards(list(range(7)), 3)
+        assert shards == [[0, 3, 6], [1, 4], [2, 5]]
+        assert _RunnerClass._shards([1], 4) == [[1]]
+
+
+class TestResultCache:
+    def test_cold_then_warm(self, tmp_path, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        spec = CampaignSpec("test-ok", seeds=range(4))
+        cache = ResultCache(tmp_path / "cache")
+
+        cold = CampaignRunner(cache=cache).run(spec)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 4)
+        assert all(not r.cached for r in cold.results)
+
+        warm = CampaignRunner(cache=cache).run(spec)
+        assert (warm.cache_hits, warm.cache_misses) == (4, 0)
+        assert all(r.cached for r in warm.results)
+        key = lambda r: (r.seed, r.success, r.outcome, r.detail)  # noqa: E731
+        assert [key(r) for r in cold.results] == [key(r) for r in warm.results]
+        assert cold.metrics.snapshot() == warm.metrics.snapshot()
+
+    def test_partial_sweep_is_incremental(self, tmp_path, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(cache=cache).run(CampaignSpec("test-ok", seeds=range(3)))
+        widened = CampaignRunner(cache=cache).run(
+            CampaignSpec("test-ok", seeds=range(5))
+        )
+        assert (widened.cache_hits, widened.cache_misses) == (3, 2)
+        assert [r.cached for r in widened.results] == [
+            True, True, True, False, False,
+        ]
+
+    def test_param_change_invalidates(self, tmp_path, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(cache=cache).run(CampaignSpec("test-ok", seeds=[1]))
+        changed = CampaignRunner(cache=cache).run(
+            CampaignSpec("test-ok", seeds=[1], params={"knob": 2})
+        )
+        assert (changed.cache_hits, changed.cache_misses) == (0, 1)
+        assert changed.results[0].detail["knob"] == 2
+
+    def test_code_version_is_part_of_the_key(self):
+        base = trial_key("s", 1, {}, version="aaaa")
+        assert base == trial_key("s", 1, {}, version="aaaa")
+        assert base != trial_key("s", 1, {}, version="bbbb")
+        assert base != trial_key("s", 2, {}, version="aaaa")
+        assert base != trial_key("other", 1, {}, version="aaaa")
+        assert base != trial_key("s", 1, {"x": 1}, version="aaaa")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = trial_key("s", 1, {}, version="v")
+        cache.put(key, {"result": {}, "metrics": {}})
+        path = cache._path(key)
+        path.write_text("not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_format_bump_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = trial_key("s", 1, {}, version="v")
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"format": 0, "payload": {}}), encoding="utf-8"
+        )
+        assert cache.get(key) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            cache.put(trial_key("s", seed, {}, version="v"), {"seed": seed})
+        assert cache.clear() == 3
+        assert cache.get(trial_key("s", 0, {}, version="v")) is None
+
+    def test_no_cache_reports_zero_stats(self, scratch_scenario):
+        scratch_scenario(_OkScenario)
+        campaign = CampaignRunner().run(CampaignSpec("test-ok", seeds=[1]))
+        assert (campaign.cache_hits, campaign.cache_misses) == (0, 0)
+        assert not campaign.results[0].cached

@@ -200,6 +200,96 @@ class TestTimeline:
         assert all(p["source"] == "phy" for p in payloads)
 
 
+class TestDemoExitCodes:
+    def test_successful_demo_exits_zero(self, capsys):
+        assert main(["demo", "baseline-race", "--seed", "60"]) == 0
+        assert "success : True" in capsys.readouterr().out
+
+    def test_failed_demo_exits_nonzero(self, capsys):
+        # seed 61 loses the connection race — the demo must say so in
+        # its exit code, not just in prose.
+        assert main(["demo", "baseline-race", "--seed", "61"]) == 1
+        out = capsys.readouterr().out
+        assert "success : False" in out
+
+    def test_every_scenario_is_a_demo(self, capsys):
+        assert main(["demo", "pin-crack", "--seed", "2", "--param", "pin=0007"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome : pin_recovered" in out
+
+
+class TestCampaignCli:
+    def test_run_summary_and_exit_zero(self, capsys):
+        assert main(
+            ["campaign", "run", "extraction", "--trials", "2", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "extraction: 2/2 succeeded (100%)" in out
+
+    def test_run_json_output(self, capsys):
+        import json
+
+        assert main(
+            [
+                "campaign", "run", "baseline-race",
+                "--trials", "3", "--seed-base", "60", "--no-cache", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trials"] == 3
+        assert len(payload["results"]) == 3
+        assert payload["results"][0]["seed"] == 60
+
+    def test_param_override(self, capsys):
+        assert main(
+            [
+                "campaign", "run", "baseline-race",
+                "--trials", "2", "--no-cache",
+                "--param", "m_spec=galaxy_s8_android9",
+            ]
+        ) == 0
+
+    def test_unknown_param_exits_nonzero(self, capsys):
+        assert main(
+            [
+                "campaign", "run", "baseline-race",
+                "--trials", "1", "--no-cache", "--param", "typo=1",
+            ]
+        ) == 1
+
+    def test_cache_roundtrip(self, tmp_path, capsys):
+        argv = [
+            "campaign", "run", "extraction", "--trials", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert "cache 0 hit / 2 miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "cache 2 hit / 0 miss" in capsys.readouterr().out
+
+    def test_list_names_every_scenario(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "baseline-race", "page-blocking", "extraction",
+            "exfiltration", "eavesdrop", "knob", "pin-crack",
+        ):
+            assert name in out
+
+    def test_table1_reproduces(self, capsys):
+        assert main(["campaign", "table1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("YES") == 9
+
+    def test_table2_smoke_reproduces(self, capsys):
+        assert main(
+            ["campaign", "table2", "--trials", "8", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reproduced" in out
+        assert "112 trials" in out
+
+
 class TestDemos:
     def test_demo_extraction(self, capsys):
         assert main(["demo", "extraction", "--seed", "3"]) == 0

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.attacks.scenario import build_world
 from repro.core.types import LinkKeyType
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A6, NEXUS_5X_A8
 

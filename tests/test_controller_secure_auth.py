@@ -11,7 +11,7 @@ Opt-in hardening beyond the paper's fleet.  Two properties matter:
 import pytest
 
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.controller import lmp
 from repro.attacks.eavesdrop import AirCapture
 from repro.core.types import LinkKey
@@ -94,7 +94,7 @@ class TestMutualAuthentication:
 class TestExtractionAgnosticism:
     def test_extraction_attack_unaffected_by_sc_auth(self):
         """SC authentication changes the LMP math, not the HCI leak."""
-        world = build_world(seed=61)
+        world = build_world(WorldConfig(seed=61))
         m, c, a = standard_cast(world)
         for device in (m, c, a):
             device.controller.secure_auth_enabled = True

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import WorldConfig, build_world
 from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
 from repro.hci import commands as cmd
 from repro.hci.eir import (
@@ -52,7 +52,7 @@ class TestEirStructures:
 
 class TestExtendedDiscovery:
     def test_eir_discovery_carries_names(self):
-        world = build_world(seed=5)
+        world = build_world(WorldConfig(seed=5))
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         m.power_on()
@@ -66,7 +66,7 @@ class TestExtendedDiscovery:
         assert m.host.gap.name_cache[c.bd_addr] == "Nexus 5x"
 
     def test_standard_mode_has_no_names(self):
-        world = build_world(seed=6)
+        world = build_world(WorldConfig(seed=6))
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         m.power_on()
@@ -79,7 +79,7 @@ class TestExtendedDiscovery:
 
 class TestLossyMedium:
     def _pair_under_loss(self, seed, loss_rate):
-        world = build_world(seed=seed)
+        world = build_world(WorldConfig(seed=seed))
         world.medium.loss_rate = loss_rate
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
@@ -116,7 +116,7 @@ class TestLossyMedium:
     def test_sniffer_still_sees_lost_frames(self):
         from repro.attacks.eavesdrop import AirCapture
 
-        world = build_world(seed=10)
+        world = build_world(WorldConfig(seed=10))
         world.medium.loss_rate = 1.0
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
@@ -132,7 +132,7 @@ class TestLossyMedium:
 
 class TestAuthenticationGuard:
     def test_wedged_authentication_fails_instead_of_hanging(self):
-        world = build_world(seed=11)
+        world = build_world(WorldConfig(seed=11))
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         m.power_on()
@@ -149,7 +149,7 @@ class TestAuthenticationGuard:
         assert op.done and not op.success
 
     def test_guard_does_not_fire_on_success(self):
-        world = build_world(seed=12)
+        world = build_world(WorldConfig(seed=12))
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         m.power_on()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.attacks.exfiltration import exfiltrate  # noqa: F401 (related API)
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.attacks.attacker import Attacker
 
 
@@ -76,7 +76,7 @@ class TestHfpAbuseWithExtractedKey:
         """With the extracted key, the attacker's fake hands-free unit
         can dial out through the victim's phone — the 'phone call
         conversations' exposure of §IV."""
-        world = build_world(seed=88)
+        world = build_world(WorldConfig(seed=88))
         m, c, a = standard_cast(world)
         bond(world, c, m)
         report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)

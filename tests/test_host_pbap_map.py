@@ -4,7 +4,7 @@ import pytest
 
 from repro.attacks.exfiltration import exfiltrate
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.core.types import LinkKey
 from repro.host.map_profile import Message, parse_bmessages
 from repro.host.pbap import Contact, parse_vcards
@@ -81,7 +81,7 @@ class TestExfiltrationChain:
     def test_extracted_key_exfiltrates_everything(self):
         """The paper's full kill chain: bond → extract → impersonate →
         mine phonebook and messages, silently."""
-        world = build_world(seed=55)
+        world = build_world(WorldConfig(seed=55))
         m, c, a = standard_cast(world)
         m.host.pbap.load_phonebook(CONTACTS)
         m.host.map.load_messages(MESSAGES)
@@ -111,7 +111,7 @@ class TestExfiltrationChain:
         assert exfil.silent  # not a single popup on the victim
 
     def test_wrong_key_exfiltrates_nothing(self):
-        world = build_world(seed=56)
+        world = build_world(WorldConfig(seed=56))
         m, c, a = standard_cast(world)
         m.host.pbap.load_phonebook(CONTACTS)
         bond(world, c, m)

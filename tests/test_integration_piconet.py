@@ -9,7 +9,7 @@ generally: one device as the center of several simultaneous links.
 
 import pytest
 
-from repro.attacks.scenario import build_world
+from repro.attacks.scenario import WorldConfig, build_world
 from repro.devices.catalog import (
     ANDROID_AUTOMOTIVE_HEAD_UNIT,
     GALAXY_S8,
@@ -120,7 +120,7 @@ class TestPlocCoexistence:
         from repro.attacks.attacker import Attacker
         from repro.devices.catalog import NEXUS_5X_A6
 
-        world = build_world(seed=44)
+        world = build_world(WorldConfig(seed=44))
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         other = world.add_device("other", GALAXY_S8)

@@ -12,7 +12,7 @@ import pytest
 
 from repro.attacks.attacker import Attacker
 from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.devices.catalog import NEXUS_5X_A8, WINDOWS_MS_DRIVER
 from repro.snoop.extractor import extract_link_keys
 from repro.snoop.usb_extract import extract_link_keys_from_usb
@@ -50,7 +50,7 @@ class TestHardenedDevicesDefeatExtraction:
     def test_usb_sniff_attack_fails_on_hardened_pc(self):
         """The full Fig. 5 attack against a secure-HCI Windows box:
         the sniffer captures only ciphertext where the key should be."""
-        world = build_world(seed=66)
+        world = build_world(WorldConfig(seed=66))
         m, c, a = standard_cast(world, c_spec=HARDENED_PC)
         bond(world, c, m)
         report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
@@ -60,7 +60,7 @@ class TestHardenedDevicesDefeatExtraction:
         assert report.extracted_key != report.ground_truth_key
 
     def test_hci_dump_on_hardened_phone_yields_no_key(self):
-        world = build_world(seed=67)
+        world = build_world(WorldConfig(seed=67))
         m, c, a = standard_cast(world, c_spec=HARDENED_PHONE)
         bond(world, c, m)
         truth = c.bonded_key_for(m.bd_addr)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.attacks.attacker import Attacker
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import bond, build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, bond, build_world, standard_cast
 from repro.core.types import BdAddr, IoCapability, LinkKey
 from repro.hci import commands as cmd
 from repro.hci import events as evt
@@ -139,7 +139,7 @@ class TestHciPayloadEncryption:
 
 class TestPageBlockingGuard:
     def test_guard_stops_the_attack(self):
-        world = build_world(seed=9)
+        world = build_world(WorldConfig(seed=9))
         m, c, a = standard_cast(world)
         m.host.security.page_blocking_guard = True
         report = PageBlockingAttack(world, a, c, m).run()
@@ -149,7 +149,7 @@ class TestPageBlockingGuard:
 
     def test_guard_allows_legitimate_pairing(self):
         """No false positive on an ordinary user-initiated pairing."""
-        world = build_world(seed=10)
+        world = build_world(WorldConfig(seed=10))
         m, c, a = standard_cast(world)
         m.host.security.page_blocking_guard = True
         c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
@@ -163,7 +163,7 @@ class TestPageBlockingGuard:
         it) is fine — only remote-initiated connections are suspect."""
         from repro.devices.catalog import HEADSET
 
-        world = build_world(seed=11)
+        world = build_world(WorldConfig(seed=11))
         m = world.add_device("M", spec=__import__(
             "repro.devices.catalog", fromlist=["LG_VELVET"]
         ).LG_VELVET)

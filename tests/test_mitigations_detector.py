@@ -1,13 +1,13 @@
 """Tests for the forensic page blocking detector."""
 
 from repro.attacks.page_blocking import PageBlockingAttack
-from repro.attacks.scenario import build_world, standard_cast
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
 from repro.mitigations.detector import detect_page_blocking
 from repro.snoop.hcidump import HciDump
 
 
 def _attack_capture(seed=33):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     report = PageBlockingAttack(world, a, c, m).run()
     assert report.success
@@ -15,7 +15,7 @@ def _attack_capture(seed=33):
 
 
 def _normal_capture(seed=34):
-    world = build_world(seed=seed)
+    world = build_world(WorldConfig(seed=seed))
     m, c, a = standard_cast(world)
     dump = HciDump().attach(m.transport)
     c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
@@ -54,7 +54,7 @@ def test_detector_works_on_btsnoop_bytes():
 def test_incoming_connection_without_pairing_not_flagged():
     """Merely accepting a connection (e.g. an accessory reconnecting)
     is normal; the signature needs the local pairing on top."""
-    world = build_world(seed=36)
+    world = build_world(WorldConfig(seed=36))
     m, c, a = standard_cast(world)
     dump = HciDump().attach(m.transport)
     op = c.host.gap.connect(m.bd_addr)  # inbound at M, no pairing

@@ -119,6 +119,90 @@ class TestRegistry:
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
 
+class TestMerge:
+    def _loaded(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("phy.pages").inc(3)
+        registry.gauge("sim.queue_depth").set(5)
+        registry.gauge("sim.queue_depth").set(2)
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        return registry
+
+    def test_counters_add(self):
+        merged = MetricsRegistry()
+        merged.merge(self._loaded()).merge(self._loaded())
+        assert merged.counter_value("phy.pages") == 6
+
+    def test_gauges_sum_values_and_max_high_water(self):
+        a = MetricsRegistry()
+        a.gauge("links").set(4)
+        a.gauge("links").set(1)
+        b = MetricsRegistry()
+        b.gauge("links").set(2)
+        merged = MetricsRegistry()
+        merged.merge(a).merge(b)
+        assert merged.gauge("links").value == 3  # 1 + 2
+        assert merged.gauge("links").max_value == 4
+
+    def test_histograms_add_bucket_by_bucket(self):
+        merged = MetricsRegistry()
+        merged.merge(self._loaded()).merge(self._loaded())
+        hist = merged.histogram("lat", buckets=(0.1, 1.0))
+        assert hist.bucket_counts == [2, 0, 2]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(10.1)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(0.2, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_snapshot_merge_equals_live_merge(self):
+        """Workers ship snapshot dicts; the fold must be identical."""
+        via_registry = MetricsRegistry()
+        via_registry.merge(self._loaded())
+        via_snapshot = MetricsRegistry()
+        via_snapshot.merge(self._loaded().snapshot())
+        assert via_registry.snapshot() == via_snapshot.snapshot()
+
+    def test_snapshot_merge_bucket_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(0.1,)).observe(0.5)
+        snap = MetricsRegistry()
+        snap.histogram("lat", buckets=(0.3,)).observe(0.5)
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(snap.snapshot())
+
+    def test_merge_into_empty_creates_instruments(self):
+        merged = MetricsRegistry()
+        merged.merge(self._loaded())
+        assert merged.snapshot() == self._loaded().snapshot()
+
+    def test_disabled_registry_merge_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.merge(self._loaded()) is registry
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_names_collide_only_within_kind(self):
+        """A counter and a gauge may share a name; merge keeps them apart."""
+        a = MetricsRegistry()
+        a.counter("x").inc(2)
+        a.gauge("x").set(7)
+        merged = MetricsRegistry()
+        merged.merge(a)
+        assert merged.counter_value("x") == 2
+        assert merged.gauge("x").value == 7
+
+
 class TestDeterminism:
     def test_same_seed_same_counter_snapshot(self):
         """Two same-seed runs in isolated registries count identically.

@@ -94,10 +94,10 @@ class TestRingBuffer:
             Tracer(max_records=0)
 
     def test_bounded_world_still_answers_queries(self):
-        from repro.attacks.scenario import build_world
+        from repro.attacks.scenario import WorldConfig, build_world
         from repro.devices.catalog import LG_VELVET
 
-        world = build_world(seed=1, max_trace_records=50)
+        world = build_world(WorldConfig(seed=1, max_trace_records=50))
         m = world.add_device("M", LG_VELVET)
         m.power_on()
         world.run_for(1.0)
@@ -139,11 +139,11 @@ class TestLadder:
         assert len(text.splitlines()) == 3  # header + rule + 1 row
 
     def test_ladder_on_real_pairing(self):
-        from repro.attacks.scenario import build_world
+        from repro.attacks.scenario import WorldConfig, build_world
         from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
         from repro.sim.trace import render_ladder
 
-        world = build_world(seed=3)
+        world = build_world(WorldConfig(seed=3))
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         m.power_on()
