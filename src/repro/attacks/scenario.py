@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.devices.catalog import (
     LG_VELVET,
@@ -28,6 +28,9 @@ from repro.sim.eventloop import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 
+if TYPE_CHECKING:
+    from repro.faults import InjectorRegistry
+
 
 @dataclass
 class World:
@@ -39,6 +42,8 @@ class World:
     tracer: Tracer
     obs: Observability
     devices: Dict[str, Device] = field(default_factory=dict)
+    #: fault-injection registry; set when a fault plan is applied
+    faults: Optional["InjectorRegistry"] = None
 
     def add_device(
         self, role: str, spec: DeviceSpec, bd_addr=None
@@ -54,6 +59,8 @@ class World:
             obs=self.obs,
         )
         self.devices[role] = device
+        if self.faults is not None:
+            self.faults.on_device_added(role, device)
         return device
 
     def run_for(self, seconds: float) -> None:
@@ -82,6 +89,10 @@ class WorldConfig:
     seed: int = 0
     registry: Optional[MetricsRegistry] = None
     max_trace_records: Optional[int] = None
+    #: declarative fault plan (FaultPlan, spec-dict list or plan
+    #: mapping — anything ``FaultPlan.coerce`` accepts); wired into
+    #: the world by :func:`repro.faults.apply_fault_plan`
+    fault_plan: Optional[Any] = None
 
 
 def build_world(
@@ -129,7 +140,7 @@ def build_world(
         clock=lambda: simulator.now, registry=config.registry, tracer=tracer
     )
     simulator.metrics = obs.metrics
-    return World(
+    world = World(
         simulator=simulator,
         rng=rng,
         medium=RadioMedium(
@@ -138,6 +149,11 @@ def build_world(
         tracer=tracer,
         obs=obs,
     )
+    if config.fault_plan is not None:
+        from repro.faults import apply_fault_plan
+
+        apply_fault_plan(world, config.fault_plan)
+    return world
 
 
 def standard_cast(

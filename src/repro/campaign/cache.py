@@ -47,14 +47,21 @@ def trial_key(
     seed: int,
     params: Mapping[str, Any],
     version: Optional[str] = None,
+    fault_plan: Optional[Any] = None,
 ) -> str:
-    """Content hash identifying one trial's result."""
+    """Content hash identifying one trial's result.
+
+    ``fault_plan`` (a JSON-able plan, normally
+    ``FaultPlan.to_jsonable()``) is part of the identity: a faulted
+    sweep must never be served a cached no-fault result.
+    """
     payload = json.dumps(
         {
             "format": CACHE_FORMAT,
             "scenario": scenario,
             "seed": seed,
             "params": params,
+            "faults": fault_plan,
             "code": version if version is not None else code_version(),
         },
         sort_keys=True,

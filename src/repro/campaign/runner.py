@@ -39,6 +39,7 @@ from repro.attacks.scenario import WorldConfig, build_world
 from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
 from repro.campaign.cache import ResultCache, trial_key
 from repro.campaign.trial import TrialConfig, TrialResult, get_scenario
+from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 
 #: default cap on per-world tracer records — campaigns only need the
@@ -86,15 +87,22 @@ def run_trial(
     max_trace_records: Optional[int] = DEFAULT_TRACE_RECORDS,
     timeout_s: Optional[float] = None,
     max_attempts: int = 1,
+    fault_plan: Optional[Any] = None,
 ) -> Tuple[TrialResult, Dict[str, Any]]:
     """One trial in a fresh isolated world; returns (result, metrics).
 
     This is the single execution path every surface shares — the
     campaign workers, ``blap demo`` and direct library use all go
     through here, so their ``TrialResult`` semantics cannot drift.
+
+    ``fault_plan`` is applied at world-build time.  Fault RNG streams
+    are derived from the trial seed inside ``build_world``, *fresh on
+    every attempt*: a retried trial replays the identical fault
+    sequence instead of continuing a half-exhausted parent stream.
     """
     scenario = get_scenario(scenario_name)
     config = TrialConfig(seed=seed, params=dict(params or {}))
+    plan = FaultPlan.coerce(fault_plan)
     attempts = 0
     while True:
         attempts += 1
@@ -104,24 +112,32 @@ def run_trial(
                 seed=seed,
                 registry=registry,
                 max_trace_records=max_trace_records,
+                fault_plan=plan,
             )
         )
         try:
             with _TimeLimit(timeout_s):
                 result = scenario.build(world, config).run()
             result.attempts = attempts
+            if plan is not None and world.faults is not None:
+                result.detail["faults_injected"] = world.faults.summary()
             return result, registry.snapshot()
         except Exception as exc:  # noqa: BLE001 - campaign must survive
             if attempts >= max_attempts:
                 kind = (
                     "timeout" if isinstance(exc, TrialTimeout) else "error"
                 )
+                detail: Dict[str, Any] = {
+                    "traceback": traceback.format_exc(limit=8)
+                }
+                if plan is not None and world.faults is not None:
+                    detail["faults_injected"] = world.faults.summary()
                 result = TrialResult(
                     scenario=scenario_name,
                     seed=seed,
                     success=False,
                     outcome=kind,
-                    detail={"traceback": traceback.format_exc(limit=8)},
+                    detail=detail,
                     sim_time_s=world.simulator.now,
                     attempts=attempts,
                     error=f"{type(exc).__name__}: {exc}",
@@ -132,7 +148,15 @@ def run_trial(
 
 def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
     """Worker entrypoint: run a batch of seeds, return plain dicts."""
-    scenario_name, seeds, params, max_trace_records, timeout_s, max_attempts = args
+    (
+        scenario_name,
+        seeds,
+        params,
+        max_trace_records,
+        timeout_s,
+        max_attempts,
+        fault_plan,
+    ) = args
     out: List[Dict[str, Any]] = []
     for seed in seeds:
         result, metrics = run_trial(
@@ -142,6 +166,7 @@ def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
             max_trace_records=max_trace_records,
             timeout_s=timeout_s,
             max_attempts=max_attempts,
+            fault_plan=fault_plan,
         )
         out.append({"result": result.to_dict(), "metrics": metrics})
     return out
@@ -154,6 +179,8 @@ class CampaignSpec:
     scenario: str
     seeds: Sequence[int]
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: optional fault plan applied to every trial (part of the cache key)
+    fault_plan: Optional[Any] = None
 
 
 @dataclass
@@ -210,13 +237,17 @@ class CampaignRunner:
         get_scenario(spec.scenario)  # fail fast on unknown names
         params = dict(spec.params)
         seeds = list(spec.seeds)
+        plan = FaultPlan.coerce(spec.fault_plan)
+        plan_json = plan.to_jsonable() if plan is not None else None
 
         by_seed: Dict[int, Dict[str, Any]] = {}
         keys: Dict[int, str] = {}
         pending: List[int] = []
         if self.cache is not None:
             for seed in seeds:
-                keys[seed] = trial_key(spec.scenario, seed, params)
+                keys[seed] = trial_key(
+                    spec.scenario, seed, params, fault_plan=plan_json
+                )
             for seed in dict.fromkeys(seeds):
                 entry = self.cache.get(keys[seed])
                 if entry is not None:
@@ -230,7 +261,9 @@ class CampaignRunner:
         if self.progress is not None and done:
             self.progress(done, len(seeds))
 
-        for seed, entry in self._execute(spec.scenario, pending, params):
+        for seed, entry in self._execute(
+            spec.scenario, pending, params, plan_json
+        ):
             by_seed[seed] = entry
             if self.cache is not None:
                 self.cache.put(keys[seed], entry)
@@ -259,7 +292,11 @@ class CampaignRunner:
     # ------------------------------------------------------------ internals
 
     def _execute(
-        self, scenario_name: str, seeds: List[int], params: Dict[str, Any]
+        self,
+        scenario_name: str,
+        seeds: List[int],
+        params: Dict[str, Any],
+        fault_plan: Optional[Dict[str, Any]] = None,
     ):
         """Yield (seed, entry) for every missing seed, sharded."""
         if not seeds:
@@ -273,6 +310,7 @@ class CampaignRunner:
                 self.max_trace_records,
                 self.timeout_s,
                 self.max_attempts,
+                fault_plan,
             )
             for shard in self._shards(seeds, workers)
         ]

@@ -27,6 +27,7 @@ from repro.attacks.pin_crack import (
 from repro.attacks.scenario import World, bond, standard_cast
 from repro.campaign.trial import Scenario, register_scenario
 from repro.core.types import LinkKey
+from repro.faults import FaultPlan, FaultSpec, apply_fault_plan
 from repro.devices.catalog import spec_by_key
 from repro.host.map_profile import Message
 from repro.host.pbap import Contact
@@ -123,6 +124,87 @@ class PageBlockingScenario(Scenario):
             detail["m_dump_table"] = render_dump_table(
                 report.m_dump.entries(), max_rows=14
             )
+        return (
+            report.success,
+            "mitm" if report.success else "lost",
+            detail,
+        )
+
+
+@register_scenario
+class DegradedRaceScenario(Scenario):
+    """Page blocking under degraded RF — the robustness sweep surface.
+
+    Sweeps the Table II page-blocking race against a parameterised
+    fault grid (frame loss, latency jitter, an optional channel
+    blackout window): how much channel degradation does the PLOC
+    attack tolerate before its win rate collapses?  The degradation
+    knobs are ordinary scenario params, so campaign grids sweep them
+    exactly like device specs; an additional external fault plan
+    (``--fault-plan``) composes on top.
+    """
+
+    name = "degraded-race"
+    description = "page blocking win-rate under RF loss/jitter (robustness)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+        "pairing_delay": 5.0,
+        "ploc_hold_seconds": 10.0,
+        "loss_rate": 0.05,
+        "jitter_probability": 0.25,
+        "jitter_s": 0.002,
+        "blackout_start_s": None,
+        "blackout_end_s": None,
+    }
+
+    @staticmethod
+    def _plan(params: Dict[str, Any]) -> FaultPlan:
+        specs = []
+        if params["loss_rate"]:
+            specs.append(
+                FaultSpec("phy.frame_loss", probability=params["loss_rate"])
+            )
+        if params["jitter_probability"] and params["jitter_s"]:
+            specs.append(
+                FaultSpec(
+                    "phy.latency_jitter",
+                    probability=params["jitter_probability"],
+                    params={"jitter_s": params["jitter_s"]},
+                )
+            )
+        if params["blackout_start_s"] is not None:
+            specs.append(
+                FaultSpec(
+                    "phy.blackout",
+                    mode="window",
+                    start_s=params["blackout_start_s"],
+                    end_s=params["blackout_end_s"],
+                )
+            )
+        return FaultPlan(specs=tuple(specs), name="degraded-race")
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        plan = self._plan(params)
+        if plan:
+            apply_fault_plan(world, plan)
+        m, c, a = _cast(world, params)
+        report = PageBlockingAttack(
+            world, a, c, m, ploc_hold_seconds=params["ploc_hold_seconds"]
+        ).run(pairing_delay=params["pairing_delay"])
+        detail = {
+            "mitm_connection": report.mitm_connection,
+            "paired": report.paired,
+            "downgraded_to_just_works": report.downgraded_to_just_works,
+            "popup_shown_on_m": report.popup_shown_on_m,
+            "notes": list(report.notes),
+            "degradation": plan.to_jsonable(),
+        }
+        if world.faults is not None:
+            detail["faults_injected"] = world.faults.summary()
         return (
             report.success,
             "mitm" if report.success else "lost",

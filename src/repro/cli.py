@@ -21,6 +21,9 @@ Android bug report) and on raw USB analyzer streams:
   campaign engine: Monte-Carlo sweeps over seed ranges with on-disk
   result caching (``blap campaign table2 --trials 100 --workers 4``
   regenerates the paper's Table II).
+* ``blap faults {list,describe}`` — the fault-injection catalogue;
+  pair with ``--fault-plan plan.json`` on ``demo``, ``timeline`` and
+  ``campaign run`` to sweep scenarios under degraded conditions.
 """
 
 from __future__ import annotations
@@ -102,7 +105,16 @@ _DEMO_PARAMS: Dict[str, Dict[str, Any]] = {
 }
 
 
-def _run_demo_world(scenario_name: str, seed: int, params=None):
+def _load_fault_plan(path: Optional[str]):
+    """``--fault-plan PATH`` → a :class:`FaultPlan` (or ``None``)."""
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.from_file(path)
+
+
+def _run_demo_world(scenario_name: str, seed: int, params=None, fault_plan=None):
     """One narrated run: fresh world, unbounded tracer, isolated metrics.
 
     Returns ``(world, TrialResult)`` so callers can also export the
@@ -113,7 +125,11 @@ def _run_demo_world(scenario_name: str, seed: int, params=None):
     from repro.campaign import TrialConfig, get_scenario
     from repro.obs.metrics import MetricsRegistry
 
-    world = build_world(WorldConfig(seed=seed, registry=MetricsRegistry()))
+    world = build_world(
+        WorldConfig(
+            seed=seed, registry=MetricsRegistry(), fault_plan=fault_plan
+        )
+    )
     scenario = get_scenario(scenario_name)
     merged = dict(_DEMO_PARAMS.get(scenario_name, {}))
     merged.update(params or {})
@@ -158,7 +174,12 @@ _NARRATORS = {
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    _, result = _run_demo_world(args.scenario, args.seed, dict(args.param or []))
+    _, result = _run_demo_world(
+        args.scenario,
+        args.seed,
+        dict(args.param or []),
+        fault_plan=_load_fault_plan(args.fault_plan),
+    )
     narrator = _NARRATORS.get(args.scenario)
     if narrator is not None:
         narrator(result.detail)
@@ -179,7 +200,11 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         render_timeline_table,
     )
 
-    world, _ = _run_demo_world(args.scenario, args.seed)
+    world, _ = _run_demo_world(
+        args.scenario,
+        args.seed,
+        fault_plan=_load_fault_plan(args.fault_plan),
+    )
     events = world.obs.timeline.events(
         sources=args.source or None, categories=args.category or None
     )
@@ -252,6 +277,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         args.scenario,
         seeds=range(args.seed_base, args.seed_base + args.trials),
         params=params,
+        fault_plan=_load_fault_plan(args.fault_plan),
     )
     result = _make_runner(args).run(spec)
     if args.json:
@@ -395,6 +421,53 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------- faults
+
+
+def _cmd_faults_list(args: argparse.Namespace) -> int:
+    from repro.faults import INJECTION_POINTS
+
+    for point in INJECTION_POINTS.values():
+        modes = ",".join(point.modes)
+        print(f"{point.name:<24} {point.scope:<7} {modes}")
+        if args.verbose:
+            print(f"    {point.description}")
+            for key, doc in sorted(point.params.items()):
+                print(f"    param {key}: {doc}")
+    return 0
+
+
+def _cmd_faults_describe(args: argparse.Namespace) -> int:
+    from repro.faults import get_point
+
+    try:
+        point = get_point(args.point)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    print(f"name        : {point.name}")
+    print(f"layer       : {point.layer}")
+    print(f"scope       : {point.scope}")
+    print(f"modes       : {', '.join(point.modes)}")
+    print(f"description : {point.description}")
+    if point.params:
+        print("params      :")
+        for key, doc in sorted(point.params.items()):
+            print(f"  {key}: {doc}")
+    else:
+        print("params      : (none)")
+    return 0
+
+
+def _add_fault_plan_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN.json",
+        help="JSON fault plan to inject (see `blap faults list`)",
+    )
+
+
 def _add_campaign_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1, help="worker processes"
@@ -469,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="scenario parameter override (repeatable)",
     )
+    _add_fault_plan_arg(demo)
     demo.set_defaults(func=_cmd_demo)
 
     timeline = sub.add_parser(
@@ -499,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="only these categories (repeatable; e.g. phy-page, span)",
     )
+    _add_fault_plan_arg(timeline)
     timeline.set_defaults(func=_cmd_timeline)
 
     campaign = sub.add_parser(
@@ -519,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario parameter (JSON value; repeatable)",
     )
     run.add_argument("--json", action="store_true", help="machine output")
+    _add_fault_plan_arg(run)
     _add_campaign_common(run)
     run.set_defaults(func=_cmd_campaign_run)
 
@@ -542,6 +618,22 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true", help="show default params"
     )
     listing.set_defaults(func=_cmd_campaign_list)
+
+    faults = sub.add_parser(
+        "faults", help="the fault-injection point catalogue"
+    )
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+
+    flist = fsub.add_parser("list", help="catalogued injection points")
+    flist.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show descriptions and parameters",
+    )
+    flist.set_defaults(func=_cmd_faults_list)
+
+    fdesc = fsub.add_parser("describe", help="one injection point in full")
+    fdesc.add_argument("point", help="point name, e.g. phy.frame_loss")
+    fdesc.set_defaults(func=_cmd_faults_describe)
 
     return parser
 

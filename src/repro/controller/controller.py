@@ -255,6 +255,10 @@ class Controller:
         self._m_lmp_tx = metrics.counter("lmp.pdus_sent")
         self._m_lmp_rx = metrics.counter("lmp.pdus_received")
         self._m_auth_rounds = metrics.counter("lmp.auth_rounds")
+        self._m_malformed = metrics.counter("hci.malformed_from_host")
+        #: fault hook (controller.lmp_hang): incoming LMP PDUs are
+        #: ignored while ``simulator.now`` is below this mark.
+        self.lmp_silence_until = 0.0
         self._page_spans: Dict[BdAddr, "Span"] = {}
         self._rng = rng.stream(f"controller:{name}")
 
@@ -337,13 +341,34 @@ class Controller:
     # -------------------------------------------------------------- HCI: down
 
     def _on_host_bytes(self, raw: bytes) -> None:
-        packet = parse_packet(raw[0], raw[1:])
+        # A real controller drops junk off the transport instead of
+        # dying: truncated or garbled deliveries (see repro.faults)
+        # must never wedge the event loop.
+        try:
+            packet = parse_packet(raw[0], raw[1:]) if raw else None
+        except (HciError, IndexError):
+            packet = None
+        if packet is None:
+            self._m_malformed.inc()
+            self.tracer.emit(
+                self.simulator.now,
+                self.name,
+                "hci-err",
+                f"malformed packet from host dropped ({len(raw)} bytes)",
+            )
+            return
         if isinstance(packet, HciCommand):
             self._dispatch_command(packet)
         elif isinstance(packet, HciAclData):
             self._handle_acl_from_host(packet)
         else:
-            raise HciError(f"{self.name}: host sent unexpected packet {packet!r}")
+            self._m_malformed.inc()
+            self.tracer.emit(
+                self.simulator.now,
+                self.name,
+                "hci-err",
+                f"unexpected packet from host dropped: {packet!r}",
+            )
 
     def _send_event(self, event: HciEvent) -> None:
         self._m_events_emitted.inc()
@@ -388,6 +413,40 @@ class Controller:
         for link in list(self._links_by_handle.values()):
             self._teardown(link, ErrorCode.CONNECTION_TERMINATED_BY_LOCAL_HOST, emit=False)
         self._command_complete(command.opcode)
+
+    def hard_reset(self) -> None:
+        """Fault hook (controller.hard_reset): a firmware crash.
+
+        Unlike the orderly ``HCI_Reset``, the host did not ask for
+        this: every link dies mid-procedure *with* disconnection
+        events (the host must observe its operations failing), all
+        pending LMP/SSP state evaporates, and the controller-side key
+        cache is wiped.  Scan configuration survives — the ROM
+        defaults come back up almost immediately.
+        """
+        self.tracer.emit(
+            self.simulator.now,
+            self.name,
+            "fault",
+            f"controller hard reset ({len(self._links_by_handle)} links up)",
+        )
+        for link in list(self._links_by_handle.values()):
+            self._teardown(link, ErrorCode.UNSPECIFIED_ERROR)
+        for pending in (
+            self._pending_key_req,
+            self._pending_io_req,
+            self._pending_confirm,
+            self._pending_passkey,
+            self._pending_pin,
+            self._pending_oob,
+            self._pending_create,
+        ):
+            pending.clear()
+        self._ssp_keypairs.clear()
+        self._local_oob_r = None
+        self._inquiry_active = False
+        self.stored_link_keys.clear()
+        self.lmp_silence_until = 0.0
 
     def _cmd_write_scan_enable(self, command: cmd.WriteScanEnable) -> None:
         self.scan_enable = ScanEnable(command.scan_enable)
@@ -1276,6 +1335,17 @@ class Controller:
             self._handle_acl_from_air(link, frame)
             return
         pdu = frame.payload
+        if self.simulator.now < self.lmp_silence_until:
+            # controller.lmp_hang fault: the LMP engine is wedged, so
+            # link-management PDUs fall on the floor until it recovers
+            # (the peer's LMP response timeout does the cleanup).
+            self.tracer.emit(
+                self.simulator.now,
+                self.name,
+                "fault",
+                f"lmp_hang: ignoring {pdu.name}",
+            )
+            return
         self._m_lmp_rx.inc()
         self.tracer.emit(self.simulator.now, self.name, "lmp-rx", pdu.name)
         handler = self._LMP_HANDLERS.get(type(pdu))
@@ -1878,6 +1948,13 @@ class Controller:
             session.local_confirmed = True
             session.peer_confirmed = True
             self._ssp_maybe_stage2(link)
+            return
+        if session.peer_public is None or session.local_nonce is None:
+            # The public-key exchange never completed (e.g. the PDU was
+            # lost on a degraded channel) yet the peer advanced to the
+            # nonce swap — the state machine cannot continue; fail the
+            # pairing cleanly instead of wedging or crashing.
+            self._ssp_fail(link, ErrorCode.AUTHENTICATION_FAILURE)
             return
         if session.role == "responder":
             # Got Na; reveal Nb, then both sides confirm.

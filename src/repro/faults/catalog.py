@@ -1,0 +1,201 @@
+"""The injection-point catalogue: every place a fault can land.
+
+Each :class:`InjectionPoint` names one failure mode a layer of the
+stack has agreed to model — the radio medium, the HCI transports, the
+controller firmware and the host stack.  A
+:class:`~repro.faults.spec.FaultSpec` is only valid if it references a
+catalogued point with one of that point's supported scheduling modes
+and documented parameters, so plans fail loudly at construction time
+instead of silently doing nothing mid-campaign.
+
+Scopes:
+
+* ``medium`` — the fault lives on the shared radio channel and needs
+  no device target (``phy.*``);
+* ``device`` — the fault attaches to one device's transport,
+  controller or host; ``FaultSpec.target`` selects a role (``"M"``,
+  ``"C"``, ``"A"``) or, when ``None``, every device in the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+#: scheduling modes a spec may use (see repro.faults.spec)
+MODE_ONESHOT = "oneshot"
+MODE_WINDOW = "window"
+MODE_PROBABILISTIC = "probabilistic"
+
+ALL_MODES = (MODE_ONESHOT, MODE_WINDOW, MODE_PROBABILISTIC)
+
+
+@dataclass(frozen=True)
+class InjectionPoint:
+    """One named fault hook a layer exposes."""
+
+    name: str  # e.g. "phy.frame_loss"
+    layer: str  # phy | transport | controller | host
+    scope: str  # "medium" | "device"
+    modes: Tuple[str, ...]
+    description: str
+    params: Mapping[str, str] = field(default_factory=dict)
+
+
+_POINTS = (
+    InjectionPoint(
+        name="phy.frame_loss",
+        layer="phy",
+        scope="medium",
+        modes=(MODE_PROBABILISTIC, MODE_WINDOW),
+        description=(
+            "Drop baseband frames on the air. Lost frames still reach "
+            "passive sniffers (they were transmitted) but never the "
+            "intended receiver."
+        ),
+    ),
+    InjectionPoint(
+        name="phy.bit_flip",
+        layer="phy",
+        scope="medium",
+        modes=(MODE_PROBABILISTIC, MODE_WINDOW),
+        description=(
+            "Corrupt a frame's payload in flight. Byte payloads (ACL "
+            "user data) get real bit flips; structured LMP PDUs are "
+            "dropped as a baseband CRC failure instead."
+        ),
+        params={"flips": "number of bit flips per corrupted frame (default 1)"},
+    ),
+    InjectionPoint(
+        name="phy.latency_jitter",
+        layer="phy",
+        scope="medium",
+        modes=(MODE_PROBABILISTIC, MODE_WINDOW),
+        description=(
+            "Add uniform extra propagation delay to affected frames — "
+            "the knob that perturbs the page-response timing races."
+        ),
+        params={"jitter_s": "max extra one-way delay in seconds (default 0.001)"},
+    ),
+    InjectionPoint(
+        name="phy.blackout",
+        layer="phy",
+        scope="medium",
+        modes=(MODE_WINDOW,),
+        description=(
+            "Whole-channel blackout: every frame sent inside the window "
+            "is lost (channel saturation / jamming)."
+        ),
+    ),
+    InjectionPoint(
+        name="transport.stall",
+        layer="transport",
+        scope="device",
+        modes=(MODE_WINDOW,),
+        description=(
+            "UART/USB bus stall: packets sent inside the window are "
+            "parked and delivered in order when the window closes; an "
+            "open-ended stall (no end_s) drops them — the bus is dead."
+        ),
+        params={"direction": 'affected direction: "h2c", "c2h" or "both" (default)'},
+    ),
+    InjectionPoint(
+        name="transport.truncate",
+        layer="transport",
+        scope="device",
+        modes=(MODE_PROBABILISTIC, MODE_WINDOW),
+        description=(
+            "Deliver only the first keep_bytes of the wire packet — a "
+            "transfer cut off mid-header. The receiver must drop the "
+            "malformed remainder instead of wedging."
+        ),
+        params={
+            "keep_bytes": "bytes of the packet that survive (default 2)",
+            "direction": 'affected direction: "h2c", "c2h" or "both" (default)',
+        },
+    ),
+    InjectionPoint(
+        name="transport.garble",
+        layer="transport",
+        scope="device",
+        modes=(MODE_PROBABILISTIC, MODE_WINDOW),
+        description=(
+            "Flip random bits in the delivered wire packet (line noise); "
+            "parse failures at the receiving end are dropped, not fatal."
+        ),
+        params={
+            "flips": "number of bit flips per garbled packet (default 8)",
+            "direction": 'affected direction: "h2c", "c2h" or "both" (default)',
+        },
+    ),
+    InjectionPoint(
+        name="controller.hard_reset",
+        layer="controller",
+        scope="device",
+        modes=(MODE_ONESHOT,),
+        description=(
+            "Firmware crash at at_s: every ACL link is torn down "
+            "mid-procedure (the host sees disconnections), pending LMP "
+            "state and the controller-side key cache are wiped."
+        ),
+    ),
+    InjectionPoint(
+        name="controller.lmp_hang",
+        layer="controller",
+        scope="device",
+        modes=(MODE_WINDOW,),
+        description=(
+            "The LMP engine stops responding: incoming LMP PDUs are "
+            "ignored for the window, so the peer's LMP response timeout "
+            "fires (ACL data still flows — only link management hangs)."
+        ),
+    ),
+    InjectionPoint(
+        name="host.bond_corrupt",
+        layer="host",
+        scope="device",
+        modes=(MODE_ONESHOT,),
+        description=(
+            "Bond-storage corruption at at_s: every persisted link key "
+            "is overwritten with garbage and the live key database "
+            "reloads from the damaged store."
+        ),
+    ),
+    InjectionPoint(
+        name="host.bond_loss",
+        layer="host",
+        scope="device",
+        modes=(MODE_ONESHOT,),
+        description=(
+            "Bond-storage loss at at_s: the bonding store is emptied "
+            "and the live key database reloads — all pairings forgotten."
+        ),
+    ),
+    InjectionPoint(
+        name="host.stack_restart",
+        layer="host",
+        scope="device",
+        modes=(MODE_ONESHOT,),
+        description=(
+            "Host stack restart at at_s: queued/held HCI events and "
+            "volatile state are dropped, bonds reload from persistent "
+            "storage (Bluetooth off/on)."
+        ),
+    ),
+)
+
+INJECTION_POINTS: Dict[str, InjectionPoint] = {point.name: point for point in _POINTS}
+
+
+def get_point(name: str) -> InjectionPoint:
+    """Look a point up by name; raises with the known list on a miss."""
+    try:
+        return INJECTION_POINTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown injection point {name!r}; known: {sorted(INJECTION_POINTS)}"
+        ) from None
+
+
+def point_names() -> Tuple[str, ...]:
+    return tuple(sorted(INJECTION_POINTS))

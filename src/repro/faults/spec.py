@@ -1,0 +1,229 @@
+"""Declarative fault plans: JSON-serialisable, validated, hashable.
+
+A :class:`FaultSpec` pins one fault to one catalogued injection point
+with one of three scheduling modes:
+
+* ``oneshot`` — fires exactly once at ``at_s``;
+* ``window`` — active for ``[start_s, end_s)`` (``end_s=None`` keeps
+  it open forever);
+* ``probabilistic`` — each opportunity inside ``[start_s, end_s)``
+  fires with ``probability`` (the default window is the whole run).
+
+A :class:`FaultPlan` is an ordered tuple of specs plus a name.  Plans
+round-trip losslessly through JSON — they travel inside campaign
+specs, across worker processes and into the disk-cache content hash —
+and :meth:`FaultPlan.canonical_json` is the byte-stable form the cache
+keys on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.faults.catalog import (
+    MODE_ONESHOT,
+    MODE_PROBABILISTIC,
+    MODE_WINDOW,
+    get_point,
+)
+
+
+class FaultPlanError(ValueError):
+    """An invalid spec or plan (unknown point, bad mode, bad params)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault, validated against the catalogue."""
+
+    point: str
+    mode: str = MODE_PROBABILISTIC
+    at_s: Optional[float] = None
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    probability: float = 1.0
+    target: Optional[str] = None  # device role; None = all / medium-wide
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        try:
+            point = get_point(self.point)
+        except KeyError as exc:
+            raise FaultPlanError(str(exc)) from None
+        if self.mode not in point.modes:
+            raise FaultPlanError(
+                f"{self.point}: mode {self.mode!r} unsupported; "
+                f"allowed: {list(point.modes)}"
+            )
+        if self.mode == MODE_ONESHOT:
+            if self.at_s is None:
+                raise FaultPlanError(f"{self.point}: oneshot mode requires at_s")
+            if self.at_s < 0:
+                raise FaultPlanError(f"{self.point}: at_s must be >= 0")
+        elif self.at_s is not None:
+            raise FaultPlanError(
+                f"{self.point}: at_s only applies to oneshot mode"
+            )
+        if self.start_s < 0:
+            raise FaultPlanError(f"{self.point}: start_s must be >= 0")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise FaultPlanError(
+                f"{self.point}: end_s ({self.end_s}) must exceed "
+                f"start_s ({self.start_s})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"{self.point}: probability {self.probability} outside [0, 1]"
+            )
+        unknown = set(self.params) - set(point.params)
+        if unknown:
+            raise FaultPlanError(
+                f"{self.point}: unknown params {sorted(unknown)}; "
+                f"known: {sorted(point.params)}"
+            )
+
+    # ------------------------------------------------------------ scheduling
+
+    def active(self, now: float) -> bool:
+        """Is the window/probabilistic spec live at ``now``?"""
+        if self.mode == MODE_ONESHOT:
+            return False  # oneshots are scheduled, not polled
+        if now < self.start_s:
+            return False
+        return self.end_s is None or now < self.end_s
+
+    def fires(self, now: float, rng) -> bool:
+        """Does this opportunity at ``now`` trigger the fault?
+
+        Window-mode specs fire on every opportunity inside the window;
+        probabilistic specs draw from the dedicated fault stream.  No
+        draw happens outside the active window or when the probability
+        is pinned to 1 — stream alignment stays independent of how
+        long the spec was dormant.
+        """
+        if not self.active(now):
+            return False
+        if self.mode == MODE_WINDOW or self.probability >= 1.0:
+            return True
+        return rng.random() < self.probability
+
+    # ------------------------------------------------------------------ JSON
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "point": self.point,
+            "mode": self.mode,
+            "at_s": self.at_s,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "probability": self.probability,
+            "target": self.target,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(f"fault spec must be an object, got {data!r}")
+        if "point" not in data:
+            raise FaultPlanError(f"fault spec missing 'point': {dict(data)!r}")
+        known = {
+            "point", "mode", "at_s", "start_s", "end_s",
+            "probability", "target", "params",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"fault spec has unknown fields {sorted(unknown)}"
+            )
+        return cls(
+            point=data["point"],
+            mode=data.get("mode", MODE_PROBABILISTIC),
+            at_s=data.get("at_s"),
+            start_s=data.get("start_s", 0.0),
+            end_s=data.get("end_s"),
+            probability=data.get("probability", 1.0),
+            target=data.get("target"),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, named collection of fault specs."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # ------------------------------------------------------------------ JSON
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "faults": [spec.to_jsonable() for spec in self.specs],
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialisation for content hashing."""
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_jsonable(cls, data: Any) -> "FaultPlan":
+        if isinstance(data, Mapping):
+            name = data.get("name", "")
+            raw_specs = data.get("faults")
+            if raw_specs is None:
+                raise FaultPlanError(
+                    "fault plan object needs a 'faults' list"
+                )
+        elif isinstance(data, Sequence) and not isinstance(data, (str, bytes)):
+            name = ""
+            raw_specs = data
+        else:
+            raise FaultPlanError(
+                f"fault plan must be a list of specs or an object with "
+                f"'faults', got {type(data).__name__}"
+            )
+        specs = tuple(
+            spec if isinstance(spec, FaultSpec) else FaultSpec.from_jsonable(spec)
+            for spec in raw_specs
+        )
+        return cls(specs=specs, name=str(name))
+
+    @classmethod
+    def coerce(
+        cls, value: Union["FaultPlan", Sequence, Mapping, None]
+    ) -> Optional["FaultPlan"]:
+        """Normalise any accepted plan spelling; ``None``/empty -> ``None``."""
+        if value is None:
+            return None
+        if isinstance(value, FaultPlan):
+            return value if value.specs else None
+        plan = cls.from_jsonable(value)
+        return plan if plan.specs else None
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        """Load a plan from a JSON file (the ``--fault-plan`` format)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise FaultPlanError(f"{path}: invalid JSON: {exc}") from None
+        plan = cls.from_jsonable(data)
+        if not plan.name:
+            plan = cls(specs=plan.specs, name=str(path))
+        return plan

@@ -56,6 +56,10 @@ class Gap:
     #: host-side guard: fail a pairing/authentication that never
     #: resolves (lost LMP frames, wedged peer) instead of hanging
     AUTHENTICATION_TIMEOUT = 40.0
+    #: host-side guard for connection attempts: far beyond any page
+    #: timeout, so it only fires when HCI itself is broken (a garbled
+    #: or truncated CreateConnection never reaches the controller)
+    CONNECT_TIMEOUT = 30.0
 
     def __init__(self, host) -> None:
         self.host = host
@@ -159,6 +163,10 @@ class Gap:
             operation.fail(ErrorCode.COMMAND_DISALLOWED)
             return operation
         self._connect_ops[addr] = operation
+        guard = self.host.simulator.schedule(
+            self.CONNECT_TIMEOUT, self._connect_guard, addr, operation
+        )
+        operation.on_done(lambda _op: guard.cancel())
         self.host.send_command(
             cmd.CreateConnection(
                 bd_addr=addr,
@@ -273,6 +281,13 @@ class Gap:
         self.host.send_command(
             cmd.AuthenticationRequested(connection_handle=info.handle)
         )
+
+    def _connect_guard(self, addr: BdAddr, operation: Operation) -> None:
+        """The controller never answered the page request: fail cleanly."""
+        if operation.done:
+            return
+        self._connect_ops.pop(addr, None)
+        operation.fail(ErrorCode.CONNECTION_TIMEOUT)
 
     def _auth_guard(self, addr: BdAddr, operation: Operation) -> None:
         """The authentication never resolved: fail it cleanly."""

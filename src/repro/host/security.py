@@ -20,9 +20,10 @@ failing the challenge.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional, Set, Tuple
 
-from repro.core.types import BdAddr, IoCapability
+from repro.core.types import BdAddr, IoCapability, LinkKey
 from repro.hci import commands as cmd
 from repro.hci import events as evt
 from repro.hci.constants import ErrorCode
@@ -78,6 +79,34 @@ class SecurityManager:
     def _persist(self) -> None:
         if self._store is not None:
             self._store.save(self.keys)
+
+    # --------------------------------------------------------- fault hooks
+
+    def corrupt_bonds(self, rng) -> int:
+        """Fault hook (host.bond_corrupt): trash every stored key.
+
+        Each bonded link key is overwritten with random bytes drawn
+        from the fault stream and persisted, as a damaged bt_config /
+        registry would be.  Returns the number of bonds touched.
+        """
+        for addr in list(self.keys):
+            record = self.keys[addr]
+            garbage = LinkKey(bytes(rng.randrange(256) for _ in range(16)))
+            self.keys[addr] = dataclasses.replace(record, link_key=garbage)
+        self._persist()
+        return len(self.keys)
+
+    def drop_all_bonds(self) -> int:
+        """Fault hook (host.bond_loss): the bonding store is gone.
+
+        Empties both the live database and persistent storage; every
+        peer must re-pair.  Returns the number of bonds dropped.
+        """
+        dropped = len(self.keys)
+        self.keys.clear()
+        self.keys_deleted += dropped
+        self._persist()
+        return dropped
 
     # ------------------------------------------------------------ HCI events
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.core.errors import HciError
 from repro.core.types import (
     AuthenticationRequirements,
     BluetoothVersion,
@@ -153,6 +154,7 @@ class HostStack:
         self._m_events_processed = metrics.counter("host.events_processed")
         self._m_commands_sent = metrics.counter("host.commands_sent")
         self._m_events_held = metrics.counter("host.events_held")
+        self._m_malformed = metrics.counter("host.malformed_packets")
         self._ploc_span: Optional["Span"] = None
 
         #: host-level Secure Simple Pairing support; a pre-2.1 stack
@@ -230,6 +232,28 @@ class HostStack:
             self._hold_until is not None and self.simulator.now < self._hold_until
         )
 
+    def restart(self) -> None:
+        """Fault hook (host.stack_restart): Bluetooth off/on.
+
+        Volatile state — held events, pending Command_Complete
+        waiters, an open PLOC hold — is dropped on the floor, and the
+        key database reloads from persistent bonding storage.
+        """
+        self.tracer.emit(
+            self.simulator.now,
+            self.name,
+            "host-restart",
+            f"stack restart: {len(self._held)} held events dropped, "
+            "bonds reloaded",
+        )
+        self._hold_until = None
+        self._held.clear()
+        if self._ploc_span is not None and self.obs is not None:
+            self.obs.spans.finish(self._ploc_span)
+            self._ploc_span = None
+        self._cc_waiters.clear()
+        self.security.reload_from_store()
+
     def _flush_held(self) -> None:
         if self.holding:
             return  # a later hold_events() call extended the window
@@ -253,7 +277,22 @@ class HostStack:
 
     def _process(self, raw: bytes) -> None:
         """The btu_hcif_process_event analogue."""
-        packet = parse_packet(raw[0], raw[1:])
+        # Truncated or garbled transport deliveries (see repro.faults)
+        # surface as parse failures; a stack drops those instead of
+        # crashing the event loop.
+        try:
+            packet = parse_packet(raw[0], raw[1:]) if raw else None
+        except (HciError, IndexError):
+            packet = None
+        if packet is None:
+            self._m_malformed.inc()
+            self.tracer.emit(
+                self.simulator.now,
+                self.name,
+                "host-err",
+                f"malformed HCI packet dropped ({len(raw)} bytes)",
+            )
+            return
         self.events_processed += 1
         self._m_events_processed.inc()
         if isinstance(packet, HciAclData):

@@ -158,20 +158,5 @@ class SecureUartTransport(UartH4Transport):
     # Taps see the encrypted wire image; the receiving endpoint gets
     # plaintext (it holds the transport key and decrypts on arrival).
 
-    def send_from_host(self, packet: HciPacket) -> None:
-        raw = self.frame(packet)
-        self._feed_taps(Direction.HOST_TO_CONTROLLER, self._wire_image(raw))
-        if self._controller_receiver is None:
-            raise TransportError(f"{self.name}: no controller attached")
-        self.packets_sent += 1
-        self.simulator.schedule(
-            self._byte_time(len(raw)), self._controller_receiver, raw
-        )
-
-    def send_from_controller(self, packet: HciPacket) -> None:
-        raw = self.frame(packet)
-        self._feed_taps(Direction.CONTROLLER_TO_HOST, self._wire_image(raw))
-        if self._host_receiver is None:
-            raise TransportError(f"{self.name}: no host attached")
-        self.packets_sent += 1
-        self.simulator.schedule(self._byte_time(len(raw)), self._host_receiver, raw)
+    def wire_image(self, direction: Direction, raw: bytes) -> bytes:
+        return self._wire_image(raw)

@@ -106,6 +106,21 @@ AirSniffer = Callable[[float, int, str, AirFrame], None]
 _FRAME_LATENCY = 0.000625  # one slot
 
 
+@dataclass
+class FrameFate:
+    """A fault filter's verdict on one in-flight frame."""
+
+    action: str = "deliver"  # "deliver" | "drop" | "mutate"
+    payload: Any = None  # replacement payload when action == "mutate"
+    extra_delay_s: float = 0.0
+
+
+# Fault filter: (now, link, sender, frame) -> FrameFate.  Filters run
+# after sniffers (a lost frame was still transmitted) and only when a
+# fault plan attached one — the lossless path makes no RNG draws.
+FrameFaultFilter = Callable[[float, "PhysicalLink", RadioPeer, AirFrame], FrameFate]
+
+
 class RadioMedium:
     """The shared wireless channel all simulated controllers live on."""
 
@@ -121,6 +136,7 @@ class RadioMedium:
     ) -> None:
         self.simulator = simulator
         self.rng = rng.stream("radio-medium")
+        self._rng_registry = rng  # child streams for the loss_rate shim
         self.tracer = tracer if tracer is not None else Tracer()
         if metrics is None:
             from repro.obs.metrics import get_global_registry
@@ -142,10 +158,12 @@ class RadioMedium:
         # Visibility: by default every registered controller hears every
         # other one.  Pairs listed here are out of range of each other.
         self._blocked_pairs: set = set()
-        #: per-frame loss probability (failure injection; 0 = lossless).
-        #: Lost frames still reach passive sniffers — they were
-        #: transmitted — but never the intended receiver.
-        self.loss_rate = 0.0
+        # Failure injection: repro.faults filters judge each frame.
+        # Lost frames still reach passive sniffers — they were
+        # transmitted — but never the intended receiver.
+        self._frame_fault_filters: List[FrameFaultFilter] = []
+        self._loss_shim = None  # registry behind the deprecated loss_rate
+        self._loss_shim_rate = 0.0
         self.frames_lost = 0
 
     # -- registration ------------------------------------------------------
@@ -171,6 +189,57 @@ class RadioMedium:
     def add_air_sniffer(self, sniffer: AirSniffer) -> None:
         """Attach a passive air sniffer (sees ciphertext, not plaintext)."""
         self._sniffers.append(sniffer)
+
+    # -- failure injection -------------------------------------------------
+
+    def add_frame_fault_filter(self, fault_filter: FrameFaultFilter) -> None:
+        """Attach a repro.faults frame filter (runs after sniffers)."""
+        if fault_filter not in self._frame_fault_filters:
+            self._frame_fault_filters.append(fault_filter)
+
+    def remove_frame_fault_filter(self, fault_filter: FrameFaultFilter) -> None:
+        if fault_filter in self._frame_fault_filters:
+            self._frame_fault_filters.remove(fault_filter)
+
+    def _fault_fate(self, frame: AirFrame) -> FrameFate:
+        """Combined filter verdict for a link-less frame (page traffic).
+
+        Mutations are meaningless for the synthetic page/page-response
+        frames, so only drop and extra delay survive.
+        """
+        extra = 0.0
+        for fault_filter in self._frame_fault_filters:
+            fate = fault_filter(self.simulator.now, None, None, frame)
+            if fate.action == "drop":
+                return FrameFate(action="drop")
+            extra += fate.extra_delay_s
+        return FrameFate(extra_delay_s=extra)
+
+    @property
+    def loss_rate(self) -> float:
+        """Deprecated: the per-frame loss probability shim.
+
+        Assigning builds the equivalent probabilistic
+        ``phy.frame_loss`` :class:`~repro.faults.spec.FaultSpec` under
+        a ``DeprecationWarning``; pass ``WorldConfig.fault_plan``
+        instead.
+        """
+        return self._loss_shim_rate
+
+    @loss_rate.setter
+    def loss_rate(self, probability: float) -> None:
+        import warnings
+
+        warnings.warn(
+            "RadioMedium.loss_rate is deprecated; use a phy.frame_loss "
+            "FaultSpec via WorldConfig.fault_plan instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.faults import set_medium_loss_rate
+
+        self._loss_shim_rate = probability
+        set_medium_loss_rate(self, probability)
 
     # -- inquiry -----------------------------------------------------------
 
@@ -231,6 +300,26 @@ class RadioMedium:
             "phy-page",
             f"{source.name} pages {target}",
         )
+        page_extra = 0.0
+        if self._frame_fault_filters:
+            # Page trains and page responses ride the same RF medium as
+            # data frames, so phy faults perturb the Table II race too:
+            # a dropped train means nobody hears the page, a dropped or
+            # jittered response changes who wins.
+            fate = self._fault_fate(AirFrame(kind="page", payload=b""))
+            if fate.action == "drop":
+                self.frames_lost += 1
+                self._m_frames_lost.inc()
+                self._m_page_timeouts.inc()
+                self.tracer.emit(
+                    self.simulator.now,
+                    self.TRACE_SOURCE,
+                    "phy-page",
+                    f"page train from {source.name} lost on the air",
+                )
+                self.simulator.schedule(timeout_s, on_result, None)
+                return
+            page_extra = fate.extra_delay_s
         candidates: List[Tuple[float, RadioPeer]] = []
         for peer in self._controllers:
             if peer is source or not self._reachable(source, peer):
@@ -240,6 +329,21 @@ class RadioMedium:
             if peer.bd_addr != target:
                 continue
             delay = self.rng.uniform(0.0, peer.page_scan_interval_s)
+            if self._frame_fault_filters:
+                fate = self._fault_fate(
+                    AirFrame(kind="page-response", payload=b"")
+                )
+                if fate.action == "drop":
+                    self.frames_lost += 1
+                    self._m_frames_lost.inc()
+                    self.tracer.emit(
+                        self.simulator.now,
+                        self.TRACE_SOURCE,
+                        "phy-page",
+                        f"page response from {peer.name} lost on the air",
+                    )
+                    continue
+                delay += page_extra + fate.extra_delay_s
             candidates.append((delay, peer))
         if not candidates:
             self._m_page_timeouts.inc()
@@ -299,11 +403,22 @@ class RadioMedium:
         now = self.simulator.now
         for sniffer in self._sniffers:
             sniffer(now, link.link_id, sender.name, frame)
-        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
-            self.frames_lost += 1
-            self._m_frames_lost.inc()
-            return
-        self.simulator.schedule(_FRAME_LATENCY, self._deliver, link, receiver, frame)
+        delay = _FRAME_LATENCY
+        if self._frame_fault_filters:
+            for fault_filter in self._frame_fault_filters:
+                fate = fault_filter(now, link, sender, frame)
+                if fate.action == "drop":
+                    self.frames_lost += 1
+                    self._m_frames_lost.inc()
+                    return
+                if fate.action == "mutate":
+                    frame = AirFrame(
+                        kind=frame.kind,
+                        payload=fate.payload,
+                        encrypted=frame.encrypted,
+                    )
+                delay += fate.extra_delay_s
+        self.simulator.schedule(delay, self._deliver, link, receiver, frame)
 
     def _deliver(self, link: PhysicalLink, receiver: RadioPeer, frame: AirFrame) -> None:
         if link.alive:

@@ -10,6 +10,7 @@ exactly the property the link key extraction attack exploits.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.errors import TransportError
@@ -28,6 +29,21 @@ class Direction(enum.Enum):
 TransportTap = Callable[[float, Direction, bytes], None]
 
 
+@dataclass
+class TransportFate:
+    """A fault injector's verdict on one in-flight wire packet."""
+
+    action: str = "deliver"  # "deliver" | "drop" | "mutate"
+    raw: Optional[bytes] = None  # replacement bytes when action == "mutate"
+    extra_delay_s: float = 0.0
+
+
+# Fault injector hook: (now, transport_name, direction, raw) ->
+# TransportFate.  Installed by repro.faults; taps and sniffers observe
+# the packet as sent — faults corrupt delivery, not transmission.
+TransportFaultInjector = Callable[[float, str, Direction, bytes], TransportFate]
+
+
 class HciTransport:
     """Base transport: serializes packets, delivers bytes, feeds taps."""
 
@@ -41,6 +57,7 @@ class HciTransport:
         self._controller_receiver: Optional[Callable[[bytes], None]] = None
         self._taps: List[TransportTap] = []
         self.packets_sent = 0
+        self.fault_injector: Optional[TransportFaultInjector] = None
 
     def attach_host(self, receiver: Callable[[bytes], None]) -> None:
         """Register the host-side byte receiver."""
@@ -61,23 +78,58 @@ class HciTransport:
         """Serialize a packet to this transport's wire framing."""
         return packet.to_h4_bytes()
 
+    def latency_for(self, raw: bytes) -> float:
+        """One-way delivery delay for a wire packet (subclass hook)."""
+        return self.LATENCY
+
+    def wire_image(self, direction: Direction, raw: bytes) -> bytes:
+        """What taps observe on the wire (secure transports encrypt)."""
+        return raw
+
     def send_from_host(self, packet: HciPacket) -> None:
         """Host sends a packet down to the controller."""
         raw = self.frame(packet)
-        self._feed_taps(Direction.HOST_TO_CONTROLLER, raw)
+        self._feed_taps(
+            Direction.HOST_TO_CONTROLLER,
+            self.wire_image(Direction.HOST_TO_CONTROLLER, raw),
+        )
         if self._controller_receiver is None:
             raise TransportError(f"{self.name}: no controller attached")
         self.packets_sent += 1
-        self.simulator.schedule(self.LATENCY, self._controller_receiver, raw)
+        self._dispatch(
+            Direction.HOST_TO_CONTROLLER, raw, self._controller_receiver
+        )
 
     def send_from_controller(self, packet: HciPacket) -> None:
         """Controller sends a packet up to the host."""
         raw = self.frame(packet)
-        self._feed_taps(Direction.CONTROLLER_TO_HOST, raw)
+        self._feed_taps(
+            Direction.CONTROLLER_TO_HOST,
+            self.wire_image(Direction.CONTROLLER_TO_HOST, raw),
+        )
         if self._host_receiver is None:
             raise TransportError(f"{self.name}: no host attached")
         self.packets_sent += 1
-        self.simulator.schedule(self.LATENCY, self._host_receiver, raw)
+        self._dispatch(Direction.CONTROLLER_TO_HOST, raw, self._host_receiver)
+
+    def _dispatch(
+        self,
+        direction: Direction,
+        raw: bytes,
+        receiver: Callable[[bytes], None],
+    ) -> None:
+        """Deliver wire bytes, consulting the fault injector if any."""
+        delay = self.latency_for(raw)
+        if self.fault_injector is not None:
+            fate = self.fault_injector(
+                self.simulator.now, self.name, direction, raw
+            )
+            if fate.action == "drop":
+                return
+            if fate.action == "mutate" and fate.raw is not None:
+                raw = fate.raw
+            delay += fate.extra_delay_s
+        self.simulator.schedule(delay, receiver, raw)
 
     def _feed_taps(self, direction: Direction, raw: bytes) -> None:
         now = self.simulator.now

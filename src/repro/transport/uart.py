@@ -9,10 +9,9 @@ blocking experiments.
 
 from __future__ import annotations
 
-from repro.hci.packets import HciPacket
-from repro.sim.eventloop import Simulator
-from repro.transport.base import Direction, HciTransport
 from repro.core.errors import TransportError
+from repro.sim.eventloop import Simulator
+from repro.transport.base import HciTransport
 
 
 class UartH4Transport(HciTransport):
@@ -30,20 +29,5 @@ class UartH4Transport(HciTransport):
         # 10 bit-times per byte (8 data + start + stop).
         return num_bytes * 10 / self.baud_rate
 
-    def send_from_host(self, packet: HciPacket) -> None:
-        raw = self.frame(packet)
-        self._feed_taps(Direction.HOST_TO_CONTROLLER, raw)
-        if self._controller_receiver is None:
-            raise TransportError(f"{self.name}: no controller attached")
-        self.packets_sent += 1
-        self.simulator.schedule(
-            self._byte_time(len(raw)), self._controller_receiver, raw
-        )
-
-    def send_from_controller(self, packet: HciPacket) -> None:
-        raw = self.frame(packet)
-        self._feed_taps(Direction.CONTROLLER_TO_HOST, raw)
-        if self._host_receiver is None:
-            raise TransportError(f"{self.name}: no host attached")
-        self.packets_sent += 1
-        self.simulator.schedule(self._byte_time(len(raw)), self._host_receiver, raw)
+    def latency_for(self, raw: bytes) -> float:
+        return self._byte_time(len(raw))

@@ -20,6 +20,7 @@ from repro.devices.catalog import GALAXY_S8, LG_VELVET
 
 EXPECTED_SCENARIOS = [
     "baseline-race",
+    "degraded-race",
     "eavesdrop",
     "exfiltration",
     "extraction",

@@ -78,9 +78,14 @@ class TestExtendedDiscovery:
 
 
 class TestLossyMedium:
+    @staticmethod
+    def _loss_plan(loss_rate):
+        return [{"point": "phy.frame_loss", "probability": loss_rate}]
+
     def _pair_under_loss(self, seed, loss_rate):
-        world = build_world(WorldConfig(seed=seed))
-        world.medium.loss_rate = loss_rate
+        world = build_world(
+            WorldConfig(seed=seed, fault_plan=self._loss_plan(loss_rate))
+        )
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         m.power_on()
@@ -100,31 +105,60 @@ class TestLossyMedium:
     def test_partial_loss_never_hangs(self):
         """Under 30% loss every attempt terminates (success or clean
         failure) — the failure-injection invariant."""
-        outcomes = []
         for seed in range(8):
             world, op = self._pair_under_loss(seed=100 + seed, loss_rate=0.3)
             assert op.done, f"seed {seed}: pairing operation hung"
-            outcomes.append(op.success)
-        # With this loss rate both outcomes should occur across seeds.
-        assert any(not ok for ok in outcomes)
+            # LMP has no retransmission in this simulation, so losing
+            # nearly a third of all frames reliably kills pairing.
+            assert not op.success
 
     def test_lossless_is_default(self):
-        world, op = self._pair_under_loss(seed=9, loss_rate=0.0)
-        assert op.success
-        assert world.medium.frames_lost == 0
-
-    def test_sniffer_still_sees_lost_frames(self):
-        from repro.attacks.eavesdrop import AirCapture
-
-        world = build_world(WorldConfig(seed=10))
-        world.medium.loss_rate = 1.0
+        world = build_world(WorldConfig(seed=9))
         m = world.add_device("M", LG_VELVET)
         c = world.add_device("C", NEXUS_5X_A8)
         m.power_on()
         c.power_on()
         world.run_for(0.5)
-        capture = AirCapture().attach(world.medium)
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        assert op.success
+        assert world.medium.frames_lost == 0
+
+    def test_loss_rate_shim_still_works_and_warns(self):
+        """The deprecated ``medium.loss_rate`` attribute keeps working
+        (routed through the fault subsystem) but warns."""
+        world = build_world(WorldConfig(seed=7))
+        with pytest.warns(DeprecationWarning):
+            world.medium.loss_rate = 1.0
+        assert world.medium.loss_rate == 1.0
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        assert op.done and not op.success
+        assert world.medium.frames_lost > 0
+
+    def test_sniffer_still_sees_lost_frames(self):
+        from repro.attacks.eavesdrop import AirCapture
+        from repro.faults import apply_fault_plan
+
+        world = build_world(WorldConfig(seed=10))
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        # Bring the link up cleanly first — total loss would also kill
+        # the page itself — then cut the channel and pair over it.
         m.host.gap.connect(c.bd_addr)
+        world.run_for(5.0)
+        apply_fault_plan(world, self._loss_plan(1.0))
+        capture = AirCapture().attach(world.medium)
+        m.host.gap.pair(c.bd_addr)
         world.run_for(10.0)
         # Lost frames were transmitted: passive capture records them.
         assert world.medium.frames_lost == len(capture.frames) > 0

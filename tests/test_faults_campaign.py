@@ -1,0 +1,218 @@
+"""Tests: fault plans through the campaign engine — retry replay,
+cache identity and cross-worker determinism."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultCache,
+    run_trial,
+    trial_key,
+)
+from repro.campaign.trial import Scenario, register_scenario
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8
+
+LOSSY_PLAN = [
+    {"point": "phy.frame_loss", "probability": 0.05},
+    {
+        "point": "phy.latency_jitter",
+        "probability": 0.25,
+        "params": {"jitter_s": 0.002},
+    },
+]
+
+
+class _LossyPairScenario(Scenario):
+    """Test-only scenario: one pairing attempt under the world's plan.
+
+    With ``fail_first_attempt`` the execute hook raises *after* the
+    simulation has consumed fault-stream draws — exactly the shape of
+    a mid-trial crash the campaign retry path has to recover from.
+    """
+
+    name = "test-lossy-pair"
+    description = "test fixture: pairing under an ambient fault plan"
+    default_params = {"fail_first_attempt": False}
+
+    #: per-process attempt counts, keyed by seed (reset per test)
+    attempts = {}
+
+    def execute(self, world, params, seed):
+        m = world.add_device("M", LG_VELVET)
+        c = world.add_device("C", NEXUS_5X_A8)
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        if params["fail_first_attempt"]:
+            count = self.attempts.get(seed, 0) + 1
+            self.attempts[seed] = count
+            if count == 1:
+                raise RuntimeError("injected first-attempt flake")
+        detail = {
+            "paired": bool(op.success),
+            "frames_lost": world.medium.frames_lost,
+        }
+        return bool(op.success), "paired" if op.success else "lost", detail
+
+
+register_scenario(_LossyPairScenario)
+
+
+class TestRetryReplay:
+    def test_retried_trial_replays_the_same_fault_sequence(self):
+        """Satellite regression: a retry rebuilds the world, and the
+        fresh build re-derives the fault streams from the trial seed —
+        attempt 2 must see the exact fault sequence attempt 1 saw."""
+        for seed in (3, 7):
+            _LossyPairScenario.attempts = {}
+            clean, _ = run_trial(
+                "test-lossy-pair", seed, fault_plan=LOSSY_PLAN
+            )
+            flaky, _ = run_trial(
+                "test-lossy-pair",
+                seed,
+                {"fail_first_attempt": True},
+                max_attempts=2,
+                fault_plan=LOSSY_PLAN,
+            )
+            assert clean.attempts == 1
+            assert flaky.attempts == 2
+            assert flaky.error is None
+            assert flaky.detail["frames_lost"] == clean.detail["frames_lost"]
+            assert (
+                flaky.detail["faults_injected"]
+                == clean.detail["faults_injected"]
+            )
+
+    def test_exhausted_retries_still_report_fault_summary(self):
+        class _AlwaysFails(Scenario):
+            name = "test-always-fails"
+            description = "test fixture"
+            default_params = {}
+
+            def execute(self, world, params, seed):
+                world.run_for(1.0)
+                raise RuntimeError("doomed")
+
+        register_scenario(_AlwaysFails)
+        result, _ = run_trial(
+            "test-always-fails",
+            seed=1,
+            max_attempts=2,
+            fault_plan=[{"point": "phy.frame_loss", "probability": 0.5}],
+        )
+        assert result.outcome == "error" and result.attempts == 2
+        assert "faults_injected" in result.detail
+
+
+class TestCacheIdentity:
+    def _runner(self, tmp_path):
+        return CampaignRunner(
+            workers=1, timeout_s=None, cache=ResultCache(tmp_path / "cache")
+        )
+
+    def test_trial_key_depends_on_fault_plan(self):
+        base = trial_key("page-blocking", 1, {}, version="v")
+        with_plan = trial_key(
+            "page-blocking", 1, {}, version="v", fault_plan=LOSSY_PLAN
+        )
+        other_plan = trial_key(
+            "page-blocking",
+            1,
+            {},
+            version="v",
+            fault_plan=[{"point": "phy.frame_loss", "probability": 0.06}],
+        )
+        assert len({base, with_plan, other_plan}) == 3
+
+    def test_faulted_sweep_never_reuses_no_fault_entries(self, tmp_path):
+        """Satellite regression: the disk cache hashes the plan, so a
+        degraded sweep recomputes instead of serving clean results."""
+        runner = self._runner(tmp_path)
+        seeds = [0, 1, 2]
+        clean = CampaignSpec("baseline-race", seeds=seeds)
+        faulted = CampaignSpec(
+            "baseline-race", seeds=seeds, fault_plan=LOSSY_PLAN
+        )
+
+        first = runner.run(clean)
+        assert (first.cache_hits, first.cache_misses) == (0, 3)
+        warm = runner.run(clean)
+        assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+
+        crossed = runner.run(faulted)
+        assert (crossed.cache_hits, crossed.cache_misses) == (0, 3)
+        warm_faulted = runner.run(faulted)
+        assert (warm_faulted.cache_hits, warm_faulted.cache_misses) == (3, 0)
+
+        # and the cached faulted results still carry the fault summary
+        assert all(
+            "faults_injected" in r.detail for r in warm_faulted.results
+        )
+
+    def test_plan_spelling_does_not_split_the_cache(self, tmp_path):
+        """List and FaultPlan spellings normalise to one cache key."""
+        from repro.faults import FaultPlan
+
+        runner = self._runner(tmp_path)
+        as_list = CampaignSpec(
+            "baseline-race", seeds=[5], fault_plan=LOSSY_PLAN
+        )
+        as_plan = CampaignSpec(
+            "baseline-race",
+            seeds=[5],
+            fault_plan=FaultPlan.coerce(LOSSY_PLAN),
+        )
+        runner.run(as_list)
+        warm = runner.run(as_plan)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+
+
+class TestCrossWorkerDeterminism:
+    SEEDS = list(range(4))
+
+    @staticmethod
+    def _fingerprint(result):
+        return json.dumps(
+            [
+                {
+                    "seed": r.seed,
+                    "success": r.success,
+                    "outcome": r.outcome,
+                    "sim_time_s": r.sim_time_s,
+                    "attempts": r.attempts,
+                    "detail": r.detail,
+                }
+                for r in result.results
+            ],
+            sort_keys=True,
+        )
+
+    def test_two_runs_are_byte_identical(self):
+        spec = CampaignSpec(
+            "degraded-race", seeds=self.SEEDS, fault_plan=LOSSY_PLAN
+        )
+        runner = CampaignRunner(workers=1, timeout_s=None)
+        assert self._fingerprint(runner.run(spec)) == self._fingerprint(
+            runner.run(spec)
+        )
+
+    def test_one_vs_four_workers_are_byte_identical(self):
+        spec = CampaignSpec(
+            "degraded-race", seeds=self.SEEDS, fault_plan=LOSSY_PLAN
+        )
+        serial = CampaignRunner(workers=1, timeout_s=None).run(spec)
+        parallel = CampaignRunner(workers=4, timeout_s=None).run(spec)
+        assert self._fingerprint(serial) == self._fingerprint(parallel)
+        # wall-clock histograms are inherently machine-dependent; the
+        # logical counters must merge identically regardless of sharding
+        assert (
+            serial.metrics.snapshot()["counters"]
+            == parallel.metrics.snapshot()["counters"]
+        )

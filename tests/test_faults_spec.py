@@ -1,0 +1,187 @@
+"""Tests: fault-plan schema — validation, JSON round-trips, catalogue."""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import (
+    INJECTION_POINTS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    get_point,
+    point_names,
+)
+
+
+class TestCatalog:
+    def test_every_layer_is_represented(self):
+        layers = {point.layer for point in INJECTION_POINTS.values()}
+        assert layers == {"phy", "transport", "controller", "host"}
+
+    def test_point_names_sorted_and_complete(self):
+        names = list(point_names())
+        assert names == sorted(names)
+        assert set(names) == set(INJECTION_POINTS)
+
+    def test_get_point_unknown_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_point("phy.typo")
+        assert "phy.frame_loss" in str(excinfo.value)
+
+    def test_scopes_match_layers(self):
+        for point in INJECTION_POINTS.values():
+            expected = "medium" if point.layer == "phy" else "device"
+            assert point.scope == expected, point.name
+
+
+class TestFaultSpecValidation:
+    def test_minimal_probabilistic_spec(self):
+        spec = FaultSpec("phy.frame_loss", probability=0.1)
+        assert spec.mode == "probabilistic"
+        assert spec.active(0.0) and spec.active(1e9)
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("phy.nonexistent")
+
+    def test_unsupported_mode_rejected(self):
+        # phy.blackout is window-only.
+        with pytest.raises(FaultPlanError):
+            FaultSpec("phy.blackout", mode="probabilistic")
+
+    def test_oneshot_requires_at_s(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("controller.hard_reset", mode="oneshot")
+        FaultSpec("controller.hard_reset", mode="oneshot", at_s=3.0)
+
+    def test_at_s_forbidden_outside_oneshot(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("phy.frame_loss", at_s=3.0)
+
+    def test_window_must_be_nonempty(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("phy.blackout", mode="window", start_s=5.0, end_s=5.0)
+        FaultSpec("phy.blackout", mode="window", start_s=5.0, end_s=6.0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("phy.frame_loss", probability=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultSpec("phy.frame_loss", probability=-0.1)
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultSpec("phy.bit_flip", params={"flops": 2})
+        assert "flips" in str(excinfo.value)
+
+    def test_window_activity(self):
+        spec = FaultSpec(
+            "phy.blackout", mode="window", start_s=2.0, end_s=4.0
+        )
+        assert not spec.active(1.9)
+        assert spec.active(2.0)
+        assert not spec.active(4.0)
+
+    def test_oneshot_never_polls_active(self):
+        spec = FaultSpec("host.bond_loss", mode="oneshot", at_s=1.0)
+        assert not spec.active(1.0)
+
+    def test_certain_probability_needs_no_rng_draw(self):
+        spec = FaultSpec("phy.frame_loss", probability=1.0)
+        assert spec.fires(0.0, rng=None)  # would raise if it drew
+
+    def test_probabilistic_fires_matches_stream(self):
+        spec = FaultSpec("phy.frame_loss", probability=0.5)
+        rng_a, rng_b = random.Random(42), random.Random(42)
+        fired = [spec.fires(float(i), rng_a) for i in range(50)]
+        assert fired == [rng_b.random() < 0.5 for _ in range(50)]
+        assert any(fired) and not all(fired)
+
+
+class TestJsonRoundTrip:
+    def test_spec_round_trip(self):
+        spec = FaultSpec(
+            "transport.garble",
+            mode="window",
+            start_s=1.0,
+            end_s=2.0,
+            target="C",
+            params={"flips": 3, "direction": "h2c"},
+        )
+        assert FaultSpec.from_jsonable(spec.to_jsonable()) == spec
+
+    def test_spec_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_jsonable({"point": "phy.frame_loss", "prob": 0.5})
+
+    def test_spec_requires_point(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_jsonable({"probability": 0.5})
+
+    def test_plan_round_trip_via_json_text(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("phy.frame_loss", probability=0.05),
+                FaultSpec("controller.hard_reset", mode="oneshot", at_s=9.0),
+            ),
+            name="mixed",
+        )
+        rebuilt = FaultPlan.from_jsonable(json.loads(plan.canonical_json()))
+        assert rebuilt == plan
+        assert rebuilt.canonical_json() == plan.canonical_json()
+
+    def test_plan_from_bare_list(self):
+        plan = FaultPlan.from_jsonable(
+            [{"point": "phy.frame_loss", "probability": 0.3}]
+        )
+        assert len(plan) == 1 and plan.name == ""
+
+    def test_plan_rejects_garbage(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_jsonable("phy.frame_loss")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_jsonable({"name": "no-faults-key"})
+
+
+class TestCoerce:
+    def test_none_and_empty_normalise_to_none(self):
+        assert FaultPlan.coerce(None) is None
+        assert FaultPlan.coerce([]) is None
+        assert FaultPlan.coerce(FaultPlan()) is None
+
+    def test_plan_passes_through(self):
+        plan = FaultPlan(specs=(FaultSpec("host.bond_loss", mode="oneshot", at_s=1.0),))
+        assert FaultPlan.coerce(plan) is plan
+
+    def test_list_and_mapping_spellings(self):
+        from_list = FaultPlan.coerce([{"point": "phy.frame_loss"}])
+        from_map = FaultPlan.coerce(
+            {"name": "x", "faults": [{"point": "phy.frame_loss"}]}
+        )
+        assert from_list.specs == from_map.specs
+        assert from_map.name == "x"
+
+
+class TestFromFile:
+    def test_example_plan_loads(self):
+        plan = FaultPlan.from_file("examples/plans/lossy.json")
+        assert plan.name == "lossy-rf"
+        assert [spec.point for spec in plan.specs] == [
+            "phy.frame_loss",
+            "phy.latency_jitter",
+        ]
+
+    def test_invalid_json_reports_path(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan.from_file(bad)
+        assert "bad.json" in str(excinfo.value)
+
+    def test_unnamed_plan_defaults_to_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps([{"point": "phy.frame_loss"}]))
+        plan = FaultPlan.from_file(path)
+        assert plan.name == str(path)

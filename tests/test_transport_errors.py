@@ -1,0 +1,132 @@
+"""Tests: HCI transport error paths — truncated and stalled packets
+must surface as clean timeouts/errors on the host, never as hangs or
+event-loop crashes."""
+
+import pytest
+
+from repro.attacks.scenario import WorldConfig, build_world
+from repro.devices.catalog import LG_VELVET, NEXUS_5X_A8, UBUNTU_2004
+from repro.faults import apply_fault_plan
+
+
+def _cast(world, c_spec=NEXUS_5X_A8):
+    m = world.add_device("M", LG_VELVET)
+    c = world.add_device("C", c_spec)
+    m.power_on()
+    c.power_on()
+    world.run_for(0.5)
+    return m, c
+
+
+class TestUartTruncation:
+    def test_truncated_commands_fail_pairing_without_hanging(self):
+        """Every h2c HCI packet on M's UART is cut to two bytes — mid
+        command header.  The controller must drop the fragments and the
+        host's pairing operation must fail by guard, not hang."""
+        plan = [
+            {
+                "point": "transport.truncate",
+                "mode": "window",
+                "start_s": 0.0,
+                "target": "M",
+                "params": {"keep_bytes": 2, "direction": "h2c"},
+            }
+        ]
+        world = build_world(WorldConfig(seed=40, fault_plan=plan))
+        m, c = _cast(world)
+        assert type(m.transport).__name__ == "UartH4Transport"
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        assert op.done and not op.success
+        snapshot = world.obs.metrics.snapshot()["counters"]
+        assert snapshot.get("hci.malformed_from_host", 0) > 0
+
+    def test_truncated_events_do_not_crash_the_host(self):
+        """The reverse direction: events from M's controller arrive
+        truncated.  The host must count and drop them and the world
+        must keep simulating."""
+        plan = [
+            {
+                "point": "transport.truncate",
+                "mode": "window",
+                "start_s": 0.0,
+                "end_s": 20.0,
+                "target": "M",
+                "params": {"keep_bytes": 1, "direction": "c2h"},
+            }
+        ]
+        world = build_world(WorldConfig(seed=41, fault_plan=plan))
+        m, c = _cast(world)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        assert op.done and not op.success
+        snapshot = world.obs.metrics.snapshot()["counters"]
+        assert snapshot.get("host.malformed_packets", 0) > 0
+
+    def test_clean_uart_still_pairs(self):
+        world = build_world(WorldConfig(seed=42))
+        m, c = _cast(world)
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        assert op.success
+
+
+class TestUsbStall:
+    def _bonded_usb_world(self, seed):
+        world = build_world(WorldConfig(seed=seed))
+        m, c = _cast(world, c_spec=UBUNTU_2004)
+        assert type(c.transport).__name__ == "UsbTransport"
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(40.0)
+        assert op.success
+        m.host.gap.disconnect(c.bd_addr)
+        world.run_for(2.0)
+        return world, m, c
+
+    def test_stall_during_link_key_request_reply(self):
+        """C's USB bus dies right as re-authentication starts, so C's
+        HCI_Link_Key_Request_Reply is in flight when the stall hits.
+        M's side must resolve by timeout — a failed operation, not a
+        wedged world."""
+        world, m, c = self._bonded_usb_world(43)
+        apply_fault_plan(
+            world,
+            [
+                {
+                    "point": "transport.stall",
+                    "mode": "window",
+                    "start_s": world.simulator.now,
+                    "target": "C",
+                    "params": {"direction": "h2c"},
+                }
+            ],
+        )
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        assert op.done and not op.success
+        assert world.faults.counts.get("transport.stall", 0) > 0
+        # and the world is still alive: a later clean pairing succeeds
+        # once the (open-ended) stall plan is the only thing broken on
+        # C, M can still talk to other devices
+        assert world.simulator.now > 60.0
+
+    def test_finite_stall_delays_reauthentication_but_recovers(self):
+        world, m, c = self._bonded_usb_world(44)
+        now = world.simulator.now
+        apply_fault_plan(
+            world,
+            [
+                {
+                    "point": "transport.stall",
+                    "mode": "window",
+                    "start_s": now,
+                    "end_s": now + 1.0,
+                    "target": "C",
+                }
+            ],
+        )
+        op = m.host.gap.pair(c.bd_addr)
+        world.run_for(60.0)
+        assert op.done and op.success
