@@ -1,0 +1,206 @@
+"""Detection-evaluation campaign scenarios.
+
+Two scenarios quantify the :mod:`repro.detect` subsystem at campaign
+scale:
+
+* ``detection-attack`` — stage one of the four attack classes against
+  a monitored victim and record every detector's maximum score and
+  first-alert time.  ``success`` means the *expected* detector cleared
+  the scenario threshold (a true positive at that operating point).
+* ``detection-benign`` — a day of ordinary traffic (discovery,
+  pairing, reconnect with re-authentication, an encrypted session) on
+  monitored devices.  ``success`` means *no* detector cleared the
+  threshold (no false positive).
+
+Both record raw scores in ``detail`` so ROC threshold sweeps
+(:mod:`repro.detect.evaluation`) re-use cached trials — sweeping a new
+threshold grid never re-simulates.  Under a ``--fault-plan`` the same
+scenarios become robustness probes: how does detector quality degrade
+on a lossy channel?
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import World, bond, standard_cast
+from repro.campaign.trial import Scenario, register_scenario
+from repro.detect import DetectionEngine
+from repro.devices.catalog import spec_by_key
+
+#: which detector is expected to catch which staged attack
+DETECTOR_FOR_ATTACK = {
+    "page-blocking": "page-blocking",
+    "extraction": "link-key-anomaly",
+    "knob": "entropy-downgrade",
+    "surveillance": "surveillance",
+}
+
+
+def _cast(world: World, params: Dict[str, Any]):
+    return standard_cast(
+        world,
+        m_spec=spec_by_key(params["m_spec"]),
+        c_spec=spec_by_key(params["c_spec"]),
+        a_spec=spec_by_key(params["a_spec"]),
+    )
+
+
+def _engine_detail(
+    engine: DetectionEngine, threshold: float
+) -> Dict[str, Any]:
+    summary = engine.summary()
+    summary["threshold"] = threshold
+    summary["scores"] = summary.pop("max_scores")
+    return summary
+
+
+@register_scenario
+class DetectionAttackScenario(Scenario):
+    """One staged attack against a monitored victim (TPR material)."""
+
+    name = "detection-attack"
+    description = "staged attack vs the online detectors (TPR/latency)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "a_spec": "nexus_5x_android6",
+        "attack": "page-blocking",
+        "threshold": 0.7,
+        "respond": False,
+        "pairing_delay": 5.0,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        attack = params["attack"]
+        expected = DETECTOR_FOR_ATTACK.get(attack)
+        if expected is None:
+            raise ValueError(
+                f"unknown attack {attack!r}; "
+                f"known: {sorted(DETECTOR_FOR_ATTACK)}"
+            )
+        threshold = params["threshold"]
+        stage = getattr(self, f"_stage_{attack.replace('-', '_')}")
+        engine, attack_succeeded = stage(world, params)
+        engine.finish()
+        scores = engine.max_scores()
+        detected = scores.get(expected, 0.0) >= threshold
+        detail = _engine_detail(engine, threshold)
+        detail.update(
+            {
+                "attack": attack,
+                "expected_detector": expected,
+                "detected": detected,
+                "attack_succeeded": bool(attack_succeeded),
+            }
+        )
+        return detected, "detected" if detected else "missed", detail
+
+    # ------------------------------------------------------------- stagings
+
+    def _stage_page_blocking(self, world: World, params: Dict[str, Any]):
+        m, c, a = _cast(world, params)
+        engine = DetectionEngine().attach_world(world, roles=["M"])
+        if params["respond"]:
+            engine.install_response(m)
+        report = PageBlockingAttack(world, a, c, m).run(
+            pairing_delay=params["pairing_delay"]
+        )
+        return engine, report.success
+
+    def _stage_extraction(self, world: World, params: Dict[str, Any]):
+        m, c, a = _cast(world, params)
+        bond(world, c, m)
+        engine = DetectionEngine().attach_world(world, roles=["C"])
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        return engine, report.extraction_success
+
+    def _stage_knob(self, world: World, params: Dict[str, Any]):
+        m, c, a = _cast(world, params)
+        bond(world, c, m)
+        m.controller.max_encryption_key_size = 1
+        c.controller.min_encryption_key_size = 1
+        engine = DetectionEngine().attach_world(world, roles=["M"])
+        operation = m.host.gap.pair(c.bd_addr)
+        world.run_for(10.0)
+        encryption = m.host.gap.enable_encryption(c.bd_addr)
+        world.run_for(2.0)
+        return engine, bool(operation.success and encryption.success)
+
+    def _stage_surveillance(self, world: World, params: Dict[str, Any]):
+        m, c, a = _cast(world, params)
+        engine = DetectionEngine().attach_world(world, roles=["M"])
+        # The attacker sweeps the neighbourhood: repeated short
+        # inquiries plus a few pages toward the victim.
+        for _ in range(6):
+            a.host.gap.start_discovery(inquiry_length=2)
+            world.run_for(3.5)
+        for _ in range(3):
+            a.host.gap.connect(m.bd_addr)
+            world.run_for(1.5)
+            a.host.gap.disconnect(m.bd_addr)
+            world.run_for(0.5)
+        return engine, True
+
+
+@register_scenario
+class DetectionBenignScenario(Scenario):
+    """Ordinary traffic on monitored devices (FPR material)."""
+
+    name = "detection-benign"
+    description = "benign traffic vs the online detectors (FPR)"
+    default_params = {
+        "m_spec": "lg_velvet_android11",
+        "c_spec": "nexus_5x_android8",
+        "threshold": 0.7,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        threshold = params["threshold"]
+        m = world.add_device("M", spec_by_key(params["m_spec"]))
+        c = world.add_device("C", spec_by_key(params["c_spec"]))
+        m.power_on()
+        c.power_on()
+        world.run_for(0.5)
+        engine = DetectionEngine().attach_world(world, roles=["M", "C"])
+
+        # One discovery, a consented pairing, a reconnect with
+        # re-authentication (the peer serves its stored key — the
+        # benign twin of the extraction pattern), an encrypted session.
+        m.host.gap.start_discovery(inquiry_length=4)
+        world.run_for(6.0)
+        c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+        pairing = m.host.gap.pair(c.bd_addr)
+        world.run_for(20.0)
+        paired = bool(pairing.success)
+        if paired:
+            m.host.gap.disconnect(c.bd_addr)
+            world.run_for(2.0)
+            c.host.gap.connect(m.bd_addr)
+            world.run_for(2.0)
+            c.host.gap.enable_encryption(m.bd_addr)
+            world.run_for(3.0)
+            c.host.sdp.query(m.bd_addr)
+            world.run_for(3.0)
+            c.host.gap.disconnect(m.bd_addr)
+            world.run_for(2.0)
+
+        engine.finish()
+        false_alerts = [
+            alert for alert in engine.alerts if alert.score >= threshold
+        ]
+        detail = _engine_detail(engine, threshold)
+        detail.update(
+            {
+                "paired": paired,
+                "false_alerts": [str(alert) for alert in false_alerts],
+            }
+        )
+        clean = not false_alerts
+        return clean, "clean" if clean else "false_alarm", detail

@@ -27,6 +27,7 @@ Execution model:
 
 from __future__ import annotations
 
+import math
 import signal
 import threading
 import time
@@ -36,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.attacks.scenario import WorldConfig, build_world
+from repro.campaign import detection as _detection  # noqa: F401  (registry)
 from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
 from repro.campaign.cache import ResultCache, trial_key
 from repro.campaign.trial import TrialConfig, TrialResult, get_scenario
@@ -67,13 +69,23 @@ class _TimeLimit:
         )
         if usable:
             self._previous = signal.signal(signal.SIGALRM, self._on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            if hasattr(signal, "setitimer"):
+                signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            else:
+                # signal.alarm only takes whole seconds and treats 0 as
+                # "disarm" — round *up* so sub-second budgets still arm
+                # a real (if coarser) deadline instead of truncating to
+                # nothing.
+                signal.alarm(max(1, math.ceil(self.seconds)))
             self.armed = True
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
         if self.armed:
-            signal.setitimer(signal.ITIMER_REAL, 0)
+            if hasattr(signal, "setitimer"):
+                signal.setitimer(signal.ITIMER_REAL, 0)
+            else:
+                signal.alarm(0)
             signal.signal(signal.SIGALRM, self._previous)
 
     def _on_alarm(self, _signum: int, _frame: Any) -> None:

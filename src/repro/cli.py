@@ -24,6 +24,9 @@ Android bug report) and on raw USB analyzer streams:
 * ``blap faults {list,describe}`` — the fault-injection catalogue;
   pair with ``--fault-plan plan.json`` on ``demo``, ``timeline`` and
   ``campaign run`` to sweep scenarios under degraded conditions.
+* ``blap detect {list,scan,demo,roc}`` — the streaming detection
+  subsystem: replay captures through the detectors, stage monitored
+  attacks, and run ROC campaigns (TPR/FPR/latency threshold sweeps).
 """
 
 from __future__ import annotations
@@ -106,12 +109,24 @@ _DEMO_PARAMS: Dict[str, Dict[str, Any]] = {
 
 
 def _load_fault_plan(path: Optional[str]):
-    """``--fault-plan PATH`` → a :class:`FaultPlan` (or ``None``)."""
+    """``--fault-plan PATH`` → a :class:`FaultPlan` (or ``None``).
+
+    A missing or malformed plan is an operator error, not a crash:
+    fail with one line on stderr and exit status 2 (argparse's own
+    usage-error convention) instead of a traceback.
+    """
     if not path:
         return None
-    from repro.faults import FaultPlan
+    from repro.faults import FaultPlan, FaultPlanError
 
-    return FaultPlan.from_file(path)
+    try:
+        return FaultPlan.from_file(path)
+    except FileNotFoundError:
+        print(f"blap: fault plan not found: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    except (FaultPlanError, OSError) as exc:
+        print(f"blap: bad fault plan {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _run_demo_world(scenario_name: str, seed: int, params=None, fault_plan=None):
@@ -459,6 +474,142 @@ def _cmd_faults_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------- detection
+
+
+def _cmd_detect_list(args: argparse.Namespace) -> int:
+    from repro.detect import detector_class, detector_names
+
+    for name in detector_names():
+        cls = detector_class(name)
+        print(f"{name:<18} [{','.join(cls.channels)}] {cls.description}")
+        if args.verbose:
+            for key, value in sorted(cls.default_config.items()):
+                print(f"    {key} = {value!r}")
+    return 0
+
+
+def _cmd_detect_scan(args: argparse.Namespace) -> int:
+    from repro.detect import replay_capture
+
+    with open(args.capture, "rb") as handle:
+        raw = handle.read()
+    result = replay_capture(raw, detectors=args.detector or None)
+    if not result.alerts:
+        print("no detector alerts in the capture")
+        return 1
+    for alert in result.alerts:
+        print(alert)
+    return 0
+
+
+def _cmd_detect_demo(args: argparse.Namespace) -> int:
+    from repro.campaign.detection import DETECTOR_FOR_ATTACK
+    from repro.campaign.runner import run_trial
+
+    result, _ = run_trial(
+        "detection-attack",
+        args.seed,
+        params={"attack": args.attack, "respond": args.respond},
+        fault_plan=_load_fault_plan(args.fault_plan),
+    )
+    detail = result.detail
+    print(f"attack            : {args.attack}")
+    print(f"expected detector : {DETECTOR_FOR_ATTACK[args.attack]}")
+    print(f"attack succeeded  : {detail.get('attack_succeeded')}")
+    for name, score in sorted(detail.get("scores", {}).items()):
+        first = detail.get("first_alert_s", {}).get(name)
+        when = f" (first alert at t={first:.3f}s)" if first is not None else ""
+        print(f"  {name:<18} max score {score:.2f}{when}")
+    print(f"alerts  : {detail.get('alerts')}")
+    print(f"outcome : {result.outcome}")
+    if result.error:
+        print(f"error   : {result.error}", file=sys.stderr)
+        return 1
+    return 0 if result.success else 1
+
+
+def _cmd_detect_roc(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec
+    from repro.campaign.detection import DETECTOR_FOR_ATTACK
+    from repro.detect import operating_point, render_roc_table, roc_curve
+
+    fault_plan = _load_fault_plan(args.fault_plan)
+    attacks = args.attack or sorted(DETECTOR_FOR_ATTACK)
+    runner = _make_runner(args)
+
+    campaigns = {}
+    for index, attack in enumerate(attacks):
+        base = args.seed_base + index * 10_000
+        campaigns[attack] = runner.run(
+            CampaignSpec(
+                "detection-attack",
+                seeds=range(base, base + args.trials),
+                params={"attack": attack},
+                fault_plan=fault_plan,
+            )
+        )
+    benign = runner.run(
+        CampaignSpec(
+            "detection-benign",
+            seeds=range(
+                args.seed_base + 100_000,
+                args.seed_base + 100_000 + args.trials,
+            ),
+            fault_plan=fault_plan,
+        )
+    )
+
+    errors = list(benign.errors)
+    for campaign in campaigns.values():
+        errors.extend(campaign.errors)
+    for trial in errors:
+        print(
+            f"  {trial.scenario} seed {trial.seed}: {trial.error}",
+            file=sys.stderr,
+        )
+
+    benign_details = [r.detail for r in benign.results if not r.error]
+    report = {}
+    verdict = True
+    for attack in attacks:
+        detector = DETECTOR_FOR_ATTACK[attack]
+        attack_details = [
+            r.detail for r in campaigns[attack].results if not r.error
+        ]
+        points = roc_curve(attack_details, benign_details, detector)
+        best = operating_point(points, max_fpr=args.max_fpr)
+        report[detector] = {
+            "attack": attack,
+            "points": [p.to_dict() for p in points],
+            "operating_point": best.to_dict() if best else None,
+        }
+        if best is None or best.tpr < args.min_tpr:
+            verdict = False
+        if not args.json:
+            print(
+                f"\n{detector} "
+                f"({len(attack_details)} attack / "
+                f"{len(benign_details)} benign trials)"
+            )
+            print(render_roc_table(points))
+            if best is None:
+                print(f"no operating point with FPR <= {args.max_fpr:.0%}")
+            else:
+                print(
+                    f"operating point: threshold {best.threshold:.2f} -> "
+                    f"TPR {best.tpr:.0%} at FPR {best.fpr:.0%}"
+                )
+    if args.json:
+        print(json.dumps(report, indent=1))
+    if errors:
+        return 1
+    if fault_plan is not None:
+        # Robustness probes report degradation; they do not gate.
+        return 0
+    return 0 if verdict else 1
+
+
 def _add_fault_plan_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-plan",
@@ -618,6 +769,69 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true", help="show default params"
     )
     listing.set_defaults(func=_cmd_campaign_list)
+
+    detect = sub.add_parser(
+        "detect", help="streaming attack detection and ROC evaluation"
+    )
+    dsub = detect.add_subparsers(dest="detect_command", required=True)
+
+    dlist = dsub.add_parser("list", help="registered detectors")
+    dlist.add_argument(
+        "-v", "--verbose", action="store_true", help="show default config"
+    )
+    dlist.set_defaults(func=_cmd_detect_list)
+
+    dscan = dsub.add_parser(
+        "scan", help="replay a btsnoop capture through the detectors"
+    )
+    dscan.add_argument("capture", help="btsnoop file")
+    dscan.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        help="only these detectors (repeatable; default: all HCI-capable)",
+    )
+    dscan.set_defaults(func=_cmd_detect_scan)
+
+    ddemo = dsub.add_parser(
+        "demo", help="stage one monitored attack and print detector scores"
+    )
+    from repro.campaign.detection import DETECTOR_FOR_ATTACK
+
+    ddemo.add_argument("attack", choices=sorted(DETECTOR_FOR_ATTACK))
+    ddemo.add_argument("--seed", type=int, default=1)
+    ddemo.add_argument(
+        "--respond",
+        action="store_true",
+        help="let the victim reject flagged pairings (detection response)",
+    )
+    _add_fault_plan_arg(ddemo)
+    ddemo.set_defaults(func=_cmd_detect_demo)
+
+    droc = dsub.add_parser(
+        "roc", help="TPR/FPR/latency sweeps from detection campaigns"
+    )
+    droc.add_argument(
+        "--attack",
+        action="append",
+        choices=sorted(DETECTOR_FOR_ATTACK),
+        default=None,
+        help="attack classes to evaluate (repeatable; default: all)",
+    )
+    droc.add_argument("--trials", type=int, default=20)
+    droc.add_argument("--seed-base", type=int, default=4000)
+    droc.add_argument(
+        "--min-tpr", type=float, default=0.95,
+        help="acceptance floor for the operating point (clean runs)",
+    )
+    droc.add_argument(
+        "--max-fpr", type=float, default=0.05,
+        help="false-positive ceiling for the operating point",
+    )
+    droc.add_argument("--json", action="store_true", help="machine output")
+    _add_fault_plan_arg(droc)
+    _add_campaign_common(droc)
+    droc.set_defaults(func=_cmd_detect_roc)
 
     faults = sub.add_parser(
         "faults", help="the fault-injection point catalogue"

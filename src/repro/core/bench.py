@@ -1,0 +1,62 @@
+"""Benchmark number sink: ``BENCH_<name>.json`` emitters.
+
+Perf guards assert *bounds*; the interesting part — the measured
+numbers — used to scroll away with the pytest output.  This module
+gives every guard one call to persist what it measured:
+
+    record_bench("campaign", "speedup", {"serial_s": 3.1, ...})
+
+merges ``{"speedup": {...}}`` into ``BENCH_campaign.json`` in
+``$BLAP_BENCH_DIR`` (default: the current directory).  Files are
+ordinary JSON with sorted keys, so CI can archive them as artifacts
+and diffs stay readable.  Sections merge shallowly — re-recording a
+section replaces it, other sections survive — so independent tests can
+contribute to one file without coordinating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+
+def bench_dir() -> Path:
+    """Where bench files land: ``$BLAP_BENCH_DIR`` or the cwd."""
+    return Path(os.environ.get("BLAP_BENCH_DIR") or ".")
+
+
+def bench_path(name: str) -> Path:
+    return bench_dir() / f"BENCH_{name}.json"
+
+
+def record_bench(
+    name: str, section: str, values: Mapping[str, Any]
+) -> Path:
+    """Merge ``values`` under ``section`` into ``BENCH_<name>.json``.
+
+    Returns the path written.  Unreadable/corrupt existing files are
+    replaced rather than crashing the test that measured the numbers.
+    """
+    path = bench_path(name)
+    data: dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict):
+            data = loaded
+    except (OSError, ValueError):
+        pass
+    data[section] = _jsonable(values)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _jsonable(value: Union[Mapping[str, Any], Any]) -> Any:
+    """Round-trip through JSON so odd numerics (numpy etc.) fail here,
+    at record time, with a clear culprit — not later in CI tooling."""
+    return json.loads(json.dumps(value, sort_keys=True, default=float))

@@ -1,0 +1,75 @@
+"""Streaming attack detection (``repro.detect``).
+
+The §VII-B mitigation, promoted from an offline forensic scan to an
+online subsystem: a :class:`DetectionFeed` taps the observability
+plumbing (air sniffers, HCI transport taps, live tracer records) into
+one ordered simulated-time event stream, stateful :class:`Detector`\\ s
+match attack signatures as they happen, and the
+:class:`DetectionEngine` fans structured :class:`Alert`\\ s into
+metrics, spans, the merged timeline and (optionally) a host-side
+pairing veto.
+
+Typical entrypoints::
+
+    engine = DetectionEngine().attach_world(world, roles=["M"])
+    engine.install_response(m)          # reject flagged pairings
+    ...run the attack...
+    engine.max_scores()["page-blocking"]
+
+    replay_capture(btsnoop_bytes)       # offline, same detectors
+
+Detector quality is quantified by the ``detection-attack`` /
+``detection-benign`` campaign scenarios plus :mod:`.evaluation`'s
+threshold sweeps (TPR/FPR/latency) — ``blap detect roc`` end to end.
+"""
+
+from repro.detect.base import (
+    Alert,
+    Detector,
+    create_detector,
+    detector_class,
+    detector_names,
+    register_detector,
+)
+from repro.detect.detectors import (
+    EntropyDowngradeDetector,
+    LinkKeyAnomalyDetector,
+    PageBlockingDetector,
+    PageBlockingFinding,
+    SurveillanceDetector,
+)
+from repro.detect.engine import DEFAULT_RESPONSE_SCORE, DetectionEngine
+from repro.detect.evaluation import (
+    DEFAULT_THRESHOLDS,
+    RocPoint,
+    operating_point,
+    render_roc_table,
+    roc_curve,
+)
+from repro.detect.feed import DetectionEvent, DetectionFeed
+from repro.detect.replay import ReplayResult, replay_capture
+
+__all__ = [
+    "Alert",
+    "DEFAULT_RESPONSE_SCORE",
+    "DEFAULT_THRESHOLDS",
+    "DetectionEngine",
+    "DetectionEvent",
+    "DetectionFeed",
+    "Detector",
+    "EntropyDowngradeDetector",
+    "LinkKeyAnomalyDetector",
+    "PageBlockingDetector",
+    "PageBlockingFinding",
+    "ReplayResult",
+    "RocPoint",
+    "SurveillanceDetector",
+    "create_detector",
+    "detector_class",
+    "detector_names",
+    "operating_point",
+    "register_detector",
+    "render_roc_table",
+    "replay_capture",
+    "roc_curve",
+]

@@ -1,0 +1,132 @@
+"""The streaming detector protocol, alert type and detector registry.
+
+A :class:`Detector` is a small per-stream state machine: it receives
+:class:`~repro.detect.feed.DetectionEvent` values in ``(time, seq)``
+order and yields :class:`Alert` values as signatures complete.  One
+detector instance watches one monitored stream (one device's HCI, or
+the shared air/trace plane) — the engine instantiates per monitor.
+
+Scores are calibrated confidences in ``[0, 1]``; thresholding is the
+*consumer's* decision (the ROC campaigns sweep it after the fact), so
+detectors should report every signature hit with an honest score
+rather than gate internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.detect.feed import DetectionEvent
+
+
+@dataclass
+class Alert:
+    """One detection verdict, JSON-serialisable via :meth:`to_dict`."""
+
+    detector: str
+    time: float
+    monitor: str
+    score: float
+    message: str
+    peer: str = ""  # BD_ADDR string when the signature names one
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def confidence(self) -> str:
+        if self.score >= 0.9:
+            return "high"
+        if self.score >= 0.6:
+            return "medium"
+        return "low"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "detector": self.detector,
+            "time": self.time,
+            "monitor": self.monitor,
+            "score": self.score,
+            "confidence": self.confidence,
+            "peer": self.peer,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        peer = f" peer={self.peer}" if self.peer else ""
+        return (
+            f"[{self.time:10.6f}] {self.detector} "
+            f"({self.confidence} {self.score:.2f}){peer}: {self.message}"
+        )
+
+
+class Detector:
+    """Base class: stateful, replayable, one instance per stream.
+
+    Subclasses set ``name`` / ``channels`` / ``default_config``,
+    implement :meth:`on_event` and keep all mutable state created in
+    :meth:`reset` — a reset detector must behave exactly like a fresh
+    one, which is what makes offline replay equivalent to live
+    streaming.
+    """
+
+    #: registry key (CLI spelling)
+    name: str = ""
+    #: one line for ``blap detect list``
+    description: str = ""
+    #: which feed channels this detector consumes
+    channels: Tuple[str, ...] = ("hci",)
+    #: tunable knobs (JSON-serialisable; overridable per instance)
+    default_config: Dict[str, Any] = {}
+
+    def __init__(self, **config: Any) -> None:
+        unknown = set(config) - set(self.default_config)
+        if unknown:
+            raise ValueError(
+                f"{self.name}: unknown config {sorted(unknown)}; "
+                f"known: {sorted(self.default_config)}"
+            )
+        self.config: Dict[str, Any] = {**self.default_config, **config}
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all accumulated state (subclass hook)."""
+
+    def on_event(self, event: DetectionEvent) -> List[Alert]:
+        """Consume one event; return any alerts it completes."""
+        raise NotImplementedError
+
+    def finish(self) -> List[Alert]:
+        """End-of-stream hook for offline replay (default: nothing)."""
+        return []
+
+
+# ------------------------------------------------------------------ registry
+
+_REGISTRY: Dict[str, Type[Detector]] = {}
+
+
+def register_detector(cls: Type[Detector]) -> Type[Detector]:
+    """Class decorator: add a detector to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls!r} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def detector_class(name: str) -> Type[Detector]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown detector {name!r}; known: {detector_names()}"
+        ) from None
+
+
+def create_detector(name: str, **config: Any) -> Detector:
+    """A fresh instance of the named detector."""
+    return detector_class(name)(**config)
+
+
+def detector_names() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,382 @@
+"""The four built-in streaming detectors.
+
+* ``page-blocking`` — the online generalisation of the §VII-B offline
+  predicate (and the single signature implementation behind
+  :func:`repro.mitigations.detector.detect_page_blocking`);
+* ``link-key-anomaly`` — the §IV extraction access pattern: a link key
+  served in plaintext over HCI, then authentication dying by LMP
+  response timeout (the bond-preserving abort the attack relies on);
+* ``entropy-downgrade`` — KNOB-style encryption key size negotiation
+  below a minimum, watched on the air (LMP plane);
+* ``surveillance`` — inquiry/page flooding from one radio, watched on
+  the phy trace plane.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.controller import lmp
+from repro.core.types import BdAddr, IoCapability
+from repro.detect.base import Alert, Detector, register_detector
+from repro.detect.feed import DetectionEvent
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.hci.constants import ErrorCode
+
+# The exact §VII-B indicator strings (pinned by the offline detector's
+# public API and its tests — do not reword).
+INDICATOR_RESPONDER_PAIRING = (
+    "pairing initiated on a remotely-initiated connection"
+)
+INDICATOR_NO_CREATE = "no outbound HCI_Create_Connection to this peer"
+INDICATOR_NINO = "peer claims NoInputNoOutput (Just Works downgrade)"
+
+#: indicator count -> calibrated confidence
+_PAGE_BLOCKING_SCORES = {1: 0.5, 2: 0.7, 3: 0.95}
+
+
+@dataclass
+class PageBlockingFinding:
+    """One §VII-B signature hit, accumulated while streaming.
+
+    Field-for-field the same shape as the offline
+    :class:`~repro.mitigations.detector.SuspiciousPairing`, so the
+    offline wrapper converts findings losslessly.
+    """
+
+    peer: BdAddr
+    connection_request_frame: int
+    authentication_frame: int
+    peer_io_capability: Optional[IoCapability] = None
+    indicators: List[str] = field(default_factory=list)
+
+
+@register_detector
+class PageBlockingDetector(Detector):
+    """Online §VII-B: connection responder that turns pairing initiator.
+
+    Emits an alert the moment ``HCI_Authentication_Requested`` goes
+    down for a handle whose connection was remotely initiated —
+    *before* any confirmation popup, which is what lets the response
+    hook veto the pairing.  A NoInputNoOutput IO capability response
+    arriving later upgrades the finding with a second, higher-score
+    alert (the offline path folds both into one finding).
+    """
+
+    name = "page-blocking"
+    description = "responder-connection -> initiator-pairing (§VII-B online)"
+    channels = ("hci",)
+    default_config: Dict[str, Any] = {}
+
+    def reset(self) -> None:
+        self._inbound: Dict[BdAddr, int] = {}
+        self._created: Set[BdAddr] = set()
+        self._accepted: Dict[int, BdAddr] = {}
+        self._remote_io: Dict[BdAddr, IoCapability] = {}
+        self.findings: List[PageBlockingFinding] = []
+
+    def on_event(self, event: DetectionEvent) -> List[Alert]:
+        packet = event.packet
+        if isinstance(packet, evt.ConnectionRequest):
+            self._inbound[packet.bd_addr] = event.frame_no
+        elif isinstance(packet, cmd.CreateConnection):
+            self._created.add(packet.bd_addr)
+        elif isinstance(packet, evt.ConnectionComplete) and packet.status == 0:
+            self._accepted[packet.connection_handle] = packet.bd_addr
+        elif isinstance(packet, evt.IoCapabilityResponse):
+            io = IoCapability(packet.io_capability)
+            self._remote_io[packet.bd_addr] = io
+            if io is IoCapability.NO_INPUT_NO_OUTPUT:
+                return self._upgrade_late_nino(event, packet.bd_addr)
+        elif isinstance(packet, cmd.AuthenticationRequested):
+            peer = self._accepted.get(packet.connection_handle)
+            if peer is not None and peer in self._inbound:
+                return [self._flag(event, peer)]
+        return []
+
+    def _flag(self, event: DetectionEvent, peer: BdAddr) -> Alert:
+        finding = PageBlockingFinding(
+            peer=peer,
+            connection_request_frame=self._inbound[peer],
+            authentication_frame=event.frame_no,
+        )
+        finding.indicators.append(INDICATOR_RESPONDER_PAIRING)
+        if peer not in self._created:
+            finding.indicators.append(INDICATOR_NO_CREATE)
+        if self._remote_io.get(peer) is IoCapability.NO_INPUT_NO_OUTPUT:
+            finding.peer_io_capability = IoCapability.NO_INPUT_NO_OUTPUT
+            finding.indicators.append(INDICATOR_NINO)
+        self.findings.append(finding)
+        return self._alert(event.time, event.monitor, finding)
+
+    def _upgrade_late_nino(
+        self, event: DetectionEvent, peer: BdAddr
+    ) -> List[Alert]:
+        """NINO arrived after the pairing was flagged: strengthen it."""
+        alerts = []
+        for finding in self.findings:
+            if finding.peer == peer and finding.peer_io_capability is None:
+                finding.peer_io_capability = IoCapability.NO_INPUT_NO_OUTPUT
+                finding.indicators.append(INDICATOR_NINO)
+                alerts.append(self._alert(event.time, event.monitor, finding))
+        return alerts
+
+    def _alert(
+        self, time: float, monitor: str, finding: PageBlockingFinding
+    ) -> Alert:
+        count = len(finding.indicators)
+        return Alert(
+            detector=self.name,
+            time=time,
+            monitor=monitor,
+            score=_PAGE_BLOCKING_SCORES.get(count, 0.95),
+            peer=str(finding.peer),
+            message=(
+                f"page-blocking signature on {finding.peer} "
+                f"({count} indicator{'s' if count != 1 else ''})"
+            ),
+            detail={
+                "indicators": list(finding.indicators),
+                "connection_request_frame": finding.connection_request_frame,
+                "authentication_frame": finding.authentication_frame,
+            },
+        )
+
+
+@register_detector
+class LinkKeyAnomalyDetector(Detector):
+    """§IV extraction signature on the HCI plane.
+
+    The tell is *order plus outcome*: ``HCI_Link_Key_Request_Reply``
+    exposes the key in plaintext on the transport, and the extraction
+    attack then kills authentication with ``LMP_RESPONSE_TIMEOUT``
+    (0x22) — never a real failure, because a failure would delete the
+    bond it is stealing.  A served key followed by a successful
+    authentication clears the suspicion (normal re-auth); a served key
+    on a remotely-initiated connection raises a low informational score
+    either way (it is also what a fake-bond exfiltration looks like).
+    """
+
+    name = "link-key-anomaly"
+    description = "link key served, then auth stalled by LMP timeout (§IV)"
+    channels = ("hci",)
+    default_config: Dict[str, Any] = {"informational_score": 0.35}
+
+    def reset(self) -> None:
+        self._handles: Dict[int, BdAddr] = {}
+        self._inbound: Set[BdAddr] = set()
+        self._served: Dict[BdAddr, Tuple[float, int]] = {}
+        self._flagged: Set[Tuple[BdAddr, int]] = set()
+
+    def on_event(self, event: DetectionEvent) -> List[Alert]:
+        packet = event.packet
+        if isinstance(packet, evt.ConnectionRequest):
+            self._inbound.add(packet.bd_addr)
+        elif isinstance(packet, evt.ConnectionComplete) and packet.status == 0:
+            self._handles[packet.connection_handle] = packet.bd_addr
+        elif isinstance(packet, cmd.LinkKeyRequestReply):
+            peer = packet.bd_addr
+            self._served[peer] = (event.time, event.frame_no)
+            if peer in self._inbound:
+                return [
+                    Alert(
+                        detector=self.name,
+                        time=event.time,
+                        monitor=event.monitor,
+                        score=self.config["informational_score"],
+                        peer=str(peer),
+                        message=(
+                            f"link key served on a remotely-initiated "
+                            f"connection from {peer}"
+                        ),
+                        detail={"frame": event.frame_no},
+                    )
+                ]
+        elif isinstance(packet, evt.AuthenticationComplete):
+            peer = self._handles.get(packet.connection_handle)
+            if peer is None:
+                return []
+            if packet.status == 0:
+                self._served.pop(peer, None)  # benign re-authentication
+            elif packet.status == ErrorCode.LMP_RESPONSE_TIMEOUT:
+                return self._stalled(event, peer)
+        elif isinstance(packet, evt.DisconnectionComplete):
+            peer = self._handles.pop(packet.connection_handle, None)
+            if (
+                peer is not None
+                and packet.reason == ErrorCode.LMP_RESPONSE_TIMEOUT
+            ):
+                return self._stalled(event, peer)
+        return []
+
+    def _stalled(self, event: DetectionEvent, peer: BdAddr) -> List[Alert]:
+        served = self._served.get(peer)
+        if served is None:
+            return []
+        served_time, served_frame = served
+        key = (peer, served_frame)
+        if key in self._flagged:
+            return []
+        self._flagged.add(key)
+        return [
+            Alert(
+                detector=self.name,
+                time=event.time,
+                monitor=event.monitor,
+                score=0.9,
+                peer=str(peer),
+                message=(
+                    f"link key for {peer} served in plaintext, then "
+                    "authentication stalled by LMP response timeout "
+                    "(extraction signature)"
+                ),
+                detail={
+                    "served_frame": served_frame,
+                    "served_time": served_time,
+                    "stall_frame": event.frame_no,
+                },
+            )
+        ]
+
+
+@register_detector
+class EntropyDowngradeDetector(Detector):
+    """KNOB posture on the air: key size negotiated below the minimum.
+
+    Watches the unencrypted LMP negotiation
+    (``LMP_encryption_key_size_req``/``res``) for proposals and
+    accepted sizes under ``min_key_size`` (default 7, the post-KNOB
+    erratum floor).  A low proposal alone is suspicious; an *accepted*
+    low size means the session entropy is actually degraded.
+    """
+
+    name = "entropy-downgrade"
+    description = "LMP encryption key size below minimum (KNOB posture)"
+    channels = ("air",)
+    default_config: Dict[str, Any] = {"min_key_size": 7}
+
+    def reset(self) -> None:
+        self._seen: Set[Tuple[str, str, int]] = set()
+
+    def on_event(self, event: DetectionEvent) -> List[Alert]:
+        frame = event.frame
+        if frame is None or frame.kind != "lmp":
+            return []
+        payload = frame.payload
+        floor = self.config["min_key_size"]
+        if isinstance(payload, lmp.LmpEncryptionKeySizeReq):
+            if payload.size < floor:
+                return self._flag(event, "proposal", payload.size, 0.6)
+        elif isinstance(payload, lmp.LmpEncryptionKeySizeRes):
+            if payload.accepted and payload.size < floor:
+                return self._flag(event, "accepted", payload.size, 0.95)
+        return []
+
+    def _flag(
+        self, event: DetectionEvent, stage: str, size: int, score: float
+    ) -> List[Alert]:
+        key = (stage, event.sender, size)
+        if key in self._seen:
+            return []
+        self._seen.add(key)
+        noun = "proposed" if stage == "proposal" else "accepted"
+        return [
+            Alert(
+                detector=self.name,
+                time=event.time,
+                monitor=event.monitor,
+                score=score,
+                message=(
+                    f"{event.sender} {noun} a {size}-byte encryption key "
+                    f"(minimum {self.config['min_key_size']})"
+                ),
+                detail={
+                    "sender": event.sender,
+                    "stage": stage,
+                    "size": size,
+                    "link_id": event.link_id,
+                },
+            )
+        ]
+
+
+@register_detector
+class SurveillanceDetector(Detector):
+    """Inquiry/page flooding on the phy trace plane.
+
+    Counts ``phy-inquiry`` and ``phy-page`` records per initiating
+    radio in a sliding window; crossing the threshold flags the radio
+    as scanning/tracking the neighbourhood (the reconnaissance stage
+    every BLAP attack starts from).  Scores ramp with the overshoot.
+    """
+
+    name = "surveillance"
+    description = "inquiry/page flood from one radio (recon posture)"
+    channels = ("trace",)
+    default_config: Dict[str, Any] = {
+        "window_s": 30.0,
+        "inquiry_threshold": 4,
+        "page_threshold": 6,
+    }
+
+    def reset(self) -> None:
+        self._inquiries: Dict[str, Deque[float]] = {}
+        self._pages: Dict[str, Deque[float]] = {}
+
+    def on_event(self, event: DetectionEvent) -> List[Alert]:
+        record = event.record
+        if record is None:
+            return []
+        initiator = record.detail.get("initiator")
+        if not initiator:
+            return []
+        if event.kind == "phy-inquiry":
+            return self._count(
+                event, self._inquiries, initiator, "inquiry",
+                self.config["inquiry_threshold"],
+            )
+        if event.kind == "phy-page":
+            return self._count(
+                event, self._pages, initiator, "page",
+                self.config["page_threshold"],
+            )
+        return []
+
+    def _count(
+        self,
+        event: DetectionEvent,
+        table: Dict[str, Deque[float]],
+        initiator: str,
+        what: str,
+        threshold: int,
+    ) -> List[Alert]:
+        times = table.setdefault(initiator, deque())
+        times.append(event.time)
+        horizon = event.time - self.config["window_s"]
+        while times and times[0] < horizon:
+            times.popleft()
+        count = len(times)
+        if count < threshold:
+            return []
+        score = min(0.95, 0.6 + 0.1 * (count - threshold))
+        return [
+            Alert(
+                detector=self.name,
+                time=event.time,
+                monitor=event.monitor,
+                score=score,
+                message=(
+                    f"{initiator} sent {count} {what}s in "
+                    f"{self.config['window_s']:.0f}s (threshold {threshold})"
+                ),
+                detail={
+                    "initiator": initiator,
+                    "what": what,
+                    "count": count,
+                    "window_s": self.config["window_s"],
+                },
+            )
+        ]

@@ -1,0 +1,197 @@
+"""The DetectionEngine: feed -> detectors -> alert pipeline.
+
+One engine watches one world.  It owns a :class:`DetectionFeed`,
+instantiates the configured detectors *per monitored stream* (HCI
+detectors per device, air/trace detectors once for the shared plane)
+and fans every alert into the observability stack:
+
+* metrics — ``detect.alerts`` plus a per-detector counter, so campaign
+  snapshots carry detection volume;
+* tracer — a ``detect``-source ``alert`` record, which lands in the
+  merged timeline and the Chrome-trace export like any other layer;
+* spans — an instant ``alert:<detector>`` span at the alert's
+  simulated time;
+* optional callbacks, and the host response hook
+  (:meth:`DetectionEngine.install_response`) that lets a device's
+  :class:`~repro.host.security.SecurityManager` veto a pairing when a
+  high-confidence alert names the peer.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+from repro.detect.base import Alert, Detector, create_detector, detector_names
+from repro.detect.feed import DetectionEvent, DetectionFeed
+
+if TYPE_CHECKING:
+    from repro.attacks.scenario import World
+    from repro.devices.device import Device
+    from repro.obs import Observability
+
+#: trace source for the alert pipeline (excluded from feed re-ingest)
+TRACE_SOURCE = "detect"
+
+#: default response threshold: only high-confidence alerts veto pairings
+DEFAULT_RESPONSE_SCORE = 0.9
+
+
+class DetectionEngine:
+    """Streams a world (or a replayed capture) through detectors."""
+
+    def __init__(
+        self,
+        detectors: Optional[Sequence[str]] = None,
+        detector_config: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        obs: Optional["Observability"] = None,
+    ) -> None:
+        self.detector_names = list(
+            detectors if detectors is not None else detector_names()
+        )
+        self._config = {
+            name: dict(cfg) for name, cfg in (detector_config or {}).items()
+        }
+        self.obs = obs
+        self.feed = DetectionFeed().subscribe(self._on_event)
+        self.alerts: List[Alert] = []
+        self._instances: Dict[str, List[Detector]] = {}
+        self._callbacks: List[Callable[[Alert], None]] = []
+        self._world: Optional["World"] = None
+        if obs is not None:
+            self._m_alerts = obs.metrics.counter("detect.alerts")
+        else:
+            self._m_alerts = None
+
+    # ------------------------------------------------------------ attachment
+
+    def attach_world(
+        self, world: "World", roles: Optional[Sequence[str]] = None
+    ) -> "DetectionEngine":
+        """Monitor ``world`` live (device HCI per ``roles`` + air/trace)."""
+        self._world = world
+        if self.obs is None:
+            self.obs = world.obs
+            self._m_alerts = world.obs.metrics.counter("detect.alerts")
+        self.feed.attach_world(world, roles=roles)
+        return self
+
+    def detach(self) -> None:
+        self.feed.detach()
+
+    def on_alert(self, callback: Callable[[Alert], None]) -> None:
+        self._callbacks.append(callback)
+
+    # -------------------------------------------------------------- routing
+
+    def _detectors_for(self, monitor: str) -> List[Detector]:
+        instances = self._instances.get(monitor)
+        if instances is None:
+            instances = [
+                create_detector(name, **self._config.get(name, {}))
+                for name in self.detector_names
+            ]
+            self._instances[monitor] = instances
+        return instances
+
+    def _on_event(self, event: DetectionEvent) -> None:
+        for detector in self._detectors_for(event.monitor):
+            if event.channel not in detector.channels:
+                continue
+            for alert in detector.on_event(event):
+                self._emit(alert)
+
+    def finish(self) -> None:
+        """Flush end-of-stream state in every instantiated detector."""
+        for instances in self._instances.values():
+            for detector in instances:
+                for alert in detector.finish():
+                    self._emit(alert)
+
+    def _emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        if self._m_alerts is not None:
+            self._m_alerts.inc()
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter(f"detect.alerts.{alert.detector}").inc()
+            span = obs.spans.begin(
+                f"alert:{alert.detector}",
+                source=TRACE_SOURCE,
+                monitor=alert.monitor,
+                score=alert.score,
+            )
+            obs.spans.finish(span)
+        if self._world is not None:
+            self._world.tracer.emit(
+                alert.time,
+                TRACE_SOURCE,
+                "alert",
+                f"[{alert.detector}] {alert.message}",
+                monitor=alert.monitor,
+                score=alert.score,
+                confidence=alert.confidence,
+                peer=alert.peer,
+            )
+        for callback in list(self._callbacks):
+            callback(alert)
+
+    # -------------------------------------------------------------- response
+
+    def install_response(
+        self, device: "Device", min_score: float = DEFAULT_RESPONSE_SCORE
+    ) -> None:
+        """Wire the alert stream into a device's pairing policy.
+
+        The device's :class:`~repro.host.security.SecurityManager`
+        consults the returned veto before answering any user
+        confirmation request: if an alert with ``score >= min_score``
+        names the peer address, the pairing is rejected on the spot —
+        §VII-B's mitigation, driven by the online detector instead of
+        the built-in predicate.
+        """
+
+        def veto(addr) -> Optional[str]:
+            wanted = str(addr)
+            for alert in self.alerts:
+                if alert.peer == wanted and alert.score >= min_score:
+                    return f"{alert.detector}: {alert.message}"
+            return None
+
+        device.host.security.pairing_veto = veto
+
+    # --------------------------------------------------------------- results
+
+    def max_scores(self) -> Dict[str, float]:
+        """Per-detector maximum score seen (0.0 when silent)."""
+        scores = {name: 0.0 for name in self.detector_names}
+        for alert in self.alerts:
+            if alert.score > scores.get(alert.detector, 0.0):
+                scores[alert.detector] = alert.score
+        return scores
+
+    def first_alert_times(self, min_score: float = 0.0) -> Dict[str, float]:
+        """Per-detector simulated time of the first qualifying alert."""
+        times: Dict[str, float] = {}
+        for alert in self.alerts:
+            if alert.score >= min_score and alert.detector not in times:
+                times[alert.detector] = alert.time
+        return times
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serialisable digest (campaign ``detail`` material)."""
+        return {
+            "alerts": len(self.alerts),
+            "max_scores": self.max_scores(),
+            "first_alert_s": self.first_alert_times(),
+            "events": self.feed.events_published,
+            "undecodable": self.feed.undecodable_packets,
+        }

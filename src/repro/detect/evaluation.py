@@ -1,0 +1,145 @@
+"""ROC evaluation over detection campaign results.
+
+The ``detection-attack`` and ``detection-benign`` scenarios record
+per-trial *scores* (each detector's maximum over the trial), not
+verdicts — so threshold sweeps happen here, after the fact, without
+re-simulating anything.  A campaign of N attack trials and M benign
+trials yields, per detector and per threshold:
+
+* TPR — attack trials whose score cleared the threshold;
+* FPR — benign trials whose score cleared it;
+* detection latency — first qualifying alert time minus trial start,
+  averaged over true positives.
+
+The cached campaign results (content-hash keyed) make re-sweeping a
+different threshold grid free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+#: default threshold grid — spans the calibrated score bands the
+#: built-in detectors emit (0.35 informational .. 0.95 confirmed)
+DEFAULT_THRESHOLDS = (0.2, 0.35, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def _score(result: Mapping[str, Any], detector: str) -> float:
+    return float(result.get("scores", {}).get(detector, 0.0))
+
+
+def _latency(result: Mapping[str, Any], detector: str) -> Optional[float]:
+    value = result.get("first_alert_s", {}).get(detector)
+    return float(value) if value is not None else None
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One (detector, threshold) operating point."""
+
+    detector: str
+    threshold: float
+    true_positives: int
+    false_negatives: int
+    false_positives: int
+    true_negatives: int
+    mean_latency_s: Optional[float]
+
+    @property
+    def tpr(self) -> float:
+        total = self.true_positives + self.false_negatives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def fpr(self) -> float:
+        total = self.false_positives + self.true_negatives
+        return self.false_positives / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "detector": self.detector,
+            "threshold": self.threshold,
+            "tpr": self.tpr,
+            "fpr": self.fpr,
+            "true_positives": self.true_positives,
+            "false_negatives": self.false_negatives,
+            "false_positives": self.false_positives,
+            "true_negatives": self.true_negatives,
+            "mean_latency_s": self.mean_latency_s,
+        }
+
+
+def roc_curve(
+    attack_details: Sequence[Mapping[str, Any]],
+    benign_details: Sequence[Mapping[str, Any]],
+    detector: str,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> List[RocPoint]:
+    """Sweep thresholds over per-trial detail dicts.
+
+    ``attack_details`` / ``benign_details`` are the ``detail`` dicts of
+    ``detection-attack`` / ``detection-benign`` trial results (each
+    carrying ``scores`` and ``first_alert_s`` maps).
+    """
+    points = []
+    for threshold in thresholds:
+        tp = fn = fp = tn = 0
+        latencies: List[float] = []
+        for detail in attack_details:
+            if _score(detail, detector) >= threshold:
+                tp += 1
+                latency = _latency(detail, detector)
+                if latency is not None:
+                    latencies.append(latency)
+            else:
+                fn += 1
+        for detail in benign_details:
+            if _score(detail, detector) >= threshold:
+                fp += 1
+            else:
+                tn += 1
+        points.append(
+            RocPoint(
+                detector=detector,
+                threshold=threshold,
+                true_positives=tp,
+                false_negatives=fn,
+                false_positives=fp,
+                true_negatives=tn,
+                mean_latency_s=(
+                    sum(latencies) / len(latencies) if latencies else None
+                ),
+            )
+        )
+    return points
+
+
+def operating_point(
+    points: Sequence[RocPoint], max_fpr: float = 0.05
+) -> Optional[RocPoint]:
+    """Best point: highest TPR with FPR <= ``max_fpr`` (ties -> higher
+    threshold, i.e. the more conservative setting)."""
+    eligible = [p for p in points if p.fpr <= max_fpr]
+    if not eligible:
+        return None
+    return max(eligible, key=lambda p: (p.tpr, p.threshold))
+
+
+def render_roc_table(points: Sequence[RocPoint]) -> str:
+    """ASCII sweep table, one row per threshold."""
+    header = (
+        f"{'threshold':>9} {'TPR':>7} {'FPR':>7} "
+        f"{'TP':>4} {'FN':>4} {'FP':>4} {'TN':>4} {'latency':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        latency = (
+            f"{p.mean_latency_s:8.3f}s" if p.mean_latency_s is not None else "        -"
+        )
+        lines.append(
+            f"{p.threshold:>9.2f} {p.tpr:>6.0%} {p.fpr:>6.0%} "
+            f"{p.true_positives:>4} {p.false_negatives:>4} "
+            f"{p.false_positives:>4} {p.true_negatives:>4} {latency}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Offline replay: stream a finished capture through the detectors.
+
+This is the bridge between the forensic tools and the streaming
+framework: a btsnoop file (or an in-memory :class:`HciDump`) is
+re-played entry by entry as ``channel="hci"`` events, so the *same*
+detector state machines serve both the live engine and after-the-fact
+triage — one signature implementation, two consumption modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.detect.base import Alert, Detector, create_detector, detector_names
+from repro.detect.feed import DetectionEvent
+from repro.snoop.hcidump import DumpEntry, HciDump, entries_from_btsnoop
+
+Capture = Union[bytes, bytearray, HciDump, Sequence[DumpEntry]]
+
+
+def coerce_entries(capture: Capture) -> List[DumpEntry]:
+    """btsnoop bytes / HciDump / entry sequence -> dump entries."""
+    if isinstance(capture, (bytes, bytearray)):
+        return entries_from_btsnoop(bytes(capture))
+    if isinstance(capture, HciDump):
+        return capture.entries()
+    return list(capture)
+
+
+@dataclass
+class ReplayResult:
+    """Alerts plus the (finished) detector instances that produced them."""
+
+    alerts: List[Alert]
+    detectors: List[Detector]
+
+    def by_detector(self, name: str) -> List[Alert]:
+        return [alert for alert in self.alerts if alert.detector == name]
+
+
+def replay_capture(
+    capture: Capture,
+    detectors: Optional[Sequence[Union[str, Detector]]] = None,
+    monitor: str = "capture",
+) -> ReplayResult:
+    """Run a capture through fresh (or given) detector instances.
+
+    Only HCI-channel detectors can see anything in a capture — air and
+    trace detectors are accepted but stay silent.  Detector instances
+    passed in are used as-is (not reset), which lets callers pre-bind
+    config; names are instantiated fresh.
+    """
+    if detectors is None:
+        detectors = detector_names()
+    instances = [
+        d if isinstance(d, Detector) else create_detector(d)
+        for d in detectors
+    ]
+    alerts: List[Alert] = []
+    for seq, entry in enumerate(coerce_entries(capture)):
+        event = DetectionEvent(
+            time=entry.timestamp,
+            seq=seq,
+            monitor=monitor,
+            channel="hci",
+            kind=type(entry.packet).__name__,
+            packet=entry.packet,
+            frame_no=entry.frame,
+            direction=entry.direction,
+        )
+        for detector in instances:
+            if "hci" in detector.channels:
+                alerts.extend(detector.on_event(event))
+    for detector in instances:
+        alerts.extend(detector.finish())
+    return ReplayResult(alerts=alerts, detectors=instances)

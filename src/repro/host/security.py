@@ -21,7 +21,7 @@ failing the challenge.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.core.types import BdAddr, IoCapability, LinkKey
 from repro.hci import commands as cmd
@@ -49,6 +49,12 @@ class SecurityManager:
         #: NoInputNoOutput — the page blocking signature.
         self.page_blocking_guard = False
         self.guard_rejections = 0
+        #: online-detection response hook (see
+        #: :meth:`repro.detect.DetectionEngine.install_response`):
+        #: called with the peer address before any confirmation is
+        #: answered; a non-``None`` reason string vetoes the pairing.
+        self.pairing_veto: Optional[Callable[[BdAddr], Optional[str]]] = None
+        self.veto_rejections = 0
         #: out-of-band (C, R) data received per peer (e.g. via NFC)
         self.peer_oob: Dict[BdAddr, Tuple[bytes, bytes]] = {}
 
@@ -189,6 +195,21 @@ class SecurityManager:
         remote_io = IoCapability(
             self._remote_io.get(addr, IoCapability.NO_INPUT_NO_OUTPUT)
         )
+        if self.pairing_veto is not None:
+            reason = self.pairing_veto(addr)
+            if reason:
+                self.veto_rejections += 1
+                self.host.tracer.emit(
+                    self.host.simulator.now,
+                    self.host.name,
+                    "mitigation",
+                    f"detection response rejected pairing with {addr}: "
+                    f"{reason}",
+                )
+                self.host.send_command(
+                    cmd.UserConfirmationRequestNegativeReply(bd_addr=addr)
+                )
+                return
         if self.page_blocking_guard and self._looks_page_blocked(
             addr, local_is_initiator, remote_io
         ):

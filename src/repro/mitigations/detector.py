@@ -6,17 +6,22 @@ connection *responder* but the pairing *initiator*, with the peer
 claiming NoInputNoOutput.  Useful both as a host-side guard (see
 ``SecurityManager.page_blocking_guard``) and for after-the-fact triage
 of snoop logs.
+
+The signature itself lives in
+:class:`repro.detect.detectors.PageBlockingDetector` — the *streaming*
+implementation shared with the online engine.  This module replays a
+finished capture through it and re-shapes the findings into the stable
+:class:`SuspiciousPairing` records this API has always returned.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.types import BdAddr, IoCapability
-from repro.hci import commands as cmd
-from repro.hci import events as evt
-from repro.snoop.hcidump import DumpEntry, HciDump, entries_from_btsnoop
+from repro.detect.detectors import PageBlockingDetector
+from repro.detect.replay import Capture, replay_capture
 
 
 @dataclass
@@ -41,74 +46,32 @@ class SuspiciousPairing:
         )
 
 
-def detect_page_blocking(capture) -> List[SuspiciousPairing]:
+def detect_page_blocking(capture: Capture) -> List[SuspiciousPairing]:
     """Scan a capture for the page blocking signature.
 
     ``capture`` may be btsnoop bytes, an :class:`HciDump`, or dump
-    entries.  Detection logic:
+    entries.  Detection logic (one implementation with the online
+    detector):
 
     1. an inbound ``HCI_Connection_Request`` from some peer address,
     2. followed by a locally issued ``HCI_Authentication_Requested``
        (we initiated the pairing on a link we did not initiate),
     3. strengthened when the peer's IO capability response says
        NoInputNoOutput (the Just Works downgrade posture) and when no
-       ``HCI_Create_Connection`` to that peer exists anywhere.
+       ``HCI_Create_Connection`` to that peer exists anywhere —
+       including IO capability responses that only arrive *after* the
+       authentication request (the streaming detector patches the
+       finding retroactively).
     """
-    if isinstance(capture, (bytes, bytearray)):
-        entries: Sequence[DumpEntry] = entries_from_btsnoop(bytes(capture))
-    elif isinstance(capture, HciDump):
-        entries = capture.entries()
-    else:
-        entries = list(capture)
-
-    inbound: dict = {}  # peer addr -> frame of Connection_Request
-    accepted: dict = {}  # peer addr -> connection handle (once complete)
-    created: set = set()  # peers we paged ourselves
-    remote_io: dict = {}  # peer addr -> IoCapability
-    findings: List[SuspiciousPairing] = []
-
-    for entry in entries:
-        packet = entry.packet
-        if isinstance(packet, evt.ConnectionRequest):
-            inbound[packet.bd_addr] = entry.frame
-        elif isinstance(packet, cmd.CreateConnection):
-            created.add(packet.bd_addr)
-        elif isinstance(packet, evt.ConnectionComplete) and packet.status == 0:
-            accepted[packet.connection_handle] = packet.bd_addr
-        elif isinstance(packet, evt.IoCapabilityResponse):
-            remote_io[packet.bd_addr] = IoCapability(packet.io_capability)
-        elif isinstance(packet, cmd.AuthenticationRequested):
-            peer = accepted.get(packet.connection_handle)
-            if peer is None or peer not in inbound:
-                continue
-            finding = SuspiciousPairing(
-                peer=peer,
-                connection_request_frame=inbound[peer],
-                authentication_frame=entry.frame,
-            )
-            finding.indicators.append(
-                "pairing initiated on a remotely-initiated connection"
-            )
-            if peer not in created:
-                finding.indicators.append(
-                    "no outbound HCI_Create_Connection to this peer"
-                )
-            io = remote_io.get(peer)
-            if io is IoCapability.NO_INPUT_NO_OUTPUT:
-                finding.peer_io_capability = io
-                finding.indicators.append(
-                    "peer claims NoInputNoOutput (Just Works downgrade)"
-                )
-            findings.append(finding)
-
-    # IO capability responses can arrive after Authentication_Requested;
-    # patch them in retroactively.
-    for finding in findings:
-        if finding.peer_io_capability is None:
-            io = remote_io.get(finding.peer)
-            if io is IoCapability.NO_INPUT_NO_OUTPUT:
-                finding.peer_io_capability = io
-                finding.indicators.append(
-                    "peer claims NoInputNoOutput (Just Works downgrade)"
-                )
-    return findings
+    detector = PageBlockingDetector()
+    replay_capture(capture, detectors=[detector])
+    return [
+        SuspiciousPairing(
+            peer=finding.peer,
+            connection_request_frame=finding.connection_request_frame,
+            authentication_frame=finding.authentication_frame,
+            peer_io_capability=finding.peer_io_capability,
+            indicators=list(finding.indicators),
+        )
+        for finding in detector.findings
+    ]

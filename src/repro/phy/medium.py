@@ -190,6 +190,22 @@ class RadioMedium:
         """Attach a passive air sniffer (sees ciphertext, not plaintext)."""
         self._sniffers.append(sniffer)
 
+    def remove_air_sniffer(self, sniffer: AirSniffer) -> None:
+        if sniffer in self._sniffers:
+            self._sniffers.remove(sniffer)
+
+    def _sniff(
+        self, now: float, link_id: int, sender_name: str, frame: AirFrame
+    ) -> None:
+        """Feed one frame to every sniffer, *before* fault filters run.
+
+        A dropped or mutated frame was still transmitted — passive
+        observers (air captures, the detection feed) always see the
+        original, which is the ordering ``docs/faults.md`` promises.
+        """
+        for sniffer in self._sniffers:
+            sniffer(now, link_id, sender_name, frame)
+
     # -- failure injection -------------------------------------------------
 
     def add_frame_fault_filter(self, fault_filter: FrameFaultFilter) -> None:
@@ -261,6 +277,8 @@ class RadioMedium:
             self.TRACE_SOURCE,
             "phy-inquiry",
             f"inquiry from {source.name} ({duration_s:.2f}s)",
+            initiator=source.name,
+            duration_s=duration_s,
         )
         for peer in self._controllers:
             if peer is source or not self._reachable(source, peer):
@@ -294,12 +312,20 @@ class RadioMedium:
         its scan interval, and only the winner gets the link.
         """
         self._m_pages.inc()
+        now = self.simulator.now
         self.tracer.emit(
-            self.simulator.now,
+            now,
             self.TRACE_SOURCE,
             "phy-page",
             f"{source.name} pages {target}",
+            initiator=source.name,
+            target=str(target),
         )
+        # The synthetic page-train frame goes to passive sniffers first
+        # (it was transmitted), then to the fault filters which decide
+        # whether anyone hears it.
+        if self._sniffers:
+            self._sniff(now, 0, source.name, AirFrame(kind="page", payload=b""))
         page_extra = 0.0
         if self._frame_fault_filters:
             # Page trains and page responses ride the same RF medium as
@@ -329,6 +355,10 @@ class RadioMedium:
             if peer.bd_addr != target:
                 continue
             delay = self.rng.uniform(0.0, peer.page_scan_interval_s)
+            if self._sniffers:
+                self._sniff(
+                    now, 0, peer.name, AirFrame(kind="page-response", payload=b"")
+                )
             if self._frame_fault_filters:
                 fate = self._fault_fate(
                     AirFrame(kind="page-response", payload=b"")
@@ -401,8 +431,7 @@ class RadioMedium:
         link.frames_exchanged += 1
         self._m_frames_sent.inc()
         now = self.simulator.now
-        for sniffer in self._sniffers:
-            sniffer(now, link.link_id, sender.name, frame)
+        self._sniff(now, link.link_id, sender.name, frame)
         delay = _FRAME_LATENCY
         if self._frame_fault_filters:
             for fault_filter in self._frame_fault_filters:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: process-wide emission sequence shared by tracers and spans, so any
 #: mix of streams has a total order consistent with emission order.
@@ -63,6 +63,23 @@ class Tracer:
         )
         self.dropped = 0
         self.enabled = True
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Subscribe to records live, as they are emitted.
+
+        Listeners fire synchronously from :meth:`emit` (after the
+        record is appended), even in ring-buffer mode where the record
+        may later be evicted — this is how the detection feed
+        (:mod:`repro.detect`) observes tracer streams without keeping
+        the whole history resident.  Disabled tracers notify nobody.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def emit(
         self,
@@ -80,11 +97,13 @@ class Tracer:
             and len(self.records) == self.max_records
         ):
             self.dropped += 1
-        self.records.append(
-            TraceRecord(
-                time, source, category, message, detail, seq=next(_SEQUENCE)
-            )
+        record = TraceRecord(
+            time, source, category, message, detail, seq=next(_SEQUENCE)
         )
+        self.records.append(record)
+        if self._listeners:
+            for listener in list(self._listeners):
+                listener(record)
 
     def filter(
         self,

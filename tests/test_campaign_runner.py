@@ -260,3 +260,60 @@ class TestResultCache:
         campaign = CampaignRunner().run(CampaignSpec("test-ok", seeds=[1]))
         assert (campaign.cache_hits, campaign.cache_misses) == (0, 0)
         assert not campaign.results[0].cached
+
+
+class TestTimeLimit:
+    """The wall-clock guard must work with and without setitimer."""
+
+    def test_setitimer_armed_and_disarmed(self):
+        import signal
+
+        from repro.campaign.runner import _TimeLimit
+
+        calls = []
+        original = signal.setitimer
+
+        def spy(which, seconds):
+            calls.append((which, seconds))
+            return original(which, seconds)
+
+        signal.setitimer = spy
+        try:
+            with _TimeLimit(5.0) as limit:
+                assert limit.armed
+        finally:
+            signal.setitimer = original
+        assert calls == [
+            (signal.ITIMER_REAL, 5.0),
+            (signal.ITIMER_REAL, 0),
+        ]
+
+    def test_alarm_fallback_rounds_subsecond_up(self, monkeypatch):
+        """Without setitimer, signal.alarm must arm a >=1s deadline —
+        int truncation would turn a 0.5s budget into no guard at all."""
+        import signal
+
+        from repro.campaign.runner import _TimeLimit
+
+        armed = []
+        monkeypatch.delattr(signal, "setitimer")
+        monkeypatch.setattr(signal, "alarm", armed.append)
+        with _TimeLimit(0.5) as limit:
+            assert limit.armed
+            assert armed == [1]
+        assert armed == [1, 0]  # symmetric disarm on exit
+
+    def test_subsecond_timeout_fires(self):
+        from repro.campaign.runner import TrialTimeout, _TimeLimit
+
+        with pytest.raises(TrialTimeout):
+            with _TimeLimit(0.2):
+                deadline = time.time() + 5
+                while time.time() < deadline:
+                    pass
+
+    def test_none_timeout_never_arms(self):
+        from repro.campaign.runner import _TimeLimit
+
+        with _TimeLimit(None) as limit:
+            assert not limit.armed

@@ -21,6 +21,8 @@ from repro.devices.catalog import GALAXY_S8, LG_VELVET
 EXPECTED_SCENARIOS = [
     "baseline-race",
     "degraded-race",
+    "detection-attack",
+    "detection-benign",
     "eavesdrop",
     "exfiltration",
     "extraction",

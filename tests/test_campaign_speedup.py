@@ -13,6 +13,7 @@ import time
 import pytest
 
 from repro.campaign import CampaignRunner, CampaignSpec
+from repro.core.bench import record_bench
 
 pytestmark = [
     pytest.mark.perf,
@@ -47,6 +48,17 @@ def test_four_workers_at_least_twice_as_fast():
     serial = _timed_run(1, spec)
     parallel = _timed_run(4, spec)
     speedup = serial / parallel
+    record_bench(
+        "campaign",
+        "speedup",
+        {
+            "trials": 48,
+            "workers": 4,
+            "serial_s": serial,
+            "parallel_s": parallel,
+            "speedup": speedup,
+        },
+    )
     assert speedup >= 2.0, (
         f"4-worker speedup {speedup:.2f}x < 2x "
         f"(serial {serial:.2f}s, parallel {parallel:.2f}s)"

@@ -1,0 +1,155 @@
+"""Campaign-scale tests for the detection scenarios.
+
+Covers the ISSUE acceptance criteria: determinism (same seed, same
+detail; 1-worker and 4-worker runs byte-identical), the clean-world
+quality gate (page-blocking TPR >= 0.95 at FPR <= 0.05), and graceful
+degradation under the canned lossy fault plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.campaign.detection import DETECTOR_FOR_ATTACK
+from repro.campaign.runner import run_trial
+from repro.detect import operating_point, roc_curve
+from repro.faults import FaultPlan
+
+TRIALS = 12
+
+
+def _fingerprint(result):
+    # wall_time_s varies run to run; everything else must not.
+    return (result.seed, result.success, result.outcome, result.detail)
+
+
+def _campaign(scenario, seeds, workers=1, **kwargs):
+    runner = CampaignRunner(workers=workers)
+    return runner.run(CampaignSpec(scenario, seeds=seeds, **kwargs))
+
+
+class TestDetectionAttackScenario:
+    @pytest.mark.parametrize("attack", sorted(DETECTOR_FOR_ATTACK))
+    def test_each_attack_class_is_detected(self, attack):
+        result, _ = run_trial(
+            "detection-attack", 11, params={"attack": attack}
+        )
+        assert result.error is None
+        assert result.outcome == "detected"
+        expected = DETECTOR_FOR_ATTACK[attack]
+        assert result.detail["scores"][expected] >= 0.7
+        assert expected in result.detail["first_alert_s"]
+
+    def test_unknown_attack_is_a_trial_error(self):
+        result, _ = run_trial(
+            "detection-attack", 11, params={"attack": "nonesuch"}
+        )
+        assert result.error is not None and "unknown attack" in result.error
+
+    def test_respond_blocks_the_pairing_but_still_detects(self):
+        result, _ = run_trial(
+            "detection-attack",
+            11,
+            params={"attack": "page-blocking", "respond": True},
+        )
+        assert result.success and result.outcome == "detected"
+        assert result.detail["attack_succeeded"] is False
+
+    def test_same_seed_is_deterministic(self):
+        first, _ = run_trial(
+            "detection-attack", 19, params={"attack": "extraction"}
+        )
+        second, _ = run_trial(
+            "detection-attack", 19, params={"attack": "extraction"}
+        )
+        assert _fingerprint(first) == _fingerprint(second)
+
+
+class TestDetectionBenignScenario:
+    def test_benign_traffic_is_clean(self):
+        result, _ = run_trial("detection-benign", 23)
+        assert result.error is None
+        assert result.outcome == "clean"
+        assert result.detail["paired"] is True
+        assert result.detail["false_alerts"] == []
+
+    def test_same_seed_is_deterministic(self):
+        first, _ = run_trial("detection-benign", 29)
+        second, _ = run_trial("detection-benign", 29)
+        assert _fingerprint(first) == _fingerprint(second)
+
+
+class TestWorkerParity:
+    def test_one_and_four_worker_runs_are_identical(self):
+        seeds = range(500, 508)
+        serial = _campaign(
+            "detection-attack", seeds, workers=1,
+            params={"attack": "page-blocking"},
+        )
+        parallel = _campaign(
+            "detection-attack", seeds, workers=4,
+            params={"attack": "page-blocking"},
+        )
+        assert [_fingerprint(r) for r in serial.results] == [
+            _fingerprint(r) for r in parallel.results
+        ]
+
+
+class TestQualityGate:
+    def test_page_blocking_tpr_and_fpr_on_clean_worlds(self):
+        attack = _campaign(
+            "detection-attack",
+            range(600, 600 + TRIALS),
+            params={"attack": "page-blocking"},
+        )
+        benign = _campaign(
+            "detection-benign", range(700, 700 + TRIALS)
+        )
+        assert not attack.errors and not benign.errors
+        points = roc_curve(
+            [r.detail for r in attack.results],
+            [r.detail for r in benign.results],
+            "page-blocking",
+        )
+        best = operating_point(points, max_fpr=0.05)
+        assert best is not None, "no operating point under the FPR ceiling"
+        assert best.tpr >= 0.95
+        assert best.fpr <= 0.05
+        assert best.mean_latency_s is not None and best.mean_latency_s > 0
+
+
+class TestLossyDegradation:
+    def test_detection_survives_the_lossy_plan(self):
+        """Under ``examples/plans/lossy.json`` the detectors may miss
+        (degraded TPR is expected) but must never crash a trial, and
+        the run must stay deterministic."""
+        plan = FaultPlan.from_file("examples/plans/lossy.json")
+        first = _campaign(
+            "detection-attack",
+            range(800, 806),
+            params={"attack": "page-blocking"},
+            fault_plan=plan,
+        )
+        assert not first.errors
+        for result in first.results:
+            assert result.outcome in ("detected", "missed")
+            assert "faults_injected" in result.detail
+        second = _campaign(
+            "detection-attack",
+            range(800, 806),
+            params={"attack": "page-blocking"},
+            fault_plan=plan,
+        )
+        assert [_fingerprint(r) for r in first.results] == [
+            _fingerprint(r) for r in second.results
+        ]
+
+    def test_benign_survives_the_lossy_plan(self):
+        plan = FaultPlan.from_file("examples/plans/lossy.json")
+        campaign = _campaign(
+            "detection-benign", range(900, 906), fault_plan=plan
+        )
+        assert not campaign.errors
+        for result in campaign.results:
+            assert result.outcome in ("clean", "false_alarm")

@@ -1,0 +1,166 @@
+"""CLI tests: ``blap detect ...`` and the fault-plan error contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
+from repro.cli import main
+from repro.snoop.hcidump import HciDump
+
+
+@pytest.fixture()
+def attack_capture(tmp_path):
+    world = build_world(WorldConfig(seed=44))
+    m, c, a = standard_cast(world)
+    report = PageBlockingAttack(world, a, c, m).run()
+    assert report.success
+    path = tmp_path / "attack.btsnoop"
+    path.write_bytes(report.m_dump.to_btsnoop_bytes())
+    return path
+
+
+@pytest.fixture()
+def benign_capture(tmp_path):
+    world = build_world(WorldConfig(seed=45))
+    m, c, a = standard_cast(world)
+    dump = HciDump().attach(m.transport)
+    c.user.note_pairing_initiated(m.bd_addr, world.simulator.now)
+    op = m.host.gap.pair(c.bd_addr)
+    world.run_for(20.0)
+    assert op.success
+    path = tmp_path / "benign.btsnoop"
+    path.write_bytes(dump.to_btsnoop_bytes())
+    return path
+
+
+class TestDetectList:
+    def test_lists_all_detectors(self, capsys):
+        assert main(["detect", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "page-blocking",
+            "link-key-anomaly",
+            "entropy-downgrade",
+            "surveillance",
+        ):
+            assert name in out
+
+    def test_verbose_shows_config(self, capsys):
+        assert main(["detect", "list", "-v"]) == 0
+        assert "min_key_size" in capsys.readouterr().out
+
+
+class TestDetectScan:
+    def test_attack_capture_raises_alerts(self, attack_capture, capsys):
+        assert main(["detect", "scan", str(attack_capture)]) == 0
+        out = capsys.readouterr().out
+        assert "page-blocking" in out and "high" in out
+
+    def test_benign_capture_is_quiet(self, benign_capture, capsys):
+        assert main(["detect", "scan", str(benign_capture)]) == 1
+        assert "no detector alerts" in capsys.readouterr().out
+
+    def test_detector_filter(self, attack_capture, capsys):
+        assert (
+            main(
+                [
+                    "detect", "scan", str(attack_capture),
+                    "--detector", "link-key-anomaly",
+                ]
+            )
+            == 1
+        )
+
+
+class TestDetectDemo:
+    def test_demo_prints_scores_and_succeeds(self, capsys):
+        assert main(["detect", "demo", "page-blocking", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "expected detector : page-blocking" in out
+        assert "max score 0.95" in out
+
+    def test_demo_with_response(self, capsys):
+        assert (
+            main(
+                ["detect", "demo", "page-blocking", "--seed", "2", "--respond"]
+            )
+            == 0
+        )
+        assert "attack succeeded  : False" in capsys.readouterr().out
+
+
+class TestDetectRoc:
+    def test_tiny_sweep_passes_the_gate(self, capsys):
+        assert (
+            main(
+                [
+                    "detect", "roc", "--trials", "3", "--no-cache",
+                    "--attack", "page-blocking",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "operating point" in out and "TPR 100%" in out
+
+    def test_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "detect", "roc", "--trials", "2", "--no-cache",
+                    "--attack", "surveillance", "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert "surveillance" in report
+        assert report["surveillance"]["operating_point"]["tpr"] == 1.0
+
+
+class TestFaultPlanErrors:
+    """Satellite: a missing/malformed plan is one stderr line + exit 2,
+    on every surface that takes ``--fault-plan``."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["demo", "page-blocking", "--fault-plan", "{path}"],
+            ["timeline", "page-blocking", "--fault-plan", "{path}"],
+            [
+                "campaign", "run", "page-blocking", "--trials", "1",
+                "--no-cache", "--fault-plan", "{path}",
+            ],
+            ["detect", "demo", "page-blocking", "--fault-plan", "{path}"],
+        ],
+    )
+    def test_missing_plan_exits_2(self, argv, capsys):
+        argv = [a.format(path="/no/such/plan.json") for a in argv]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # exactly one line
+        assert "fault plan not found" in err
+
+    def test_malformed_plan_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "page-blocking", "--fault-plan", str(bad)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "bad fault plan" in err
+
+    def test_plan_with_unknown_point_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "unknown.json"
+        bad.write_text(json.dumps([{"point": "warp.core_breach"}]))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "page-blocking", "--fault-plan", str(bad)])
+        assert excinfo.value.code == 2
+        assert "bad fault plan" in capsys.readouterr().err

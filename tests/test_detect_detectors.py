@@ -1,0 +1,424 @@
+"""Unit tests for the four built-in streaming detectors."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
+from repro.controller import lmp
+from repro.core.types import BdAddr, LinkKey
+from repro.detect import (
+    DetectionEngine,
+    EntropyDowngradeDetector,
+    LinkKeyAnomalyDetector,
+    PageBlockingDetector,
+    SurveillanceDetector,
+    create_detector,
+    detector_names,
+    replay_capture,
+)
+from repro.detect.feed import DetectionEvent
+from repro.hci import commands as cmd
+from repro.hci import events as evt
+from repro.hci.constants import ErrorCode
+from repro.mitigations.detector import detect_page_blocking
+from repro.phy.medium import AirFrame
+from repro.sim.trace import TraceRecord
+
+PEER = BdAddr(b"\x00\x00\x00\x00\x00\x07")
+_seq = itertools.count(1)
+
+
+def _hci(time, packet, frame_no):
+    return DetectionEvent(
+        time=time,
+        seq=next(_seq),
+        monitor="M",
+        channel="hci",
+        kind=type(packet).__name__,
+        packet=packet,
+        frame_no=frame_no,
+    )
+
+
+def _air(time, payload, sender="A"):
+    return DetectionEvent(
+        time=time,
+        seq=next(_seq),
+        monitor="phy",
+        channel="air",
+        kind="lmp",
+        frame=AirFrame(kind="lmp", payload=payload),
+        link_id=1,
+        sender=sender,
+    )
+
+
+def _trace(time, category, **detail):
+    return DetectionEvent(
+        time=time,
+        seq=next(_seq),
+        monitor="phy",
+        channel="trace",
+        kind=category,
+        record=TraceRecord(
+            time=time, source="phy", category=category, message="", detail=detail
+        ),
+    )
+
+
+def _inbound_pairing_events():
+    return [
+        _hci(
+            1.0,
+            evt.ConnectionRequest(bd_addr=PEER, class_of_device=0, link_type=1),
+            1,
+        ),
+        _hci(
+            1.1,
+            evt.ConnectionComplete(
+                status=0,
+                connection_handle=9,
+                bd_addr=PEER,
+                link_type=1,
+                encryption_enabled=0,
+            ),
+            2,
+        ),
+        _hci(2.0, cmd.AuthenticationRequested(connection_handle=9), 3),
+    ]
+
+
+class TestPageBlockingDetector:
+    def test_flags_responder_connection_initiator_pairing(self):
+        detector = PageBlockingDetector()
+        alerts = []
+        for event in _inbound_pairing_events():
+            alerts.extend(detector.on_event(event))
+        assert len(alerts) == 1
+        assert alerts[0].score == 0.7  # responder-pairing + no-create
+        assert alerts[0].peer == str(PEER)
+        assert detector.findings[0].connection_request_frame == 1
+        assert detector.findings[0].authentication_frame == 3
+
+    def test_late_nino_upgrades_the_finding(self):
+        detector = PageBlockingDetector()
+        alerts = []
+        for event in _inbound_pairing_events():
+            alerts.extend(detector.on_event(event))
+        alerts.extend(
+            detector.on_event(
+                _hci(
+                    2.5,
+                    evt.IoCapabilityResponse(
+                        bd_addr=PEER,
+                        io_capability=3,  # NoInputNoOutput
+                        oob_data_present=0,
+                        authentication_requirements=0,
+                    ),
+                    4,
+                )
+            )
+        )
+        assert [a.score for a in alerts] == [0.7, 0.95]
+        assert len(detector.findings) == 1  # upgraded, not duplicated
+        assert len(detector.findings[0].indicators) == 3
+
+    def test_outbound_connection_is_not_flagged(self):
+        detector = PageBlockingDetector()
+        events = [
+            _hci(
+                0.5,
+                cmd.CreateConnection(
+                    bd_addr=PEER,
+                    packet_type=0xCC18,
+                    page_scan_repetition_mode=1,
+                    reserved=0,
+                    clock_offset=0,
+                    allow_role_switch=1,
+                ),
+                1,
+            ),
+            _hci(
+                1.0,
+                evt.ConnectionComplete(
+                    status=0,
+                    connection_handle=9,
+                    bd_addr=PEER,
+                    link_type=1,
+                    encryption_enabled=0,
+                ),
+                2,
+            ),
+            _hci(2.0, cmd.AuthenticationRequested(connection_handle=9), 3),
+        ]
+        alerts = []
+        for event in events:
+            alerts.extend(detector.on_event(event))
+        assert alerts == []
+
+    def test_streaming_equals_offline_on_a_real_attack(self):
+        """The live engine and the offline replay share one signature
+        implementation — their verdicts must agree exactly."""
+        world = build_world(WorldConfig(seed=41))
+        m, c, a = standard_cast(world)
+        engine = DetectionEngine().attach_world(world, roles=["M"])
+        report = PageBlockingAttack(world, a, c, m).run()
+        assert report.success
+        engine.finish()
+
+        live = [x for x in engine.alerts if x.detector == "page-blocking"]
+        offline = replay_capture(report.m_dump).by_detector("page-blocking")
+        assert [x.score for x in live] == [x.score for x in offline]
+        assert [x.peer for x in live] == [x.peer for x in offline]
+        # ... and both match the forensic API's findings.
+        findings = detect_page_blocking(report.m_dump)
+        assert len(findings) == 1
+        assert findings[0].confidence == "high"
+        assert max(x.score for x in live) == 0.95
+
+
+class TestLinkKeyAnomalyDetector:
+    def _serve_key(self, detector, inbound=True):
+        alerts = []
+        if inbound:
+            alerts.extend(
+                detector.on_event(
+                    _hci(
+                        1.0,
+                        evt.ConnectionRequest(
+                            bd_addr=PEER, class_of_device=0, link_type=1
+                        ),
+                        1,
+                    )
+                )
+            )
+        alerts.extend(
+            detector.on_event(
+                _hci(
+                    1.1,
+                    evt.ConnectionComplete(
+                        status=0,
+                        connection_handle=9,
+                        bd_addr=PEER,
+                        link_type=1,
+                        encryption_enabled=0,
+                    ),
+                    2,
+                )
+            )
+        )
+        alerts.extend(
+            detector.on_event(
+                _hci(
+                    2.0,
+                    cmd.LinkKeyRequestReply(
+                        bd_addr=PEER, link_key=LinkKey(b"\x11" * 16)
+                    ),
+                    3,
+                )
+            )
+        )
+        return alerts
+
+    def test_extraction_signature(self):
+        detector = LinkKeyAnomalyDetector()
+        alerts = self._serve_key(detector)
+        assert [a.score for a in alerts] == [0.35]  # informational
+        alerts = detector.on_event(
+            _hci(
+                5.0,
+                evt.AuthenticationComplete(
+                    status=ErrorCode.LMP_RESPONSE_TIMEOUT, connection_handle=9
+                ),
+                4,
+            )
+        )
+        assert [a.score for a in alerts] == [0.9]
+        assert "extraction signature" in alerts[0].message
+
+    def test_stall_via_disconnect_reason(self):
+        detector = LinkKeyAnomalyDetector()
+        self._serve_key(detector, inbound=False)
+        alerts = detector.on_event(
+            _hci(
+                5.0,
+                evt.DisconnectionComplete(
+                    status=0,
+                    connection_handle=9,
+                    reason=ErrorCode.LMP_RESPONSE_TIMEOUT,
+                ),
+                4,
+            )
+        )
+        assert [a.score for a in alerts] == [0.9]
+
+    def test_successful_auth_clears_suspicion(self):
+        detector = LinkKeyAnomalyDetector()
+        self._serve_key(detector, inbound=False)
+        assert (
+            detector.on_event(
+                _hci(
+                    3.0,
+                    evt.AuthenticationComplete(status=0, connection_handle=9),
+                    4,
+                )
+            )
+            == []
+        )
+        # A later timeout (unrelated) no longer implicates the key.
+        assert (
+            detector.on_event(
+                _hci(
+                    9.0,
+                    evt.DisconnectionComplete(
+                        status=0,
+                        connection_handle=9,
+                        reason=ErrorCode.LMP_RESPONSE_TIMEOUT,
+                    ),
+                    5,
+                )
+            )
+            == []
+        )
+
+    def test_same_served_key_alerts_once(self):
+        detector = LinkKeyAnomalyDetector()
+        self._serve_key(detector, inbound=False)
+        first = detector.on_event(
+            _hci(
+                5.0,
+                evt.AuthenticationComplete(
+                    status=ErrorCode.LMP_RESPONSE_TIMEOUT, connection_handle=9
+                ),
+                4,
+            )
+        )
+        second = detector.on_event(
+            _hci(
+                6.0,
+                evt.DisconnectionComplete(
+                    status=0,
+                    connection_handle=9,
+                    reason=ErrorCode.LMP_RESPONSE_TIMEOUT,
+                ),
+                5,
+            )
+        )
+        assert len(first) == 1 and second == []
+
+
+class TestEntropyDowngradeDetector:
+    def test_low_proposal_then_acceptance(self):
+        detector = EntropyDowngradeDetector()
+        alerts = detector.on_event(
+            _air(1.0, lmp.LmpEncryptionKeySizeReq(size=1))
+        )
+        assert [a.score for a in alerts] == [0.6]
+        alerts = detector.on_event(
+            _air(1.1, lmp.LmpEncryptionKeySizeRes(size=1, accepted=True), "C")
+        )
+        assert [a.score for a in alerts] == [0.95]
+        assert alerts[0].detail["size"] == 1
+
+    def test_compliant_sizes_stay_silent(self):
+        detector = EntropyDowngradeDetector()
+        assert detector.on_event(
+            _air(1.0, lmp.LmpEncryptionKeySizeReq(size=16))
+        ) == []
+        assert detector.on_event(
+            _air(1.1, lmp.LmpEncryptionKeySizeRes(size=7, accepted=True))
+        ) == []
+
+    def test_rejected_low_size_is_not_an_acceptance(self):
+        detector = EntropyDowngradeDetector()
+        assert detector.on_event(
+            _air(1.0, lmp.LmpEncryptionKeySizeRes(size=1, accepted=False))
+        ) == []
+
+    def test_repeat_proposals_dedup(self):
+        detector = EntropyDowngradeDetector()
+        detector.on_event(_air(1.0, lmp.LmpEncryptionKeySizeReq(size=1)))
+        assert detector.on_event(
+            _air(2.0, lmp.LmpEncryptionKeySizeReq(size=1))
+        ) == []
+
+    def test_min_key_size_is_configurable(self):
+        detector = EntropyDowngradeDetector(min_key_size=17)
+        alerts = detector.on_event(
+            _air(1.0, lmp.LmpEncryptionKeySizeReq(size=16))
+        )
+        assert [a.score for a in alerts] == [0.6]
+
+
+class TestSurveillanceDetector:
+    def test_inquiry_flood_crosses_threshold(self):
+        detector = SurveillanceDetector()
+        alerts = []
+        for i in range(5):
+            alerts.extend(
+                detector.on_event(
+                    _trace(float(i), "phy-inquiry", initiator="A")
+                )
+            )
+        # threshold 4: alert at the 4th and 5th inquiry, ramping score
+        assert [round(a.score, 2) for a in alerts] == [0.6, 0.7]
+        assert alerts[0].detail["initiator"] == "A"
+
+    def test_window_expiry_forgets_old_activity(self):
+        detector = SurveillanceDetector(window_s=10.0)
+        alerts = []
+        for i in range(8):  # one inquiry every 6s: never 4 in any 10s
+            alerts.extend(
+                detector.on_event(
+                    _trace(6.0 * i, "phy-inquiry", initiator="A")
+                )
+            )
+        assert alerts == []
+
+    def test_initiators_are_counted_separately(self):
+        detector = SurveillanceDetector()
+        alerts = []
+        for i in range(3):
+            alerts.extend(
+                detector.on_event(_trace(float(i), "phy-inquiry", initiator="A"))
+            )
+            alerts.extend(
+                detector.on_event(_trace(float(i), "phy-inquiry", initiator="B"))
+            )
+        assert alerts == []  # 3 each: neither radio crossed 4
+
+    def test_page_flood_uses_its_own_threshold(self):
+        detector = SurveillanceDetector()
+        alerts = []
+        for i in range(6):
+            alerts.extend(
+                detector.on_event(_trace(float(i), "phy-page", initiator="A"))
+            )
+        assert len(alerts) == 1 and alerts[0].detail["what"] == "page"
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert {
+            "entropy-downgrade",
+            "link-key-anomaly",
+            "page-blocking",
+            "surveillance",
+        } <= set(detector_names())
+
+    def test_create_detector_applies_config(self):
+        detector = create_detector("surveillance", inquiry_threshold=2)
+        assert detector.config["inquiry_threshold"] == 2
+        assert detector.config["window_s"] == 30.0  # defaults survive
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            create_detector("page-blocking", bogus=1)
+
+    def test_unknown_detector_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown detector"):
+            create_detector("nonesuch")

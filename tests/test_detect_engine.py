@@ -1,0 +1,154 @@
+"""Tests for the DetectionEngine: alert pipeline + response hook."""
+
+from __future__ import annotations
+
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
+from repro.detect import DetectionEngine, operating_point, roc_curve
+from repro.obs.metrics import MetricsRegistry
+
+
+def _world(seed):
+    # Isolated registry: counters must not leak between tests.
+    return build_world(WorldConfig(seed=seed, registry=MetricsRegistry()))
+
+
+def _monitored_attack(seed=61, respond=False):
+    world = _world(seed)
+    m, c, a = standard_cast(world)
+    engine = DetectionEngine().attach_world(world, roles=["M"])
+    if respond:
+        engine.install_response(m)
+    report = PageBlockingAttack(world, a, c, m).run()
+    engine.finish()
+    return world, engine, report, m
+
+
+class TestAlertPipeline:
+    def test_attack_raises_page_blocking_alerts(self):
+        _, engine, report, _ = _monitored_attack()
+        assert report.success
+        scores = engine.max_scores()
+        assert scores["page-blocking"] == 0.95
+        assert engine.first_alert_times()["page-blocking"] > 0.0
+
+    def test_alerts_reach_metrics(self):
+        world, engine, _, _ = _monitored_attack()
+        metrics = world.obs.metrics
+        assert metrics.counter_value("detect.alerts") == len(engine.alerts)
+        assert metrics.counter_value("detect.alerts.page-blocking") >= 1
+
+    def test_alerts_reach_tracer_and_timeline(self):
+        world, engine, _, _ = _monitored_attack()
+        records = [
+            r for r in world.tracer.records if r.source == "detect"
+        ]
+        assert len(records) == len(engine.alerts)
+        assert all(r.category == "alert" for r in records)
+        assert any("[page-blocking]" in r.message for r in records)
+        timeline = world.obs.timeline.events(sources=["detect"])
+        assert timeline, "alerts appear in the merged timeline"
+
+    def test_alerts_become_instant_spans(self):
+        world, engine, _, _ = _monitored_attack()
+        spans = [
+            s
+            for s in world.obs.spans.finished_spans()
+            if s.name.startswith("alert:")
+        ]
+        assert len(spans) == len(engine.alerts)
+
+    def test_on_alert_callbacks_fire(self):
+        world = _world(62)
+        m, c, a = standard_cast(world)
+        engine = DetectionEngine().attach_world(world, roles=["M"])
+        seen = []
+        engine.on_alert(seen.append)
+        PageBlockingAttack(world, a, c, m).run()
+        engine.finish()
+        assert seen == engine.alerts
+
+    def test_summary_is_json_shaped(self):
+        import json
+
+        _, engine, _, _ = _monitored_attack()
+        summary = engine.summary()
+        assert set(summary) == {
+            "alerts",
+            "max_scores",
+            "first_alert_s",
+            "events",
+            "undecodable",
+        }
+        json.dumps(summary)  # must serialise
+
+    def test_detector_subset_and_per_monitor_instances(self):
+        world = _world(63)
+        m, c, a = standard_cast(world)
+        engine = DetectionEngine(detectors=["page-blocking"])
+        engine.attach_world(world)
+        PageBlockingAttack(world, a, c, m).run()
+        engine.finish()
+        assert set(engine.max_scores()) == {"page-blocking"}
+        # one instance per monitored stream, not one shared
+        assert {"M", "phy"} <= set(engine._instances)
+        assert (
+            engine._instances["M"][0] is not engine._instances["phy"][0]
+        )
+
+
+class TestResponseHook:
+    def test_response_vetoes_the_flagged_pairing(self):
+        _, engine, report, m = _monitored_attack(respond=True)
+        assert not report.paired  # the attack pairing was rejected
+        assert not report.success
+        assert m.host.security.veto_rejections >= 1
+        # The alert fired anyway — detection precedes the rejection.
+        assert engine.max_scores()["page-blocking"] >= 0.9
+        mitigations = [
+            r
+            for r in m.host.tracer.records
+            if r.category == "mitigation" and "detection response" in r.message
+        ]
+        assert mitigations
+
+    def test_without_response_the_attack_goes_through(self):
+        _, _, report, m = _monitored_attack(respond=False)
+        assert report.paired and report.success
+        assert m.host.security.veto_rejections == 0
+
+
+class TestRocEvaluation:
+    def _details(self, scores, detector="page-blocking", latency=2.0):
+        return [
+            {
+                "scores": {detector: s},
+                "first_alert_s": {detector: latency} if s > 0 else {},
+            }
+            for s in scores
+        ]
+
+    def test_curve_counts_and_rates(self):
+        attack = self._details([0.95, 0.7, 0.0])
+        benign = self._details([0.0, 0.0, 0.35, 0.0])
+        points = roc_curve(attack, benign, "page-blocking", thresholds=[0.5])
+        (p,) = points
+        assert (p.true_positives, p.false_negatives) == (2, 1)
+        assert (p.false_positives, p.true_negatives) == (0, 4)
+        assert p.tpr == 2 / 3 and p.fpr == 0.0
+        assert p.mean_latency_s == 2.0
+
+    def test_operating_point_prefers_high_tpr_then_high_threshold(self):
+        attack = self._details([0.95] * 10)
+        benign = self._details([0.0] * 10)
+        points = roc_curve(
+            attack, benign, "page-blocking", thresholds=[0.5, 0.7, 0.95]
+        )
+        best = operating_point(points, max_fpr=0.05)
+        assert best.threshold == 0.95 and best.tpr == 1.0
+
+    def test_operating_point_none_when_fpr_unattainable(self):
+        attack = self._details([0.95])
+        benign = self._details([0.95])  # every benign trial trips too
+        points = roc_curve(attack, benign, "page-blocking", thresholds=[0.5])
+        assert operating_point(points, max_fpr=0.05) is None

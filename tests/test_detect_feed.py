@@ -1,0 +1,109 @@
+"""Tests for the DetectionFeed: taps, ordering, degraded input."""
+
+from __future__ import annotations
+
+from repro.attacks.page_blocking import PageBlockingAttack
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
+from repro.core.types import BdAddr
+from repro.detect.feed import DetectionFeed
+from repro.hci import events as evt
+from repro.transport.base import Direction
+
+
+class FakeTransport:
+    def __init__(self):
+        self.taps = []
+
+    def add_tap(self, tap):
+        self.taps.append(tap)
+
+    def remove_tap(self, tap):
+        self.taps.remove(tap)
+
+
+def _collect(feed):
+    events = []
+    feed.subscribe(events.append)
+    return events
+
+
+def test_transport_tap_parses_packets_and_counts_frames():
+    feed = DetectionFeed()
+    events = _collect(feed)
+    transport = FakeTransport()
+    feed.tap_transport("M", transport)
+    packet = evt.ConnectionRequest(
+        bd_addr=BdAddr(b"\x00\x00\x00\x00\x00\x07"),
+        class_of_device=0,
+        link_type=1,
+    )
+    transport.taps[0](1.5, Direction.CONTROLLER_TO_HOST, packet.to_h4_bytes())
+    transport.taps[0](2.0, Direction.CONTROLLER_TO_HOST, packet.to_h4_bytes())
+    assert [e.frame_no for e in events] == [1, 2]  # 1-based, like btsnoop
+    assert events[0].channel == "hci"
+    assert events[0].kind == "ConnectionRequest"
+    assert isinstance(events[0].packet, evt.ConnectionRequest)
+    assert events[0].monitor == "M"
+    assert events[0].time == 1.5
+
+
+def test_garbled_packets_become_undecodable_events():
+    feed = DetectionFeed()
+    events = _collect(feed)
+    transport = FakeTransport()
+    feed.tap_transport("M", transport)
+    transport.taps[0](1.0, Direction.CONTROLLER_TO_HOST, b"\xff\x99\x99")
+    assert len(events) == 1
+    assert events[0].kind == "undecodable"
+    assert events[0].packet is None
+    assert feed.undecodable_packets == 1
+
+
+def test_detach_removes_all_taps():
+    feed = DetectionFeed()
+    events = _collect(feed)
+    transport = FakeTransport()
+    feed.tap_transport("M", transport)
+    feed.detach()
+    assert transport.taps == []
+    assert events == []
+
+
+def test_detect_trace_source_is_never_reingested():
+    world = build_world(WorldConfig(seed=5))
+    feed = DetectionFeed()
+    events = _collect(feed)
+    feed.tap_tracer(world.tracer)
+    world.tracer.emit(0.0, "detect", "alert", "feedback loop")
+    world.tracer.emit(0.0, "phy", "phy-page", "fine")
+    assert [e.kind for e in events] == ["phy-page"]
+
+
+def test_attach_world_roles_filter_and_ordering():
+    world = build_world(WorldConfig(seed=6))
+    m, c, a = standard_cast(world)
+    feed = DetectionFeed()
+    events = _collect(feed)
+    feed.attach_world(world, roles=["M"])
+    PageBlockingAttack(world, a, c, m).run()
+    assert events, "a monitored attack produces feed events"
+    channels = {e.channel for e in events}
+    assert channels == {"hci", "air", "trace"}
+    hci_monitors = {e.monitor for e in events if e.channel == "hci"}
+    assert hci_monitors == {"M"}  # roles filter held
+    # Live streams arrive already ordered by (time, seq).
+    keys = [(e.time, e.seq) for e in events]
+    assert keys == sorted(keys)
+    assert feed.events_published == len(events)
+
+
+def test_attach_world_all_roles_by_default():
+    world = build_world(WorldConfig(seed=7))
+    m, c, a = standard_cast(world)
+    feed = DetectionFeed()
+    events = _collect(feed)
+    feed.attach_world(world)
+    c.host.gap.connect(m.bd_addr)
+    world.run_for(5.0)
+    hci_monitors = {e.monitor for e in events if e.channel == "hci"}
+    assert {"M", "C"} <= hci_monitors

@@ -11,6 +11,7 @@ import time
 
 import pytest
 
+from repro.core.bench import record_bench
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.eventloop import Simulator
 
@@ -44,6 +45,16 @@ def _best_of(metrics_factory) -> float:
 def test_disabled_registry_under_five_percent_overhead():
     bare = _best_of(lambda: None)
     disabled = _best_of(lambda: MetricsRegistry(enabled=False))
+    record_bench(
+        "campaign",
+        "obs_overhead_disabled",
+        {
+            "events": EVENTS,
+            "bare_s": bare,
+            "disabled_s": disabled,
+            "overhead": disabled / bare - 1,
+        },
+    )
     # 0.5 ms absolute slack keeps sub-millisecond timer jitter from
     # failing runs where 5% of the baseline is only a few hundred µs.
     assert disabled <= bare * 1.05 + 0.0005, (
@@ -56,6 +67,16 @@ def test_disabled_registry_under_five_percent_overhead():
 def test_enabled_registry_stays_cheap_enough_for_benchmarks():
     bare = _best_of(lambda: None)
     enabled = _best_of(MetricsRegistry)
+    record_bench(
+        "campaign",
+        "obs_overhead_enabled",
+        {
+            "events": EVENTS,
+            "bare_s": bare,
+            "enabled_s": enabled,
+            "overhead": enabled / bare - 1,
+        },
+    )
     # Live counters + the wall-time histogram may cost real work, but
     # "cheap enough to stay on in benchmarks" means small-multiple, not
     # order-of-magnitude.

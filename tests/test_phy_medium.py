@@ -234,3 +234,91 @@ class TestLinks:
         medium.drop_link(link, 0x13)
         sim.run()
         assert a.drops == [0x08]
+
+
+class TestSnifferFilterOrdering:
+    """Passive sniffers observe frames *before* fault filters touch
+    them: a dropped or mutated frame was still transmitted, so air
+    captures and the detection feed always see the original."""
+
+    def _linked(self):
+        sim, medium = _world()
+        a = FakeController("a", _addr(1))
+        b = FakeController("b", _addr(2))
+        medium.register(a)
+        medium.register(b)
+        results = []
+        medium.page(a, b.addr, 5.12, results.append)
+        sim.run()
+        return sim, medium, a, b, results[0]
+
+    def _capture(self, medium):
+        captured = []
+        medium.add_air_sniffer(
+            lambda t, lid, sender, frame: captured.append(
+                (sender, frame.kind, frame.payload)
+            )
+        )
+        return captured
+
+    def test_sniffer_sees_dropped_data_frame(self):
+        from repro.phy.medium import FrameFate
+
+        sim, medium, a, b, link = self._linked()
+        captured = self._capture(medium)
+        medium.add_frame_fault_filter(
+            lambda now, lnk, sender, frame: FrameFate(action="drop")
+        )
+        medium.send_frame(link, a, AirFrame(kind="acl", payload=b"gone"))
+        sim.run()
+        assert b.frames == []  # the receiver never got it
+        assert captured == [("a", "acl", b"gone")]  # the sniffer did
+
+    def test_sniffer_sees_pre_mutation_payload(self):
+        from repro.phy.medium import FrameFate
+
+        sim, medium, a, b, link = self._linked()
+        captured = self._capture(medium)
+        medium.add_frame_fault_filter(
+            lambda now, lnk, sender, frame: FrameFate(
+                action="mutate", payload=b"garbled"
+            )
+        )
+        medium.send_frame(link, a, AirFrame(kind="acl", payload=b"original"))
+        sim.run()
+        assert b.frames[0].payload == b"garbled"  # receiver: mutated
+        assert captured == [("a", "acl", b"original")]  # sniffer: original
+
+    def test_sniffer_sees_lost_page_train(self):
+        from repro.phy.medium import FrameFate
+
+        sim, medium = _world()
+        a = FakeController("a", _addr(1))
+        b = FakeController("b", _addr(2))
+        medium.register(a)
+        medium.register(b)
+        captured = self._capture(medium)
+        medium.add_frame_fault_filter(
+            lambda now, lnk, sender, frame: FrameFate(
+                action="drop" if frame.kind == "page" else "deliver"
+            )
+        )
+        results = []
+        medium.page(a, b.addr, 5.12, results.append)
+        sim.run()
+        assert results == [None]  # nobody heard the page
+        assert ("a", "page", b"") in captured  # but it was transmitted
+
+    def test_sniffer_sees_page_train_and_responses(self):
+        sim, medium = _world()
+        a = FakeController("a", _addr(1))
+        b = FakeController("b", _addr(2))
+        medium.register(a)
+        medium.register(b)
+        captured = self._capture(medium)
+        results = []
+        medium.page(a, b.addr, 5.12, results.append)
+        sim.run()
+        assert results[0] is not None
+        kinds = [(sender, kind) for sender, kind, _ in captured]
+        assert kinds == [("a", "page"), ("b", "page-response")]
