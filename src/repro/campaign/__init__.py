@@ -37,6 +37,13 @@ from repro.campaign.runner import (
     TrialTimeout,
     run_trial,
 )
+from repro.campaign.telemetry import (
+    CampaignTelemetry,
+    new_run_id,
+    read_telemetry,
+    runs_root,
+    trial_record,
+)
 from repro.campaign.trial import (
     Scenario,
     ScenarioTrial,
@@ -52,6 +59,7 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignTelemetry",
     "ResultCache",
     "Scenario",
     "ScenarioTrial",
@@ -62,8 +70,12 @@ __all__ = [
     "code_version",
     "default_cache_dir",
     "get_scenario",
+    "new_run_id",
+    "read_telemetry",
     "register_scenario",
     "run_trial",
+    "runs_root",
     "scenario_names",
     "trial_key",
+    "trial_record",
 ]

@@ -28,6 +28,7 @@ Execution model:
 from __future__ import annotations
 
 import math
+import multiprocessing
 import signal
 import threading
 import time
@@ -40,6 +41,11 @@ from repro.attacks.scenario import WorldConfig, build_world
 from repro.campaign import detection as _detection  # noqa: F401  (registry)
 from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
 from repro.campaign.cache import ResultCache, trial_key
+from repro.campaign.telemetry import (
+    CampaignTelemetry,
+    _InlineSink,
+    trial_record,
+)
 from repro.campaign.trial import TrialConfig, TrialResult, get_scenario
 from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsRegistry
@@ -159,7 +165,13 @@ def run_trial(
 
 
 def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
-    """Worker entrypoint: run a batch of seeds, return plain dicts."""
+    """Worker entrypoint: run a batch of seeds, return plain dicts.
+
+    ``sink`` (a Manager queue proxy in pooled runs, an inline adapter
+    in serial ones, or ``None``) receives one telemetry record the
+    moment each trial finishes — the parent renders progress from
+    these while the shard is still running.
+    """
     (
         scenario_name,
         seeds,
@@ -168,6 +180,7 @@ def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
         timeout_s,
         max_attempts,
         fault_plan,
+        sink,
     ) = args
     out: List[Dict[str, Any]] = []
     for seed in seeds:
@@ -180,7 +193,12 @@ def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
             max_attempts=max_attempts,
             fault_plan=fault_plan,
         )
-        out.append({"result": result.to_dict(), "metrics": metrics})
+        entry = {"result": result.to_dict(), "metrics": metrics}
+        out.append(entry)
+        if sink is not None:
+            sink.put(
+                trial_record(entry["result"], faulted=fault_plan is not None)
+            )
     return out
 
 
@@ -234,6 +252,7 @@ class CampaignRunner:
         max_trace_records: Optional[int] = DEFAULT_TRACE_RECORDS,
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        telemetry: Optional[CampaignTelemetry] = None,
     ) -> None:
         self.workers = max(1, workers)
         self.timeout_s = timeout_s
@@ -241,6 +260,7 @@ class CampaignRunner:
         self.max_trace_records = max_trace_records
         self.cache = cache
         self.progress = progress
+        self.telemetry = telemetry
 
     # ----------------------------------------------------------------- run
 
@@ -255,6 +275,13 @@ class CampaignRunner:
         by_seed: Dict[int, Dict[str, Any]] = {}
         keys: Dict[int, str] = {}
         pending: List[int] = []
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.begin_campaign(
+                spec.scenario,
+                total=len(dict.fromkeys(seeds)),
+                faulted=plan is not None,
+            )
         if self.cache is not None:
             for seed in seeds:
                 keys[seed] = trial_key(
@@ -264,6 +291,14 @@ class CampaignRunner:
                 entry = self.cache.get(keys[seed])
                 if entry is not None:
                     by_seed[seed] = entry
+                    if telemetry is not None:
+                        telemetry.record(
+                            trial_record(
+                                entry["result"],
+                                cached=True,
+                                faulted=plan is not None,
+                            )
+                        )
                 else:
                     pending.append(seed)
         else:
@@ -282,6 +317,8 @@ class CampaignRunner:
             done += 1
             if self.progress is not None:
                 self.progress(done, len(seeds))
+        if telemetry is not None:
+            telemetry.end_campaign()
 
         results: List[TrialResult] = []
         merged = MetricsRegistry()
@@ -310,10 +347,41 @@ class CampaignRunner:
         params: Dict[str, Any],
         fault_plan: Optional[Dict[str, Any]] = None,
     ):
-        """Yield (seed, entry) for every missing seed, sharded."""
+        """Yield (seed, entry) for every missing seed, sharded.
+
+        With telemetry attached, pooled workers stream one record per
+        finished trial over a Manager queue; a parent-side drain thread
+        feeds them to :class:`CampaignTelemetry` while ``pool.map`` is
+        still blocked on whole shards.  Serial runs skip the queue and
+        record inline.
+        """
         if not seeds:
             return
         workers = min(self.workers, len(seeds))
+        telemetry = self.telemetry
+        if workers <= 1:
+            sink = _InlineSink(telemetry) if telemetry is not None else None
+            shard_args = (
+                scenario_name,
+                seeds,
+                params,
+                self.max_trace_records,
+                self.timeout_s,
+                self.max_attempts,
+                fault_plan,
+                sink,
+            )
+            for entry, seed in zip(_run_shard(shard_args), seeds):
+                yield seed, entry
+            return
+        manager = drain = queue = None
+        if telemetry is not None:
+            manager = multiprocessing.Manager()
+            queue = manager.Queue()
+            drain = threading.Thread(
+                target=telemetry.drain, args=(queue,), daemon=True
+            )
+            drain.start()
         shard_args = [
             (
                 scenario_name,
@@ -323,20 +391,23 @@ class CampaignRunner:
                 self.timeout_s,
                 self.max_attempts,
                 fault_plan,
+                queue,
             )
             for shard in self._shards(seeds, workers)
         ]
-        if workers <= 1:
-            for entry, seed in zip(_run_shard(shard_args[0]), seeds):
-                yield seed, entry
-            return
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for shard, entries in zip(
-                (args[1] for args in shard_args),
-                pool.map(_run_shard, shard_args),
-            ):
-                for seed, entry in zip(shard, entries):
-                    yield seed, entry
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for shard, entries in zip(
+                    (args[1] for args in shard_args),
+                    pool.map(_run_shard, shard_args),
+                ):
+                    for seed, entry in zip(shard, entries):
+                        yield seed, entry
+        finally:
+            if queue is not None:
+                queue.put(None)  # sentinel: stop the drain thread
+                drain.join(timeout=30.0)
+                manager.shutdown()
 
     @staticmethod
     def _shards(seeds: List[int], workers: int) -> List[List[int]]:

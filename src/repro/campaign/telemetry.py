@@ -1,0 +1,314 @@
+"""Streaming per-trial telemetry for campaign sweeps.
+
+PR 2's sharded runner made campaigns fast and silent: ``pool.map``
+returns whole shards, so a 700-trial Table II run shows *nothing*
+until the slowest shard lands.  This module is the missing feedback
+loop:
+
+* workers push one small record per finished trial onto a
+  ``multiprocessing`` queue the moment the trial completes (the
+  :class:`CampaignRunner` wires the queue; serial runs feed the sink
+  inline);
+* the parent's :class:`CampaignTelemetry` drains the queue, renders a
+  live progress line (carriage-return updates on a TTY, periodic plain
+  lines otherwise — CI logs stay readable), and maintains
+  ``campaign.throughput_per_s`` / ``campaign.eta_s`` gauges in its own
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* every record is appended to ``runs/<run-id>/telemetry.jsonl`` —
+  exactly one line per trial (cache hits, retried and faulted trials
+  included), so post-hoc tools can query "which seeds were slow?"
+  without re-running anything.  ``run.json`` lands beside it on close
+  with per-campaign totals.
+
+Records are completion-*ordered* (whatever the pool finished first),
+not seed-ordered: telemetry is an operator surface, not a result
+artifact — the deterministic results live in the campaign cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, TextIO
+
+from repro.obs.metrics import MetricsRegistry
+
+#: telemetry.jsonl schema version (bump on incompatible record changes)
+TELEMETRY_FORMAT = 1
+
+
+def runs_root() -> Path:
+    """Where run directories land: ``$BLAP_RUNS_DIR`` or ``runs/``."""
+    return Path(os.environ.get("BLAP_RUNS_DIR") or "runs")
+
+
+def new_run_id() -> str:
+    """Timestamped id, pid-suffixed so parallel launches never collide."""
+    return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid():05d}"
+
+
+def trial_record(
+    result: Mapping[str, Any],
+    cached: bool = False,
+    faulted: bool = False,
+) -> Dict[str, Any]:
+    """One telemetry line from a ``TrialResult.to_dict()`` dict.
+
+    Deliberately *small*: identity, verdict, timing, and the max
+    detector scores if the scenario recorded them — not the full
+    ``detail`` blob (that lives in the cache).
+    """
+    record: Dict[str, Any] = {
+        "scenario": result.get("scenario"),
+        "seed": result.get("seed"),
+        "success": bool(result.get("success")),
+        "outcome": result.get("outcome"),
+        "attempts": result.get("attempts", 1),
+        "wall_time_s": result.get("wall_time_s", 0.0),
+        "sim_time_s": result.get("sim_time_s", 0.0),
+        "cached": cached,
+        "faulted": faulted,
+    }
+    error = result.get("error")
+    if error:
+        record["error"] = error
+    detail = result.get("detail")
+    if isinstance(detail, Mapping):
+        scores = detail.get("scores")
+        if isinstance(scores, Mapping) and scores:
+            record["scores"] = dict(scores)
+    return record
+
+
+class _InlineSink:
+    """Queue-shaped adapter: serial shards ``put`` straight into the
+    parent telemetry (same worker-side code path, no queue)."""
+
+    __slots__ = ("_telemetry",)
+
+    def __init__(self, telemetry: "CampaignTelemetry") -> None:
+        self._telemetry = telemetry
+
+    def put(self, record: Dict[str, Any]) -> None:
+        self._telemetry.record(record)
+
+
+class CampaignTelemetry:
+    """Per-run telemetry sink: JSONL stream + live progress + gauges.
+
+    ``mode``:
+
+    * ``"auto"`` — live carriage-return line when ``stream`` is a TTY,
+      periodic plain lines otherwise (the CI default);
+    * ``"live"`` / ``"plain"`` — force either rendering;
+    * ``"quiet"`` — plain, but only a start and an end line per
+      campaign (``blap campaign run --quiet``);
+    * ``"off"`` — no progress output at all (records still stream to
+      disk).
+
+    Thread-safe: the runner's queue-drain thread and the parent (cache
+    hits) record concurrently.
+    """
+
+    def __init__(
+        self,
+        run_id: Optional[str] = None,
+        root: Optional[Path] = None,
+        stream: Optional[TextIO] = None,
+        mode: str = "auto",
+        plain_interval_s: float = 5.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if mode not in ("auto", "live", "plain", "quiet", "off"):
+            raise ValueError(f"unknown telemetry mode {mode!r}")
+        self.run_id = run_id or new_run_id()
+        self.run_dir = (root if root is not None else runs_root()) / self.run_id
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / "telemetry.jsonl"
+        self.stream = stream if stream is not None else sys.stderr
+        if mode == "auto":
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            mode = "live" if isatty() else "plain"
+        self.mode = mode
+        self.plain_interval_s = plain_interval_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._g_throughput = self.metrics.gauge("campaign.throughput_per_s")
+        self._g_eta = self.metrics.gauge("campaign.eta_s")
+        self._c_trials = self.metrics.counter("campaign.trials")
+        self._c_errors = self.metrics.counter("campaign.errors")
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._campaigns: List[Dict[str, Any]] = []
+        self._current: Optional[Dict[str, Any]] = None
+        self._started = time.monotonic()
+        self._campaign_started = self._started
+        self._last_render = 0.0
+        self._line_width = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def begin_campaign(
+        self, scenario: str, total: int, faulted: bool = False
+    ) -> None:
+        with self._lock:
+            self._current = {
+                "scenario": scenario,
+                "total": total,
+                "done": 0,
+                "ok": 0,
+                "errors": 0,
+                "cached": 0,
+                "faulted": faulted,
+            }
+            self._campaign_started = time.monotonic()
+            self._last_render = 0.0
+            if self.mode in ("plain", "quiet"):
+                self._emit_line(
+                    f"[{self.run_id}] {scenario}: 0/{total} trials started"
+                )
+
+    def record(self, record: Mapping[str, Any]) -> None:
+        """Append one trial record and refresh progress/gauges."""
+        with self._lock:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            self._c_trials.inc()
+            if record.get("error"):
+                self._c_errors.inc()
+            state = self._current
+            if state is not None:
+                state["done"] += 1
+                if record.get("success"):
+                    state["ok"] += 1
+                if record.get("error"):
+                    state["errors"] += 1
+                if record.get("cached"):
+                    state["cached"] += 1
+                self._refresh_gauges(state)
+                self._render_progress(state)
+
+    def drain(self, queue: Any) -> None:
+        """Consume records from a worker queue until a ``None`` sentinel
+        (the runner's drain-thread target)."""
+        for record in iter(queue.get, None):
+            self.record(record)
+
+    def end_campaign(self) -> Optional[Dict[str, Any]]:
+        """Close out the current campaign; returns its summary."""
+        with self._lock:
+            state = self._current
+            if state is None:
+                return None
+            state["wall_time_s"] = time.monotonic() - self._campaign_started
+            self._refresh_gauges(state)
+            if self.mode != "off":
+                self._clear_live_line()
+                self._emit_line(self._format_progress(state, final=True))
+            self._campaigns.append(state)
+            self._current = None
+            return state
+
+    def close(self) -> Path:
+        """Flush the stream and write the ``run.json`` summary."""
+        if self._current is not None:
+            self.end_campaign()
+        with self._lock:
+            self._handle.close()
+            summary = {
+                "format": TELEMETRY_FORMAT,
+                "run_id": self.run_id,
+                "wall_time_s": time.monotonic() - self._started,
+                "trials": int(self._c_trials.value),
+                "errors": int(self._c_errors.value),
+                "campaigns": self._campaigns,
+            }
+            summary_path = self.run_dir / "run.json"
+            with open(summary_path, "w", encoding="utf-8") as handle:
+                json.dump(summary, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            return summary_path
+
+    def __enter__(self) -> "CampaignTelemetry":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- rendering
+
+    def _refresh_gauges(self, state: Dict[str, Any]) -> None:
+        elapsed = max(time.monotonic() - self._campaign_started, 1e-9)
+        rate = state["done"] / elapsed
+        self._g_throughput.set(rate)
+        remaining = max(state["total"] - state["done"], 0)
+        self._g_eta.set(remaining / rate if rate > 0 else 0.0)
+
+    def _format_progress(
+        self, state: Dict[str, Any], final: bool = False
+    ) -> str:
+        rate = self._g_throughput.value
+        text = (
+            f"[{self.run_id}] {state['scenario']}: "
+            f"{state['done']}/{state['total']} trials, "
+            f"{state['ok']} ok, {state['errors']} err"
+        )
+        if state["cached"]:
+            text += f", {state['cached']} cached"
+        if final:
+            text += f" in {state.get('wall_time_s', 0.0):.2f}s"
+        else:
+            text += f", {rate:.1f}/s eta {self._g_eta.value:.0f}s"
+        return text
+
+    def _render_progress(self, state: Dict[str, Any]) -> None:
+        if self.mode in ("off", "quiet"):
+            return
+        if self.mode == "live":
+            line = self._format_progress(state)
+            pad = " " * max(self._line_width - len(line), 0)
+            self._line_width = len(line)
+            self.stream.write("\r" + line + pad)
+            self.stream.flush()
+            return
+        # plain: rate-limited full lines, plus the very last trial
+        now = time.monotonic()
+        if (
+            now - self._last_render >= self.plain_interval_s
+            or state["done"] >= state["total"]
+        ):
+            self._last_render = now
+            self._emit_line(self._format_progress(state))
+
+    def _clear_live_line(self) -> None:
+        if self.mode == "live" and self._line_width:
+            self.stream.write("\r" + " " * self._line_width + "\r")
+            self._line_width = 0
+
+    def _emit_line(self, text: str) -> None:
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+
+def read_telemetry(run_dir: Path) -> List[Dict[str, Any]]:
+    """Parsed ``telemetry.jsonl`` records from a run directory (torn
+    tail lines skipped — a live run may still be appending)."""
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(Path(run_dir) / "telemetry.jsonl", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        pass
+    return records

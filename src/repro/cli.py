@@ -27,6 +27,12 @@ Android bug report) and on raw USB analyzer streams:
 * ``blap detect {list,scan,demo,roc}`` — the streaming detection
   subsystem: replay captures through the detectors, stage monitored
   attacks, and run ROC campaigns (TPR/FPR/latency threshold sweeps).
+* ``blap report`` — render the Markdown/HTML run report (Table I/II
+  vs. the paper, Wilson intervals, digest quantiles, slowest spans)
+  from cached campaign results — no re-simulation on a warm cache.
+* ``blap bench {compare,history}`` — the perf trajectory: diff the
+  current ``BENCH_*.json`` numbers against a baseline directory
+  (nonzero exit on regression) and query ``BENCH_HISTORY.jsonl``.
 """
 
 from __future__ import annotations
@@ -256,7 +262,7 @@ def _parse_param(raw: str) -> "tuple[str, Any]":
         return key, value
 
 
-def _make_runner(args: argparse.Namespace):
+def _make_runner(args: argparse.Namespace, telemetry=None):
     from repro.campaign import CampaignRunner, ResultCache, default_cache_dir
 
     cache = None
@@ -268,6 +274,7 @@ def _make_runner(args: argparse.Namespace):
         timeout_s=args.timeout,
         max_attempts=args.retries + 1,
         cache=cache,
+        telemetry=telemetry,
     )
 
 
@@ -285,7 +292,7 @@ def _campaign_summary(result) -> str:
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignSpec
+    from repro.campaign import CampaignSpec, CampaignTelemetry
 
     params = dict(args.param or [])
     spec = CampaignSpec(
@@ -294,7 +301,21 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         params=params,
         fault_plan=_load_fault_plan(args.fault_plan),
     )
-    result = _make_runner(args).run(spec)
+    telemetry = None
+    if not args.no_telemetry:
+        # Progress goes to stderr (``--json`` keeps stdout clean); the
+        # live carriage-return line degrades to periodic plain lines on
+        # non-TTY streams, or to start/end lines only under --quiet.
+        telemetry = CampaignTelemetry(
+            run_id=args.run_id,
+            mode="quiet" if args.quiet else "auto",
+        )
+    try:
+        result = _make_runner(args, telemetry=telemetry).run(spec)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry: {telemetry.path}", file=sys.stderr)
     if args.json:
         print(
             json.dumps(
@@ -610,6 +631,104 @@ def _cmd_detect_roc(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
+# ------------------------------------------------------------------ report
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import generate_report
+
+    text = generate_report(
+        _make_runner(args),
+        trials=args.trials,
+        seed_base=args.seed_base,
+        table1_seed_base=args.table1_seed_base,
+        roc_path=args.roc,
+        bench_directory=args.bench_dir,
+        run_dir=args.run_dir,
+        top_spans=args.top_spans,
+        html=args.html,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+# ------------------------------------------------------------------- bench
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.bench import bench_dir, compare_bench_dirs, iter_bench_files
+
+    current = Path(args.current) if args.current else bench_dir()
+    baseline = Path(args.baseline)
+    current_files = iter_bench_files(current)
+    if not current_files:
+        print(f"blap: no BENCH_*.json files in {current}", file=sys.stderr)
+        return 2
+    compared = [
+        path.name for path in current_files if (baseline / path.name).exists()
+    ]
+    if not compared:
+        # First run / rotated artifacts: nothing to gate against.
+        print(
+            f"no baseline bench files under {baseline}; nothing to compare"
+        )
+        return 0
+    regressions = compare_bench_dirs(
+        current, baseline, threshold=args.threshold
+    )
+    if args.json:
+        print(
+            json.dumps(
+                [vars(regression) for regression in regressions], indent=1
+            )
+        )
+    else:
+        print(
+            f"compared {len(compared)} bench file(s) at threshold "
+            f"{args.threshold:.0%}: {', '.join(compared)}"
+        )
+        for regression in regressions:
+            print(f"REGRESSION {regression}")
+        if not regressions:
+            print("no regressions")
+    return 1 if regressions else 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.bench import read_history
+
+    directory = Path(args.dir) if args.dir else None
+    entries = read_history(directory, bench=args.bench or None)
+    if args.section:
+        entries = [
+            entry for entry in entries if entry.get("section") == args.section
+        ]
+    if not entries:
+        print("no bench history entries", file=sys.stderr)
+        return 1
+    for entry in entries[-args.last:]:
+        values = " ".join(
+            f"{key}={value:g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(entry.get("values", {}).items())
+        )
+        run = f" run={entry['run']}" if entry.get("run") else ""
+        print(
+            f"{entry.get('ts', '?'):<20} "
+            f"{entry.get('bench', '?')}/{entry.get('section', '?')}{run} "
+            f"{values}"
+        )
+    return 0
+
+
 def _add_fault_plan_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-plan",
@@ -745,6 +864,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario parameter (JSON value; repeatable)",
     )
     run.add_argument("--json", action="store_true", help="machine output")
+    run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="progress start/end lines only (CI-friendly)",
+    )
+    run.add_argument(
+        "--run-id",
+        default=None,
+        help="telemetry run id (default: timestamp-pid)",
+    )
+    run.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip the runs/<run-id>/telemetry.jsonl stream",
+    )
     _add_fault_plan_arg(run)
     _add_campaign_common(run)
     run.set_defaults(func=_cmd_campaign_run)
@@ -832,6 +966,81 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_plan_arg(droc)
     _add_campaign_common(droc)
     droc.set_defaults(func=_cmd_detect_roc)
+
+    report = sub.add_parser(
+        "report",
+        help="render the run report from cached campaign results",
+    )
+    report.add_argument("--trials", type=int, default=20)
+    report.add_argument("--seed-base", type=int, default=2000)
+    report.add_argument(
+        "--table1-seed-base", type=int, default=1000,
+        help="seed base for the Table I extraction sweep",
+    )
+    report.add_argument(
+        "--roc", default=None, metavar="ROC.json",
+        help="include a `blap detect roc --json` artifact",
+    )
+    report.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="include BENCH_*.json numbers from this directory",
+    )
+    report.add_argument(
+        "--run-dir", default=None, metavar="runs/ID",
+        help="include a run's telemetry.jsonl summary",
+    )
+    report.add_argument(
+        "--top-spans", type=int, default=10,
+        help="rows in the slowest-spans table",
+    )
+    report.add_argument(
+        "--html", action="store_true", help="self-contained HTML instead of Markdown"
+    )
+    report.add_argument("-o", "--output", default=None, help="output file")
+    _add_campaign_common(report)
+    report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark trajectory: compare and history"
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bcompare = bsub.add_parser(
+        "compare",
+        help="diff current BENCH_*.json against a baseline directory "
+        "(exit 1 on regression)",
+    )
+    bcompare.add_argument(
+        "baseline", help="directory holding the baseline BENCH_*.json files"
+    )
+    bcompare.add_argument(
+        "--current", default=None,
+        help="directory with current bench files (default: $BLAP_BENCH_DIR or .)",
+    )
+    bcompare.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="tolerated relative change (0.25 = 25%%)",
+    )
+    bcompare.add_argument("--json", action="store_true", help="machine output")
+    bcompare.set_defaults(func=_cmd_bench_compare)
+
+    bhistory = bsub.add_parser(
+        "history", help="print BENCH_HISTORY.jsonl entries"
+    )
+    bhistory.add_argument(
+        "--bench", default=None, help="only this bench (e.g. campaign)"
+    )
+    bhistory.add_argument(
+        "--section", default=None, help="only this section"
+    )
+    bhistory.add_argument(
+        "--last", type=int, default=20, help="show the last N entries"
+    )
+    bhistory.add_argument(
+        "--dir", default=None,
+        help="bench directory (default: $BLAP_BENCH_DIR or .)",
+    )
+    bhistory.set_defaults(func=_cmd_bench_history)
 
     faults = sub.add_parser(
         "faults", help="the fault-injection point catalogue"

@@ -1,4 +1,4 @@
-"""Benchmark number sink: ``BENCH_<name>.json`` emitters.
+"""Benchmark number sink: ``BENCH_<name>.json`` emitters plus history.
 
 Perf guards assert *bounds*; the interesting part — the measured
 numbers — used to scroll away with the pytest output.  This module
@@ -12,14 +12,42 @@ ordinary JSON with sorted keys, so CI can archive them as artifacts
 and diffs stay readable.  Sections merge shallowly — re-recording a
 section replaces it, other sections survive — so independent tests can
 contribute to one file without coordinating.
+
+Three guarantees make the numbers trustworthy across PRs:
+
+* **atomic, lock-serialised writes** — the read-modify-write cycle
+  runs under an ``flock`` on ``.bench.lock`` and lands via tempfile +
+  ``os.replace``, so two campaign workers (or parallel pytest
+  processes) recording different sections of the same file can neither
+  drop each other's sections nor leave a torn file behind;
+* **append-only history** — every record also appends one line to
+  ``BENCH_HISTORY.jsonl`` (UTC timestamp, bench, section, values), so
+  the perf trajectory survives section overwrites and CI artifact
+  rotation;
+* **regression comparison** — :func:`compare_bench` diffs two bench
+  dicts and flags keys that moved beyond a threshold in the *bad*
+  direction, inferred from the key's spelling (``*_s``/``*overhead*``
+  are lower-is-better; ``*_per_s``/``*speedup*`` higher-is-better).
+  ``blap bench compare`` and the CI perf-regression job sit on top.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+try:  # pragma: no cover - always present on the Linux CI fleet
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+#: history file name (one JSON object per line, append-only)
+HISTORY_NAME = "BENCH_HISTORY.jsonl"
 
 
 def bench_dir() -> Path:
@@ -31,6 +59,31 @@ def bench_path(name: str) -> Path:
     return bench_dir() / f"BENCH_{name}.json"
 
 
+def history_path(directory: Optional[Path] = None) -> Path:
+    return (directory if directory is not None else bench_dir()) / HISTORY_NAME
+
+
+@contextmanager
+def _bench_lock(directory: Path) -> Iterator[None]:
+    """Serialise bench writers within one directory via ``flock``.
+
+    Advisory and per-open-file, so concurrent *processes and threads*
+    both serialise (each holder opens its own descriptor).  On
+    platforms without ``fcntl`` the lock degrades to a no-op — the
+    tempfile + ``os.replace`` path still guarantees unturn files.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_file = directory / ".bench.lock"
+    with open(lock_file, "w", encoding="utf-8") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def record_bench(
     name: str, section: str, values: Mapping[str, Any]
 ) -> Path:
@@ -38,22 +91,208 @@ def record_bench(
 
     Returns the path written.  Unreadable/corrupt existing files are
     replaced rather than crashing the test that measured the numbers.
+    Also appends the record to ``BENCH_HISTORY.jsonl`` alongside.
     """
     path = bench_path(name)
-    data: dict = {}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = _jsonable(values)
+    with _bench_lock(path.parent):
+        data: dict = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                data = loaded
+        except (OSError, ValueError):
+            pass
+        data[section] = payload
+        # tempfile + replace: readers (CI artifact upload, a concurrent
+        # compare) never observe a partially written file.
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        entry: Dict[str, Any] = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "bench": name,
+            "section": section,
+            "values": payload,
+        }
+        run_id = os.environ.get("BLAP_RUN_ID")
+        if run_id:
+            entry["run"] = run_id
+        with open(history_path(path.parent), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """One bench file as a dict; ``{}`` for missing/corrupt files."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             loaded = json.load(handle)
-        if isinstance(loaded, dict):
-            data = loaded
+        return loaded if isinstance(loaded, dict) else {}
     except (OSError, ValueError):
+        return {}
+
+
+def iter_bench_files(directory: Union[str, Path]) -> List[Path]:
+    """Every ``BENCH_<name>.json`` under ``directory``, sorted."""
+    return sorted(Path(directory).glob("BENCH_*.json"))
+
+
+def read_history(
+    directory: Optional[Path] = None, bench: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Parsed ``BENCH_HISTORY.jsonl`` entries (oldest first).
+
+    Unparseable lines are skipped — the history is telemetry, and a
+    torn tail line must not brick ``blap bench history``.
+    """
+    entries: List[Dict[str, Any]] = []
+    try:
+        with open(history_path(directory), "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict) and (
+                    bench is None or entry.get("bench") == bench
+                ):
+                    entries.append(entry)
+    except OSError:
         pass
-    data[section] = _jsonable(values)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    return path
+    return entries
+
+
+# ------------------------------------------------------------- comparison
+
+#: spelling → "is a bigger number worse or better?"  Keys matching
+#: neither list (raw counts like ``events`` or ``trials``) are
+#: informational and never flagged.
+_LOWER_IS_BETTER_SUFFIXES = ("_s", "_seconds", "_ms", "_ns")
+_LOWER_IS_BETTER_TOKENS = ("overhead", "latency")
+_HIGHER_IS_BETTER_SUFFIXES = ("_per_s", "_per_second", "_hz")
+_HIGHER_IS_BETTER_TOKENS = ("speedup", "throughput")
+
+
+def key_direction(key: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` is better, or ``None`` (don't gate).
+
+    Higher-is-better spellings win ties: ``events_per_s`` ends in
+    ``_s`` only because it ends in ``_per_s``.
+    """
+    lowered = key.lower()
+    if lowered.endswith(_HIGHER_IS_BETTER_SUFFIXES) or any(
+        token in lowered for token in _HIGHER_IS_BETTER_TOKENS
+    ):
+        return "higher"
+    if lowered.endswith(_LOWER_IS_BETTER_SUFFIXES) or any(
+        token in lowered for token in _LOWER_IS_BETTER_TOKENS
+    ):
+        return "lower"
+    return None
+
+
+@dataclass(frozen=True)
+class BenchRegression:
+    """One key that moved beyond the threshold in the bad direction."""
+
+    bench: str
+    section: str
+    key: str
+    baseline: float
+    current: float
+    change: float  # signed relative change vs baseline
+    direction: str  # which way is better for this key
+
+    def __str__(self) -> str:
+        return (
+            f"{self.bench}/{self.section}/{self.key}: "
+            f"{self.baseline:g} -> {self.current:g} "
+            f"({self.change:+.0%}, {self.direction} is better)"
+        )
+
+
+def compare_bench(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    threshold: float = 0.25,
+    bench: str = "",
+) -> List[BenchRegression]:
+    """Regressions in ``current`` relative to ``baseline``.
+
+    Only keys present in *both* dicts with non-zero numeric baselines
+    are compared — new sections, renamed keys, and counts never flag.
+    ``threshold`` is the tolerated relative change (0.25 = 25 %).
+    """
+    regressions: List[BenchRegression] = []
+    for section, values in sorted(current.items()):
+        base_values = baseline.get(section)
+        if not isinstance(values, Mapping) or not isinstance(
+            base_values, Mapping
+        ):
+            continue
+        for key, value in sorted(values.items()):
+            base = base_values.get(key)
+            if (
+                isinstance(value, bool)
+                or isinstance(base, bool)
+                or not isinstance(value, (int, float))
+                or not isinstance(base, (int, float))
+                or base == 0
+            ):
+                continue
+            direction = key_direction(key)
+            if direction is None:
+                continue
+            change = (value - base) / abs(base)
+            worse = change > threshold if direction == "lower" else (
+                change < -threshold
+            )
+            if worse:
+                regressions.append(
+                    BenchRegression(
+                        bench=bench,
+                        section=section,
+                        key=key,
+                        baseline=float(base),
+                        current=float(value),
+                        change=change,
+                        direction=direction,
+                    )
+                )
+    return regressions
+
+
+def compare_bench_dirs(
+    current_dir: Union[str, Path],
+    baseline_dir: Union[str, Path],
+    threshold: float = 0.25,
+) -> List[BenchRegression]:
+    """Compare every ``BENCH_*.json`` in ``current_dir`` against its
+    same-named baseline; files missing a baseline are skipped (first
+    run, new bench)."""
+    regressions: List[BenchRegression] = []
+    for path in iter_bench_files(current_dir):
+        baseline_path = Path(baseline_dir) / path.name
+        if not baseline_path.exists():
+            continue
+        name = path.stem[len("BENCH_"):]
+        regressions.extend(
+            compare_bench(
+                load_bench(path),
+                load_bench(baseline_path),
+                threshold=threshold,
+                bench=name,
+            )
+        )
+    return regressions
 
 
 def _jsonable(value: Union[Mapping[str, Any], Any]) -> Any:

@@ -36,7 +36,7 @@ from repro.detect.feed import DetectionEvent, DetectionFeed
 if TYPE_CHECKING:
     from repro.attacks.scenario import World
     from repro.devices.device import Device
-    from repro.obs import Observability
+    from repro.obs import Counter, Observability
 
 #: trace source for the alert pipeline (excluded from feed re-ingest)
 TRACE_SOURCE = "detect"
@@ -66,6 +66,9 @@ class DetectionEngine:
         self._instances: Dict[str, List[Detector]] = {}
         self._callbacks: List[Callable[[Alert], None]] = []
         self._world: Optional["World"] = None
+        # per-detector alert counters, cached so _emit never re-resolves
+        # (or re-formats the metric name) per alert
+        self._m_alerts_by_detector: Dict[str, "Counter"] = {}
         if obs is not None:
             self._m_alerts = obs.metrics.counter("detect.alerts")
         else:
@@ -81,6 +84,7 @@ class DetectionEngine:
         if self.obs is None:
             self.obs = world.obs
             self._m_alerts = world.obs.metrics.counter("detect.alerts")
+            self._m_alerts_by_detector.clear()
         self.feed.attach_world(world, roles=roles)
         return self
 
@@ -122,7 +126,11 @@ class DetectionEngine:
             self._m_alerts.inc()
         obs = self.obs
         if obs is not None:
-            obs.metrics.counter(f"detect.alerts.{alert.detector}").inc()
+            counter = self._m_alerts_by_detector.get(alert.detector)
+            if counter is None:
+                counter = obs.metrics.counter(f"detect.alerts.{alert.detector}")
+                self._m_alerts_by_detector[alert.detector] = counter
+            counter.inc()
             span = obs.spans.begin(
                 f"alert:{alert.detector}",
                 source=TRACE_SOURCE,

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs.digest import QuantileDigest
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -52,6 +53,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "QuantileDigest",
     "Span",
     "SpanTracker",
     "Timeline",
@@ -79,7 +81,11 @@ class Observability:
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.metrics = registry if registry is not None else get_global_registry()
-        self.spans = SpanTracker(clock or (lambda: 0.0))
+        self.spans = SpanTracker(
+            clock or (lambda: 0.0),
+            observer=self._observe_span if self.metrics.enabled else None,
+        )
+        self._span_histograms: dict = {}
         self.timeline = Timeline()
         self.timeline.add_span_tracker(self.spans)
         if tracer is not None:
@@ -88,3 +94,18 @@ class Observability:
     def span(self, name: str, source: str = "", **attrs: Any):
         """Shorthand for ``self.spans.span(...)`` (a context manager)."""
         return self.spans.span(name, source=source, **attrs)
+
+    def _observe_span(self, span: Span) -> None:
+        """Feed every closed span into a ``span.<name>_s`` histogram.
+
+        Durations are simulated time, so the histograms (and their
+        digests) stay deterministic per seed and merge cleanly across
+        campaign shards — that merged view is what the run report's
+        "slowest spans" table reads.  Histogram handles are cached per
+        span name; the per-close cost is one dict hit + one observe.
+        """
+        histogram = self._span_histograms.get(span.name)
+        if histogram is None:
+            histogram = self.metrics.histogram(f"span.{span.name}_s")
+            self._span_histograms[span.name] = histogram
+        histogram.observe(span.end - span.start)

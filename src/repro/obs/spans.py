@@ -63,10 +63,21 @@ class Span:
 
 
 class SpanTracker:
-    """Records spans against a clock; owns the nesting stack."""
+    """Records spans against a clock; owns the nesting stack.
 
-    def __init__(self, clock: Callable[[], float]) -> None:
+    ``observer`` (optional) is called once per span *close* with the
+    finished span.  :class:`~repro.obs.Observability` uses it to feed
+    per-name duration histograms, so campaign-merged snapshots carry a
+    "slowest spans" table without shipping span lists across workers.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        observer: Optional[Callable[[Span], None]] = None,
+    ) -> None:
         self.clock = clock
+        self.observer = observer
         self.spans: List[Span] = []  # in start order
         self._stack: List[Span] = []
 
@@ -83,6 +94,8 @@ class SpanTracker:
         finally:
             self._stack.pop()
             entry.end = self.clock()
+            if self.observer is not None:
+                self.observer(entry)
 
     # ------------------------------------------------------- split-phase API
 
@@ -93,6 +106,8 @@ class SpanTracker:
     def finish(self, span: Span) -> None:
         if span.end is None:
             span.end = self.clock()
+            if self.observer is not None:
+                self.observer(span)
 
     # --------------------------------------------------------------- queries
 

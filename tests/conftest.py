@@ -12,6 +12,13 @@ from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Keep ``blap campaign run`` telemetry out of the working tree:
+    every test gets a throwaway ``$BLAP_RUNS_DIR``."""
+    monkeypatch.setenv("BLAP_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture
 def world() -> World:
     """An empty deterministic world."""

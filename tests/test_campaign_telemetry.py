@@ -1,0 +1,237 @@
+"""Streaming campaign telemetry: JSONL records, progress, gauges."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CampaignTelemetry,
+    ResultCache,
+    read_telemetry,
+)
+from repro.campaign.trial import _REGISTRY, Scenario, register_scenario
+
+
+@pytest.fixture
+def scratch_scenario():
+    added = []
+
+    def add(cls):
+        scenario = register_scenario(cls)
+        added.append(scenario.name)
+        return scenario
+
+    yield add
+    for name in added:
+        _REGISTRY.pop(name, None)
+
+
+class _BoomScenario(Scenario):
+    name = "test-telemetry-boom"
+    description = "always raises"
+    default_params = {}
+
+    def execute(self, world, params, seed):
+        raise RuntimeError("boom")
+
+
+def _telemetry(tmp_path, mode="off", **kwargs):
+    return CampaignTelemetry(
+        run_id="test-run",
+        root=tmp_path / "runs",
+        stream=io.StringIO(),
+        mode=mode,
+        **kwargs,
+    )
+
+
+class TestRecordStream:
+    def test_serial_run_streams_one_record_per_trial(self, tmp_path):
+        telemetry = _telemetry(tmp_path)
+        runner = CampaignRunner(workers=1, telemetry=telemetry)
+        result = runner.run(CampaignSpec("baseline-race", seeds=range(5)))
+        telemetry.close()
+        records = read_telemetry(telemetry.run_dir)
+        assert len(records) == result.trials == 5
+        assert sorted(record["seed"] for record in records) == list(range(5))
+        first = records[0]
+        for field in (
+            "scenario", "seed", "success", "outcome", "attempts",
+            "wall_time_s", "sim_time_s", "cached", "faulted",
+        ):
+            assert field in first
+        assert first["scenario"] == "baseline-race"
+        assert first["cached"] is False and first["faulted"] is False
+
+    def test_multiworker_run_streams_every_trial(self, tmp_path):
+        telemetry = _telemetry(tmp_path)
+        runner = CampaignRunner(workers=2, telemetry=telemetry)
+        result = runner.run(CampaignSpec("baseline-race", seeds=range(10, 18)))
+        telemetry.close()
+        records = read_telemetry(telemetry.run_dir)
+        assert len(records) == result.trials == 8
+        assert sorted(r["seed"] for r in records) == list(range(10, 18))
+        assert sum(1 for r in records if r["success"]) == result.successes
+
+    def test_cache_hits_are_recorded_too(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = CampaignSpec("extraction", seeds=range(3))
+        CampaignRunner(workers=1, cache=cache).run(spec)
+
+        telemetry = _telemetry(tmp_path)
+        CampaignRunner(workers=1, cache=cache, telemetry=telemetry).run(spec)
+        telemetry.close()
+        records = read_telemetry(telemetry.run_dir)
+        assert len(records) == 3
+        assert all(record["cached"] for record in records)
+
+    def test_failed_trials_still_produce_records(
+        self, tmp_path, scratch_scenario
+    ):
+        scratch_scenario(_BoomScenario)
+        telemetry = _telemetry(tmp_path)
+        runner = CampaignRunner(
+            workers=1, max_attempts=2, telemetry=telemetry
+        )
+        result = runner.run(
+            CampaignSpec("test-telemetry-boom", seeds=range(4))
+        )
+        telemetry.close()
+        records = read_telemetry(telemetry.run_dir)
+        assert len(records) == result.trials == 4
+        assert all(record["error"] for record in records)
+        assert all(record["attempts"] == 2 for record in records)
+
+    def test_faulted_flag_follows_the_plan(self, tmp_path):
+        with open("examples/plans/lossy.json", encoding="utf-8") as handle:
+            plan = json.load(handle)
+        telemetry = _telemetry(tmp_path)
+        CampaignRunner(workers=1, telemetry=telemetry).run(
+            CampaignSpec("baseline-race", seeds=range(2), fault_plan=plan)
+        )
+        telemetry.close()
+        records = read_telemetry(telemetry.run_dir)
+        assert len(records) == 2
+        assert all(record["faulted"] for record in records)
+
+    def test_detection_scores_ride_along(self, tmp_path):
+        telemetry = _telemetry(tmp_path)
+        CampaignRunner(workers=1, telemetry=telemetry).run(
+            CampaignSpec(
+                "detection-attack",
+                seeds=[1],
+                params={"attack": "page-blocking"},
+            )
+        )
+        telemetry.close()
+        (record,) = read_telemetry(telemetry.run_dir)
+        assert "scores" in record and record["scores"]
+
+
+class TestProgressRendering:
+    def test_live_mode_uses_carriage_returns(self, tmp_path):
+        stream = io.StringIO()
+        telemetry = CampaignTelemetry(
+            run_id="live", root=tmp_path / "runs", stream=stream, mode="live"
+        )
+        CampaignRunner(workers=1, telemetry=telemetry).run(
+            CampaignSpec("baseline-race", seeds=range(3))
+        )
+        telemetry.close()
+        text = stream.getvalue()
+        assert "\r" in text
+        assert "baseline-race" in text
+
+    def test_plain_mode_has_no_carriage_returns(self, tmp_path):
+        stream = io.StringIO()
+        telemetry = CampaignTelemetry(
+            run_id="plain",
+            root=tmp_path / "runs",
+            stream=stream,
+            mode="plain",
+            plain_interval_s=0.0,
+        )
+        CampaignRunner(workers=1, telemetry=telemetry).run(
+            CampaignSpec("baseline-race", seeds=range(3))
+        )
+        telemetry.close()
+        text = stream.getvalue()
+        assert "\r" not in text
+        # start line + one per trial + final summary line
+        assert len(text.splitlines()) == 5
+
+    def test_auto_mode_picks_plain_for_non_tty(self, tmp_path):
+        telemetry = CampaignTelemetry(
+            run_id="auto",
+            root=tmp_path / "runs",
+            stream=io.StringIO(),  # no isatty -> False
+            mode="auto",
+        )
+        assert telemetry.mode == "plain"
+
+    def test_quiet_mode_emits_only_start_and_end(self, tmp_path):
+        stream = io.StringIO()
+        telemetry = CampaignTelemetry(
+            run_id="quiet", root=tmp_path / "runs", stream=stream, mode="quiet"
+        )
+        CampaignRunner(workers=1, telemetry=telemetry).run(
+            CampaignSpec("baseline-race", seeds=range(6))
+        )
+        telemetry.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "0/6 trials started" in lines[0]
+        assert "6/6 trials" in lines[1]
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="telemetry mode"):
+            CampaignTelemetry(root=tmp_path, mode="loud")
+
+
+class TestGaugesAndSummary:
+    def test_throughput_and_eta_gauges_update(self, tmp_path):
+        telemetry = _telemetry(tmp_path)
+        CampaignRunner(workers=1, telemetry=telemetry).run(
+            CampaignSpec("baseline-race", seeds=range(4))
+        )
+        snapshot = telemetry.metrics.snapshot()
+        telemetry.close()
+        assert snapshot["counters"]["campaign.trials"] == 4
+        assert snapshot["gauges"]["campaign.throughput_per_s"] > 0
+        assert snapshot["gauges"]["campaign.eta_s"] == 0.0
+
+    def test_run_summary_written_on_close(self, tmp_path):
+        telemetry = _telemetry(tmp_path)
+        runner = CampaignRunner(workers=1, telemetry=telemetry)
+        runner.run(CampaignSpec("baseline-race", seeds=range(2)))
+        runner.run(CampaignSpec("extraction", seeds=range(2)))
+        summary_path = telemetry.close()
+        summary = json.loads(summary_path.read_text())
+        assert summary["run_id"] == "test-run"
+        assert summary["trials"] == 4
+        assert [c["scenario"] for c in summary["campaigns"]] == [
+            "baseline-race", "extraction",
+        ]
+        assert all(c["done"] == 2 for c in summary["campaigns"])
+
+    def test_telemetry_does_not_perturb_results(self, tmp_path):
+        """Same campaign with and without telemetry: identical results
+        (the stream is an observer, not a participant)."""
+        spec = CampaignSpec("baseline-race", seeds=range(20, 26))
+        bare = CampaignRunner(workers=1).run(spec)
+        telemetry = _telemetry(tmp_path)
+        observed = CampaignRunner(workers=2, telemetry=telemetry).run(spec)
+        telemetry.close()
+
+        def verdicts(campaign):
+            return [
+                (r.seed, r.success, r.outcome, r.sim_time_s, r.detail)
+                for r in campaign.results
+            ]
+
+        assert verdicts(bare) == verdicts(observed)

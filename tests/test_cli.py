@@ -306,3 +306,175 @@ class TestDemos:
         out = capsys.readouterr().out
         assert "Alice Example" in out
         assert "silent (no popup on victim): True" in out
+
+
+class TestCampaignTelemetryCli:
+    def test_run_streams_telemetry_by_default(self, capsys):
+        import json
+        import os
+        from pathlib import Path
+
+        assert main(
+            [
+                "campaign", "run", "extraction", "--trials", "2",
+                "--no-cache", "--quiet", "--run-id", "smoke",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        run_dir = Path(os.environ["BLAP_RUNS_DIR"]) / "smoke"
+        assert f"telemetry: {run_dir / 'telemetry.jsonl'}" in err
+        lines = (run_dir / "telemetry.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["scenario"] == "extraction"
+                   for line in lines)
+        assert (run_dir / "run.json").exists()
+
+    def test_quiet_mode_emits_start_and_end_only(self, capsys):
+        assert main(
+            [
+                "campaign", "run", "extraction", "--trials", "3",
+                "--no-cache", "--quiet", "--run-id", "q",
+            ]
+        ) == 0
+        err_lines = capsys.readouterr().err.splitlines()
+        # start, final summary, telemetry path pointer
+        assert len(err_lines) == 3
+        assert "0/3 trials started" in err_lines[0]
+        assert "3/3 trials" in err_lines[1]
+
+    def test_no_telemetry_opt_out(self, capsys):
+        import os
+        from pathlib import Path
+
+        assert main(
+            [
+                "campaign", "run", "extraction", "--trials", "1",
+                "--no-cache", "--no-telemetry",
+            ]
+        ) == 0
+        assert "telemetry:" not in capsys.readouterr().err
+        assert not Path(os.environ["BLAP_RUNS_DIR"]).exists()
+
+
+class TestReportCli:
+    def test_report_is_deterministic_from_cache(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        argv = [
+            "report", "--trials", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "-o", str(out_path),
+        ]
+        assert main(argv) == 0
+        first = out_path.read_bytes()
+        assert main(argv) == 0
+        assert out_path.read_bytes() == first
+        text = first.decode()
+        assert "# BLAP campaign run report" in text
+        assert "## Table I" in text and "## Table II" in text
+        assert f"wrote report to {out_path}" in capsys.readouterr().out
+
+    def test_report_html_to_stdout(self, tmp_path, capsys):
+        assert main(
+            [
+                "report", "--trials", "1", "--html",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<!doctype html>")
+        assert "<h2>Table II" in out
+
+
+class TestBenchCli:
+    @staticmethod
+    def _write(directory, name, data):
+        import json
+
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{name}.json").write_text(json.dumps(data))
+
+    def test_compare_flags_injected_regression(self, tmp_path, capsys):
+        self._write(tmp_path / "cur", "sim", {"loop": {"wall_s": 1.5}})
+        self._write(tmp_path / "base", "sim", {"loop": {"wall_s": 1.0}})
+        code = main(
+            [
+                "bench", "compare", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION sim/loop/wall_s: 1 -> 1.5 (+50%" in out
+
+    def test_compare_clean_baseline_exits_zero(self, tmp_path, capsys):
+        self._write(tmp_path / "cur", "sim", {"loop": {"wall_s": 1.1}})
+        self._write(tmp_path / "base", "sim", {"loop": {"wall_s": 1.0}})
+        assert main(
+            [
+                "bench", "compare", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_threshold_flag(self, tmp_path):
+        self._write(tmp_path / "cur", "sim", {"loop": {"wall_s": 1.1}})
+        self._write(tmp_path / "base", "sim", {"loop": {"wall_s": 1.0}})
+        assert main(
+            [
+                "bench", "compare", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+                "--threshold", "0.05",
+            ]
+        ) == 1
+
+    def test_compare_without_current_files_exits_two(self, tmp_path, capsys):
+        (tmp_path / "cur").mkdir()
+        assert main(
+            [
+                "bench", "compare", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        ) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_compare_without_baseline_overlap_exits_zero(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path / "cur", "sim", {"loop": {"wall_s": 9.0}})
+        assert main(
+            [
+                "bench", "compare", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        ) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        import json
+
+        self._write(tmp_path / "cur", "sim", {"loop": {"wall_s": 2.0}})
+        self._write(tmp_path / "base", "sim", {"loop": {"wall_s": 1.0}})
+        assert main(
+            [
+                "bench", "compare", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"), "--json",
+            ]
+        ) == 1
+        (reg,) = json.loads(capsys.readouterr().out)
+        assert reg["key"] == "wall_s" and reg["direction"] == "lower"
+
+    def test_history_prints_recorded_entries(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.core.bench import record_bench
+
+        monkeypatch.setenv("BLAP_BENCH_DIR", str(tmp_path))
+        record_bench("sim", "loop", {"wall_s": 0.25, "events": 9})
+        assert main(["bench", "history", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim/loop" in out and "wall_s=0.25" in out
+
+    def test_history_empty_exits_nonzero(self, tmp_path, capsys):
+        assert main(["bench", "history", "--dir", str(tmp_path)]) == 1
+        assert "no bench history" in capsys.readouterr().err

@@ -1,0 +1,201 @@
+"""Bench sink: atomic merges, concurrent writers, history, regressions."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.bench import (
+    BenchRegression,
+    compare_bench,
+    compare_bench_dirs,
+    iter_bench_files,
+    key_direction,
+    load_bench,
+    read_history,
+    record_bench,
+)
+
+
+@pytest.fixture
+def bench_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "bench"
+    monkeypatch.setenv("BLAP_BENCH_DIR", str(directory))
+    return directory
+
+
+class TestRecordBench:
+    def test_sections_merge_without_clobbering(self, bench_dir):
+        record_bench("demo", "alpha", {"wall_s": 1.0})
+        path = record_bench("demo", "beta", {"wall_s": 2.0})
+        data = load_bench(path)
+        assert data == {"alpha": {"wall_s": 1.0}, "beta": {"wall_s": 2.0}}
+
+    def test_rerecording_a_section_replaces_it(self, bench_dir):
+        record_bench("demo", "alpha", {"wall_s": 1.0, "old_key": 5})
+        path = record_bench("demo", "alpha", {"wall_s": 0.9})
+        assert load_bench(path) == {"alpha": {"wall_s": 0.9}}
+
+    def test_corrupt_file_is_replaced_not_fatal(self, bench_dir):
+        bench_dir.mkdir(parents=True)
+        (bench_dir / "BENCH_demo.json").write_text("{not json")
+        path = record_bench("demo", "alpha", {"wall_s": 1.0})
+        assert load_bench(path) == {"alpha": {"wall_s": 1.0}}
+
+    def test_no_temp_files_left_behind(self, bench_dir):
+        record_bench("demo", "alpha", {"wall_s": 1.0})
+        leftovers = [p.name for p in bench_dir.iterdir()]
+        assert not [n for n in leftovers if ".tmp" in n]
+
+    def test_concurrent_threads_drop_no_sections(self, bench_dir):
+        """The read-modify-write race record_bench used to have: two
+        writers load the same snapshot and the slower one clobbers the
+        faster one's section.  Locked + atomic writes keep every
+        section."""
+        sections = [f"writer_{i}" for i in range(32)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(
+                lambda s: record_bench("race", s, {"wall_s": 1.0}),
+                sections,
+            ))
+        data = load_bench(bench_dir / "BENCH_race.json")
+        assert sorted(data) == sorted(sections)
+        history = read_history(bench_dir, bench="race")
+        assert len(history) == len(sections)
+
+    def test_concurrent_processes_drop_no_sections(self, bench_dir):
+        with multiprocessing.Pool(4) as pool:
+            pool.map(_record_one_section, range(12))
+        data = load_bench(bench_dir / "BENCH_procrace.json")
+        assert sorted(data) == [f"proc_{i:02d}" for i in range(12)]
+
+    def test_iter_bench_files_sorted(self, bench_dir):
+        record_bench("zeta", "s", {"wall_s": 1.0})
+        record_bench("alpha", "s", {"wall_s": 1.0})
+        names = [p.name for p in iter_bench_files(bench_dir)]
+        assert names == ["BENCH_alpha.json", "BENCH_zeta.json"]
+
+
+def _record_one_section(index):
+    # runs in a worker process; BLAP_BENCH_DIR is inherited via fork
+    record_bench("procrace", f"proc_{index:02d}", {"wall_s": 1.0})
+
+
+class TestHistory:
+    def test_every_record_appends_one_entry(self, bench_dir):
+        record_bench("demo", "alpha", {"wall_s": 1.0})
+        record_bench("demo", "alpha", {"wall_s": 0.9})
+        record_bench("other", "beta", {"speedup": 3.0})
+        entries = read_history(bench_dir)
+        assert len(entries) == 3
+        assert [e["values"] for e in read_history(bench_dir, bench="demo")] \
+            == [{"wall_s": 1.0}, {"wall_s": 0.9}]
+        entry = entries[0]
+        assert entry["bench"] == "demo" and entry["section"] == "alpha"
+        assert entry["ts"].endswith("Z")
+
+    def test_run_id_tag_from_environment(self, bench_dir, monkeypatch):
+        monkeypatch.setenv("BLAP_RUN_ID", "ci-123")
+        record_bench("demo", "alpha", {"wall_s": 1.0})
+        (entry,) = read_history(bench_dir)
+        assert entry["run"] == "ci-123"
+
+    def test_torn_tail_line_is_skipped(self, bench_dir):
+        record_bench("demo", "alpha", {"wall_s": 1.0})
+        with open(bench_dir / "BENCH_HISTORY.jsonl", "a") as handle:
+            handle.write('{"bench": "demo", "trunc')
+        assert len(read_history(bench_dir)) == 1
+
+    def test_missing_history_reads_empty(self, tmp_path):
+        assert read_history(tmp_path) == []
+
+
+class TestKeyDirection:
+    @pytest.mark.parametrize("key", [
+        "wall_s", "serial_s", "p99_ms", "latency", "mean_latency_s",
+        "overhead", "hot_loop_overhead",
+    ])
+    def test_lower_is_better(self, key):
+        assert key_direction(key) == "lower"
+
+    @pytest.mark.parametrize("key", [
+        "events_per_s", "trials_per_second", "rate_hz", "speedup",
+        "throughput",
+    ])
+    def test_higher_is_better(self, key):
+        assert key_direction(key) == "higher"
+
+    @pytest.mark.parametrize("key", ["events", "trials", "workers", "count"])
+    def test_counts_are_not_gated(self, key):
+        assert key_direction(key) is None
+
+
+class TestCompareBench:
+    def test_slower_wall_time_flags(self):
+        regs = compare_bench(
+            {"loop": {"wall_s": 2.0}}, {"loop": {"wall_s": 1.0}},
+            bench="sim",
+        )
+        (reg,) = regs
+        assert isinstance(reg, BenchRegression)
+        assert reg.section == "loop" and reg.key == "wall_s"
+        assert reg.change == pytest.approx(1.0)
+        assert "sim/loop/wall_s" in str(reg)
+
+    def test_lower_throughput_flags(self):
+        (reg,) = compare_bench(
+            {"loop": {"events_per_s": 50.0}},
+            {"loop": {"events_per_s": 100.0}},
+        )
+        assert reg.direction == "higher"
+        assert reg.change == pytest.approx(-0.5)
+
+    def test_within_threshold_passes(self):
+        assert compare_bench(
+            {"loop": {"wall_s": 1.2, "events_per_s": 90.0}},
+            {"loop": {"wall_s": 1.0, "events_per_s": 100.0}},
+        ) == []
+
+    def test_improvements_never_flag(self):
+        assert compare_bench(
+            {"loop": {"wall_s": 0.1, "events_per_s": 500.0}},
+            {"loop": {"wall_s": 1.0, "events_per_s": 100.0}},
+        ) == []
+
+    def test_threshold_is_configurable(self):
+        current = {"loop": {"wall_s": 1.2}}
+        baseline = {"loop": {"wall_s": 1.0}}
+        assert compare_bench(current, baseline, threshold=0.25) == []
+        assert len(compare_bench(current, baseline, threshold=0.1)) == 1
+
+    def test_new_and_missing_keys_are_ignored(self):
+        assert compare_bench(
+            {"loop": {"new_s": 99.0}, "fresh": {"wall_s": 99.0}},
+            {"loop": {"old_s": 1.0}},
+        ) == []
+
+    def test_counts_and_zero_baselines_are_ignored(self):
+        assert compare_bench(
+            {"loop": {"events": 1, "wall_s": 5.0}},
+            {"loop": {"events": 1000, "wall_s": 0}},
+        ) == []
+
+    def test_compare_dirs_skips_missing_baselines(self, tmp_path):
+        current = tmp_path / "cur"
+        baseline = tmp_path / "base"
+        for d in (current, baseline):
+            d.mkdir()
+        (current / "BENCH_a.json").write_text(
+            json.dumps({"loop": {"wall_s": 2.0}})
+        )
+        (current / "BENCH_new.json").write_text(
+            json.dumps({"loop": {"wall_s": 9.0}})
+        )
+        (baseline / "BENCH_a.json").write_text(
+            json.dumps({"loop": {"wall_s": 1.0}})
+        )
+        regs = compare_bench_dirs(current, baseline)
+        assert [r.bench for r in regs] == ["a"]

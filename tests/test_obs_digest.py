@@ -1,0 +1,152 @@
+"""Unit tests for the mergeable quantile digest."""
+
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.obs.digest import DEFAULT_RESOLUTION, QuantileDigest
+
+
+class TestObserve:
+    def test_counts_and_extremes(self):
+        digest = QuantileDigest()
+        for value in (0.001, 0.5, 30.0):
+            digest.observe(value)
+        assert digest.count == 3
+        assert digest.min == 0.001
+        assert digest.max == 30.0
+
+    def test_zero_and_negative_land_in_low_bucket(self):
+        digest = QuantileDigest()
+        digest.observe(0.0)
+        digest.observe(-1.5)
+        digest.observe(2.0)
+        assert digest.low == 2
+        assert digest.count == 3
+        assert digest.min == -1.5
+
+    def test_memory_stays_bounded(self):
+        """10k samples across 9 decades → a few hundred buckets, not 10k."""
+        digest = QuantileDigest()
+        rng = random.Random(7)
+        for _ in range(10_000):
+            digest.observe(10 ** rng.uniform(-7, 2))
+        assert digest.count == 10_000
+        # ~30 octaves * 32 sub-buckets is the hard ceiling
+        assert len(digest) <= 30 * DEFAULT_RESOLUTION
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(resolution=0)
+
+
+class TestQuantile:
+    def test_relative_error_within_half_bucket(self):
+        digest = QuantileDigest()
+        rng = random.Random(11)
+        samples = sorted(rng.uniform(0.0001, 10.0) for _ in range(5_000))
+        for value in samples:
+            digest.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = samples[int(q * (len(samples) - 1))]
+            assert digest.quantile(q) == pytest.approx(
+                exact, rel=1.5 / DEFAULT_RESOLUTION
+            )
+
+    def test_extremes_are_exact(self):
+        digest = QuantileDigest()
+        for value in (0.003, 0.7, 123.456):
+            digest.observe(value)
+        assert digest.quantile(0.0) == 0.003
+        assert digest.quantile(1.0) == 123.456
+
+    def test_empty_returns_zero(self):
+        assert QuantileDigest().quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileDigest().quantile(1.01)
+
+    def test_low_bucket_resolves_to_min(self):
+        digest = QuantileDigest()
+        for _ in range(9):
+            digest.observe(0.0)
+        digest.observe(5.0)
+        assert digest.quantile(0.5) == 0.0
+        assert digest.quantile(1.0) == 5.0
+
+    def test_single_observation(self):
+        digest = QuantileDigest()
+        digest.observe(0.042)
+        for q in (0.0, 0.5, 1.0):
+            assert digest.quantile(q) == 0.042
+
+
+class TestMerge:
+    def _shard(self, seed: int) -> QuantileDigest:
+        digest = QuantileDigest()
+        rng = random.Random(seed)
+        for _ in range(200):
+            digest.observe(10 ** rng.uniform(-6, 1))
+        return digest
+
+    def test_merge_equals_single_stream(self):
+        """A merged pair answers exactly like one digest that saw both
+        streams — fixed centroids make the merge loss-free."""
+        both = QuantileDigest()
+        merged = QuantileDigest()
+        for seed in (1, 2):
+            shard = QuantileDigest()
+            rng = random.Random(seed)
+            for _ in range(300):
+                value = 10 ** rng.uniform(-6, 1)
+                both.observe(value)
+                shard.observe(value)
+            merged.merge(shard)
+        assert merged.to_jsonable() == both.to_jsonable()
+
+    def test_permutation_independent(self):
+        shards = [self._shard(seed) for seed in range(4)]
+        rendered = {
+            json.dumps(
+                QuantileDigest()
+                .merge(permutation[0])
+                .merge(permutation[1])
+                .merge(permutation[2])
+                .merge(permutation[3])
+                .to_jsonable(),
+                sort_keys=True,
+            )
+            for permutation in itertools.permutations(shards)
+        }
+        assert len(rendered) == 1
+
+    def test_resolution_mismatch_raises(self):
+        with pytest.raises(ValueError, match="resolution"):
+            QuantileDigest(resolution=32).merge(QuantileDigest(resolution=16))
+
+    def test_merge_returns_self_for_chaining(self):
+        digest = QuantileDigest()
+        assert digest.merge(self._shard(3)) is digest
+
+
+class TestRoundTrip:
+    def test_jsonable_round_trip_is_lossless(self):
+        digest = QuantileDigest()
+        rng = random.Random(5)
+        for _ in range(500):
+            digest.observe(rng.uniform(-0.1, 3.0))
+        wire = json.loads(json.dumps(digest.to_jsonable()))
+        back = QuantileDigest.from_jsonable(wire)
+        assert back.to_jsonable() == digest.to_jsonable()
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert back.quantile(q) == digest.quantile(q)
+
+    def test_empty_round_trip(self):
+        wire = QuantileDigest().to_jsonable()
+        assert wire["min"] is None and wire["max"] is None
+        back = QuantileDigest.from_jsonable(wire)
+        assert back.count == 0
+        assert back.quantile(0.5) == 0.0

@@ -152,3 +152,65 @@ class TestSimulatedTime:
         sim.run()
         assert span.start == 0.0
         assert span.end == 4.0
+
+
+class TestSpanObserver:
+    """The observer hook feeds ``span.<name>_s`` histograms — the run
+    report's "slowest spans" table reads the merged result."""
+
+    def _clock(self):
+        state = {"now": 0.0}
+
+        def advance(dt):
+            state["now"] += dt
+
+        return (lambda: state["now"]), advance
+
+    def test_observer_fires_on_scoped_close(self):
+        closed = []
+        clock, advance = self._clock()
+        tracker = SpanTracker(clock, observer=closed.append)
+        with tracker.span("pairing"):
+            advance(2.5)
+            assert closed == []  # only *closed* spans are observed
+        (span,) = closed
+        assert span.name == "pairing"
+        assert span.end - span.start == 2.5
+
+    def test_observer_fires_once_on_detached_finish(self):
+        closed = []
+        clock, advance = self._clock()
+        tracker = SpanTracker(clock, observer=closed.append)
+        span = tracker.begin("page")
+        advance(1.0)
+        tracker.finish(span)
+        tracker.finish(span)  # idempotent: no double observe
+        assert len(closed) == 1
+
+    def test_observability_records_span_duration_histograms(self):
+        from repro.obs import Observability
+        from repro.obs.metrics import MetricsRegistry
+
+        clock, advance = self._clock()
+        obs = Observability(clock=clock, registry=MetricsRegistry())
+        for dt in (0.5, 1.5):
+            with obs.span("pairing"):
+                advance(dt)
+        with obs.span("inquiry"):
+            advance(3.0)
+        snap = obs.metrics.snapshot()["histograms"]
+        assert snap["span.pairing_s"]["count"] == 2
+        assert snap["span.pairing_s"]["sum"] == pytest.approx(2.0)
+        assert snap["span.inquiry_s"]["count"] == 1
+        assert snap["span.inquiry_s"]["sum"] == pytest.approx(3.0)
+
+    def test_disabled_registry_skips_the_observer_entirely(self):
+        from repro.obs import Observability
+        from repro.obs.metrics import MetricsRegistry
+
+        clock, advance = self._clock()
+        obs = Observability(clock=clock, registry=MetricsRegistry(enabled=False))
+        assert obs.spans.observer is None
+        with obs.span("pairing"):
+            advance(1.0)
+        assert obs.metrics.snapshot()["histograms"] == {}
