@@ -28,27 +28,17 @@ artifact — the deterministic results live in the campaign cache.
 from __future__ import annotations
 
 import json
-import os
 import sys
 import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, TextIO
 
+from repro.core.runs import new_run_id, runs_root  # noqa: F401 (re-export)
 from repro.obs.metrics import MetricsRegistry
 
 #: telemetry.jsonl schema version (bump on incompatible record changes)
 TELEMETRY_FORMAT = 1
-
-
-def runs_root() -> Path:
-    """Where run directories land: ``$BLAP_RUNS_DIR`` or ``runs/``."""
-    return Path(os.environ.get("BLAP_RUNS_DIR") or "runs")
-
-
-def new_run_id() -> str:
-    """Timestamped id, pid-suffixed so parallel launches never collide."""
-    return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid():05d}"
 
 
 def trial_record(
@@ -122,6 +112,7 @@ class CampaignTelemetry:
         mode: str = "auto",
         plain_interval_s: float = 5.0,
         metrics: Optional[MetricsRegistry] = None,
+        sink: Optional[Any] = None,
     ) -> None:
         if mode not in ("auto", "live", "plain", "quiet", "off"):
             raise ValueError(f"unknown telemetry mode {mode!r}")
@@ -140,6 +131,10 @@ class CampaignTelemetry:
         self._g_eta = self.metrics.gauge("campaign.eta_s")
         self._c_trials = self.metrics.counter("campaign.trials")
         self._c_errors = self.metrics.counter("campaign.errors")
+        #: optional exporter hook (e.g. repro.store.StoreTelemetrySink):
+        #: ``record(dict)`` per trial, ``close(summary)`` at the end —
+        #: how telemetry streams into the run store next to the JSONL.
+        self._sink = sink
         self._lock = threading.Lock()
         self._handle = open(self.path, "a", encoding="utf-8")
         self._campaigns: List[Dict[str, Any]] = []
@@ -176,6 +171,8 @@ class CampaignTelemetry:
         with self._lock:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")
             self._handle.flush()
+            if self._sink is not None:
+                self._sink.record(record)
             self._c_trials.inc()
             if record.get("error"):
                 self._c_errors.inc()
@@ -230,6 +227,8 @@ class CampaignTelemetry:
             with open(summary_path, "w", encoding="utf-8") as handle:
                 json.dump(summary, handle, indent=1, sort_keys=True)
                 handle.write("\n")
+            if self._sink is not None:
+                self._sink.close(summary)
             return summary_path
 
     def __enter__(self) -> "CampaignTelemetry":

@@ -27,9 +27,19 @@ Android bug report) and on raw USB analyzer streams:
 * ``blap detect {list,scan,demo,roc}`` — the streaming detection
   subsystem: replay captures through the detectors, stage monitored
   attacks, and run ROC campaigns (TPR/FPR/latency threshold sweeps).
+* ``blap store {ingest,list}`` — the indexed run store: backfill
+  ``runs/<run-id>/`` JSONL artifacts into one queryable SQLite
+  database (live runs stream in via ``--store`` on ``campaign run``
+  and ``timeline``).
+* ``blap query {runs,events,alerts,telemetry}`` — typed filters
+  (time-range, device/source, span type, detector, seed) with
+  pagination and aggregate counts over the store.
+* ``blap serve`` — a dependency-free HTTP JSON API and live HTML view
+  over the store (``/api/runs``, ``/api/runs/<id>/events``, ...).
 * ``blap report`` — render the Markdown/HTML run report (Table I/II
   vs. the paper, Wilson intervals, digest quantiles, slowest spans)
-  from cached campaign results — no re-simulation on a warm cache.
+  from cached campaign results — no re-simulation on a warm cache;
+  run telemetry reads through the store.
 * ``blap bench {compare,history}`` — the perf trajectory: diff the
   current ``BENCH_*.json`` numbers against a baseline directory
   (nonzero exit on regression) and query ``BENCH_HISTORY.jsonl``.
@@ -217,8 +227,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.obs.timeline import (
         export_chrome_trace,
-        export_jsonl,
         render_timeline_table,
+        write_jsonl,
     )
 
     world, _ = _run_demo_world(
@@ -231,10 +241,33 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     )
     if args.limit is not None:
         events = events[: args.limit]
+    if args.store is not None:
+        from repro.store import RunStore, store_events
+
+        with RunStore(args.store or None) as store:
+            counts = store_events(
+                store,
+                args.run_id or f"timeline-{args.scenario}-{args.seed}",
+                events,
+                scenario=args.scenario,
+                seed=args.seed,
+            )
+        print(
+            f"stored {counts['events']} events "
+            f"({counts['alerts']} alerts) in {store.path}",
+            file=sys.stderr,
+        )
+    if args.format == "jsonl":
+        # Streamed straight to the sink — no whole-timeline string.
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                count = write_jsonl(events, handle)
+            print(f"wrote {count} events to {args.output}")
+        else:
+            write_jsonl(events, sys.stdout)
+        return 0
     if args.format == "table":
         text = render_timeline_table(events)
-    elif args.format == "jsonl":
-        text = export_jsonl(events)
     else:  # chrome
         text = json.dumps(export_chrome_trace(events), indent=1)
     if args.output:
@@ -302,13 +335,22 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         fault_plan=_load_fault_plan(args.fault_plan),
     )
     telemetry = None
+    store = None
     if not args.no_telemetry:
+        sink = None
+        if args.store is not None:
+            from repro.campaign.telemetry import new_run_id
+            from repro.store import RunStore, StoreTelemetrySink
+
+            store = RunStore(args.store or None)
+            sink = StoreTelemetrySink(store, args.run_id or new_run_id())
         # Progress goes to stderr (``--json`` keeps stdout clean); the
         # live carriage-return line degrades to periodic plain lines on
         # non-TTY streams, or to start/end lines only under --quiet.
         telemetry = CampaignTelemetry(
-            run_id=args.run_id,
+            run_id=sink.run_id if sink is not None else args.run_id,
             mode="quiet" if args.quiet else "auto",
+            sink=sink,
         )
     try:
         result = _make_runner(args, telemetry=telemetry).run(spec)
@@ -316,6 +358,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         if telemetry is not None:
             telemetry.close()
             print(f"telemetry: {telemetry.path}", file=sys.stderr)
+        if store is not None:
+            print(f"store: {store.path}", file=sys.stderr)
+            store.close()
     if args.json:
         print(
             json.dumps(
@@ -631,6 +676,201 @@ def _cmd_detect_roc(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
+# ------------------------------------------------------------------- store
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.runs import discover_run_dirs
+    from repro.store import RunStore, ingest_run_dir
+
+    run_dirs = [Path(d) for d in args.run_dir] or discover_run_dirs()
+    if not run_dirs:
+        print("blap: no run directories to ingest", file=sys.stderr)
+        return 1
+    with RunStore(args.db or None) as store:
+        for run_dir in run_dirs:
+            counts = ingest_run_dir(store, run_dir)
+            print(
+                f"{run_dir.name}: {counts['telemetry']} telemetry, "
+                f"{counts['events']} events, {counts['alerts']} alerts"
+            )
+        print(f"store: {store.path}")
+    return 0
+
+
+def _cmd_store_list(args: argparse.Namespace) -> int:
+    from repro.store import EventQuery, RunStore
+
+    with RunStore(args.db or None) as store:
+        infos = store.runs()
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        dict(
+                            info.to_dict(),
+                            telemetry=store.telemetry_summary(info.run_id),
+                            events=store.count_events(
+                                EventQuery(run_id=info.run_id)
+                            ),
+                        )
+                        for info in infos
+                    ],
+                    indent=1,
+                )
+            )
+            return 0
+        if not infos:
+            print(f"no runs in {store.path}")
+            return 0
+        for info in infos:
+            rollup = store.telemetry_summary(info.run_id)
+            events = store.count_events(EventQuery(run_id=info.run_id))
+            print(
+                f"{info.run_id:<28} {rollup['trials']:>6} trials "
+                f"{rollup['successes']:>6} ok {rollup['errors']:>4} err "
+                f"{events:>8} events"
+            )
+    return 0
+
+
+def _cmd_query_events(args: argparse.Namespace) -> int:
+    from repro.store import EventQuery, RunStore
+
+    query = EventQuery(
+        run_id=args.run,
+        since=args.since,
+        until=args.until,
+        sources=tuple(args.source or ()),
+        categories=tuple(args.category or ()),
+        kind=args.kind,
+        span_type=args.span_type,
+        scenario=args.scenario,
+        seed=args.seed,
+        limit=args.limit,
+        offset=args.offset,
+    )
+    with RunStore(args.db or None) as store:
+        if args.count or args.group_by:
+            result = store.count_events(query, group_by=args.group_by)
+            if args.json:
+                print(json.dumps(result, indent=1))
+            elif isinstance(result, dict):
+                for key, value in result.items():
+                    print(f"{key:<20} {value}")
+            else:
+                print(result)
+            return 0
+        events = store.query_events(query)
+        if args.json:
+            print(json.dumps([e.to_dict() for e in events], indent=1))
+            return 0
+        for event in events:
+            duration = (
+                f"  ({event.duration * 1000:.3f} ms)"
+                if event.duration is not None
+                else ""
+            )
+            print(
+                f"{event.time:>12.6f} {event.source:<8} "
+                f"{event.category:<14} {event.message}{duration}"
+            )
+    return 0
+
+
+def _cmd_query_alerts(args: argparse.Namespace) -> int:
+    from repro.store import AlertQuery, RunStore
+
+    query = AlertQuery(
+        run_id=args.run,
+        since=args.since,
+        until=args.until,
+        detectors=tuple(args.detector or ()),
+        min_score=args.min_score,
+        peer=args.peer,
+        scenario=args.scenario,
+        seed=args.seed,
+        limit=args.limit,
+        offset=args.offset,
+    )
+    with RunStore(args.db or None) as store:
+        alerts = store.query_alerts(query)
+    if args.json:
+        print(json.dumps(alerts, indent=1))
+        return 0
+    for alert in alerts:
+        score = (
+            f" score={alert['score']:.2f}"
+            if alert.get("score") is not None
+            else ""
+        )
+        peer = f" peer={alert['peer']}" if alert.get("peer") else ""
+        print(
+            f"{alert['time']:>12.6f} [{alert['detector']}]"
+            f"{score}{peer} {alert['message']}"
+        )
+    return 0
+
+
+_YESNO = {"yes": True, "no": False}
+
+
+def _cmd_query_telemetry(args: argparse.Namespace) -> int:
+    from repro.store import RunStore, TelemetryQuery
+
+    query = TelemetryQuery(
+        run_id=args.run,
+        scenario=args.scenario,
+        seed=args.seed,
+        success=_YESNO.get(args.success),
+        cached=_YESNO.get(args.cached),
+        errors_only=args.errors_only,
+        limit=args.limit,
+        offset=args.offset,
+    )
+    with RunStore(args.db or None) as store:
+        records = store.query_telemetry(query)
+    if args.json:
+        print(json.dumps(records, indent=1))
+        return 0
+    for record in records:
+        status = "ok" if record.get("success") else "fail"
+        extras = []
+        if record.get("cached"):
+            extras.append("cached")
+        if record.get("error"):
+            extras.append(f"error={record['error']}")
+        suffix = (" " + " ".join(extras)) if extras else ""
+        print(
+            f"{record.get('scenario')} seed {record.get('seed')}: "
+            f"{status} {record.get('wall_time_s', 0.0):.3f}s{suffix}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.store import RunStore
+    from repro.store.server import serve
+
+    with RunStore(args.db or None) as store:
+
+        def _ready(server) -> None:
+            # Flushed immediately so scripts (CI smoke jobs) can scrape
+            # the bound URL even with --port 0 (ephemeral).
+            print(f"serving {store.path} at {server.url}", flush=True)
+
+        serve(
+            store,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            ready=_ready,
+        )
+    return 0
+
+
 # ------------------------------------------------------------------ report
 
 
@@ -645,6 +885,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         roc_path=args.roc,
         bench_directory=args.bench_dir,
         run_dir=args.run_dir,
+        store_path=args.store_db,
+        store_run_id=args.store_run,
         top_spans=args.top_spans,
         html=args.html,
     )
@@ -843,6 +1085,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="only these categories (repeatable; e.g. phy-page, span)",
     )
+    timeline.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DB",
+        help="also write the events (and any alerts) into the run store "
+        "(bare --store uses $BLAP_STORE_DB or <runs root>/store.db)",
+    )
+    timeline.add_argument(
+        "--run-id",
+        default=None,
+        help="store run id (default: timeline-<scenario>-<seed>)",
+    )
     _add_fault_plan_arg(timeline)
     timeline.set_defaults(func=_cmd_timeline)
 
@@ -878,6 +1134,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-telemetry",
         action="store_true",
         help="skip the runs/<run-id>/telemetry.jsonl stream",
+    )
+    run.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DB",
+        help="stream per-trial telemetry into the run store as trials "
+        "finish (bare --store uses the default database)",
     )
     _add_fault_plan_arg(run)
     _add_campaign_common(run)
@@ -987,7 +1252,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--run-dir", default=None, metavar="runs/ID",
-        help="include a run's telemetry.jsonl summary",
+        help="include a run's telemetry (ingested through the store)",
+    )
+    report.add_argument(
+        "--store-db", default=None, metavar="DB",
+        help="read run telemetry from this store database instead of a "
+        "run directory",
+    )
+    report.add_argument(
+        "--store-run", default=None, metavar="RUN_ID",
+        help="restrict --store-db telemetry to one run id",
     )
     report.add_argument(
         "--top-spans", type=int, default=10,
@@ -1057,6 +1331,145 @@ def build_parser() -> argparse.ArgumentParser:
     fdesc = fsub.add_parser("describe", help="one injection point in full")
     fdesc.add_argument("point", help="point name, e.g. phy.frame_loss")
     fdesc.set_defaults(func=_cmd_faults_describe)
+
+    def _add_db_arg(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--db",
+            default=None,
+            metavar="DB",
+            help="store database "
+            "(default: $BLAP_STORE_DB or <runs root>/store.db)",
+        )
+
+    def _add_page_args(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "--limit", type=int, default=1000,
+            help="page size (-1 for unlimited)",
+        )
+        target.add_argument("--offset", type=int, default=0)
+        target.add_argument(
+            "--json", action="store_true", help="machine output"
+        )
+
+    storep = sub.add_parser(
+        "store", help="the indexed run store (SQLite over runs/)"
+    )
+    ssub = storep.add_subparsers(dest="store_command", required=True)
+
+    singest = ssub.add_parser(
+        "ingest", help="backfill run directories into the store"
+    )
+    singest.add_argument(
+        "run_dir",
+        nargs="*",
+        help="runs/<id> directories (default: every discovered run)",
+    )
+    _add_db_arg(singest)
+    singest.set_defaults(func=_cmd_store_ingest)
+
+    slist = ssub.add_parser("list", help="runs in the store")
+    _add_db_arg(slist)
+    slist.add_argument("--json", action="store_true", help="machine output")
+    slist.set_defaults(func=_cmd_store_list)
+
+    query = sub.add_parser(
+        "query", help="typed queries against the run store"
+    )
+    qsub = query.add_subparsers(dest="query_command", required=True)
+
+    qruns = qsub.add_parser("runs", help="runs with telemetry rollups")
+    _add_db_arg(qruns)
+    qruns.add_argument("--json", action="store_true", help="machine output")
+    qruns.set_defaults(func=_cmd_store_list)
+
+    qevents = qsub.add_parser(
+        "events", help="timeline events (time-range, source, span filters)"
+    )
+    _add_db_arg(qevents)
+    qevents.add_argument("--run", default=None, help="run id")
+    qevents.add_argument(
+        "--since", type=float, default=None, help="t >= SINCE (seconds)"
+    )
+    qevents.add_argument(
+        "--until", type=float, default=None, help="t < UNTIL (seconds)"
+    )
+    qevents.add_argument(
+        "--source", action="append", default=None,
+        help="only these sources (repeatable)",
+    )
+    qevents.add_argument(
+        "--category", action="append", default=None,
+        help="only these categories (repeatable)",
+    )
+    qevents.add_argument(
+        "--kind", default=None, choices=["trace", "span"]
+    )
+    qevents.add_argument(
+        "--span-type", default=None, metavar="NAME",
+        help="span name filter (implies --kind span)",
+    )
+    qevents.add_argument("--scenario", default=None)
+    qevents.add_argument("--seed", type=int, default=None)
+    qevents.add_argument(
+        "--count", action="store_true", help="print the match count only"
+    )
+    qevents.add_argument(
+        "--group-by", default=None,
+        choices=["source", "category", "kind", "scenario"],
+        help="count breakdown instead of rows",
+    )
+    _add_page_args(qevents)
+    qevents.set_defaults(func=_cmd_query_events)
+
+    qalerts = qsub.add_parser("alerts", help="persisted detector alerts")
+    _add_db_arg(qalerts)
+    qalerts.add_argument("--run", default=None, help="run id")
+    qalerts.add_argument("--since", type=float, default=None)
+    qalerts.add_argument("--until", type=float, default=None)
+    qalerts.add_argument(
+        "--detector", action="append", default=None,
+        help="only these detectors (repeatable)",
+    )
+    qalerts.add_argument("--min-score", type=float, default=None)
+    qalerts.add_argument("--peer", default=None, help="peer address")
+    qalerts.add_argument("--scenario", default=None)
+    qalerts.add_argument("--seed", type=int, default=None)
+    _add_page_args(qalerts)
+    qalerts.set_defaults(func=_cmd_query_alerts)
+
+    qtel = qsub.add_parser("telemetry", help="per-trial campaign records")
+    _add_db_arg(qtel)
+    qtel.add_argument("--run", default=None, help="run id")
+    qtel.add_argument("--scenario", default=None)
+    qtel.add_argument("--seed", type=int, default=None)
+    qtel.add_argument(
+        "--success", default=None, choices=["yes", "no"],
+        help="only (un)successful trials",
+    )
+    qtel.add_argument(
+        "--cached", default=None, choices=["yes", "no"],
+        help="only cache hits / misses",
+    )
+    qtel.add_argument(
+        "--errors-only", action="store_true", help="only errored trials"
+    )
+    _add_page_args(qtel)
+    qtel.set_defaults(func=_cmd_query_telemetry)
+
+    serve = sub.add_parser(
+        "serve", help="HTTP JSON API + live HTML view over the store"
+    )
+    _add_db_arg(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 picks an ephemeral port; the bound URL is "
+        "printed either way)",
+    )
+    serve.add_argument(
+        "-v", "--verbose", action="store_true", help="log requests"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

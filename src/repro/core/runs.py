@@ -1,0 +1,76 @@
+"""Run-directory conventions and discovery.
+
+Every diagnostic producer in the repo lands its artifacts under one
+run directory — ``runs/<run-id>/telemetry.jsonl``, ``run.json``,
+exported timeline JSONL files — and every consumer (``blap report``,
+``blap store ingest``, the serve view) needs to find them again.  This
+module is the single home for those conventions:
+
+* :func:`runs_root` — where run directories live
+  (``$BLAP_RUNS_DIR`` or ``runs/``);
+* :func:`new_run_id` — collision-free timestamped run ids;
+* :func:`is_run_dir` / :func:`discover_run_dirs` — recognise and
+  enumerate run directories for backfill ingest.
+
+(Originally private helpers of :mod:`repro.campaign.telemetry`; they
+moved here so the store layer can discover runs without importing the
+campaign engine.)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+#: artifact names that mark a directory as a run directory
+RUN_MARKERS = ("run.json", "telemetry.jsonl")
+
+
+def runs_root() -> Path:
+    """Where run directories land: ``$BLAP_RUNS_DIR`` or ``runs/``."""
+    return Path(os.environ.get("BLAP_RUNS_DIR") or "runs")
+
+
+def new_run_id() -> str:
+    """Timestamped id, pid-suffixed so parallel launches never collide."""
+    return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid():05d}"
+
+
+def is_run_dir(path: Union[str, Path]) -> bool:
+    """True when ``path`` holds at least one known run artifact."""
+    path = Path(path)
+    return path.is_dir() and any(
+        (path / marker).is_file() for marker in RUN_MARKERS
+    )
+
+
+def discover_run_dirs(root: Optional[Union[str, Path]] = None) -> List[Path]:
+    """Every run directory directly under ``root`` (default:
+    :func:`runs_root`), sorted by run id.
+
+    Only one level deep by design — run dirs are flat children of the
+    runs root — and non-directories or stray files are ignored, so a
+    ``runs/`` root polluted with editor droppings still enumerates.
+    """
+    base = Path(root) if root is not None else runs_root()
+    if not base.is_dir():
+        return []
+    return sorted(
+        (child for child in base.iterdir() if is_run_dir(child)),
+        key=lambda p: p.name,
+    )
+
+
+def timeline_files(run_dir: Union[str, Path]) -> List[Path]:
+    """Exported timeline JSONL artifacts inside one run directory.
+
+    ``blap timeline -o runs/<id>/timeline.jsonl`` (or any
+    ``timeline*.jsonl`` spelling) is the archival form; ``blap store
+    ingest`` backfills these into the events table.
+    """
+    run_dir = Path(run_dir)
+    if not run_dir.is_dir():
+        return []
+    return sorted(run_dir.glob("timeline*.jsonl"))

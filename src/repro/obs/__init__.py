@@ -41,9 +41,12 @@ from repro.obs.spans import Span, SpanTracker
 from repro.obs.timeline import (
     Timeline,
     TimelineEvent,
+    event_to_jsonable,
+    events_from_jsonl,
     export_chrome_trace,
     export_jsonl,
     render_timeline_table,
+    write_jsonl,
 )
 from repro.sim.trace import Tracer
 
@@ -58,10 +61,13 @@ __all__ = [
     "SpanTracker",
     "Timeline",
     "TimelineEvent",
+    "event_to_jsonable",
+    "events_from_jsonl",
     "export_chrome_trace",
     "export_jsonl",
     "get_global_registry",
     "render_timeline_table",
+    "write_jsonl",
 ]
 
 

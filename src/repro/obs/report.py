@@ -518,6 +518,39 @@ def render_html(markdown: str, title: str = "BLAP run report") -> str:
 # -------------------------------------------------------------------- glue
 
 
+def telemetry_from_store(
+    run_dir: Optional[Union[str, Path]] = None,
+    store_path: Optional[Union[str, Path]] = None,
+    run_id: Optional[str] = None,
+) -> Optional[Sequence[Mapping[str, Any]]]:
+    """Trial telemetry for the report, read through the run store.
+
+    Two sources, one query path:
+
+    * ``run_dir`` — the directory is ingested into an *in-memory*
+      store and queried back, so even the "just give me a report for
+      this run dir" flow exercises the exact ingest + query code the
+      database-backed flow uses (and stays byte-identical to the old
+      direct-JSONL read, pinned by ``tests/test_store.py``);
+    * ``store_path`` — records come straight from an existing store
+      database, optionally scoped to one ``run_id``.
+    """
+    from repro.store import RunStore, TelemetryQuery, ingest_run_dir
+
+    if store_path is not None:
+        with RunStore(store_path) as store:
+            return store.query_telemetry(
+                TelemetryQuery(run_id=run_id, limit=-1)
+            )
+    if run_dir is not None:
+        with RunStore(":memory:") as store:
+            ingest_run_dir(store, run_dir)
+            return store.query_telemetry(
+                TelemetryQuery(run_id=Path(run_dir).name, limit=-1)
+            )
+    return None
+
+
 def generate_report(
     runner: Any,
     trials: int = 20,
@@ -526,6 +559,8 @@ def generate_report(
     roc_path: Optional[Union[str, Path]] = None,
     bench_directory: Optional[Union[str, Path]] = None,
     run_dir: Optional[Union[str, Path]] = None,
+    store_path: Optional[Union[str, Path]] = None,
+    store_run_id: Optional[str] = None,
     top_spans: int = 10,
     html: bool = False,
 ) -> str:
@@ -548,11 +583,9 @@ def generate_report(
             path.stem[len("BENCH_"):]: load_bench(path)
             for path in iter_bench_files(bench_directory)
         }
-    telemetry = None
-    if run_dir is not None:
-        from repro.campaign.telemetry import read_telemetry
-
-        telemetry = read_telemetry(Path(run_dir))
+    telemetry = telemetry_from_store(
+        run_dir=run_dir, store_path=store_path, run_id=store_run_id
+    )
     markdown = render_markdown(
         data, roc=roc, bench=bench, telemetry=telemetry, top_spans=top_spans
     )

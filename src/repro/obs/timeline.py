@@ -7,11 +7,14 @@ rule — so the merge is stable and deterministic per seed.
 
 Exporters:
 
-* :func:`export_jsonl` — one JSON object per line.  Each line carries
-  both the simulated timestamp and a btsnoop-aligned microsecond
-  timestamp (same odd 0-AD epoch as :mod:`repro.snoop.btsnoop`), so an
-  exported timeline lines up row-for-row with a ``repro.snoop``
-  capture of the same run.
+* :func:`write_jsonl` / :func:`export_jsonl` — one JSON object per
+  line, streamed to a file object (O(1) memory) or returned as one
+  string.  Each line carries both the simulated timestamp and a
+  btsnoop-aligned microsecond timestamp (same odd 0-AD epoch as
+  :mod:`repro.snoop.btsnoop`), so an exported timeline lines up
+  row-for-row with a ``repro.snoop`` capture of the same run.
+  :func:`events_from_jsonl` parses the artifact back for store
+  ingest.
 * :func:`export_chrome_trace` — the Chrome trace-event JSON format,
   loadable in Perfetto (https://ui.perfetto.dev) or about:tracing.
   Spans become complete (``"X"``) events with durations; trace records
@@ -22,9 +25,10 @@ Exporters:
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO
 
 from repro.obs.spans import Span, SpanTracker
 from repro.sim.trace import Tracer
@@ -127,24 +131,76 @@ def btsnoop_timestamp_us(time_s: float) -> int:
     return int(time_s * 1_000_000) + EPOCH_DELTA_US
 
 
-def export_jsonl(events: Iterable[TimelineEvent]) -> str:
-    """One compact JSON object per event, in timeline order."""
-    lines = []
+def detail_repr(detail: Dict[str, Any]) -> Dict[str, str]:
+    """Detail values flattened to their ``repr`` — the JSONL and store
+    spelling, so arbitrary simulation objects stay serialisable."""
+    return {k: repr(v) for k, v in detail.items()}
+
+
+def event_to_jsonable(event: TimelineEvent) -> Dict[str, Any]:
+    """One event as the compact JSONL payload dict."""
+    payload: Dict[str, Any] = {
+        "t": round(event.time, 9),
+        "btsnoop_us": btsnoop_timestamp_us(event.time),
+        "seq": event.seq,
+        "source": event.source,
+        "category": event.category,
+        "message": event.message,
+    }
+    if event.duration is not None:
+        payload["duration"] = round(event.duration, 9)
+    if event.detail:
+        payload["detail"] = detail_repr(event.detail)
+    return payload
+
+
+def write_jsonl(events: Iterable[TimelineEvent], fp: TextIO) -> int:
+    """Stream events to ``fp`` as JSONL, one line each; returns the
+    event count.  O(1) memory — nothing is accumulated — so arbitrarily
+    long timelines export without building a giant string first
+    (``blap timeline --format jsonl -o``)."""
+    count = 0
     for event in events:
-        payload: Dict[str, Any] = {
-            "t": round(event.time, 9),
-            "btsnoop_us": btsnoop_timestamp_us(event.time),
-            "seq": event.seq,
-            "source": event.source,
-            "category": event.category,
-            "message": event.message,
-        }
-        if event.duration is not None:
-            payload["duration"] = round(event.duration, 9)
-        if event.detail:
-            payload["detail"] = {k: repr(v) for k, v in event.detail.items()}
-        lines.append(json.dumps(payload, sort_keys=True))
-    return "\n".join(lines)
+        fp.write(json.dumps(event_to_jsonable(event), sort_keys=True))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def export_jsonl(events: Iterable[TimelineEvent]) -> str:
+    """One compact JSON object per event, in timeline order.
+
+    Convenience string form of :func:`write_jsonl` (no trailing
+    newline); prefer the streaming writer for large exports.
+    """
+    buffer = io.StringIO()
+    write_jsonl(events, buffer)
+    return buffer.getvalue()[:-1] if buffer.tell() else ""
+
+
+def events_from_jsonl(lines: Iterable[str]) -> Iterator[Dict[str, Any]]:
+    """Parse a JSONL timeline artifact back into event dicts.
+
+    The inverse of :func:`write_jsonl` for ingest purposes: yields the
+    payload dicts with ``time``/``kind`` normalised (``detail`` values
+    stay the exported ``repr`` strings).  Blank and torn lines are
+    skipped — an artifact mid-append must not brick a backfill.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(payload, dict) or "t" not in payload:
+            continue
+        payload["time"] = payload.pop("t")
+        payload["kind"] = (
+            "span" if payload.get("duration") is not None else "trace"
+        )
+        yield payload
 
 
 def export_chrome_trace(events: Iterable[TimelineEvent]) -> Dict[str, Any]:
@@ -170,7 +226,7 @@ def export_chrome_trace(events: Iterable[TimelineEvent]) -> Dict[str, Any]:
     for event in events:
         pid = pid_for(event.source)
         ts_us = event.time * 1_000_000
-        args = {k: repr(v) for k, v in event.detail.items()}
+        args: Dict[str, Any] = detail_repr(event.detail)
         args["seq"] = event.seq
         if event.duration is not None:
             trace_events.append(

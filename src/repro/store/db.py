@@ -1,0 +1,558 @@
+"""The indexed run store: one SQLite database over ``runs/<run-id>/``.
+
+:class:`RunStore` is the storage half of the queryable-timeline
+design (the bluTruth "storage layer"): producers append rows —
+timeline events, detector alerts, per-trial telemetry, run summaries —
+and every consumer (``blap query``, ``blap serve``, ``blap report``)
+reads them back through the typed query API in
+:mod:`repro.store.query`.
+
+Concurrency model: SQLite in WAL mode with one connection per store,
+serialised by an internal lock (``check_same_thread=False`` so the
+campaign telemetry drain thread and the serve request threads can
+share a handle).  Writers batch with ``executemany`` inside one
+transaction per call, which keeps million-event ingests fast without
+any daemon.
+
+``":memory:"`` is a fully supported path — ``blap report`` ingests a
+run directory into an in-memory store and queries it back, so the
+report path *is* the query path even with no database file on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.runs import runs_root
+from repro.store.query import AlertQuery, EventQuery, TelemetryQuery
+from repro.store.schema import SCHEMA_DDL, SCHEMA_VERSION
+
+
+def default_store_path() -> Path:
+    """Where the store database lives: ``$BLAP_STORE_DB`` or
+    ``<runs root>/store.db``."""
+    import os
+
+    override = os.environ.get("BLAP_STORE_DB")
+    return Path(override) if override else runs_root() / "store.db"
+
+
+class StoreError(Exception):
+    """Schema mismatch or other store-level failure."""
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One ``runs`` row."""
+
+    run_id: str
+    created_ts: Optional[str] = None
+    trials: int = 0
+    errors: int = 0
+    wall_time_s: float = 0.0
+    summary: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "created_ts": self.created_ts,
+            "trials": self.trials,
+            "errors": self.errors,
+            "wall_time_s": self.wall_time_s,
+            "summary": self.summary,
+        }
+
+
+@dataclass(frozen=True)
+class StoredEvent:
+    """One unified-timeline row read back from the store."""
+
+    run_id: str
+    time: float
+    seq: int
+    source: str
+    category: str
+    kind: str
+    message: str
+    duration: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+    scenario: Optional[str] = None
+    seed: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "time": self.time,
+            "seq": self.seq,
+            "source": self.source,
+            "category": self.category,
+            "kind": self.kind,
+            "message": self.message,
+        }
+        if self.duration is not None:
+            payload["duration"] = self.duration
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        return payload
+
+
+def _dump_json(value: Any) -> Optional[str]:
+    if not value:
+        return None
+    return json.dumps(value, sort_keys=True)
+
+
+def _load_json(text: Optional[str]) -> Dict[str, Any]:
+    if not text:
+        return {}
+    try:
+        loaded = json.loads(text)
+    except ValueError:
+        return {}
+    return loaded if isinstance(loaded, dict) else {}
+
+
+class RunStore:
+    """Append-friendly indexed store + query surface (see module doc)."""
+
+    def __init__(self, path: Union[str, Path, None] = None) -> None:
+        self.path = Path(path) if path is not None else default_store_path()
+        if str(self.path) != ":memory:":
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            # WAL keeps a live exporter from blocking serve readers on
+            # file-backed stores; in-memory databases reject it, which
+            # is fine — they have exactly one user.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.executescript(SCHEMA_DDL)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+                self._conn.commit()
+            elif int(row["value"]) != SCHEMA_VERSION:
+                raise StoreError(
+                    f"{self.path}: store schema v{row['value']} != "
+                    f"supported v{SCHEMA_VERSION}; re-ingest into a "
+                    f"fresh database"
+                )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- writers
+
+    def upsert_run(
+        self,
+        run_id: str,
+        created_ts: Optional[str] = None,
+        trials: Optional[int] = None,
+        errors: Optional[int] = None,
+        wall_time_s: Optional[float] = None,
+        summary: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Create or refresh one run row; ``None`` fields keep their
+        stored value, so partial updates (a live exporter registering
+        the run before its summary exists) never regress counters."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO runs (run_id) VALUES (?) "
+                "ON CONFLICT (run_id) DO NOTHING",
+                (run_id,),
+            )
+            sets: List[str] = []
+            params: List[Any] = []
+            for column, value in (
+                ("created_ts", created_ts),
+                ("trials", trials),
+                ("errors", errors),
+                ("wall_time_s", wall_time_s),
+                ("summary", _dump_json(dict(summary)) if summary else None),
+            ):
+                if value is not None:
+                    sets.append(f"{column} = ?")
+                    params.append(value)
+            if sets:
+                params.append(run_id)
+                self._conn.execute(
+                    f"UPDATE runs SET {', '.join(sets)} WHERE run_id = ?",
+                    params,
+                )
+            self._conn.commit()
+
+    def add_events(
+        self,
+        run_id: str,
+        events: Iterable[Any],
+        scenario: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> int:
+        """Append timeline events (``TimelineEvent`` objects or the
+        dicts :func:`repro.obs.timeline.event_to_jsonable` /
+        ``events_from_jsonl`` produce).  Returns the row count."""
+        rows = [
+            _event_row(run_id, event, scenario, seed) for event in events
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            self._conn.executemany(
+                "INSERT INTO events (run_id, scenario, seed, time, seq, "
+                "source, category, kind, message, duration, detail) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.execute(
+                "INSERT INTO runs (run_id) VALUES (?) "
+                "ON CONFLICT (run_id) DO NOTHING",
+                (run_id,),
+            )
+            self._conn.commit()
+        return len(rows)
+
+    def add_alerts(
+        self,
+        run_id: str,
+        alerts: Iterable[Any],
+        scenario: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> int:
+        """Append detector alerts (:class:`repro.detect.base.Alert`
+        objects or their ``to_dict`` form)."""
+        rows = [
+            _alert_row(run_id, alert, scenario, seed) for alert in alerts
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            self._conn.executemany(
+                "INSERT INTO alerts (run_id, scenario, seed, time, "
+                "detector, monitor, score, confidence, peer, message, "
+                "detail) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.execute(
+                "INSERT INTO runs (run_id) VALUES (?) "
+                "ON CONFLICT (run_id) DO NOTHING",
+                (run_id,),
+            )
+            self._conn.commit()
+        return len(rows)
+
+    def add_telemetry(
+        self, run_id: str, records: Iterable[Mapping[str, Any]]
+    ) -> int:
+        """Append per-trial telemetry records (the ``telemetry.jsonl``
+        dicts).  The verbatim record JSON rides along so reads are
+        lossless."""
+        rows = []
+        for record in records:
+            error = record.get("error")
+            rows.append(
+                (
+                    run_id,
+                    record.get("scenario"),
+                    record.get("seed"),
+                    1 if record.get("success") else 0,
+                    record.get("outcome"),
+                    record.get("attempts"),
+                    record.get("wall_time_s"),
+                    record.get("sim_time_s"),
+                    1 if record.get("cached") else 0,
+                    1 if record.get("faulted") else 0,
+                    str(error) if error else None,
+                    json.dumps(record, sort_keys=True),
+                )
+            )
+        if not rows:
+            return 0
+        with self._lock:
+            self._conn.executemany(
+                "INSERT INTO telemetry (run_id, scenario, seed, success, "
+                "outcome, attempts, wall_time_s, sim_time_s, cached, "
+                "faulted, error, record) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.execute(
+                "INSERT INTO runs (run_id) VALUES (?) "
+                "ON CONFLICT (run_id) DO NOTHING",
+                (run_id,),
+            )
+            self._conn.commit()
+        return len(rows)
+
+    def delete_run(self, run_id: str) -> None:
+        """Drop one run's rows (ingest idempotency; the run row itself
+        survives so a re-ingest keeps its identity)."""
+        with self._lock:
+            for table in ("events", "alerts", "telemetry"):
+                self._conn.execute(
+                    f"DELETE FROM {table} WHERE run_id = ?", (run_id,)
+                )
+            self._conn.commit()
+
+    # --------------------------------------------------------------- readers
+
+    def runs(self) -> List[RunInfo]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM runs ORDER BY run_id"
+            ).fetchall()
+        return [
+            RunInfo(
+                run_id=row["run_id"],
+                created_ts=row["created_ts"],
+                trials=row["trials"],
+                errors=row["errors"],
+                wall_time_s=row["wall_time_s"],
+                summary=_load_json(row["summary"]) or None,
+            )
+            for row in rows
+        ]
+
+    def run(self, run_id: str) -> Optional[RunInfo]:
+        for info in self.runs():
+            if info.run_id == run_id:
+                return info
+        return None
+
+    def query_events(self, query: EventQuery) -> List[StoredEvent]:
+        """Timeline page in deterministic ``(time, seq)`` order."""
+        where, params = query.where()
+        sql = (
+            f"SELECT * FROM events WHERE {where} "
+            f"ORDER BY time, seq LIMIT ? OFFSET ?"
+        )
+        with self._lock:
+            rows = self._conn.execute(
+                sql, params + [int(query.limit), int(query.offset)]
+            ).fetchall()
+        return [
+            StoredEvent(
+                run_id=row["run_id"],
+                time=row["time"],
+                seq=row["seq"],
+                source=row["source"],
+                category=row["category"],
+                kind=row["kind"],
+                message=row["message"],
+                duration=row["duration"],
+                detail=_load_json(row["detail"]),
+                scenario=row["scenario"],
+                seed=row["seed"],
+            )
+            for row in rows
+        ]
+
+    def count_events(
+        self, query: EventQuery, group_by: Optional[str] = None
+    ) -> Union[int, Dict[str, int]]:
+        """Aggregate counts; ``group_by`` one of source / category /
+        kind / scenario for a breakdown dict."""
+        where, params = query.where()
+        if group_by is None:
+            sql = f"SELECT COUNT(*) AS n FROM events WHERE {where}"
+            with self._lock:
+                return int(self._conn.execute(sql, params).fetchone()["n"])
+        if group_by not in ("source", "category", "kind", "scenario"):
+            raise ValueError(f"cannot group events by {group_by!r}")
+        sql = (
+            f"SELECT {group_by} AS k, COUNT(*) AS n FROM events "
+            f"WHERE {where} GROUP BY {group_by} ORDER BY {group_by}"
+        )
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return {str(row["k"]): int(row["n"]) for row in rows}
+
+    def time_range(self, run_id: str) -> Optional[Tuple[float, float]]:
+        """(min, max) event time for a run, or None when eventless."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MIN(time) AS lo, MAX(time) AS hi FROM events "
+                "WHERE run_id = ?",
+                (run_id,),
+            ).fetchone()
+        if row is None or row["lo"] is None:
+            return None
+        return float(row["lo"]), float(row["hi"])
+
+    def query_alerts(self, query: AlertQuery) -> List[Dict[str, Any]]:
+        where, params = query.where()
+        sql = (
+            f"SELECT * FROM alerts WHERE {where} "
+            f"ORDER BY time, id LIMIT ? OFFSET ?"
+        )
+        with self._lock:
+            rows = self._conn.execute(
+                sql, params + [int(query.limit), int(query.offset)]
+            ).fetchall()
+        out = []
+        for row in rows:
+            entry: Dict[str, Any] = {
+                "run_id": row["run_id"],
+                "time": row["time"],
+                "detector": row["detector"],
+                "monitor": row["monitor"],
+                "score": row["score"],
+                "confidence": row["confidence"],
+                "peer": row["peer"],
+                "message": row["message"],
+            }
+            detail = _load_json(row["detail"])
+            if detail:
+                entry["detail"] = detail
+            if row["scenario"] is not None:
+                entry["scenario"] = row["scenario"]
+            if row["seed"] is not None:
+                entry["seed"] = row["seed"]
+            out.append(entry)
+        return out
+
+    def query_telemetry(
+        self, query: TelemetryQuery
+    ) -> List[Dict[str, Any]]:
+        """The verbatim telemetry records, in ingest order — exactly
+        what :func:`repro.campaign.telemetry.read_telemetry` returns
+        for the same run, which is what keeps store-backed reports
+        byte-identical to the JSONL path."""
+        where, params = query.where()
+        sql = (
+            f"SELECT record FROM telemetry WHERE {where} "
+            f"ORDER BY id LIMIT ? OFFSET ?"
+        )
+        with self._lock:
+            rows = self._conn.execute(
+                sql, params + [int(query.limit), int(query.offset)]
+            ).fetchall()
+        records = []
+        for row in rows:
+            loaded = _load_json(row["record"])
+            if loaded:
+                records.append(loaded)
+        return records
+
+    def telemetry_summary(self, run_id: str) -> Dict[str, Any]:
+        """Per-run rollup for the serve view and ``blap store list``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS trials, "
+                "COALESCE(SUM(success), 0) AS successes, "
+                "COALESCE(SUM(cached), 0) AS cached, "
+                "COALESCE(SUM(error IS NOT NULL), 0) AS errors, "
+                "COALESCE(SUM(wall_time_s), 0.0) AS wall_time_s "
+                "FROM telemetry WHERE run_id = ?",
+                (run_id,),
+            ).fetchone()
+        return {
+            "trials": int(row["trials"]),
+            "successes": int(row["successes"]),
+            "cached": int(row["cached"]),
+            "errors": int(row["errors"]),
+            "wall_time_s": float(row["wall_time_s"]),
+        }
+
+
+# ---------------------------------------------------------- row builders
+
+
+def _event_row(
+    run_id: str,
+    event: Any,
+    scenario: Optional[str],
+    seed: Optional[int],
+) -> Tuple[Any, ...]:
+    if isinstance(event, Mapping):
+        time_s = event.get("time", event.get("t"))
+        duration = event.get("duration")
+        detail = event.get("detail") or {}
+        kind = event.get("kind") or (
+            "span" if duration is not None else "trace"
+        )
+        return (
+            run_id,
+            event.get("scenario", scenario),
+            event.get("seed", seed),
+            float(time_s),
+            int(event.get("seq", 0)),
+            str(event.get("source", "")),
+            str(event.get("category", "")),
+            kind,
+            str(event.get("message", "")),
+            duration,
+            _dump_json(detail),
+        )
+    # a TimelineEvent (or anything shaped like one)
+    from repro.obs.timeline import detail_repr
+
+    return (
+        run_id,
+        scenario,
+        seed,
+        float(event.time),
+        int(event.seq),
+        event.source,
+        event.category,
+        event.kind,
+        event.message,
+        event.duration,
+        _dump_json(detail_repr(event.detail)),
+    )
+
+
+def _alert_row(
+    run_id: str,
+    alert: Any,
+    scenario: Optional[str],
+    seed: Optional[int],
+) -> Tuple[Any, ...]:
+    data = alert.to_dict() if hasattr(alert, "to_dict") else dict(alert)
+    return (
+        run_id,
+        data.get("scenario", scenario),
+        data.get("seed", seed),
+        float(data.get("time", 0.0)),
+        str(data.get("detector", "")),
+        data.get("monitor"),
+        data.get("score"),
+        data.get("confidence"),
+        data.get("peer"),
+        data.get("message"),
+        _dump_json(data.get("detail") or {}),
+    )

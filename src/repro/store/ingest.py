@@ -1,0 +1,195 @@
+"""Ingest: getting diagnostic streams *into* the run store.
+
+Two paths, one schema:
+
+* **Backfill** — :func:`ingest_run_dir` walks an existing
+  ``runs/<run-id>/`` directory (``run.json``, ``telemetry.jsonl``,
+  exported ``timeline*.jsonl`` artifacts) and loads everything into
+  the store.  ``blap store ingest`` is the CLI face; re-ingesting the
+  same directory replaces that run's rows, so backfill is idempotent.
+* **Live export** — :func:`export_world_timeline` writes a world's
+  merged :class:`~repro.obs.Timeline` (and any detector alerts riding
+  in it) straight into the store after a run, and
+  :class:`StoreTelemetrySink` tees :class:`CampaignTelemetry` records
+  into the store as trials finish — the exporter hook that replaces
+  the write-only JSONL architecture.
+
+Alerts are normalised on the way in: any timeline event with the
+detection engine's trace shape (``source="detect"``,
+``category="alert"``) also lands in the ``alerts`` table, so detector
+queries stay indexed even when the only artifact was a timeline
+export.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Union
+
+from repro.core.runs import timeline_files
+from repro.store.db import RunStore
+
+if TYPE_CHECKING:
+    from repro.attacks.scenario import World
+
+#: trace shape the detection engine emits (see repro.detect.engine)
+ALERT_SOURCE = "detect"
+ALERT_CATEGORY = "alert"
+
+
+def _literal(value: Any) -> Any:
+    """Best-effort undo of the timeline's ``repr`` detail encoding."""
+    if not isinstance(value, str):
+        return value
+    try:
+        return ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        return value
+
+
+def alert_from_event(event: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """An ``alerts``-table record from one timeline event dict, or
+    ``None`` when the event is not a detection alert."""
+    if (
+        event.get("source") != ALERT_SOURCE
+        or event.get("category") != ALERT_CATEGORY
+    ):
+        return None
+    detail = event.get("detail") or {}
+    message = str(event.get("message", ""))
+    detector = ""
+    if message.startswith("["):
+        detector, _, message = message[1:].partition("] ")
+    score = _literal(detail.get("score"))
+    return {
+        "time": float(event.get("time", 0.0)),
+        "detector": detector,
+        "monitor": _literal(detail.get("monitor")),
+        "score": float(score) if isinstance(score, (int, float)) else None,
+        "confidence": _literal(detail.get("confidence")),
+        "peer": _literal(detail.get("peer")),
+        "message": message,
+    }
+
+
+def store_events(
+    store: RunStore,
+    run_id: str,
+    events: Any,
+    scenario: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Append events + mirror any embedded alerts; returns counts."""
+    from repro.obs.timeline import event_to_jsonable
+
+    payloads: List[Dict[str, Any]] = []
+    for event in events:
+        if isinstance(event, Mapping):
+            payload = dict(event)
+            if "t" in payload:
+                payload["time"] = payload.pop("t")
+        else:
+            payload = event_to_jsonable(event)
+            payload["time"] = payload.pop("t")
+        payloads.append(payload)
+    added = store.add_events(run_id, payloads, scenario=scenario, seed=seed)
+    alerts = [
+        alert for alert in map(alert_from_event, payloads) if alert is not None
+    ]
+    store.add_alerts(run_id, alerts, scenario=scenario, seed=seed)
+    return {"events": added, "alerts": len(alerts)}
+
+
+def export_world_timeline(
+    store: RunStore,
+    run_id: str,
+    world: "World",
+    scenario: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Write one world's merged timeline into the store (the live
+    exporter hook behind ``blap timeline --store``)."""
+    return store_events(
+        store,
+        run_id,
+        world.obs.timeline.events(),
+        scenario=scenario,
+        seed=seed,
+    )
+
+
+def ingest_run_dir(
+    store: RunStore, run_dir: Union[str, Path]
+) -> Dict[str, int]:
+    """Backfill one ``runs/<run-id>/`` directory; returns row counts.
+
+    Idempotent: the run's previous rows are replaced, so re-running
+    ``blap store ingest`` after a crashed or extended run never
+    duplicates events.
+    """
+    from repro.campaign.telemetry import read_telemetry
+    from repro.obs.timeline import events_from_jsonl
+
+    run_dir = Path(run_dir)
+    run_id = run_dir.name
+    store.delete_run(run_id)
+
+    summary: Optional[Dict[str, Any]] = None
+    try:
+        with open(run_dir / "run.json", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict):
+            summary = loaded
+    except (OSError, ValueError):
+        pass
+
+    records = read_telemetry(run_dir)
+    store.add_telemetry(run_id, records)
+
+    counts = {"telemetry": len(records), "events": 0, "alerts": 0}
+    for artifact in timeline_files(run_dir):
+        with open(artifact, encoding="utf-8") as handle:
+            added = store_events(store, run_id, events_from_jsonl(handle))
+        counts["events"] += added["events"]
+        counts["alerts"] += added["alerts"]
+
+    store.upsert_run(
+        run_id,
+        trials=(summary or {}).get("trials", len(records)),
+        errors=(summary or {}).get(
+            "errors", sum(1 for r in records if r.get("error"))
+        ),
+        wall_time_s=(summary or {}).get("wall_time_s"),
+        summary=summary,
+    )
+    return counts
+
+
+class StoreTelemetrySink:
+    """Tees campaign telemetry records into the store as they stream.
+
+    Attach via ``CampaignTelemetry(..., store=...)``: every
+    :meth:`record` call (already serialised by the telemetry lock)
+    appends one telemetry row, and :meth:`close` lands the run
+    summary.  The JSONL file keeps being written alongside — the store
+    indexes the stream, it doesn't replace the artifact.
+    """
+
+    def __init__(self, store: RunStore, run_id: str) -> None:
+        self.store = store
+        self.run_id = run_id
+        store.upsert_run(run_id)
+
+    def record(self, record: Mapping[str, Any]) -> None:
+        self.store.add_telemetry(self.run_id, [record])
+
+    def close(self, summary: Mapping[str, Any]) -> None:
+        self.store.upsert_run(
+            self.run_id,
+            trials=summary.get("trials"),
+            errors=summary.get("errors"),
+            wall_time_s=summary.get("wall_time_s"),
+            summary=summary,
+        )

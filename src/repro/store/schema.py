@@ -1,0 +1,114 @@
+"""The run store's SQLite schema.
+
+One database indexes any number of runs.  The design goals, in order:
+
+* **append-friendly** — producers only ever ``INSERT`` (plus one
+  ``UPSERT`` on the ``runs`` row), so live exporters and backfill
+  ingest can share a database without coordination;
+* **queryable** — every filter the query API exposes (time-range,
+  run, trial seed, device/source, category, kind, detector) is backed
+  by an index, so ``blap serve`` answers interactively over
+  multi-million-event stores;
+* **lossless** — rows keep the original JSON payloads (``detail``,
+  ``record``) next to the indexed columns, so a store round-trip
+  reproduces the source artifacts exactly (``blap report`` from the
+  store is byte-identical to the JSONL path).
+
+Tables:
+
+``runs``
+    One row per run id: counters and the ``run.json`` summary blob.
+``events``
+    The unified timeline — trace records *and* finished spans from
+    every device/source, tagged with the producing scenario + seed.
+``alerts``
+    Detector alerts, normalised out of the timeline so detector /
+    score filters don't scan the events table.
+``telemetry``
+    One row per campaign trial (the ``telemetry.jsonl`` stream), with
+    the verbatim record JSON for lossless re-reads.
+"""
+
+from __future__ import annotations
+
+#: bump on incompatible schema changes; checked at open time
+SCHEMA_VERSION = 1
+
+#: executed with ``executescript`` on every open (all idempotent)
+SCHEMA_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    created_ts  TEXT,
+    trials      INTEGER NOT NULL DEFAULT 0,
+    errors      INTEGER NOT NULL DEFAULT 0,
+    wall_time_s REAL    NOT NULL DEFAULT 0.0,
+    summary     TEXT
+);
+
+CREATE TABLE IF NOT EXISTS events (
+    id       INTEGER PRIMARY KEY,
+    run_id   TEXT    NOT NULL,
+    scenario TEXT,
+    seed     INTEGER,
+    time     REAL    NOT NULL,
+    seq      INTEGER NOT NULL,
+    source   TEXT    NOT NULL,
+    category TEXT    NOT NULL,
+    kind     TEXT    NOT NULL,
+    message  TEXT    NOT NULL,
+    duration REAL,
+    detail   TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_events_run_time
+    ON events (run_id, time, seq);
+CREATE INDEX IF NOT EXISTS idx_events_run_source
+    ON events (run_id, source);
+CREATE INDEX IF NOT EXISTS idx_events_run_category
+    ON events (run_id, category);
+CREATE INDEX IF NOT EXISTS idx_events_run_kind_message
+    ON events (run_id, kind, message);
+CREATE INDEX IF NOT EXISTS idx_events_run_seed
+    ON events (run_id, seed);
+
+CREATE TABLE IF NOT EXISTS alerts (
+    id         INTEGER PRIMARY KEY,
+    run_id     TEXT NOT NULL,
+    scenario   TEXT,
+    seed       INTEGER,
+    time       REAL NOT NULL,
+    detector   TEXT NOT NULL,
+    monitor    TEXT,
+    score      REAL,
+    confidence TEXT,
+    peer       TEXT,
+    message    TEXT,
+    detail     TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_alerts_run_time
+    ON alerts (run_id, time);
+CREATE INDEX IF NOT EXISTS idx_alerts_run_detector
+    ON alerts (run_id, detector);
+
+CREATE TABLE IF NOT EXISTS telemetry (
+    id          INTEGER PRIMARY KEY,
+    run_id      TEXT NOT NULL,
+    scenario    TEXT,
+    seed        INTEGER,
+    success     INTEGER,
+    outcome     TEXT,
+    attempts    INTEGER,
+    wall_time_s REAL,
+    sim_time_s  REAL,
+    cached      INTEGER,
+    faulted     INTEGER,
+    error       TEXT,
+    record      TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_telemetry_run_scenario_seed
+    ON telemetry (run_id, scenario, seed);
+"""

@@ -1,0 +1,419 @@
+"""``blap serve``: a stdlib-only HTTP front-end over the run store.
+
+The interface layer of the queryable-timeline design: a small
+threading HTTP server (no dependencies beyond the standard library)
+that exposes the query API as JSON plus a minimal live HTML view.
+
+JSON API::
+
+    GET /healthz                     liveness probe
+    GET /api/runs                    every run in the store
+    GET /api/runs/<id>               run detail + counts + time range
+    GET /api/runs/<id>/events       ?since=&until=&source=&category=
+                                    &kind=&span_type=&scenario=&seed=
+                                    &limit=&offset=
+    GET /api/runs/<id>/alerts       ?detector=&min_score=&since=&until=
+    GET /api/runs/<id>/telemetry    ?scenario=&seed=&success=&cached=
+
+List-valued filters repeat the parameter (``&source=M&source=phy``)
+or comma-join (``&source=M,phy``).  Responses are
+``{"data": [...], "count": N}`` envelopes; filter errors come back as
+HTTP 400 with ``{"error": ...}`` instead of a traceback.
+
+HTML view::
+
+    GET /                            runs index
+    GET /run/<id>                    per-run live view (auto-refresh)
+
+Every request reads through the shared :class:`RunStore` handle (its
+internal lock serialises readers against any live exporter), so the
+page a browser shows tracks an in-flight campaign without restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.store.db import RunStore
+from repro.store.query import (
+    AlertQuery,
+    EventQuery,
+    TelemetryQuery,
+    query_from_params,
+)
+
+#: rows shown in the HTML event/alert tables
+HTML_ROWS = 50
+
+
+def _params(query_string: str, lists: Dict[str, str]) -> Dict[str, Any]:
+    """parse_qs output → a flat kwargs dict for query_from_params.
+
+    ``lists`` maps singular URL spellings (``source``) to the query
+    dataclass's plural field (``sources``); everything else keeps its
+    last value.
+    """
+    parsed = parse_qs(query_string, keep_blank_values=False)
+    out: Dict[str, Any] = {}
+    for key, values in parsed.items():
+        target = lists.get(key)
+        if target is not None:
+            flattened: List[str] = []
+            for value in values:
+                flattened.extend(v for v in value.split(",") if v)
+            out[target] = tuple(flattened)
+        else:
+            out[key] = values[-1]
+    return out
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request; the server instance carries the store."""
+
+    server_version = "blap-serve/1.0"
+    #: set by StoreServer
+    store: RunStore
+
+    # ------------------------------------------------------------ plumbing
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json; charset=utf-8")
+
+    def _html(self, text: str, status: int = 200) -> None:
+        self._send(
+            status, text.encode("utf-8"), "text/html; charset=utf-8"
+        )
+
+    # ------------------------------------------------------------- routing
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        try:
+            self._route(parts, split.query)
+        except ValueError as exc:
+            self._json({"error": str(exc)}, status=400)
+        except BrokenPipeError:  # client went away mid-write
+            pass
+        except Exception as exc:  # noqa: BLE001 - server must survive
+            self._json({"error": f"{type(exc).__name__}: {exc}"}, 500)
+
+    def _route(self, parts: List[str], query: str) -> None:
+        store = self.store
+        if parts == ["healthz"]:
+            self._json({"ok": True})
+        elif parts == ["api", "runs"]:
+            self._api_runs(store)
+        elif len(parts) == 3 and parts[:2] == ["api", "runs"]:
+            self._api_run_detail(store, parts[2])
+        elif len(parts) == 4 and parts[:2] == ["api", "runs"]:
+            run_id, resource = parts[2], parts[3]
+            if resource == "events":
+                self._api_events(store, run_id, query)
+            elif resource == "alerts":
+                self._api_alerts(store, run_id, query)
+            elif resource == "telemetry":
+                self._api_telemetry(store, run_id, query)
+            else:
+                self._json({"error": f"unknown resource {resource!r}"}, 404)
+        elif not parts:
+            self._html(render_index(store))
+        elif len(parts) == 2 and parts[0] == "run":
+            page = render_run_page(store, parts[1])
+            if page is None:
+                self._html("<h1>run not found</h1>", status=404)
+            else:
+                self._html(page)
+        else:
+            self._json({"error": "not found"}, 404)
+
+    # ------------------------------------------------------------ JSON API
+
+    def _api_runs(self, store: RunStore) -> None:
+        data = []
+        for info in store.runs():
+            entry = info.to_dict()
+            entry["telemetry"] = store.telemetry_summary(info.run_id)
+            entry["events"] = store.count_events(
+                EventQuery(run_id=info.run_id)
+            )
+            data.append(entry)
+        self._json({"data": data, "count": len(data)})
+
+    def _api_run_detail(self, store: RunStore, run_id: str) -> None:
+        info = store.run(run_id)
+        if info is None:
+            self._json({"error": f"unknown run {run_id!r}"}, 404)
+            return
+        span = store.time_range(run_id)
+        self._json(
+            {
+                "data": {
+                    **info.to_dict(),
+                    "telemetry": store.telemetry_summary(run_id),
+                    "events": store.count_events(EventQuery(run_id=run_id)),
+                    "events_by_source": store.count_events(
+                        EventQuery(run_id=run_id), group_by="source"
+                    ),
+                    "events_by_kind": store.count_events(
+                        EventQuery(run_id=run_id), group_by="kind"
+                    ),
+                    "alerts": len(
+                        store.query_alerts(AlertQuery(run_id=run_id))
+                    ),
+                    "time_range": list(span) if span else None,
+                }
+            }
+        )
+
+    def _api_events(
+        self, store: RunStore, run_id: str, query_string: str
+    ) -> None:
+        params = _params(
+            query_string,
+            {"source": "sources", "category": "categories"},
+        )
+        params["run_id"] = run_id
+        query = query_from_params(EventQuery, params)
+        events = [event.to_dict() for event in store.query_events(query)]
+        self._json(
+            {
+                "data": events,
+                "count": len(events),
+                "total": store.count_events(query),
+                "offset": query.offset,
+            }
+        )
+
+    def _api_alerts(
+        self, store: RunStore, run_id: str, query_string: str
+    ) -> None:
+        params = _params(query_string, {"detector": "detectors"})
+        params["run_id"] = run_id
+        query = query_from_params(AlertQuery, params)
+        alerts = store.query_alerts(query)
+        self._json({"data": alerts, "count": len(alerts)})
+
+    def _api_telemetry(
+        self, store: RunStore, run_id: str, query_string: str
+    ) -> None:
+        params = _params(query_string, {})
+        params["run_id"] = run_id
+        query = query_from_params(TelemetryQuery, params)
+        records = store.query_telemetry(query)
+        self._json({"data": records, "count": len(records)})
+
+
+class StoreServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one RunStore."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: RunStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        handler = type(
+            "BoundStoreRequestHandler",
+            (StoreRequestHandler,),
+            {"store": store},
+        )
+        super().__init__((host, port), handler)
+        self.store = store
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(
+    store: RunStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    ready: Optional[Callable[[StoreServer], None]] = None,
+) -> None:
+    """Bind, announce, and serve forever (the ``blap serve`` body).
+
+    ``port=0`` binds an ephemeral OS-assigned port; ``ready`` (if
+    given) fires after binding with the live server — tests use it to
+    learn the port without scraping stdout.
+    """
+    server = StoreServer(store, host=host, port=port, verbose=verbose)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+# ----------------------------------------------------------------- HTML
+
+
+def _escape(text: Any) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; max-width: 72rem;
+       margin: 2rem auto; padding: 0 1rem; color: #1a1a2e; }
+table { border-collapse: collapse; margin: 0.75rem 0; width: 100%; }
+th, td { border: 1px solid #c5c9d4; padding: 0.2rem 0.55rem;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #eef0f5; }
+h1, h2 { line-height: 1.2; }
+code { background: #eef0f5; padding: 0 0.25rem; }
+.muted { color: #667; }
+""".strip()
+
+
+def _page(title: str, body: str, refresh_s: Optional[int] = None) -> str:
+    refresh = (
+        f'<meta http-equiv="refresh" content="{refresh_s}">'
+        if refresh_s
+        else ""
+    )
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{_escape(title)}</title>{refresh}"
+        f"<style>{_STYLE}</style></head>\n<body>\n{body}\n</body></html>\n"
+    )
+
+
+def _table(headers: List[str], rows: List[List[Any]]) -> str:
+    out = ["<table><tr>"]
+    out.extend(f"<th>{_escape(h)}</th>" for h in headers)
+    out.append("</tr>")
+    for row in rows:
+        out.append("<tr>")
+        out.extend(f"<td>{cell}</td>" for cell in row)
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def render_index(store: RunStore) -> str:
+    rows = []
+    for info in store.runs():
+        telemetry = store.telemetry_summary(info.run_id)
+        events = store.count_events(EventQuery(run_id=info.run_id))
+        rows.append(
+            [
+                f'<a href="/run/{_escape(info.run_id)}">'
+                f"{_escape(info.run_id)}</a>",
+                telemetry["trials"],
+                telemetry["successes"],
+                telemetry["errors"],
+                events,
+                f"{info.wall_time_s:.2f}",
+            ]
+        )
+    body = (
+        "<h1>BLAP run store</h1>"
+        f'<p class="muted">{_escape(store.path)} — '
+        f"{len(rows)} run(s); JSON at <code>/api/runs</code>.</p>"
+        + _table(
+            ["run", "trials", "ok", "errors", "events", "wall (s)"], rows
+        )
+    )
+    return _page("BLAP run store", body, refresh_s=5)
+
+
+def render_run_page(store: RunStore, run_id: str) -> Optional[str]:
+    info = store.run(run_id)
+    if info is None:
+        return None
+    telemetry = store.telemetry_summary(run_id)
+    by_source = store.count_events(
+        EventQuery(run_id=run_id), group_by="source"
+    )
+    span = store.time_range(run_id)
+    alerts = store.query_alerts(AlertQuery(run_id=run_id, limit=HTML_ROWS))
+    events = store.query_events(EventQuery(run_id=run_id, limit=HTML_ROWS))
+
+    parts = [f"<h1>run {_escape(run_id)}</h1>"]
+    time_note = (
+        f"t = {span[0]:.6f} .. {span[1]:.6f} s" if span else "no events"
+    )
+    parts.append(
+        f'<p class="muted">{telemetry["trials"]} trials '
+        f'({telemetry["successes"]} ok, {telemetry["errors"]} errors, '
+        f'{telemetry["cached"]} cached) — {time_note} — JSON at '
+        f'<code>/api/runs/{_escape(run_id)}/events</code>.</p>'
+    )
+    if by_source:
+        parts.append("<h2>Events by source</h2>")
+        parts.append(
+            _table(
+                ["source", "events"],
+                [[_escape(k), v] for k, v in sorted(by_source.items())],
+            )
+        )
+    if alerts:
+        parts.append(f"<h2>Alerts (first {len(alerts)})</h2>")
+        parts.append(
+            _table(
+                ["time", "detector", "score", "peer", "message"],
+                [
+                    [
+                        f"{alert['time']:.6f}",
+                        _escape(alert["detector"]),
+                        "-"
+                        if alert["score"] is None
+                        else f"{alert['score']:.2f}",
+                        _escape(alert["peer"] or ""),
+                        _escape(alert["message"] or ""),
+                    ]
+                    for alert in alerts
+                ],
+            )
+        )
+    if events:
+        parts.append(f"<h2>Timeline (first {len(events)})</h2>")
+        parts.append(
+            _table(
+                ["time", "source", "category", "kind", "message"],
+                [
+                    [
+                        f"{event.time:.6f}",
+                        _escape(event.source),
+                        _escape(event.category),
+                        _escape(event.kind),
+                        _escape(event.message),
+                    ]
+                    for event in events
+                ],
+            )
+        )
+    parts.append('<p><a href="/">&larr; all runs</a></p>')
+    return _page(f"run {run_id}", "".join(parts), refresh_s=3)

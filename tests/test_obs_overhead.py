@@ -4,9 +4,21 @@
 The event loop promises that a *disabled* registry costs nothing on the
 hot path: ``run()`` checks ``metrics.enabled`` once and then takes the
 identical uninstrumented branch.  This test holds that promise to <5%
-on a 10k-event run, using a min-of-repeats to shed scheduler noise.
+on a 10k-event run.
+
+Timing discipline: one discarded warm-up run (first-call costs —
+allocator growth, bytecode specialisation, branch warm-up — land
+there), then the *median* of the repeats.  The old min-of-repeats
+divided the best-case outlier of one distribution by the best-case
+outlier of another, so the recorded enabled-overhead ratio swung from
+~14% to ~54% run to run (``BENCH_obs.json`` happened to freeze a
+0.40).  Warm-up + median compares typical runs to typical runs and
+lands reproducibly near ~30% — the honest post-instrument-caching
+figure (down from the pre-caching 57%); the ~11% once claimed in the
+changelog was itself a lucky-minimum artifact.
 """
 
+import statistics
 import time
 
 import pytest
@@ -16,7 +28,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.sim.eventloop import Simulator
 
 EVENTS = 10_000
-REPEATS = 7
+REPEATS = 15
 
 
 def _run_chain(metrics) -> float:
@@ -37,14 +49,17 @@ def _run_chain(metrics) -> float:
     return elapsed
 
 
-def _best_of(metrics_factory) -> float:
-    return min(_run_chain(metrics_factory()) for _ in range(REPEATS))
+def _median_of(metrics_factory) -> float:
+    _run_chain(metrics_factory())  # warm-up, discarded
+    return statistics.median(
+        _run_chain(metrics_factory()) for _ in range(REPEATS)
+    )
 
 
 @pytest.mark.perf
 def test_disabled_registry_under_five_percent_overhead():
-    bare = _best_of(lambda: None)
-    disabled = _best_of(lambda: MetricsRegistry(enabled=False))
+    bare = _median_of(lambda: None)
+    disabled = _median_of(lambda: MetricsRegistry(enabled=False))
     record_bench(
         "campaign",
         "obs_overhead_disabled",
@@ -65,8 +80,8 @@ def test_disabled_registry_under_five_percent_overhead():
 
 @pytest.mark.perf
 def test_enabled_registry_stays_cheap_enough_for_benchmarks():
-    bare = _best_of(lambda: None)
-    enabled = _best_of(MetricsRegistry)
+    bare = _median_of(lambda: None)
+    enabled = _median_of(MetricsRegistry)
     record_bench(
         "campaign",
         "obs_overhead_enabled",
