@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.devices.catalog import (
     LG_VELVET,
@@ -30,6 +30,7 @@ from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:
     from repro.faults import InjectorRegistry
+    from repro.population import Population
 
 
 @dataclass
@@ -44,6 +45,8 @@ class World:
     devices: Dict[str, Device] = field(default_factory=dict)
     #: fault-injection registry; set when a fault plan is applied
     faults: Optional["InjectorRegistry"] = None
+    #: populations living in this world (appended by ``populate``)
+    populations: List["Population"] = field(default_factory=list)
 
     def add_device(
         self, role: str, spec: DeviceSpec, bd_addr=None
@@ -93,6 +96,12 @@ class WorldConfig:
     #: mapping — anything ``FaultPlan.coerce`` accepts); wired into
     #: the world by :func:`repro.faults.apply_fault_plan`
     fault_plan: Optional[Any] = None
+    #: device population built at world-construction time (a
+    #: PopulationSpec, preset name, device count or JSON mapping —
+    #: anything ``PopulationSpec.coerce`` accepts); applied by
+    #: :func:`repro.population.populate` after the fault plan, so
+    #: ambient devices are fault-visible too
+    population: Optional[Any] = None
 
 
 def build_world(
@@ -153,6 +162,10 @@ def build_world(
         from repro.faults import apply_fault_plan
 
         apply_fault_plan(world, config.fault_plan)
+    if config.population is not None:
+        from repro.population import populate
+
+        populate(world, config.population)
     return world
 
 
@@ -162,17 +175,35 @@ def standard_cast(
     c_spec: Optional[DeviceSpec] = None,
     a_spec: DeviceSpec = NEXUS_5X_A6,
 ):
-    """Create the M / C / A trio and power everything on."""
-    from repro.devices.catalog import NEXUS_5X_A8
+    """Create the M / C / A trio and power everything on.
 
-    m = world.add_device("M", m_spec)
-    c = world.add_device("C", c_spec or NEXUS_5X_A8)
-    a = world.add_device("A", a_spec)
-    m.power_on()
-    c.power_on()
-    a.power_on(connectable=False, discoverable=False)
-    world.run_for(0.5)
-    return m, c, a
+    The cast is itself a 3-member population (the ``standard-cast``
+    preset parameterised with these specs), so single-attack worlds
+    and fleet-scale ambient worlds share one construction path — same
+    add/power/settle order, same RNG streams, byte-identical results.
+    """
+    from repro.devices.catalog import NEXUS_5X_A8
+    from repro.population import CastMember, PopulationSpec, populate
+
+    population = populate(
+        world,
+        PopulationSpec(
+            name="standard-cast",
+            members=(
+                # Live DeviceSpec objects, not keys: callers hand in
+                # non-catalog variants (hardened secure-HCI specs).
+                CastMember(role="M", spec=m_spec),
+                CastMember(role="C", spec=c_spec or NEXUS_5X_A8),
+                CastMember(
+                    role="A",
+                    spec=a_spec,
+                    connectable=False,
+                    discoverable=False,
+                ),
+            ),
+        ),
+    )
+    return population.role("M"), population.role("C"), population.role("A")
 
 
 def bond(world: World, initiator: Device, responder: Device) -> None:

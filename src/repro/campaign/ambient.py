@@ -1,0 +1,116 @@
+"""Attack and detection scenarios run under ambient fleet load.
+
+BLAP's headline numbers come from three-device worlds; these wrappers
+re-run the same staged scenarios with a :mod:`repro.population` crowd
+around them, so campaigns can sweep *attack success rate, detector
+FPR and first-alert latency against background device count* — the
+result surfaces the ROADMAP's fleet-scale item asks for.
+
+Each wrapper delegates to the registered quiet-world scenario after
+populating the world, so the attack staging can never drift between
+the quiet and ambient variants.  The ``population`` param accepts a
+preset name, a bare device count, or an inline spec mapping — it is
+part of the campaign cache key like every other param.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.attacks.scenario import World
+from repro.campaign import detection as _detection  # noqa: F401  (registry)
+from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
+from repro.campaign.trial import (
+    Scenario,
+    get_scenario,
+    register_scenario,
+)
+from repro.population import populate
+
+#: default crowd for ambient sweeps — small enough for smoke tests,
+#: busy enough that sniffer fan-out and page races see real traffic
+DEFAULT_POPULATION = "cafe"
+
+
+class _AmbientScenario(Scenario):
+    """Populate the world, then delegate to the quiet-world scenario."""
+
+    #: registry name of the wrapped scenario
+    inner = ""
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        inner_params = dict(params)
+        population = populate(world, inner_params.pop("population"))
+        success, outcome, detail = get_scenario(self.inner).execute(
+            world, inner_params, seed
+        )
+        detail["population"] = population.summary()
+        detail["background_devices"] = len(population.ambient)
+        detail["events_processed"] = world.simulator.events_processed
+        return success, outcome, detail
+
+
+@register_scenario
+class AmbientPageBlockingScenario(_AmbientScenario):
+    """Table II's page-blocking attack inside a busy neighbourhood."""
+
+    name = "page-blocking-ambient"
+    description = "page blocking (PLOC) under ambient fleet traffic"
+    inner = "page-blocking"
+    default_params = {
+        **get_scenario("page-blocking").default_params,
+        "population": DEFAULT_POPULATION,
+    }
+
+
+@register_scenario
+class AmbientExtractionScenario(_AmbientScenario):
+    """Table I's link-key extraction with a crowd on the air."""
+
+    name = "extraction-ambient"
+    description = "link key extraction under ambient fleet traffic"
+    inner = "extraction"
+    default_params = {
+        **get_scenario("extraction").default_params,
+        "population": DEFAULT_POPULATION,
+    }
+
+
+@register_scenario
+class AmbientDetectionScenario(_AmbientScenario):
+    """Detector quality under load: TPR/latency, or FPR via benign.
+
+    ``attack`` accepts the four staged attacks of ``detection-attack``
+    plus ``"benign"``, which delegates to ``detection-benign`` — one
+    scenario name sweeps both halves of the ROC picture against the
+    same background crowd.
+    """
+
+    name = "detection-ambient"
+    description = "online detectors vs attacks/benign under fleet load"
+    inner = "detection-attack"
+    default_params = {
+        **get_scenario("detection-attack").default_params,
+        "population": DEFAULT_POPULATION,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        if params.get("attack") != "benign":
+            return super().execute(world, params, seed)
+        population = populate(world, params["population"])
+        benign = get_scenario("detection-benign")
+        benign_params = {
+            key: params[key] for key in benign.default_params
+        }
+        success, outcome, detail = benign.execute(
+            world, benign_params, seed
+        )
+        detail["attack"] = "benign"
+        detail["population"] = population.summary()
+        detail["background_devices"] = len(population.ambient)
+        detail["events_processed"] = world.simulator.events_processed
+        return success, outcome, detail

@@ -48,12 +48,15 @@ def trial_key(
     params: Mapping[str, Any],
     version: Optional[str] = None,
     fault_plan: Optional[Any] = None,
+    population: Optional[Any] = None,
 ) -> str:
     """Content hash identifying one trial's result.
 
     ``fault_plan`` (a JSON-able plan, normally
     ``FaultPlan.to_jsonable()``) is part of the identity: a faulted
-    sweep must never be served a cached no-fault result.
+    sweep must never be served a cached no-fault result.  Likewise
+    ``population`` (normally ``PopulationSpec.to_jsonable()``): an
+    ambient-load sweep must never reuse a quiet-world result.
     """
     payload = json.dumps(
         {
@@ -62,6 +65,7 @@ def trial_key(
             "seed": seed,
             "params": params,
             "faults": fault_plan,
+            "population": population,
             "code": version if version is not None else code_version(),
         },
         sort_keys=True,

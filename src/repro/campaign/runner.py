@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.attacks.scenario import WorldConfig, build_world
+from repro.campaign import ambient as _ambient  # noqa: F401  (registry)
 from repro.campaign import detection as _detection  # noqa: F401  (registry)
 from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
 from repro.campaign.cache import ResultCache, trial_key
@@ -49,6 +50,7 @@ from repro.campaign.telemetry import (
 from repro.campaign.trial import TrialConfig, TrialResult, get_scenario
 from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsRegistry
+from repro.population import PopulationSpec
 
 #: default cap on per-world tracer records — campaigns only need the
 #: metrics snapshots, not full traces, so keep worlds lean.
@@ -106,6 +108,7 @@ def run_trial(
     timeout_s: Optional[float] = None,
     max_attempts: int = 1,
     fault_plan: Optional[Any] = None,
+    population: Optional[Any] = None,
 ) -> Tuple[TrialResult, Dict[str, Any]]:
     """One trial in a fresh isolated world; returns (result, metrics).
 
@@ -117,10 +120,14 @@ def run_trial(
     are derived from the trial seed inside ``build_world``, *fresh on
     every attempt*: a retried trial replays the identical fault
     sequence instead of continuing a half-exhausted parent stream.
+    ``population`` (anything ``PopulationSpec.coerce`` accepts) builds
+    the ambient crowd at world-build time the same way — each attempt
+    resamples the identical fleet from the same child streams.
     """
     scenario = get_scenario(scenario_name)
     config = TrialConfig(seed=seed, params=dict(params or {}))
     plan = FaultPlan.coerce(fault_plan)
+    crowd = PopulationSpec.coerce(population)
     attempts = 0
     while True:
         attempts += 1
@@ -131,6 +138,7 @@ def run_trial(
                 registry=registry,
                 max_trace_records=max_trace_records,
                 fault_plan=plan,
+                population=crowd,
             )
         )
         try:
@@ -139,6 +147,10 @@ def run_trial(
             result.attempts = attempts
             if plan is not None and world.faults is not None:
                 result.detail["faults_injected"] = world.faults.summary()
+            if crowd is not None and world.populations:
+                result.detail["world_population"] = (
+                    world.populations[0].summary()
+                )
             return result, registry.snapshot()
         except Exception as exc:  # noqa: BLE001 - campaign must survive
             if attempts >= max_attempts:
@@ -180,6 +192,7 @@ def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
         timeout_s,
         max_attempts,
         fault_plan,
+        population,
         sink,
     ) = args
     out: List[Dict[str, Any]] = []
@@ -192,6 +205,7 @@ def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
             timeout_s=timeout_s,
             max_attempts=max_attempts,
             fault_plan=fault_plan,
+            population=population,
         )
         entry = {"result": result.to_dict(), "metrics": metrics}
         out.append(entry)
@@ -211,6 +225,9 @@ class CampaignSpec:
     params: Mapping[str, Any] = field(default_factory=dict)
     #: optional fault plan applied to every trial (part of the cache key)
     fault_plan: Optional[Any] = None
+    #: optional device population built into every trial's world
+    #: (also part of the cache key)
+    population: Optional[Any] = None
 
 
 @dataclass
@@ -271,6 +288,8 @@ class CampaignRunner:
         seeds = list(spec.seeds)
         plan = FaultPlan.coerce(spec.fault_plan)
         plan_json = plan.to_jsonable() if plan is not None else None
+        crowd = PopulationSpec.coerce(spec.population)
+        crowd_json = crowd.to_jsonable() if crowd is not None else None
 
         by_seed: Dict[int, Dict[str, Any]] = {}
         keys: Dict[int, str] = {}
@@ -285,7 +304,11 @@ class CampaignRunner:
         if self.cache is not None:
             for seed in seeds:
                 keys[seed] = trial_key(
-                    spec.scenario, seed, params, fault_plan=plan_json
+                    spec.scenario,
+                    seed,
+                    params,
+                    fault_plan=plan_json,
+                    population=crowd_json,
                 )
             for seed in dict.fromkeys(seeds):
                 entry = self.cache.get(keys[seed])
@@ -309,7 +332,7 @@ class CampaignRunner:
             self.progress(done, len(seeds))
 
         for seed, entry in self._execute(
-            spec.scenario, pending, params, plan_json
+            spec.scenario, pending, params, plan_json, crowd_json
         ):
             by_seed[seed] = entry
             if self.cache is not None:
@@ -346,6 +369,7 @@ class CampaignRunner:
         seeds: List[int],
         params: Dict[str, Any],
         fault_plan: Optional[Dict[str, Any]] = None,
+        population: Optional[Dict[str, Any]] = None,
     ):
         """Yield (seed, entry) for every missing seed, sharded.
 
@@ -369,6 +393,7 @@ class CampaignRunner:
                 self.timeout_s,
                 self.max_attempts,
                 fault_plan,
+                population,
                 sink,
             )
             for entry, seed in zip(_run_shard(shard_args), seeds):
@@ -391,6 +416,7 @@ class CampaignRunner:
                 self.timeout_s,
                 self.max_attempts,
                 fault_plan,
+                population,
                 queue,
             )
             for shard in self._shards(seeds, workers)

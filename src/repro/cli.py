@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -145,7 +146,60 @@ def _load_fault_plan(path: Optional[str]):
         raise SystemExit(2)
 
 
-def _run_demo_world(scenario_name: str, seed: int, params=None, fault_plan=None):
+def _load_population(value: Optional[str]):
+    """``--population VALUE`` → a :class:`PopulationSpec` (or ``None``).
+
+    ``VALUE`` is a preset name (``blap population list``), a bare
+    device count (an ambient crowd of that size), or a path to a spec
+    JSON.  Same operator-error convention as :func:`_load_fault_plan`:
+    one line on stderr, exit status 2.
+    """
+    if not value:
+        return None
+    from repro.population import (
+        PopulationError,
+        PopulationSpec,
+        ambient_spec,
+        get_population,
+        population_names,
+    )
+
+    try:
+        count = int(value)
+    except ValueError:
+        pass
+    else:
+        if count <= 0:
+            print(
+                f"blap: population size must be positive: {value}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return ambient_spec(count)
+    if os.sep in value or value.endswith(".json"):
+        try:
+            return PopulationSpec.from_file(value)
+        except FileNotFoundError:
+            print(f"blap: population spec not found: {value}", file=sys.stderr)
+            raise SystemExit(2)
+        except (PopulationError, OSError) as exc:
+            print(f"blap: bad population spec {value}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    try:
+        return get_population(value)
+    except PopulationError:
+        known = ", ".join(population_names())
+        print(
+            f"blap: unknown population {value!r} "
+            f"(presets: {known}; or pass a count or a spec JSON path)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
+def _run_demo_world(
+    scenario_name: str, seed: int, params=None, fault_plan=None, population=None
+):
     """One narrated run: fresh world, unbounded tracer, isolated metrics.
 
     Returns ``(world, TrialResult)`` so callers can also export the
@@ -158,7 +212,10 @@ def _run_demo_world(scenario_name: str, seed: int, params=None, fault_plan=None)
 
     world = build_world(
         WorldConfig(
-            seed=seed, registry=MetricsRegistry(), fault_plan=fault_plan
+            seed=seed,
+            registry=MetricsRegistry(),
+            fault_plan=fault_plan,
+            population=population,
         )
     )
     scenario = get_scenario(scenario_name)
@@ -210,6 +267,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         args.seed,
         dict(args.param or []),
         fault_plan=_load_fault_plan(args.fault_plan),
+        population=_load_population(args.population),
     )
     narrator = _NARRATORS.get(args.scenario)
     if narrator is not None:
@@ -235,6 +293,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         args.scenario,
         args.seed,
         fault_plan=_load_fault_plan(args.fault_plan),
+        population=_load_population(args.population),
     )
     events = world.obs.timeline.events(
         sources=args.source or None, categories=args.category or None
@@ -333,6 +392,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         seeds=range(args.seed_base, args.seed_base + args.trials),
         params=params,
         fault_plan=_load_fault_plan(args.fault_plan),
+        population=_load_population(args.population),
     )
     telemetry = None
     store = None
@@ -537,6 +597,65 @@ def _cmd_faults_describe(args: argparse.Namespace) -> int:
             print(f"  {key}: {doc}")
     else:
         print("params      : (none)")
+    return 0
+
+
+# ---------------------------------------------------------------- populations
+
+
+def _cmd_population_list(args: argparse.Namespace) -> int:
+    from repro.population import get_population, population_names
+
+    for name in population_names():
+        spec = get_population(name)
+        print(f"{name:<16} {spec.total_devices:>4} devices  {spec.description}")
+        if args.verbose:
+            for member in spec.members:
+                print(f"    cast {member.role}: {member.spec}")
+            if spec.size:
+                print(
+                    f"    ambient {spec.size}: "
+                    f"inquirers {spec.inquirer_fraction:.0%}, "
+                    f"talkers {spec.talker_fraction:.0%}, "
+                    f"discoverable {spec.discoverable_fraction:.0%}"
+                )
+    return 0
+
+
+def _cmd_population_describe(args: argparse.Namespace) -> int:
+    from repro.population import PopulationError, get_population
+
+    try:
+        spec = get_population(args.name)
+    except PopulationError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(spec.to_jsonable(), indent=1, sort_keys=True))
+        return 0
+    print(f"name          : {spec.name}")
+    print(f"description   : {spec.description}")
+    print(f"total devices : {spec.total_devices}")
+    if spec.members:
+        print("cast          :")
+        for member in spec.members:
+            flags = []
+            if not member.connectable:
+                flags.append("non-connectable")
+            if not member.discoverable:
+                flags.append("non-discoverable")
+            note = f" ({', '.join(flags)})" if flags else ""
+            print(f"  {member.role}: {member.spec}{note}")
+    if spec.size:
+        print(f"ambient       : {spec.size} devices")
+        print("mix           :")
+        for key, weight in spec.resolved_mix():
+            print(f"  {key}: {weight:.3f}")
+        print(f"inquirers     : {spec.inquirer_fraction:.0%}")
+        print(f"talkers       : {spec.talker_fraction:.0%}")
+        print(f"discoverable  : {spec.discoverable_fraction:.0%}")
+        print(f"inquiry period: {spec.inquiry_period_s}s")
+        print(f"connect period: {spec.connect_period_s}s")
     return 0
 
 
@@ -980,6 +1099,16 @@ def _add_fault_plan_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_population_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--population",
+        default=None,
+        metavar="PRESET|N|SPEC.json",
+        help="ambient device population: a preset name "
+        "(see `blap population list`), a device count, or a spec JSON",
+    )
+
+
 def _add_campaign_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1, help="worker processes"
@@ -1055,6 +1184,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario parameter override (repeatable)",
     )
     _add_fault_plan_arg(demo)
+    _add_population_arg(demo)
     demo.set_defaults(func=_cmd_demo)
 
     timeline = sub.add_parser(
@@ -1100,6 +1230,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="store run id (default: timeline-<scenario>-<seed>)",
     )
     _add_fault_plan_arg(timeline)
+    _add_population_arg(timeline)
     timeline.set_defaults(func=_cmd_timeline)
 
     campaign = sub.add_parser(
@@ -1145,6 +1276,7 @@ def build_parser() -> argparse.ArgumentParser:
         "finish (bare --store uses the default database)",
     )
     _add_fault_plan_arg(run)
+    _add_population_arg(run)
     _add_campaign_common(run)
     run.set_defaults(func=_cmd_campaign_run)
 
@@ -1331,6 +1463,25 @@ def build_parser() -> argparse.ArgumentParser:
     fdesc = fsub.add_parser("describe", help="one injection point in full")
     fdesc.add_argument("point", help="point name, e.g. phy.frame_loss")
     fdesc.set_defaults(func=_cmd_faults_describe)
+
+    population = sub.add_parser(
+        "population", help="the ambient device population presets"
+    )
+    psub = population.add_subparsers(dest="population_command", required=True)
+
+    plist = psub.add_parser("list", help="registered population presets")
+    plist.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show cast members and ambient parameters",
+    )
+    plist.set_defaults(func=_cmd_population_list)
+
+    pdesc = psub.add_parser("describe", help="one preset in full")
+    pdesc.add_argument("name", help="preset name, e.g. office-floor")
+    pdesc.add_argument(
+        "--json", action="store_true", help="emit the spec as JSON"
+    )
+    pdesc.set_defaults(func=_cmd_population_describe)
 
     def _add_db_arg(target: argparse.ArgumentParser) -> None:
         target.add_argument(

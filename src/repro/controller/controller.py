@@ -321,6 +321,9 @@ class Controller:
     def bd_addr(self, value: BdAddr) -> None:
         """Direct BD_ADDR write — the spoofing hook (persist/bdaddr.txt)."""
         self._bd_addr = value
+        # Pages resolve through the medium's address index; a spoofed
+        # address must land there or the PLOC race never sees us.
+        self.medium.notify_addr_changed(self)
 
     @property
     def inquiry_scan_enabled(self) -> bool:

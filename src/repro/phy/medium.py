@@ -152,6 +152,13 @@ class RadioMedium:
         self._m_links_dropped = metrics.counter("phy.links_dropped")
         self._m_inquiries = metrics.counter("phy.inquiries")
         self._controllers: List[RadioPeer] = []
+        # Lazy BD_ADDR -> [peers] index so a page is O(matching peers)
+        # instead of a scan over every registered controller (the
+        # fleet-scale hot spot: ambient churn pages constantly).
+        # Invalidated wholesale on register/unregister and on any
+        # address change (spoofing) — rebuilt in registration order so
+        # candidate RNG draws replay identically.
+        self._addr_index: Optional[Dict[BdAddr, List[RadioPeer]]] = None
         self._links: Dict[int, PhysicalLink] = {}
         self._link_ids = itertools.count(1)
         self._sniffers: List[AirSniffer] = []
@@ -171,9 +178,30 @@ class RadioMedium:
     def register(self, controller: RadioPeer) -> None:
         if controller not in self._controllers:
             self._controllers.append(controller)
+            self._addr_index = None
 
     def unregister(self, controller: RadioPeer) -> None:
         self._controllers.remove(controller)
+        self._addr_index = None
+
+    def notify_addr_changed(self, peer: Optional[RadioPeer] = None) -> None:
+        """A registered peer's BD_ADDR changed (e.g. spoofing).
+
+        :class:`~repro.controller.controller.Controller` calls this
+        from its ``bd_addr`` setter; any custom :class:`RadioPeer`
+        that mutates its address after registration must do the same
+        or pages toward the new address may miss it.
+        """
+        self._addr_index = None
+
+    def _peers_for_addr(self, addr: BdAddr) -> List[RadioPeer]:
+        index = self._addr_index
+        if index is None:
+            index = {}
+            for peer in self._controllers:
+                index.setdefault(peer.bd_addr, []).append(peer)
+            self._addr_index = index
+        return index.get(addr, [])
 
     def set_in_range(self, a: RadioPeer, b: RadioPeer, in_range: bool) -> None:
         """Make a pair of controllers (un)reachable from each other."""
@@ -184,6 +212,10 @@ class RadioMedium:
             self._blocked_pairs.add(key)
 
     def _reachable(self, a: RadioPeer, b: RadioPeer) -> bool:
+        # Fast path: no range restrictions (the common case) costs one
+        # truthiness check instead of a frozenset allocation per pair.
+        if not self._blocked_pairs:
+            return True
         return frozenset((a.name, b.name)) not in self._blocked_pairs
 
     def add_air_sniffer(self, sniffer: AirSniffer) -> None:
@@ -347,12 +379,10 @@ class RadioMedium:
                 return
             page_extra = fate.extra_delay_s
         candidates: List[Tuple[float, RadioPeer]] = []
-        for peer in self._controllers:
+        for peer in self._peers_for_addr(target):
             if peer is source or not self._reachable(source, peer):
                 continue
             if not peer.page_scan_enabled:
-                continue
-            if peer.bd_addr != target:
                 continue
             delay = self.rng.uniform(0.0, peer.page_scan_interval_s)
             if self._sniffers:
@@ -431,7 +461,8 @@ class RadioMedium:
         link.frames_exchanged += 1
         self._m_frames_sent.inc()
         now = self.simulator.now
-        self._sniff(now, link.link_id, sender.name, frame)
+        if self._sniffers:
+            self._sniff(now, link.link_id, sender.name, frame)
         delay = _FRAME_LATENCY
         if self._frame_fault_filters:
             for fault_filter in self._frame_fault_filters:

@@ -1,0 +1,45 @@
+"""Fleet-scale device populations with ambient Bluetooth traffic.
+
+The paper's trials build three devices around one attack; this package
+builds the *city block around them*: a :class:`PopulationSpec` samples
+a heterogeneous device mix (weights parameterised from the Table I/II
+stack/vendor matrix in :mod:`repro.devices.catalog`) and drives it
+with ambient traffic — periodic inquiries, page/connect/disconnect
+churn and short-lived piconets — all scheduled on the world's event
+loop from per-seed child RNG streams, so a 500-device world replays
+byte-identically for a given seed.
+
+Entry points:
+
+* :func:`populate` — instantiate a spec inside a world (composes with
+  ``standard_cast``, which is itself a 3-member population preset);
+* ``WorldConfig(population=...)`` — populate at world-build time;
+* the preset registry (:func:`get_population`,
+  :func:`population_names`) behind ``blap population list|describe``
+  and the ``--population`` CLI flag.
+"""
+
+from repro.population.ambient import Population, populate
+from repro.population.spec import (
+    CastMember,
+    PopulationError,
+    PopulationSpec,
+    ambient_spec,
+    get_population,
+    population_names,
+    register_population,
+    table_mix,
+)
+
+__all__ = [
+    "CastMember",
+    "Population",
+    "PopulationError",
+    "PopulationSpec",
+    "ambient_spec",
+    "get_population",
+    "populate",
+    "population_names",
+    "register_population",
+    "table_mix",
+]

@@ -1,0 +1,280 @@
+"""Instantiate populations and drive their ambient traffic.
+
+:func:`populate` is the one construction path for inhabited worlds:
+it builds a spec's cast members and sampled ambient crowd in a fixed
+order (add everything, power everything, settle), then schedules the
+ambient drivers — periodic inquiries, page/connect/disconnect churn
+and short-lived SDP piconets — on the world's event loop.
+
+Determinism: the device mix is sampled from one child RNG stream per
+population (``population:<prefix>:mix``) and every ambient device
+draws its behaviour from its own stream
+(``population:<prefix>:dev<i>``), so adding consumers never perturbs
+the attack-facing streams and the same seed replays the same crowd,
+schedule and traffic byte-for-byte — including across campaign worker
+processes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import accumulate
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.devices.catalog import spec_by_key
+from repro.population.spec import PopulationSpec
+
+if TYPE_CHECKING:
+    from repro.attacks.scenario import World
+    from repro.devices.device import Device
+
+
+class _AmbientAgent:
+    """One background device's behaviour loops."""
+
+    __slots__ = (
+        "population", "device", "rng", "spec",
+        "discoverable", "inquirer", "talker", "partner", "_next",
+    )
+
+    def __init__(
+        self,
+        population: "Population",
+        device: "Device",
+        rng,
+        spec: PopulationSpec,
+    ) -> None:
+        self.population = population
+        self.device = device
+        self.rng = rng
+        self.spec = spec
+        # Fixed draw order — the whole behaviour profile comes from
+        # this device's private stream before any traffic starts.
+        self.discoverable = rng.random() < spec.discoverable_fraction
+        self.inquirer = rng.random() < spec.inquirer_fraction
+        self.talker = rng.random() < spec.talker_fraction
+        self.partner: Optional["Device"] = None
+        self._next: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Schedule the first ticks (phases drawn from the own stream)."""
+        simulator = self.population.world.simulator
+        if self.inquirer:
+            self._next["inquiry"] = simulator.schedule(
+                self.rng.uniform(0.5, self.spec.inquiry_period_s),
+                self._inquiry_tick,
+            )
+        if self.talker and self.partner is not None:
+            self._next["connect"] = simulator.schedule(
+                self.rng.uniform(1.0, self.spec.connect_period_s),
+                self._connect_tick,
+            )
+
+    def cancel(self) -> None:
+        for event in self._next.values():
+            event.cancel()
+        self._next.clear()
+
+    def _jitter(self, period: float) -> float:
+        return period * self.rng.uniform(0.8, 1.25)
+
+    # ---------------------------------------------------------------- loops
+
+    def _inquiry_tick(self) -> None:
+        population = self.population
+        if not population.active:
+            return
+        self.device.host.gap.start_discovery(
+            inquiry_length=self.spec.inquiry_length
+        )
+        population._m_inquiries.inc()
+        self._next["inquiry"] = population.world.simulator.schedule(
+            self._jitter(self.spec.inquiry_period_s), self._inquiry_tick
+        )
+
+    def _connect_tick(self) -> None:
+        population = self.population
+        if not population.active:
+            return
+        gap = self.device.host.gap
+        addr = self.partner.bd_addr
+        if not gap.is_connected(addr):
+            gap.connect(addr)
+            population._m_connects.inc()
+            self._next["session"] = population.world.simulator.schedule(
+                self._jitter(self.spec.session_s), self._session_end
+            )
+        self._next["connect"] = population.world.simulator.schedule(
+            self._jitter(self.spec.connect_period_s), self._connect_tick
+        )
+
+    def _session_end(self) -> None:
+        population = self.population
+        if not population.active:
+            return
+        gap = self.device.host.gap
+        addr = self.partner.bd_addr
+        if not gap.is_connected(addr):
+            return
+        population._m_sessions.inc()
+        if self.rng.random() < self.spec.sdp_probability:
+            self.device.host.sdp.query(addr)
+            self._next["session"] = population.world.simulator.schedule(
+                1.0, self._teardown
+            )
+        else:
+            gap.disconnect(addr)
+
+    def _teardown(self) -> None:
+        population = self.population
+        if not population.active:
+            return
+        gap = self.device.host.gap
+        if gap.is_connected(self.partner.bd_addr):
+            gap.disconnect(self.partner.bd_addr)
+
+
+class Population:
+    """One instantiated population living inside a world."""
+
+    def __init__(
+        self, world: "World", spec: PopulationSpec, prefix: str
+    ) -> None:
+        self.world = world
+        self.spec = spec
+        self.prefix = prefix
+        self.members: Dict[str, "Device"] = {}
+        self.ambient: List["Device"] = []
+        self.agents: List[_AmbientAgent] = []
+        self.active = True
+        metrics = world.obs.metrics
+        self._m_devices = metrics.counter("population.devices")
+        self._m_inquiries = metrics.counter("population.ambient_inquiries")
+        self._m_connects = metrics.counter("population.ambient_connects")
+        self._m_sessions = metrics.counter("population.ambient_sessions")
+
+    def role(self, role: str) -> "Device":
+        """A cast member by role name (e.g. ``"M"``)."""
+        return self.members[role]
+
+    @property
+    def devices(self) -> List["Device"]:
+        return list(self.members.values()) + self.ambient
+
+    def stop(self) -> None:
+        """Quiesce the ambient traffic (pending ticks are cancelled)."""
+        self.active = False
+        for agent in self.agents:
+            agent.cancel()
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-able, deterministic description of what was built."""
+        mix_counts: Dict[str, int] = {}
+        for device in self.ambient:
+            key = device.spec.key
+            mix_counts[key] = mix_counts.get(key, 0) + 1
+        return {
+            "name": self.spec.name,
+            "prefix": self.prefix,
+            "members": list(self.members),
+            "size": len(self.ambient),
+            "inquirers": sum(1 for agent in self.agents if agent.inquirer),
+            "talkers": sum(
+                1
+                for agent in self.agents
+                if agent.talker and agent.partner is not None
+            ),
+            "discoverable": sum(
+                1 for agent in self.agents if agent.discoverable
+            ),
+            "mix": dict(sorted(mix_counts.items())),
+        }
+
+
+def populate(
+    world: "World",
+    spec: Union[PopulationSpec, str, int, Dict[str, Any], None],
+    *,
+    prefix: Optional[str] = None,
+) -> Population:
+    """Build a population inside ``world`` and start its ambient traffic.
+
+    Construction order is fixed (and matches what ``standard_cast``
+    always did): add every device, then power every device on in the
+    same order, then settle for ``spec.settle_s`` simulated seconds —
+    so re-expressing the cast as a population preset keeps the golden
+    Table I/II artifacts byte-identical.
+
+    Composes freely: a world can hold several populations (a
+    ``WorldConfig(population=...)`` crowd plus the scenario's cast);
+    each gets its own name prefix and RNG streams.
+    """
+    resolved = PopulationSpec.coerce(spec)
+    if resolved is None:
+        resolved = PopulationSpec()
+    index = len(world.populations)
+    if prefix is None:
+        prefix = f"bg{index}"
+    population = Population(world, resolved, prefix)
+    world.populations.append(population)
+
+    for member in resolved.members:
+        if member.role in world.devices:
+            raise ValueError(
+                f"world already has a device named {member.role!r}"
+            )
+        population.members[member.role] = world.add_device(
+            member.role, member.resolved_spec()
+        )
+
+    sampled_keys: List[str] = []
+    if resolved.size > 0:
+        mix = resolved.resolved_mix()
+        keys = [key for key, _ in mix]
+        cumulative = list(accumulate(weight for _, weight in mix))
+        total = cumulative[-1]
+        mix_rng = world.rng.stream(f"population:{prefix}:mix")
+        for _ in range(resolved.size):
+            point = mix_rng.random() * total
+            sampled_keys.append(
+                keys[min(bisect_right(cumulative, point), len(keys) - 1)]
+            )
+        for i, key in enumerate(sampled_keys):
+            device = world.add_device(
+                f"{prefix}-{i:03d}", spec_by_key(key)
+            )
+            population.ambient.append(device)
+
+    for member in resolved.members:
+        population.members[member.role].power_on(
+            connectable=member.connectable,
+            discoverable=member.discoverable,
+        )
+    for i, device in enumerate(population.ambient):
+        agent = _AmbientAgent(
+            population,
+            device,
+            world.rng.stream(f"population:{prefix}:dev{i:03d}"),
+            resolved,
+        )
+        device.power_on(connectable=True, discoverable=agent.discoverable)
+        population.agents.append(agent)
+
+    # Partners are drawn after every ambient device exists, from each
+    # talker's own stream, then all first ticks are scheduled.
+    count = len(population.ambient)
+    for i, agent in enumerate(population.agents):
+        if agent.talker and count >= 2:
+            other = agent.rng.randrange(count - 1)
+            if other >= i:
+                other += 1
+            agent.partner = population.ambient[other]
+    for agent in population.agents:
+        agent.start()
+
+    population._m_devices.inc(resolved.total_devices)
+    if resolved.settle_s > 0:
+        world.run_for(resolved.settle_s)
+    return population

@@ -1,0 +1,429 @@
+"""Declarative device populations: JSON-serialisable, validated, hashable.
+
+A :class:`PopulationSpec` describes one world's inhabitants:
+
+* ``members`` — named cast devices built in order (the M/C/A trio is
+  itself the ``standard-cast`` preset, so the paper's worlds and the
+  fleet worlds share one construction path);
+* ``size`` + ``mix`` — how many ambient background devices to sample
+  and the catalog-key weights to sample them from (default: the
+  Table I/II appearance counts plus accessory flavour);
+* behaviour knobs — what fraction of the background inquires, talks
+  and stays discoverable, and on what cadence.
+
+Specs round-trip losslessly through JSON — they travel inside campaign
+specs, across worker processes and into the disk-cache content hash —
+mirroring :class:`repro.faults.FaultPlan`.  The preset registry backs
+``blap population list|describe`` and the ``--population`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.devices.catalog import (
+    ANDROID_AUTOMOTIVE_HEAD_UNIT,
+    HEADSET,
+    TABLE1_DEVICE_SPECS,
+    TABLE2_DEVICE_SPECS,
+    DeviceSpec,
+    spec_by_key,
+)
+
+
+class PopulationError(ValueError):
+    """An invalid population spec (unknown device key, bad knob)."""
+
+
+def table_mix() -> Tuple[Tuple[str, float], ...]:
+    """Default ambient device mix, weighted by the paper's tables.
+
+    Each appearance in Table I (link-key extraction fleet) or Table II
+    (page-blocking fleet) contributes one unit of weight — the stacks
+    the paper evaluated most are the stacks the simulated street sees
+    most — plus accessory flavour (headsets, a car head unit) so the
+    background is not phones-only.
+    """
+    weights: Dict[str, float] = {}
+    for spec in list(TABLE1_DEVICE_SPECS) + list(TABLE2_DEVICE_SPECS):
+        weights[spec.key] = weights.get(spec.key, 0.0) + 1.0
+    weights[HEADSET.key] = weights.get(HEADSET.key, 0.0) + 3.0
+    head_unit = ANDROID_AUTOMOTIVE_HEAD_UNIT.key
+    weights[head_unit] = weights.get(head_unit, 0.0) + 1.0
+    return tuple(sorted(weights.items()))
+
+
+@dataclass(frozen=True)
+class CastMember:
+    """One named device built in order before the ambient crowd.
+
+    ``spec`` is normally a catalog key (JSON-able; validated against
+    the catalog), but a live :class:`DeviceSpec` is also accepted so
+    programmatic casts — hardened/mitigation variants built with
+    ``dataclasses.replace`` — flow through the same path.  Live specs
+    serialise as their ``key``, so only catalog-backed members
+    round-trip through JSON.
+    """
+
+    role: str
+    spec: Union[str, DeviceSpec]
+    connectable: bool = True
+    discoverable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.role:
+            raise PopulationError("cast member needs a non-empty role")
+        if isinstance(self.spec, DeviceSpec):
+            return
+        try:
+            spec_by_key(self.spec)
+        except KeyError:
+            raise PopulationError(
+                f"member {self.role!r}: unknown device key {self.spec!r}"
+            ) from None
+
+    def resolved_spec(self) -> DeviceSpec:
+        if isinstance(self.spec, DeviceSpec):
+            return self.spec
+        return spec_by_key(self.spec)
+
+    @property
+    def spec_key(self) -> str:
+        return self.spec.key if isinstance(self.spec, DeviceSpec) else self.spec
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "role": self.role,
+            "spec": self.spec_key,
+            "connectable": self.connectable,
+            "discoverable": self.discoverable,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "CastMember":
+        if not isinstance(data, Mapping):
+            raise PopulationError(f"member must be an object, got {data!r}")
+        unknown = set(data) - {"role", "spec", "connectable", "discoverable"}
+        if unknown:
+            raise PopulationError(
+                f"member has unknown fields {sorted(unknown)}"
+            )
+        if "role" not in data or "spec" not in data:
+            raise PopulationError(
+                f"member needs 'role' and 'spec': {dict(data)!r}"
+            )
+        return cls(
+            role=data["role"],
+            spec=data["spec"],
+            connectable=bool(data.get("connectable", True)),
+            discoverable=bool(data.get("discoverable", True)),
+        )
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """One world's inhabitants and their ambient behaviour."""
+
+    name: str = ""
+    description: str = ""
+    #: named devices built (and powered) in order, before the crowd
+    members: Tuple[CastMember, ...] = ()
+    #: how many ambient background devices to sample
+    size: int = 0
+    #: (catalog key, weight) sampling table; empty -> :func:`table_mix`
+    mix: Tuple[Tuple[str, float], ...] = ()
+    #: settle time simulated after power-on (matches ``standard_cast``)
+    settle_s: float = 0.5
+    # -- ambient behaviour ------------------------------------------------
+    #: fraction of ambient devices that answer inquiries
+    discoverable_fraction: float = 0.25
+    #: fraction that periodically broadcast inquiries of their own
+    inquirer_fraction: float = 0.15
+    inquiry_period_s: float = 20.0
+    #: inquiry length in 1.28 s units (kept short: ambient, not a scan)
+    inquiry_length: int = 2
+    #: fraction that run page/connect/disconnect churn with a partner
+    talker_fraction: float = 0.3
+    connect_period_s: float = 15.0
+    #: how long each short-lived piconet session stays up
+    session_s: float = 4.0
+    #: chance a session runs an SDP query before tearing down
+    sdp_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        members = tuple(
+            member
+            if isinstance(member, CastMember)
+            else CastMember.from_jsonable(member)
+            for member in self.members
+        )
+        object.__setattr__(self, "members", members)
+        roles = [member.role for member in members]
+        if len(set(roles)) != len(roles):
+            raise PopulationError(f"duplicate member roles in {roles}")
+        if self.size < 0:
+            raise PopulationError(f"size must be >= 0, got {self.size}")
+        # Normalise the mix to a key-sorted tuple: sampling iterates it
+        # in order, so the stored order is part of determinism.
+        mix = tuple(
+            sorted((str(key), float(weight)) for key, weight in self.mix)
+        )
+        object.__setattr__(self, "mix", mix)
+        seen = set()
+        for key, weight in mix:
+            if key in seen:
+                raise PopulationError(f"duplicate mix key {key!r}")
+            seen.add(key)
+            try:
+                spec_by_key(key)
+            except KeyError:
+                raise PopulationError(
+                    f"unknown device key {key!r} in mix"
+                ) from None
+            if weight <= 0:
+                raise PopulationError(
+                    f"mix weight for {key!r} must be > 0, got {weight}"
+                )
+        if self.size > 0 and not (mix or table_mix()):
+            raise PopulationError("ambient devices need a non-empty mix")
+        for knob in (
+            "discoverable_fraction",
+            "inquirer_fraction",
+            "talker_fraction",
+            "sdp_probability",
+        ):
+            value = getattr(self, knob)
+            if not 0.0 <= value <= 1.0:
+                raise PopulationError(f"{knob} {value} outside [0, 1]")
+        for knob in ("inquiry_period_s", "connect_period_s", "session_s"):
+            if getattr(self, knob) <= 0:
+                raise PopulationError(f"{knob} must be > 0")
+        if self.settle_s < 0:
+            raise PopulationError("settle_s must be >= 0")
+        if self.inquiry_length < 1:
+            raise PopulationError("inquiry_length must be >= 1")
+
+    # ---------------------------------------------------------------- props
+
+    def __bool__(self) -> bool:
+        return bool(self.members) or self.size > 0
+
+    @property
+    def total_devices(self) -> int:
+        return len(self.members) + self.size
+
+    def resolved_mix(self) -> Tuple[Tuple[str, float], ...]:
+        """The sampling table actually used (default when unset)."""
+        return self.mix if self.mix else table_mix()
+
+    # ----------------------------------------------------------------- JSON
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "members": [member.to_jsonable() for member in self.members],
+            "size": self.size,
+            "mix": {key: weight for key, weight in self.mix},
+            "settle_s": self.settle_s,
+            "discoverable_fraction": self.discoverable_fraction,
+            "inquirer_fraction": self.inquirer_fraction,
+            "inquiry_period_s": self.inquiry_period_s,
+            "inquiry_length": self.inquiry_length,
+            "talker_fraction": self.talker_fraction,
+            "connect_period_s": self.connect_period_s,
+            "session_s": self.session_s,
+            "sdp_probability": self.sdp_probability,
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialisation for content hashing."""
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_jsonable(cls, data: Any) -> "PopulationSpec":
+        if not isinstance(data, Mapping):
+            raise PopulationError(
+                f"population spec must be an object, got "
+                f"{type(data).__name__}"
+            )
+        known = {
+            "name", "description", "members", "size", "mix", "settle_s",
+            "discoverable_fraction", "inquirer_fraction",
+            "inquiry_period_s", "inquiry_length", "talker_fraction",
+            "connect_period_s", "session_s", "sdp_probability",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise PopulationError(
+                f"population spec has unknown fields {sorted(unknown)}"
+            )
+        raw_mix = data.get("mix", {})
+        if isinstance(raw_mix, Mapping):
+            mix = tuple(raw_mix.items())
+        elif isinstance(raw_mix, Sequence) and not isinstance(
+            raw_mix, (str, bytes)
+        ):
+            mix = tuple((key, weight) for key, weight in raw_mix)
+        else:
+            raise PopulationError(
+                f"mix must be a mapping or pair list, got {raw_mix!r}"
+            )
+        kwargs: Dict[str, Any] = {
+            "name": str(data.get("name", "")),
+            "description": str(data.get("description", "")),
+            "members": tuple(data.get("members", ())),
+            "size": int(data.get("size", 0)),
+            "mix": mix,
+        }
+        for knob in known - {"name", "description", "members", "size", "mix"}:
+            if knob in data:
+                kwargs[knob] = (
+                    int(data[knob])
+                    if knob == "inquiry_length"
+                    else float(data[knob])
+                )
+        return cls(**kwargs)
+
+    @classmethod
+    def coerce(
+        cls,
+        value: Union["PopulationSpec", str, int, Mapping, None],
+    ) -> Optional["PopulationSpec"]:
+        """Normalise any accepted spelling; ``None``/empty -> ``None``.
+
+        Accepted: a spec, a preset name, a bare device count (the
+        default ambient preset scaled to that size), or a JSON-able
+        mapping.
+        """
+        if value is None:
+            return None
+        if isinstance(value, PopulationSpec):
+            return value if value else None
+        if isinstance(value, bool):
+            raise PopulationError(f"cannot build a population from {value!r}")
+        if isinstance(value, int):
+            return ambient_spec(value) if value > 0 else None
+        if isinstance(value, str):
+            if not value:
+                return None
+            return get_population(value)
+        spec = cls.from_jsonable(value)
+        return spec if spec else None
+
+    @classmethod
+    def from_file(cls, path) -> "PopulationSpec":
+        """Load a spec from a JSON file (the ``--population`` format)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise PopulationError(
+                    f"{path}: invalid JSON: {exc}"
+                ) from None
+        spec = cls.from_jsonable(data)
+        if not spec.name:
+            spec = replace(spec, name=str(path))
+        return spec
+
+
+def ambient_spec(size: int, **overrides: Any) -> PopulationSpec:
+    """An ambient-only population of ``size`` default-mix devices."""
+    if size <= 0:
+        raise PopulationError(f"ambient size must be > 0, got {size}")
+    kwargs: Dict[str, Any] = {
+        "name": f"ambient-{size}",
+        "description": f"{size} background devices, Table I/II mix",
+        "size": size,
+    }
+    kwargs.update(overrides)
+    return PopulationSpec(**kwargs)
+
+
+# -------------------------------------------------------------- registry
+
+_POPULATIONS: Dict[str, PopulationSpec] = {}
+
+
+def register_population(spec: PopulationSpec) -> PopulationSpec:
+    """Register a named preset (latest registration wins)."""
+    if not spec.name:
+        raise PopulationError("presets need a name")
+    _POPULATIONS[spec.name] = spec
+    return spec
+
+
+def get_population(name: str) -> PopulationSpec:
+    try:
+        return _POPULATIONS[name]
+    except KeyError:
+        known = ", ".join(population_names())
+        raise PopulationError(
+            f"unknown population {name!r}; known: {known}"
+        ) from None
+
+
+def population_names() -> List[str]:
+    return sorted(_POPULATIONS)
+
+
+#: the paper's three-role cast as a population preset — the single
+#: construction path behind ``standard_cast`` (A powers on silent:
+#: neither connectable nor discoverable, exactly as the attack needs).
+STANDARD_CAST = register_population(
+    PopulationSpec(
+        name="standard-cast",
+        description="the paper's M/C/A trio, no background devices",
+        members=(
+            CastMember(role="M", spec="lg_velvet_android11"),
+            CastMember(role="C", spec="nexus_5x_android8"),
+            CastMember(
+                role="A",
+                spec="nexus_5x_android6",
+                connectable=False,
+                discoverable=False,
+            ),
+        ),
+    )
+)
+
+CAFE = register_population(
+    PopulationSpec(
+        name="cafe",
+        description="a dozen devices: light inquiry and pairing churn",
+        size=12,
+    )
+)
+
+OFFICE_FLOOR = register_population(
+    PopulationSpec(
+        name="office-floor",
+        description="forty devices with steady accessory traffic",
+        size=40,
+        talker_fraction=0.4,
+    )
+)
+
+CITY_BLOCK = register_population(
+    PopulationSpec(
+        name="city-block",
+        description="150 devices: dense overlapping piconets",
+        size=150,
+        discoverable_fraction=0.3,
+        inquirer_fraction=0.2,
+    )
+)
+
+STADIUM = register_population(
+    PopulationSpec(
+        name="stadium",
+        description="500 devices — the scaling-curve stress preset",
+        size=500,
+        inquirer_fraction=0.1,
+        talker_fraction=0.25,
+    )
+)

@@ -1,0 +1,83 @@
+"""Guard: the ``build_world`` API migration stays finished.
+
+The world-construction redesign moved every caller onto
+``build_world(WorldConfig(...))``; the legacy
+``build_world(seed, registry, max_trace_records)`` spelling survives
+only as a deprecation shim.  This test walks every Python file in the
+repo and fails if any callsite outside the shim's own tests still uses
+the legacy form — so the migration cannot silently regress as new
+scenarios, benchmarks, or docs-driven snippets land.
+
+Belt and braces with the pytest ``filterwarnings = error:...`` entries:
+the AST scan also covers files pytest never imports (benchmarks under
+``-m 'not perf'``, unreferenced helpers).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: files that intentionally exercise the deprecated spelling
+ALLOWED_LEGACY = {
+    Path("tests") / "test_campaign_scenarios.py",
+}
+
+LEGACY_KEYWORDS = {"seed", "registry", "max_trace_records"}
+
+
+def _is_world_config(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+    return name == "WorldConfig"
+
+
+def _legacy_calls(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name != "build_world":
+            continue
+        legacy_positional = any(
+            not _is_world_config(arg) for arg in node.args
+        )
+        legacy_keyword = any(
+            kw.arg in LEGACY_KEYWORDS for kw in node.keywords
+        )
+        if legacy_positional or legacy_keyword:
+            yield node.lineno
+
+
+def test_no_legacy_build_world_callsites():
+    offenders = []
+    for directory in ("src", "tests", "benchmarks"):
+        for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+            relative = path.relative_to(REPO_ROOT)
+            if relative in ALLOWED_LEGACY:
+                continue
+            for lineno in _legacy_calls(path):
+                offenders.append(f"{relative}:{lineno}")
+    assert not offenders, (
+        "legacy build_world(seed, registry, max_trace_records) callsites "
+        "remain; pass build_world(WorldConfig(...)) instead:\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_shim_exercised_only_where_allowed():
+    """The allowlist must stay honest: every allowed file still exists
+    and still contains at least one legacy call (else shrink it)."""
+    for relative in sorted(ALLOWED_LEGACY):
+        path = REPO_ROOT / relative
+        assert path.exists(), f"allowlisted file vanished: {relative}"
+        assert list(_legacy_calls(path)), (
+            f"{relative} no longer uses the legacy spelling; "
+            "remove it from ALLOWED_LEGACY"
+        )

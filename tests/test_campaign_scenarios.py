@@ -21,13 +21,16 @@ from repro.devices.catalog import GALAXY_S8, LG_VELVET
 EXPECTED_SCENARIOS = [
     "baseline-race",
     "degraded-race",
+    "detection-ambient",
     "detection-attack",
     "detection-benign",
     "eavesdrop",
     "exfiltration",
     "extraction",
+    "extraction-ambient",
     "knob",
     "page-blocking",
+    "page-blocking-ambient",
     "pin-crack",
 ]
 

@@ -1,0 +1,77 @@
+"""Fleet-scaling guard: events/s versus ambient device count.
+
+The population subsystem only earns its keep if the simulator stays
+usable at fleet scale — the O(n) page fan-out and sniffer loops in
+``phy.medium`` and the event-allocation hot path in ``sim.eventloop``
+were rebuilt for exactly this.  This guard pins the scaling curve:
+build time and event throughput at 10, 100 and 500 ambient devices,
+recorded to ``BENCH_population.json`` / ``BENCH_HISTORY.jsonl`` so
+``blap bench compare`` can flag regressions across PRs.
+
+Run with ``-m perf`` (CI's scaling-bench step); deselected from the
+functional matrix by ``-m "not perf"``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.attacks.scenario import WorldConfig, build_world
+from repro.core.bench import record_bench
+from repro.population import ambient_spec
+
+#: device counts the scaling curve samples
+COUNTS = (10, 100, 500)
+
+#: simulated seconds of ambient churn each sample runs
+RUN_S = 10.0
+
+
+def _sample(count: int) -> dict:
+    started = time.perf_counter()
+    world = build_world(
+        WorldConfig(seed=4000 + count, population=ambient_spec(count))
+    )
+    build_s = time.perf_counter() - started
+    base_events = world.simulator.events_processed
+
+    started = time.perf_counter()
+    world.run_for(RUN_S)
+    run_s = time.perf_counter() - started
+    events = world.simulator.events_processed - base_events
+    return {
+        "devices": count,
+        "build_s": build_s,
+        "run_s": run_s,
+        "events": events,
+        "events_per_s": events / run_s if run_s else 0.0,
+    }
+
+
+@pytest.mark.perf
+def test_events_per_second_vs_device_count():
+    samples = {count: _sample(count) for count in COUNTS}
+    for count, sample in samples.items():
+        record_bench(
+            "population",
+            f"scale_{count}",
+            {
+                "build_s": sample["build_s"],
+                "run_s": sample["run_s"],
+                "events": sample["events"],
+                "events_per_s": sample["events_per_s"],
+            },
+        )
+
+    # Loose floors — an order of magnitude under current numbers, so
+    # only a genuine scaling regression (an O(n) loop creeping back
+    # into the medium or the event loop) trips them.
+    assert samples[500]["build_s"] < 5.0, samples[500]
+    assert samples[500]["events_per_s"] > 5_000, samples[500]
+    # Per-event cost must not balloon with fleet size: 500 devices may
+    # cost at most 10x the per-event wall time of 10 devices.
+    cost_10 = samples[10]["run_s"] / samples[10]["events"]
+    cost_500 = samples[500]["run_s"] / samples[500]["events"]
+    assert cost_500 < cost_10 * 10, (cost_10, cost_500)

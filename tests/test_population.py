@@ -1,0 +1,260 @@
+"""Fleet-scale device populations: spec, sampling, determinism, FPR.
+
+The population subsystem is only useful if it is *boringly*
+deterministic: the same seed must produce the same crowd, the same
+ambient schedule and the same trial verdict whether the trial runs
+inline, in a worker pool, or on another machine.  These tests pin
+that, plus the statistical shape of the sampled mix and the promise
+that ambient traffic alone never trips the online detectors.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks.scenario import WorldConfig, build_world, standard_cast
+from repro.campaign import CampaignRunner, CampaignSpec, run_trial
+from repro.devices.catalog import spec_by_key
+from repro.population import (
+    CastMember,
+    PopulationError,
+    PopulationSpec,
+    ambient_spec,
+    get_population,
+    populate,
+    population_names,
+    table_mix,
+)
+
+
+class TestSpecValidation:
+    def test_presets_are_registered(self):
+        assert {
+            "standard-cast", "cafe", "office-floor", "city-block", "stadium"
+        } <= set(population_names())
+
+    def test_unknown_device_key_rejected(self):
+        with pytest.raises(PopulationError, match="unknown device key"):
+            PopulationSpec(mix=(("not_a_device", 1.0),), size=3)
+        with pytest.raises(PopulationError, match="unknown device key"):
+            CastMember(role="M", spec="not_a_device")
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(PopulationError, match="outside"):
+            PopulationSpec(size=3, talker_fraction=1.5)
+        with pytest.raises(PopulationError, match="size"):
+            PopulationSpec(size=-1)
+        with pytest.raises(PopulationError, match="weight"):
+            PopulationSpec(size=3, mix=(("generic_headset", 0.0),))
+        with pytest.raises(PopulationError, match="duplicate member roles"):
+            PopulationSpec(
+                members=(
+                    CastMember(role="M", spec="lg_velvet_android11"),
+                    CastMember(role="M", spec="nexus_5x_android8"),
+                )
+            )
+
+    def test_every_mix_key_resolves(self):
+        for key, weight in table_mix():
+            assert spec_by_key(key) is not None
+            assert weight > 0
+
+    def test_round_trip_through_json(self):
+        for name in population_names():
+            spec = get_population(name)
+            clone = PopulationSpec.from_jsonable(
+                json.loads(json.dumps(spec.to_jsonable()))
+            )
+            assert clone == spec
+            assert clone.canonical_json() == spec.canonical_json()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(PopulationError, match="unknown fields"):
+            PopulationSpec.from_jsonable({"size": 3, "bogus": 1})
+
+    def test_coerce_accepts_every_spelling(self):
+        assert PopulationSpec.coerce(None) is None
+        assert PopulationSpec.coerce("") is None
+        assert PopulationSpec.coerce(0) is None
+        assert PopulationSpec.coerce(PopulationSpec()) is None
+        assert PopulationSpec.coerce(7).size == 7
+        assert PopulationSpec.coerce("cafe") is get_population("cafe")
+        assert PopulationSpec.coerce({"size": 4}).size == 4
+        with pytest.raises(PopulationError):
+            PopulationSpec.coerce(True)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "crowd.json"
+        path.write_text(json.dumps(ambient_spec(5).to_jsonable()))
+        assert PopulationSpec.from_file(path) == ambient_spec(5)
+
+
+class TestCastEquivalence:
+    def test_standard_cast_is_the_preset(self):
+        """``standard_cast`` and ``populate(standard-cast)`` are the
+        same construction path — same devices, same addresses."""
+        world_a = build_world(WorldConfig(seed=42))
+        m, c, a = standard_cast(world_a)
+        world_b = build_world(WorldConfig(seed=42, population="standard-cast"))
+        crowd = world_b.populations[0]
+        assert crowd.role("M").bd_addr == m.bd_addr
+        assert crowd.role("C").bd_addr == c.bd_addr
+        assert crowd.role("A").bd_addr == a.bd_addr
+        assert world_b.simulator.events_processed == (
+            world_a.simulator.events_processed
+        )
+
+    def test_unknown_role_raises(self):
+        world = build_world(WorldConfig(seed=1))
+        crowd = populate(world, "standard-cast")
+        with pytest.raises(KeyError):
+            crowd.role("Z")
+
+    def test_role_collision_raises(self):
+        world = build_world(WorldConfig(seed=1))
+        standard_cast(world)
+        with pytest.raises(ValueError, match="already has a device"):
+            populate(world, "standard-cast")
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run(seed, spec):
+        world = build_world(WorldConfig(seed=seed, population=spec))
+        world.run_for(10.0)
+        crowd = world.populations[0]
+        return crowd.summary(), world.simulator.events_processed
+
+    def test_same_seed_same_crowd_and_schedule(self):
+        first = self._run(7, "cafe")
+        again = self._run(7, "cafe")
+        assert first == again
+
+    def test_different_seed_different_schedule(self):
+        assert self._run(7, "office-floor") != self._run(8, "office-floor")
+
+    def test_cast_draws_nothing_from_mix_streams(self):
+        """Adding a cast on top of a crowd must not perturb the
+        crowd's sampling — separate named RNG streams."""
+        alone = self._run(5, "cafe")[0]
+        world = build_world(WorldConfig(seed=5, population="cafe"))
+        standard_cast(world)
+        world.run_for(10.0)
+        assert world.populations[0].summary()["mix"] == alone["mix"]
+
+    def test_workers_match_inline(self):
+        """Same seed → identical trial results whether the trial runs
+        in-process or crosses a worker-process boundary."""
+        spec = CampaignSpec(
+            "extraction", seeds=[31, 32, 33], population="cafe"
+        )
+        inline = CampaignRunner(workers=1).run(spec)
+        sharded = CampaignRunner(workers=2).run(spec)
+
+        def strip(result):
+            data = result.to_dict()
+            data.pop("wall_time_s")  # host clock, not part of the verdict
+            return data
+
+        assert [strip(r) for r in inline.results] == (
+            [strip(r) for r in sharded.results]
+        )
+        assert all(
+            r.detail["world_population"]["name"] == "cafe"
+            for r in inline.results
+        )
+
+
+class TestMixStatistics:
+    def test_sample_tracks_weights(self):
+        """A 500-device sample lands within a loose tolerance of the
+        weight table — sampling is weighted, not uniform."""
+        world = build_world(WorldConfig(seed=123))
+        crowd = populate(world, ambient_spec(500, settle_s=0.0))
+        counts = crowd.summary()["mix"]
+        assert sum(counts.values()) == 500
+        weights = dict(table_mix())
+        total_weight = sum(weights.values())
+        for key, weight in weights.items():
+            expected = 500 * weight / total_weight
+            assert counts.get(key, 0) == pytest.approx(expected, abs=25), key
+        # the heaviest key dominates the rarest
+        assert counts["generic_headset"] > counts["iphone_xs_ios1442"]
+
+    def test_fraction_knobs_bound_behaviour(self):
+        world = build_world(WorldConfig(seed=9))
+        crowd = populate(
+            world,
+            ambient_spec(
+                80, inquirer_fraction=0.0, talker_fraction=1.0, settle_s=0.0
+            ),
+        )
+        summary = crowd.summary()
+        assert summary["inquirers"] == 0
+        assert summary["talkers"] == 80
+
+
+class TestAmbientLoad:
+    def test_ambient_traffic_actually_happens(self):
+        world = build_world(WorldConfig(seed=3, population="cafe"))
+        world.run_for(60.0)
+        metrics = world.obs.metrics.snapshot()["counters"]
+        assert metrics.get("population.ambient_inquiries", 0) > 0
+        assert metrics.get("population.ambient_connects", 0) > 0
+        assert metrics.get("population.ambient_sessions", 0) > 0
+
+    def test_stop_quiesces_the_crowd(self):
+        world = build_world(WorldConfig(seed=3, population="cafe"))
+        world.run_for(5.0)
+        crowd = world.populations[0]
+        crowd.stop()
+        before = world.obs.metrics.snapshot()["counters"]
+        world.run_for(60.0)
+        after = world.obs.metrics.snapshot()["counters"]
+        assert before.get("population.ambient_inquiries") == (
+            after.get("population.ambient_inquiries")
+        )
+
+    def test_detector_fpr_under_ambient_load(self):
+        """Benign worlds stay benign: ambient churn alone must not trip
+        the online detectors (the FPR half of the ROC story)."""
+        for seed in range(3):
+            result, _ = run_trial(
+                "detection-ambient",
+                seed=seed,
+                params={"attack": "benign"},
+            )
+            assert result.error is None, result.error
+            assert result.success, (seed, result.detail)
+            assert result.detail["attack"] == "benign"
+            assert result.detail["background_devices"] > 0
+
+    def test_attack_still_detected_under_ambient_load(self):
+        result, _ = run_trial("detection-ambient", seed=1)
+        assert result.error is None
+        assert result.success
+        assert result.detail["background_devices"] > 0
+
+
+class TestAtScale:
+    def test_500_device_world_runs_deterministically(self):
+        """The acceptance bar: a 500-device world builds, runs an
+        attack under ambient load, and the trial result is
+        byte-identical across runs of the same seed."""
+        first, _ = run_trial(
+            "extraction-ambient", seed=77, params={"population": "stadium"}
+        )
+        assert first.error is None
+        assert first.detail["background_devices"] == 500
+        again, _ = run_trial(
+            "extraction-ambient", seed=77, params={"population": "stadium"}
+        )
+
+        def canonical(result):
+            data = result.to_dict()
+            data.pop("wall_time_s")  # host clock, not part of the verdict
+            return json.dumps(data, sort_keys=True)
+
+        assert canonical(first) == canonical(again)
