@@ -30,6 +30,11 @@ from repro.campaign.cache import (
     default_cache_dir,
     trial_key,
 )
+from repro.campaign.captures import (
+    attack_capture,
+    benign_capture,
+    produce_captures,
+)
 from repro.campaign.runner import (
     CampaignResult,
     CampaignRunner,
@@ -67,7 +72,10 @@ __all__ = [
     "TrialConfig",
     "TrialResult",
     "TrialTimeout",
+    "attack_capture",
+    "benign_capture",
     "code_version",
+    "produce_captures",
     "default_cache_dir",
     "get_scenario",
     "new_run_id",

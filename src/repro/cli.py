@@ -36,6 +36,10 @@ Android bug report) and on raw USB analyzer streams:
   pagination and aggregate counts over the store.
 * ``blap serve`` — a dependency-free HTTP JSON API and live HTML view
   over the store (``/api/runs``, ``/api/runs/<id>/events``, ...).
+* ``blap service {serve,loadgen,sessions}`` — the detection ingest
+  service: live JSONL HCI streams over WebSockets and btsnoop capture
+  uploads, scored online with verdicts identical to ``detect scan``;
+  the load generator benches sustained ingest throughput.
 * ``blap report`` — render the Markdown/HTML run report (Table I/II
   vs. the paper, Wilson intervals, digest quantiles, slowest spans)
   from cached campaign results — no re-simulation on a warm cache;
@@ -676,9 +680,18 @@ def _cmd_detect_list(args: argparse.Namespace) -> int:
 
 def _cmd_detect_scan(args: argparse.Namespace) -> int:
     from repro.detect import replay_capture
+    from repro.service.protocol import CaptureError, decode_capture
 
-    with open(args.capture, "rb") as handle:
-        raw = handle.read()
+    if args.capture == "-":
+        raw = sys.stdin.buffer.read()
+    else:
+        with open(args.capture, "rb") as handle:
+            raw = handle.read()
+    try:
+        decode_capture(raw)
+    except CaptureError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = replay_capture(raw, detectors=args.detector or None)
     if not result.alerts:
         print("no detector alerts in the capture")
@@ -986,6 +999,121 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             verbose=args.verbose,
             ready=_ready,
+        )
+    return 0
+
+
+# ----------------------------------------------------------------- service
+
+
+def _cmd_service_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+    from repro.service.session import SessionConfig
+
+    defaults = SessionConfig(
+        window=args.window, queue_size=args.queue_size
+    )
+
+    def _ready(server) -> None:
+        # Flushed immediately so scripts (CI smoke jobs) can scrape
+        # the bound URL even with --port 0 (ephemeral).
+        print(f"ingest service at {server.url} (ws: {server.ws_url})",
+              flush=True)
+
+    if args.db is None:
+        run_server(
+            host=args.host,
+            port=args.port,
+            idle_timeout_s=args.idle_timeout,
+            defaults=defaults,
+            verbose=args.verbose,
+            ready=_ready,
+        )
+        return 0
+    from repro.store import RunStore
+
+    with RunStore(args.db or None) as store:
+        run_server(
+            host=args.host,
+            port=args.port,
+            store=store,
+            idle_timeout_s=args.idle_timeout,
+            defaults=defaults,
+            verbose=args.verbose,
+            ready=_ready,
+        )
+    return 0
+
+
+def _cmd_service_loadgen(args: argparse.Namespace) -> int:
+    from repro.campaign.captures import produce_captures
+    from repro.core.bench import record_bench
+    from repro.service.loadgen import run_loadgen
+
+    if args.capture:
+        captures = []
+        for path in args.capture:
+            with open(path, "rb") as handle:
+                captures.append(handle.read())
+    else:
+        captures = produce_captures(
+            count=args.captures, kind=args.kind, seed_base=args.seed_base
+        )
+    report = run_loadgen(
+        captures,
+        sessions=args.sessions,
+        tenants=args.tenants,
+        url=args.url,
+    )
+    payload = report.to_dict()
+    if args.bench:
+        record_bench(
+            "service",
+            "loadgen",
+            {
+                "sessions": report.sessions,
+                "events": report.events,
+                "dropped_events": report.dropped_events,
+                "wall_s": report.wall_s,
+                "ingest_events_per_s": report.events_per_s,
+            },
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{report.sessions} sessions across {report.tenants} tenants: "
+            f"{report.events} events in {report.wall_s:.3f}s "
+            f"({report.events_per_s:,.0f} events/s), "
+            f"{report.alerts} alerts, "
+            f"{report.dropped_events} dropped, "
+            f"{report.failures} failures"
+        )
+    return 0 if report.failures == 0 else 1
+
+
+def _cmd_service_sessions(args: argparse.Namespace) -> int:
+    from repro.service.client import fetch_json
+
+    base = args.url.rstrip("/")
+    try:
+        payload = fetch_json(f"{base}/api/sessions")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sessions = payload.get("sessions", [])
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not sessions:
+        print("no active sessions")
+        return 0
+    for row in sessions:
+        print(
+            f"{row.get('session')} tenant={row.get('tenant')} "
+            f"state={row.get('state')} events={row.get('events')} "
+            f"alerts={row.get('alerts')} "
+            f"dropped={row.get('dropped_events')}"
         )
     return 0
 
@@ -1315,7 +1443,7 @@ def build_parser() -> argparse.ArgumentParser:
     dscan = dsub.add_parser(
         "scan", help="replay a btsnoop capture through the detectors"
     )
-    dscan.add_argument("capture", help="btsnoop file")
+    dscan.add_argument("capture", help="btsnoop file (- reads stdin)")
     dscan.add_argument(
         "--detector",
         action="append",
@@ -1621,6 +1749,99 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true", help="log requests"
     )
     serve.set_defaults(func=_cmd_serve)
+
+    service = sub.add_parser(
+        "service",
+        help="the detection ingest service: streaming HCI feeds and "
+        "capture uploads scored online",
+    )
+    svsub = service.add_subparsers(dest="service_command", required=True)
+
+    svserve = svsub.add_parser(
+        "serve", help="run the HTTP/WebSocket ingest server"
+    )
+    svserve.add_argument("--host", default="127.0.0.1")
+    svserve.add_argument(
+        "--port", type=int, default=8322,
+        help="TCP port (0 picks an ephemeral port; the bound URL is "
+        "printed either way)",
+    )
+    svserve.add_argument(
+        "--db", nargs="?", const="", default=None, metavar="DB",
+        help="archive session alerts into this run store and allow "
+        "store-sourced sessions (bare --db uses the default store)",
+    )
+    svserve.add_argument(
+        "--idle-timeout", type=float, default=300.0, metavar="S",
+        help="evict sessions idle longer than this (wall seconds)",
+    )
+    svserve.add_argument(
+        "--window", type=int, default=64,
+        help="per-session reorder window (events)",
+    )
+    svserve.add_argument(
+        "--queue-size", type=int, default=1024,
+        help="per-session ingest queue bound (events; overflow is shed "
+        "into dropped_events)",
+    )
+    svserve.add_argument(
+        "-v", "--verbose", action="store_true", help="log sessions"
+    )
+    svserve.set_defaults(func=_cmd_service_serve)
+
+    svload = svsub.add_parser(
+        "loadgen",
+        help="replay campaign-produced captures as N concurrent "
+        "synthetic clients",
+    )
+    svload.add_argument(
+        "--sessions", type=int, default=100,
+        help="concurrent streaming sessions",
+    )
+    svload.add_argument(
+        "--tenants", type=int, default=4,
+        help="tenants to spread the sessions across",
+    )
+    svload.add_argument(
+        "--captures", type=int, default=2,
+        help="captures to synthesise for the corpus",
+    )
+    svload.add_argument(
+        "--capture", action="append", default=None, metavar="FILE",
+        help="replay this btsnoop file instead of synthesising "
+        "(repeatable)",
+    )
+    svload.add_argument(
+        "--kind", default="mixed", choices=["attack", "benign", "mixed"],
+        help="synthesised corpus flavour",
+    )
+    svload.add_argument(
+        "--seed-base", type=int, default=0,
+        help="seed offset for the synthesised corpus",
+    )
+    svload.add_argument(
+        "--url", default=None,
+        help="target a running server (default: self-host in-process)",
+    )
+    svload.add_argument(
+        "--bench", action="store_true",
+        help="record throughput to BENCH_service.json / "
+        "BENCH_HISTORY.jsonl",
+    )
+    svload.add_argument("--json", action="store_true", help="machine output")
+    svload.set_defaults(func=_cmd_service_loadgen)
+
+    svsessions = svsub.add_parser(
+        "sessions", help="list a running server's active sessions"
+    )
+    svsessions.add_argument(
+        "--url", default="http://127.0.0.1:8322",
+        help="server base URL",
+    )
+    svsessions.add_argument(
+        "--json", action="store_true", help="machine output"
+    )
+    svsessions.set_defaults(func=_cmd_service_sessions)
 
     return parser
 

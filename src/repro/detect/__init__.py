@@ -23,6 +23,7 @@ Detector quality is quantified by the ``detection-attack`` /
 threshold sweeps (TPR/FPR/latency) — ``blap detect roc`` end to end.
 """
 
+from repro.detect.adapters import ReorderBuffer
 from repro.detect.base import (
     Alert,
     Detector,
@@ -61,6 +62,7 @@ __all__ = [
     "LinkKeyAnomalyDetector",
     "PageBlockingDetector",
     "PageBlockingFinding",
+    "ReorderBuffer",
     "ReplayResult",
     "RocPoint",
     "SurveillanceDetector",

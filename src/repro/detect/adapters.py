@@ -1,0 +1,84 @@
+"""Feed adapters: bridging foreign event streams into detector order.
+
+The live :class:`~repro.detect.feed.DetectionFeed` delivers events in
+``(time, seq)`` order for free — the simulator is single-threaded and
+taps fire synchronously at emission.  Remote streams (the
+:mod:`repro.service` ingest server, multi-source captures merged
+client-side) lose that guarantee: frames race over the network, and a
+client replaying several monitors can interleave them arbitrarily.
+
+:class:`ReorderBuffer` restores the ordering contract with a *bounded*
+window: events are held in a min-heap keyed by ``(time, seq)`` and
+released in order once the buffer exceeds its window (or on
+:meth:`flush` at end of stream).  Events that arrive *behind* the
+release watermark cannot be re-ordered any more; they are counted in
+:attr:`late_events` and delivered immediately — detectors degrade
+gracefully on mildly stale input, and the count surfaces in service
+verdicts so operators can size the window.
+
+The buffer is pure data-structure code — no clocks, no threads — so a
+given arrival sequence always produces the same release sequence,
+which is what keeps service verdicts deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.detect.feed import DetectionEvent
+
+#: default reordering window (events held before in-order release)
+DEFAULT_WINDOW = 64
+
+
+class ReorderBuffer:
+    """Bounded ``(time, seq)`` re-sequencer for out-of-order arrival."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        # (time, seq, arrival, event): arrival breaks (time, seq) ties
+        # deterministically and keeps events themselves un-compared.
+        self._heap: List[Tuple[float, int, int, DetectionEvent]] = []
+        self._arrivals = 0
+        self._watermark: Optional[Tuple[float, int]] = None
+        self.late_events = 0
+
+    @property
+    def pending(self) -> int:
+        """Events currently held back for reordering."""
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: DetectionEvent) -> List[DetectionEvent]:
+        """Accept one event; return any events released in order."""
+        key = (event.time, event.seq)
+        if self._watermark is not None and key < self._watermark:
+            # Arrived behind history already released — reordering is
+            # no longer possible; deliver as-is and count it.
+            self.late_events += 1
+            return [event]
+        heapq.heappush(
+            self._heap, (event.time, event.seq, self._arrivals, event)
+        )
+        self._arrivals += 1
+        released: List[DetectionEvent] = []
+        while len(self._heap) > self.window:
+            released.append(self._pop())
+        return released
+
+    def flush(self) -> List[DetectionEvent]:
+        """Drain everything still held, in order (end of stream)."""
+        released: List[DetectionEvent] = []
+        while self._heap:
+            released.append(self._pop())
+        return released
+
+    def _pop(self) -> DetectionEvent:
+        time_s, seq, _, event = heapq.heappop(self._heap)
+        self._watermark = (time_s, seq)
+        return event

@@ -1,0 +1,163 @@
+"""Client helpers for the ingest service.
+
+Two flavours, matching the two kinds of caller:
+
+* asyncio (:func:`request`, :func:`stream_capture`) — used by the load
+  generator and the tests, which already live inside an event loop and
+  want many connections in flight;
+* blocking (:func:`fetch_json`, :func:`post_json`) — used by the CLI
+  (``blap service sessions``) where one synchronous call is plenty.
+
+Everything speaks plain HTTP/1.1 with ``Connection: close`` — the same
+dependency-free style as the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service import protocol
+from repro.service.websocket import WebSocket, connect
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    content_type: str = "application/octet-stream",
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP exchange; returns ``(status, decoded JSON body)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1]) if len(parts) > 1 else 0
+        length: Optional[int] = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length is not None:
+            payload = await reader.readexactly(length)
+        else:
+            payload = await reader.read()
+        return status, json.loads(payload.decode("utf-8") or "{}")
+    finally:
+        writer.close()
+
+
+async def open_stream(
+    host: str,
+    port: int,
+    tenant: str = "default",
+    detectors: Optional[List[str]] = None,
+    monitor: str = "capture",
+    **hello_extra: Any,
+) -> Tuple[WebSocket, Dict[str, Any]]:
+    """Connect, send the hello, return ``(socket, welcome frame)``."""
+    ws = await connect(host, port, "/ws/ingest")
+    hello: Dict[str, Any] = {
+        "type": "hello",
+        "protocol": protocol.PROTOCOL_VERSION,
+        "tenant": tenant,
+        "monitor": monitor,
+    }
+    if detectors is not None:
+        hello["detectors"] = list(detectors)
+    hello.update(hello_extra)
+    await ws.send_json(hello)
+    welcome = await ws.recv_json()
+    if welcome is None or welcome.get("type") != "welcome":
+        await ws.close()
+        reason = (welcome or {}).get("reason", "connection closed")
+        raise ConnectionError(f"stream rejected: {reason}")
+    return ws, welcome
+
+
+async def stream_capture(
+    host: str,
+    port: int,
+    capture: bytes,
+    tenant: str = "default",
+    **hello_extra: Any,
+) -> Dict[str, Any]:
+    """Replay one capture over a WebSocket stream; return the verdict.
+
+    Alerts streamed mid-session are folded into the returned dict
+    under ``"streamed_alerts"`` so callers can check live delivery.
+    """
+    frames = protocol.frames_from_capture(capture)
+    ws, _welcome = await open_stream(
+        host, port, tenant=tenant, **hello_extra
+    )
+    streamed: List[Dict[str, Any]] = []
+    try:
+        for frame in frames:
+            await ws.send_json(frame)
+        await ws.send_json({"type": "finish"})
+        while True:
+            reply = await ws.recv_json()
+            if reply is None:
+                raise ConnectionError("stream closed before verdict")
+            if reply.get("type") == "alert":
+                streamed.append(reply)
+                continue
+            if reply.get("type") == "verdict":
+                verdict = dict(reply)
+                verdict["streamed_alerts"] = streamed
+                return verdict
+            if reply.get("type") == "error":
+                raise ConnectionError(f"stream error: {reply.get('reason')}")
+    finally:
+        await ws.close()
+
+
+# ----------------------------------------------------------------- blocking
+
+
+def fetch_json(url: str, timeout: float = 10.0) -> Dict[str, Any]:
+    """Blocking GET for the CLI; errors surface as ``ValueError``."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ValueError(f"request to {url} failed: {exc}") from exc
+
+
+def post_json(
+    url: str, payload: Dict[str, Any], timeout: float = 10.0
+) -> Dict[str, Any]:
+    """Blocking POST of a JSON body; 4xx bodies are decoded, not raised."""
+    data = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            return json.loads(exc.read().decode("utf-8"))
+        except ValueError:
+            raise ValueError(f"request to {url} failed: {exc}") from exc
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ValueError(f"request to {url} failed: {exc}") from exc

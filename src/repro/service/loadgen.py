@@ -1,0 +1,173 @@
+"""The load generator: N concurrent synthetic clients, one bench number.
+
+``blap service loadgen`` replays campaign-produced captures (see
+:mod:`repro.campaign.captures`) as N concurrent WebSocket streams
+spread across T tenants — the workload shape fielded HCI harvesters
+would present — and reports sustained ingest throughput plus the
+aggregated verdict counters.  With no ``--url`` it self-hosts an
+in-process :class:`~repro.service.server.IngestServer` on an ephemeral
+port, so the bench measures the full server path (framing, queueing,
+scoring) without external setup.
+
+The report feeds ``repro.core.bench`` (``BENCH_service.json`` /
+``BENCH_HISTORY.jsonl``) in CI, making ingest-throughput regressions
+visible like any other benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service import client as service_client
+from repro.service import protocol
+from repro.service.server import IngestServer
+from repro.service.session import SessionConfig, SessionManager
+
+
+@dataclass
+class LoadgenReport:
+    """What one loadgen run measured (JSON-serialisable)."""
+
+    sessions: int
+    tenants: int
+    events: int
+    alerts: int
+    dropped_events: int
+    wall_s: float
+    events_per_s: float
+    failures: int = 0
+    #: per-tenant session counts (leakage audits key off this)
+    by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: the individual verdicts, session-id order
+    verdicts: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self, include_verdicts: bool = False) -> Dict[str, Any]:
+        payload = {
+            "sessions": self.sessions,
+            "tenants": self.tenants,
+            "events": self.events,
+            "alerts": self.alerts,
+            "dropped_events": self.dropped_events,
+            "failures": self.failures,
+            "wall_s": self.wall_s,
+            "events_per_s": self.events_per_s,
+            "by_tenant": dict(sorted(self.by_tenant.items())),
+        }
+        if include_verdicts:
+            payload["verdicts"] = self.verdicts
+        return payload
+
+
+async def _run_clients(
+    host: str,
+    port: int,
+    frames_per_capture: Sequence[List[Dict[str, Any]]],
+    sessions: int,
+    tenants: int,
+) -> Tuple[List[Optional[Dict[str, Any]]], float]:
+    """Drive every synthetic client concurrently; time the whole wave."""
+
+    async def one_client(index: int) -> Optional[Dict[str, Any]]:
+        tenant = f"t{index % tenants}"
+        frames = frames_per_capture[index % len(frames_per_capture)]
+        try:
+            ws, _welcome = await service_client.open_stream(
+                host, port, tenant=tenant
+            )
+        except (ConnectionError, OSError):
+            return None
+        try:
+            for frame in frames:
+                await ws.send_json(frame)
+            await ws.send_json({"type": "finish"})
+            while True:
+                reply = await ws.recv_json()
+                if reply is None:
+                    return None
+                if reply.get("type") == "verdict":
+                    return reply
+                if reply.get("type") == "error":
+                    return None
+        except (ConnectionError, OSError):
+            return None
+        finally:
+            await ws.close()
+
+    started = time.perf_counter()
+    results = await asyncio.gather(
+        *(one_client(index) for index in range(sessions))
+    )
+    wall_s = time.perf_counter() - started
+    return list(results), wall_s
+
+
+def run_loadgen(
+    captures: Sequence[bytes],
+    sessions: int = 100,
+    tenants: int = 4,
+    url: Optional[str] = None,
+    queue_size: Optional[int] = None,
+) -> LoadgenReport:
+    """Replay ``captures`` as ``sessions`` concurrent streams.
+
+    Self-hosts a server unless ``url`` (``http://host:port``) points at
+    a running one.  Returns the aggregated :class:`LoadgenReport`.
+    """
+    if not captures:
+        raise ValueError("need at least one capture to replay")
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    tenants = max(1, min(tenants, sessions))
+    frames_per_capture = [
+        protocol.frames_from_capture(capture) for capture in captures
+    ]
+
+    async def main() -> Tuple[List[Optional[Dict[str, Any]]], float]:
+        if url is not None:
+            netloc = url.split("//", 1)[-1].rstrip("/")
+            host, _, port_text = netloc.partition(":")
+            return await _run_clients(
+                host or "127.0.0.1",
+                int(port_text or "80"),
+                frames_per_capture,
+                sessions,
+                tenants,
+            )
+        defaults = SessionConfig()
+        if queue_size is not None:
+            defaults = SessionConfig(queue_size=queue_size)
+        manager = SessionManager(defaults=defaults)
+        async with IngestServer(manager=manager) as server:
+            return await _run_clients(
+                server.host,
+                server.port,
+                frames_per_capture,
+                sessions,
+                tenants,
+            )
+
+    results, wall_s = asyncio.run(main())
+    verdicts = [verdict for verdict in results if verdict is not None]
+    verdicts.sort(key=lambda verdict: verdict.get("session", ""))
+    by_tenant: Dict[str, int] = {}
+    for verdict in verdicts:
+        tenant = verdict.get("tenant", "?")
+        by_tenant[tenant] = by_tenant.get(tenant, 0) + 1
+    events = sum(verdict.get("events", 0) for verdict in verdicts)
+    return LoadgenReport(
+        sessions=len(verdicts),
+        tenants=len(by_tenant),
+        events=events,
+        alerts=sum(verdict.get("alert_count", 0) for verdict in verdicts),
+        dropped_events=sum(
+            verdict.get("dropped_events", 0) for verdict in verdicts
+        ),
+        wall_s=wall_s,
+        events_per_s=events / wall_s if wall_s > 0 else 0.0,
+        failures=len(results) - len(verdicts),
+        by_tenant=by_tenant,
+        verdicts=verdicts,
+    )

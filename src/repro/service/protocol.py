@@ -1,0 +1,244 @@
+"""The service wire protocol: JSONL frames, captures, verdicts.
+
+One frame is one JSON object.  Over the WebSocket ingest endpoint a
+frame is one text message; in documentation and fixtures frames are
+written as JSON Lines.  Client → server frames:
+
+* ``{"type": "hello", "protocol": 1, "tenant": ..., "monitor": ...,
+  "detectors": [...], "window": N, "max_events": N}`` — opens the
+  session (first frame on a stream; everything but ``type`` is
+  optional);
+* ``{"type": "event", "channel": "hci", "time": T, "seq": N,
+  "raw": "<hex H4 bytes>", "direction": "h2c"|"c2h", "frame_no": N}``
+  — one HCI observation, raw wire bytes included so the server parses
+  exactly like a live transport tap (unparseable bytes degrade to
+  ``kind="undecodable"`` instead of erroring);
+* ``{"type": "event", "channel": "trace", "time": T, "seq": N,
+  "kind": <category>, "source": ..., "message": ..., "detail": {...}}``
+  — one timeline/trace observation (what a store-sourced feed
+  replays);
+* ``{"type": "finish"}`` — end of stream; the server answers with the
+  verdict frame.
+
+Server → client frames: ``welcome`` (session id), ``alert`` (streamed
+as detectors fire), ``verdict`` (the final scored summary — the same
+alerts :func:`repro.detect.replay_capture` computes for the same
+bytes), and ``error`` (one-line reason; the connection then closes).
+
+:func:`decode_capture` is the upload-endpoint front door: it turns a
+truncated or malformed btsnoop body into a :class:`CaptureError` with
+a one-line reason — the server maps that to a structured HTTP 400,
+never a 500.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.errors import HciError, StorageError
+from repro.detect.feed import DetectionEvent
+from repro.hci.parser import parse_packet
+from repro.sim.trace import TraceRecord
+from repro.snoop.btsnoop import BtsnoopReader
+from repro.snoop.hcidump import DumpEntry, entries_from_btsnoop
+from repro.transport.base import Direction
+
+#: bump when a frame field changes meaning
+PROTOCOL_VERSION = 1
+
+#: default monitor name for capture-shaped streams (matches
+#: :func:`repro.detect.replay_capture`'s default, so verdicts line up)
+DEFAULT_MONITOR = "capture"
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: the one-line reason is the message."""
+
+
+class CaptureError(ValueError):
+    """A malformed btsnoop capture: the one-line reason is the message."""
+
+
+_DIRECTION_WIRE = {
+    Direction.HOST_TO_CONTROLLER: "h2c",
+    Direction.CONTROLLER_TO_HOST: "c2h",
+}
+_WIRE_DIRECTION = {wire: d for d, wire in _DIRECTION_WIRE.items()}
+
+
+# ------------------------------------------------------------------ captures
+
+
+def decode_capture(raw: bytes) -> List[DumpEntry]:
+    """btsnoop bytes → dump entries, or :class:`CaptureError`.
+
+    Every way client bytes can be bad — wrong magic, truncated record,
+    a packet that does not parse — funnels into one exception type
+    with a one-line reason, so servers can answer 400 uniformly.
+    """
+    if not raw:
+        raise CaptureError("empty capture body")
+    try:
+        return entries_from_btsnoop(bytes(raw))
+    except (StorageError, HciError) as exc:
+        raise CaptureError(str(exc)) from exc
+    except (ValueError, IndexError) as exc:  # defensive: odd slicing
+        raise CaptureError(f"unreadable capture: {exc}") from exc
+
+
+def capture_events(
+    entries: Sequence[DumpEntry], monitor: str = DEFAULT_MONITOR
+) -> Iterator[DetectionEvent]:
+    """Dump entries → the exact events ``replay_capture`` feeds.
+
+    Shared by the upload endpoint and the identity tests: the event
+    construction here must stay byte-for-byte equivalent to
+    :func:`repro.detect.replay.replay_capture`'s loop.
+    """
+    for seq, entry in enumerate(entries):
+        yield DetectionEvent(
+            time=entry.timestamp,
+            seq=seq,
+            monitor=monitor,
+            channel="hci",
+            kind=type(entry.packet).__name__,
+            packet=entry.packet,
+            frame_no=entry.frame,
+            direction=entry.direction,
+        )
+
+
+def frames_from_capture(
+    raw: bytes, monitor: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """btsnoop bytes → ``event`` frames (the synthetic-client side).
+
+    The raw H4 bytes ride along in hex so the server parses them
+    itself — the wire carries observations, not parsed objects.
+    """
+    try:
+        reader = BtsnoopReader(bytes(raw))
+        records = list(reader)
+    except StorageError as exc:
+        raise CaptureError(str(exc)) from exc
+    frames: List[Dict[str, Any]] = []
+    for seq, record in enumerate(records):
+        frame: Dict[str, Any] = {
+            "type": "event",
+            "channel": "hci",
+            "time": record.timestamp_us / 1_000_000,
+            "seq": seq,
+            "raw": record.data.hex(),
+            "direction": _DIRECTION_WIRE[record.direction],
+            "frame_no": seq + 1,
+        }
+        if monitor is not None:
+            frame["monitor"] = monitor
+        frames.append(frame)
+    return frames
+
+
+# -------------------------------------------------------------------- frames
+
+
+def _require(frame: Dict[str, Any], key: str) -> Any:
+    try:
+        return frame[key]
+    except KeyError:
+        raise ProtocolError(f"event frame missing {key!r}") from None
+
+
+def frame_to_event(
+    frame: Dict[str, Any], default_monitor: str = DEFAULT_MONITOR
+) -> DetectionEvent:
+    """One ``event`` frame → a :class:`DetectionEvent`.
+
+    HCI payload bytes that fail to parse become
+    ``kind="undecodable"`` events (the live-tap contract: detection
+    keeps running on degraded or hostile inputs); *structurally*
+    malformed frames raise :class:`ProtocolError` with a one-line
+    reason instead.
+    """
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame must be a JSON object")
+    if frame.get("type") != "event":
+        raise ProtocolError(
+            f"expected an event frame, got type {frame.get('type')!r}"
+        )
+    channel = frame.get("channel", "hci")
+    monitor = str(frame.get("monitor", default_monitor))
+    try:
+        time_s = float(_require(frame, "time"))
+        seq = int(frame.get("seq", 0))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad event timing fields: {exc}") from exc
+
+    if channel == "hci":
+        raw_hex = _require(frame, "raw")
+        try:
+            raw = bytes.fromhex(raw_hex)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad raw hex payload: {exc}") from exc
+        direction_wire = frame.get("direction", "c2h")
+        direction = _WIRE_DIRECTION.get(direction_wire)
+        if direction is None:
+            raise ProtocolError(
+                f"bad direction {direction_wire!r} (want h2c or c2h)"
+            )
+        packet = None
+        kind = "undecodable"
+        if raw:
+            try:
+                packet = parse_packet(raw[0], raw[1:])
+                kind = type(packet).__name__
+            except HciError:
+                packet = None
+        return DetectionEvent(
+            time=time_s,
+            seq=seq,
+            monitor=monitor,
+            channel="hci",
+            kind=kind,
+            packet=packet,
+            frame_no=int(frame.get("frame_no", 0)),
+            direction=direction,
+        )
+
+    if channel == "trace":
+        kind = str(_require(frame, "kind"))
+        detail = frame.get("detail") or {}
+        if not isinstance(detail, dict):
+            raise ProtocolError("trace detail must be a JSON object")
+        record = TraceRecord(
+            time=time_s,
+            source=str(frame.get("source", "")),
+            category=kind,
+            message=str(frame.get("message", "")),
+            detail=detail,
+            seq=seq,
+        )
+        return DetectionEvent(
+            time=time_s,
+            seq=seq,
+            monitor=monitor,
+            channel="trace",
+            kind=kind,
+            record=record,
+        )
+
+    raise ProtocolError(
+        f"unsupported channel {channel!r} (want hci or trace)"
+    )
+
+
+def alert_frame(session_id: str, alert: Any) -> Dict[str, Any]:
+    """One streamed-alert frame."""
+    return {
+        "type": "alert",
+        "session": session_id,
+        "alert": alert.to_dict() if hasattr(alert, "to_dict") else alert,
+    }
+
+
+def error_frame(reason: str) -> Dict[str, Any]:
+    return {"type": "error", "reason": reason}

@@ -1,0 +1,375 @@
+"""Sessions: one stream, one detector pipeline, one verdict.
+
+A :class:`Session` is the service-side unit of isolation — its own
+detector instances (never shared, so alerts cannot leak across
+streams), its own :class:`~repro.detect.adapters.ReorderBuffer`, its
+own event budget, and a tenant-scoped
+:class:`~repro.obs.MetricsRegistry`.  Ingest is *synchronous and
+deterministic*: the same event sequence always produces the same
+alerts and the same verdict, no matter how many sessions interleave on
+the server — the asyncio layer above only decides *when* `ingest` runs,
+never *what* it computes.
+
+The :class:`SessionManager` owns the fleet view: session ids, the
+per-tenant registries merged into service-wide metrics, idle-session
+eviction, and (optionally) archiving finished sessions' alerts into a
+:class:`~repro.store.RunStore`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+from repro.detect.adapters import DEFAULT_WINDOW, ReorderBuffer
+from repro.detect.base import Alert, Detector, create_detector, detector_names
+from repro.detect.feed import DetectionEvent
+from repro.obs import MetricsRegistry, Observability
+
+if TYPE_CHECKING:
+    from repro.store import RunStore
+
+#: default bound on the per-session ingest queue (WebSocket path)
+DEFAULT_QUEUE_SIZE = 1024
+
+#: default idle-session eviction horizon (wall seconds)
+DEFAULT_MAX_IDLE_S = 300.0
+
+#: finished verdicts kept addressable after the session closes
+FINISHED_VERDICTS_KEPT = 256
+
+
+class SessionError(ValueError):
+    """Session lifecycle misuse: the one-line reason is the message."""
+
+
+@dataclass
+class SessionConfig:
+    """Per-session knobs (service defaults overridable per stream)."""
+
+    detectors: Optional[Sequence[str]] = None
+    detector_config: Mapping[str, Mapping[str, Any]] = field(
+        default_factory=dict
+    )
+    window: int = DEFAULT_WINDOW
+    queue_size: int = DEFAULT_QUEUE_SIZE
+    max_events: Optional[int] = None
+    tenant: str = "default"
+    monitor: str = "capture"
+
+
+class Session:
+    """One ingest stream scored by its own detector instances."""
+
+    def __init__(
+        self,
+        session_id: str,
+        config: SessionConfig,
+        registry: Optional[MetricsRegistry] = None,
+        on_alert: Optional[Callable[[Alert], None]] = None,
+    ) -> None:
+        self.id = session_id
+        self.config = config
+        self.detector_names = list(
+            config.detectors
+            if config.detectors is not None
+            else detector_names()
+        )
+        self._detector_config = {
+            name: dict(cfg)
+            for name, cfg in dict(config.detector_config).items()
+        }
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.on_alert = on_alert
+        self.reorder = ReorderBuffer(config.window)
+        self.alerts: List[Alert] = []
+        self.events = 0
+        self.dropped_events = 0
+        self.undecodable = 0
+        self.state = "open"
+        self.last_active = 0.0
+        self._instances: Dict[str, List[Detector]] = {}
+        self._verdict: Optional[Dict[str, Any]] = None
+        self._m_events = self.registry.counter("service.events")
+        self._m_alerts = self.registry.counter("service.alerts")
+        self._m_dropped = self.registry.counter("service.dropped_events")
+        self._m_late = self.registry.counter("service.late_events")
+        self._m_undecodable = self.registry.counter("service.undecodable")
+
+    # -------------------------------------------------------------- pipeline
+
+    def _detectors_for(self, monitor: str) -> List[Detector]:
+        instances = self._instances.get(monitor)
+        if instances is None:
+            instances = [
+                create_detector(name, **self._detector_config.get(name, {}))
+                for name in self.detector_names
+            ]
+            self._instances[monitor] = instances
+        return instances
+
+    def ingest(self, event: DetectionEvent) -> List[Alert]:
+        """Score one event; returns any alerts it completed.
+
+        Synchronous and pure with respect to the event sequence: the
+        event budget is checked *here*, not in the async queue, so
+        shedding under a fixed ``max_events`` is deterministic.
+        """
+        if self.state != "open":
+            raise SessionError(f"session {self.id} is {self.state}")
+        budget = self.config.max_events
+        if budget is not None and self.events >= budget:
+            self.shed()
+            return []
+        self.events += 1
+        self._m_events.inc()
+        if event.channel == "hci" and event.packet is None:
+            self.undecodable += 1
+            self._m_undecodable.inc()
+        late_before = self.reorder.late_events
+        released = self.reorder.push(event)
+        if self.reorder.late_events > late_before:
+            self._m_late.inc(self.reorder.late_events - late_before)
+        alerts: List[Alert] = []
+        for ready in released:
+            alerts.extend(self._process(ready))
+        return alerts
+
+    def shed(self, count: int = 1) -> None:
+        """Record ``count`` events dropped before they reached ingest."""
+        self.dropped_events += count
+        self._m_dropped.inc(count)
+
+    def _process(self, event: DetectionEvent) -> List[Alert]:
+        alerts: List[Alert] = []
+        for detector in self._detectors_for(event.monitor):
+            if event.channel not in detector.channels:
+                continue
+            alerts.extend(detector.on_event(event))
+        for alert in alerts:
+            self.alerts.append(alert)
+            self._m_alerts.inc()
+            if self.on_alert is not None:
+                self.on_alert(alert)
+        return alerts
+
+    # --------------------------------------------------------------- results
+
+    def finish(self) -> Dict[str, Any]:
+        """Flush the pipeline and return the verdict (idempotent)."""
+        if self._verdict is not None:
+            return self._verdict
+        final: List[Alert] = []
+        for event in self.reorder.flush():
+            final.extend(self._process(event))
+        for instances in self._instances.values():
+            for detector in instances:
+                for alert in detector.finish():
+                    self.alerts.append(alert)
+                    self._m_alerts.inc()
+                    final.append(alert)
+                    if self.on_alert is not None:
+                        self.on_alert(alert)
+        self.state = "finished"
+        self._verdict = self._build_verdict(final)
+        return self._verdict
+
+    def _build_verdict(self, final_alerts: List[Alert]) -> Dict[str, Any]:
+        return {
+            "type": "verdict",
+            "session": self.id,
+            "tenant": self.config.tenant,
+            "monitor": self.config.monitor,
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "alert_count": len(self.alerts),
+            "final_alerts": len(final_alerts),
+            "max_scores": self.max_scores(),
+            "first_alert_s": self.first_alert_s(),
+            "events": self.events,
+            "dropped_events": self.dropped_events,
+            "late_events": self.reorder.late_events,
+            "undecodable": self.undecodable,
+            "detectors": list(self.detector_names),
+        }
+
+    def max_scores(self) -> Dict[str, float]:
+        scores = {name: 0.0 for name in self.detector_names}
+        for alert in self.alerts:
+            if alert.score > scores.get(alert.detector, 0.0):
+                scores[alert.detector] = alert.score
+        return scores
+
+    def first_alert_s(self, min_score: float = 0.0) -> Dict[str, float]:
+        times: Dict[str, float] = {}
+        for alert in self.alerts:
+            if alert.score >= min_score and alert.detector not in times:
+                times[alert.detector] = alert.time
+        return times
+
+    def summary(self) -> Dict[str, Any]:
+        """One row for the sessions listing."""
+        return {
+            "session": self.id,
+            "tenant": self.config.tenant,
+            "monitor": self.config.monitor,
+            "state": self.state,
+            "events": self.events,
+            "alerts": len(self.alerts),
+            "dropped_events": self.dropped_events,
+            "late_events": self.reorder.late_events,
+            "pending": self.reorder.pending,
+            "detectors": list(self.detector_names),
+        }
+
+
+class SessionManager:
+    """The fleet view: ids, tenants, eviction, metrics, archiving."""
+
+    def __init__(
+        self,
+        defaults: Optional[SessionConfig] = None,
+        max_idle_s: float = DEFAULT_MAX_IDLE_S,
+        store: Optional["RunStore"] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.defaults = defaults if defaults is not None else SessionConfig()
+        self.max_idle_s = max_idle_s
+        self.store = store
+        self.clock = clock if clock is not None else time.monotonic
+        self.registry = MetricsRegistry()
+        self.obs = Observability(clock=self.clock, registry=self.registry)
+        self.tenants: Dict[str, MetricsRegistry] = {}
+        self.sessions: Dict[str, Session] = {}
+        self.finished: Dict[str, Dict[str, Any]] = {}
+        self._next_id = 0
+        self._m_opened = self.registry.counter("service.sessions_opened")
+        self._m_finished = self.registry.counter("service.sessions_finished")
+        self._m_evicted = self.registry.counter("service.sessions_evicted")
+        self._g_active = self.registry.gauge("service.sessions_active")
+
+    # ------------------------------------------------------------- lifecycle
+
+    def open(
+        self,
+        config: Optional[SessionConfig] = None,
+        on_alert: Optional[Callable[[Alert], None]] = None,
+        **overrides: Any,
+    ) -> Session:
+        """Open a session (service defaults + per-stream overrides)."""
+        base = config if config is not None else self.defaults
+        if overrides:
+            base = replace(base, **overrides)
+        self._next_id += 1
+        session_id = f"s{self._next_id:04d}"
+        tenant_registry = self.tenants.get(base.tenant)
+        if tenant_registry is None:
+            tenant_registry = self.tenants[base.tenant] = MetricsRegistry()
+        session = Session(
+            session_id, base, registry=tenant_registry, on_alert=on_alert
+        )
+        session.last_active = self.clock()
+        self.sessions[session_id] = session
+        self._m_opened.inc()
+        self._g_active.set(len(self.sessions))
+        return session
+
+    def get(self, session_id: str) -> Session:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        return session
+
+    def touch(self, session: Session) -> None:
+        session.last_active = self.clock()
+
+    def finish(self, session: Session) -> Dict[str, Any]:
+        """Close a session: verdict, metrics, optional store archive."""
+        verdict = session.finish()
+        if self.sessions.pop(session.id, None) is not None:
+            self._m_finished.inc()
+            self._g_active.set(len(self.sessions))
+            self.finished[session.id] = verdict
+            while len(self.finished) > FINISHED_VERDICTS_KEPT:
+                self.finished.pop(next(iter(self.finished)))
+            if self.store is not None:
+                self._archive(session, verdict)
+        return verdict
+
+    def _archive(self, session: Session, verdict: Dict[str, Any]) -> None:
+        run_id = f"service-{session.id}"
+        self.store.upsert_run(
+            run_id,
+            trials=1,
+            errors=0,
+            summary={
+                "service": session.summary(),
+                "max_scores": verdict["max_scores"],
+            },
+        )
+        if session.alerts:
+            self.store.add_alerts(
+                run_id,
+                session.alerts,
+                scenario=f"service:{session.config.tenant}",
+            )
+
+    def evict_idle(self, now: Optional[float] = None) -> List[str]:
+        """Finish every session idle past ``max_idle_s``; return ids."""
+        if now is None:
+            now = self.clock()
+        evicted: List[str] = []
+        for session in list(self.sessions.values()):
+            if now - session.last_active > self.max_idle_s:
+                self.finish(session)
+                self._m_evicted.inc()
+                evicted.append(session.id)
+        return evicted
+
+    # --------------------------------------------------------------- metrics
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Service registry + every tenant registry, folded together."""
+        merged = MetricsRegistry()
+        merged.merge(self.registry)
+        for tenant in sorted(self.tenants):
+            merged.merge(self.tenants[tenant])
+        return merged
+
+    def service_snapshot(self) -> Dict[str, Any]:
+        """The ``/api/metrics`` payload: merged + per-tenant views."""
+        return {
+            "service": self.merged_metrics().snapshot(),
+            "tenants": {
+                tenant: self.tenants[tenant].snapshot()
+                for tenant in sorted(self.tenants)
+            },
+            "sessions": {
+                "active": len(self.sessions),
+                "opened": self.registry.counter_value(
+                    "service.sessions_opened"
+                ),
+                "finished": self.registry.counter_value(
+                    "service.sessions_finished"
+                ),
+                "evicted": self.registry.counter_value(
+                    "service.sessions_evicted"
+                ),
+            },
+        }
+
+    def list_sessions(self) -> List[Dict[str, Any]]:
+        """Active-session summaries, id order (deterministic)."""
+        return [
+            self.sessions[session_id].summary()
+            for session_id in sorted(self.sessions)
+        ]

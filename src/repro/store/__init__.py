@@ -15,7 +15,10 @@ bluTruth storage-layer/interface-layer split:
   (:func:`export_world_timeline`, :class:`StoreTelemetrySink`) and
   ``blap store ingest`` backfill (:func:`ingest_run_dir`);
 * :mod:`repro.store.server` — the ``blap serve`` HTTP JSON API and
-  live HTML view.
+  live HTML view;
+* :mod:`repro.store.replay` — archived run → detection-event stream
+  (:func:`detection_events_for_run`), feeding store-sourced
+  :mod:`repro.service` sessions.
 
 Quick start::
 
@@ -49,6 +52,7 @@ from repro.store.query import (
     TelemetryQuery,
     query_from_params,
 )
+from repro.store.replay import detection_events_for_run
 from repro.store.schema import SCHEMA_VERSION
 
 __all__ = [
@@ -63,6 +67,7 @@ __all__ = [
     "TelemetryQuery",
     "alert_from_event",
     "default_store_path",
+    "detection_events_for_run",
     "export_world_timeline",
     "ingest_run_dir",
     "query_from_params",

@@ -1,0 +1,59 @@
+"""Replaying archived runs back through the detection pipeline.
+
+The PR 6 follow-on from the roadmap: once a run's timeline is in the
+store, the detection service can source a session straight from it —
+``store.query_events`` → :class:`~repro.detect.feed.DetectionEvent`
+stream — with no JSONL files or captures in between.
+
+Stored timelines are tracer-shaped (source/category/message/detail
+rows), so replayed events ride the ``trace`` channel; trace-channel
+detectors (e.g. ``surveillance``) score them exactly as they scored
+the live run.  ``detect``-source rows — the alert records the original
+detection pass emitted — are skipped, mirroring
+:data:`repro.detect.feed.EXCLUDED_TRACE_SOURCES`: replaying a run that
+was already scored must not feed the old alerts back into detectors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.detect.feed import EXCLUDED_TRACE_SOURCES, DetectionEvent
+from repro.sim.trace import TraceRecord
+from repro.store.query import EventQuery
+
+if TYPE_CHECKING:
+    from repro.store.db import RunStore
+
+
+def detection_events_for_run(
+    store: "RunStore", run_id: str, monitor: str = "store"
+) -> Iterator[DetectionEvent]:
+    """Stream one archived run as trace-channel detection events.
+
+    Events come back in the store's deterministic ``(time, seq)``
+    order, so the replay needs no reorder window.  Raises ``KeyError``
+    when the run has no timeline rows at all (unknown run id).
+    """
+    rows = store.query_events(EventQuery(run_id=run_id, limit=-1))
+    if not rows:
+        raise KeyError(f"run {run_id!r} has no stored events")
+    for row in rows:
+        if row.source in EXCLUDED_TRACE_SOURCES:
+            continue
+        record = TraceRecord(
+            time=row.time,
+            source=row.source,
+            category=row.category,
+            message=row.message,
+            detail=dict(row.detail),
+            seq=row.seq,
+        )
+        yield DetectionEvent(
+            time=row.time,
+            seq=row.seq,
+            monitor=monitor,
+            channel="trace",
+            kind=row.category,
+            record=record,
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import io
 import json
 
 import pytest
@@ -74,6 +75,27 @@ class TestDetectScan:
             )
             == 1
         )
+
+    def test_stdin_capture(self, attack_capture, capsys, monkeypatch):
+        """``blap detect scan -`` reads the capture from stdin."""
+
+        class FakeStdin:
+            buffer = io.BytesIO(attack_capture.read_bytes())
+
+        monkeypatch.setattr("sys.stdin", FakeStdin())
+        assert main(["detect", "scan", "-"]) == 0
+        assert "page-blocking" in capsys.readouterr().out
+
+    def test_stdin_truncated_capture_is_operator_error(
+        self, attack_capture, capsys, monkeypatch
+    ):
+        class FakeStdin:
+            buffer = io.BytesIO(attack_capture.read_bytes()[:40])
+
+        monkeypatch.setattr("sys.stdin", FakeStdin())
+        assert main(["detect", "scan", "-"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "truncated" in err
 
 
 class TestDetectDemo:

@@ -1,0 +1,113 @@
+"""Service benchmarks (run with ``-m perf``).
+
+Persists sustained-ingest throughput to ``BENCH_service.json`` via
+``repro.core.bench`` and pins the acceptance-criteria load shape:
+≥ 100 concurrent streaming sessions across multiple tenants with
+per-tenant metrics and zero cross-session alert leakage.  The floors
+are generous — the artifact is the point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.captures import attack_capture, benign_capture
+from repro.core.bench import record_bench
+from repro.detect import replay_capture
+from repro.service.loadgen import run_loadgen
+
+pytestmark = pytest.mark.perf
+
+
+def test_loadgen_sustains_100_concurrent_sessions():
+    captures = [attack_capture(), benign_capture()]
+    expected_counts = [
+        len(replay_capture(capture).alerts) for capture in captures
+    ]
+    report = run_loadgen(captures, sessions=100, tenants=4)
+
+    assert report.failures == 0
+    assert report.sessions == 100
+    assert report.tenants == 4
+    # even spread across tenants
+    assert sorted(report.by_tenant.values()) == [25, 25, 25, 25]
+
+    # zero cross-session leakage: every verdict's alert count matches
+    # the sequential replay of one corpus capture exactly — an alert
+    # bleeding between sessions would break the 50/50 split below.
+    for verdict in report.verdicts:
+        assert verdict["alert_count"] in expected_counts
+        for alert in verdict["alerts"]:
+            assert alert["monitor"] == verdict["monitor"]
+    attack_count = sum(
+        1
+        for verdict in report.verdicts
+        if verdict["alert_count"] == expected_counts[0]
+    )
+    benign_count = sum(
+        1
+        for verdict in report.verdicts
+        if verdict["alert_count"] == expected_counts[1]
+    )
+    assert attack_count == benign_count == 50
+
+    record_bench(
+        "service",
+        "loadgen",
+        {
+            "sessions": report.sessions,
+            "tenants": report.tenants,
+            "events": report.events,
+            "dropped_events": report.dropped_events,
+            "wall_s": report.wall_s,
+            "ingest_events_per_s": report.events_per_s,
+        },
+    )
+    assert report.events_per_s > 500, (
+        f"sustained ingest {report.events_per_s:.0f} events/s "
+        "is implausibly slow"
+    )
+
+
+def test_capture_upload_throughput():
+    import asyncio
+    import time
+
+    from repro.service import client as service_client
+    from repro.service.server import IngestServer
+
+    capture = attack_capture()
+
+    async def main():
+        async with IngestServer() as server:
+            # warm-up
+            await service_client.request(
+                server.host, server.port, "POST", "/api/captures", capture
+            )
+            started = time.perf_counter()
+            repeats = 20
+            events = 0
+            for _ in range(repeats):
+                status, verdict = await service_client.request(
+                    server.host,
+                    server.port,
+                    "POST",
+                    "/api/captures",
+                    capture,
+                )
+                assert status == 200
+                events += verdict["events"]
+            elapsed = time.perf_counter() - started
+            return repeats, events, elapsed
+
+    repeats, events, elapsed = asyncio.run(main())
+    record_bench(
+        "service",
+        "capture_upload",
+        {
+            "repeats": repeats,
+            "upload_s": elapsed / repeats,
+            "upload_events_per_s": events / elapsed,
+        },
+    )
+    assert events / elapsed > 500

@@ -1,0 +1,172 @@
+"""The service wire protocol: frames, captures, reorder adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.captures import attack_capture
+from repro.detect import ReorderBuffer
+from repro.detect.feed import DetectionEvent
+from repro.service.protocol import (
+    CaptureError,
+    ProtocolError,
+    capture_events,
+    decode_capture,
+    frame_to_event,
+    frames_from_capture,
+)
+
+
+@pytest.fixture(scope="module")
+def capture_bytes():
+    return attack_capture()
+
+
+class TestDecodeCapture:
+    def test_valid_capture_decodes(self, capture_bytes):
+        entries = decode_capture(capture_bytes)
+        assert entries
+        assert entries[0].frame == 1
+
+    def test_empty_body_is_capture_error(self):
+        with pytest.raises(CaptureError, match="empty capture"):
+            decode_capture(b"")
+
+    def test_bad_magic_is_capture_error(self):
+        with pytest.raises(CaptureError):
+            decode_capture(b"not a btsnoop file at all....")
+
+    def test_truncated_capture_is_capture_error(self, capture_bytes):
+        with pytest.raises(CaptureError, match="truncated"):
+            decode_capture(capture_bytes[:40])
+
+    def test_reason_is_one_line(self, capture_bytes):
+        with pytest.raises(CaptureError) as exc_info:
+            decode_capture(capture_bytes[:40])
+        assert "\n" not in str(exc_info.value)
+
+
+class TestFrames:
+    def test_capture_round_trips_through_frames(self, capture_bytes):
+        """capture → wire frames → events ≡ capture → events."""
+        direct = list(capture_events(decode_capture(capture_bytes)))
+        frames = frames_from_capture(capture_bytes)
+        via_wire = [frame_to_event(frame) for frame in frames]
+        assert len(via_wire) == len(direct)
+        for wire_event, direct_event in zip(via_wire, direct):
+            assert wire_event.time == direct_event.time
+            assert wire_event.seq == direct_event.seq
+            assert wire_event.kind == direct_event.kind
+            assert wire_event.direction == direct_event.direction
+            assert wire_event.frame_no == direct_event.frame_no
+
+    def test_undecodable_bytes_degrade_not_error(self):
+        event = frame_to_event(
+            {
+                "type": "event",
+                "channel": "hci",
+                "time": 1.0,
+                "seq": 0,
+                "raw": "ffdeadbeef",
+                "direction": "c2h",
+            }
+        )
+        assert event.kind == "undecodable"
+        assert event.packet is None
+
+    def test_trace_frame_builds_record(self):
+        event = frame_to_event(
+            {
+                "type": "event",
+                "channel": "trace",
+                "time": 2.5,
+                "seq": 7,
+                "kind": "phy-inquiry",
+                "source": "phy",
+                "detail": {"initiator": "aa:bb:cc:dd:ee:ff"},
+            }
+        )
+        assert event.channel == "trace"
+        assert event.record is not None
+        assert event.record.detail["initiator"] == "aa:bb:cc:dd:ee:ff"
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            "not a dict",
+            {"type": "hello"},
+            {"type": "event", "channel": "hci", "seq": 0, "raw": "04"},
+            {"type": "event", "channel": "hci", "time": 1.0, "raw": "zz"},
+            {
+                "type": "event",
+                "channel": "hci",
+                "time": 1.0,
+                "raw": "04",
+                "direction": "sideways",
+            },
+            {"type": "event", "channel": "trace", "time": 1.0},
+            {"type": "event", "channel": "air", "time": 1.0},
+            {
+                "type": "event",
+                "channel": "trace",
+                "time": 1.0,
+                "kind": "x",
+                "detail": [1, 2],
+            },
+        ],
+    )
+    def test_malformed_frames_raise_one_line_reason(self, frame):
+        with pytest.raises(ProtocolError) as exc_info:
+            frame_to_event(frame)
+        assert "\n" not in str(exc_info.value)
+
+
+def _event(time_s: float, seq: int) -> DetectionEvent:
+    return DetectionEvent(
+        time=time_s, seq=seq, monitor="m", channel="trace", kind="k"
+    )
+
+
+class TestReorderBuffer:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(window=0)
+
+    def test_releases_in_order_despite_shuffled_arrival(self):
+        buffer = ReorderBuffer(window=4)
+        order = [3, 1, 4, 0, 2, 6, 5, 8, 7, 9]
+        released = []
+        for seq in order:
+            released.extend(buffer.push(_event(float(seq), seq)))
+        released.extend(buffer.flush())
+        assert [event.seq for event in released] == list(range(10))
+        assert buffer.late_events == 0
+
+    def test_window_bounds_pending(self):
+        buffer = ReorderBuffer(window=3)
+        for seq in range(10):
+            buffer.push(_event(float(seq), seq))
+        assert buffer.pending == 3
+        assert len(buffer) == 3
+
+    def test_late_event_is_counted_and_delivered(self):
+        buffer = ReorderBuffer(window=2)
+        for seq in (0, 1, 2, 3, 4):
+            buffer.push(_event(float(seq), seq))
+        # watermark has passed seq 2; seq 1 arrives again, too late
+        released = buffer.push(_event(1.0, 1))
+        assert [event.seq for event in released] == [1]
+        assert buffer.late_events == 1
+
+    def test_deterministic_for_fixed_arrival_order(self):
+        order = [5, 2, 9, 0, 7, 3, 8, 1, 6, 4]
+
+        def run():
+            buffer = ReorderBuffer(window=3)
+            out = []
+            for seq in order:
+                out.extend(buffer.push(_event(float(seq), seq)))
+            out.extend(buffer.flush())
+            return [event.seq for event in out], buffer.late_events
+
+        assert run() == run()

@@ -1,0 +1,208 @@
+"""Sessions: verdict identity, determinism, budgets, tenancy."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.captures import attack_capture, benign_capture
+from repro.detect import replay_capture
+from repro.service.protocol import capture_events, decode_capture
+from repro.service.session import SessionConfig, SessionError, SessionManager
+
+
+@pytest.fixture(scope="module")
+def attack_bytes():
+    return attack_capture()
+
+
+@pytest.fixture(scope="module")
+def benign_bytes():
+    return benign_capture()
+
+
+def run_session(manager, capture, **overrides):
+    session = manager.open(**overrides)
+    for event in capture_events(decode_capture(capture)):
+        session.ingest(event)
+    return manager.finish(session)
+
+
+class TestVerdictIdentity:
+    def test_session_alerts_identical_to_replay_capture(self, attack_bytes):
+        """The golden pin: online scoring ≡ offline replay_capture."""
+        offline = replay_capture(attack_bytes)
+        verdict = run_session(SessionManager(), attack_bytes)
+        assert json.dumps(verdict["alerts"], sort_keys=True) == json.dumps(
+            [alert.to_dict() for alert in offline.alerts], sort_keys=True
+        )
+        assert verdict["detectors"] == [
+            detector.name for detector in offline.detectors
+        ]
+
+    def test_benign_capture_stays_silent(self, benign_bytes):
+        verdict = run_session(SessionManager(), benign_bytes)
+        assert verdict["alert_count"] == 0
+        assert all(
+            score == 0.0 for score in verdict["max_scores"].values()
+        )
+
+    def test_verdict_schema(self, attack_bytes):
+        verdict = run_session(SessionManager(), attack_bytes)
+        for key in (
+            "type",
+            "session",
+            "tenant",
+            "monitor",
+            "alerts",
+            "alert_count",
+            "max_scores",
+            "first_alert_s",
+            "events",
+            "dropped_events",
+            "late_events",
+            "undecodable",
+            "detectors",
+        ):
+            assert key in verdict, f"verdict missing {key}"
+        assert verdict["type"] == "verdict"
+        assert verdict["dropped_events"] == 0
+        # the whole verdict must be JSON-serialisable for the wire
+        json.dumps(verdict)
+
+
+class TestConcurrentDeterminism:
+    def test_interleaved_sessions_match_sequential(
+        self, attack_bytes, benign_bytes
+    ):
+        """Satellite: N interleaved sessions ≡ N sequential sessions."""
+        captures = [attack_bytes, benign_bytes]
+        n = 8
+        event_lists = [
+            list(capture_events(decode_capture(captures[i % 2])))
+            for i in range(n)
+        ]
+
+        sequential = SessionManager()
+        sequential_verdicts = []
+        for i in range(n):
+            session = sequential.open(tenant=f"t{i % 3}")
+            for event in event_lists[i]:
+                session.ingest(event)
+            sequential_verdicts.append(sequential.finish(session))
+
+        interleaved = SessionManager()
+        sessions = [interleaved.open(tenant=f"t{i % 3}") for i in range(n)]
+        # round-robin: one event per session per turn
+        longest = max(len(events) for events in event_lists)
+        for step in range(longest):
+            for i, session in enumerate(sessions):
+                if step < len(event_lists[i]):
+                    session.ingest(event_lists[i][step])
+        interleaved_verdicts = [
+            interleaved.finish(session) for session in sessions
+        ]
+
+        assert json.dumps(
+            interleaved_verdicts, sort_keys=True
+        ) == json.dumps(sequential_verdicts, sort_keys=True)
+
+    def test_no_cross_session_alert_leakage(self, attack_bytes, benign_bytes):
+        manager = SessionManager()
+        attack_verdict = run_session(manager, attack_bytes, tenant="a")
+        benign_verdict = run_session(manager, benign_bytes, tenant="b")
+        assert attack_verdict["alert_count"] > 0
+        assert benign_verdict["alert_count"] == 0
+        # the benign session must not see the attack session's peers
+        attack_peers = {
+            alert["peer"] for alert in attack_verdict["alerts"]
+        }
+        assert attack_peers
+        assert not [
+            alert
+            for alert in benign_verdict["alerts"]
+            if alert["peer"] in attack_peers
+        ]
+
+
+class TestBackpressureBudget:
+    def test_max_events_budget_sheds_deterministically(self, attack_bytes):
+        """Satellite: shedding under a fixed budget is deterministic."""
+        events = list(capture_events(decode_capture(attack_bytes)))
+        budget = len(events) // 2
+
+        def run():
+            manager = SessionManager(
+                defaults=SessionConfig(max_events=budget)
+            )
+            session = manager.open()
+            for event in events:
+                session.ingest(event)
+            return manager.finish(session)
+
+        first, second = run(), run()
+        assert first["events"] == budget
+        assert first["dropped_events"] == len(events) - budget
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_shed_counts_into_verdict_and_metrics(self):
+        manager = SessionManager()
+        session = manager.open()
+        session.shed()
+        session.shed(3)
+        verdict = manager.finish(session)
+        assert verdict["dropped_events"] == 4
+        merged = manager.merged_metrics()
+        assert merged.counter_value("service.dropped_events") == 4
+
+    def test_finished_session_rejects_ingest(self, attack_bytes):
+        manager = SessionManager()
+        session = manager.open()
+        manager.finish(session)
+        event = next(iter(capture_events(decode_capture(attack_bytes))))
+        with pytest.raises(SessionError):
+            session.ingest(event)
+
+
+class TestManager:
+    def test_per_tenant_metrics_merge_into_service_view(self, attack_bytes):
+        manager = SessionManager()
+        run_session(manager, attack_bytes, tenant="acme")
+        run_session(manager, attack_bytes, tenant="globex")
+        acme = manager.tenants["acme"].counter_value("service.events")
+        globex = manager.tenants["globex"].counter_value("service.events")
+        assert acme > 0 and acme == globex
+        merged = manager.merged_metrics()
+        assert merged.counter_value("service.events") == acme + globex
+        snapshot = manager.service_snapshot()
+        assert sorted(snapshot["tenants"]) == ["acme", "globex"]
+        assert snapshot["sessions"]["finished"] == 2
+
+    def test_idle_eviction_finishes_sessions(self):
+        clock = {"now": 0.0}
+        manager = SessionManager(
+            max_idle_s=10.0, clock=lambda: clock["now"]
+        )
+        stale = manager.open()
+        clock["now"] = 20.0
+        fresh = manager.open()
+        evicted = manager.evict_idle()
+        assert evicted == [stale.id]
+        assert stale.state == "finished"
+        assert fresh.id in manager.sessions
+        assert stale.id in manager.finished
+
+    def test_archives_alerts_into_store(self, attack_bytes, tmp_path):
+        from repro.store import AlertQuery, RunStore
+
+        with RunStore(str(tmp_path / "store.db")) as store:
+            manager = SessionManager(store=store)
+            verdict = run_session(manager, attack_bytes, tenant="acme")
+            run_id = f"service-{verdict['session']}"
+            rows = store.query_alerts(AlertQuery(run_id=run_id))
+            assert len(rows) == verdict["alert_count"] > 0
+            run_ids = [info.run_id for info in store.runs()]
+            assert run_id in run_ids
