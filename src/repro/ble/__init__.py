@@ -1,0 +1,52 @@
+"""Minimal Bluetooth Low Energy vertical slice.
+
+A deliberately small LE stack living next to the BR/EDR reproduction:
+advertising/scanning and connection establishment on the shared
+:class:`~repro.phy.medium.RadioMedium`, an LE Secure Connections SMP
+pairing engine (Just Works + numeric comparison), AES-CCM link
+encryption, and the h6/h7 Cross-Transport Key Derivation that makes the
+BLURtooth scenarios possible — an extracted BR/EDR link key converts
+into a valid LE LTK and vice versa.
+
+See ``docs/ble.md`` for the layer design and the CTKD math.
+"""
+
+from repro.ble.pdus import (
+    AdvPayload,
+    LeDataPdu,
+    LlEncReq,
+    LlEncRsp,
+    LlRejectInd,
+    LlStartEnc,
+    SmpDhKeyCheck,
+    SmpPairingConfirm,
+    SmpPairingFailed,
+    SmpPairingRandom,
+    SmpPairingRequest,
+    SmpPairingResponse,
+    SmpPublicKey,
+)
+from repro.ble.smp import JUST_WORKS, NUMERIC_COMPARISON, SmpEngine, addr7
+from repro.ble.stack import BleStack, LeConnection
+
+__all__ = [
+    "AdvPayload",
+    "BleStack",
+    "JUST_WORKS",
+    "LeConnection",
+    "LeDataPdu",
+    "LlEncReq",
+    "LlEncRsp",
+    "LlRejectInd",
+    "LlStartEnc",
+    "NUMERIC_COMPARISON",
+    "SmpDhKeyCheck",
+    "SmpEngine",
+    "SmpPairingConfirm",
+    "SmpPairingFailed",
+    "SmpPairingRandom",
+    "SmpPairingRequest",
+    "SmpPairingResponse",
+    "SmpPublicKey",
+    "addr7",
+]

@@ -1,0 +1,136 @@
+"""LE PDU dataclasses: advertising, SMP and LL control payloads.
+
+These ride the shared :class:`repro.phy.medium.AirFrame` with LE frame
+kinds (``adv``, ``le-connect``, ``smp``, ``le-control``, ``le-data``),
+so the existing sniffers, fault filters and the detection feed see LE
+traffic with zero changes.
+
+Only the fields the simulation needs are modelled; encodings follow
+Vol 3 Part H §3.5 (SMP) and Vol 6 Part B §2.4.2 (LL control)
+structurally, not byte-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+# AuthReq bits (Vol 3 Part H §3.5.1).
+AUTH_BONDING = 0x01
+AUTH_MITM = 0x04
+AUTH_SC = 0x08
+AUTH_CT2 = 0x20
+
+# Key-distribution bits (§3.6.1); the LinkKey bit is the CTKD request.
+KEYDIST_ENC_KEY = 0x01
+KEYDIST_ID_KEY = 0x02
+KEYDIST_SIGN_KEY = 0x04
+KEYDIST_LINK_KEY = 0x08
+
+# SMP Pairing Failed reasons (§3.5.5).
+REASON_CONFIRM_FAILED = 0x04
+REASON_PAIRING_NOT_SUPPORTED = 0x05
+REASON_UNSPECIFIED = 0x08
+REASON_DHKEY_CHECK_FAILED = 0x0B
+REASON_NUMERIC_COMPARISON_FAILED = 0x01
+
+
+@dataclass(frozen=True)
+class AdvPayload:
+    """ADV_IND application payload: what a scanner learns."""
+
+    name: str = ""
+    connectable: bool = True
+    #: advertiser supports BR/EDR too (the Flags AD "simultaneous
+    #: LE + BR/EDR" bits) — what makes it a CTKD candidate
+    dual_mode: bool = False
+
+
+@dataclass(frozen=True)
+class SmpPairingRequest:
+    io_capability: int
+    auth_req: int
+    initiator_key_dist: int = KEYDIST_ENC_KEY
+    responder_key_dist: int = KEYDIST_ENC_KEY
+
+
+@dataclass(frozen=True)
+class SmpPairingResponse:
+    io_capability: int
+    auth_req: int
+    initiator_key_dist: int = KEYDIST_ENC_KEY
+    responder_key_dist: int = KEYDIST_ENC_KEY
+
+
+@dataclass(frozen=True)
+class SmpPublicKey:
+    """P-256 public key, uncompressed X || Y (64 bytes)."""
+
+    point: bytes
+
+
+@dataclass(frozen=True)
+class SmpPairingConfirm:
+    value: bytes  # 16-byte f4 output
+
+
+@dataclass(frozen=True)
+class SmpPairingRandom:
+    value: bytes  # 16-byte nonce
+
+
+@dataclass(frozen=True)
+class SmpDhKeyCheck:
+    value: bytes  # 16-byte f6 output
+
+
+@dataclass(frozen=True)
+class SmpPairingFailed:
+    reason: int
+
+
+@dataclass(frozen=True)
+class LlEncReq:
+    """LL_ENC_REQ: central's half of the session key diversifier."""
+
+    skd_m: bytes  # 8 bytes
+    iv_m: bytes  # 4 bytes
+
+
+@dataclass(frozen=True)
+class LlEncRsp:
+    """LL_ENC_RSP: peripheral's half."""
+
+    skd_s: bytes  # 8 bytes
+    iv_s: bytes  # 4 bytes
+
+
+@dataclass(frozen=True)
+class LlStartEnc:
+    """LL_START_ENC_REQ/RSP collapsed into one 'encryption is on' marker."""
+
+
+@dataclass(frozen=True)
+class LlRejectInd:
+    """LL_REJECT_IND: e.g. encryption requested with no LTK bonded."""
+
+    reason: int = 0x06  # PIN or Key Missing
+
+
+@dataclass(frozen=True)
+class LeDataPdu:
+    """An LE data payload; ``ciphertext`` carries CCM output when encrypted."""
+
+    payload: bytes
+    encrypted: bool = False
+
+
+SMP_PDUS: Tuple[type, ...] = (
+    SmpPairingRequest,
+    SmpPairingResponse,
+    SmpPublicKey,
+    SmpPairingConfirm,
+    SmpPairingRandom,
+    SmpDhKeyCheck,
+    SmpPairingFailed,
+)

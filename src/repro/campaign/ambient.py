@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, Tuple
 
 from repro.attacks.scenario import World
+from repro.campaign import blurtooth as _blurtooth  # noqa: F401  (registry)
 from repro.campaign import detection as _detection  # noqa: F401  (registry)
 from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
 from repro.campaign.trial import (

@@ -1,0 +1,146 @@
+"""The BLURtooth cross-transport scenarios, wrapped for the campaign engine.
+
+Both directions of the CTKD pivot, staged on dual-mode casts:
+
+* ``blurtooth-bredr-to-le`` — BLAP link-key extraction feeds h7/h6 and
+  the resulting LTK decrypts the victims' sniffed LE session (and is
+  byte-identical to the LTK the victims derived themselves).
+* ``blurtooth-le-to-bredr`` — a Just Works LE pairing with a spoofed
+  identity address makes the victim's own CTKD overwrite its
+  authenticated BR/EDR bond, which the attacker then walks through.
+
+Registered by import side effect, exactly like
+:mod:`repro.campaign.scenarios`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.attacks.blurtooth import (
+    run_bredr_to_le_pivot,
+    run_le_to_bredr_pivot,
+)
+from repro.attacks.eavesdrop import AirCapture
+from repro.attacks.link_key_extraction import LinkKeyExtractionAttack
+from repro.attacks.scenario import World, bond, standard_cast
+from repro.campaign.trial import Scenario, register_scenario
+from repro.devices.catalog import spec_by_key
+from repro.host.pbap import Contact
+
+#: known plaintext the victims exchange over their encrypted LE link
+LE_MARKER = b"LE telemetry sync"
+
+
+def _dual_cast(world: World, params: Dict[str, Any]):
+    return standard_cast(
+        world,
+        m_spec=spec_by_key(params["m_spec"]),
+        c_spec=spec_by_key(params["c_spec"]),
+        a_spec=spec_by_key(params["a_spec"]),
+    )
+
+
+def _victim_le_session(world: World, m, c) -> AirCapture:
+    """Victims run CTKD, then an encrypted LE session, under a sniffer."""
+    m.ble.adopt_bredr_bond(c.bd_addr)
+    c.ble.adopt_bredr_bond(m.bd_addr)
+    capture = AirCapture().attach(world.medium)
+    connect_op = c.ble.connect(m.bd_addr)
+    world.run_for(5.0)
+    if not connect_op.success:
+        raise RuntimeError("victim LE connection failed")
+    enc_op = c.ble.start_encryption(m.bd_addr)
+    world.run_for(2.0)
+    if not enc_op.success:
+        raise RuntimeError("victim LE encryption start failed")
+    c.ble.send_data(m.bd_addr, LE_MARKER)
+    m.ble.send_data(c.bd_addr, b"ack " + LE_MARKER)
+    world.run_for(1.0)
+    c.ble.disconnect(m.bd_addr)
+    world.run_for(0.5)
+    return capture
+
+
+@register_scenario
+class BlurtoothBredrToLeScenario(Scenario):
+    """BLAP extraction → h7/h6 → the victims' own LE LTK."""
+
+    name = "blurtooth-bredr-to-le"
+    description = "extracted BR/EDR link key pivots to LE via CTKD (BLURtooth)"
+    default_params = {
+        "m_spec": "galaxy_s21_dual",
+        "c_spec": "nexus_5x_dual",
+        "a_spec": "nexus_5x_android6",
+        "ct2": True,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m, c, a = _dual_cast(world, params)
+        bond(world, c, m)
+        capture = _victim_le_session(world, m, c)
+        extraction = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        if not extraction.extraction_success:
+            return False, "extraction_failed", {"extraction_success": False}
+        pivot = run_bredr_to_le_pivot(
+            capture,
+            extraction.extracted_key,
+            victim=m,
+            victim_peer_addr=c.bd_addr,
+            ct2=params["ct2"],
+        )
+        marker_recovered = any(
+            LE_MARKER in payload for payload in pivot.decrypted_payloads
+        )
+        detail = {
+            "extraction_success": True,
+            "extracted_link_key": extraction.extracted_key.hex(),
+            "derived_ltk": pivot.derived_key.hex(),
+            "ltk_matches_victim": pivot.key_matches_victim,
+            "payloads_recovered": len(pivot.decrypted_payloads),
+            "marker_recovered": marker_recovered,
+            "wrong_key_rejected": pivot.wrong_key_rejected,
+            "ct2": params["ct2"],
+        }
+        success = pivot.success and marker_recovered
+        return success, "pivoted" if success else "pivot_failed", detail
+
+
+@register_scenario
+class BlurtoothLeToBredrScenario(Scenario):
+    """Just Works LE pairing overwrites the authenticated BR/EDR bond."""
+
+    name = "blurtooth-le-to-bredr"
+    description = "LE Just Works pairing overwrites BR/EDR bond via CTKD"
+    default_params = {
+        "m_spec": "galaxy_s21_dual",
+        "c_spec": "nexus_5x_dual",
+        "a_spec": "nexus_5x_dual",
+        "ct2": True,
+    }
+
+    def execute(
+        self, world: World, params: Dict[str, Any], seed: int
+    ) -> Tuple[bool, str, Dict[str, Any]]:
+        m, c, a = _dual_cast(world, params)
+        m.host.pbap.load_phonebook(
+            [Contact("Alice Example", "+1-202-555-0100")]
+        )
+        bond(world, c, m)
+        prior = m.host.security.bond_for(c.bd_addr)
+        report = run_le_to_bredr_pivot(world, a, m, c, ct2=params["ct2"])
+        detail = {
+            "association": report.detail.get("association"),
+            "overwrote_bredr_bond": report.overwrote_bredr_bond,
+            "prior_key_type": report.prior_key_type,
+            "new_key_type": report.new_key_type,
+            "derived_key_matches_victim": report.key_matches_victim,
+            "bredr_pivot_success": report.bredr_pivot_success,
+            "phonebook_entries": report.detail.get("phonebook_entries", 0),
+            "error": report.detail.get("error"),
+            "prior_bond_existed": prior is not None,
+        }
+        success = report.overwrote_bredr_bond and report.bredr_pivot_success
+        return success, "overwritten" if success else "pivot_failed", detail

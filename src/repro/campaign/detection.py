@@ -36,7 +36,28 @@ DETECTOR_FOR_ATTACK = {
     "extraction": "link-key-anomaly",
     "knob": "entropy-downgrade",
     "surveillance": "surveillance",
+    "blurtooth-bredr-to-le": "ctkd-anomaly",
+    "blurtooth-le-to-bredr": "ctkd-anomaly",
 }
+
+#: catalog upgrades for stagings that need an LE transport: same
+#: phone, dual-mode variant (see :mod:`repro.devices.catalog`)
+_DUAL_MODE_SPEC = {
+    "lg_velvet_android11": "lg_velvet_dual",
+    "galaxy_s21_android11": "galaxy_s21_dual",
+    "nexus_5x_android8": "nexus_5x_dual",
+    "nexus_5x_android6": "nexus_5x_dual",
+}
+
+
+def _le_params(params: Dict[str, Any], *roles: str) -> Dict[str, Any]:
+    """Swap the named cast roles to dual-mode spec variants."""
+    upgraded = dict(params)
+    for role in roles:
+        key = upgraded[role]
+        if not spec_by_key(key).has_le:
+            upgraded[role] = _DUAL_MODE_SPEC.get(key, "nexus_5x_dual")
+    return upgraded
 
 
 def _cast(world: World, params: Dict[str, Any]):
@@ -145,6 +166,43 @@ class DetectionAttackScenario(Scenario):
             a.host.gap.disconnect(m.bd_addr)
             world.run_for(0.5)
         return engine, True
+
+    def _stage_blurtooth_bredr_to_le(
+        self, world: World, params: Dict[str, Any]
+    ):
+        from repro.attacks.blurtooth import run_bredr_to_le_pivot
+        from repro.campaign.blurtooth import _victim_le_session
+
+        m, c, a = _cast(world, _le_params(params, "m_spec", "c_spec"))
+        bond(world, c, m)
+        engine = DetectionEngine().attach_world(world, roles=["M"])
+        capture = _victim_le_session(world, m, c)
+        report = LinkKeyExtractionAttack(world, a, c, m).run(validate=False)
+        if not report.extraction_success:
+            return engine, False
+        pivot = run_bredr_to_le_pivot(
+            capture, report.extracted_key, victim=m, victim_peer_addr=c.bd_addr
+        )
+        return engine, pivot.success
+
+    def _stage_blurtooth_le_to_bredr(
+        self, world: World, params: Dict[str, Any]
+    ):
+        from repro.attacks.blurtooth import run_le_to_bredr_pivot
+        from repro.host.pbap import Contact
+
+        m, c, a = _cast(
+            world, _le_params(params, "m_spec", "c_spec", "a_spec")
+        )
+        m.host.pbap.load_phonebook(
+            [Contact("Alice Example", "+1-202-555-0100")]
+        )
+        bond(world, c, m)
+        engine = DetectionEngine().attach_world(world, roles=["M"])
+        report = run_le_to_bredr_pivot(world, a, m, c)
+        return engine, bool(
+            report.overwrote_bredr_bond and report.bredr_pivot_success
+        )
 
 
 @register_scenario

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.attacks.scenario import WorldConfig, build_world
 from repro.campaign import ambient as _ambient  # noqa: F401  (registry)
+from repro.campaign import blurtooth as _blurtooth  # noqa: F401  (registry)
 from repro.campaign import detection as _detection  # noqa: F401  (registry)
 from repro.campaign import scenarios as _scenarios  # noqa: F401  (registry)
 from repro.campaign.cache import ResultCache, trial_key

@@ -121,6 +121,87 @@ def _cmd_iocap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ble_ctkd(args: argparse.Namespace) -> int:
+    """Offline CTKD calculator: one key in, the cross-transport key out.
+
+    The BLURtooth pivot in two lines of math — paste a link key
+    extracted by ``blap extract`` and read off the victim's LE LTK.
+    """
+    from repro.crypto.smp import (
+        bredr_link_key_from_le_ltk,
+        le_ltk_from_bredr_link_key,
+    )
+
+    try:
+        key = bytes.fromhex(args.key)
+    except ValueError:
+        print(f"not a hex key: {args.key!r}", file=sys.stderr)
+        return 2
+    if len(key) != 16:
+        print(f"key must be 16 bytes, got {len(key)}", file=sys.stderr)
+        return 2
+    ct2 = not args.no_ct2
+    if args.direction == "bredr-to-le":
+        out, label = le_ltk_from_bredr_link_key(key, ct2=ct2), "LE LTK"
+    else:
+        out, label = bredr_link_key_from_le_ltk(key, ct2=ct2), "BR/EDR link key"
+    print(f"input key : {key.hex()}")
+    print(f"direction : {args.direction} (ct2={'yes' if ct2 else 'no'})")
+    print(f"{label:<10}: {out.hex()}")
+    return 0
+
+
+def _cmd_ble_pair(args: argparse.Namespace) -> int:
+    """Demo one LE connection + SC pairing between two catalog devices."""
+    from repro.attacks.scenario import WorldConfig, build_world
+    from repro.devices.catalog import spec_by_key
+
+    world = build_world(WorldConfig(seed=args.seed))
+    try:
+        central = world.add_device("central", spec_by_key(args.central))
+        peripheral = world.add_device(
+            "peripheral", spec_by_key(args.peripheral)
+        )
+    except KeyError as exc:
+        print(f"unknown device key: {exc}", file=sys.stderr)
+        return 2
+    if central.ble is None or peripheral.ble is None:
+        print(
+            "both devices must be LE-capable (try galaxy_s21_dual, "
+            "nexus_5x_dual, generic_fitness_tracker, ...)",
+            file=sys.stderr,
+        )
+        return 2
+    central.power_on()
+    peripheral.power_on()
+    world.run_for(1.0)
+    connect = central.ble.connect(peripheral.bd_addr)
+    world.run_for(5.0)
+    if not connect.success:
+        print(f"LE connect failed (status={connect.status})")
+        return 1
+    pairing = central.ble.pair(peripheral.bd_addr)
+    world.run_for(5.0)
+    if not pairing.success:
+        print(f"SMP pairing failed (status={pairing.status})")
+        return 1
+    encryption = central.ble.start_encryption(peripheral.bd_addr)
+    world.run_for(2.0)
+    ltk = central.ble.security.le_ltk_for(peripheral.bd_addr)
+    bredr = central.ble.security.bond_for(peripheral.bd_addr)
+    print(f"association : {pairing.result}")
+    print(f"LE LTK      : {ltk.hex() if ltk else '(none)'}")
+    print(f"encrypted   : {bool(encryption.success)}")
+    if bredr is not None and bredr.link_key is not None:
+        print(
+            f"CTKD        : BR/EDR link key {bredr.link_key.hex()} "
+            f"(type {bredr.key_type})"
+        )
+    else:
+        print("CTKD        : not negotiated")
+    return 0
+
+
 # The demos keep the legacy single-run behaviour: full tracing, the
 # victim dump captured, discovery running — richer than the lean
 # defaults the campaign sweeps use.
@@ -1298,6 +1379,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[v.value for v in BluetoothVersion],
     )
     iocap.set_defaults(func=_cmd_iocap)
+
+    ble = sub.add_parser(
+        "ble", help="LE layer utilities (CTKD math, pairing demo)"
+    )
+    blesub = ble.add_subparsers(dest="ble_cmd", required=True)
+    ctkd = blesub.add_parser(
+        "ctkd", help="convert a key across transports (h6/h7)"
+    )
+    ctkd.add_argument("key", help="16-byte key as 32 hex chars")
+    ctkd.add_argument(
+        "--direction",
+        default="bredr-to-le",
+        choices=["bredr-to-le", "le-to-bredr"],
+    )
+    ctkd.add_argument(
+        "--no-ct2",
+        action="store_true",
+        help="legacy h7-less derivation (CT2 bit unset)",
+    )
+    ctkd.set_defaults(func=_cmd_ble_ctkd)
+    blepair = blesub.add_parser(
+        "pair", help="LE connect + SC pairing between two catalog devices"
+    )
+    blepair.add_argument("--central", default="galaxy_s21_dual")
+    blepair.add_argument("--peripheral", default="nexus_5x_dual")
+    blepair.add_argument("--seed", type=int, default=1)
+    blepair.set_defaults(func=_cmd_ble_pair)
 
     from repro.campaign import scenario_names
 

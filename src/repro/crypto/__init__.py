@@ -14,6 +14,11 @@ This package provides every algorithm the simulated stack needs:
 * :mod:`repro.crypto.ssp` — the SSP functions f1/f2/f3/g (both the
   SHA-256 based P-192 family and the HMAC based P-256 family) plus
   h3/h4/h5.
+* :mod:`repro.crypto.aes` — from-scratch AES-128 with the CMAC
+  (RFC 4493) and CCM (RFC 3610) modes LE Secure Connections needs.
+* :mod:`repro.crypto.smp` — the LE SC toolbox f4/f5/f6/g2 and the
+  h6/h7 Cross-Transport Key Derivation conversions that the BLURtooth
+  scenarios pivot through.
 
 Fidelity note: official Bluetooth SIG test vectors are not reachable in
 this offline environment, so byte-exact interoperability with silicon
@@ -34,6 +39,24 @@ from repro.crypto.ecc import (
     P256,
     ecdh_shared_secret,
     generate_keypair,
+)
+from repro.crypto.aes import (
+    aes128_encrypt,
+    aes_ccm_decrypt,
+    aes_ccm_encrypt,
+    aes_cmac,
+    cmac_subkeys,
+)
+from repro.crypto.smp import (
+    bredr_link_key_from_le_ltk,
+    f4,
+    f5,
+    f6,
+    g2,
+    h6,
+    h7,
+    le_ltk_from_bredr_link_key,
+    le_session_key,
 )
 from repro.crypto.ssp import (
     f1_p192,
@@ -67,6 +90,20 @@ __all__ = [
     "P256",
     "ecdh_shared_secret",
     "generate_keypair",
+    "aes128_encrypt",
+    "aes_ccm_decrypt",
+    "aes_ccm_encrypt",
+    "aes_cmac",
+    "cmac_subkeys",
+    "bredr_link_key_from_le_ltk",
+    "f4",
+    "f5",
+    "f6",
+    "g2",
+    "h6",
+    "h7",
+    "le_ltk_from_bredr_link_key",
+    "le_session_key",
     "f1_p192",
     "f1_p256",
     "f2_p192",

@@ -1,0 +1,237 @@
+"""AES-128 and the modes the LE Secure Connections layer needs.
+
+Bluetooth Low Energy replaced BR/EDR's SAFER+/E0 lineage with AES:
+
+* the security toolbox functions of Vol 3 Part H §2.2 (f4/f5/f6/g2 and
+  the h6/h7 cross-transport conversions) are all AES-CMAC
+  constructions (RFC 4493), and
+* LE link-layer payload encryption (Vol 6 Part B §5.1.4) is AES-CCM
+  with a 4-byte MIC.
+
+Like the rest of :mod:`repro.crypto`, everything here is implemented
+from scratch on the stdlib — a straightforward table-based AES-128
+forward cipher (CMAC and CCM only ever run the cipher forward), the
+RFC 4493 subkey/padding construction, and RFC 3610 CCM.  The AES core
+is pinned against the FIPS-197 Appendix C vector and CMAC against the
+RFC 4493 test vectors in ``tests/test_crypto_smp.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5,
+    0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+    0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+    0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC,
+    0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A,
+    0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+    0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+    0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B,
+    0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85,
+    0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+    0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+    0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17,
+    0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88,
+    0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+    0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+    0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9,
+    0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6,
+    0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+    0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+    0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94,
+    0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68,
+    0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _expand_key(key: bytes) -> List[List[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [
+        [b for word in words[r : r + 4] for b in word]
+        for r in range(0, 44, 4)
+    ]
+
+
+def aes128_encrypt(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128 (FIPS-197 forward cipher).
+
+    This is the Bluetooth security function *e* (Vol 3 Part H §2.2.1):
+    every LE toolbox function and the LE session key derivation reduce
+    to it.
+    """
+    if len(key) != 16:
+        raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    if len(block) != 16:
+        raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+    round_keys = _expand_key(key)
+    state = [b ^ k for b, k in zip(block, round_keys[0])]
+    for round_no in range(1, 11):
+        state = [_SBOX[b] for b in state]
+        # ShiftRows on the column-major state layout.
+        state = [
+            state[0], state[5], state[10], state[15],
+            state[4], state[9], state[14], state[3],
+            state[8], state[13], state[2], state[7],
+            state[12], state[1], state[6], state[11],
+        ]
+        if round_no < 10:
+            mixed = []
+            for col in range(4):
+                a = state[col * 4 : col * 4 + 4]
+                t = a[0] ^ a[1] ^ a[2] ^ a[3]
+                mixed.extend(
+                    [
+                        a[0] ^ t ^ _xtime(a[0] ^ a[1]),
+                        a[1] ^ t ^ _xtime(a[1] ^ a[2]),
+                        a[2] ^ t ^ _xtime(a[2] ^ a[3]),
+                        a[3] ^ t ^ _xtime(a[3] ^ a[0]),
+                    ]
+                )
+            state = mixed
+        state = [b ^ k for b, k in zip(state, round_keys[round_no])]
+    return bytes(state)
+
+
+# ------------------------------------------------------------------ AES-CMAC
+
+
+def _shift_left(block: bytes) -> bytes:
+    value = int.from_bytes(block, "big") << 1
+    return (value & ((1 << 128) - 1)).to_bytes(16, "big")
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cmac_subkeys(key: bytes) -> tuple:
+    """The RFC 4493 subkeys (K1, K2) for one AES-128 key."""
+    l = aes128_encrypt(key, b"\x00" * 16)
+    k1 = _shift_left(l)
+    if l[0] & 0x80:
+        k1 = _xor(k1, b"\x00" * 15 + b"\x87")
+    k2 = _shift_left(k1)
+    if k1[0] & 0x80:
+        k2 = _xor(k2, b"\x00" * 15 + b"\x87")
+    return k1, k2
+
+
+def aes_cmac(key: bytes, message: bytes) -> bytes:
+    """AES-CMAC (RFC 4493): the MAC behind every LE toolbox function."""
+    k1, k2 = cmac_subkeys(key)
+    n, rem = divmod(len(message), 16)
+    if n == 0 or rem != 0:
+        # Pad the (possibly empty) final block with 10^i and use K2.
+        last = message[n * 16 :] + b"\x80" + b"\x00" * (15 - rem)
+        last = _xor(last, k2)
+    else:
+        n -= 1
+        last = _xor(message[n * 16 :], k1)
+    x = b"\x00" * 16
+    for i in range(n):
+        x = aes128_encrypt(key, _xor(x, message[i * 16 : i * 16 + 16]))
+    return aes128_encrypt(key, _xor(x, last))
+
+
+# ------------------------------------------------------------------- AES-CCM
+
+
+def _ccm_blocks(
+    key: bytes, nonce: bytes, data_len: int, aad: bytes, tag_len: int
+) -> tuple:
+    """Shared CCM setup: (B0-seeded CBC-MAC state over AAD, A0 block)."""
+    if not 7 <= len(nonce) <= 13:
+        raise ValueError(f"CCM nonce must be 7..13 bytes, got {len(nonce)}")
+    if tag_len % 2 or not 4 <= tag_len <= 16:
+        raise ValueError(f"CCM tag length must be even in 4..16, got {tag_len}")
+    length_size = 15 - len(nonce)
+    flags = (64 if aad else 0) | (((tag_len - 2) // 2) << 3) | (length_size - 1)
+    b0 = bytes([flags]) + nonce + data_len.to_bytes(length_size, "big")
+    x = aes128_encrypt(key, b0)
+    if aad:
+        header = len(aad).to_bytes(2, "big") + aad
+        header += b"\x00" * (-len(header) % 16)
+        for i in range(0, len(header), 16):
+            x = aes128_encrypt(key, _xor(x, header[i : i + 16]))
+    a0 = bytes([length_size - 1]) + nonce + b"\x00" * length_size
+    return x, a0
+
+
+def _ccm_keystream(key: bytes, a0: bytes, counter: int) -> bytes:
+    block = a0[:-2] + counter.to_bytes(2, "big")
+    return aes128_encrypt(key, block)
+
+
+def aes_ccm_encrypt(
+    key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"", tag_len: int = 4
+) -> bytes:
+    """CCM (RFC 3610) encrypt-and-tag; returns ciphertext || MIC.
+
+    LE link encryption uses a 13-byte nonce (packet counter + IV) and a
+    4-byte MIC — the defaults the :mod:`repro.ble` link layer passes.
+    """
+    x, a0 = _ccm_blocks(key, nonce, len(plaintext), aad, tag_len)
+    padded = plaintext + b"\x00" * (-len(plaintext) % 16)
+    for i in range(0, len(padded), 16):
+        x = aes_cbc_step(key, x, padded[i : i + 16])
+    tag = _xor(x, aes128_encrypt(key, a0))[:tag_len]
+    out = bytearray()
+    for i in range(0, len(plaintext), 16):
+        stream = _ccm_keystream(key, a0, i // 16 + 1)
+        out += _xor(plaintext[i : i + 16], stream)
+    return bytes(out) + tag
+
+
+def aes_ccm_decrypt(
+    key: bytes, nonce: bytes, ciphertext: bytes, aad: bytes = b"", tag_len: int = 4
+) -> Optional[bytes]:
+    """CCM decrypt-and-verify; ``None`` when the MIC does not check out."""
+    if len(ciphertext) < tag_len:
+        return None
+    body, tag = ciphertext[:-tag_len], ciphertext[-tag_len:]
+    x, a0 = _ccm_blocks(key, nonce, len(body), aad, tag_len)
+    plain = bytearray()
+    for i in range(0, len(body), 16):
+        stream = _ccm_keystream(key, a0, i // 16 + 1)
+        plain += _xor(body[i : i + 16], stream)
+    padded = bytes(plain) + b"\x00" * (-len(plain) % 16)
+    for i in range(0, len(padded), 16):
+        x = aes_cbc_step(key, x, padded[i : i + 16])
+    expected = _xor(x, aes128_encrypt(key, a0))[:tag_len]
+    if expected != tag:
+        return None
+    return bytes(plain)
+
+
+def aes_cbc_step(key: bytes, state: bytes, block: bytes) -> bytes:
+    """One CBC-MAC absorption step (exposed for the CCM internals)."""
+    return aes128_encrypt(key, _xor(state, block))

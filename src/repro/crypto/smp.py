@@ -1,0 +1,132 @@
+"""LE Secure Connections key-derivation toolbox (Vol 3 Part H §2.2).
+
+The functions here are the AES-CMAC constructions SMP uses during LE
+Secure Connections pairing, plus the h6/h7 Cross-Transport Key
+Derivation (CTKD) conversions that BLURtooth abuses:
+
+* :func:`f4` — pairing confirm values,
+* :func:`f5` — MacKey and LTK from the ECDH shared secret,
+* :func:`f6` — DHKey check values,
+* :func:`g2` — the 6-digit numeric-comparison value,
+* :func:`h6` / :func:`h7` — one-way key conversions,
+* :func:`le_ltk_from_bredr_link_key` / :func:`bredr_link_key_from_le_ltk`
+  — the two CTKD directions (Vol 3 Part H §2.4.2.4/.5), and
+* :func:`le_session_key` — the LL session key from the LTK
+  (Vol 6 Part B §5.1.3.1).
+
+All are pinned against the Core Spec Vol 3 Part H Appendix D sample
+data in ``tests/test_crypto_smp.py``.  Addresses enter f5/f6/g2 as
+7-byte values (address type byte || 6-byte BD_ADDR, MSB first), which
+is how callers in :mod:`repro.ble` pass them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.aes import aes128_encrypt, aes_cmac
+
+# f5 constants (Vol 3 Part H §2.2.7).
+F5_SALT = bytes.fromhex("6C888391AAF5A53860370BDB5A6083BE")
+F5_KEY_ID = b"btle"
+
+# CTKD salts (§2.2.11): 12 zero bytes followed by the ASCII key ID.
+SALT_TMP1 = b"\x00" * 12 + b"tmp1"
+SALT_TMP2 = b"\x00" * 12 + b"tmp2"
+
+
+def _check(name: str, value: bytes, length: int) -> bytes:
+    if len(value) != length:
+        raise ValueError(f"{name} must be {length} bytes, got {len(value)}")
+    return value
+
+
+def f4(u: bytes, v: bytes, x: bytes, z: int) -> bytes:
+    """Confirm value generation: CMAC_X(U || V || Z)."""
+    _check("U", u, 32)
+    _check("V", v, 32)
+    _check("X", x, 16)
+    return aes_cmac(x, u + v + bytes([z]))
+
+
+def f5(w: bytes, n1: bytes, n2: bytes, a1: bytes, a2: bytes) -> Tuple[bytes, bytes]:
+    """Key generation from the DHKey: returns (MacKey, LTK)."""
+    _check("W", w, 32)
+    _check("N1", n1, 16)
+    _check("N2", n2, 16)
+    _check("A1", a1, 7)
+    _check("A2", a2, 7)
+    t = aes_cmac(F5_SALT, w)
+    length = (256).to_bytes(2, "big")
+    mac_key = aes_cmac(t, b"\x00" + F5_KEY_ID + n1 + n2 + a1 + a2 + length)
+    ltk = aes_cmac(t, b"\x01" + F5_KEY_ID + n1 + n2 + a1 + a2 + length)
+    return mac_key, ltk
+
+
+def f6(
+    w: bytes, n1: bytes, n2: bytes, r: bytes, io_cap: bytes, a1: bytes, a2: bytes
+) -> bytes:
+    """Check value generation: CMAC_W(N1 || N2 || R || IOcap || A1 || A2)."""
+    _check("W", w, 16)
+    _check("N1", n1, 16)
+    _check("N2", n2, 16)
+    _check("R", r, 16)
+    _check("IOcap", io_cap, 3)
+    _check("A1", a1, 7)
+    _check("A2", a2, 7)
+    return aes_cmac(w, n1 + n2 + r + io_cap + a1 + a2)
+
+
+def g2(u: bytes, v: bytes, x: bytes, y: bytes) -> int:
+    """Numeric-comparison value: the 6 decimal digits both users compare."""
+    _check("U", u, 32)
+    _check("V", v, 32)
+    _check("X", x, 16)
+    _check("Y", y, 16)
+    mac = aes_cmac(x, u + v + y)
+    return int.from_bytes(mac[-4:], "big") % 1_000_000
+
+
+def h6(key: bytes, key_id: bytes) -> bytes:
+    """One-way key conversion: CMAC_Key(keyID), keyID 4 ASCII bytes."""
+    _check("Key", key, 16)
+    _check("keyID", key_id, 4)
+    return aes_cmac(key, key_id)
+
+
+def h7(salt: bytes, key: bytes) -> bytes:
+    """Salted one-way key conversion (CT2=1 path): CMAC_SALT(Key)."""
+    _check("SALT", salt, 16)
+    _check("Key", key, 16)
+    return aes_cmac(salt, key)
+
+
+# --------------------------------------------------- cross-transport (CTKD)
+
+
+def le_ltk_from_bredr_link_key(link_key: bytes, ct2: bool = True) -> bytes:
+    """Derive the LE LTK from a BR/EDR link key (Vol 3 Part H §2.4.2.4).
+
+    This is the conversion BLURtooth weaponises in the BR/EDR→LE
+    direction: a BLAP-extracted link key run through this function is
+    byte-for-byte the LTK the victim pair stored for their LE bond.
+    """
+    ilk = h7(SALT_TMP1, link_key) if ct2 else h6(link_key, b"tmp1")
+    return h6(ilk, b"brle")
+
+
+def bredr_link_key_from_le_ltk(ltk: bytes, ct2: bool = True) -> bytes:
+    """Derive the BR/EDR link key from an LE LTK (Vol 3 Part H §2.4.2.5)."""
+    ilk = h7(SALT_TMP2, ltk) if ct2 else h6(ltk, b"tmp2")
+    return h6(ilk, b"lebr")
+
+
+# ------------------------------------------------------- LL session crypto
+
+
+def le_session_key(ltk: bytes, skd_m: bytes, skd_s: bytes) -> bytes:
+    """LL session key: e(LTK, SKDm || SKDs) (Vol 6 Part B §5.1.3.1)."""
+    _check("LTK", ltk, 16)
+    _check("SKDm", skd_m, 8)
+    _check("SKDs", skd_s, 8)
+    return aes128_encrypt(ltk, skd_m + skd_s)

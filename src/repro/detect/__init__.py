@@ -33,6 +33,7 @@ from repro.detect.base import (
     register_detector,
 )
 from repro.detect.detectors import (
+    CtkdAnomalyDetector,
     EntropyDowngradeDetector,
     LinkKeyAnomalyDetector,
     PageBlockingDetector,
@@ -52,6 +53,7 @@ from repro.detect.replay import ReplayResult, replay_capture
 
 __all__ = [
     "Alert",
+    "CtkdAnomalyDetector",
     "DEFAULT_RESPONSE_SCORE",
     "DEFAULT_THRESHOLDS",
     "DetectionEngine",

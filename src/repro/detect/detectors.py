@@ -1,4 +1,4 @@
-"""The four built-in streaming detectors.
+"""The built-in streaming detectors.
 
 * ``page-blocking`` — the online generalisation of the §VII-B offline
   predicate (and the single signature implementation behind
@@ -9,7 +9,10 @@
 * ``entropy-downgrade`` — KNOB-style encryption key size negotiation
   below a minimum, watched on the air (LMP plane);
 * ``surveillance`` — inquiry/page flooding from one radio, watched on
-  the phy trace plane.
+  the phy trace plane;
+* ``ctkd-anomaly`` — BLURtooth posture on the BLE trace plane: CTKD
+  conversions that overwrite bonds, Just Works-rooted key minting, and
+  LE sessions encrypted under cross-derived LTKs.
 """
 
 from __future__ import annotations
@@ -378,5 +381,106 @@ class SurveillanceDetector(Detector):
                     "count": count,
                     "window_s": self.config["window_s"],
                 },
+            )
+        ]
+
+
+@register_detector
+class CtkdAnomalyDetector(Detector):
+    """Cross-transport key derivation abuse (BLURtooth posture).
+
+    Watches the BLE trace plane for the three CTKD facts a monitor can
+    observe without keys:
+
+    * a CTKD conversion that **overwrote** an existing bond — the core
+      BLURtooth primitive (an LE pairing silently replacing a stronger
+      BR/EDR key, or vice versa);
+    * an LE→BR/EDR conversion rooted in a **Just Works** pairing — an
+      unauthenticated association minting BR/EDR key material;
+    * an LE session encrypting under a **CTKD-origin LTK** — the
+      transport trusting a key it never negotiated itself.
+
+    Scores are calibrated so routine dual-mode CTKD (fresh derivation,
+    authenticated association, no overwrite) stays below the 0.7
+    response threshold while both BLURtooth directions cross it.
+    """
+
+    name = "ctkd-anomaly"
+    description = "cross-transport key derivation overwrite/downgrade"
+    channels = ("trace",)
+    default_config: Dict[str, Any] = {
+        "overwrite_score": 0.95,
+        "just_works_score": 0.75,
+        "ctkd_session_score": 0.75,
+        "baseline_score": 0.3,
+    }
+
+    def reset(self) -> None:
+        self._seen_sessions: Set[Tuple[str, str]] = set()
+
+    def on_event(self, event: DetectionEvent) -> List[Alert]:
+        record = event.record
+        if record is None:
+            return []
+        if event.kind == "ble-ctkd":
+            return self._on_ctkd(event)
+        if event.kind == "ble-enc":
+            return self._on_enc(event)
+        return []
+
+    def _on_ctkd(self, event: DetectionEvent) -> List[Alert]:
+        detail = event.record.detail
+        peer = detail.get("peer", "")
+        direction = detail.get("direction", "")
+        association = detail.get("association", "")
+        if detail.get("overwrote"):
+            score = self.config["overwrite_score"]
+            what = f"CTKD ({direction}) overwrote an existing bond"
+        elif association == "just_works":
+            score = self.config["just_works_score"]
+            what = (
+                f"CTKD ({direction}) minted key material from an "
+                "unauthenticated Just Works pairing"
+            )
+        else:
+            score = self.config["baseline_score"]
+            what = f"cross-transport key derivation ({direction})"
+        return [
+            Alert(
+                detector=self.name,
+                time=event.time,
+                monitor=event.monitor,
+                score=score,
+                message=f"{event.record.source}: {what} for {peer}",
+                peer=peer,
+                detail={
+                    "direction": direction,
+                    "association": association,
+                    "overwrote": bool(detail.get("overwrote")),
+                },
+            )
+        ]
+
+    def _on_enc(self, event: DetectionEvent) -> List[Alert]:
+        detail = event.record.detail
+        if detail.get("ltk_origin") != "ctkd":
+            return []
+        peer = detail.get("peer", "")
+        key = (event.record.source, peer)
+        if key in self._seen_sessions:
+            return []  # one alert per (device, peer) session pair
+        self._seen_sessions.add(key)
+        return [
+            Alert(
+                detector=self.name,
+                time=event.time,
+                monitor=event.monitor,
+                score=self.config["ctkd_session_score"],
+                message=(
+                    f"{event.record.source}: LE session with {peer} "
+                    "encrypted under a cross-derived (CTKD) LTK"
+                ),
+                peer=peer,
+                detail={"ltk_origin": "ctkd"},
             )
         ]

@@ -121,6 +121,63 @@ HEADSET = DeviceSpec(
     class_of_device=ClassOfDevice.HEADSET,
 )
 
+# ---------------------------------------------------------------- LE kinds
+#
+# Dual-mode variants of catalog phones: same BR/EDR behaviour plus a
+# BleStack (and therefore CTKD eligibility) — derived, not new rows, so
+# Table I/II sampling weights are untouched.
+import dataclasses as _dc
+
+NEXUS_5X_DUAL = _dc.replace(
+    NEXUS_5X_A8, key="nexus_5x_dual", le_capable=True
+)
+LG_VELVET_DUAL = _dc.replace(
+    LG_VELVET, key="lg_velvet_dual", le_capable=True
+)
+GALAXY_S21_DUAL = _dc.replace(
+    GALAXY_S21, key="galaxy_s21_dual", le_capable=True
+)
+
+#: LE-only wearable: advertises and pairs over SMP, no BR/EDR surface.
+FITNESS_TRACKER = DeviceSpec(
+    key="generic_fitness_tracker",
+    marketing_name="Fitness Tracker",
+    os="RTOS",
+    stack_profile=StackProfile.BLUEDROID,
+    bt_version=BluetoothVersion.V5_0,
+    io_capability=IoCapability.NO_INPUT_NO_OUTPUT,
+    transport_kind="uart",
+    class_of_device=ClassOfDevice.HEADSET,
+    le_only=True,
+)
+
+#: LE-only earbuds (NoInputNoOutput → Just Works pairing only).
+EARBUDS = DeviceSpec(
+    key="generic_earbuds",
+    marketing_name="TWS Earbuds",
+    os="RTOS",
+    stack_profile=StackProfile.BLUEDROID,
+    bt_version=BluetoothVersion.V5_2,
+    io_capability=IoCapability.NO_INPUT_NO_OUTPUT,
+    transport_kind="uart",
+    class_of_device=ClassOfDevice.HEADSET,
+    le_only=True,
+)
+
+#: Dual-mode smartwatch with a display — numeric comparison capable.
+SMART_WATCH = DeviceSpec(
+    key="generic_smart_watch",
+    marketing_name="Smart Watch",
+    os="Wear OS",
+    stack_profile=StackProfile.BLUEDROID,
+    bt_version=BluetoothVersion.V5_0,
+    io_capability=IoCapability.DISPLAY_YES_NO,
+    transport_kind="uart",
+    class_of_device=ClassOfDevice.HEADSET,
+    le_capable=True,
+)
+
+
 #: Table I — devices tested (as C) for link key extraction.
 TABLE1_DEVICE_SPECS: List[DeviceSpec] = [
     NEXUS_5X_A8,
@@ -161,6 +218,12 @@ _ALL_SPECS: Dict[str, DeviceSpec] = {
         UBUNTU_2004,
         ANDROID_AUTOMOTIVE_HEAD_UNIT,
         HEADSET,
+        NEXUS_5X_DUAL,
+        LG_VELVET_DUAL,
+        GALAXY_S21_DUAL,
+        FITNESS_TRACKER,
+        EARBUDS,
+        SMART_WATCH,
     ]
 }
 

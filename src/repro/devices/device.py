@@ -75,10 +75,20 @@ class DeviceSpec:
     #: HCI payloads on the wire (derive hardened variants with
     #: ``dataclasses.replace(spec, secure_hci=True)``)
     secure_hci: bool = False
+    #: device has an LE stack too (dual-mode, CTKD candidate); derive
+    #: variants with ``dataclasses.replace(spec, le_capable=True)``
+    le_capable: bool = False
+    #: LE-only device (tracker, earbuds): no BR/EDR host/controller
+    #: activity — only the :class:`repro.ble.stack.BleStack` runs
+    le_only: bool = False
 
     @property
     def is_android(self) -> bool:
         return self.os.startswith("Android")
+
+    @property
+    def has_le(self) -> bool:
+        return self.le_capable or self.le_only
 
 
 class Device:
@@ -150,19 +160,40 @@ class Device:
             obs=obs,
         )
         self.filesystem.write_text(_BDADDR_PATH, str(bd_addr), requires_su=True)
+        self.ble = None
+        if spec.has_le:
+            from repro.ble.stack import BleStack
+
+            # LE shares the BR/EDR public identity address and the
+            # host's bond database, so CTKD-derived keys land in the
+            # same persistent store the BR/EDR attacks raid.
+            self.ble = BleStack(
+                simulator=simulator,
+                medium=medium,
+                rng=rng,
+                name=name,
+                addr=bd_addr,
+                io_capability=spec.io_capability,
+                dual_mode=not spec.le_only,
+                security=self.host.security,
+                tracer=self.tracer,
+            )
         self._hci_dump: Optional[HciDump] = None
         self._usb_sniffer: Optional[UsbSniffer] = None
 
     # ------------------------------------------------------------ lifecycle
 
     def power_on(self, connectable: bool = True, discoverable: bool = True) -> None:
-        """Boot the Bluetooth subsystem."""
-        self.host.initialize(
-            local_name=self.spec.marketing_name,
-            class_of_device=self.spec.class_of_device,
-            connectable=connectable,
-            discoverable=discoverable,
-        )
+        """Boot the Bluetooth subsystem (both transports if dual-mode)."""
+        if not self.spec.le_only:
+            self.host.initialize(
+                local_name=self.spec.marketing_name,
+                class_of_device=self.spec.class_of_device,
+                connectable=connectable,
+                discoverable=discoverable,
+            )
+        if self.ble is not None:
+            self.ble.power_on(advertise=connectable)
 
     def power_cycle_bluetooth(self) -> None:
         """Toggle Bluetooth off/on: the stack reloads bonding storage —

@@ -76,6 +76,48 @@ class SecurityManager:
             self.keys_deleted += 1
             self._persist()
 
+    def le_ltk_for(self, addr: BdAddr) -> Optional[LinkKey]:
+        """The LE LTK bonded with ``addr``, if any."""
+        record = self.keys.get(addr)
+        return record.ltk if record is not None else None
+
+    def set_le_bond(
+        self,
+        addr: BdAddr,
+        ltk: LinkKey,
+        origin: str,
+        association: str = "",
+        name: str = "",
+    ) -> BondingRecord:
+        """Store (or merge into an existing bond) LE bond material.
+
+        The LE side of a dual-mode peer lands in the *same*
+        :class:`~repro.host.storage.BondingRecord` as its BR/EDR link
+        key — unified storage is what makes cross-transport overwrite
+        visible to forensics.  Returns the stored record.
+        """
+        existing = self.keys.get(addr)
+        if existing is not None:
+            record = dataclasses.replace(
+                existing,
+                ltk=ltk,
+                ltk_origin=origin,
+                le_association=association or existing.le_association,
+                name=existing.name or name,
+            )
+        else:
+            record = BondingRecord(
+                addr=addr,
+                link_key=None,
+                name=name,
+                ltk=ltk,
+                ltk_origin=origin,
+                le_association=association,
+            )
+        self.keys[addr] = record
+        self._persist()
+        return record
+
     def reload_from_store(self) -> None:
         """Re-read bonding storage — models a Bluetooth off/on cycle
         after the attacker edited bt_config.conf (paper §VI-B1 step 3)."""
@@ -97,6 +139,8 @@ class SecurityManager:
         """
         for addr in list(self.keys):
             record = self.keys[addr]
+            if record.link_key is None:
+                continue
             garbage = LinkKey(bytes(rng.randrange(256) for _ in range(16)))
             self.keys[addr] = dataclasses.replace(record, link_key=garbage)
         self._persist()
@@ -119,7 +163,9 @@ class SecurityManager:
     def on_link_key_request(self, event: evt.LinkKeyRequest) -> None:
         """Controller wants the key for a peer — answer in plaintext."""
         record = self.keys.get(event.bd_addr)
-        if record is None:
+        if record is None or record.link_key is None:
+            # No bond, or an LE-only bond: either way there is no
+            # BR/EDR link key to serve.
             self.host.send_command(
                 cmd.LinkKeyRequestNegativeReply(bd_addr=event.bd_addr)
             )

@@ -27,13 +27,25 @@ from repro.core.types import BdAddr, LinkKey
 
 @dataclass
 class BondingRecord:
-    """Everything a host remembers about a bonded peer."""
+    """Everything a host remembers about a bonded peer.
+
+    One record covers both transports of a dual-mode peer: the BR/EDR
+    ``link_key`` (``None`` for an LE-only bond) and the LE ``ltk``
+    (``None`` for a BR/EDR-only bond).  ``ltk_origin`` records how the
+    LTK came to exist — ``"smp"`` for a real LE Secure Connections
+    pairing, ``"ctkd"`` when it was derived from the other transport's
+    key via h6/h7 — which is exactly the provenance the ``ctkd-anomaly``
+    detector keys on.
+    """
 
     addr: BdAddr
-    link_key: LinkKey
+    link_key: Optional[LinkKey]
     key_type: int = 0
     name: str = ""
     services: List[int] = field(default_factory=list)  # 16-bit UUIDs
+    ltk: Optional[LinkKey] = None
+    ltk_origin: str = ""  # "" | "smp" | "ctkd"
+    le_association: str = ""  # "" | "just_works" | "numeric_comparison"
 
     def service_uuid_strings(self) -> List[str]:
         """Full 128-bit UUID text forms (Bluetooth base UUID)."""
@@ -83,8 +95,18 @@ class BtConfigStore(BondingStore):
                 lines.append(
                     "Service = " + " ".join(record.service_uuid_strings())
                 )
-            lines.append(f"LinkKey = {record.link_key.hex()}")
-            lines.append(f"LinkKeyType = {record.key_type}")
+            if record.link_key is not None:
+                lines.append(f"LinkKey = {record.link_key.hex()}")
+                lines.append(f"LinkKeyType = {record.key_type}")
+            if record.ltk is not None:
+                # LE bond material; absent for BR/EDR-only records so
+                # their serialization stays byte-identical to pre-LE
+                # versions of this format.
+                lines.append(f"LeLtk = {record.ltk.hex()}")
+                if record.ltk_origin:
+                    lines.append(f"LeLtkOrigin = {record.ltk_origin}")
+                if record.le_association:
+                    lines.append(f"LeAssociation = {record.le_association}")
             lines.append("")
         return "\n".join(lines).encode("utf-8")
 
@@ -94,19 +116,28 @@ class BtConfigStore(BondingStore):
         pending: Dict[str, str] = {}
 
         def flush() -> None:
-            if current is None or "LinkKey" not in pending:
+            if current is None:
+                return
+            if "LinkKey" not in pending and "LeLtk" not in pending:
                 return
             services = [
                 int(uuid.split("-", 1)[0], 16)
                 for uuid in pending.get("Service", "").split()
                 if uuid
             ]
+            link_key = (
+                LinkKey.parse(pending["LinkKey"]) if "LinkKey" in pending else None
+            )
+            ltk = LinkKey.parse(pending["LeLtk"]) if "LeLtk" in pending else None
             records[current] = BondingRecord(
                 addr=current,
-                link_key=LinkKey.parse(pending["LinkKey"]),
+                link_key=link_key,
                 key_type=int(pending.get("LinkKeyType", "0")),
                 name=pending.get("Name", ""),
                 services=services,
+                ltk=ltk,
+                ltk_origin=pending.get("LeLtkOrigin", ""),
+                le_association=pending.get("LeAssociation", ""),
             )
 
         for line in raw.decode("utf-8").splitlines():
@@ -139,10 +170,20 @@ class BluezInfoStore(BondingStore):
             lines.append(f"# {self.path}/{str(addr).upper()}/info")
             lines.append("[General]")
             lines.append(f"Name={record.name}")
-            lines.append("[LinkKey]")
-            lines.append(f"Key={record.link_key.hex().upper()}")
-            lines.append(f"Type={record.key_type}")
-            lines.append("PINLength=0")
+            if record.link_key is not None:
+                lines.append("[LinkKey]")
+                lines.append(f"Key={record.link_key.hex().upper()}")
+                lines.append(f"Type={record.key_type}")
+                lines.append("PINLength=0")
+            if record.ltk is not None:
+                # Matches BlueZ's real [LongTermKey] info group; only
+                # present for peers with an LE bond.
+                lines.append("[LongTermKey]")
+                lines.append(f"Key={record.ltk.hex().upper()}")
+                if record.ltk_origin:
+                    lines.append(f"Origin={record.ltk_origin}")
+                if record.le_association:
+                    lines.append(f"Association={record.le_association}")
             lines.append("")
         return "\n".join(lines).encode("utf-8")
 
@@ -150,18 +191,51 @@ class BluezInfoStore(BondingStore):
         records: Dict[BdAddr, BondingRecord] = {}
         current: Optional[BdAddr] = None
         name = ""
+        section = ""
+        pending: Dict[str, str] = {}
+
+        def flush() -> None:
+            if current is None:
+                return
+            link_key = (
+                LinkKey.parse(pending["LinkKey.Key"])
+                if "LinkKey.Key" in pending
+                else None
+            )
+            ltk = (
+                LinkKey.parse(pending["LongTermKey.Key"])
+                if "LongTermKey.Key" in pending
+                else None
+            )
+            if link_key is None and ltk is None:
+                return
+            records[current] = BondingRecord(
+                addr=current,
+                link_key=link_key,
+                key_type=int(pending.get("LinkKey.Type", "0")),
+                name=name,
+                ltk=ltk,
+                ltk_origin=pending.get("LongTermKey.Origin", ""),
+                le_association=pending.get("LongTermKey.Association", ""),
+            )
+
         for line in raw.decode("utf-8").splitlines():
             line = line.strip()
             if line.startswith("# ") and "/info" in line:
+                flush()
                 parts = line[2:].split("/")
                 current = BdAddr.parse(parts[-2])
                 name = ""
-            elif line.startswith("Name=") :
+                section = ""
+                pending = {}
+            elif line.startswith("[") and line.endswith("]"):
+                section = line[1:-1]
+            elif line.startswith("Name=") and section == "General":
                 name = line[5:]
-            elif line.startswith("Key=") and current is not None:
-                records[current] = BondingRecord(
-                    addr=current, link_key=LinkKey.parse(line[4:]), name=name
-                )
+            elif "=" in line and current is not None and section:
+                key, _, value = line.partition("=")
+                pending[f"{section}.{key.strip()}"] = value.strip()
+        flush()
         return records
 
 
@@ -170,12 +244,16 @@ class RegistryStore(BondingStore):
 
     Layout per entry: 6 address bytes + 16 key bytes, repeated — the
     same information the real ``HKLM\\SYSTEM\\...\\BTHPORT\\Parameters\\
-    Keys`` values hold.
+    Keys`` values hold.  The fixed 22-byte stride is BR/EDR-only by
+    design (real BTHPORT keeps LE keys elsewhere), so LE-only bonds are
+    simply not persisted here.
     """
 
     def _serialize(self, records: Dict[BdAddr, BondingRecord]) -> bytes:
         blob = bytearray()
         for addr in sorted(records):
+            if records[addr].link_key is None:
+                continue
             blob += addr.value + records[addr].link_key.value
         return bytes(blob)
 

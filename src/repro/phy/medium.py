@@ -34,9 +34,15 @@ if TYPE_CHECKING:
 
 @dataclass
 class AirFrame:
-    """One over-the-air baseband frame (LMP PDU or ACL payload)."""
+    """One over-the-air baseband frame (LMP PDU or ACL payload).
 
-    kind: str  # "lmp" | "acl"
+    LE traffic rides the same type with its own kinds: ``adv``
+    (advertising PDUs), ``le-connect`` (CONNECT_IND), ``smp`` (Security
+    Manager PDUs), ``le-control`` (LL control PDUs) and ``le-data``
+    (encrypted or plaintext LE payloads).
+    """
+
+    kind: str  # "lmp" | "acl" | "adv" | "le-connect" | "smp" | "le-control" | "le-data"
     payload: Any
     encrypted: bool = False
 
@@ -62,6 +68,39 @@ class RadioPeer(Protocol):
     def class_of_device_value(self) -> int: ...
 
     def on_page_reached(self, link: "PhysicalLink", initiator: "RadioPeer") -> None: ...
+
+    def on_air_frame(self, link: "PhysicalLink", frame: AirFrame) -> None: ...
+
+    def on_link_dropped(self, link: "PhysicalLink", reason: int) -> None: ...
+
+
+class LePeer(Protocol):
+    """What the medium needs to know about an LE link layer.
+
+    Deliberately independent of :class:`RadioPeer`: a dual-mode device
+    registers twice (its BR/EDR controller and its LE stack), an
+    LE-only device registers only here.  Data frames on an established
+    LE link ride the same :meth:`RadioMedium.send_frame` path, so an
+    LE peer also implements ``on_air_frame``/``on_link_dropped``.
+    """
+
+    name: str
+
+    @property
+    def le_addr(self) -> BdAddr: ...
+
+    @property
+    def le_scan_enabled(self) -> bool: ...
+
+    @property
+    def le_connectable(self) -> bool: ...
+
+    @property
+    def adv_interval_s(self) -> float: ...
+
+    def on_le_advertisement(self, advertiser: BdAddr, payload: Any) -> None: ...
+
+    def on_le_connect(self, link: "PhysicalLink", initiator: "LePeer") -> None: ...
 
     def on_air_frame(self, link: "PhysicalLink", frame: AirFrame) -> None: ...
 
@@ -151,7 +190,16 @@ class RadioMedium:
         self._m_links_established = metrics.counter("phy.links_established")
         self._m_links_dropped = metrics.counter("phy.links_dropped")
         self._m_inquiries = metrics.counter("phy.inquiries")
+        self._m_le_advertisements = metrics.counter("phy.le_advertisements")
+        self._m_le_connects = metrics.counter("phy.le_connects")
         self._controllers: List[RadioPeer] = []
+        # LE link layers share the medium but register separately; a
+        # dual-mode device appears in both lists.  LE activity draws
+        # from its own child stream so mixed worlds never perturb the
+        # BR/EDR draw order (the golden-artifact determinism rule).
+        self._le_peers: List["LePeer"] = []
+        self._le_addr_index: Optional[Dict[BdAddr, List["LePeer"]]] = None
+        self._le_rng = rng.stream("radio-medium:le")
         # Lazy BD_ADDR -> [peers] index so a page is O(matching peers)
         # instead of a scan over every registered controller (the
         # fleet-scale hot spot: ambient churn pages constantly).
@@ -193,6 +241,29 @@ class RadioMedium:
         or pages toward the new address may miss it.
         """
         self._addr_index = None
+
+    def register_le(self, peer: "LePeer") -> None:
+        if peer not in self._le_peers:
+            self._le_peers.append(peer)
+            self._le_addr_index = None
+
+    def unregister_le(self, peer: "LePeer") -> None:
+        if peer in self._le_peers:
+            self._le_peers.remove(peer)
+            self._le_addr_index = None
+
+    def notify_le_addr_changed(self, peer: Optional["LePeer"] = None) -> None:
+        """A registered LE peer's advertising address changed (spoofing)."""
+        self._le_addr_index = None
+
+    def _le_peers_for_addr(self, addr: BdAddr) -> List["LePeer"]:
+        index = self._le_addr_index
+        if index is None:
+            index = {}
+            for peer in self._le_peers:
+                index.setdefault(peer.le_addr, []).append(peer)
+            self._le_addr_index = index
+        return index.get(addr, [])
 
     def _peers_for_addr(self, addr: BdAddr) -> List[RadioPeer]:
         index = self._addr_index
@@ -449,6 +520,115 @@ class RadioMedium:
             f"link {link.link_id} up: {initiator.name} -> {responder.name}",
         )
         responder.on_page_reached(link, initiator)
+        on_result(link)
+
+    # -- LE advertising / connection ---------------------------------------
+
+    def le_advertise(self, source: "LePeer", payload: Any) -> None:
+        """Broadcast one advertising PDU to every in-range LE scanner.
+
+        Passive sniffers hear it first (advertising is cleartext by
+        definition), then fault filters decide whether scanners do.
+        """
+        self._m_le_advertisements.inc()
+        now = self.simulator.now
+        frame = AirFrame(kind="adv", payload=payload)
+        if self._sniffers:
+            self._sniff(now, 0, source.name, frame)
+        if self._frame_fault_filters:
+            fate = self._fault_fate(frame)
+            if fate.action == "drop":
+                self.frames_lost += 1
+                self._m_frames_lost.inc()
+                return
+        addr = source.le_addr
+        for peer in self._le_peers:
+            if peer is source or not peer.le_scan_enabled:
+                continue
+            if not self._reachable(source, peer):
+                continue
+            self.simulator.schedule(
+                _FRAME_LATENCY, peer.on_le_advertisement, addr, payload
+            )
+
+    def le_connect(
+        self,
+        initiator: "LePeer",
+        target: BdAddr,
+        on_result: Callable[[Optional[PhysicalLink]], None],
+    ) -> None:
+        """Send a CONNECT_IND toward ``target``.
+
+        When the CONNECT_IND is lost to a fault filter, or no
+        connectable peer advertises as ``target``, *nobody answers*:
+        ``on_result`` is never invoked and the initiator's
+        connection-establishment guard (mirroring
+        ``Gap.CONNECT_TIMEOUT``) is what fails the operation.  That is
+        deliberate — a blackholed CONNECT_IND must not hang a trial.
+        """
+        self._m_le_connects.inc()
+        now = self.simulator.now
+        self.tracer.emit(
+            now,
+            self.TRACE_SOURCE,
+            "phy-le-connect",
+            f"{initiator.name} sends CONNECT_IND to {target}",
+            initiator=initiator.name,
+            target=str(target),
+        )
+        frame = AirFrame(kind="le-connect", payload=b"")
+        if self._sniffers:
+            self._sniff(now, 0, initiator.name, frame)
+        extra = 0.0
+        if self._frame_fault_filters:
+            fate = self._fault_fate(frame)
+            if fate.action == "drop":
+                self.frames_lost += 1
+                self._m_frames_lost.inc()
+                self.tracer.emit(
+                    now,
+                    self.TRACE_SOURCE,
+                    "phy-le-connect",
+                    f"CONNECT_IND from {initiator.name} lost on the air",
+                )
+                return
+            extra = fate.extra_delay_s
+        for peer in self._le_peers_for_addr(target):
+            if peer is initiator or not peer.le_connectable:
+                continue
+            if not self._reachable(initiator, peer):
+                continue
+            # The initiator must catch an advertising event to answer
+            # it; its wait is a uniform phase of the advertising
+            # interval, drawn from the LE child stream.
+            delay = self._le_rng.uniform(0.0, max(peer.adv_interval_s, 0.001))
+            self.simulator.schedule(
+                delay + extra, self._le_establish, initiator, peer, on_result
+            )
+            return
+
+    def _le_establish(
+        self,
+        initiator: "LePeer",
+        responder: "LePeer",
+        on_result: Callable[[Optional[PhysicalLink]], None],
+    ) -> None:
+        link = PhysicalLink(
+            link_id=next(self._link_ids),
+            initiator=initiator,  # type: ignore[arg-type]
+            responder=responder,  # type: ignore[arg-type]
+            created_at=self.simulator.now,
+        )
+        self._links[link.link_id] = link
+        self._m_links_established.inc()
+        self.tracer.emit(
+            self.simulator.now,
+            self.TRACE_SOURCE,
+            "phy-link",
+            f"LE link {link.link_id} up: {initiator.name} -> {responder.name}",
+            transport="le",
+        )
+        responder.on_le_connect(link, initiator)
         on_result(link)
 
     # -- data --------------------------------------------------------------

@@ -34,7 +34,8 @@ class _AmbientAgent:
 
     __slots__ = (
         "population", "device", "rng", "spec",
-        "discoverable", "inquirer", "talker", "partner", "_next",
+        "discoverable", "inquirer", "talker", "partner",
+        "le_central", "le_partner", "_next",
     )
 
     def __init__(
@@ -53,7 +54,19 @@ class _AmbientAgent:
         self.discoverable = rng.random() < spec.discoverable_fraction
         self.inquirer = rng.random() < spec.inquirer_fraction
         self.talker = rng.random() < spec.talker_fraction
+        if device.spec.le_only:
+            # No BR/EDR host to drive: wearables only advertise and
+            # answer LE connections/pairing as peripherals.
+            self.inquirer = False
+            self.talker = False
+        # Dual-mode kinds take one *extra* draw for the LE-central role;
+        # classic-only devices keep the historical three-draw profile,
+        # so pre-LE presets replay byte-identically.
+        self.le_central = (
+            device.spec.le_capable and rng.random() < spec.talker_fraction
+        )
         self.partner: Optional["Device"] = None
+        self.le_partner: Optional["Device"] = None
         self._next: Dict[str, Any] = {}
 
     # ------------------------------------------------------------ lifecycle
@@ -70,6 +83,11 @@ class _AmbientAgent:
             self._next["connect"] = simulator.schedule(
                 self.rng.uniform(1.0, self.spec.connect_period_s),
                 self._connect_tick,
+            )
+        if self.le_central and self.le_partner is not None:
+            self._next["le"] = simulator.schedule(
+                self.rng.uniform(2.0, self.spec.connect_period_s),
+                self._le_tick,
             )
 
     def cancel(self) -> None:
@@ -135,6 +153,61 @@ class _AmbientAgent:
         if gap.is_connected(self.partner.bd_addr):
             gap.disconnect(self.partner.bd_addr)
 
+    # -------------------------------------------------------------- LE loop
+
+    def _le_tick(self) -> None:
+        """Short LE sessions: pair once, then reconnect-and-encrypt."""
+        population = self.population
+        if not population.active:
+            return
+        ble = self.device.ble
+        addr = self.le_partner.bd_addr
+        if ble.connection_for(addr) is None:
+            ble.connect(addr).on_done(self._le_session_start)
+            population._m_le_connects.inc()
+        self._next["le"] = population.world.simulator.schedule(
+            self._jitter(self.spec.connect_period_s), self._le_tick
+        )
+
+    def _le_session_start(self, operation) -> None:
+        population = self.population
+        if not population.active or not operation.success:
+            return
+        ble = self.device.ble
+        addr = self.le_partner.bd_addr
+        if ble.security.le_ltk_for(addr) is None:
+            ble.pair(addr).on_done(self._le_session_encrypt)
+        else:
+            self._le_session_encrypt(operation)
+
+    def _le_session_encrypt(self, operation) -> None:
+        population = self.population
+        if not population.active or not operation.success:
+            return
+        ble = self.device.ble
+        addr = self.le_partner.bd_addr
+        if ble.security.le_ltk_for(addr) is None:
+            return
+        ble.start_encryption(addr).on_done(self._le_session_traffic)
+
+    def _le_session_traffic(self, operation) -> None:
+        population = self.population
+        if not population.active:
+            return
+        if operation.success:
+            self.device.ble.send_data(
+                self.le_partner.bd_addr, b"ambient le ping"
+            )
+            population._m_le_sessions.inc()
+        self._next["le-end"] = population.world.simulator.schedule(
+            self._jitter(self.spec.session_s), self._le_teardown
+        )
+
+    def _le_teardown(self) -> None:
+        if not self.population.active:
+            return
+        self.device.ble.disconnect(self.le_partner.bd_addr)
+
 
 class Population:
     """One instantiated population living inside a world."""
@@ -154,6 +227,12 @@ class Population:
         self._m_inquiries = metrics.counter("population.ambient_inquiries")
         self._m_connects = metrics.counter("population.ambient_connects")
         self._m_sessions = metrics.counter("population.ambient_sessions")
+        self._m_le_connects = metrics.counter(
+            "population.ambient_le_connects"
+        )
+        self._m_le_sessions = metrics.counter(
+            "population.ambient_le_sessions"
+        )
 
     def role(self, role: str) -> "Device":
         """A cast member by role name (e.g. ``"M"``)."""
@@ -188,6 +267,14 @@ class Population:
             ),
             "discoverable": sum(
                 1 for agent in self.agents if agent.discoverable
+            ),
+            "le_devices": sum(
+                1 for device in self.ambient if device.spec.has_le
+            ),
+            "le_centrals": sum(
+                1
+                for agent in self.agents
+                if agent.le_central and agent.le_partner is not None
             ),
             "mix": dict(sorted(mix_counts.items())),
         }
@@ -265,12 +352,24 @@ def populate(
     # Partners are drawn after every ambient device exists, from each
     # talker's own stream, then all first ticks are scheduled.
     count = len(population.ambient)
+    le_indices = [
+        i
+        for i, device in enumerate(population.ambient)
+        if device.spec.has_le
+    ]
     for i, agent in enumerate(population.agents):
         if agent.talker and count >= 2:
             other = agent.rng.randrange(count - 1)
             if other >= i:
                 other += 1
             agent.partner = population.ambient[other]
+        if agent.le_central:
+            # One extra draw, taken only on LE-capable (new) kinds.
+            pool = [j for j in le_indices if j != i]
+            if pool:
+                agent.le_partner = population.ambient[
+                    pool[agent.rng.randrange(len(pool))]
+                ]
     for agent in population.agents:
         agent.start()
 

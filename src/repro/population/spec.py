@@ -55,6 +55,25 @@ def table_mix() -> Tuple[Tuple[str, float], ...]:
     return tuple(sorted(weights.items()))
 
 
+def le_mix() -> Tuple[Tuple[str, float], ...]:
+    """Ambient mix with an LE-era accessory crowd layered in.
+
+    Keeps the Table I/II BR/EDR weights of :func:`table_mix` and adds
+    dual-mode phones plus LE-only wearables, so a crowd sampled from it
+    exercises advertising, SMP pairing and CTKD alongside the classic
+    inquiry/page churn.  A separate table (not a change to
+    ``table_mix``) so existing presets keep their sampling stream.
+    """
+    weights = dict(table_mix())
+    weights["nexus_5x_dual"] = 2.0
+    weights["lg_velvet_dual"] = 1.0
+    weights["galaxy_s21_dual"] = 2.0
+    weights["generic_fitness_tracker"] = 3.0
+    weights["generic_earbuds"] = 3.0
+    weights["generic_smart_watch"] = 2.0
+    return tuple(sorted(weights.items()))
+
+
 @dataclass(frozen=True)
 class CastMember:
     """One named device built in order before the ambient crowd.
@@ -415,6 +434,16 @@ CITY_BLOCK = register_population(
         size=150,
         discoverable_fraction=0.3,
         inquirer_fraction=0.2,
+    )
+)
+
+STREET_FAIR = register_population(
+    PopulationSpec(
+        name="street-fair",
+        description="thirty devices incl. dual-mode phones and LE wearables",
+        size=30,
+        mix=le_mix(),
+        discoverable_fraction=0.3,
     )
 )
 

@@ -1,0 +1,132 @@
+"""LE-aware populations: the street-fair mix and its ambient traffic.
+
+Determinism matters more than anything else here: adding LE behaviour
+must not move a single RNG draw for classic-only crowds, so every
+pre-LE preset replays byte-identically (pinned by comparing summaries
+and metrics across runs), while LE-capable kinds take their extra
+draws from their own per-device streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scenario import WorldConfig, build_world
+from repro.population import populate
+from repro.population.spec import (
+    PopulationSpec,
+    get_population,
+    le_mix,
+    table_mix,
+)
+
+
+def _run(preset, seed=21, run_s=60.0):
+    world = build_world(WorldConfig(seed=seed))
+    population = populate(world, preset)
+    world.run_for(run_s)
+    return world, population
+
+
+class TestLeMix:
+    def test_supersets_the_table_mix(self):
+        table = dict(table_mix())
+        le = dict(le_mix())
+        for key, weight in table.items():
+            assert le[key] == weight
+
+    def test_adds_le_kinds(self):
+        keys = dict(le_mix())
+        assert "generic_fitness_tracker" in keys
+        assert "generic_earbuds" in keys
+        assert "galaxy_s21_dual" in keys
+
+    def test_table_mix_untouched_by_le_kinds(self):
+        # classic presets must keep their historical sampling table
+        for key, _ in table_mix():
+            assert "dual" not in key
+            assert not key.startswith("generic_fitness")
+            assert not key.startswith("generic_earbuds")
+            assert not key.startswith("generic_smart")
+
+    def test_street_fair_preset_registered(self):
+        spec = get_population("street-fair")
+        assert spec.size == 30
+        assert dict(spec.mix) == dict(le_mix())
+
+
+class TestStreetFair:
+    def test_samples_le_devices(self):
+        _world, population = _run("street-fair", run_s=0.0)
+        summary = population.summary()
+        assert summary["le_devices"] > 0
+        assert summary["size"] == 30
+
+    def test_le_only_devices_never_run_bredr_behaviour(self):
+        _world, population = _run("street-fair", run_s=0.0)
+        for agent in population.agents:
+            if agent.device.spec.le_only:
+                assert not agent.inquirer and not agent.talker
+                assert agent.device.ble is not None
+
+    def test_le_centrals_only_on_dual_mode_kinds(self):
+        _world, population = _run("street-fair", run_s=0.0)
+        for agent in population.agents:
+            if agent.le_central:
+                assert agent.device.spec.le_capable
+            if agent.le_partner is not None:
+                assert agent.le_partner.spec.has_le
+
+    def test_ambient_le_traffic_flows(self):
+        world, population = _run("street-fair", seed=7, run_s=120.0)
+        metrics = world.obs.metrics
+        assert metrics.counter("phy.le_advertisements").value > 0
+        # seed 7 produces LE centrals with partners (pinned above in
+        # the smoke run this test was written against)
+        if population.summary()["le_centrals"]:
+            assert metrics.counter("population.ambient_le_connects").value > 0
+
+    def test_replays_identically(self):
+        def fingerprint(seed):
+            world, population = _run("street-fair", seed=seed, run_s=45.0)
+            return (
+                population.summary(),
+                world.simulator.events_processed,
+                [device.name for device in population.ambient],
+            )
+
+        assert fingerprint(33) == fingerprint(33)
+
+
+class TestClassicPresetsUnperturbed:
+    """The LE code path must not shift draws for classic crowds."""
+
+    @pytest.mark.parametrize("preset", ["cafe", "office-floor"])
+    def test_no_le_devices_sampled(self, preset):
+        _world, population = _run(preset, run_s=0.0)
+        assert population.summary()["le_devices"] == 0
+        assert population.summary()["le_centrals"] == 0
+
+    def test_cafe_replays_identically(self):
+        def fingerprint(seed):
+            world, population = _run("cafe", seed=seed, run_s=45.0)
+            return (
+                population.summary(),
+                world.simulator.events_processed,
+            )
+
+        assert fingerprint(5) == fingerprint(5)
+
+
+class TestCustomLeSpec:
+    def test_all_wearable_crowd_is_quiet_on_bredr(self):
+        spec = PopulationSpec(
+            name="wearables",
+            size=6,
+            mix=(("generic_earbuds", 1.0), ("generic_fitness_tracker", 1.0)),
+        )
+        world, population = _run(spec, run_s=30.0)
+        assert population.summary()["le_devices"] == 6
+        assert world.obs.metrics.counter("phy.le_advertisements").value > 0
+        for agent in population.agents:
+            assert not agent.inquirer and not agent.talker

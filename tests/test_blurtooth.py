@@ -1,0 +1,122 @@
+"""BLURtooth: both cross-transport pivots, including the golden check.
+
+The acceptance bar for the BR/EDR→LE direction is exact: the LTK the
+attacker derives from the BLAP-extracted link key must equal, byte for
+byte, the LTK the victim's own stack derived via h7/h6 — and must
+actually decrypt the victim's sniffed LE session, while a wrong key
+decrypts nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.blurtooth import (
+    BlurtoothReport,
+    LeOfflineDecryptor,
+    derive_le_ltk,
+)
+from repro.campaign import run_trial
+from repro.core.types import LinkKey
+from repro.crypto.smp import le_ltk_from_bredr_link_key
+
+
+class TestDeriveLeLtk:
+    def test_matches_the_raw_primitive(self):
+        key = LinkKey(bytes(range(16)))
+        assert derive_le_ltk(key).value == le_ltk_from_bredr_link_key(
+            key.value
+        )
+
+    def test_ct2_toggle_changes_the_result(self):
+        key = LinkKey(bytes(range(16)))
+        assert derive_le_ltk(key, ct2=True) != derive_le_ltk(key, ct2=False)
+
+
+class TestBredrToLeScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        result, _metrics = run_trial("blurtooth-bredr-to-le", seed=5)
+        assert result.error is None, result.error
+        return result
+
+    def test_pivot_succeeds(self, result):
+        assert result.success and result.outcome == "pivoted"
+
+    def test_golden_ltk_matches_victim_derivation(self, result):
+        # the attacker's offline h7/h6 output IS the victim's LTK
+        assert result.detail["ltk_matches_victim"] is True
+        extracted = bytes.fromhex(result.detail["extracted_link_key"])
+        assert result.detail["derived_ltk"] == le_ltk_from_bredr_link_key(
+            extracted
+        ).hex()
+
+    def test_sniffed_session_decrypts(self, result):
+        assert result.detail["marker_recovered"] is True
+        assert result.detail["payloads_recovered"] >= 2
+
+    def test_wrong_key_is_rejected(self, result):
+        assert result.detail["wrong_key_rejected"] is True
+
+    def test_deterministic_across_runs(self):
+        first, _ = run_trial("blurtooth-bredr-to-le", seed=9)
+        second, _ = run_trial("blurtooth-bredr-to-le", seed=9)
+        strip = lambda r: {
+            k: v for k, v in r.to_dict().items() if k != "wall_time_s"
+        }
+        assert strip(first) == strip(second)
+
+
+class TestLeToBredrScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        result, _metrics = run_trial("blurtooth-le-to-bredr", seed=5)
+        assert result.error is None, result.error
+        return result
+
+    def test_pivot_succeeds(self, result):
+        assert result.success and result.outcome == "overwritten"
+
+    def test_bond_overwrite_downgrades_authentication(self, result):
+        # authenticated P-256 key (0x08) replaced by an unauthenticated
+        # one (0x07) minted from the attacker's Just Works pairing
+        assert result.detail["overwrote_bredr_bond"] is True
+        assert result.detail["prior_key_type"] == 0x08
+        assert result.detail["new_key_type"] == 0x07
+        assert result.detail["association"] == "just_works"
+
+    def test_attacker_key_matches_victim_bond(self, result):
+        assert result.detail["derived_key_matches_victim"] is True
+
+    def test_bredr_pivot_exfiltrates(self, result):
+        assert result.detail["bredr_pivot_success"] is True
+        assert result.detail["phonebook_entries"] == 1
+
+
+class TestReportSemantics:
+    def test_bredr_to_le_needs_all_three_facts(self):
+        report = BlurtoothReport(direction="bredr-to-le")
+        assert not report.success
+        report.key_matches_victim = True
+        report.decrypted_payloads = [b"x"]
+        assert not report.success  # wrong-key control still missing
+        report.wrong_key_rejected = True
+        assert report.success
+
+    def test_le_to_bredr_needs_the_overwrite(self):
+        report = BlurtoothReport(direction="le-to-bredr")
+        assert not report.success
+        report.overwrote_bredr_bond = True
+        assert report.success
+
+
+class TestOfflineDecryptorEdges:
+    def test_empty_capture_raises_attack_error(self):
+        from repro.attacks.eavesdrop import AirCapture
+        from repro.core.errors import AttackError
+
+        decryptor = LeOfflineDecryptor(
+            AirCapture(), LinkKey(bytes(16))
+        )
+        with pytest.raises(AttackError):
+            decryptor.derive_session()

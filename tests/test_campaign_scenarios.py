@@ -20,6 +20,8 @@ from repro.devices.catalog import GALAXY_S8, LG_VELVET
 
 EXPECTED_SCENARIOS = [
     "baseline-race",
+    "blurtooth-bredr-to-le",
+    "blurtooth-le-to-bredr",
     "degraded-race",
     "detection-ambient",
     "detection-attack",

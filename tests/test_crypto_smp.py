@@ -1,0 +1,246 @@
+"""Pin the LE Secure Connections crypto toolbox against published vectors.
+
+Layers of pinning, from the bottom up:
+
+* AES-128 against FIPS-197 Appendix C.1,
+* AES-CMAC against the four RFC 4493 test vectors,
+* AES-CCM round-trip + tamper detection (RFC 3610 structure),
+* f4/f5/f6/g2/h6/h7 against the Bluetooth Core Spec Vol 3 Part H
+  Appendix D sample data, and
+* the h6/h7 CTKD conversions (BR/EDR↔LE), including the satellite
+  requirement that a BR/EDR→LE→BR/EDR round trip is *lossy* — h6/h7
+  are one-way CMAC constructions, so converting back does not recover
+  the original key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aes import (
+    aes128_encrypt,
+    aes_ccm_decrypt,
+    aes_ccm_encrypt,
+    aes_cmac,
+    cmac_subkeys,
+)
+from repro.crypto.smp import (
+    SALT_TMP1,
+    SALT_TMP2,
+    bredr_link_key_from_le_ltk,
+    f4,
+    f5,
+    f6,
+    g2,
+    h6,
+    h7,
+    le_ltk_from_bredr_link_key,
+    le_session_key,
+)
+
+H = bytes.fromhex
+
+
+# ------------------------------------------------------------------- AES-128
+
+
+def test_aes128_fips197_appendix_c1():
+    key = H("000102030405060708090a0b0c0d0e0f")
+    plaintext = H("00112233445566778899aabbccddeeff")
+    assert aes128_encrypt(key, plaintext) == H(
+        "69c4e0d86a7b0430d8cdb78070b4c55a"
+    )
+
+
+def test_aes128_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        aes128_encrypt(b"\x00" * 15, b"\x00" * 16)
+    with pytest.raises(ValueError):
+        aes128_encrypt(b"\x00" * 16, b"\x00" * 17)
+
+
+# ------------------------------------------------------------------ AES-CMAC
+
+RFC4493_KEY = H("2b7e151628aed2a6abf7158809cf4f3c")
+RFC4493_MSG = H(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+
+def test_cmac_subkeys_rfc4493():
+    k1, k2 = cmac_subkeys(RFC4493_KEY)
+    assert k1 == H("fbeed618357133667c85e08f7236a8de")
+    assert k2 == H("f7ddac306ae266ccf90bc11ee46d513b")
+
+
+@pytest.mark.parametrize(
+    ("length", "expected"),
+    [
+        (0, "bb1d6929e95937287fa37d129b756746"),
+        (16, "070a16b46b4d4144f79bdd9dd04a287c"),
+        (40, "dfa66747de9ae63030ca32611497c827"),
+        (64, "51f0bebf7e3b9d92fc49741779363cfe"),
+    ],
+)
+def test_aes_cmac_rfc4493(length, expected):
+    assert aes_cmac(RFC4493_KEY, RFC4493_MSG[:length]) == H(expected)
+
+
+# ------------------------------------------------------------------- AES-CCM
+
+
+def test_ccm_round_trip_le_parameters():
+    # LE link-layer shape: 13-byte nonce, 4-byte MIC, 1-byte AAD.
+    key = H("99ad1b5226a37e3e058e3b8e27c2c666")
+    nonce = H("00000000000000000000000000")[:13]
+    aad = b"\x02"
+    plaintext = b"attack at dawn over LE"
+    ct = aes_ccm_encrypt(key, nonce, plaintext, aad=aad, tag_len=4)
+    assert len(ct) == len(plaintext) + 4
+    assert ct[: len(plaintext)] != plaintext
+    assert aes_ccm_decrypt(key, nonce, ct, aad=aad, tag_len=4) == plaintext
+
+
+def test_ccm_detects_tampering_and_wrong_key():
+    key = H("99ad1b5226a37e3e058e3b8e27c2c666")
+    nonce = b"\x07" * 13
+    ct = aes_ccm_encrypt(key, nonce, b"payload", tag_len=4)
+    flipped = bytes([ct[0] ^ 0x01]) + ct[1:]
+    assert aes_ccm_decrypt(key, nonce, flipped, tag_len=4) is None
+    assert aes_ccm_decrypt(b"\x11" * 16, nonce, ct, tag_len=4) is None
+    assert aes_ccm_decrypt(key, nonce, ct[:3], tag_len=4) is None
+
+
+# --------------------------------- Core Spec Vol 3 Part H Appendix D vectors
+
+# Shared sample data used across the f4/f5/f6/g2 vectors.
+U = H("20b003d2f297be2c5e2c83a7e9f9a5b9eff49111acf4fddbcc0301480e359de6")
+V = H("55188b3d32f6bb9a900afcfbeed4e72a59cb9ac2f19d7cfb6b4fdd49f47fc5fd")
+X = H("d5cb8454d177733effffb2ec712baeab")
+Y = H("a6e8e7cc25a75f6e216583f7ff3dc4cf")
+W = H("ec0234a357c8ad05341010a60a397d9b99796b13b4f866f1868d34f373bfa698")
+N1 = X
+N2 = Y
+A1 = H("0056123737bfce")
+A2 = H("00a713702dcfc1")
+
+
+def test_f4_appendix_d():
+    assert f4(U, V, X, 0x00) == H("f2c916f107a9bd1cf1eda1bea974872d")
+
+
+def test_f5_appendix_d():
+    mac_key, ltk = f5(W, N1, N2, A1, A2)
+    assert mac_key == H("2965f176a1084a02fd3f6a20ce636e20")
+    assert ltk == H("6986791169d7cd23980522b594750a38")
+
+
+def test_f6_appendix_d():
+    mac_key = H("2965f176a1084a02fd3f6a20ce636e20")
+    r = H("12a3343bb453bb5408da42d20c2d0fc8")
+    io_cap = H("010102")
+    assert f6(mac_key, N1, N2, r, io_cap, A1, A2) == H(
+        "e3c473989cd0e8c5d26c0b09da958f61"
+    )
+
+
+def test_g2_appendix_d():
+    # Appendix D gives the 32-bit CMAC tail 0x2f9ed5ba; the compared
+    # value is that mod 10^6.
+    assert g2(U, V, X, Y) == 0x2F9ED5BA % 1_000_000
+
+
+def test_h6_appendix_d():
+    key = H("ec0234a357c8ad05341010a60a397d9b")
+    assert h6(key, b"lebr") == H("2d9ae102e76dc91ce8d3a9e280b16399")
+
+
+def test_h7_appendix_d():
+    salt = b"\x00" * 12 + b"tmp1"
+    key = H("ec0234a357c8ad05341010a60a397d9b")
+    assert h7(salt, key) == H("fb173597c6a3c0ecd2998c2a75a57011")
+
+
+# ----------------------------------------------------------------- CTKD math
+
+
+def test_ctkd_salts_are_spec_shaped():
+    assert SALT_TMP1 == b"\x00" * 12 + b"tmp1"
+    assert SALT_TMP2 == b"\x00" * 12 + b"tmp2"
+
+
+def test_ctkd_composition_matches_primitives():
+    link_key = H("ec0234a357c8ad05341010a60a397d9b")
+    # CT2=1: ILK = h7(SALT_tmp1, LK); LTK = h6(ILK, "brle").
+    assert le_ltk_from_bredr_link_key(link_key, ct2=True) == h6(
+        h7(SALT_TMP1, link_key), b"brle"
+    )
+    # CT2=0 legacy path: ILK = h6(LK, "tmp1").
+    assert le_ltk_from_bredr_link_key(link_key, ct2=False) == h6(
+        h6(link_key, b"tmp1"), b"brle"
+    )
+    ltk = H("368df9bc1c1cc1c2b11b5e10cbd8e882")
+    assert bredr_link_key_from_le_ltk(ltk, ct2=True) == h6(
+        h7(SALT_TMP2, ltk), b"lebr"
+    )
+    assert bredr_link_key_from_le_ltk(ltk, ct2=False) == h6(
+        h6(ltk, b"tmp2"), b"lebr"
+    )
+
+
+def test_ctkd_round_trip_is_lossy():
+    """BR/EDR → LE → BR/EDR does NOT recover the original link key.
+
+    h6/h7 are one-way CMAC constructions keyed on different salts in
+    each direction (tmp1/brle forward, tmp2/lebr back), so the spec's
+    conversion deliberately has no inverse — exactly the property the
+    satellite task asks us to pin.
+    """
+    link_key = H("ec0234a357c8ad05341010a60a397d9b")
+    for ct2 in (True, False):
+        ltk = le_ltk_from_bredr_link_key(link_key, ct2=ct2)
+        back = bredr_link_key_from_le_ltk(ltk, ct2=ct2)
+        assert back != link_key
+        # And the other orbit likewise never closes.
+        ltk2 = le_ltk_from_bredr_link_key(back, ct2=ct2)
+        assert ltk2 != ltk
+
+
+def test_ctkd_is_deterministic_and_direction_sensitive():
+    link_key = H("0123456789abcdef0123456789abcdef")
+    a = le_ltk_from_bredr_link_key(link_key)
+    b = le_ltk_from_bredr_link_key(link_key)
+    assert a == b
+    assert le_ltk_from_bredr_link_key(link_key) != bredr_link_key_from_le_ltk(
+        link_key
+    )
+
+
+# ------------------------------------------------------------ LL session key
+
+
+def test_le_session_key_is_aes_of_skds():
+    ltk = H("4c68384139f574d836bcf34e9dfb01bf")
+    skd_m = H("acbdceda79560891")
+    skd_s = H("13990641247ac5a3")
+    assert le_session_key(ltk, skd_m, skd_s) == aes128_encrypt(
+        ltk, skd_m + skd_s
+    )
+    with pytest.raises(ValueError):
+        le_session_key(ltk, skd_m, b"\x00" * 7)
+
+
+def test_toolbox_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        f4(U[:31], V, X, 0)
+    with pytest.raises(ValueError):
+        f5(W, N1, N2, A1[:6], A2)
+    with pytest.raises(ValueError):
+        f6(X, N1, N2, X, b"\x01\x01", A1, A2)
+    with pytest.raises(ValueError):
+        h6(X, b"brl")
+    with pytest.raises(ValueError):
+        h7(X[:15], X)

@@ -1,0 +1,125 @@
+"""The ctkd-anomaly detector: fires on BLURtooth, silent on benign use.
+
+Unit-level checks feed synthetic trace records through the detector;
+integration checks run the full detection-attack/benign scenarios and
+assert the TPR/FPR contract at the 0.7 operating threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import run_trial
+from repro.detect import CtkdAnomalyDetector, create_detector
+from repro.detect.feed import DetectionEvent
+from repro.sim.trace import TraceRecord
+
+
+def _event(kind, time=1.0, **detail):
+    record = TraceRecord(
+        time=time, source="M", category=kind, message="", detail=detail
+    )
+    return DetectionEvent(
+        time=time,
+        seq=0,
+        monitor="M",
+        channel="trace",
+        kind=kind,
+        record=record,
+    )
+
+
+@pytest.fixture
+def detector():
+    detector = create_detector("ctkd-anomaly")
+    detector.reset()
+    return detector
+
+
+class TestUnit:
+    def test_registered_under_its_name(self):
+        assert isinstance(
+            create_detector("ctkd-anomaly"), CtkdAnomalyDetector
+        )
+
+    def test_overwrite_scores_highest(self, detector):
+        alerts = detector.on_event(
+            _event(
+                "ble-ctkd",
+                peer="aa", direction="le-to-bredr",
+                association="just_works", overwrote=True,
+            )
+        )
+        assert len(alerts) == 1 and alerts[0].score == 0.95
+
+    def test_just_works_minting_crosses_threshold(self, detector):
+        alerts = detector.on_event(
+            _event(
+                "ble-ctkd",
+                peer="aa", direction="le-to-bredr",
+                association="just_works", overwrote=False,
+            )
+        )
+        assert len(alerts) == 1 and alerts[0].score == 0.75
+
+    def test_routine_ctkd_stays_below_threshold(self, detector):
+        alerts = detector.on_event(
+            _event(
+                "ble-ctkd",
+                peer="aa", direction="le-to-bredr",
+                association="numeric_comparison", overwrote=False,
+            )
+        )
+        assert len(alerts) == 1 and alerts[0].score < 0.7
+
+    def test_ctkd_origin_session_alerts_once_per_peer(self, detector):
+        event = _event("ble-enc", peer="aa", ltk_origin="ctkd")
+        first = detector.on_event(event)
+        assert len(first) == 1 and first[0].score == 0.75
+        assert detector.on_event(event) == []  # deduplicated
+        other = detector.on_event(
+            _event("ble-enc", peer="bb", ltk_origin="ctkd")
+        )
+        assert len(other) == 1
+
+    def test_pairing_origin_session_is_silent(self, detector):
+        assert (
+            detector.on_event(
+                _event("ble-enc", peer="aa", ltk_origin="pairing")
+            )
+            == []
+        )
+
+    def test_other_categories_are_ignored(self, detector):
+        assert detector.on_event(_event("ble-smp", peer="aa")) == []
+        assert detector.on_event(_event("phy-inquiry")) == []
+
+
+class TestScenarioIntegration:
+    @pytest.mark.parametrize(
+        "attack", ["blurtooth-bredr-to-le", "blurtooth-le-to-bredr"]
+    )
+    def test_fires_on_both_blurtooth_directions(self, attack):
+        result, _ = run_trial(
+            "detection-attack", seed=3, params={"attack": attack}
+        )
+        assert result.error is None, result.error
+        assert result.detail["expected_detector"] == "ctkd-anomaly"
+        assert result.detail["attack_succeeded"] is True
+        assert result.success, result.detail
+        assert result.detail["scores"]["ctkd-anomaly"] >= 0.7
+
+    def test_silent_on_benign_traffic(self):
+        result, _ = run_trial("detection-benign", seed=3)
+        assert result.error is None, result.error
+        assert result.success, result.detail["false_alerts"]
+        assert result.detail["scores"].get("ctkd-anomaly", 0.0) < 0.7
+
+    def test_replay_stability(self):
+        params = {"attack": "blurtooth-le-to-bredr"}
+        first, _ = run_trial("detection-attack", seed=8, params=params)
+        second, _ = run_trial("detection-attack", seed=8, params=params)
+        assert first.detail["scores"] == second.detail["scores"]
+        assert (
+            first.detail["first_alert_s"] == second.detail["first_alert_s"]
+        )

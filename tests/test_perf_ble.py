@@ -1,0 +1,86 @@
+"""LE pairing throughput bench, recorded for cross-PR comparison.
+
+Measures how many full LE SC pairings (connect → SMP → CTKD → encrypt)
+the simulator completes per wall-clock second, plus the event cost of
+a single pairing.  Written to ``BENCH_ble.json`` /
+``BENCH_HISTORY.jsonl`` via :func:`record_bench` so ``blap bench
+compare`` can flag regressions.
+
+Run with ``-m perf`` (CI's ble-smoke job); deselected from the
+functional matrix by ``-m "not perf"``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.attacks.scenario import WorldConfig, build_world
+from repro.core.bench import record_bench
+from repro.devices.catalog import spec_by_key
+
+#: how many central/peripheral pairs each sample drives
+PAIRS = 20
+
+
+def _run_pairings(pairs: int) -> dict:
+    world = build_world(WorldConfig(seed=6100 + pairs))
+    couples = []
+    for i in range(pairs):
+        c = world.add_device(f"c{i:02d}", spec_by_key("galaxy_s21_dual"))
+        p = world.add_device(f"p{i:02d}", spec_by_key("nexus_5x_dual"))
+        c.power_on()
+        p.power_on()
+        couples.append((c, p))
+    world.run_for(1.0)
+    base_events = world.simulator.events_processed
+
+    started = time.perf_counter()
+    operations = []
+    for c, p in couples:
+        operations.append((c.ble.connect(p.bd_addr), c, p))
+    world.run_for(6.0)
+    pair_ops = []
+    for connect, c, p in operations:
+        assert connect.success, f"{c.name}: connect failed"
+        pair_ops.append((c.ble.pair(p.bd_addr), c, p))
+    world.run_for(8.0)
+    enc_ops = []
+    for pairing, c, p in pair_ops:
+        assert pairing.success, f"{c.name}: pairing failed"
+        enc_ops.append(c.ble.start_encryption(p.bd_addr))
+    world.run_for(4.0)
+    elapsed = time.perf_counter() - started
+    completed = sum(1 for op in enc_ops if op.success)
+    events = world.simulator.events_processed - base_events
+    return {
+        "pairs": pairs,
+        "completed": completed,
+        "wall_s": elapsed,
+        "pairings_per_s": completed / elapsed if elapsed else 0.0,
+        "events": events,
+        "events_per_pairing": events / completed if completed else 0.0,
+    }
+
+
+@pytest.mark.perf
+def test_le_pairing_throughput():
+    sample = _run_pairings(PAIRS)
+    record_bench(
+        "ble",
+        "pairing_throughput",
+        {
+            "pairs": sample["pairs"],
+            "completed": sample["completed"],
+            "wall_s": sample["wall_s"],
+            "pairings_per_s": sample["pairings_per_s"],
+            "events": sample["events"],
+            "events_per_pairing": sample["events_per_pairing"],
+        },
+    )
+    # every couple must finish the full vertical slice
+    assert sample["completed"] == PAIRS, sample
+    # loose floor, an order of magnitude under current numbers: only a
+    # genuine hot-path regression (per-frame crypto, adv fan-out) trips
+    assert sample["pairings_per_s"] > 5, sample
