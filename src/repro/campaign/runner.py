@@ -35,7 +35,18 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.attacks.scenario import WorldConfig, build_world
 from repro.campaign import ambient as _ambient  # noqa: F401  (registry)
@@ -184,6 +195,11 @@ def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
     in serial ones, or ``None``) receives one telemetry record the
     moment each trial finishes — the parent renders progress from
     these while the shard is still running.
+
+    ``cprofile_dir`` (a path string or ``None``) opts the shard into
+    the wall-clock ``cProfile`` sampler: every trial runs under one
+    accumulated profiler and the shard dumps ``shard-*.pstats`` there
+    on exit for the parent to merge (``repro.profile.sampler``).
     """
     (
         scenario_name,
@@ -195,25 +211,51 @@ def _run_shard(args: Tuple[Any, ...]) -> List[Dict[str, Any]]:
         fault_plan,
         population,
         sink,
+        cprofile_dir,
     ) = args
+    profiler = None
+    if cprofile_dir is not None and seeds:
+        from repro.profile.sampler import ShardProfiler
+
+        profiler = ShardProfiler()
     out: List[Dict[str, Any]] = []
     for seed in seeds:
-        result, metrics = run_trial(
-            scenario_name,
-            seed,
-            params,
-            max_trace_records=max_trace_records,
-            timeout_s=timeout_s,
-            max_attempts=max_attempts,
-            fault_plan=fault_plan,
-            population=population,
-        )
+        if profiler is not None:
+            with profiler.trial():
+                result, metrics = run_trial(
+                    scenario_name,
+                    seed,
+                    params,
+                    max_trace_records=max_trace_records,
+                    timeout_s=timeout_s,
+                    max_attempts=max_attempts,
+                    fault_plan=fault_plan,
+                    population=population,
+                )
+        else:
+            result, metrics = run_trial(
+                scenario_name,
+                seed,
+                params,
+                max_trace_records=max_trace_records,
+                timeout_s=timeout_s,
+                max_attempts=max_attempts,
+                fault_plan=fault_plan,
+                population=population,
+            )
         entry = {"result": result.to_dict(), "metrics": metrics}
         out.append(entry)
         if sink is not None:
             sink.put(
                 trial_record(entry["result"], faulted=fault_plan is not None)
             )
+    if profiler is not None:
+        import os as _os
+
+        profiler.dump(
+            Path(cprofile_dir)
+            / f"shard-{scenario_name}-{seeds[0]}-{_os.getpid()}.pstats"
+        )
     return out
 
 
@@ -271,6 +313,7 @@ class CampaignRunner:
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         telemetry: Optional[CampaignTelemetry] = None,
+        cprofile_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.workers = max(1, workers)
         self.timeout_s = timeout_s
@@ -279,6 +322,12 @@ class CampaignRunner:
         self.cache = cache
         self.progress = progress
         self.telemetry = telemetry
+        #: opt-in wall-clock cProfile sampling: shards dump pstats here
+        self.cprofile_dir = (
+            str(cprofile_dir) if cprofile_dir is not None else None
+        )
+        if self.cprofile_dir is not None:
+            Path(self.cprofile_dir).mkdir(parents=True, exist_ok=True)
 
     # ----------------------------------------------------------------- run
 
@@ -396,6 +445,7 @@ class CampaignRunner:
                 fault_plan,
                 population,
                 sink,
+                self.cprofile_dir,
             )
             for entry, seed in zip(_run_shard(shard_args), seeds):
                 yield seed, entry
@@ -419,6 +469,7 @@ class CampaignRunner:
                 fault_plan,
                 population,
                 queue,
+                self.cprofile_dir,
             )
             for shard in self._shards(seeds, workers)
         ]

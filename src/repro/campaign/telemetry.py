@@ -209,8 +209,13 @@ class CampaignTelemetry:
             self._current = None
             return state
 
-    def close(self) -> Path:
-        """Flush the stream and write the ``run.json`` summary."""
+    def close(self, extra: Optional[Mapping[str, Any]] = None) -> Path:
+        """Flush the stream and write the ``run.json`` summary.
+
+        ``extra`` keys are merged into the summary — how a profiled
+        run's attribution (``{"profile": {...}}``) gets keyed into the
+        run dir and, through the store sink, the run store.
+        """
         if self._current is not None:
             self.end_campaign()
         with self._lock:
@@ -223,6 +228,8 @@ class CampaignTelemetry:
                 "errors": int(self._c_errors.value),
                 "campaigns": self._campaigns,
             }
+            if extra:
+                summary.update(extra)
             summary_path = self.run_dir / "run.json"
             with open(summary_path, "w", encoding="utf-8") as handle:
                 json.dump(summary, handle, indent=1, sort_keys=True)

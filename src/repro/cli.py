@@ -40,13 +40,18 @@ Android bug report) and on raw USB analyzer streams:
   service: live JSONL HCI streams over WebSockets and btsnoop capture
   uploads, scored online with verdicts identical to ``detect scan``;
   the load generator benches sustained ingest throughput.
-* ``blap report`` — render the Markdown/HTML run report (Table I/II
-  vs. the paper, Wilson intervals, digest quantiles, slowest spans)
-  from cached campaign results — no re-simulation on a warm cache;
-  run telemetry reads through the store.
+* ``blap report`` — render the Markdown/HTML/JSON run report (Table
+  I/II vs. the paper, Wilson intervals, digest quantiles, self-time
+  attribution) from cached campaign results — no re-simulation on a
+  warm cache; run telemetry reads through the store.
+* ``blap profile {run,flame,diff}`` — deterministic perf attribution:
+  profiled campaigns with self-time trees and collapsed flamegraph
+  stacks (plus opt-in wall-clock cProfile sampling), byte-identical
+  per seed, diffable across revisions.
 * ``blap bench {compare,history}`` — the perf trajectory: diff the
   current ``BENCH_*.json`` numbers against a baseline directory
-  (nonzero exit on regression) and query ``BENCH_HISTORY.jsonl``.
+  (nonzero exit on regression, self-time culprit hints) and query
+  ``BENCH_HISTORY.jsonl``.
 """
 
 from __future__ import annotations
@@ -439,7 +444,7 @@ def _parse_param(raw: str) -> "tuple[str, Any]":
         return key, value
 
 
-def _make_runner(args: argparse.Namespace, telemetry=None):
+def _make_runner(args: argparse.Namespace, telemetry=None, cprofile_dir=None):
     from repro.campaign import CampaignRunner, ResultCache, default_cache_dir
 
     cache = None
@@ -452,6 +457,7 @@ def _make_runner(args: argparse.Namespace, telemetry=None):
         max_attempts=args.retries + 1,
         cache=cache,
         telemetry=telemetry,
+        cprofile_dir=cprofile_dir,
     )
 
 
@@ -497,11 +503,43 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             mode="quiet" if args.quiet else "auto",
             sink=sink,
         )
+    profile_dir = None
+    if args.profile or args.cprofile:
+        from pathlib import Path
+
+        profile_dir = (
+            telemetry.run_dir / "profile"
+            if telemetry is not None
+            else Path("blap-profile")
+        )
+    cprofile_dir = profile_dir if args.cprofile else None
+    profile_extra = None
     try:
-        result = _make_runner(args, telemetry=telemetry).run(spec)
+        result = _make_runner(
+            args, telemetry=telemetry, cprofile_dir=cprofile_dir
+        ).run(spec)
+        if profile_dir is not None:
+            from repro.profile import write_profile_artifacts
+
+            profile_extra = write_profile_artifacts(
+                result.metrics.snapshot(),
+                profile_dir,
+                shard_pstats_dir=cprofile_dir,
+            )
+            print(f"profile: {profile_dir}", file=sys.stderr)
     finally:
         if telemetry is not None:
-            telemetry.close()
+            # The profile summary rides run.json and the store sink;
+            # the on-disk tree already lives in profile/profile.json.
+            extra = None
+            if profile_extra is not None:
+                extra = {
+                    "profile": {
+                        key: profile_extra[key]
+                        for key in ("top_self", "total_self_s", "root_wall_s")
+                    }
+                }
+            telemetry.close(extra=extra)
             print(f"telemetry: {telemetry.path}", file=sys.stderr)
         if store is not None:
             print(f"store: {store.path}", file=sys.stderr)
@@ -1205,6 +1243,7 @@ def _cmd_service_sessions(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import generate_report
 
+    fmt = args.format or ("html" if args.html else None)
     text = generate_report(
         _make_runner(args),
         trials=args.trials,
@@ -1216,7 +1255,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         store_path=args.store_db,
         store_run_id=args.store_run,
         top_spans=args.top_spans,
-        html=args.html,
+        fmt=fmt,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -1233,7 +1272,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.core.bench import bench_dir, compare_bench_dirs, iter_bench_files
+    from repro.core.bench import (
+        bench_dir,
+        bench_spans,
+        compare_bench_dirs,
+        iter_bench_files,
+        load_bench,
+    )
 
     current = Path(args.current) if args.current else bench_dir()
     baseline = Path(args.baseline)
@@ -1264,8 +1309,18 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             f"compared {len(compared)} bench file(s) at threshold "
             f"{args.threshold:.0%}: {', '.join(compared)}"
         )
+        spans_cache: Dict[str, Dict[str, List[str]]] = {}
         for regression in regressions:
             print(f"REGRESSION {regression}")
+            # The recorder may have annotated the section with the top
+            # self-time span types — name the culprit, not just the number.
+            if regression.bench not in spans_cache:
+                spans_cache[regression.bench] = bench_spans(
+                    load_bench(current / f"BENCH_{regression.bench}.json")
+                )
+            culprits = spans_cache[regression.bench].get(regression.section)
+            if culprits:
+                print(f"  top self-time spans: {', '.join(culprits)}")
         if not regressions:
             print("no regressions")
     return 1 if regressions else 0
@@ -1291,10 +1346,135 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
             for key, value in sorted(entry.get("values", {}).items())
         )
         run = f" run={entry['run']}" if entry.get("run") else ""
+        spans = entry.get("top_self_spans") or []
+        note = f" spans={','.join(spans)}" if spans else ""
         print(
             f"{entry.get('ts', '?'):<20} "
             f"{entry.get('bench', '?')}/{entry.get('section', '?')}{run} "
-            f"{values}"
+            f"{values}{note}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------- profile
+
+
+def _format_path(path) -> str:
+    return ";".join(path)
+
+
+def _print_top_self(rows, total_self_s: float, root_wall_s: float) -> None:
+    print(f"{'self total':>12} {'count':>8}  span type")
+    for row in rows:
+        print(
+            f"{row['self_s']:>11.3f}s {row['count']:>8}  {row['name']}"
+        )
+    print(
+        f"self-time total {total_self_s:.3f}s; "
+        f"root-span wall total {root_wall_s:.3f}s"
+    )
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    """A profiled campaign sweep: artifacts out, top self-time in."""
+    from pathlib import Path
+
+    from repro.campaign import CampaignSpec
+    from repro.profile import write_profile_artifacts
+
+    spec = CampaignSpec(
+        args.scenario,
+        seeds=range(args.seed_base, args.seed_base + args.trials),
+        params=dict(args.param or []),
+        fault_plan=_load_fault_plan(args.fault_plan),
+        population=_load_population(args.population),
+    )
+    out = Path(args.out)
+    cprofile_dir = out if args.cprofile else None
+    result = _make_runner(args, cprofile_dir=cprofile_dir).run(spec)
+    summary = write_profile_artifacts(
+        result.metrics.snapshot(),
+        out,
+        shard_pstats_dir=cprofile_dir,
+        top=args.top,
+    )
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(_campaign_summary(result))
+        _print_top_self(
+            summary["top_self"],
+            summary["total_self_s"],
+            summary["root_wall_s"],
+        )
+        print(f"profile artifacts in {out}/")
+    return 1 if result.errors else 0
+
+
+def _cmd_profile_flame(args: argparse.Namespace) -> int:
+    """One trial's self-time tree as collapsed flamegraph stacks.
+
+    Pure simulated time: the output is byte-identical for a given
+    scenario + seed, so two runs diff clean.  Feed the file to
+    ``flamegraph.pl`` or paste it into https://speedscope.app.
+    """
+    from repro.campaign.runner import run_trial
+    from repro.profile import SelfTimeTree
+
+    result, snapshot = run_trial(
+        args.scenario,
+        args.seed,
+        params=dict(args.param or []),
+        fault_plan=_load_fault_plan(args.fault_plan),
+    )
+    text = SelfTimeTree.from_snapshot(snapshot).to_collapsed()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} stacks to {args.output}")
+    else:
+        print(text, end="")
+    if result.error:
+        print(f"trial error: {result.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile_diff(args: argparse.Namespace) -> int:
+    """Diff two profile.json artifacts by per-path self-time."""
+    from repro.profile import SelfTimeTree, diff_trees, load_profile
+
+    try:
+        baseline = SelfTimeTree.from_jsonable(
+            load_profile(args.baseline)["tree"]
+        )
+        current = SelfTimeTree.from_jsonable(
+            load_profile(args.current)["tree"]
+        )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"blap: {exc}", file=sys.stderr)
+        return 2
+    rows = diff_trees(baseline, current)
+    if args.top:
+        rows = rows[: args.top]
+    if args.json:
+        print(
+            json.dumps(
+                [dict(row, path=list(row["path"])) for row in rows],
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if not rows:
+        print("identical self-time trees")
+        return 0
+    print(f"{'baseline':>12} {'current':>12} {'delta':>12}  span path")
+    for row in rows:
+        print(
+            f"{row['baseline_self_s']:>11.3f}s "
+            f"{row['current_self_s']:>11.3f}s "
+            f"{row['delta_s']:>+11.3f}s  {_format_path(row['path'])}"
         )
     return 0
 
@@ -1503,6 +1683,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the runs/<run-id>/telemetry.jsonl stream",
     )
     run.add_argument(
+        "--profile",
+        action="store_true",
+        help="write deterministic self-time profile artifacts "
+        "(runs/<run-id>/profile/, or ./blap-profile with --no-telemetry)",
+    )
+    run.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="also sample workers with cProfile (wall clock; implies "
+        "--profile; merged into profile.pstats / cprofile.json)",
+    )
+    run.add_argument(
         "--store",
         nargs="?",
         const="",
@@ -1633,7 +1825,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--top-spans", type=int, default=10,
-        help="rows in the slowest-spans table",
+        help="rows in the self-time attribution table",
+    )
+    report.add_argument(
+        "--format", default=None,
+        choices=["markdown", "html", "json"],
+        help="output format (default: markdown, or html with --html)",
     )
     report.add_argument(
         "--html", action="store_true", help="self-contained HTML instead of Markdown"
@@ -1683,6 +1880,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench directory (default: $BLAP_BENCH_DIR or .)",
     )
     bhistory.set_defaults(func=_cmd_bench_history)
+
+    profile = sub.add_parser(
+        "profile",
+        help="deterministic perf attribution: self-time trees, "
+        "flamegraph export, profile diffs",
+    )
+    prosub = profile.add_subparsers(dest="profile_command", required=True)
+
+    prun = prosub.add_parser(
+        "run", help="run a profiled campaign and write profile artifacts"
+    )
+    prun.add_argument("scenario", choices=scenario_names())
+    prun.add_argument("--trials", type=int, default=20)
+    prun.add_argument("--seed-base", type=int, default=0)
+    prun.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="scenario parameter (JSON value; repeatable)",
+    )
+    prun.add_argument(
+        "-o", "--out", default="blap-profile",
+        help="artifact directory (spans.collapsed, profile.json, ...)",
+    )
+    prun.add_argument(
+        "--cprofile", action="store_true",
+        help="also sample workers with cProfile (wall clock)",
+    )
+    prun.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the top self-time table",
+    )
+    prun.add_argument("--json", action="store_true", help="machine output")
+    _add_fault_plan_arg(prun)
+    _add_population_arg(prun)
+    _add_campaign_common(prun)
+    prun.set_defaults(func=_cmd_profile_run)
+
+    pflame = prosub.add_parser(
+        "flame",
+        help="one trial's self-time tree as collapsed flamegraph stacks "
+        "(flamegraph.pl / speedscope)",
+    )
+    pflame.add_argument("scenario", choices=scenario_names())
+    pflame.add_argument("--seed", type=int, default=1)
+    pflame.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable)",
+    )
+    pflame.add_argument("-o", "--output", default=None, help="output file")
+    _add_fault_plan_arg(pflame)
+    pflame.set_defaults(func=_cmd_profile_flame)
+
+    pdiff = prosub.add_parser(
+        "diff", help="diff two profile.json artifacts by self-time"
+    )
+    pdiff.add_argument(
+        "baseline", help="baseline profile.json (or its directory)"
+    )
+    pdiff.add_argument(
+        "current", help="current profile.json (or its directory)"
+    )
+    pdiff.add_argument(
+        "--top", type=int, default=20, help="show the top N moved paths"
+    )
+    pdiff.add_argument("--json", action="store_true", help="machine output")
+    pdiff.set_defaults(func=_cmd_profile_diff)
 
     faults = sub.add_parser(
         "faults", help="the fault-injection point catalogue"

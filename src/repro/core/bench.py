@@ -35,11 +35,13 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 try:  # pragma: no cover - always present on the Linux CI fleet
     import fcntl
@@ -48,6 +50,49 @@ except ImportError:  # pragma: no cover
 
 #: history file name (one JSON object per line, append-only)
 HISTORY_NAME = "BENCH_HISTORY.jsonl"
+
+_GIT_SHA: Optional[str] = None
+_GIT_SHA_RESOLVED = False
+
+
+def _git_sha() -> Optional[str]:
+    """The current commit (memoized): ``$GITHUB_SHA`` in CI, else one
+    ``git rev-parse`` — never raises, returns None outside a repo."""
+    global _GIT_SHA, _GIT_SHA_RESOLVED
+    if _GIT_SHA_RESOLVED:
+        return _GIT_SHA
+    _GIT_SHA_RESOLVED = True
+    sha = os.environ.get("GITHUB_SHA")
+    if not sha:
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            sha = None
+    _GIT_SHA = sha or None
+    return _GIT_SHA
+
+
+def provenance() -> Dict[str, Any]:
+    """Who/when/what produced a bench number: commit, python, UTC ts.
+
+    Embedded in every bench file (``_provenance`` key) and history
+    entry so ``blap bench history`` can attribute a regression to the
+    commit that introduced it.
+    """
+    info: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "recorded_ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    sha = _git_sha()
+    if sha:
+        info["git_sha"] = sha
+    return info
 
 
 def bench_dir() -> Path:
@@ -85,17 +130,28 @@ def _bench_lock(directory: Path) -> Iterator[None]:
 
 
 def record_bench(
-    name: str, section: str, values: Mapping[str, Any]
+    name: str,
+    section: str,
+    values: Mapping[str, Any],
+    spans: Optional[Sequence[str]] = None,
 ) -> Path:
     """Merge ``values`` under ``section`` into ``BENCH_<name>.json``.
 
     Returns the path written.  Unreadable/corrupt existing files are
     replaced rather than crashing the test that measured the numbers.
     Also appends the record to ``BENCH_HISTORY.jsonl`` alongside.
+
+    Every write stamps the file's ``_provenance`` key and the history
+    entry with commit / python / timestamp metadata.  ``spans`` is an
+    optional list of the top self-time span types behind the measured
+    numbers (see :mod:`repro.profile`); it lands in the file's
+    ``_spans`` section and the history entry so regression tooling can
+    name a culprit, not just a number.
     """
     path = bench_path(name)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = _jsonable(values)
+    prov = provenance()
     with _bench_lock(path.parent):
         data: dict = {}
         try:
@@ -106,6 +162,13 @@ def record_bench(
         except (OSError, ValueError):
             pass
         data[section] = payload
+        data["_provenance"] = prov
+        if spans is not None:
+            spans_map = data.get("_spans")
+            if not isinstance(spans_map, dict):
+                spans_map = {}
+            spans_map[section] = list(spans)
+            data["_spans"] = spans_map
         # tempfile + replace: readers (CI artifact upload, a concurrent
         # compare) never observe a partially written file.
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
@@ -114,17 +177,35 @@ def record_bench(
             handle.write("\n")
         os.replace(tmp, path)
         entry: Dict[str, Any] = {
-            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "ts": prov["recorded_ts"],
             "bench": name,
             "section": section,
             "values": payload,
+            "python": prov["python"],
         }
+        if "git_sha" in prov:
+            entry["git_sha"] = prov["git_sha"]
+        if spans is not None:
+            entry["top_self_spans"] = list(spans)
         run_id = os.environ.get("BLAP_RUN_ID")
         if run_id:
             entry["run"] = run_id
         with open(history_path(path.parent), "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
     return path
+
+
+def bench_spans(data: Mapping[str, Any]) -> Dict[str, List[str]]:
+    """The ``_spans`` culprit annotations of a loaded bench file:
+    section → top self-time span-type names (empty when absent)."""
+    spans_map = data.get("_spans")
+    if not isinstance(spans_map, Mapping):
+        return {}
+    return {
+        str(section): [str(name) for name in names]
+        for section, names in sorted(spans_map.items())
+        if isinstance(names, (list, tuple))
+    }
 
 
 def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
@@ -233,6 +314,8 @@ def compare_bench(
     """
     regressions: List[BenchRegression] = []
     for section, values in sorted(current.items()):
+        if section.startswith("_"):  # _provenance / _spans metadata
+            continue
         base_values = baseline.get(section)
         if not isinstance(values, Mapping) or not isinstance(
             base_values, Mapping

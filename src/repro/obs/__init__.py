@@ -92,6 +92,7 @@ class Observability:
             observer=self._observe_span if self.metrics.enabled else None,
         )
         self._span_histograms: dict = {}
+        self._span_tree_histograms: dict = {}
         self.timeline = Timeline()
         self.timeline.add_span_tracker(self.spans)
         if tracer is not None:
@@ -102,16 +103,40 @@ class Observability:
         return self.spans.span(name, source=source, **attrs)
 
     def _observe_span(self, span: Span) -> None:
-        """Feed every closed span into a ``span.<name>_s`` histogram.
+        """Feed every closed span into three histogram families.
 
-        Durations are simulated time, so the histograms (and their
-        digests) stay deterministic per seed and merge cleanly across
-        campaign shards — that merged view is what the run report's
-        "slowest spans" table reads.  Histogram handles are cached per
-        span name; the per-close cost is one dict hit + one observe.
+        * ``span.<name>_s`` — wall duration per span type;
+        * ``spanself.<name>_s`` — **self-time** per span type (wall
+          minus finished children), the double-count-free series the
+          run report's attribution table reads;
+        * ``spantree.<a;b;c>_s`` — self-time keyed by the span-type
+          *path* from the root, which is exactly a collapsed flamegraph
+          stack.  Path cardinality is bounded by the static nesting
+          structure of the instrumented code, not by span volume.
+
+        Durations are simulated time, so all three (and their digests)
+        stay deterministic per seed and merge cleanly across campaign
+        shards via :meth:`MetricsRegistry.merge`.  Histogram handles
+        are cached per name/path; the per-close cost is two dict hits
+        plus three observes.
         """
-        histogram = self._span_histograms.get(span.name)
-        if histogram is None:
-            histogram = self.metrics.histogram(f"span.{span.name}_s")
-            self._span_histograms[span.name] = histogram
-        histogram.observe(span.end - span.start)
+        wall = span.end - span.start
+        self_s = wall - span.child_s
+        if self_s < 0.0:
+            self_s = 0.0
+        pair = self._span_histograms.get(span.name)
+        if pair is None:
+            pair = (
+                self.metrics.histogram(f"span.{span.name}_s"),
+                self.metrics.histogram(f"spanself.{span.name}_s"),
+            )
+            self._span_histograms[span.name] = pair
+        pair[0].observe(wall)
+        pair[1].observe(self_s)
+        tree = self._span_tree_histograms.get(span.path)
+        if tree is None:
+            tree = self.metrics.histogram(
+                "spantree." + ";".join(span.path) + "_s"
+            )
+            self._span_tree_histograms[span.path] = tree
+        tree.observe(self_s)

@@ -1,0 +1,160 @@
+"""Prometheus text exposition over :class:`MetricsRegistry` snapshots.
+
+The service's ``GET /metrics`` endpoint renders every instrument in
+the version-0.0.4 text format real scrapers speak:
+
+* counters — ``blap_<name>_total``;
+* gauges — ``blap_<name>``;
+* histograms — cumulative ``_bucket{le=...}`` series plus ``_sum`` /
+  ``_count`` (snapshot buckets are per-bin; exposition accumulates),
+  and, because every histogram is backed by a mergeable
+  :class:`~repro.obs.digest.QuantileDigest`, companion
+  ``<name>_quantile{quantile="0.5"|"0.9"|"0.99"}`` gauges — digest
+  quantiles a plain Prometheus histogram cannot give you.
+
+Multiple snapshots render into one page with distinct label sets
+(``render_prometheus([({}, merged), ({"tenant": "acme"}, acme)])``),
+which is how the service exposes per-tenant ingest-latency quantiles
+next to the fleet-wide series.  Metric names are sanitized to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar and label values escaped per the
+exposition spec.  Output is deterministic: families sort by name,
+series keep group order, so identical snapshots render
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.digest import QuantileDigest
+
+#: digest quantiles exposed as companion gauges per histogram
+EXPOSED_QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "blap") -> str:
+    """``service.ingest_latency_s`` → ``blap_service_ingest_latency_s``."""
+    cleaned = _NAME_BAD.sub("_", name)
+    if namespace:
+        return f"{namespace}_{cleaned}"
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash, double-quote and newline escaping per the spec."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+class _Family:
+    __slots__ = ("kind", "lines")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.lines: List[str] = []
+
+
+def render_prometheus(
+    groups: Sequence[Tuple[Mapping[str, str], Mapping[str, Any]]],
+    namespace: str = "blap",
+) -> str:
+    """Render labeled snapshot groups as one exposition page.
+
+    ``groups`` is a sequence of ``(labels, snapshot)`` pairs where
+    ``snapshot`` is a :meth:`MetricsRegistry.snapshot` dict.  The same
+    metric may appear in several groups (merged + per-tenant); it
+    renders as one family with one ``# TYPE`` line.
+    """
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, kind: str) -> _Family:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = _Family(kind)
+        return entry
+
+    for labels, snapshot in groups:
+        base_pairs = sorted(
+            (str(key), str(value)) for key, value in labels.items()
+        )
+        label_str = _labels(base_pairs)
+        for name, value in (snapshot.get("counters") or {}).items():
+            metric = f"{sanitize_metric_name(name, namespace)}_total"
+            family(metric, "counter").lines.append(
+                f"{metric}{label_str} {_fmt(value)}"
+            )
+        for name, value in (snapshot.get("gauges") or {}).items():
+            metric = sanitize_metric_name(name, namespace)
+            family(metric, "gauge").lines.append(
+                f"{metric}{label_str} {_fmt(value)}"
+            )
+        for name, data in (snapshot.get("histograms") or {}).items():
+            metric = sanitize_metric_name(name, namespace)
+            buckets: Mapping[str, int] = data.get("buckets") or {}
+            entry = family(metric, "histogram")
+            cumulative = 0
+            finite = [key for key in buckets if key != "+Inf"]
+            for key in finite + ["+Inf"]:
+                cumulative += int(buckets.get(key, 0))
+                entry.lines.append(
+                    f"{metric}_bucket"
+                    f"{_labels(base_pairs + [('le', key)])} {cumulative}"
+                )
+            entry.lines.append(
+                f"{metric}_sum{label_str} {_fmt(float(data.get('sum', 0.0)))}"
+            )
+            entry.lines.append(
+                f"{metric}_count{label_str} {_fmt(int(data.get('count', 0)))}"
+            )
+            digest_data = data.get("digest")
+            if digest_data is not None and int(data.get("count", 0)) > 0:
+                digest = QuantileDigest.from_jsonable(digest_data)
+                quantile_metric = f"{metric}_quantile"
+                quantile_family = family(quantile_metric, "gauge")
+                for q in EXPOSED_QUANTILES:
+                    quantile_family.lines.append(
+                        f"{quantile_metric}"
+                        f"{_labels(base_pairs + [('quantile', f'{q:g}')])}"
+                        f" {_fmt(digest.quantile(q))}"
+                    )
+
+    lines: List[str] = []
+    for metric in sorted(families):
+        entry = families[metric]
+        lines.append(f"# TYPE {metric} {entry.kind}")
+        lines.extend(entry.lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = [
+    "EXPOSED_QUANTILES",
+    "escape_label_value",
+    "render_prometheus",
+    "sanitize_metric_name",
+]

@@ -13,8 +13,11 @@ Markdown (or HTML) document:
   way to put error bars on a Monte-Carlo proportion);
 * metric quantile tables read from the merged
   :class:`~repro.obs.digest.QuantileDigest`-backed histograms;
-* the top-N slowest span types (fed by the ``span.<name>_s``
-  histograms every :class:`~repro.obs.Observability` records);
+* a **self-time attribution** tree (fed by the ``spantree.<a;b;c>_s``
+  self-time histograms every :class:`~repro.obs.Observability`
+  records): per-span-path self-time, which is additive — the rows sum
+  to the root spans' wall time instead of double-counting parents the
+  way a wall-total "slowest spans" table does;
 * optional sections for ROC artifacts (``blap detect roc --json``
   output), bench numbers (``BENCH_*.json``) and a run's
   ``telemetry.jsonl``.
@@ -231,6 +234,68 @@ def _quantile_rows(
     return rows
 
 
+def collect_attribution(
+    histograms: Mapping[str, Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Self-time attribution from the ``spantree.*`` histograms.
+
+    Rows come back in hierarchical order (siblings sorted by subtree
+    time, heaviest first) with per-path count / self total / self p99
+    / subtree total — the double-count-free replacement for ranking
+    span types by wall totals.  Pure function of the merged snapshot.
+    """
+    from repro.profile.selftime import (
+        SPANTREE_PREFIX,
+        SelfTimeTree,
+        root_wall_s,
+    )
+
+    tree = SelfTimeTree.from_snapshot({"histograms": histograms})
+    p99: Dict[Tuple[str, ...], float] = {}
+    for name, data in histograms.items():
+        if not (
+            name.startswith(SPANTREE_PREFIX) and name.endswith("_s")
+        ):
+            continue
+        digest_data = data.get("digest")
+        if digest_data is None or not int(data.get("count", 0)):
+            continue
+        path = tuple(name[len(SPANTREE_PREFIX):-len("_s")].split(";"))
+        p99[path] = QuantileDigest.from_jsonable(digest_data).quantile(0.99)
+
+    rows: List[Dict[str, Any]] = []
+    subtree = {path: tree.subtree_s(path) for path in tree.paths()}
+
+    def emit(prefix: Tuple[str, ...]) -> None:
+        depth = len(prefix)
+        children = sorted(
+            {
+                path[: depth + 1]
+                for path in tree.paths()
+                if len(path) > depth and path[:depth] == prefix
+            },
+            key=lambda p: (-subtree.get(p, tree.subtree_s(p)), p),
+        )
+        for child in children:
+            rows.append(
+                {
+                    "path": list(child),
+                    "count": tree.count(child),
+                    "self_s": tree.self_s(child),
+                    "self_p99_s": p99.get(child, 0.0),
+                    "subtree_s": subtree.get(child, tree.subtree_s(child)),
+                }
+            )
+            emit(child)
+
+    emit(())
+    return {
+        "rows": rows,
+        "total_self_s": tree.total_self_s,
+        "root_wall_s": root_wall_s({"histograms": histograms}),
+    }
+
+
 def render_markdown(
     data: Mapping[str, Any],
     roc: Optional[Mapping[str, Any]] = None,
@@ -330,7 +395,7 @@ def render_markdown(
     metric_rows = [
         row
         for row in _quantile_rows(histograms)
-        if not row["name"].startswith("span.")
+        if not row["name"].startswith(("span.", "spanself.", "spantree."))
     ]
     if metric_rows:
         out("")
@@ -345,21 +410,38 @@ def render_markdown(
                 f"| {_fmt_s(row['p99'])} | {_fmt_s(row['max'])} |"
             )
 
-    span_rows = _quantile_rows(histograms, prefix="span.", strip=True)
-    if span_rows:
-        span_rows.sort(key=lambda row: (-row["max"], row["name"]))
+    attribution = collect_attribution(histograms)
+    if attribution["rows"]:
+        rows = attribution["rows"]
+        shown = rows[:top_spans]
         out("")
-        out(f"## Top {min(top_spans, len(span_rows))} slowest span types")
+        out("## Self-time attribution (merged span trees)")
         out("")
-        out("(simulated seconds, merged across every trial)")
+        out(
+            "(simulated seconds; self-time = wall minus children, so "
+            "rows are additive — no parent double-counting)"
+        )
         out("")
-        out("| Span | Count | p50 | p99 | Max |")
+        out("| Span path | Count | Self total | Self p99 | Subtree |")
         out("| --- | --- | --- | --- | --- |")
-        for row in span_rows[:top_spans]:
+        for row in shown:
+            label = "· " * (len(row["path"]) - 1) + row["path"][-1]
             out(
-                f"| {row['name']} | {row['count']} | {_fmt_s(row['p50'])} "
-                f"| {_fmt_s(row['p99'])} | {_fmt_s(row['max'])} |"
+                f"| {label} | {row['count']} | {_fmt_s(row['self_s'])} "
+                f"| {_fmt_s(row['self_p99_s'])} "
+                f"| {_fmt_s(row['subtree_s'])} |"
             )
+        out("")
+        tail = (
+            f" ({len(rows) - len(shown)} deeper paths elided)"
+            if len(rows) > len(shown)
+            else ""
+        )
+        out(
+            f"Self-time total {_fmt_s(attribution['total_self_s'])}s across "
+            f"{len(rows)} span paths; root-span wall total "
+            f"{_fmt_s(attribution['root_wall_s'])}s.{tail}"
+        )
 
     if roc:
         out("")
@@ -435,6 +517,47 @@ def render_markdown(
 
     out("")
     return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- JSON
+
+
+def render_json(
+    data: Mapping[str, Any],
+    roc: Optional[Mapping[str, Any]] = None,
+    bench: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    telemetry: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> str:
+    """Machine-readable report: the same inputs the Markdown renderer
+    sees, plus the computed self-time attribution — what CI consumes
+    (``blap report --format json``).  Deterministic: sorted keys, and
+    every value derives from cached results and recorded artifacts."""
+    histograms = (data.get("metrics") or {}).get("histograms", {})
+    payload: Dict[str, Any] = {
+        "format": 1,
+        "trials": data.get("trials", 0),
+        "table1": data.get("table1") or [],
+        "table2": data.get("table2") or [],
+        "scenarios": data.get("scenarios") or {},
+        "metrics": data.get("metrics") or {},
+        "attribution": collect_attribution(histograms),
+    }
+    if roc is not None:
+        payload["roc"] = roc
+    if bench is not None:
+        payload["bench"] = bench
+    if telemetry is not None:
+        records = [dict(record) for record in telemetry]
+        payload["telemetry"] = {
+            "records": records,
+            "trials": len(records),
+            "successes": sum(1 for r in records if r.get("success")),
+            "cache_hits": sum(1 for r in records if r.get("cached")),
+            "total_wall_s": sum(
+                float(r.get("wall_time_s", 0.0)) for r in records
+            ),
+        }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
 
 
 # ------------------------------------------------------------------- HTML
@@ -563,8 +686,17 @@ def generate_report(
     store_run_id: Optional[str] = None,
     top_spans: int = 10,
     html: bool = False,
+    fmt: Optional[str] = None,
 ) -> str:
-    """Collect + render in one call (the ``blap report`` backend)."""
+    """Collect + render in one call (the ``blap report`` backend).
+
+    ``fmt`` is ``"markdown"`` (default), ``"html"`` or ``"json"``;
+    the older ``html=True`` flag is kept as an alias.
+    """
+    if fmt is None:
+        fmt = "html" if html else "markdown"
+    if fmt not in ("markdown", "html", "json"):
+        raise ValueError(f"unknown report format {fmt!r}")
     data = collect_report_data(
         runner,
         trials=trials,
@@ -586,7 +718,9 @@ def generate_report(
     telemetry = telemetry_from_store(
         run_dir=run_dir, store_path=store_path, run_id=store_run_id
     )
+    if fmt == "json":
+        return render_json(data, roc=roc, bench=bench, telemetry=telemetry)
     markdown = render_markdown(
         data, roc=roc, bench=bench, telemetry=telemetry, top_spans=top_spans
     )
-    return render_html(markdown) if html else markdown
+    return render_html(markdown) if fmt == "html" else markdown

@@ -19,13 +19,23 @@ Two APIs:
 
 Span times come from the tracker's clock — the simulator — so spans
 line up exactly with trace records and btsnoop captures.
+
+Every span also records **self-time**: its wall duration minus the
+durations of its finished children.  Wall totals double-count parents
+(a ``trial`` span's duration includes every attack, HCI exchange and
+phy callback under it); self-time is additive — summing it over any
+set of span types never exceeds the root spans' wall time — which is
+what makes the per-type attribution in ``blap report`` and the
+``repro.profile`` flamegraph export honest.  A detached span that
+outlives its parent keeps its full duration as self-time and the
+parent is left unchanged (the overlap is genuinely concurrent work).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.trace import next_sequence
 
@@ -42,12 +52,22 @@ class Span:
     end: Optional[float] = None
     parent_seq: Optional[int] = None
     depth: int = 0
+    #: span-type path from the root to this span (names, not instances)
+    path: Tuple[str, ...] = ()
+    #: accumulated wall time of finished children (fed by the tracker)
+    child_s: float = 0.0
 
     @property
     def duration(self) -> float:
         if self.end is None:
             raise ValueError(f"span {self.name!r} is still open")
         return self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        """Wall duration minus finished children's wall time, >= 0."""
+        self_s = self.duration - self.child_s
+        return self_s if self_s > 0.0 else 0.0
 
     @property
     def finished(self) -> bool:
@@ -80,6 +100,7 @@ class SpanTracker:
         self.observer = observer
         self.spans: List[Span] = []  # in start order
         self._stack: List[Span] = []
+        self._open_by_seq: Dict[int, Span] = {}
 
     # ------------------------------------------------------------ scoped API
 
@@ -93,9 +114,7 @@ class SpanTracker:
             yield entry
         finally:
             self._stack.pop()
-            entry.end = self.clock()
-            if self.observer is not None:
-                self.observer(entry)
+            self._close(entry)
 
     # ------------------------------------------------------- split-phase API
 
@@ -105,9 +124,7 @@ class SpanTracker:
 
     def finish(self, span: Span) -> None:
         if span.end is None:
-            span.end = self.clock()
-            if self.observer is not None:
-                self.observer(span)
+            self._close(span)
 
     # --------------------------------------------------------------- queries
 
@@ -141,6 +158,20 @@ class SpanTracker:
             attrs=dict(attrs),
             parent_seq=parent.seq if parent is not None else None,
             depth=parent.depth + 1 if parent is not None else 0,
+            path=parent.path + (name,) if parent is not None else (name,),
         )
         self.spans.append(entry)
+        self._open_by_seq[entry.seq] = entry
         return entry
+
+    def _close(self, span: Span) -> None:
+        """Stamp the end, attribute the duration to a still-open parent
+        (self-time bookkeeping), and fire the observer."""
+        span.end = self.clock()
+        self._open_by_seq.pop(span.seq, None)
+        if span.parent_seq is not None:
+            parent = self._open_by_seq.get(span.parent_seq)
+            if parent is not None:
+                parent.child_s += span.end - span.start
+        if self.observer is not None:
+            self.observer(span)

@@ -1,0 +1,91 @@
+"""Opt-in ``cProfile`` sampling for campaign workers.
+
+The span self-time trees attribute *simulated* time deterministically;
+this module is the wall-clock complement — where does the *CPU* go
+inside a trial?  It is strictly opt-in (``--cprofile``) because the
+numbers are machine- and load-dependent: cProfile output never feeds
+deterministic artifacts, it lands in its own files
+(``profile.pstats`` + ``cprofile.json``) beside them.
+
+Shape: each campaign shard accumulates one :class:`cProfile.Profile`
+across its trials (enable/disable brackets every ``run_trial`` call,
+which is the same as merging per-trial stats but with no temp files),
+dumps a per-shard ``.pstats`` on exit, and the parent folds the shard
+dumps into one stats file with :func:`merge_pstats`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Sequence, Union
+
+#: pstats dumps written by campaign shards match this glob
+SHARD_GLOB = "shard-*.pstats"
+
+
+class ShardProfiler:
+    """One profiler accumulated across a shard's trials."""
+
+    def __init__(self) -> None:
+        self.profile = cProfile.Profile()
+        self.trials = 0
+
+    @contextmanager
+    def trial(self) -> Iterator[None]:
+        """Profile one trial (stats accumulate across calls)."""
+        self.profile.enable()
+        try:
+            yield
+        finally:
+            self.profile.disable()
+            self.trials += 1
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.profile.dump_stats(str(path))
+        return path
+
+
+def merge_pstats(
+    paths: Sequence[Union[str, Path]], out_path: Union[str, Path]
+) -> Path:
+    """Fold per-shard pstats dumps into one ``profile.pstats``."""
+    if not paths:
+        raise ValueError("no pstats files to merge")
+    stats = pstats.Stats(str(paths[0]))
+    for path in paths[1:]:
+        stats.add(str(path))
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    stats.dump_stats(str(out_path))
+    return out_path
+
+
+def top_functions(
+    stats_path: Union[str, Path], n: int = 25
+) -> List[Dict[str, Any]]:
+    """The top-N functions by total (own) time from a pstats file."""
+    stats = pstats.Stats(str(stats_path))
+    rows: List[Dict[str, Any]] = []
+    for (filename, line, func), (
+        _cc,
+        ncalls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        short = filename.rsplit("/", 1)[-1] if "/" in filename else filename
+        rows.append(
+            {
+                "function": f"{func} ({short}:{line})",
+                "ncalls": int(ncalls),
+                "tottime_s": float(tottime),
+                "cumtime_s": float(cumtime),
+            }
+        )
+    rows.sort(key=lambda row: (-row["tottime_s"], row["function"]))
+    return rows[:n]

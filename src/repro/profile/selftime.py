@@ -1,0 +1,296 @@
+"""Self-time trees: double-count-free performance attribution.
+
+With nested spans (trial → attack → hci → phy) *wall* totals
+double-count every parent, so a "slowest span types" table cannot say
+where time actually goes.  **Self-time** — a span's wall duration
+minus its finished children's wall time — is additive: summed over any
+set of span types it never exceeds the root spans' wall time, so a
+self-time table is a true cost breakdown.
+
+:class:`SelfTimeTree` aggregates self-time per span-type *path* (the
+chain of span names from the root — exactly a collapsed flamegraph
+stack).  Trees are built from three sources and all merge:
+
+* a live :class:`~repro.obs.spans.SpanTracker` (``from_spans``);
+* a merged :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+  (``from_snapshot`` — reads the ``spantree.<a;b;c>_s`` histograms
+  every :class:`~repro.obs.Observability` records, which already merge
+  across campaign shards via ``MetricsRegistry.merge``);
+* a serialized tree (``from_jsonable`` / ``merge``).
+
+Merging is order-independent: per-node sums are kept as partial-sum
+lists folded with ``math.fsum`` (the same trick the metrics
+histograms use), so shard A+B and B+A serialize byte-identically.
+
+``to_collapsed`` renders the Brendan Gregg collapsed-stack format
+(``a;b;c <weight>``, one line per stack, integer microseconds) that
+``flamegraph.pl`` and speedscope both import.  All times here are
+*simulated* seconds, so every artifact is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from math import fsum
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+#: serialized-tree schema version
+TREE_FORMAT = 1
+
+#: histogram-name prefixes recorded by Observability._observe_span
+SPAN_PREFIX = "span."
+SPANSELF_PREFIX = "spanself."
+SPANTREE_PREFIX = "spantree."
+
+#: collapsed-stack weights are integer microseconds of self-time
+COLLAPSED_UNIT = 1e6
+
+Path_ = Tuple[str, ...]
+
+
+def _tree_path(histogram_name: str) -> Optional[Path_]:
+    """``"spantree.a;b;c_s"`` → ``("a", "b", "c")``, else None."""
+    if not (
+        histogram_name.startswith(SPANTREE_PREFIX)
+        and histogram_name.endswith("_s")
+    ):
+        return None
+    body = histogram_name[len(SPANTREE_PREFIX):-len("_s")]
+    return tuple(body.split(";")) if body else None
+
+
+class SelfTimeTree:
+    """Per-path self-time aggregates; mergeable like a registry."""
+
+    __slots__ = ("_nodes",)
+
+    def __init__(self) -> None:
+        # path -> [count, [self_s parts...]] — one part per merged
+        # source, folded exactly with fsum at read time.
+        self._nodes: Dict[Path_, List[Any]] = {}
+
+    # ------------------------------------------------------------ building
+
+    def add(self, path: Iterable[str], self_s: float, count: int = 1) -> None:
+        key = tuple(path)
+        node = self._nodes.get(key)
+        if node is None:
+            self._nodes[key] = [count, [float(self_s)]]
+        else:
+            node[0] += count
+            node[1].append(float(self_s))
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Any]) -> "SelfTimeTree":
+        """Aggregate a span list (finished spans only)."""
+        tree = cls()
+        for span in spans:
+            if not getattr(span, "finished", False):
+                continue
+            path = span.path or (span.name,)
+            tree.add(path, span.self_time)
+        return tree
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Mapping[str, Any]
+    ) -> "SelfTimeTree":
+        """Rebuild the tree from ``spantree.*`` histograms in a
+        (possibly shard-merged) metrics snapshot."""
+        tree = cls()
+        for name, data in (snapshot.get("histograms") or {}).items():
+            path = _tree_path(name)
+            if path is None:
+                continue
+            count = int(data.get("count", 0))
+            if count == 0:
+                continue
+            tree.add(path, float(data.get("sum", 0.0)), count=count)
+        return tree
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "SelfTimeTree":
+        tree = cls()
+        for node in payload.get("nodes", []):
+            tree.add(
+                node["path"],
+                float(node.get("self_s", 0.0)),
+                count=int(node.get("count", 0)),
+            )
+        return tree
+
+    def merge(
+        self, other: Union["SelfTimeTree", Mapping[str, Any]]
+    ) -> "SelfTimeTree":
+        if not isinstance(other, SelfTimeTree):
+            other = SelfTimeTree.from_jsonable(other)
+        for path, (count, parts) in other._nodes.items():
+            node = self._nodes.get(path)
+            if node is None:
+                self._nodes[path] = [count, list(parts)]
+            else:
+                node[0] += count
+                node[1].extend(parts)
+        return self
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self._nodes)
+
+    def paths(self) -> List[Path_]:
+        return sorted(self._nodes)
+
+    def count(self, path: Iterable[str]) -> int:
+        node = self._nodes.get(tuple(path))
+        return node[0] if node is not None else 0
+
+    def self_s(self, path: Iterable[str]) -> float:
+        node = self._nodes.get(tuple(path))
+        return fsum(node[1]) if node is not None else 0.0
+
+    def subtree_s(self, path: Iterable[str]) -> float:
+        """Self-time summed over a path and all its descendants —
+        i.e. that subtree's wall time, reconstructed additively."""
+        prefix = tuple(path)
+        depth = len(prefix)
+        return fsum(
+            fsum(node[1])
+            for node_path, node in self._nodes.items()
+            if node_path[:depth] == prefix
+        )
+
+    @property
+    def total_self_s(self) -> float:
+        return fsum(fsum(node[1]) for node in self._nodes.values())
+
+    # --------------------------------------------------------------- export
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "format": TREE_FORMAT,
+            "nodes": [
+                {
+                    "path": list(path),
+                    "count": self._nodes[path][0],
+                    "self_s": fsum(self._nodes[path][1]),
+                }
+                for path in sorted(self._nodes)
+            ],
+        }
+
+    def to_collapsed(self) -> str:
+        """Collapsed-stack text: ``a;b;c <microseconds>`` per line,
+        path-sorted — flamegraph.pl / speedscope importable, and
+        byte-identical for byte-identical inputs."""
+        lines = [
+            f"{';'.join(path)} "
+            f"{int(round(fsum(self._nodes[path][1]) * COLLAPSED_UNIT))}"
+            for path in sorted(self._nodes)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_text(self, indent: str = "  ") -> str:
+        """Human-readable tree, siblings sorted by subtree time."""
+        subtree: Dict[Path_, float] = {
+            path: self.subtree_s(path) for path in self._nodes
+        }
+        lines = [
+            f"{'path':<52} {'count':>7} {'self (s)':>12} {'subtree (s)':>12}"
+        ]
+        lines.append("-" * len(lines[0]))
+
+        def emit(prefix: Path_) -> None:
+            depth = len(prefix)
+            children = sorted(
+                {
+                    path[: depth + 1]
+                    for path in self._nodes
+                    if len(path) > depth and path[:depth] == prefix
+                },
+                key=lambda p: (-subtree.get(p, self.subtree_s(p)), p),
+            )
+            for child in children:
+                node = self._nodes.get(child)
+                count = node[0] if node is not None else 0
+                self_s = fsum(node[1]) if node is not None else 0.0
+                label = indent * depth + child[-1]
+                lines.append(
+                    f"{label:<52} {count:>7} {self_s:>12.6f} "
+                    f"{self.subtree_s(child):>12.6f}"
+                )
+                emit(child)
+
+        emit(())
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------ snapshot helpers
+
+
+def top_self_time_spans(
+    snapshot: Mapping[str, Any], n: int = 5
+) -> List[Dict[str, Any]]:
+    """The top-N span types by total self-time, from the
+    ``spanself.*`` histograms of a merged snapshot."""
+    rows: List[Dict[str, Any]] = []
+    for name, data in (snapshot.get("histograms") or {}).items():
+        if not (
+            name.startswith(SPANSELF_PREFIX) and name.endswith("_s")
+        ):
+            continue
+        count = int(data.get("count", 0))
+        if count == 0:
+            continue
+        rows.append(
+            {
+                "name": name[len(SPANSELF_PREFIX):-len("_s")],
+                "count": count,
+                "self_s": float(data.get("sum", 0.0)),
+            }
+        )
+    rows.sort(key=lambda row: (-row["self_s"], row["name"]))
+    return rows[:n]
+
+
+def root_wall_s(snapshot: Mapping[str, Any]) -> float:
+    """Total wall time of *root* spans (span types that appear as
+    length-1 ``spantree`` paths), from the ``span.*`` wall histograms.
+    The honest denominator for self-time attribution: per-type
+    self-times must sum to at most this."""
+    histograms = snapshot.get("histograms") or {}
+    roots = set()
+    for name in histograms:
+        path = _tree_path(name)
+        if path is not None and len(path) == 1:
+            roots.add(path[0])
+    return fsum(
+        float(histograms[f"{SPAN_PREFIX}{root}_s"].get("sum", 0.0))
+        for root in sorted(roots)
+        if f"{SPAN_PREFIX}{root}_s" in histograms
+    )
+
+
+def diff_trees(
+    baseline: SelfTimeTree, current: SelfTimeTree
+) -> List[Dict[str, Any]]:
+    """Per-path self-time deltas, biggest absolute movement first."""
+    paths = sorted(set(baseline.paths()) | set(current.paths()))
+    rows: List[Dict[str, Any]] = []
+    for path in paths:
+        base = baseline.self_s(path)
+        cur = current.self_s(path)
+        if base == 0.0 and cur == 0.0:
+            continue
+        rows.append(
+            {
+                "path": list(path),
+                "baseline_self_s": base,
+                "current_self_s": cur,
+                "delta_s": cur - base,
+            }
+        )
+    rows.sort(key=lambda row: (-abs(row["delta_s"]), row["path"]))
+    return rows

@@ -4,7 +4,11 @@
 standard library only, like ``blap serve``.  Routes:
 
 * ``GET /healthz`` — liveness;
-* ``GET /api/metrics`` — merged service metrics + per-tenant snapshots;
+* ``GET /api/metrics`` — merged service metrics + per-tenant snapshots
+  (JSON);
+* ``GET /metrics`` — the same instruments in Prometheus text
+  exposition (:mod:`repro.obs.prom`): counters/gauges/histograms with
+  digest quantiles, per-tenant series labeled ``tenant="..."``;
 * ``GET /api/sessions`` — active-session summaries;
 * ``GET /api/sessions/<id>`` — one session summary, or its verdict
   once finished;
@@ -196,6 +200,13 @@ class IngestServer:
             ):
                 await self._handle_websocket(request, reader, writer)
                 return
+            if request.path == "/metrics" and request.method == "GET":
+                # Prometheus text exposition, not JSON — the one route
+                # real scrapers hit, so it bypasses _respond_json.
+                await self._respond_text(
+                    writer, 200, self.manager.prometheus_metrics()
+                )
+                return
             status, payload = await self._route(request)
             await self._respond_json(writer, status, payload)
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -260,6 +271,23 @@ class IngestServer:
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
             "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _respond_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body_text: str,
+    ) -> None:
+        body = body_text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {'OK' if status == 200 else 'Error'}\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n"
             "\r\n"

@@ -77,6 +77,7 @@ class Session:
         config: SessionConfig,
         registry: Optional[MetricsRegistry] = None,
         on_alert: Optional[Callable[[Alert], None]] = None,
+        latency_clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.id = session_id
         self.config = config
@@ -105,6 +106,14 @@ class Session:
         self._m_dropped = self.registry.counter("service.dropped_events")
         self._m_late = self.registry.counter("service.late_events")
         self._m_undecodable = self.registry.counter("service.undecodable")
+        # wall-clock ingest latency per event, recorded into the tenant
+        # registry so /metrics exposes per-tenant quantiles.  The clock
+        # is injectable (the manager passes its own), so deterministic
+        # tests aren't polluted by real timings — verdicts never read it.
+        self._latency_clock = (
+            latency_clock if latency_clock is not None else time.perf_counter
+        )
+        self._h_latency = self.registry.histogram("service.ingest_latency_s")
 
     # -------------------------------------------------------------- pipeline
 
@@ -127,23 +136,27 @@ class Session:
         """
         if self.state != "open":
             raise SessionError(f"session {self.id} is {self.state}")
-        budget = self.config.max_events
-        if budget is not None and self.events >= budget:
-            self.shed()
-            return []
-        self.events += 1
-        self._m_events.inc()
-        if event.channel == "hci" and event.packet is None:
-            self.undecodable += 1
-            self._m_undecodable.inc()
-        late_before = self.reorder.late_events
-        released = self.reorder.push(event)
-        if self.reorder.late_events > late_before:
-            self._m_late.inc(self.reorder.late_events - late_before)
-        alerts: List[Alert] = []
-        for ready in released:
-            alerts.extend(self._process(ready))
-        return alerts
+        started = self._latency_clock()
+        try:
+            budget = self.config.max_events
+            if budget is not None and self.events >= budget:
+                self.shed()
+                return []
+            self.events += 1
+            self._m_events.inc()
+            if event.channel == "hci" and event.packet is None:
+                self.undecodable += 1
+                self._m_undecodable.inc()
+            late_before = self.reorder.late_events
+            released = self.reorder.push(event)
+            if self.reorder.late_events > late_before:
+                self._m_late.inc(self.reorder.late_events - late_before)
+            alerts: List[Alert] = []
+            for ready in released:
+                alerts.extend(self._process(ready))
+            return alerts
+        finally:
+            self._h_latency.observe(self._latency_clock() - started)
 
     def shed(self, count: int = 1) -> None:
         """Record ``count`` events dropped before they reached ingest."""
@@ -245,6 +258,10 @@ class SessionManager:
         self.defaults = defaults if defaults is not None else SessionConfig()
         self.max_idle_s = max_idle_s
         self.store = store
+        #: an injected clock also drives ingest-latency timing, so
+        #: fake-clock tests stay fully deterministic; the real service
+        #: times latency with perf_counter.
+        self._clock_injected = clock is not None
         self.clock = clock if clock is not None else time.monotonic
         self.registry = MetricsRegistry()
         self.obs = Observability(clock=self.clock, registry=self.registry)
@@ -275,7 +292,11 @@ class SessionManager:
         if tenant_registry is None:
             tenant_registry = self.tenants[base.tenant] = MetricsRegistry()
         session = Session(
-            session_id, base, registry=tenant_registry, on_alert=on_alert
+            session_id,
+            base,
+            registry=tenant_registry,
+            on_alert=on_alert,
+            latency_clock=self.clock if self._clock_injected else None,
         )
         session.last_active = self.clock()
         self.sessions[session_id] = session
@@ -366,6 +387,21 @@ class SessionManager:
                 ),
             },
         }
+
+    def prometheus_metrics(self) -> str:
+        """The ``GET /metrics`` page: every instrument in Prometheus
+        text exposition — fleet-wide series unlabeled, plus the same
+        metrics per tenant under a ``tenant`` label (that includes the
+        per-tenant ``service.ingest_latency_s`` quantiles and the
+        dropped/late-event counters)."""
+        from repro.obs.prom import render_prometheus
+
+        groups = [({}, self.merged_metrics().snapshot())]
+        for tenant in sorted(self.tenants):
+            groups.append(
+                ({"tenant": tenant}, self.tenants[tenant].snapshot())
+            )
+        return render_prometheus(groups)
 
     def list_sessions(self) -> List[Dict[str, Any]]:
         """Active-session summaries, id order (deterministic)."""

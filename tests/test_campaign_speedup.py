@@ -24,13 +24,13 @@ pytestmark = [
 ]
 
 
-def _timed_run(workers: int, spec: CampaignSpec) -> float:
+def _timed_run(workers: int, spec: CampaignSpec):
     started = time.perf_counter()
     campaign = CampaignRunner(workers=workers).run(spec)
     elapsed = time.perf_counter() - started
     assert campaign.trials == len(list(spec.seeds))
     assert not campaign.errors
-    return elapsed
+    return elapsed, campaign
 
 
 def test_four_workers_at_least_twice_as_fast():
@@ -45,9 +45,17 @@ def test_four_workers_at_least_twice_as_fast():
     CampaignRunner(workers=1).run(
         CampaignSpec("page-blocking", seeds=[89_999])
     )
-    serial = _timed_run(1, spec)
-    parallel = _timed_run(4, spec)
+    serial, _ = _timed_run(1, spec)
+    parallel, campaign = _timed_run(4, spec)
     speedup = serial / parallel
+    # Annotate the bench with where the (simulated) time actually went,
+    # so a future `blap bench compare` regression names a culprit.
+    from repro.profile import top_self_time_spans
+
+    top = [
+        row["name"]
+        for row in top_self_time_spans(campaign.metrics.snapshot(), 5)
+    ]
     record_bench(
         "campaign",
         "speedup",
@@ -58,6 +66,7 @@ def test_four_workers_at_least_twice_as_fast():
             "parallel_s": parallel,
             "speedup": speedup,
         },
+        spans=top,
     )
     assert speedup >= 2.0, (
         f"4-worker speedup {speedup:.2f}x < 2x "

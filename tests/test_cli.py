@@ -478,3 +478,150 @@ class TestBenchCli:
     def test_history_empty_exits_nonzero(self, tmp_path, capsys):
         assert main(["bench", "history", "--dir", str(tmp_path)]) == 1
         assert "no bench history" in capsys.readouterr().err
+
+
+class TestProfileCli:
+    def test_profile_run_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "prof"
+        assert main(
+            [
+                "profile", "run", "extraction", "--trials", "2",
+                "--seed-base", "7", "-o", str(out_dir),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "span type" in out
+        assert "self-time total" in out
+        assert (out_dir / "spans.collapsed").read_text().strip()
+        assert (out_dir / "profile.json").exists()
+
+    def test_profile_run_json_summary(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            [
+                "profile", "run", "extraction", "--trials", "1",
+                "-o", str(tmp_path / "p"), "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["top_self"]
+        assert payload["total_self_s"] <= payload["root_wall_s"] + 1e-9
+
+    def test_profile_flame_is_byte_identical(self, tmp_path, capsys):
+        paths = [tmp_path / "a.collapsed", tmp_path / "b.collapsed"]
+        for path in paths:
+            assert main(
+                [
+                    "profile", "flame", "page-blocking",
+                    "--seed", "2001", "-o", str(path),
+                ]
+            ) == 0
+        first, second = (p.read_bytes() for p in paths)
+        assert first == second
+        text = first.decode()
+        # speedscope-loadable collapsed stacks: "a;b;c <int>" lines
+        for line in text.strip().splitlines():
+            stack, _, value = line.rpartition(" ")
+            assert stack and value.isdigit()
+
+    def test_profile_flame_stdout(self, capsys):
+        assert main(["profile", "flame", "extraction", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() and ";" in out
+
+    def test_profile_diff_reports_deltas(self, tmp_path, capsys):
+        for name, seed in (("base", "1"), ("cur", "2")):
+            assert main(
+                [
+                    "profile", "run", "extraction", "--trials", "1",
+                    "--seed-base", seed, "-o", str(tmp_path / name),
+                ]
+            ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "profile", "diff",
+                str(tmp_path / "base"), str(tmp_path / "cur"),
+            ]
+        ) == 0
+        assert "delta" in capsys.readouterr().out
+
+    def test_profile_diff_missing_baseline_exits_two(self, tmp_path, capsys):
+        assert main(
+            [
+                "profile", "diff",
+                str(tmp_path / "nope"), str(tmp_path / "nope2"),
+            ]
+        ) == 2
+        assert capsys.readouterr().err
+
+
+class TestCampaignProfileFlag:
+    def test_campaign_run_profile_writes_into_run_dir(self, capsys):
+        import json
+        import os
+        from pathlib import Path
+
+        assert main(
+            [
+                "campaign", "run", "extraction", "--trials", "1",
+                "--no-cache", "--quiet", "--run-id", "prof-smoke",
+                "--profile",
+            ]
+        ) == 0
+        run_dir = Path(os.environ["BLAP_RUNS_DIR"]) / "prof-smoke"
+        profile_dir = run_dir / "profile"
+        assert f"profile: {profile_dir}" in capsys.readouterr().err
+        assert (profile_dir / "spans.collapsed").read_text().strip()
+        summary = json.loads((run_dir / "run.json").read_text())
+        profile = summary["profile"]
+        assert profile["total_self_s"] <= profile["root_wall_s"] + 1e-9
+        assert profile["top_self"]
+
+
+class TestReportJsonFormat:
+    def test_report_format_json(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            [
+                "report", "--trials", "1", "--format", "json",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == 1
+        attribution = payload["attribution"]
+        assert attribution["total_self_s"] <= attribution["root_wall_s"]
+
+
+class TestBenchSpanAnnotations:
+    def test_compare_names_culprit_spans(self, tmp_path, capsys):
+        import json
+
+        for sub, wall in (("cur", 2.0), ("base", 1.0)):
+            directory = tmp_path / sub
+            directory.mkdir()
+            data = {"loop": {"wall_s": wall}}
+            if sub == "cur":
+                data["_spans"] = {"loop": ["attack.page_blocking", "phy"]}
+            (directory / "BENCH_sim.json").write_text(json.dumps(data))
+        assert main(
+            [
+                "bench", "compare", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "top self-time spans: attack.page_blocking, phy" in out
+
+    def test_history_appends_span_note(self, tmp_path, monkeypatch, capsys):
+        from repro.core.bench import record_bench
+
+        monkeypatch.setenv("BLAP_BENCH_DIR", str(tmp_path))
+        record_bench(
+            "sim", "loop", {"wall_s": 0.25}, spans=["hci", "phy"],
+        )
+        assert main(["bench", "history", "--dir", str(tmp_path)]) == 0
+        assert "spans=hci,phy" in capsys.readouterr().out

@@ -10,14 +10,21 @@ import pytest
 
 from repro.core.bench import (
     BenchRegression,
+    bench_spans,
     compare_bench,
     compare_bench_dirs,
     iter_bench_files,
     key_direction,
     load_bench,
+    provenance,
     read_history,
     record_bench,
 )
+
+
+def _sections(data):
+    """Measured sections only — underscore keys are metadata."""
+    return {k: v for k, v in data.items() if not k.startswith("_")}
 
 
 @pytest.fixture
@@ -32,18 +39,59 @@ class TestRecordBench:
         record_bench("demo", "alpha", {"wall_s": 1.0})
         path = record_bench("demo", "beta", {"wall_s": 2.0})
         data = load_bench(path)
-        assert data == {"alpha": {"wall_s": 1.0}, "beta": {"wall_s": 2.0}}
+        assert _sections(data) == {
+            "alpha": {"wall_s": 1.0}, "beta": {"wall_s": 2.0},
+        }
 
     def test_rerecording_a_section_replaces_it(self, bench_dir):
         record_bench("demo", "alpha", {"wall_s": 1.0, "old_key": 5})
         path = record_bench("demo", "alpha", {"wall_s": 0.9})
-        assert load_bench(path) == {"alpha": {"wall_s": 0.9}}
+        assert _sections(load_bench(path)) == {"alpha": {"wall_s": 0.9}}
 
     def test_corrupt_file_is_replaced_not_fatal(self, bench_dir):
         bench_dir.mkdir(parents=True)
         (bench_dir / "BENCH_demo.json").write_text("{not json")
         path = record_bench("demo", "alpha", {"wall_s": 1.0})
-        assert load_bench(path) == {"alpha": {"wall_s": 1.0}}
+        assert _sections(load_bench(path)) == {"alpha": {"wall_s": 1.0}}
+
+    def test_provenance_stamped_in_file_and_history(self, bench_dir):
+        path = record_bench("demo", "alpha", {"wall_s": 1.0})
+        prov = load_bench(path)["_provenance"]
+        assert prov["recorded_ts"].endswith("Z")
+        assert prov["python"].count(".") == 2
+        # this repo is a git checkout, so the sha resolves
+        assert len(prov["git_sha"]) == 40
+        (entry,) = read_history(bench_dir)
+        assert entry["python"] == prov["python"]
+        assert entry["git_sha"] == prov["git_sha"]
+
+    def test_provenance_helper_is_self_consistent(self):
+        first, second = provenance(), provenance()
+        assert first["python"] == second["python"]
+        assert first.get("git_sha") == second.get("git_sha")
+
+    def test_span_annotation_lands_in_file_and_history(self, bench_dir):
+        path = record_bench(
+            "demo", "alpha", {"wall_s": 1.0},
+            spans=["attack.page_blocking", "page_procedure"],
+        )
+        data = load_bench(path)
+        assert bench_spans(data) == {
+            "alpha": ["attack.page_blocking", "page_procedure"],
+        }
+        (entry,) = read_history(bench_dir)
+        assert entry["top_self_spans"] == [
+            "attack.page_blocking", "page_procedure",
+        ]
+        # re-recording without spans keeps the old annotation out of
+        # the new history entry but the file keeps the last one given
+        record_bench("demo", "alpha", {"wall_s": 0.9})
+        assert "top_self_spans" not in read_history(bench_dir)[-1]
+
+    def test_bench_spans_tolerates_missing_or_junk(self):
+        assert bench_spans({}) == {}
+        assert bench_spans({"_spans": "junk"}) == {}
+        assert bench_spans({"_spans": {"s": "junk"}}) == {}
 
     def test_no_temp_files_left_behind(self, bench_dir):
         record_bench("demo", "alpha", {"wall_s": 1.0})
@@ -62,7 +110,7 @@ class TestRecordBench:
                 sections,
             ))
         data = load_bench(bench_dir / "BENCH_race.json")
-        assert sorted(data) == sorted(sections)
+        assert sorted(_sections(data)) == sorted(sections)
         history = read_history(bench_dir, bench="race")
         assert len(history) == len(sections)
 
@@ -70,7 +118,7 @@ class TestRecordBench:
         with multiprocessing.Pool(4) as pool:
             pool.map(_record_one_section, range(12))
         data = load_bench(bench_dir / "BENCH_procrace.json")
-        assert sorted(data) == [f"proc_{i:02d}" for i in range(12)]
+        assert sorted(_sections(data)) == [f"proc_{i:02d}" for i in range(12)]
 
     def test_iter_bench_files_sorted(self, bench_dir):
         record_bench("zeta", "s", {"wall_s": 1.0})
@@ -181,6 +229,17 @@ class TestCompareBench:
         assert compare_bench(
             {"loop": {"events": 1, "wall_s": 5.0}},
             {"loop": {"events": 1000, "wall_s": 0}},
+        ) == []
+
+    def test_metadata_sections_never_gate(self):
+        # _provenance strings and _spans lists must not be compared
+        assert compare_bench(
+            {"_provenance": {"recorded_ts": "now"},
+             "_spans": {"loop": ["a_s"]},
+             "loop": {"wall_s": 1.0}},
+            {"_provenance": {"recorded_ts": "then"},
+             "_spans": {"loop": ["b_s"]},
+             "loop": {"wall_s": 1.0}},
         ) == []
 
     def test_compare_dirs_skips_missing_baselines(self, tmp_path):

@@ -1,0 +1,190 @@
+"""Prometheus text exposition: golden rendering plus GET /metrics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.campaign.captures import attack_capture
+from repro.detect.feed import DetectionEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecord
+from repro.obs.prom import (
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.service import client as service_client
+from repro.service.server import IngestServer
+from repro.service.session import SessionManager
+
+
+class TestNamesAndLabels:
+    def test_sanitize_dots_and_namespace(self):
+        assert (
+            sanitize_metric_name("service.ingest_latency_s")
+            == "blap_service_ingest_latency_s"
+        )
+        assert sanitize_metric_name("a b/c", namespace="") == "a_b_c"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def _registry(build):
+    registry = MetricsRegistry()
+    build(registry)
+    return registry.snapshot()
+
+
+class TestRenderGolden:
+    def test_counter_gauge_exposition(self):
+        snapshot = _registry(lambda r: (
+            r.counter("service.events").inc(7),
+            r.gauge("service.sessions_active").set(3),
+        ))
+        text = render_prometheus([({}, snapshot)])
+        assert text == (
+            "# TYPE blap_service_events_total counter\n"
+            "blap_service_events_total 7\n"
+            "# TYPE blap_service_sessions_active gauge\n"
+            "blap_service_sessions_active 3\n"
+        )
+
+    def test_histogram_buckets_are_cumulative_with_quantiles(self):
+        def build(r):
+            hist = r.histogram("lat_s")
+            for value in (0.0005, 0.002, 0.002, 5.0):
+                hist.observe(value)
+
+        text = render_prometheus([({}, _registry(build))])
+        lines = text.splitlines()
+        buckets = [ln for ln in lines if "_bucket" in ln]
+        # per-bin snapshot folded to cumulative le-series
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1].startswith('blap_lat_s_bucket{le="+Inf"} 4'[:30])
+        assert counts[-1] == 4
+        assert "blap_lat_s_count 4" in lines
+        assert any(ln.startswith("blap_lat_s_sum ") for ln in lines)
+        for q in ("0.5", "0.9", "0.99"):
+            assert any(
+                ln.startswith(f'blap_lat_s_quantile{{quantile="{q}"}} ')
+                for ln in lines
+            )
+        # one TYPE line per family, histogram + companion gauge
+        assert lines.count("# TYPE blap_lat_s histogram") == 1
+        assert lines.count("# TYPE blap_lat_s_quantile gauge") == 1
+
+    def test_tenant_labels_and_merged_coexist(self):
+        merged = _registry(lambda r: r.counter("service.events").inc(5))
+        acme = _registry(lambda r: r.counter("service.events").inc(2))
+        text = render_prometheus([({}, merged), ({"tenant": "acme"}, acme)])
+        assert "blap_service_events_total 5" in text
+        assert 'blap_service_events_total{tenant="acme"} 2' in text
+        assert text.count("# TYPE blap_service_events_total counter") == 1
+
+    def test_label_values_escaped_in_series(self):
+        snap = _registry(lambda r: r.counter("c").inc())
+        text = render_prometheus([({"tenant": 'we"ird\\t'}, snap)])
+        assert 'tenant="we\\"ird\\\\t"' in text
+
+    def test_deterministic_rendering(self):
+        snap = _registry(lambda r: (
+            r.counter("b").inc(),
+            r.counter("a").inc(),
+            r.histogram("h_s").observe(0.1),
+        ))
+        groups = [({}, snap), ({"tenant": "t"}, snap)]
+        assert render_prometheus(groups) == render_prometheus(groups)
+
+    def test_empty_groups_render_empty(self):
+        assert render_prometheus([]) == ""
+        assert render_prometheus([({}, MetricsRegistry().snapshot())]) == ""
+
+
+def _trace_event(seq):
+    record = TraceRecord(
+        time=0.1 * seq, source="M", category="ble-enc", message="",
+        detail={"peer": "aa"},
+    )
+    return DetectionEvent(
+        time=0.1 * seq, seq=seq, monitor="M", channel="trace",
+        kind="ble-enc", record=record,
+    )
+
+
+class TestSessionManagerSurface:
+    def test_ingest_latency_histogram_per_tenant(self):
+        ticks = iter(range(1000))
+        manager = SessionManager(clock=lambda: float(next(ticks)))
+        session = manager.open(tenant="acme")
+        for seq in range(3):
+            session.ingest(_trace_event(seq))
+        text = manager.prometheus_metrics()
+        assert (
+            'blap_service_ingest_latency_s_count{tenant="acme"} 3' in text
+        )
+        assert (
+            'blap_service_ingest_latency_s_quantile{tenant="acme",'
+            'quantile="0.5"}' in text
+        )
+        # injected clock drives latency: deterministic 1s per event
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith('blap_service_ingest_latency_s_sum{')
+        )
+        assert float(line.rsplit(" ", 1)[1]) == pytest.approx(3.0)
+
+    def test_dropped_and_late_counters_exposed(self):
+        manager = SessionManager(clock=lambda: 0.0)
+        manager.open(tenant="acme")
+        text = manager.prometheus_metrics()
+        assert 'blap_service_dropped_events_total{tenant="acme"} 0' in text
+        assert 'blap_service_late_events_total{tenant="acme"} 0' in text
+
+
+async def _fetch_text(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    headers = head.decode("latin-1").lower()
+    return status, headers, body.decode("utf-8")
+
+
+class TestMetricsEndpoint:
+    def test_get_metrics_end_to_end(self):
+        capture = attack_capture()
+
+        async def check(server):
+            await service_client.request(
+                server.host, server.port, "POST",
+                "/api/captures?tenant=acme", capture,
+            )
+            return await _fetch_text(server.host, server.port, "/metrics")
+
+        async def main():
+            async with IngestServer() as server:
+                return await check(server)
+
+        status, headers, body = asyncio.run(main())
+        assert status == 200
+        assert "text/plain; version=0.0.4" in headers
+        assert "# TYPE blap_service_events_total counter" in body
+        assert 'blap_service_events_total{tenant="acme"}' in body
+        assert 'blap_service_ingest_latency_s_quantile{tenant="acme",' \
+            'quantile="0.99"}' in body
+        assert 'blap_service_dropped_events_total{tenant="acme"} 0' in body
+        assert body.endswith("\n")

@@ -54,10 +54,19 @@ def _synthetic_data():
     hist = registry.histogram("sim.callback_wall_s")
     for i in range(1, 101):
         hist.observe(i / 1000.0)
+    # One nested chain pairing > inquiry > page: wall per span type
+    # plus the self-time families the attribution section reads.  Self
+    # totals (9.2 + 0.28 + 0.01) stay below the root wall total (9.5).
     for name, values in [
         ("span.pairing_s", [0.5, 1.0, 8.0]),
         ("span.inquiry_s", [0.1, 0.2]),
         ("span.page_s", [0.01]),
+        ("spanself.pairing_s", [0.4, 0.9, 7.9]),
+        ("spanself.inquiry_s", [0.09, 0.19]),
+        ("spanself.page_s", [0.01]),
+        ("spantree.pairing_s", [0.4, 0.9, 7.9]),
+        ("spantree.pairing;inquiry_s", [0.09, 0.19]),
+        ("spantree.pairing;inquiry;page_s", [0.01]),
     ]:
         h = registry.histogram(name)
         for value in values:
@@ -117,17 +126,31 @@ class TestRenderMarkdown:
         assert float(cells[3]) == pytest.approx(0.0505, rel=0.05)
         assert float(cells[6]) == pytest.approx(0.1, rel=1e-6)
 
-    def test_spans_sorted_slowest_first_and_capped(self):
+    def test_attribution_tree_hierarchical_and_capped(self):
         text = render_markdown(_synthetic_data(), top_spans=2)
-        assert "## Top 2 slowest span types" in text
+        assert "## Self-time attribution (merged span trees)" in text
+        # the old wall-total ranking double-counted parents; gone
+        assert "slowest span types" not in text
         lines = [ln for ln in text.splitlines() if ln.startswith("| ")]
-        span_lines = [
+        rows = [
             ln for ln in lines
-            if ln.startswith(("| pairing ", "| inquiry ", "| page "))
+            if ln.startswith(("| pairing ", "| · "))
         ]
-        assert len(span_lines) == 2
-        assert span_lines[0].startswith("| pairing ")
-        assert span_lines[1].startswith("| inquiry ")
+        assert len(rows) == 2
+        assert rows[0].startswith("| pairing ")
+        assert rows[1].startswith("| · inquiry ")
+        assert "(1 deeper paths elided)" in text
+
+    def test_attribution_self_total_bounded_by_root_wall(self):
+        from repro.obs.report import collect_attribution
+
+        attribution = collect_attribution(
+            _synthetic_data()["metrics"]["histograms"]
+        )
+        assert attribution["rows"]
+        assert attribution["total_self_s"] == pytest.approx(9.49)
+        assert attribution["total_self_s"] <= attribution["root_wall_s"]
+        assert attribution["root_wall_s"] == pytest.approx(9.5)
 
     def test_optional_sections_render_when_given(self):
         roc = {
@@ -182,6 +205,42 @@ class TestRenderMarkdown:
         assert render_markdown(data) == render_markdown(data)
 
 
+class TestRenderJson:
+    def test_payload_shape_and_determinism(self):
+        from repro.obs.report import render_json
+
+        data = _synthetic_data()
+        text = render_json(data)
+        assert text == render_json(data)
+        payload = json.loads(text)
+        assert payload["format"] == 1
+        assert payload["trials"] == 10
+        assert payload["table2"][0]["blocked_successes"] == 10
+        attribution = payload["attribution"]
+        assert attribution["total_self_s"] <= attribution["root_wall_s"]
+        paths = [tuple(row["path"]) for row in attribution["rows"]]
+        assert ("pairing", "inquiry", "page") in paths
+        # optional sections absent unless provided
+        for key in ("roc", "bench", "telemetry"):
+            assert key not in payload
+
+    def test_optional_sections_included(self):
+        from repro.obs.report import render_json
+
+        payload = json.loads(
+            render_json(
+                _synthetic_data(),
+                bench={"sim": {"hot_loop": {"events_per_s": 1.0}}},
+                telemetry=[
+                    {"scenario": "extraction", "seed": 1, "success": True,
+                     "wall_time_s": 0.1, "cached": False},
+                ],
+            )
+        )
+        assert payload["bench"]["sim"]["hot_loop"]["events_per_s"] == 1.0
+        assert payload["telemetry"]["trials"] == 1
+
+
 class TestRenderHtml:
     def test_headings_tables_and_escaping(self):
         markdown = "\n".join(
@@ -225,7 +284,7 @@ class TestGenerateReport:
 
         for spec in (*TABLE1_DEVICE_SPECS, *TABLE2_DEVICE_SPECS):
             assert spec.marketing_name in warm
-        assert "slowest span types" in warm
+        assert "Self-time attribution" in warm
 
     def test_artifact_sections_are_wired_through(self, tmp_path, monkeypatch):
         monkeypatch.setenv("BLAP_BENCH_DIR", str(tmp_path / "bench"))

@@ -1,0 +1,284 @@
+"""repro.profile: self-time trees, flamegraph export, artifacts.
+
+Self-time fixtures drive a real :class:`SpanTracker` on a fake clock,
+so the invariants under test (additivity, detached-span policy,
+overlap handling) are the same ones the campaign pipeline relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.runner import run_trial
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracker
+from repro.profile import (
+    SelfTimeTree,
+    diff_trees,
+    load_profile,
+    root_wall_s,
+    top_self_time_spans,
+    write_profile_artifacts,
+)
+from repro.profile.sampler import ShardProfiler, merge_pstats, top_functions
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return SpanTracker(clock)
+
+
+class TestSelfTimeFixtures:
+    def test_nested_spans_are_additive(self, clock, tracker):
+        with tracker.span("trial"):
+            clock.advance(1.0)
+            with tracker.span("attack"):
+                clock.advance(2.0)
+                with tracker.span("phy"):
+                    clock.advance(3.0)
+            clock.advance(0.5)
+        trial, attack, phy = tracker.spans
+        assert trial.self_time == pytest.approx(1.5)
+        assert attack.self_time == pytest.approx(2.0)
+        assert phy.self_time == pytest.approx(3.0)
+        # additivity: self-times sum exactly to the root's wall time
+        total = trial.self_time + attack.self_time + phy.self_time
+        assert total == pytest.approx(trial.duration)
+
+    def test_detached_span_within_parent_counts_as_child(
+        self, clock, tracker
+    ):
+        with tracker.span("parent"):
+            clock.advance(1.0)
+            page = tracker.begin("page")
+            clock.advance(4.0)
+            tracker.finish(page)
+            clock.advance(1.0)
+        parent = tracker.by_name("parent")[0]
+        assert parent.self_time == pytest.approx(2.0)
+        assert page.self_time == pytest.approx(4.0)
+
+    def test_detached_span_outliving_parent_keeps_full_self_time(
+        self, clock, tracker
+    ):
+        """Concurrent-work policy: the child keeps its full duration
+        as self-time, and the already-closed parent is left unchanged
+        (the child was still open when the parent closed, so it never
+        became a *finished* child)."""
+        with tracker.span("parent"):
+            clock.advance(1.0)
+            page = tracker.begin("page")
+            clock.advance(1.0)
+        clock.advance(5.0)
+        tracker.finish(page)
+        parent = tracker.by_name("parent")[0]
+        assert parent.self_time == pytest.approx(2.0)
+        assert page.self_time == pytest.approx(6.0)
+        assert page.path == ("parent", "page")
+
+    def test_overlapping_detached_siblings(self, clock, tracker):
+        with tracker.span("parent"):
+            a = tracker.begin("a")
+            clock.advance(1.0)
+            b = tracker.begin("b")  # overlaps a
+            clock.advance(2.0)
+            tracker.finish(a)  # a: 3.0
+            clock.advance(1.0)
+            tracker.finish(b)  # b: 3.0
+            clock.advance(0.5)
+        parent = tracker.by_name("parent")[0]
+        assert parent.duration == pytest.approx(4.5)
+        # overlap means children's wall (6.0) exceeds the parent's
+        # remaining time; self-time clamps at zero, never negative
+        assert parent.self_time == 0.0
+
+    def test_from_spans_groups_by_path(self, clock, tracker):
+        for _ in range(3):
+            with tracker.span("trial"):
+                clock.advance(1.0)
+                with tracker.span("hci"):
+                    clock.advance(0.25)
+        tree = SelfTimeTree.from_spans(tracker.finished_spans())
+        assert tree.count(("trial",)) == 3
+        assert tree.self_s(("trial",)) == pytest.approx(3.0)
+        assert tree.self_s(("trial", "hci")) == pytest.approx(0.75)
+        assert tree.subtree_s(("trial",)) == pytest.approx(3.75)
+        assert tree.total_self_s == pytest.approx(3.75)
+
+
+def _snapshot_for(observations):
+    registry = MetricsRegistry()
+    for name, values in observations:
+        hist = registry.histogram(name)
+        for value in values:
+            hist.observe(value)
+    return registry.snapshot()
+
+
+class TestTreeMergeAndSnapshot:
+    def test_from_snapshot_reads_spantree_histograms(self):
+        snapshot = _snapshot_for([
+            ("spantree.trial_s", [1.0, 2.0]),
+            ("spantree.trial;hci_s", [0.5]),
+            ("span.trial_s", [2.0, 3.0]),  # ignored by the tree
+        ])
+        tree = SelfTimeTree.from_snapshot(snapshot)
+        assert tree.paths() == [("trial",), ("trial", "hci")]
+        assert tree.count(("trial",)) == 2
+        assert tree.self_s(("trial",)) == pytest.approx(3.0)
+
+    def test_merge_is_order_independent_bytewise(self):
+        # adversarial floats: naive left-to-right summation differs
+        parts_a = [0.1, 1e16, 0.1, -1e16]
+        parts_b = [0.2, 1e-9, 3.7]
+
+        def tree_of(parts):
+            tree = SelfTimeTree()
+            for part in parts:
+                tree.add(("trial",), part)
+            tree.add(("trial", "hci"), 0.5)
+            return tree
+
+        ab = tree_of(parts_a).merge(tree_of(parts_b))
+        ba = tree_of(parts_b).merge(tree_of(parts_a))
+        assert json.dumps(ab.to_jsonable(), sort_keys=True) == json.dumps(
+            ba.to_jsonable(), sort_keys=True
+        )
+        assert ab.to_collapsed() == ba.to_collapsed()
+
+    def test_cross_shard_registry_merge_matches_single_registry(self):
+        shard_a = _snapshot_for([("spantree.trial_s", [1.0, 2.0])])
+        shard_b = _snapshot_for([
+            ("spantree.trial_s", [4.0]),
+            ("spantree.trial;hci_s", [0.5]),
+        ])
+        merged_ab = MetricsRegistry()
+        merged_ab.merge(shard_a)
+        merged_ab.merge(shard_b)
+        merged_ba = MetricsRegistry()
+        merged_ba.merge(shard_b)
+        merged_ba.merge(shard_a)
+        tree_ab = SelfTimeTree.from_snapshot(merged_ab.snapshot())
+        tree_ba = SelfTimeTree.from_snapshot(merged_ba.snapshot())
+        assert tree_ab.to_collapsed() == tree_ba.to_collapsed()
+        assert tree_ab.count(("trial",)) == 3
+        assert tree_ab.self_s(("trial",)) == pytest.approx(7.0)
+
+    def test_jsonable_roundtrip(self):
+        tree = SelfTimeTree()
+        tree.add(("a",), 1.5)
+        tree.add(("a", "b"), 0.25, count=4)
+        clone = SelfTimeTree.from_jsonable(tree.to_jsonable())
+        assert clone.to_jsonable() == tree.to_jsonable()
+
+
+class TestExports:
+    def test_collapsed_format(self):
+        tree = SelfTimeTree()
+        tree.add(("trial", "hci"), 0.5)
+        tree.add(("trial",), 1.25)
+        text = tree.to_collapsed()
+        assert text == "trial 1250000\ntrial;hci 500000\n"
+        assert SelfTimeTree().to_collapsed() == ""
+
+    def test_render_text_orders_siblings_by_subtree(self):
+        tree = SelfTimeTree()
+        tree.add(("trial",), 0.1)
+        tree.add(("trial", "small"), 0.2)
+        tree.add(("trial", "big"), 5.0)
+        text = tree.render_text()
+        assert text.index("big") < text.index("small")
+
+    def test_top_self_time_spans_and_root_wall(self):
+        snapshot = _snapshot_for([
+            ("spanself.trial_s", [1.0]),
+            ("spanself.hci_s", [4.0]),
+            ("span.trial_s", [5.5]),
+            ("spantree.trial_s", [1.0]),
+            ("spantree.trial;hci_s", [4.0]),
+        ])
+        rows = top_self_time_spans(snapshot, 1)
+        assert rows == [{"name": "hci", "count": 1, "self_s": 4.0}]
+        # only "trial" is a root path; hci is nested under it
+        assert root_wall_s(snapshot) == pytest.approx(5.5)
+
+    def test_diff_trees_sorted_by_absolute_delta(self):
+        old = SelfTimeTree()
+        old.add(("a",), 1.0)
+        old.add(("b",), 2.0)
+        new = SelfTimeTree()
+        new.add(("a",), 1.1)
+        new.add(("c",), 9.0)
+        rows = diff_trees(old, new)
+        assert [row["path"] for row in rows] == [["c"], ["b"], ["a"]]
+        assert rows[0]["delta_s"] == pytest.approx(9.0)
+        assert rows[1]["delta_s"] == pytest.approx(-2.0)
+
+
+class TestArtifacts:
+    def test_write_and_load_roundtrip_with_invariant(self, tmp_path):
+        _, snapshot = run_trial("page-blocking", 2001)
+        summary = write_profile_artifacts(snapshot, tmp_path / "p")
+        assert (tmp_path / "p" / "spans.collapsed").exists()
+        loaded = load_profile(tmp_path / "p")
+        assert loaded["tree"] == summary["tree"]
+        assert summary["total_self_s"] <= summary["root_wall_s"] + 1e-9
+        assert summary["top_self"]
+
+    def test_artifacts_byte_identical_across_runs(self, tmp_path):
+        for name in ("one", "two"):
+            _, snapshot = run_trial("extraction", 42)
+            write_profile_artifacts(snapshot, tmp_path / name)
+        for artifact in ("spans.collapsed", "profile.json"):
+            assert (tmp_path / "one" / artifact).read_bytes() == (
+                tmp_path / "two" / artifact
+            ).read_bytes()
+
+    def test_load_profile_rejects_non_profiles(self, tmp_path):
+        bogus = tmp_path / "profile.json"
+        bogus.write_text('{"nope": 1}')
+        with pytest.raises(ValueError):
+            load_profile(bogus)
+
+
+class TestSampler:
+    def test_shard_profiler_merge_and_top_functions(self, tmp_path):
+        def busy():
+            return sum(i * i for i in range(2000))
+
+        paths = []
+        for shard in range(2):
+            profiler = ShardProfiler()
+            with profiler.trial():
+                busy()
+            assert profiler.trials == 1
+            path = tmp_path / f"shard-x-{shard}-1.pstats"
+            profiler.dump(path)
+            paths.append(path)
+        merged = merge_pstats(paths, tmp_path / "profile.pstats")
+        rows = top_functions(merged, n=50)
+        assert rows
+        assert any("busy" in row["function"] for row in rows)
+        assert all(row["ncalls"] >= 1 for row in rows)
+
+    def test_merge_pstats_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            merge_pstats([], tmp_path / "out.pstats")
